@@ -1,0 +1,159 @@
+#include "bench/bench_common.h"
+
+#include <cinttypes>
+#include <cmath>
+
+#include "workload/trace_world.h"
+
+namespace hgdb {
+namespace bench {
+
+namespace {
+
+double Scale() { return WorkloadScale(); }
+
+void FillTimes(Dataset* d) {
+  d->min_time = d->events.empty() ? d->initial_time : d->events.front().time;
+  d->max_time = d->events.empty() ? d->initial_time : d->events.back().time;
+}
+
+}  // namespace
+
+Dataset MakeDataset1() {
+  Dataset d;
+  d.name = "dataset1 (DBLP-like, growing-only)";
+  DblpLikeOptions opts;
+  opts.target_edges = static_cast<size_t>(40000 * Scale());
+  opts.years = 70;
+  opts.attrs_per_node = 10;
+  opts.seed = 7;
+  GeneratedTrace trace = GenerateDblpLikeTrace(opts);
+  d.events = std::move(trace.events);
+  FillTimes(&d);
+  return d;
+}
+
+Dataset MakeDataset2() {
+  Dataset d;
+  d.name = "dataset2 (dataset1 snapshot + add/delete churn)";
+  DblpLikeOptions opts;
+  opts.target_edges = static_cast<size_t>(40000 * Scale());
+  opts.years = 70;
+  opts.attrs_per_node = 10;
+  opts.seed = 7;
+  GeneratedTrace trace = GenerateDblpLikeTrace(opts);
+  d.initial = trace.world->graph();
+  d.initial_time = trace.events.back().time;
+
+  ChurnOptions churn;
+  churn.num_events = static_cast<size_t>(120000 * Scale());
+  churn.add_fraction = 0.5;
+  churn.seed = 11;
+  AppendChurnPhase(trace.world.get(), d.initial_time + 1, churn, &d.events);
+  FillTimes(&d);
+  return d;
+}
+
+Dataset MakeDataset3() {
+  Dataset d;
+  d.name = "dataset3 (patent-like start + heavy churn)";
+  PatentLikeOptions opts;
+  opts.initial_nodes = static_cast<size_t>(20000 * Scale());
+  opts.initial_edges = static_cast<size_t>(70000 * Scale());
+  opts.churn_events = 0;  // Bootstrap only; churn appended below.
+  opts.seed = 13;
+  GeneratedTrace trace = GeneratePatentLikeTrace(opts);
+  d.initial = trace.world->graph();
+  d.initial_time =
+      trace.events.empty() ? 0 : trace.events.back().time;
+
+  ChurnOptions churn;
+  churn.num_events = static_cast<size_t>(200000 * Scale());
+  churn.add_fraction = 0.5;
+  churn.seed = 17;
+  AppendChurnPhase(trace.world.get(), d.initial_time + 1, churn, &d.events);
+  FillTimes(&d);
+  return d;
+}
+
+std::unique_ptr<DeltaGraph> BuildIndex(KVStore* store, const Dataset& data,
+                                       DeltaGraphOptions options) {
+  auto dg = DeltaGraph::Create(store, options);
+  if (!dg.ok()) {
+    std::fprintf(stderr, "index create failed: %s\n", dg.status().ToString().c_str());
+    std::abort();
+  }
+  auto index = std::move(dg).value();
+  if (!data.initial.Empty()) {
+    Status s = index->SetInitialSnapshot(data.initial, data.initial_time);
+    if (!s.ok()) {
+      std::fprintf(stderr, "initial snapshot failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+  Status s = index->AppendAll(data.events);
+  if (s.ok()) s = index->Finalize();
+  if (!s.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  return index;
+}
+
+KVStoreOptions SimulatedDiskOptions() {
+  KVStoreOptions options;
+  options.read_latency_us =
+      static_cast<uint32_t>(GetEnvInt("HISTGRAPH_DISK_LAT_US", 500));
+  options.read_throughput_mbps =
+      static_cast<uint32_t>(GetEnvInt("HISTGRAPH_DISK_MBPS", 50));
+  return options;
+}
+
+std::unique_ptr<KVStore> NewSimDiskStore() {
+  return NewMemKVStore(SimulatedDiskOptions());
+}
+
+std::vector<Timestamp> UniformTimepoints(const Dataset& data, int count) {
+  std::vector<Timestamp> out;
+  const Timestamp lo = data.min_time;
+  const Timestamp hi = data.max_time;
+  for (int i = 1; i <= count; ++i) {
+    out.push_back(lo + (hi - lo) * i / (count + 1));
+  }
+  return out;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("HISTGRAPH_SCALE=%.2f (paper sizes ~ scale 30+; shapes, not\n",
+              Scale());
+  std::printf("absolute numbers, are the reproduction target)\n");
+  std::printf("==============================================================\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells, int width) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", ms);
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 10ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", static_cast<double>(bytes) / (1 << 20));
+  } else if (bytes >= 10 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", static_cast<double>(bytes) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace hgdb

@@ -1,0 +1,76 @@
+// Dataset 3 deployment experiment (Section 7, "Experimental Setup"):
+// a partitioned index with a parallel PageRank computation, timing full
+// snapshot retrieval + PageRank per historical snapshot. The paper used 5-7
+// single-core EC2 machines at ~22-23.8 s per snapshot; we reproduce the code
+// path with one thread per partition on one machine.
+
+#include "bench/bench_common.h"
+#include "compute/algorithms.h"
+#include "compute/graph_accessor.h"
+#include "deltagraph/partitioned_delta_graph.h"
+
+int main() {
+  using namespace hgdb;
+  using namespace hgdb::bench;
+  PrintHeader("Dataset 3: partitioned index + parallel PageRank");
+  Dataset data = MakeDataset3();
+  std::printf("dataset: %s\n", data.name.c_str());
+  std::printf("initial: %zu nodes / %zu edges; churn: %zu events\n\n",
+              data.initial.NodeCount(), data.initial.EdgeCount(),
+              data.events.size());
+
+  constexpr int kPartitions = 5;  // The paper's 5-machine deployment.
+  std::vector<std::unique_ptr<KVStore>> stores;
+  std::vector<KVStore*> ptrs;
+  for (int i = 0; i < kPartitions; ++i) {
+    stores.push_back(NewSimDiskStore());
+    ptrs.push_back(stores.back().get());
+  }
+  DeltaGraphOptions opts;
+  opts.leaf_size = std::max<size_t>(500, data.events.size() / (40 * kPartitions));
+  opts.arity = 4;
+  opts.functions = {"intersection"};
+  opts.maintain_current = false;
+  auto pdg = PartitionedDeltaGraph::Create(ptrs, opts);
+  if (!pdg.ok()) std::abort();
+  Stopwatch build_sw;
+  if (!pdg.value()->SetInitialSnapshot(data.initial, data.initial_time).ok()) {
+    std::abort();
+  }
+  if (!pdg.value()->AppendAll(data.events).ok()) std::abort();
+  if (!pdg.value()->Finalize().ok()) std::abort();
+  std::printf("partitioned index built in %s\n\n",
+              FormatMs(build_sw.ElapsedMillis()).c_str());
+
+  uint64_t index_bytes = 0;
+  for (int i = 0; i < kPartitions; ++i) {
+    index_bytes += pdg.value()->partition(i)->Stats().store_bytes;
+  }
+  std::printf("index storage across %d partitions: %s\n\n", kPartitions,
+              FormatBytes(index_bytes).c_str());
+
+  const std::vector<Timestamp> times = UniformTimepoints(data, 3);
+  PrintRow({"timepoint", "retrieval", "pagerank", "total"}, 16);
+  double total_all = 0;
+  for (Timestamp t : times) {
+    Stopwatch sw;
+    auto snap = pdg.value()->GetSnapshot(t, kCompStruct, kPartitions);
+    if (!snap.ok()) std::abort();
+    const double retrieval_ms = sw.ElapsedMillis();
+    sw.Restart();
+    SnapshotAccessor acc(&snap.value());
+    auto ranks = PageRank(acc, 10, 0.85, kPartitions);
+    const double pr_ms = sw.ElapsedMillis();
+    total_all += retrieval_ms + pr_ms;
+    PrintRow({std::to_string(t), FormatMs(retrieval_ms), FormatMs(pr_ms),
+              FormatMs(retrieval_ms + pr_ms)},
+             16);
+    (void)ranks;
+  }
+  std::printf("\navg per snapshot (retrieval + PageRank): %s\n",
+              FormatMs(total_all / times.size()).c_str());
+  std::printf("paper: ~22-23.8 s per snapshot at ~500x this scale on 5-7\n"
+              "single-core machines; the claim is the code path, not the\n"
+              "absolute number.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 11: differential functions and retrieval-time distributions
+// (Dataset 1, growing-only).
+//
+// (a) Intersection vs Balanced vs Balanced with the root materialized:
+//     Intersection's latencies skew upward over time (newer snapshots are
+//     larger); Balanced is uniform but higher on average; materializing the
+//     Balanced root brings the average down while staying uniform.
+// (b) Mixed functions with r1 = r2 in {0.1, 0.5, 0.9} tilt the latency
+//     profile toward old or new snapshots.
+
+#include "bench/bench_common.h"
+
+namespace hgdb {
+namespace bench {
+namespace {
+
+std::vector<double> RunSeries(const Dataset& data, const std::string& function,
+                              bool materialize_root,
+                              const std::vector<Timestamp>& times) {
+  auto store = NewSimDiskStore();
+  DeltaGraphOptions opts;
+  opts.leaf_size = std::max<size_t>(500, data.events.size() / 40);
+  opts.arity = 2;
+  opts.functions = {function};
+  opts.maintain_current = false;
+  auto dg = BuildIndex(store.get(), data, opts);
+  if (materialize_root) {
+    if (!dg->MaterializeDepth(0).ok()) std::abort();
+  }
+  std::vector<double> ms;
+  for (Timestamp t : times) {
+    Stopwatch sw;
+    auto snap = dg->GetSnapshot(t, kCompAll);
+    if (!snap.ok()) std::abort();
+    ms.push_back(sw.ElapsedMillis());
+  }
+  return ms;
+}
+
+void Summarize(const char* label, const std::vector<double>& ms) {
+  double total = 0, first_half = 0, second_half = 0;
+  for (size_t i = 0; i < ms.size(); ++i) {
+    total += ms[i];
+    (i < ms.size() / 2 ? first_half : second_half) += ms[i];
+  }
+  std::printf("%-28s avg=%-11s old-half=%-11s new-half=%s\n", label,
+              FormatMs(total / ms.size()).c_str(),
+              FormatMs(first_half / (ms.size() / 2)).c_str(),
+              FormatMs(second_half / (ms.size() - ms.size() / 2)).c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hgdb
+
+int main() {
+  using namespace hgdb;
+  using namespace hgdb::bench;
+  PrintHeader("Figure 11: differential functions vs retrieval-time profile");
+  Dataset data = MakeDataset1();
+  std::printf("dataset: %s, %zu events\n\n", data.name.c_str(), data.events.size());
+  const std::vector<Timestamp> times = UniformTimepoints(data, 20);
+
+  std::printf("(a) Intersection vs Balanced (per-timepoint series)\n");
+  auto inter = RunSeries(data, "intersection", false, times);
+  auto bal = RunSeries(data, "balanced", false, times);
+  auto bal_mat = RunSeries(data, "balanced", true, times);
+  PrintRow({"timepoint", "intersection", "balanced", "balanced+rootmat"}, 18);
+  for (size_t i = 0; i < times.size(); ++i) {
+    PrintRow({std::to_string(times[i]), FormatMs(inter[i]), FormatMs(bal[i]),
+              FormatMs(bal_mat[i])},
+             18);
+  }
+  std::printf("\n");
+  Summarize("intersection", inter);
+  Summarize("balanced", bal);
+  Summarize("balanced (root mat)", bal_mat);
+
+  std::printf("\n(b) Mixed functions r1=r2 in {0.1, 0.5, 0.9}\n");
+  auto m01 = RunSeries(data, "mixed:0.1:0.1", false, times);
+  auto m05 = RunSeries(data, "mixed:0.5:0.5", false, times);
+  auto m09 = RunSeries(data, "mixed:0.9:0.9", false, times);
+  Summarize("mixed r=0.1 (old-favoring)", m01);
+  Summarize("mixed r=0.5 (balanced)", m05);
+  Summarize("mixed r=0.9 (new-favoring)", m09);
+  std::printf(
+      "\npaper shape: intersection skews toward newer snapshots; balanced is\n"
+      "uniform; higher r shifts cost from new to old snapshots.\n");
+  return 0;
+}

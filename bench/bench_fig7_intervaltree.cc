@@ -1,0 +1,137 @@
+// Figure 7: in-memory interval tree vs DeltaGraph configurations, Dataset 2.
+//
+// The paper compares (a) an in-memory interval tree, (b) a largely disk-
+// resident DeltaGraph with the root's grandchildren materialized, and (c) a
+// DeltaGraph with all leaves materialized (total materialization), over 25
+// queries with k = 4. Both DeltaGraph variants beat the interval tree while
+// using significantly less memory.
+
+#include "baselines/interval_tree_index.h"
+#include "bench/bench_common.h"
+#include "graphpool/graph_pool.h"
+
+namespace hgdb {
+namespace bench {
+namespace {
+
+std::vector<Event> FlattenWithInitial(const Dataset& data) {
+  std::vector<Event> all;
+  for (NodeId n : data.initial.nodes()) {
+    all.push_back(Event::AddNode(data.initial_time, n));
+  }
+  for (const auto& [n, attrs] : data.initial.node_attrs()) {
+    for (const auto& [k, v] : attrs) {
+      all.push_back(Event::SetNodeAttr(data.initial_time, n, k, std::nullopt, v));
+    }
+  }
+  for (const auto& [id, rec] : data.initial.edges()) {
+    all.push_back(
+        Event::AddEdge(data.initial_time, id, rec.src, rec.dst, rec.directed));
+  }
+  for (const auto& [id, attrs] : data.initial.edge_attrs()) {
+    for (const auto& [k, v] : attrs) {
+      all.push_back(Event::SetEdgeAttr(data.initial_time, id, k, std::nullopt, v));
+    }
+  }
+  all.insert(all.end(), data.events.begin(), data.events.end());
+  return all;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hgdb
+
+int main() {
+  using namespace hgdb;
+  using namespace hgdb::bench;
+  PrintHeader("Figure 7: interval tree vs DeltaGraph materialization levels");
+  Dataset data = MakeDataset2();
+  std::printf("dataset: %s, %zu events\n\n", data.name.c_str(), data.events.size());
+  const std::vector<Timestamp> times = UniformTimepoints(data, 25);
+  const size_t L = std::max<size_t>(500, data.events.size() / 30);
+
+  // (a) Interval tree.
+  IntervalTreeIndex itree;
+  {
+    auto all = FlattenWithInitial(data);
+    if (!itree.Build(all).ok()) std::abort();
+  }
+  // (b) DeltaGraph, root's grandchildren materialized.
+  auto store_b = NewSimDiskStore();
+  DeltaGraphOptions opts;
+  opts.leaf_size = L;
+  opts.arity = 4;
+  opts.functions = {"intersection"};
+  opts.maintain_current = false;
+  auto dg_gc = BuildIndex(store_b.get(), data, opts);
+  if (!dg_gc->MaterializeDepth(2).ok()) std::abort();
+  // (c) DeltaGraph, total materialization.
+  auto store_c = NewSimDiskStore();
+  auto dg_total = BuildIndex(store_c.get(), data, opts);
+  if (!dg_total->MaterializeAllLeaves().ok()) std::abort();
+
+  struct Row {
+    const char* label;
+    double avg_ms;
+    uint64_t memory;
+  };
+  auto run = [&](auto&& get) {
+    double total = 0;
+    std::vector<double> per;
+    for (Timestamp t : times) {
+      Stopwatch sw;
+      get(t);
+      per.push_back(sw.ElapsedMillis());
+      total += per.back();
+    }
+    return std::make_pair(total / times.size(), per);
+  };
+
+  auto [it_avg, it_per] = run([&](Timestamp t) {
+    auto s = itree.GetSnapshot(t, kCompAll);
+    if (!s.ok()) std::abort();
+  });
+  auto [gc_avg, gc_per] = run([&](Timestamp t) {
+    auto s = dg_gc->GetSnapshot(t, kCompAll);
+    if (!s.ok()) std::abort();
+  });
+  auto [tot_avg, tot_per] = run([&](Timestamp t) {
+    auto s = dg_total->GetSnapshot(t, kCompAll);
+    if (!s.ok()) std::abort();
+  });
+
+  PrintRow({"timepoint", "interval-tree", "DG(gc mat)", "DG(total mat)"}, 18);
+  for (size_t i = 0; i < times.size(); ++i) {
+    PrintRow({std::to_string(times[i]), FormatMs(it_per[i]), FormatMs(gc_per[i]),
+              FormatMs(tot_per[i])},
+             18);
+  }
+  // The paper's total materialization keeps the leaf snapshots *overlaid* in
+  // the GraphPool ("the snapshots are stored in memory in an overlaid
+  // fashion"); measure that footprint rather than disjoint copies.
+  GraphPool overlaid;
+  for (int32_t leaf : dg_total->skeleton().leaves()) {
+    const Snapshot* snap = dg_total->materialized_snapshot(leaf);
+    if (snap != nullptr) (void)overlaid.OverlayMaterialized(*snap);
+  }
+
+  std::printf("\n(a) retrieval time  (b) permanent index memory\n");
+  Row rows[] = {
+      {"interval-tree", it_avg, itree.MemoryBytes()},
+      {"DG (root GC mat)", gc_avg, dg_gc->Stats().materialized_bytes},
+      {"DG (total mat)", tot_avg, overlaid.MemoryBytes()},
+  };
+  for (const auto& r : rows) {
+    std::printf("%-20s avg=%-12s memory=%s\n", r.label, FormatMs(r.avg_ms).c_str(),
+                FormatBytes(r.memory).c_str());
+  }
+  std::printf("(total mat disjoint copies would be %s; the GraphPool overlay\n"
+              "is what keeps it feasible)\n",
+              FormatBytes(dg_total->Stats().materialized_bytes).c_str());
+  std::printf(
+      "\npaper shape: both DG variants beat the interval tree with less\n"
+      "memory; at our scale every approach bottoms out at the cost of\n"
+      "constructing the result snapshot, so times converge while the\n"
+      "overlaid-memory ordering still holds.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Naive Log baseline (Section 7, text): "The average retrieval times were
+// worse than DeltaGraph by factors of 20 and 23 for Datasets 1 and 2
+// respectively."
+
+#include "baselines/copy_log_index.h"
+#include "bench/bench_common.h"
+
+namespace hgdb {
+namespace bench {
+namespace {
+
+void RunOn(const Dataset& data) {
+  std::printf("\n--- %s ---\n", data.name.c_str());
+  const std::vector<Timestamp> times = UniformTimepoints(data, 8);
+  const size_t L = std::max<size_t>(500, data.events.size() / 40);
+
+  auto log_store = NewSimDiskStore();
+  LogIndex log(log_store.get(), 4096, /*text_format=*/true);
+  {
+    std::vector<Event> all;
+    for (NodeId n : data.initial.nodes()) {
+      all.push_back(Event::AddNode(data.initial_time, n));
+    }
+    for (const auto& [n, attrs] : data.initial.node_attrs()) {
+      for (const auto& [k, v] : attrs) {
+        all.push_back(Event::SetNodeAttr(data.initial_time, n, k, std::nullopt, v));
+      }
+    }
+    for (const auto& [id, rec] : data.initial.edges()) {
+      all.push_back(
+          Event::AddEdge(data.initial_time, id, rec.src, rec.dst, rec.directed));
+    }
+    all.insert(all.end(), data.events.begin(), data.events.end());
+    if (!log.Build(all).ok()) std::abort();
+  }
+
+  auto dg_store = NewSimDiskStore();
+  DeltaGraphOptions opts;
+  opts.leaf_size = L;
+  opts.arity = 4;
+  opts.functions = {"intersection"};
+  opts.maintain_current = false;
+  auto dg = BuildIndex(dg_store.get(), data, opts);
+
+  double log_total = 0, dg_total = 0;
+  for (Timestamp t : times) {
+    Stopwatch sw;
+    auto s1 = log.GetSnapshot(t, kCompAll);
+    if (!s1.ok()) std::abort();
+    log_total += sw.ElapsedMillis();
+    sw.Restart();
+    auto s2 = dg->GetSnapshot(t, kCompAll);
+    if (!s2.ok()) std::abort();
+    dg_total += sw.ElapsedMillis();
+  }
+  std::printf("log(text):  avg %s\n", FormatMs(log_total / times.size()).c_str());
+  std::printf("deltagraph: avg %s\n", FormatMs(dg_total / times.size()).c_str());
+  std::printf("log/deltagraph ratio: %.1fx (paper: 20x / 23x)\n",
+              log_total / dg_total);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hgdb
+
+int main() {
+  using namespace hgdb::bench;
+  PrintHeader("Naive Log baseline vs DeltaGraph (Section 7 text)");
+  RunOn(MakeDataset1());
+  RunOn(MakeDataset2());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Section 4.7's extensibility example as an application: maintain the
+// subgraph-pattern path index alongside the DeltaGraph and find every
+// occurrence of a labeled pattern across the entire history.
+//
+//   $ ./examples/pattern_history
+
+#include <cstdio>
+
+#include "auxiliary/path_index.h"
+#include "workload/generators.h"
+#include "workload/trace_world.h"
+
+using namespace hgdb;
+
+int main() {
+  // A labeled collaboration network: protein-interaction-flavored labels.
+  const char* kLabels[] = {"kinase", "ligase", "receptor", "channel"};
+  GeneratedTrace trace;
+  trace.world = std::make_unique<TraceWorld>(4242);
+  TraceWorld& w = *trace.world;
+  Rng& rng = w.rng();
+  Timestamp t = 1;
+  auto add_protein = [&]() {
+    const NodeId n = w.AddNode(t, 0, &trace.events);
+    w.SetNodeAttr(t, n, "label", kLabels[rng.Uniform(4)], &trace.events);
+    return n;
+  };
+  for (int i = 0; i < 10; ++i) add_protein();
+  while (trace.events.size() < 8000) {
+    t += 1;
+    const double roll = rng.NextDouble();
+    if (roll < 0.2) {
+      add_protein();
+    } else if (roll < 0.8 || w.edge_count() == 0) {
+      w.AddRandomEdge(t, false, &trace.events);
+    } else {
+      w.DeleteRandomEdge(t, &trace.events);  // Interactions also disappear.
+    }
+  }
+  std::printf("interaction history: %zu events, %zu proteins, %zu interactions\n",
+              trace.events.size(), w.node_count(), w.edge_count());
+
+  // Build the index with the auxiliary path index attached: the DeltaGraph
+  // automatically versions the auxiliary information alongside the graph.
+  auto store = NewMemKVStore();
+  PathIndex index(store.get());
+  DeltaGraphOptions opts;
+  opts.leaf_size = 800;
+  opts.arity = 4;
+  auto dg_result = DeltaGraph::Create(store.get(), opts);
+  if (!dg_result.ok()) return 1;
+  auto dg = std::move(dg_result).value();
+  dg->RegisterAuxHook(&index);
+  if (!dg->AppendAll(trace.events).ok()) return 1;
+  if (!dg->Finalize().ok()) return 1;
+  std::printf("path index entries at head: %zu\n\n", index.current().PairCount());
+
+  // Find every signaling-chain occurrence over all of history:
+  // kinase - receptor - channel - ligase.
+  PatternGraph chain;
+  chain.labels = {"kinase", "receptor", "channel", "ligase"};
+  chain.edges = {{0, 1}, {1, 2}, {2, 3}};
+  std::set<PatternMatch> matches;
+  auto occurrences = FindMatchesOverHistory(dg.get(), index, chain, &matches);
+  if (!occurrences.ok()) {
+    std::fprintf(stderr, "%s\n", occurrences.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("kinase-receptor-channel-ligase chains over history:\n");
+  std::printf("  %zu occurrences across snapshots, %zu distinct chains\n",
+              occurrences.value(), matches.size());
+  int shown = 0;
+  for (const auto& m : matches) {
+    if (++shown > 5) break;
+    std::printf("  chain: %llu - %llu - %llu - %llu\n",
+                static_cast<unsigned long long>(m[0]),
+                static_cast<unsigned long long>(m[1]),
+                static_cast<unsigned long long>(m[2]),
+                static_cast<unsigned long long>(m[3]));
+  }
+
+  // The same machinery answers a ring pattern (extra edge verified against
+  // the structure snapshot).
+  PatternGraph ring = chain;
+  ring.edges.push_back({3, 0});
+  std::set<PatternMatch> ring_matches;
+  auto ring_count = FindMatchesOverHistory(dg.get(), index, ring, &ring_matches);
+  if (ring_count.ok()) {
+    std::printf("\nclosed 4-rings of the same labels: %zu occurrences, %zu distinct\n",
+                ring_count.value(), ring_matches.size());
+  }
+  return 0;
+}

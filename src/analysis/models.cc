@@ -1,0 +1,126 @@
+#include "analysis/models.h"
+
+#include <cmath>
+
+namespace hgdb {
+
+double CurrentGraphSize(const GraphDynamics& dyn) {
+  return dyn.initial_size + dyn.num_events * (dyn.delta_star - dyn.rho_star);
+}
+
+double BalancedDeltaElements(const GraphDynamics& dyn, size_t leaf_size, int arity,
+                             int level) {
+  // Level 2 (children are leaves): (1/2)(k−1)(δ*+ρ*)L; each level up scales
+  // the inter-child distance by k.
+  const double base = 0.5 * (arity - 1) * (dyn.delta_star + dyn.rho_star) *
+                      static_cast<double>(leaf_size);
+  return base * std::pow(static_cast<double>(arity), level - 2);
+}
+
+double BalancedLevelElements(const GraphDynamics& dyn, int arity) {
+  return 0.5 * (arity - 1) * (dyn.delta_star + dyn.rho_star) * dyn.num_events;
+}
+
+double BalancedTotalDeltaElements(const GraphDynamics& dyn, size_t leaf_size,
+                                  int arity) {
+  const double leaves = dyn.num_events / static_cast<double>(leaf_size) + 1.0;
+  const double levels = std::log(leaves) / std::log(static_cast<double>(arity));
+  return (levels - 1.0) * BalancedLevelElements(dyn, arity);
+}
+
+double BalancedRootSize(const GraphDynamics& dyn) {
+  return dyn.initial_size + 0.5 * (dyn.delta_star - dyn.rho_star) * dyn.num_events;
+}
+
+double BalancedPathElements(const GraphDynamics& dyn) {
+  return 0.5 * (dyn.delta_star + dyn.rho_star) * dyn.num_events;
+}
+
+double IntersectionRootSize(const GraphDynamics& dyn) {
+  const double g0 = dyn.initial_size;
+  if (g0 <= 0) return 0.0;
+  if (dyn.rho_star == 0.0) return g0;  // Growing-only: root is exactly G0.
+  if (std::abs(dyn.delta_star - dyn.rho_star) < 1e-12) {
+    // Constant-size graph: |G0| e^(−|E|δ*/|G0|).
+    return g0 * std::exp(-dyn.num_events * dyn.delta_star / g0);
+  }
+  // General continuous-deletion survival: the graph grows as
+  // S(e) = |G0| + e(δ*−ρ*); a uniformly random deletion hits a G0 survivor
+  // with probability (survivors)/S, giving
+  //   |root| = |G0| (S_E / S_0)^(−ρ*/(δ*−ρ*)).
+  // For δ* = 2ρ* the exponent is −1, recovering |G0|²/(|G0|+ρ*|E|).
+  const double s_end = CurrentGraphSize(dyn);
+  const double exponent = -dyn.rho_star / (dyn.delta_star - dyn.rho_star);
+  return g0 * std::pow(s_end / g0, exponent);
+}
+
+double IntersectionPathElements(const GraphDynamics& dyn, double events_until_leaf) {
+  GraphDynamics at_leaf = dyn;
+  at_leaf.num_events = events_until_leaf;
+  return CurrentGraphSize(at_leaf);
+}
+
+double IntervalTreeElements(const GraphDynamics& dyn) {
+  // One interval per inserted element.
+  return dyn.delta_star * dyn.num_events + dyn.initial_size;
+}
+
+double SegmentTreeElements(const GraphDynamics& dyn) {
+  const double n = IntervalTreeElements(dyn);
+  return n * std::log2(std::max(2.0, n));
+}
+
+EventDensity FitEventDensity(const std::vector<size_t>& bucket_counts) {
+  EventDensity out;
+  if (bucket_counts.empty()) return out;
+  double total = 0;
+  for (size_t c : bucket_counts) total += static_cast<double>(c);
+  if (total <= 0) return out;
+  double running = 0;
+  out.cumulative.reserve(bucket_counts.size());
+  for (size_t c : bucket_counts) {
+    running += static_cast<double>(c);
+    out.cumulative.push_back(running / total);
+  }
+  // Least-squares fit of log g(t) = alpha log t + c over interior points
+  // (skipping empty prefixes).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < out.cumulative.size(); ++i) {
+    const double t = static_cast<double>(i + 1) / out.cumulative.size();
+    const double g = out.cumulative[i];
+    if (g <= 0) continue;
+    const double x = std::log(t), y = std::log(g);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n >= 2 && sxx * n - sx * sx > 1e-12) {
+    out.growth_exponent = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  }
+  return out;
+}
+
+double RecommendedMixedRatio(const EventDensity& density) {
+  // Linear growth -> 0.5 (Balanced). Super-linear growth concentrates events
+  // near the present; shifting r toward 1 moves delta mass toward newer
+  // snapshots so latencies stay uniform over *time* rather than over events.
+  const double alpha = std::max(1.0, density.growth_exponent);
+  return std::min(0.95, 0.5 + 0.2 * (alpha - 1.0));
+}
+
+GraphDynamics EstimateDynamics(size_t inserts, size_t deletes, size_t total_events,
+                               double initial_size) {
+  GraphDynamics dyn;
+  dyn.num_events = static_cast<double>(total_events);
+  dyn.initial_size = initial_size;
+  if (total_events > 0) {
+    dyn.delta_star = static_cast<double>(inserts) / total_events;
+    dyn.rho_star = static_cast<double>(deletes) / total_events;
+  }
+  return dyn;
+}
+
+}  // namespace hgdb

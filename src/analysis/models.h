@@ -1,0 +1,111 @@
+#ifndef HISTGRAPH_ANALYSIS_MODELS_H_
+#define HISTGRAPH_ANALYSIS_MODELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hgdb {
+
+/// \brief The constant-rate model of graph dynamics (Section 5.1).
+///
+/// A δ* fraction of events insert an element, a ρ* fraction delete one
+/// (δ* + ρ* <= 1; the remainder are transient events). The graph size after
+/// |E| events is |G0| + |E|(δ* − ρ*).
+struct GraphDynamics {
+  double delta_star = 0.5;  ///< Insert fraction.
+  double rho_star = 0.0;    ///< Delete fraction.
+  double initial_size = 0;  ///< |G0| in elements.
+  double num_events = 0;    ///< |E|.
+};
+
+/// |G_{|E|}| = |G0| + |E|(δ* − ρ*).
+double CurrentGraphSize(const GraphDynamics& dyn);
+
+// ---------------------------------------------------------------------------
+// Balanced differential function (Section 5.3)
+// ---------------------------------------------------------------------------
+
+/// |Δ(p, c_i)| for an interior node at `level` (leaves are level 1, their
+/// parents level 2): (1/2)(k−1) k^(level−2) (δ*+ρ*) L, identical for every
+/// child of the node.
+double BalancedDeltaElements(const GraphDynamics& dyn, size_t leaf_size, int arity,
+                             int level);
+
+/// Total delta elements at one level — the surprising result that every
+/// level costs the same: (1/2)(k−1)(δ*+ρ*)|E|.
+double BalancedLevelElements(const GraphDynamics& dyn, int arity);
+
+/// Total elements across all interior deltas (excluding the super-root
+/// edge): (log_k N − 1)/2 · (k−1)(δ*+ρ*)|E| with N = |E|/L + 1 leaves.
+double BalancedTotalDeltaElements(const GraphDynamics& dyn, size_t leaf_size,
+                                  int arity);
+
+/// Size of the root snapshot: |G0| + (1/2)(δ* − ρ*)|E| (independent of k).
+double BalancedRootSize(const GraphDynamics& dyn);
+
+/// Weight (elements fetched) of the shortest root-to-leaf path:
+/// (1/2)(δ*+ρ*)|E| — the same for every leaf, hence the Balanced function's
+/// uniform retrieval latencies.
+double BalancedPathElements(const GraphDynamics& dyn);
+
+// ---------------------------------------------------------------------------
+// Intersection differential function (Section 5.3)
+// ---------------------------------------------------------------------------
+
+/// Size of the root (the elements of G0 that survive the whole trace).
+/// Closed forms from the paper:
+///   ρ* = 0      : |G0| (growing-only);
+///   δ* = ρ*     : |G0| e^(−|E|δ*/|G0|);
+///   δ* = 2ρ*    : |G0|² / (|G0| + ρ*|E|);
+/// and the general continuous-deletion solution
+///   |G0| · (S_E/S_0)^(−ρ*/(δ*−ρ*)) for δ* ≠ ρ*,
+/// which reduces to the paper's two non-trivial special cases.
+double IntersectionRootSize(const GraphDynamics& dyn);
+
+/// With Intersection, the shortest super-root-to-leaf weight equals the leaf
+/// snapshot's own size (each interior node is a subset of its children), so
+/// retrieval cost is skewed toward newer (larger) snapshots.
+double IntersectionPathElements(const GraphDynamics& dyn, double events_until_leaf);
+
+// ---------------------------------------------------------------------------
+// Qualitative space comparisons (Section 5.4)
+// ---------------------------------------------------------------------------
+
+/// Interval-tree space: one record per element interval, ~|E|/2 .. |E|.
+double IntervalTreeElements(const GraphDynamics& dyn);
+
+/// Segment-tree space: O(|E| log |E|) stored entries.
+double SegmentTreeElements(const GraphDynamics& dyn);
+
+/// Estimates the empirical (δ*, ρ*) of an event trace: pass counts of insert
+/// and delete events.
+GraphDynamics EstimateDynamics(size_t inserts, size_t deletes, size_t total_events,
+                               double initial_size);
+
+// ---------------------------------------------------------------------------
+// Event density over time — g(t) (Section 5.1)
+// ---------------------------------------------------------------------------
+
+/// \brief Empirical event density: g(t) = number of events in [0, t],
+/// sampled over uniform buckets. "For most real-world networks, we expect
+/// g(t) to be a super-linear function of t"; the Mixed function's r1, r2
+/// should then exceed 0.5 for uniform retrieval latencies over *time*
+/// (Section 5.4).
+struct EventDensity {
+  std::vector<double> cumulative;  ///< g at each bucket boundary (fractions).
+  double growth_exponent = 1.0;    ///< Fitted alpha in g(t) ~ t^alpha.
+
+  bool IsSuperLinear() const { return growth_exponent > 1.05; }
+};
+
+/// Fits the density from per-bucket event counts (chronological).
+EventDensity FitEventDensity(const std::vector<size_t>& bucket_counts);
+
+/// Recommends Mixed-function parameters for uniform query latency over time
+/// given the density: 0.5 for linear g(t), larger for super-linear.
+double RecommendedMixedRatio(const EventDensity& density);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_ANALYSIS_MODELS_H_

@@ -1,0 +1,156 @@
+#include "auxiliary/aux_snapshot.h"
+
+#include "common/coding.h"
+
+namespace hgdb {
+
+bool AuxSnapshot::Remove(const std::string& key, const std::string& value) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  const bool removed = it->second.erase(value) > 0;
+  if (it->second.empty()) map_.erase(it);
+  return removed;
+}
+
+bool AuxSnapshot::Contains(const std::string& key, const std::string& value) const {
+  auto it = map_.find(key);
+  return it != map_.end() && it->second.contains(value);
+}
+
+size_t AuxSnapshot::PairCount() const {
+  size_t n = 0;
+  for (const auto& [k, vs] : map_) n += vs.size();
+  return n;
+}
+
+Status ApplyAuxEvents(const std::vector<AuxEvent>& events, bool forward, Timestamp lo,
+                      Timestamp hi, AuxSnapshot* snap) {
+  if (forward) {
+    for (const auto& e : events) {
+      if (e.time <= lo) continue;
+      if (e.time > hi) break;
+      if (e.add) {
+        snap->Add(e.key, e.value);
+      } else {
+        snap->Remove(e.key, e.value);
+      }
+    }
+  } else {
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+      if (it->time > hi) continue;
+      if (it->time <= lo) break;
+      if (it->add) {
+        snap->Remove(it->key, it->value);  // Undo the add.
+      } else {
+        snap->Add(it->key, it->value);  // Undo the delete.
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void EncodeAuxEvents(const std::vector<AuxEvent>& events, std::string* out) {
+  out->clear();
+  PutVarint64(out, events.size());
+  for (const auto& e : events) {
+    PutVarsint64(out, e.time);
+    out->push_back(e.add ? 1 : 0);
+    PutLengthPrefixedSlice(out, Slice(e.key));
+    PutLengthPrefixedSlice(out, Slice(e.value));
+  }
+}
+
+Status DecodeAuxEvents(const Slice& blob, std::vector<AuxEvent>* out) {
+  Slice in = blob;
+  uint64_t count = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(&in, &count, "aux event count"));
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    AuxEvent e;
+    if (!GetVarsint64(&in, &e.time)) return Status::Corruption("aux event time");
+    if (in.empty()) return Status::Corruption("aux event flag");
+    e.add = in[0] != 0;
+    in.RemovePrefix(1);
+    HG_RETURN_NOT_OK(ExpectLengthPrefixedString(&in, &e.key, "aux event key"));
+    HG_RETURN_NOT_OK(ExpectLengthPrefixedString(&in, &e.value, "aux event value"));
+    out->push_back(std::move(e));
+  }
+  if (!in.empty()) return Status::Corruption("aux events: trailing bytes");
+  return Status::OK();
+}
+
+AuxDelta AuxDelta::Between(const AuxSnapshot& target, const AuxSnapshot& source) {
+  AuxDelta d;
+  for (const auto& [k, vs] : target.entries()) {
+    for (const auto& v : vs) {
+      if (!source.Contains(k, v)) d.add.emplace_back(k, v);
+    }
+  }
+  for (const auto& [k, vs] : source.entries()) {
+    for (const auto& v : vs) {
+      if (!target.Contains(k, v)) d.del.emplace_back(k, v);
+    }
+  }
+  return d;
+}
+
+Status AuxDelta::ApplyTo(AuxSnapshot* snap, bool forward) const {
+  const auto& plus = forward ? add : del;
+  const auto& minus = forward ? del : add;
+  for (const auto& [k, v] : minus) snap->Remove(k, v);
+  for (const auto& [k, v] : plus) snap->Add(k, v);
+  return Status::OK();
+}
+
+void AuxDelta::EncodeTo(std::string* out) const {
+  out->clear();
+  auto encode_side = [out](const std::vector<std::pair<std::string, std::string>>& s) {
+    PutVarint64(out, s.size());
+    for (const auto& [k, v] : s) {
+      PutLengthPrefixedSlice(out, Slice(k));
+      PutLengthPrefixedSlice(out, Slice(v));
+    }
+  };
+  encode_side(add);
+  encode_side(del);
+}
+
+Status AuxDelta::DecodeFrom(const Slice& blob, AuxDelta* out) {
+  Slice in = blob;
+  auto decode_side =
+      [&in](std::vector<std::pair<std::string, std::string>>* s) -> Status {
+    uint64_t count = 0;
+    HG_RETURN_NOT_OK(ExpectVarint64(&in, &count, "aux delta count"));
+    s->clear();
+    s->reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string k, v;
+      HG_RETURN_NOT_OK(ExpectLengthPrefixedString(&in, &k, "aux delta key"));
+      HG_RETURN_NOT_OK(ExpectLengthPrefixedString(&in, &v, "aux delta value"));
+      s->emplace_back(std::move(k), std::move(v));
+    }
+    return Status::OK();
+  };
+  HG_RETURN_NOT_OK(decode_side(&out->add));
+  HG_RETURN_NOT_OK(decode_side(&out->del));
+  if (!in.empty()) return Status::Corruption("aux delta: trailing bytes");
+  return Status::OK();
+}
+
+AuxSnapshot AuxIntersect(const std::vector<const AuxSnapshot*>& children) {
+  AuxSnapshot out;
+  if (children.empty()) return out;
+  for (const auto& [k, vs] : children[0]->entries()) {
+    for (const auto& v : vs) {
+      bool in_all = true;
+      for (size_t i = 1; i < children.size() && in_all; ++i) {
+        in_all = children[i]->Contains(k, v);
+      }
+      if (in_all) out.Add(k, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace hgdb

@@ -1,0 +1,86 @@
+#ifndef HISTGRAPH_AUXILIARY_AUX_SNAPSHOT_H_
+#define HISTGRAPH_AUXILIARY_AUX_SNAPSHOT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hgdb {
+
+/// \brief AuxiliarySnapshot (Section 4.7): "a hashtable of string key-value
+/// pairs". Keys may map to multiple values (e.g. all data-graph paths
+/// matching a label quartet); the element unit for deltas is the (key, value)
+/// pair.
+class AuxSnapshot {
+ public:
+  bool Add(const std::string& key, const std::string& value) {
+    return map_[key].insert(value).second;
+  }
+  bool Remove(const std::string& key, const std::string& value);
+  bool Contains(const std::string& key, const std::string& value) const;
+
+  /// All values for a key (nullptr if none).
+  const std::set<std::string>* Get(const std::string& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t PairCount() const;
+  bool Empty() const { return map_.empty(); }
+  const std::map<std::string, std::set<std::string>>& entries() const { return map_; }
+
+  bool Equals(const AuxSnapshot& other) const { return map_ == other.map_; }
+  void Clear() { map_.clear(); }
+
+ private:
+  std::map<std::string, std::set<std::string>> map_;
+};
+
+/// \brief AuxiliaryEvent (Section 4.7): timestamp, an add/delete flag, and a
+/// key-value pair. A value change is modeled as delete + add, keeping every
+/// aux event invertible (backward application flips the flag).
+struct AuxEvent {
+  Timestamp time = 0;
+  bool add = true;
+  std::string key, value;
+
+  bool operator==(const AuxEvent& other) const {
+    return time == other.time && add == other.add && key == other.key &&
+           value == other.value;
+  }
+};
+
+/// Applies events with lo < time <= hi to `snap` (backward flips add/delete
+/// and processes newest-first).
+Status ApplyAuxEvents(const std::vector<AuxEvent>& events, bool forward, Timestamp lo,
+                      Timestamp hi, AuxSnapshot* snap);
+
+void EncodeAuxEvents(const std::vector<AuxEvent>& events, std::string* out);
+Status DecodeAuxEvents(const Slice& blob, std::vector<AuxEvent>* out);
+
+/// \brief Difference between two auxiliary snapshots; applying it forward to
+/// `source` yields `target` (the aux analogue of Delta).
+struct AuxDelta {
+  std::vector<std::pair<std::string, std::string>> add, del;
+
+  static AuxDelta Between(const AuxSnapshot& target, const AuxSnapshot& source);
+  Status ApplyTo(AuxSnapshot* snap, bool forward) const;
+  size_t PairCount() const { return add.size() + del.size(); }
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(const Slice& blob, AuxDelta* out);
+};
+
+/// The differential function for auxiliary hierarchies used by the pattern
+/// index: a pair belongs to the parent iff it belongs to *all* children
+/// ("present in all the snapshots below that interior node").
+AuxSnapshot AuxIntersect(const std::vector<const AuxSnapshot*>& children);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_AUXILIARY_AUX_SNAPSHOT_H_

@@ -1,0 +1,367 @@
+#include "auxiliary/path_index.h"
+
+#include <algorithm>
+
+namespace hgdb {
+
+namespace {
+
+std::vector<NodeId> Canonical(std::vector<NodeId> path) {
+  std::vector<NodeId> rev(path.rbegin(), path.rend());
+  return rev < path ? rev : path;
+}
+
+}  // namespace
+
+std::string PathIndex::QuartetKey(const std::vector<std::string>& labels) {
+  std::string key;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += '|';
+    key += labels[i];
+  }
+  return key;
+}
+
+std::string PathIndex::PathValue(const std::vector<NodeId>& nodes) {
+  std::string v;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) v += ',';
+    v += std::to_string(nodes[i]);
+  }
+  return v;
+}
+
+std::vector<NodeId> PathIndex::ParsePathValue(const std::string& value) {
+  std::vector<NodeId> out;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    out.push_back(std::strtoull(value.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+const std::string* PathIndex::LabelOf(NodeId n, const Snapshot& g) const {
+  return g.GetNodeAttr(n, label_attr_);
+}
+
+void PathIndex::EnumeratePathsThroughEdge(
+    NodeId u, NodeId v, const Snapshot& g,
+    std::vector<std::vector<NodeId>>* out) const {
+  (void)g;
+  auto neighbors = [this](NodeId n) -> const std::unordered_map<NodeId, int>* {
+    auto it = adj_.find(n);
+    return it == adj_.end() ? nullptr : &it->second;
+  };
+  auto distinct = [](NodeId a, NodeId b, NodeId c, NodeId d) {
+    return a != b && a != c && a != d && b != c && b != d && c != d;
+  };
+  const auto* nu = neighbors(u);
+  const auto* nv = neighbors(v);
+  if (nu == nullptr || nv == nullptr) return;
+
+  // Edge in the middle: x - u - v - y.
+  for (const auto& [x, cx] : *nu) {
+    for (const auto& [y, cy] : *nv) {
+      if (distinct(x, u, v, y)) out->push_back({x, u, v, y});
+    }
+  }
+  // Edge leading: u - v - w - x and (reversed role) v - u - w - x.
+  for (const auto& [w, cw] : *nv) {
+    if (w == u) continue;
+    const auto* nw = neighbors(w);
+    if (nw == nullptr) continue;
+    for (const auto& [x, cx] : *nw) {
+      if (distinct(u, v, w, x)) out->push_back({u, v, w, x});
+    }
+  }
+  for (const auto& [w, cw] : *nu) {
+    if (w == v) continue;
+    const auto* nw = neighbors(w);
+    if (nw == nullptr) continue;
+    for (const auto& [x, cx] : *nw) {
+      if (distinct(v, u, w, x)) out->push_back({v, u, w, x});
+    }
+  }
+}
+
+Status PathIndex::BuildOnInitialSnapshot(const Snapshot& g0) {
+  adj_.clear();
+  for (const auto& [id, rec] : g0.edges()) {
+    if (rec.src == rec.dst) continue;
+    adj_[rec.src][rec.dst] += 1;
+    adj_[rec.dst][rec.src] += 1;
+  }
+  current_ = EnumerateAllLabelPaths(g0, label_attr_);
+  recent_.clear();
+  return Status::OK();
+}
+
+std::vector<AuxEvent> PathIndex::CreateAuxEvents(const Event& e,
+                                                 const Snapshot& graph_after) {
+  std::vector<AuxEvent> out;
+  switch (e.type) {
+    case EventType::kNodeAttr:
+      // Labels are assigned at node creation and treated as immutable (the
+      // paper assigns each node a random label once).
+      return out;
+    case EventType::kAddEdge: {
+      const bool new_pair = adj_[e.src][e.dst] == 0 && e.src != e.dst;
+      adj_[e.src][e.dst] += 1;
+      adj_[e.dst][e.src] += 1;
+      if (!new_pair) return out;  // A parallel edge creates no new node path.
+      std::vector<std::vector<NodeId>> paths;
+      EnumeratePathsThroughEdge(e.src, e.dst, graph_after, &paths);
+      std::set<std::pair<std::string, std::string>> emitted;
+      for (auto& p : paths) {
+        std::vector<NodeId> canon = Canonical(p);
+        std::vector<std::string> labels;
+        bool ok = true;
+        for (NodeId n : canon) {
+          const std::string* l = LabelOf(n, graph_after);
+          if (l == nullptr) {
+            ok = false;
+            break;
+          }
+          labels.push_back(*l);
+        }
+        if (!ok) continue;
+        auto kv = std::make_pair(QuartetKey(labels), PathValue(canon));
+        if (!emitted.insert(kv).second) continue;
+        out.push_back(AuxEvent{e.time, true, kv.first, kv.second});
+      }
+      return out;
+    }
+    case EventType::kDeleteEdge: {
+      auto uit = adj_.find(e.src);
+      if (uit == adj_.end()) return out;
+      auto cnt = uit->second.find(e.dst);
+      if (cnt == uit->second.end()) return out;
+      const bool last_pair = cnt->second == 1;
+      if (last_pair) {
+        // Enumerate while the pair is still adjacent, then drop it.
+        std::vector<std::vector<NodeId>> paths;
+        EnumeratePathsThroughEdge(e.src, e.dst, graph_after, &paths);
+        std::set<std::pair<std::string, std::string>> emitted;
+        for (auto& p : paths) {
+          std::vector<NodeId> canon = Canonical(p);
+          std::vector<std::string> labels;
+          bool ok = true;
+          for (NodeId n : canon) {
+            const std::string* l = LabelOf(n, graph_after);
+            if (l == nullptr) {
+              // The node may already have lost its attributes (deletion
+              // protocol removes attrs first); fall back to any label the
+              // index saw when the path was created — conservatively skip.
+              ok = false;
+              break;
+            }
+            labels.push_back(*l);
+          }
+          if (!ok) continue;
+          auto kv = std::make_pair(QuartetKey(labels), PathValue(canon));
+          if (!emitted.insert(kv).second) continue;
+          out.push_back(AuxEvent{e.time, false, kv.first, kv.second});
+        }
+      }
+      adj_[e.src][e.dst] -= 1;
+      adj_[e.dst][e.src] -= 1;
+      if (adj_[e.src][e.dst] == 0) {
+        adj_[e.src].erase(e.dst);
+        adj_[e.dst].erase(e.src);
+      }
+      return out;
+    }
+    default:
+      return out;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern matching over history
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Finds a simple 4-node path in the pattern (pattern-node indices), or empty.
+std::vector<int> FindPatternPath(const PatternGraph& pattern) {
+  const int n = static_cast<int>(pattern.labels.size());
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& [a, b] : pattern.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> path;
+  std::vector<bool> used(n, false);
+  std::function<bool(int)> dfs = [&](int v) -> bool {
+    path.push_back(v);
+    used[v] = true;
+    if (path.size() == 4) return true;
+    for (int w : adj[v]) {
+      if (!used[w] && dfs(w)) return true;
+    }
+    path.pop_back();
+    used[v] = false;
+    return false;
+  };
+  for (int v = 0; v < n; ++v) {
+    if (dfs(v)) return path;
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<size_t> FindMatchesOverHistory(DeltaGraph* dg, const PathIndex& index,
+                                      const PatternGraph& pattern,
+                                      std::set<PatternMatch>* distinct_matches) {
+  if (pattern.labels.size() < 4) {
+    return Status::NotSupported(
+        "pattern must contain a path over 4 nodes (paper's decomposition unit)");
+  }
+  const std::vector<int> ppath = FindPatternPath(pattern);
+  if (ppath.size() != 4) {
+    return Status::NotSupported("pattern has no simple 4-node path");
+  }
+  std::vector<std::string> path_labels;
+  for (int v : ppath) path_labels.push_back(pattern.labels[v]);
+  std::vector<std::string> rev_labels(path_labels.rbegin(), path_labels.rend());
+  const std::string key_fwd = PathIndex::QuartetKey(path_labels);
+  const std::string key_rev = PathIndex::QuartetKey(rev_labels);
+
+  // Pattern edges not covered by the chosen path must be verified against
+  // the graph snapshot.
+  std::vector<std::pair<int, int>> extra_edges;
+  auto on_path = [&](int a, int b) {
+    for (size_t i = 0; i + 1 < ppath.size(); ++i) {
+      if ((ppath[i] == a && ppath[i + 1] == b) || (ppath[i] == b && ppath[i + 1] == a)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& [a, b] : pattern.edges) {
+    if (!on_path(a, b)) extra_edges.emplace_back(a, b);
+  }
+  // Pattern-node index -> position in ppath (all four must be on the path
+  // for this decomposition-based matcher).
+  std::vector<int> pos_of(pattern.labels.size(), -1);
+  for (size_t i = 0; i < ppath.size(); ++i) pos_of[ppath[i]] = static_cast<int>(i);
+  if (pattern.labels.size() > 4) {
+    return Status::NotSupported("patterns over more than 4 nodes are not supported");
+  }
+
+  size_t total = 0;
+  const Skeleton& skel = dg->skeleton();
+  for (int32_t leaf : skel.leaves()) {
+    const Timestamp t = skel.node(leaf).boundary_time;
+    auto state = dg->GetAuxState(index, t);
+    if (!state.ok()) return state.status();
+    const auto& aux = static_cast<const AuxSnapshotState&>(*state.value()).snapshot;
+
+    // Candidate data paths from the index (both orientations).
+    std::vector<std::pair<std::vector<NodeId>, bool>> candidates;  // (path, reversed)
+    if (const auto* vals = aux.Get(key_fwd)) {
+      for (const auto& v : *vals) candidates.emplace_back(PathIndex::ParsePathValue(v), false);
+    }
+    if (key_rev != key_fwd) {
+      if (const auto* vals = aux.Get(key_rev)) {
+        for (const auto& v : *vals) {
+          auto nodes = PathIndex::ParsePathValue(v);
+          std::reverse(nodes.begin(), nodes.end());
+          candidates.emplace_back(std::move(nodes), true);
+        }
+      }
+    } else if (const auto* vals = aux.Get(key_fwd)) {
+      // Palindromic label quartets match in both orientations.
+      for (const auto& v : *vals) {
+        auto nodes = PathIndex::ParsePathValue(v);
+        std::reverse(nodes.begin(), nodes.end());
+        candidates.emplace_back(std::move(nodes), true);
+      }
+    }
+
+    // Verify extra edges against the structure snapshot (fetched lazily).
+    Snapshot snap;
+    bool have_snap = false;
+    std::set<std::pair<NodeId, NodeId>> adj_pairs;
+    if (!extra_edges.empty()) {
+      auto s = dg->GetSnapshot(t, kCompStruct);
+      if (!s.ok()) return s.status();
+      snap = std::move(s).value();
+      have_snap = true;
+      for (const auto& [id, rec] : snap.edges()) {
+        adj_pairs.emplace(std::min(rec.src, rec.dst), std::max(rec.src, rec.dst));
+      }
+    }
+    (void)have_snap;
+
+    std::set<PatternMatch> matches_here;
+    for (const auto& [nodes, reversed] : candidates) {
+      if (nodes.size() != 4) continue;
+      // Bind pattern nodes via their path positions.
+      PatternMatch binding(pattern.labels.size(), kInvalidNodeId);
+      bool ok = true;
+      for (size_t pv = 0; pv < pattern.labels.size(); ++pv) {
+        if (pos_of[pv] < 0) {
+          ok = false;
+          break;
+        }
+        binding[pv] = nodes[pos_of[pv]];
+      }
+      if (!ok) continue;
+      for (const auto& [a, b] : extra_edges) {
+        const NodeId x = binding[a], y = binding[b];
+        if (!adj_pairs.contains({std::min(x, y), std::max(x, y)})) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) matches_here.insert(binding);
+    }
+    total += matches_here.size();
+    if (distinct_matches != nullptr) {
+      distinct_matches->insert(matches_here.begin(), matches_here.end());
+    }
+  }
+  return total;
+}
+
+AuxSnapshot EnumerateAllLabelPaths(const Snapshot& g, const std::string& label_attr) {
+  AuxSnapshot out;
+  std::unordered_map<NodeId, std::set<NodeId>> adj;
+  for (const auto& [id, rec] : g.edges()) {
+    if (rec.src == rec.dst) continue;
+    adj[rec.src].insert(rec.dst);
+    adj[rec.dst].insert(rec.src);
+  }
+  for (const auto& [a, na] : adj) {
+    for (NodeId b : na) {
+      for (NodeId c : adj[b]) {
+        if (c == a || c == b) continue;
+        for (NodeId d : adj[c]) {
+          if (d == a || d == b || d == c) continue;
+          std::vector<NodeId> path = {a, b, c, d};
+          std::vector<NodeId> canon = Canonical(path);
+          std::vector<std::string> labels;
+          bool ok = true;
+          for (NodeId n : canon) {
+            const std::string* l = g.GetNodeAttr(n, label_attr);
+            if (l == nullptr) {
+              ok = false;
+              break;
+            }
+            labels.push_back(*l);
+          }
+          if (!ok) continue;
+          out.Add(PathIndex::QuartetKey(labels), PathIndex::PathValue(canon));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hgdb

@@ -1,0 +1,422 @@
+#include "baselines/copy_log_index.h"
+
+#include "graph/delta.h"
+
+namespace hgdb {
+
+namespace {
+
+constexpr ComponentMask kDeltaComponents[3] = {kCompStruct, kCompNodeAttr,
+                                               kCompEdgeAttr};
+constexpr ComponentMask kAllComponents[4] = {kCompStruct, kCompNodeAttr,
+                                             kCompEdgeAttr, kCompTransient};
+constexpr char kTag[4] = {'s', 'n', 'e', 't'};
+
+std::string Key(const char* prefix, uint64_t id, int c) {
+  return std::string(prefix) + std::to_string(id) + "/" + kTag[c];
+}
+
+}  // namespace
+
+void EncodeSnapshot(const Snapshot& snap, unsigned components, std::string* out) {
+  // A full snapshot is exactly the delta from the empty graph; the blob is a
+  // sequence of (component tag, length-prefixed component blob) pairs.
+  static const Snapshot kEmpty;
+  Delta d = Delta::Between(snap, kEmpty);
+  out->clear();
+  for (int c = 0; c < 3; ++c) {
+    if ((components & kDeltaComponents[c]) == 0) continue;
+    std::string blob;
+    d.EncodeComponent(kDeltaComponents[c], &blob);
+    out->push_back(kTag[c]);
+    PutLengthPrefixedSlice(out, blob);
+  }
+}
+
+Status DecodeSnapshot(const Slice& blob, Snapshot* out) {
+  Delta d;
+  Slice in = blob;
+  while (!in.empty()) {
+    const char tag = in[0];
+    in.RemovePrefix(1);
+    Slice component;
+    if (!GetLengthPrefixedSlice(&in, &component)) {
+      return Status::Corruption("snapshot blob: truncated component");
+    }
+    int index = -1;
+    for (int c = 0; c < 3; ++c) {
+      if (kTag[c] == tag) index = c;
+    }
+    if (index < 0) return Status::Corruption("snapshot blob: unknown component tag");
+    HG_RETURN_NOT_OK(d.DecodeComponent(kDeltaComponents[index], component));
+  }
+  *out = Snapshot();
+  return d.ApplyTo(out, true, kCompAll);
+}
+
+// ---------------------------------------------------------------------------
+// CopyLogIndex
+// ---------------------------------------------------------------------------
+
+Status CopyLogIndex::Build(const std::vector<Event>& events) {
+  Snapshot current;
+  EventList pending;
+  static const Snapshot kEmpty;
+
+  auto store_snapshot = [&](Timestamp boundary) -> Status {
+    Checkpoint cp;
+    cp.boundary = boundary;
+    cp.snapshot_id = next_id_++;
+    cp.eventlist_id = 0;
+    Delta d = Delta::Between(current, kEmpty);
+    std::string blob;
+    for (int c = 0; c < 3; ++c) {
+      d.EncodeComponent(kDeltaComponents[c], &blob);
+      if (blob.empty()) continue;
+      HG_RETURN_NOT_OK(store_->Put(Key("cl/s/", cp.snapshot_id, c), blob));
+      cp.snapshot_bytes[c] = blob.size();
+    }
+    checkpoints_.push_back(cp);
+    return Status::OK();
+  };
+
+  auto flush_events = [&]() -> Status {
+    if (pending.empty() || checkpoints_.empty()) return Status::OK();
+    Checkpoint& cp = checkpoints_.back();
+    cp.eventlist_id = next_id_++;
+    std::string blob;
+    for (int c = 0; c < 4; ++c) {
+      pending.EncodeComponent(kAllComponents[c], &blob);
+      if (pending.CountComponent(kAllComponents[c]) == 0) continue;
+      HG_RETURN_NOT_OK(store_->Put(Key("cl/e/", cp.eventlist_id, c), blob));
+      cp.eventlist_bytes[c] = blob.size();
+    }
+    pending.Clear();
+    return Status::OK();
+  };
+
+  for (const auto& e : events) {
+    if (checkpoints_.empty()) {
+      HG_RETURN_NOT_OK(store_snapshot(e.time - 1));
+    }
+    // Checkpoint at time boundaries once L events have accumulated (equal-
+    // time events never straddle a checkpoint).
+    if (pending.size() >= leaf_size_ && e.time > pending.EndTime()) {
+      const Timestamp boundary = pending.EndTime();
+      HG_RETURN_NOT_OK(flush_events());
+      HG_RETURN_NOT_OK(store_snapshot(boundary));
+    }
+    HG_RETURN_NOT_OK(current.Apply(e, true));
+    pending.Append(e);
+  }
+  return flush_events();
+}
+
+Result<Snapshot> CopyLogIndex::GetSnapshot(Timestamp t, unsigned components) {
+  if (checkpoints_.empty()) return Snapshot();
+  // Latest checkpoint with boundary <= t.
+  int lo = 0, hi = static_cast<int>(checkpoints_.size()) - 1, best = 0;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    if (checkpoints_[mid].boundary <= t) {
+      best = mid;
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const Checkpoint& cp = checkpoints_[best];
+
+  Snapshot snap;
+  Delta d;
+  std::string blob;
+  for (int c = 0; c < 3; ++c) {
+    if ((components & kDeltaComponents[c]) == 0) continue;
+    if (cp.snapshot_bytes[c] == 0) continue;
+    HG_RETURN_NOT_OK(store_->Get(Key("cl/s/", cp.snapshot_id, c), &blob));
+    HG_RETURN_NOT_OK(d.DecodeComponent(kDeltaComponents[c], blob));
+  }
+  HG_RETURN_NOT_OK(d.ApplyTo(&snap, true, components));
+
+  if (cp.eventlist_id != 0 && t > cp.boundary) {
+    EventList el;
+    for (int c = 0; c < 4; ++c) {
+      if ((components & kAllComponents[c]) == 0) continue;
+      if (cp.eventlist_bytes[c] == 0) continue;
+      HG_RETURN_NOT_OK(store_->Get(Key("cl/e/", cp.eventlist_id, c), &blob));
+      HG_RETURN_NOT_OK(el.DecodeAndMergeComponent(blob));
+    }
+    el.FinalizeMerge();
+    for (const auto& e : el.events()) {
+      if (e.time > t) break;
+      HG_RETURN_NOT_OK(snap.Apply(e, true, components));
+    }
+  }
+  return snap;
+}
+
+size_t CopyLogIndex::MemoryBytes() const {
+  return checkpoints_.capacity() * sizeof(Checkpoint);
+}
+
+// ---------------------------------------------------------------------------
+// LogIndex
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Escapes a string token for the text log (spaces/backslashes/newlines).
+void AppendToken(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case ' ':
+        *out += "\\s";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+std::string UnescapeToken(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out.push_back(s[i] == 's' ? ' ' : s[i] == 'n' ? '\n' : s[i]);
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+// "-" encodes an absent optional; real values are prefixed with "=" so an
+// actual "-" round-trips.
+void AppendOptional(const std::optional<std::string>& v, std::string* out) {
+  if (!v.has_value()) {
+    *out += "-";
+  } else {
+    *out += "=";
+    AppendToken(*v, out);
+  }
+}
+
+std::optional<std::string> ParseOptional(const std::string& token) {
+  if (token == "-") return std::nullopt;
+  return UnescapeToken(token.substr(1));
+}
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    size_t space = pos;
+    // Find an unescaped space.
+    while (space < line.size() &&
+           !(line[space] == ' ' && (space == pos || line[space - 1] != '\\'))) {
+      // Escaped spaces are "\s", so a raw ' ' is always a separator; the
+      // check above is defensive.
+      if (line[space] == ' ') break;
+      ++space;
+    }
+    out.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+    if (space >= line.size()) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+void EncodeEventText(const Event& e, std::string* out) {
+  char buf[64];
+  switch (e.type) {
+    case EventType::kAddNode:
+      std::snprintf(buf, sizeof(buf), "NN %llu %lld",
+                    static_cast<unsigned long long>(e.node),
+                    static_cast<long long>(e.time));
+      *out += buf;
+      return;
+    case EventType::kDeleteNode:
+      std::snprintf(buf, sizeof(buf), "DN %llu %lld",
+                    static_cast<unsigned long long>(e.node),
+                    static_cast<long long>(e.time));
+      *out += buf;
+      return;
+    case EventType::kAddEdge:
+    case EventType::kDeleteEdge:
+      std::snprintf(buf, sizeof(buf), "%s %llu %llu %llu %c %lld",
+                    e.type == EventType::kAddEdge ? "NE" : "DE",
+                    static_cast<unsigned long long>(e.edge),
+                    static_cast<unsigned long long>(e.src),
+                    static_cast<unsigned long long>(e.dst),
+                    e.directed ? 'd' : 'u', static_cast<long long>(e.time));
+      *out += buf;
+      return;
+    case EventType::kNodeAttr:
+    case EventType::kEdgeAttr: {
+      *out += e.type == EventType::kNodeAttr ? "UNA " : "UEA ";
+      std::snprintf(buf, sizeof(buf), "%llu ",
+                    static_cast<unsigned long long>(
+                        e.type == EventType::kNodeAttr ? e.node : e.edge));
+      *out += buf;
+      AppendToken(e.key, out);
+      *out += ' ';
+      AppendOptional(e.old_value, out);
+      *out += ' ';
+      AppendOptional(e.new_value, out);
+      std::snprintf(buf, sizeof(buf), " %lld", static_cast<long long>(e.time));
+      *out += buf;
+      return;
+    }
+    case EventType::kTransientEdge:
+      std::snprintf(buf, sizeof(buf), "TE %llu %llu ",
+                    static_cast<unsigned long long>(e.src),
+                    static_cast<unsigned long long>(e.dst));
+      *out += buf;
+      AppendToken(e.key, out);
+      std::snprintf(buf, sizeof(buf), " %lld", static_cast<long long>(e.time));
+      *out += buf;
+      return;
+    case EventType::kTransientNode:
+      std::snprintf(buf, sizeof(buf), "TN %llu ",
+                    static_cast<unsigned long long>(e.node));
+      *out += buf;
+      AppendToken(e.key, out);
+      std::snprintf(buf, sizeof(buf), " %lld", static_cast<long long>(e.time));
+      *out += buf;
+      return;
+  }
+}
+
+Status DecodeEventText(const std::string& line, Event* out) {
+  const std::vector<std::string> tok = SplitTokens(line);
+  auto bad = [&line]() {
+    return Status::Corruption("text log: bad line: " + line);
+  };
+  if (tok.empty()) return bad();
+  const std::string& kind = tok[0];
+  auto num = [](const std::string& s) { return std::strtoull(s.c_str(), nullptr, 10); };
+  auto snum = [](const std::string& s) { return std::strtoll(s.c_str(), nullptr, 10); };
+  if (kind == "NN" || kind == "DN") {
+    if (tok.size() != 3) return bad();
+    *out = kind == "NN" ? Event::AddNode(snum(tok[2]), num(tok[1]))
+                        : Event::DeleteNode(snum(tok[2]), num(tok[1]));
+    return Status::OK();
+  }
+  if (kind == "NE" || kind == "DE") {
+    if (tok.size() != 6) return bad();
+    const bool directed = tok[4] == "d";
+    *out = kind == "NE" ? Event::AddEdge(snum(tok[5]), num(tok[1]), num(tok[2]),
+                                         num(tok[3]), directed)
+                        : Event::DeleteEdge(snum(tok[5]), num(tok[1]), num(tok[2]),
+                                            num(tok[3]), directed);
+    return Status::OK();
+  }
+  if (kind == "UNA" || kind == "UEA") {
+    if (tok.size() != 6) return bad();
+    if (kind == "UNA") {
+      *out = Event::SetNodeAttr(snum(tok[5]), num(tok[1]), UnescapeToken(tok[2]),
+                                ParseOptional(tok[3]), ParseOptional(tok[4]));
+    } else {
+      *out = Event::SetEdgeAttr(snum(tok[5]), num(tok[1]), UnescapeToken(tok[2]),
+                                ParseOptional(tok[3]), ParseOptional(tok[4]));
+    }
+    return Status::OK();
+  }
+  if (kind == "TE") {
+    if (tok.size() != 5) return bad();
+    *out = Event::TransientEdge(snum(tok[4]), num(tok[1]), num(tok[2]),
+                                UnescapeToken(tok[3]));
+    return Status::OK();
+  }
+  if (kind == "TN") {
+    if (tok.size() != 4) return bad();
+    *out = Event::TransientNode(snum(tok[3]), num(tok[1]), UnescapeToken(tok[2]));
+    return Status::OK();
+  }
+  return bad();
+}
+
+Status LogIndex::Build(const std::vector<Event>& events) {
+  EventList pending;
+  auto flush = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    Chunk chunk;
+    chunk.start = pending.StartTime();
+    chunk.id = next_id_++;
+    std::string blob;
+    if (text_format_) {
+      for (const auto& e : pending.events()) {
+        EncodeEventText(e, &blob);
+        blob += '\n';
+      }
+      HG_RETURN_NOT_OK(store_->Put(Key("log/", chunk.id, 0), blob));
+    } else {
+      for (int c = 0; c < 4; ++c) {
+        pending.EncodeComponent(kAllComponents[c], &blob);
+        if (pending.CountComponent(kAllComponents[c]) == 0) continue;
+        HG_RETURN_NOT_OK(store_->Put(Key("log/", chunk.id, c), blob));
+      }
+    }
+    chunks_.push_back(chunk);
+    pending.Clear();
+    return Status::OK();
+  };
+  for (const auto& e : events) {
+    if (pending.size() >= chunk_events_ && e.time > pending.EndTime()) {
+      HG_RETURN_NOT_OK(flush());
+    }
+    pending.Append(e);
+  }
+  return flush();
+}
+
+Result<Snapshot> LogIndex::GetSnapshot(Timestamp t, unsigned components) {
+  Snapshot snap;
+  std::string blob;
+  for (const auto& chunk : chunks_) {
+    if (chunk.start > t) break;
+    if (text_format_) {
+      HG_RETURN_NOT_OK(store_->Get(Key("log/", chunk.id, 0), &blob));
+      size_t pos = 0;
+      bool done = false;
+      while (pos < blob.size() && !done) {
+        size_t nl = blob.find('\n', pos);
+        if (nl == std::string::npos) nl = blob.size();
+        Event e;
+        HG_RETURN_NOT_OK(DecodeEventText(blob.substr(pos, nl - pos), &e));
+        if (e.time > t) {
+          done = true;
+        } else {
+          HG_RETURN_NOT_OK(snap.Apply(e, true, components));
+        }
+        pos = nl + 1;
+      }
+      continue;
+    }
+    EventList el;
+    for (int c = 0; c < 4; ++c) {
+      if ((components & kAllComponents[c]) == 0) continue;
+      Status s = store_->Get(Key("log/", chunk.id, c), &blob);
+      if (s.IsNotFound()) continue;
+      HG_RETURN_NOT_OK(s);
+      HG_RETURN_NOT_OK(el.DecodeAndMergeComponent(blob));
+    }
+    el.FinalizeMerge();
+    for (const auto& e : el.events()) {
+      if (e.time > t) break;
+      HG_RETURN_NOT_OK(snap.Apply(e, true, components));
+    }
+  }
+  return snap;
+}
+
+}  // namespace hgdb

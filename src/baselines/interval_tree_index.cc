@@ -1,0 +1,305 @@
+#include "baselines/interval_tree_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hgdb {
+
+// ---------------------------------------------------------------------------
+// Events -> validity intervals
+// ---------------------------------------------------------------------------
+
+std::vector<IntervalElement> EventsToIntervals(const std::vector<Event>& events) {
+  std::vector<IntervalElement> out;
+  std::unordered_map<NodeId, size_t> open_nodes;
+  std::unordered_map<EdgeId, size_t> open_edges;
+  // (owner, key) -> index of the open attr interval.
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, std::string>& p) const {
+      return std::hash<uint64_t>()(p.first) ^ (std::hash<std::string>()(p.second) << 1);
+    }
+  };
+  std::unordered_map<std::pair<uint64_t, std::string>, size_t, PairHash> open_nattrs,
+      open_eattrs;
+
+  for (const auto& e : events) {
+    switch (e.type) {
+      case EventType::kAddNode: {
+        IntervalElement el;
+        el.kind = IntervalElement::Kind::kNode;
+        el.start = e.time;
+        el.end = kMaxTimestamp;
+        el.id = e.node;
+        open_nodes[e.node] = out.size();
+        out.push_back(std::move(el));
+        break;
+      }
+      case EventType::kDeleteNode: {
+        auto it = open_nodes.find(e.node);
+        if (it != open_nodes.end()) {
+          out[it->second].end = e.time;
+          open_nodes.erase(it);
+        }
+        break;
+      }
+      case EventType::kAddEdge: {
+        IntervalElement el;
+        el.kind = IntervalElement::Kind::kEdge;
+        el.start = e.time;
+        el.end = kMaxTimestamp;
+        el.id = e.edge;
+        el.edge = EdgeRecord{e.src, e.dst, e.directed};
+        open_edges[e.edge] = out.size();
+        out.push_back(std::move(el));
+        break;
+      }
+      case EventType::kDeleteEdge: {
+        auto it = open_edges.find(e.edge);
+        if (it != open_edges.end()) {
+          out[it->second].end = e.time;
+          open_edges.erase(it);
+        }
+        break;
+      }
+      case EventType::kNodeAttr: {
+        const auto key = std::make_pair(e.node, e.key);
+        auto it = open_nattrs.find(key);
+        if (it != open_nattrs.end()) {
+          out[it->second].end = e.time;
+          open_nattrs.erase(it);
+        }
+        if (e.new_value.has_value()) {
+          IntervalElement el;
+          el.kind = IntervalElement::Kind::kNodeAttr;
+          el.start = e.time;
+          el.end = kMaxTimestamp;
+          el.id = e.node;
+          el.key = e.key;
+          el.value = *e.new_value;
+          open_nattrs[key] = out.size();
+          out.push_back(std::move(el));
+        }
+        break;
+      }
+      case EventType::kEdgeAttr: {
+        const auto key = std::make_pair(e.edge, e.key);
+        auto it = open_eattrs.find(key);
+        if (it != open_eattrs.end()) {
+          out[it->second].end = e.time;
+          open_eattrs.erase(it);
+        }
+        if (e.new_value.has_value()) {
+          IntervalElement el;
+          el.kind = IntervalElement::Kind::kEdgeAttr;
+          el.start = e.time;
+          el.end = kMaxTimestamp;
+          el.id = e.edge;
+          el.key = e.key;
+          el.value = *e.new_value;
+          open_eattrs[key] = out.size();
+          out.push_back(std::move(el));
+        }
+        break;
+      }
+      case EventType::kTransientEdge:
+      case EventType::kTransientNode:
+        break;  // Transients have no interval; snapshot queries skip them.
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// IntervalTreeIndex
+// ---------------------------------------------------------------------------
+
+void AddIntervalElementToSnapshot(const IntervalElement& e, Snapshot* out) {
+  switch (e.kind) {
+    case IntervalElement::Kind::kNode:
+      out->AddNode(e.id);
+      break;
+    case IntervalElement::Kind::kEdge:
+      out->AddEdge(e.id, e.edge);
+      break;
+    case IntervalElement::Kind::kNodeAttr:
+      out->SetNodeAttr(e.id, e.key, e.value);
+      break;
+    case IntervalElement::Kind::kEdgeAttr:
+      out->SetEdgeAttr(e.id, e.key, e.value);
+      break;
+  }
+}
+
+Status IntervalTreeIndex::Build(const std::vector<Event>& events) {
+  elements_ = EventsToIntervals(events);
+  std::vector<int32_t> all;
+  all.reserve(elements_.size());
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    // [t, t) is empty (added and deleted at the same instant): no snapshot
+    // ever contains it, and empty intervals would break the recursion's
+    // progress guarantee.
+    if (elements_[i].start < elements_[i].end) all.push_back(static_cast<int32_t>(i));
+  }
+  root_ = BuildNode(std::move(all));
+  return Status::OK();
+}
+
+std::unique_ptr<IntervalTreeIndex::TreeNode> IntervalTreeIndex::BuildNode(
+    std::vector<int32_t> items) {
+  if (items.empty()) return nullptr;
+  // Center = median of interval starts (robust enough for event traces).
+  std::vector<Timestamp> points;
+  points.reserve(items.size());
+  for (int32_t i : items) points.push_back(elements_[i].start);
+  std::nth_element(points.begin(), points.begin() + points.size() / 2, points.end());
+  const Timestamp center = points[points.size() / 2];
+
+  auto node = std::make_unique<TreeNode>();
+  node->center = center;
+  ++node_count_;
+  std::vector<int32_t> left_items, right_items;
+  for (int32_t i : items) {
+    const auto& e = elements_[i];
+    // Interval is [start, end): contains center iff start <= center < end.
+    if (e.end <= center) {
+      left_items.push_back(i);
+    } else if (e.start > center) {
+      right_items.push_back(i);
+    } else {
+      node->by_start.push_back(i);
+    }
+  }
+  node->by_end = node->by_start;
+  std::sort(node->by_start.begin(), node->by_start.end(), [this](int32_t a, int32_t b) {
+    return elements_[a].start < elements_[b].start;
+  });
+  std::sort(node->by_end.begin(), node->by_end.end(), [this](int32_t a, int32_t b) {
+    return elements_[a].end > elements_[b].end;
+  });
+  node->left = BuildNode(std::move(left_items));
+  node->right = BuildNode(std::move(right_items));
+  return node;
+}
+
+void IntervalTreeIndex::Query(const TreeNode* node, Timestamp t, unsigned components,
+                              Snapshot* out) const {
+  if (node == nullptr) return;
+  if (t <= node->center) {
+    // All stored intervals end after center >= t; report those starting <= t.
+    for (int32_t i : node->by_start) {
+      const auto& e = elements_[i];
+      if (e.start > t) break;
+      if (e.component() & components) AddIntervalElementToSnapshot(e, out);
+    }
+    if (t < node->center) Query(node->left.get(), t, components, out);
+  }
+  if (t > node->center) {
+    // All stored intervals start before center < t; report those ending > t.
+    for (int32_t i : node->by_end) {
+      const auto& e = elements_[i];
+      if (e.end <= t) break;
+      if (e.component() & components) AddIntervalElementToSnapshot(e, out);
+    }
+    Query(node->right.get(), t, components, out);
+  }
+}
+
+Result<Snapshot> IntervalTreeIndex::GetSnapshot(Timestamp t, unsigned components) {
+  Snapshot out;
+  Query(root_.get(), t, components, &out);
+  return out;
+}
+
+size_t IntervalTreeIndex::MemoryBytes() const {
+  size_t bytes = node_count_ * sizeof(TreeNode);
+  for (const auto& e : elements_) {
+    bytes += sizeof(IntervalElement) + e.key.size() + e.value.size();
+  }
+  bytes += 2 * elements_.size() * sizeof(int32_t);  // by_start + by_end entries.
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentTreeIndex
+// ---------------------------------------------------------------------------
+
+Status SegmentTreeIndex::Build(const std::vector<Event>& events) {
+  elements_ = EventsToIntervals(events);
+  boundaries_.clear();
+  for (const auto& e : elements_) {
+    boundaries_.push_back(e.start);
+    if (e.end != kMaxTimestamp) boundaries_.push_back(e.end);
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+  if (boundaries_.empty()) return Status::OK();
+
+  nodes_.assign(4 * boundaries_.size(), {});
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    const auto& e = elements_[i];
+    // Canonical range over elementary-interval indices [a, b).
+    const size_t a = static_cast<size_t>(
+        std::lower_bound(boundaries_.begin(), boundaries_.end(), e.start) -
+        boundaries_.begin());
+    const size_t b =
+        e.end == kMaxTimestamp
+            ? boundaries_.size()
+            : static_cast<size_t>(std::lower_bound(boundaries_.begin(),
+                                                   boundaries_.end(), e.end) -
+                                  boundaries_.begin());
+    if (a < b) Insert(1, 0, boundaries_.size(), a, b, static_cast<int32_t>(i));
+  }
+  return Status::OK();
+}
+
+void SegmentTreeIndex::Insert(size_t node, size_t lo, size_t hi, size_t a, size_t b,
+                              int32_t elem) {
+  if (a <= lo && hi <= b) {
+    nodes_[node].push_back(elem);
+    ++stored_entries_;
+    return;
+  }
+  const size_t mid = (lo + hi) / 2;
+  if (a < mid) Insert(2 * node, lo, mid, a, b, elem);
+  if (b > mid) Insert(2 * node + 1, mid, hi, a, b, elem);
+}
+
+Result<Snapshot> SegmentTreeIndex::GetSnapshot(Timestamp t, unsigned components) {
+  Snapshot out;
+  if (boundaries_.empty()) return out;
+  // Elementary interval containing t: index of last boundary <= t.
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+  if (it == boundaries_.begin()) return out;  // Before the first event.
+  size_t pos = static_cast<size_t>(it - boundaries_.begin()) - 1;
+
+  size_t node = 1, lo = 0, hi = boundaries_.size();
+  while (true) {
+    for (int32_t i : nodes_[node]) {
+      const auto& e = elements_[i];
+      if (e.component() & components) AddIntervalElementToSnapshot(e, &out);
+    }
+    if (hi - lo <= 1) break;
+    const size_t mid = (lo + hi) / 2;
+    if (pos < mid) {
+      node = 2 * node;
+      hi = mid;
+    } else {
+      node = 2 * node + 1;
+      lo = mid;
+    }
+  }
+  return out;
+}
+
+size_t SegmentTreeIndex::MemoryBytes() const {
+  size_t bytes = boundaries_.capacity() * sizeof(Timestamp);
+  for (const auto& e : elements_) {
+    bytes += sizeof(IntervalElement) + e.key.size() + e.value.size();
+  }
+  bytes += nodes_.capacity() * sizeof(std::vector<int32_t>);
+  bytes += stored_entries_ * sizeof(int32_t);
+  return bytes;
+}
+
+}  // namespace hgdb

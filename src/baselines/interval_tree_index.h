@@ -1,0 +1,102 @@
+#ifndef HISTGRAPH_BASELINES_INTERVAL_TREE_INDEX_H_
+#define HISTGRAPH_BASELINES_INTERVAL_TREE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "baselines/snapshot_index.h"
+
+namespace hgdb {
+
+/// One element of the historical graph with its validity interval
+/// [start, end). Attribute elements are value-specific: changing a value
+/// closes one interval and opens another.
+struct IntervalElement {
+  enum class Kind : unsigned char { kNode, kEdge, kNodeAttr, kEdgeAttr };
+  Kind kind;
+  Timestamp start;
+  Timestamp end;  ///< kMaxTimestamp when still valid.
+  uint64_t id;    ///< NodeId or EdgeId (attribute owner for attr kinds).
+  EdgeRecord edge;
+  std::string key, value;
+
+  unsigned component() const {
+    switch (kind) {
+      case Kind::kNode:
+      case Kind::kEdge:
+        return kCompStruct;
+      case Kind::kNodeAttr:
+        return kCompNodeAttr;
+      case Kind::kEdgeAttr:
+        return kCompEdgeAttr;
+    }
+    return kCompStruct;
+  }
+};
+
+/// Converts an event trace into validity intervals (shared by the interval-
+/// and segment-tree baselines).
+std::vector<IntervalElement> EventsToIntervals(const std::vector<Event>& events);
+
+/// Materializes one interval element into a snapshot under construction.
+void AddIntervalElementToSnapshot(const IntervalElement& e, Snapshot* out);
+
+/// \brief In-memory interval tree over element validity intervals
+/// (Section 4.1 / Figure 7's comparison baseline; the centered interval-tree
+/// counterpart of Arge & Vitter's external structure).
+///
+/// A stabbing query at time t collects every element whose validity interval
+/// contains t, i.e. exactly the valid-timeslice snapshot.
+class IntervalTreeIndex final : public SnapshotIndex {
+ public:
+  std::string name() const override { return "interval-tree"; }
+  Status Build(const std::vector<Event>& events) override;
+  Result<Snapshot> GetSnapshot(Timestamp t, unsigned components) override;
+  size_t StorageBytes() const override { return 0; }  // Purely in-memory.
+  size_t MemoryBytes() const override;
+
+ private:
+  struct TreeNode {
+    Timestamp center;
+    // Intervals containing center, sorted by start (asc) and by end (desc).
+    std::vector<int32_t> by_start;
+    std::vector<int32_t> by_end;
+    std::unique_ptr<TreeNode> left, right;
+  };
+
+  std::unique_ptr<TreeNode> BuildNode(std::vector<int32_t> items);
+  void Query(const TreeNode* node, Timestamp t, unsigned components,
+             Snapshot* out) const;
+
+  std::vector<IntervalElement> elements_;
+  std::unique_ptr<TreeNode> root_;
+  size_t node_count_ = 0;
+};
+
+/// \brief Segment tree over the elementary intervals of the trace
+/// (Section 4.1 / Section 5.4's qualitative comparison). Each element
+/// interval is stored in O(log n) canonical nodes, duplicating entries —
+/// space O(|E| log |E|) versus the interval tree's O(|E|), which is exactly
+/// the trade-off the paper calls out.
+class SegmentTreeIndex final : public SnapshotIndex {
+ public:
+  std::string name() const override { return "segment-tree"; }
+  Status Build(const std::vector<Event>& events) override;
+  Result<Snapshot> GetSnapshot(Timestamp t, unsigned components) override;
+  size_t StorageBytes() const override { return 0; }
+  size_t MemoryBytes() const override;
+
+ private:
+  void Insert(size_t node, size_t lo, size_t hi, size_t a, size_t b, int32_t elem);
+
+  std::vector<IntervalElement> elements_;
+  std::vector<Timestamp> boundaries_;          ///< Sorted distinct endpoints.
+  std::vector<std::vector<int32_t>> nodes_;    ///< Heap-layout canonical lists.
+  size_t stored_entries_ = 0;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_BASELINES_INTERVAL_TREE_INDEX_H_

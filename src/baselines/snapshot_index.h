@@ -1,0 +1,48 @@
+#ifndef HISTGRAPH_BASELINES_SNAPSHOT_INDEX_H_
+#define HISTGRAPH_BASELINES_SNAPSHOT_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "graph/snapshot.h"
+#include "temporal/event.h"
+
+namespace hgdb {
+
+/// \brief Common interface over the historical-snapshot storage approaches
+/// the paper compares against (Section 4.1): Copy+Log, the naive Log, the
+/// in-memory interval tree, and the external segment tree.
+///
+/// Every implementation answers the same valid-timeslice query — retrieve the
+/// snapshot as of time t — so the benchmark harness can swap approaches
+/// behind one call, exactly as the paper integrated them ("both of those
+/// were integrated into our system such that any of the approaches could be
+/// used to fetch the historical snapshots into the GraphPool").
+class SnapshotIndex {
+ public:
+  virtual ~SnapshotIndex() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Bulk-builds the index from a chronological event trace.
+  virtual Status Build(const std::vector<Event>& events) = 0;
+
+  /// Retrieves the snapshot as of `t` (all events with time <= t applied).
+  virtual Result<Snapshot> GetSnapshot(Timestamp t, unsigned components) = 0;
+
+  /// Bytes of persistent storage used (0 for purely in-memory approaches).
+  virtual size_t StorageBytes() const = 0;
+
+  /// Bytes of main memory permanently held by the index.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// Serializes a full snapshot (columnar, like a super-root delta).
+void EncodeSnapshot(const Snapshot& snap, unsigned components, std::string* out);
+Status DecodeSnapshot(const Slice& blob, Snapshot* out);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_BASELINES_SNAPSHOT_INDEX_H_

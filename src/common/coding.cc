@@ -1,0 +1,142 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace hgdb {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarsint64(std::string* dst, int64_t value) {
+  const uint64_t zigzag =
+      (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+  PutVarint64(dst, zigzag);
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  std::memcpy(value, input->data(), 4);
+  input->RemovePrefix(4);
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  std::memcpy(value, input->data(), 8);
+  input->RemovePrefix(8);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    const auto byte = static_cast<unsigned char>((*input)[0]);
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7f) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+bool GetVarsint64(Slice* input, int64_t* value) {
+  uint64_t zigzag;
+  if (!GetVarint64(input, &zigzag)) return false;
+  *value = static_cast<int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+  return true;
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint64_t len;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *result = Slice(input->data(), static_cast<size_t>(len));
+  input->RemovePrefix(static_cast<size_t>(len));
+  return true;
+}
+
+bool GetLengthPrefixedString(Slice* input, std::string* result) {
+  Slice s;
+  if (!GetLengthPrefixedSlice(input, &s)) return false;
+  result->assign(s.data(), s.size());
+  return true;
+}
+
+Status ExpectVarint64(Slice* input, uint64_t* value, const char* what) {
+  if (!GetVarint64(input, value)) {
+    return Status::Corruption(std::string("truncated varint: ") + what);
+  }
+  return Status::OK();
+}
+
+Status ExpectLengthPrefixedString(Slice* input, std::string* value, const char* what) {
+  if (!GetLengthPrefixedString(input, value)) {
+    return Status::Corruption(std::string("truncated string: ") + what);
+  }
+  return Status::OK();
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(const char* data, size_t n, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+}  // namespace hgdb

@@ -1,0 +1,49 @@
+#ifndef HISTGRAPH_COMMON_CODING_H_
+#define HISTGRAPH_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace hgdb {
+
+/// Binary encoding primitives (LevelDB-style varints and length-prefixed
+/// strings). All multi-byte fixed-width values are little-endian. These are
+/// the building blocks of every serialized delta, eventlist, and skeleton.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// ZigZag-encodes a signed value so that small magnitudes stay small.
+void PutVarsint64(std::string* dst, int64_t value);
+
+/// Each Get* consumes bytes from the front of `input` on success. On failure
+/// (truncated input) they return false/Corruption and leave `input` unspecified.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetVarsint64(Slice* input, int64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+bool GetLengthPrefixedString(Slice* input, std::string* result);
+
+/// Convenience Status-returning wrappers for deserializers.
+Status ExpectVarint64(Slice* input, uint64_t* value, const char* what);
+Status ExpectLengthPrefixedString(Slice* input, std::string* value, const char* what);
+
+/// 64-bit mixing hash (splitmix64 finalizer). Deterministic across platforms;
+/// used for partitioning node ids and for the hash-based event selection of the
+/// Skewed/Mixed differential functions (Section 5.2 of the paper).
+uint64_t Mix64(uint64_t x);
+
+/// Hashes an arbitrary byte string (FNV-1a 64-bit followed by Mix64).
+uint64_t HashBytes(const char* data, size_t n, uint64_t seed = 0);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_CODING_H_

@@ -1,0 +1,19 @@
+#include "common/dynamic_bitset.h"
+
+#include <algorithm>
+
+namespace hgdb {
+
+bool DynamicBitset::operator==(const DynamicBitset& other) const {
+  const size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (words_[i] != other.words_[i]) return false;
+  }
+  const auto& longer = words_.size() > other.words_.size() ? words_ : other.words_;
+  for (size_t i = common; i < longer.size(); ++i) {
+    if (longer[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace hgdb

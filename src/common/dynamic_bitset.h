@@ -1,0 +1,81 @@
+#ifndef HISTGRAPH_COMMON_DYNAMIC_BITSET_H_
+#define HISTGRAPH_COMMON_DYNAMIC_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hgdb {
+
+/// \brief A growable bitmap.
+///
+/// GraphPool associates one of these with every node, edge, and attribute
+/// value to record which of the active graphs contain that element (the "BM"
+/// of Section 6). The bitmap grows on demand as new graphs are pulled into
+/// memory; unset bits beyond the current size read as 0.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t nbits) { Resize(nbits); }
+
+  /// Reads bit `i`; out-of-range bits read as false.
+  bool Test(size_t i) const {
+    const size_t w = i >> 6;
+    if (w >= words_.size()) return false;
+    return (words_[w] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit `i` to `value`, growing the bitmap if needed.
+  void Set(size_t i, bool value = true) {
+    const size_t w = i >> 6;
+    if (w >= words_.size()) {
+      if (!value) return;  // Setting an out-of-range bit to 0 is a no-op.
+      words_.resize(w + 1, 0);
+    }
+    if (value) {
+      words_[w] |= (uint64_t{1} << (i & 63));
+    } else {
+      words_[w] &= ~(uint64_t{1} << (i & 63));
+    }
+  }
+
+  void Reset(size_t i) { Set(i, false); }
+
+  /// True if no bit is set.
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Clears all bits (keeps capacity).
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  /// Ensures capacity for at least `nbits` bits.
+  void Resize(size_t nbits) {
+    const size_t words = (nbits + 63) / 64;
+    if (words > words_.size()) words_.resize(words, 0);
+  }
+
+  /// Approximate heap footprint in bytes (for the memory-accounting benches).
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+  bool operator==(const DynamicBitset& other) const;
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_DYNAMIC_BITSET_H_

@@ -1,0 +1,37 @@
+#include "common/env_util.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace hgdb {
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+double WorkloadScale() { return GetEnvDouble("HISTGRAPH_SCALE", 1.0); }
+
+std::string FreshScratchDir(const std::string& tag) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "histgraph-scratch" / tag;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  return dir.string();
+}
+
+}  // namespace hgdb

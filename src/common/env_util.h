@@ -1,0 +1,26 @@
+#ifndef HISTGRAPH_COMMON_ENV_UTIL_H_
+#define HISTGRAPH_COMMON_ENV_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hgdb {
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparsable. Benchmarks use HISTGRAPH_SCALE to scale workload sizes.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Reads a floating-point environment variable.
+double GetEnvDouble(const char* name, double fallback);
+
+/// Global workload scale factor (HISTGRAPH_SCALE, default 1).
+double WorkloadScale();
+
+/// Creates (if needed) and returns a scratch directory for on-disk stores used
+/// by tests and benches, e.g. "/tmp/histgraph-scratch/<tag>". The directory is
+/// wiped on each call.
+std::string FreshScratchDir(const std::string& tag);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_ENV_UTIL_H_

@@ -1,0 +1,87 @@
+#ifndef HISTGRAPH_COMMON_RANDOM_H_
+#define HISTGRAPH_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace hgdb {
+
+/// \brief Deterministic pseudo-random generator used by workload generators and
+/// property tests. All randomness in the repository flows through explicit
+/// seeds so that every experiment is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Geometric-ish small count >= 1 with mean roughly `mean` (used for paper
+  /// sizes like authors-per-paper).
+  uint64_t SmallCount(double mean) {
+    std::poisson_distribution<uint64_t> dist(mean > 1.0 ? mean - 1.0 : 0.1);
+    return 1 + dist(engine_);
+  }
+
+  /// Random lowercase ASCII string of length n.
+  std::string String(size_t n) {
+    std::string s(n, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// \brief Zipf-distributed integers in [0, n) with exponent `theta`.
+///
+/// Used for skewed attribute/label selection in workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed) : rng_(seed) {
+    cdf_.reserve(n);
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      cdf_.push_back(sum);
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_RANDOM_H_

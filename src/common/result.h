@@ -1,0 +1,68 @@
+#ifndef HISTGRAPH_COMMON_RESULT_H_
+#define HISTGRAPH_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hgdb {
+
+/// \brief A Status or a value of type T (analogous to arrow::Result /
+/// absl::StatusOr).
+///
+/// A Result holds either an OK status together with a value, or a non-OK
+/// status. Accessing the value of a non-OK Result is a programming error
+/// (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define HG_ASSIGN_OR_RETURN(lhs, expr)               \
+  do {                                               \
+    auto _hg_result = (expr);                        \
+    if (!_hg_result.ok()) return _hg_result.status(); \
+    lhs = std::move(_hg_result).value();             \
+  } while (false)
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_RESULT_H_

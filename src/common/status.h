@@ -1,0 +1,78 @@
+#ifndef HISTGRAPH_COMMON_STATUS_H_
+#define HISTGRAPH_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace hgdb {
+
+/// \brief Result status of a library operation.
+///
+/// HistGraph does not throw exceptions across its public API (Google style /
+/// RocksDB idiom); every fallible operation returns a Status (or a Result<T>,
+/// see result.h). A Status is cheap to copy in the OK case.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kNotSupported = 5,
+    kOutOfRange = 6,
+    kInternal = 7,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) { return Status(Code::kNotFound, std::move(msg)); }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) { return Status(Code::kIOError, std::move(msg)); }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "NotFound: delta 42 missing".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK status to the caller. For use inside functions that
+/// themselves return Status.
+#define HG_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::hgdb::Status _hg_status = (expr);        \
+    if (!_hg_status.ok()) return _hg_status;   \
+  } while (false)
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_STATUS_H_

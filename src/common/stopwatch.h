@@ -1,0 +1,32 @@
+#ifndef HISTGRAPH_COMMON_STOPWATCH_H_
+#define HISTGRAPH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hgdb {
+
+/// \brief Simple wall-clock stopwatch for the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or last Restart().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_STOPWATCH_H_

@@ -1,0 +1,34 @@
+#ifndef HISTGRAPH_COMMON_TYPES_H_
+#define HISTGRAPH_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hgdb {
+
+/// Unique identifier of a node. Ids are assigned at creation time and are never
+/// reassigned after deletion (a deletion followed by a re-insertion produces a
+/// new id), matching the paper's data model (Section 3.1).
+using NodeId = uint64_t;
+
+/// Unique identifier of an edge. Same lifetime rules as NodeId.
+using EdgeId = uint64_t;
+
+/// Discrete time point. The paper assumes discrete time; we use a signed 64-bit
+/// integer so callers may map it to seconds, days, or event counters.
+using Timestamp = int64_t;
+
+inline constexpr NodeId kInvalidNodeId = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdgeId = std::numeric_limits<EdgeId>::max();
+inline constexpr Timestamp kMinTimestamp = std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kMaxTimestamp = std::numeric_limits<Timestamp>::max();
+
+/// Identifier of a delta or eventlist inside the key-value store.
+using DeltaId = uint64_t;
+
+/// Identifier of a horizontal partition of the node-id space.
+using PartitionId = uint32_t;
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_TYPES_H_

@@ -1,0 +1,243 @@
+#ifndef HISTGRAPH_COMPUTE_ALGORITHMS_H_
+#define HISTGRAPH_COMPUTE_ALGORITHMS_H_
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "compute/pregel.h"
+
+namespace hgdb {
+
+/// \brief PageRank on the vertex-centric engine (the paper's Dataset-3
+/// experiment runs PageRank over partition-parallel workers, including
+/// retrieval time).
+template <typename Graph>
+std::unordered_map<NodeId, double> PageRank(const Graph& graph, int iterations = 20,
+                                            double damping = 0.85,
+                                            int num_workers = 1) {
+  using Engine = PregelEngine<Graph, double, double>;
+  struct PageRankProgram final : Engine::Program {
+    int iterations;
+    double damping;
+
+    void Init(typename Engine::VertexContext* ctx, double* value) override {
+      *value = 1.0 / static_cast<double>(ctx->num_vertices);
+      const size_t degree = ctx->out_neighbors->size();
+      if (degree > 0) {
+        ctx->SendToAllNeighbors(*value / static_cast<double>(degree));
+      }
+    }
+
+    void Compute(typename Engine::VertexContext* ctx, double* value,
+                 const std::vector<double>& messages) override {
+      double sum = 0.0;
+      for (double m : messages) sum += m;
+      *value = (1.0 - damping) / static_cast<double>(ctx->num_vertices) +
+               damping * sum;
+      if (ctx->superstep < iterations) {
+        const size_t degree = ctx->out_neighbors->size();
+        if (degree > 0) {
+          ctx->SendToAllNeighbors(*value / static_cast<double>(degree));
+        }
+      } else {
+        ctx->VoteToHalt();
+      }
+    }
+  };
+  PageRankProgram program;
+  program.iterations = iterations;
+  program.damping = damping;
+  Engine engine(&graph, num_workers);
+  return engine.Run(&program, iterations + 1);
+}
+
+/// \brief Weakly-connected components via min-label propagation. Returns the
+/// component label (smallest reachable node id) per node.
+template <typename Graph>
+std::unordered_map<NodeId, NodeId> ConnectedComponents(const Graph& graph,
+                                                       int num_workers = 1,
+                                                       int max_supersteps = 200) {
+  using Engine = PregelEngine<Graph, NodeId, NodeId>;
+  struct WccProgram final : Engine::Program {
+    void Init(typename Engine::VertexContext* ctx, NodeId* value) override {
+      *value = ctx->vertex;
+      ctx->SendToAllNeighbors(*value);
+    }
+    void Compute(typename Engine::VertexContext* ctx, NodeId* value,
+                 const std::vector<NodeId>& messages) override {
+      NodeId best = *value;
+      for (NodeId m : messages) best = std::min(best, m);
+      if (best < *value) {
+        *value = best;
+        ctx->SendToAllNeighbors(best);
+      }
+      ctx->VoteToHalt();
+    }
+  };
+  WccProgram program;
+  Engine engine(&graph, num_workers);
+  return engine.Run(&program, max_supersteps);
+}
+
+/// \brief Single-source shortest paths (hop count). Unreached nodes are
+/// absent from the result.
+template <typename Graph>
+std::unordered_map<NodeId, int64_t> ShortestPaths(const Graph& graph, NodeId source,
+                                                  int num_workers = 1,
+                                                  int max_supersteps = 200) {
+  using Engine = PregelEngine<Graph, int64_t, int64_t>;
+  struct SsspProgram final : Engine::Program {
+    NodeId source;
+    void Init(typename Engine::VertexContext* ctx, int64_t* value) override {
+      if (ctx->vertex == source) {
+        *value = 0;
+        ctx->SendToAllNeighbors(1);
+      } else {
+        *value = -1;  // Unreached.
+      }
+      ctx->VoteToHalt();
+    }
+    void Compute(typename Engine::VertexContext* ctx, int64_t* value,
+                 const std::vector<int64_t>& messages) override {
+      int64_t best = *value;
+      for (int64_t m : messages) {
+        if (best < 0 || m < best) best = m;
+      }
+      if (best != *value && best >= 0) {
+        *value = best;
+        ctx->SendToAllNeighbors(best + 1);
+      }
+      ctx->VoteToHalt();
+    }
+  };
+  SsspProgram program;
+  program.source = source;
+  Engine engine(&graph, num_workers);
+  auto values = engine.Run(&program, max_supersteps);
+  std::unordered_map<NodeId, int64_t> out;
+  for (const auto& [v, d] : values) {
+    if (d >= 0) out.emplace(v, d);
+  }
+  return out;
+}
+
+/// \brief Exact triangle count (each triangle counted once). Direct
+/// neighbor-set intersection — small graphs / example workloads.
+template <typename Graph>
+uint64_t CountTriangles(const Graph& graph) {
+  uint64_t triangles = 0;
+  const std::vector<NodeId> nodes = graph.Nodes();
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> adj;
+  for (NodeId v : nodes) {
+    for (NodeId u : graph.OutNeighbors(v)) {
+      if (u == v) continue;
+      adj[v].insert(u);
+      adj[u].insert(v);
+    }
+  }
+  for (const auto& [v, nv] : adj) {
+    for (NodeId u : nv) {
+      if (u <= v) continue;
+      auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (NodeId w : it->second) {
+        if (w <= u) continue;
+        if (nv.contains(w)) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+/// \brief Community detection by synchronous label propagation: each vertex
+/// repeatedly adopts the most frequent label among its neighbors (ties to
+/// the smaller label). Returns the final label per node. Used by the
+/// evolutionary "how do communities evolve" analyses the paper motivates.
+template <typename Graph>
+std::unordered_map<NodeId, NodeId> LabelPropagation(const Graph& graph,
+                                                    int max_rounds = 20,
+                                                    int num_workers = 1) {
+  using Engine = PregelEngine<Graph, NodeId, NodeId>;
+  struct LpaProgram final : Engine::Program {
+    int max_rounds;
+    void Init(typename Engine::VertexContext* ctx, NodeId* value) override {
+      *value = ctx->vertex;
+      ctx->SendToAllNeighbors(*value);
+    }
+    void Compute(typename Engine::VertexContext* ctx, NodeId* value,
+                 const std::vector<NodeId>& messages) override {
+      if (ctx->superstep >= max_rounds || messages.empty()) {
+        ctx->VoteToHalt();
+        return;
+      }
+      std::unordered_map<NodeId, size_t> freq;
+      for (NodeId m : messages) ++freq[m];
+      NodeId best = *value;
+      size_t best_count = 0;
+      for (const auto& [label, count] : freq) {
+        if (count > best_count || (count == best_count && label < best)) {
+          best = label;
+          best_count = count;
+        }
+      }
+      if (best != *value) {
+        *value = best;
+        ctx->SendToAllNeighbors(best);
+      } else {
+        ctx->VoteToHalt();
+      }
+    }
+  };
+  LpaProgram program;
+  program.max_rounds = max_rounds;
+  Engine engine(&graph, num_workers);
+  return engine.Run(&program, max_rounds + 1);
+}
+
+/// \brief Global clustering coefficient: 3 * triangles / open wedges.
+template <typename Graph>
+double ClusteringCoefficient(const Graph& graph) {
+  const uint64_t triangles = CountTriangles(graph);
+  uint64_t wedges = 0;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> adj;
+  for (NodeId v : graph.Nodes()) {
+    for (NodeId u : graph.OutNeighbors(v)) {
+      if (u == v) continue;
+      adj[v].insert(u);
+      adj[u].insert(v);
+    }
+  }
+  for (const auto& [v, nv] : adj) {
+    const uint64_t d = nv.size();
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges == 0 ? 0.0 : 3.0 * static_cast<double>(triangles) / wedges;
+}
+
+/// \brief Degree distribution summary.
+struct DegreeStats {
+  size_t nodes = 0;
+  size_t max_degree = 0;
+  double mean_degree = 0.0;
+};
+
+template <typename Graph>
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  size_t total = 0;
+  for (NodeId v : graph.Nodes()) {
+    const size_t d = graph.OutNeighbors(v).size();
+    stats.max_degree = std::max(stats.max_degree, d);
+    total += d;
+    ++stats.nodes;
+  }
+  stats.mean_degree =
+      stats.nodes == 0 ? 0.0 : static_cast<double>(total) / stats.nodes;
+  return stats;
+}
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMPUTE_ALGORITHMS_H_

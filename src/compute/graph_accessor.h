@@ -1,0 +1,100 @@
+#ifndef HISTGRAPH_COMPUTE_GRAPH_ACCESSOR_H_
+#define HISTGRAPH_COMPUTE_GRAPH_ACCESSOR_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/snapshot.h"
+#include "graphpool/graph_pool.h"
+
+namespace hgdb {
+
+/// \brief Adapter concept for the compute engine: anything exposing
+/// `Nodes()` and `OutNeighbors(n)` can be analyzed.
+///
+/// Two adapters ship with the library:
+///  - SnapshotAccessor: plain in-memory Snapshot (no bitmap checks);
+///  - HistViewAccessor: a GraphPool view (bitmap-filtered). The difference
+///    between running the same algorithm on these two is exactly the
+///    "bitmap penalty" the paper measures (<7% for PageRank).
+class SnapshotAccessor {
+ public:
+  explicit SnapshotAccessor(const Snapshot* snap) : snap_(snap) { BuildAdjacency(); }
+
+  std::vector<NodeId> Nodes() const {
+    std::vector<NodeId> out(snap_->nodes().begin(), snap_->nodes().end());
+    return out;
+  }
+
+  const std::vector<NodeId>& OutNeighbors(NodeId n) const {
+    static const std::vector<NodeId> kEmpty;
+    auto it = out_adj_.find(n);
+    return it == out_adj_.end() ? kEmpty : it->second;
+  }
+
+  size_t NodeCount() const { return snap_->NodeCount(); }
+
+ private:
+  void BuildAdjacency() {
+    for (const auto& [id, rec] : snap_->edges()) {
+      out_adj_[rec.src].push_back(rec.dst);
+      if (!rec.directed) out_adj_[rec.dst].push_back(rec.src);
+    }
+  }
+
+  const Snapshot* snap_;
+  std::unordered_map<NodeId, std::vector<NodeId>> out_adj_;
+};
+
+/// GraphPool-backed accessor; every edge access goes through the bitmap
+/// membership test (no private adjacency copy).
+class HistViewAccessor {
+ public:
+  explicit HistViewAccessor(HistGraphView view) : view_(view) {}
+
+  std::vector<NodeId> Nodes() const { return view_.GetNodes(); }
+
+  std::vector<NodeId> OutNeighbors(NodeId n) const { return view_.GetOutNeighbors(n); }
+
+  size_t NodeCount() const { return view_.CountNodes(); }
+
+ private:
+  HistGraphView view_;
+};
+
+/// GraphPool-backed accessor that *skips* the bitmap membership tests and
+/// walks the raw union graph. Only meaningful when the pool holds exactly
+/// one graph (then union == that graph). Comparing an algorithm on this
+/// accessor vs HistViewAccessor isolates the bitmap-filtering penalty the
+/// paper measures (<7% on PageRank) — same data structure, with and without
+/// the membership checks.
+class UnionPoolAccessor {
+ public:
+  explicit UnionPoolAccessor(const GraphPool* pool) : pool_(pool) {}
+
+  std::vector<NodeId> Nodes() const { return pool_->UnionNodes(); }
+
+  std::vector<NodeId> OutNeighbors(NodeId n) const {
+    std::vector<NodeId> out;
+    const std::vector<EdgeId>* union_edges = pool_->UnionIncidentEdges(n);
+    if (union_edges == nullptr) return out;
+    for (EdgeId e : *union_edges) {
+      const EdgeRecord* rec = pool_->FindEdge(e);  // No bitmap test.
+      if (!rec->directed) {
+        out.push_back(rec->src == n ? rec->dst : rec->src);
+      } else if (rec->src == n) {
+        out.push_back(rec->dst);
+      }
+    }
+    return out;
+  }
+
+  size_t NodeCount() const { return pool_->UnionNodeCount(); }
+
+ private:
+  const GraphPool* pool_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMPUTE_GRAPH_ACCESSOR_H_

@@ -1,0 +1,181 @@
+#ifndef HISTGRAPH_COMPUTE_PREGEL_H_
+#define HISTGRAPH_COMPUTE_PREGEL_H_
+
+#include <atomic>
+#include <barrier>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/types.h"
+
+namespace hgdb {
+
+/// \brief A Pregel-like iterative vertex-centric framework (Section 3.2:
+/// "we have implemented an iterative vertex-based message-passing system
+/// analogous to Pregel").
+///
+/// Vertices are hash-partitioned across workers; each superstep runs the
+/// vertex program on every active vertex in parallel, exchanging messages
+/// through per-worker double-buffered inboxes with a barrier between
+/// supersteps. Vertices vote to halt; a vertex with incoming messages is
+/// reactivated. Execution stops when all vertices halt or after
+/// `max_supersteps`.
+///
+/// The Graph type must provide `Nodes()` and `OutNeighbors(n)` (see
+/// graph_accessor.h). V is the vertex value, M the message type.
+template <typename Graph, typename V, typename M>
+class PregelEngine {
+ public:
+  struct VertexContext {
+    int superstep = 0;
+    size_t num_vertices = 0;
+    NodeId vertex = kInvalidNodeId;
+    const std::vector<NodeId>* out_neighbors = nullptr;
+
+    void SendMessage(NodeId dst, M message) {
+      outbox->emplace_back(dst, std::move(message));
+    }
+    void SendToAllNeighbors(M message) {
+      for (NodeId n : *out_neighbors) outbox->emplace_back(n, message);
+    }
+    void VoteToHalt() { *halted = true; }
+
+    // Wiring (engine-internal).
+    std::vector<std::pair<NodeId, M>>* outbox = nullptr;
+    bool* halted = nullptr;
+  };
+
+  /// Vertex program: Init runs in superstep 0 with no messages; Compute runs
+  /// whenever the vertex is active or has messages.
+  struct Program {
+    virtual ~Program() = default;
+    virtual void Init(VertexContext* ctx, V* value) = 0;
+    virtual void Compute(VertexContext* ctx, V* value,
+                         const std::vector<M>& messages) = 0;
+  };
+
+  PregelEngine(const Graph* graph, int num_workers)
+      : graph_(graph),
+        num_workers_(num_workers < 1 ? 1 : num_workers) {}
+
+  /// Runs the program; returns the final vertex values.
+  std::unordered_map<NodeId, V> Run(Program* program, int max_supersteps) {
+    const std::vector<NodeId> nodes = graph_->Nodes();
+    const size_t n = nodes.size();
+    if (n == 0) return {};
+
+    // Partition vertices across workers by hash.
+    std::vector<std::vector<NodeId>> vertex_of(num_workers_);
+    for (NodeId v : nodes) vertex_of[WorkerOf(v)].push_back(v);
+
+    struct VertexState {
+      V value{};
+      bool halted = false;
+      std::vector<M> inbox;
+    };
+    std::vector<std::unordered_map<NodeId, VertexState>> state(num_workers_);
+    for (int w = 0; w < num_workers_; ++w) {
+      for (NodeId v : vertex_of[w]) state[w][v] = VertexState{};
+    }
+
+    // inboxes[next][w]: messages addressed to worker w for the next
+    // superstep, one mutex per destination worker.
+    std::vector<std::vector<std::pair<NodeId, M>>> next_inbox(num_workers_);
+    std::vector<std::mutex> inbox_mu(num_workers_);
+
+    std::atomic<size_t> active_count{n};
+    std::barrier barrier(num_workers_);
+
+    auto worker_body = [&](int w) {
+      std::vector<std::pair<NodeId, M>> outbox;
+      for (int step = 0; step <= max_supersteps; ++step) {
+        // Deliver this worker's pending messages (single-threaded per worker).
+        {
+          std::lock_guard<std::mutex> lock(inbox_mu[w]);
+          for (auto& [dst, msg] : next_inbox[w]) {
+            auto it = state[w].find(dst);
+            if (it != state[w].end()) {
+              it->second.inbox.push_back(std::move(msg));
+              it->second.halted = false;
+            }
+          }
+          next_inbox[w].clear();
+        }
+        barrier.arrive_and_wait();
+        if (active_count.load() == 0 && step > 0) break;
+
+        size_t local_active = 0;
+        outbox.clear();
+        for (NodeId v : vertex_of[w]) {
+          VertexState& vs = state[w][v];
+          if (step > 0 && vs.halted && vs.inbox.empty()) continue;
+          const std::vector<NodeId> neighbors = graph_->OutNeighbors(v);
+          VertexContext ctx;
+          ctx.superstep = step;
+          ctx.num_vertices = n;
+          ctx.vertex = v;
+          ctx.out_neighbors = &neighbors;
+          ctx.outbox = &outbox;
+          ctx.halted = &vs.halted;
+          vs.halted = false;
+          if (step == 0) {
+            program->Init(&ctx, &vs.value);
+          } else {
+            program->Compute(&ctx, &vs.value, vs.inbox);
+          }
+          vs.inbox.clear();
+          if (!vs.halted) ++local_active;
+        }
+        // Route outgoing messages to destination workers.
+        for (auto& [dst, msg] : outbox) {
+          const int dw = WorkerOf(dst);
+          std::lock_guard<std::mutex> lock(inbox_mu[dw]);
+          next_inbox[dw].emplace_back(dst, std::move(msg));
+        }
+        // Recompute global activity: halted vertices with pending messages
+        // count as active for the next round.
+        barrier.arrive_and_wait();
+        if (w == 0) active_count.store(0);
+        barrier.arrive_and_wait();
+        size_t pending;
+        {
+          std::lock_guard<std::mutex> lock(inbox_mu[w]);
+          pending = next_inbox[w].size();
+        }
+        active_count.fetch_add(local_active + pending);
+        barrier.arrive_and_wait();
+      }
+    };
+
+    if (num_workers_ == 1) {
+      worker_body(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(num_workers_);
+      for (int w = 0; w < num_workers_; ++w) threads.emplace_back(worker_body, w);
+      for (auto& t : threads) t.join();
+    }
+
+    std::unordered_map<NodeId, V> out;
+    out.reserve(n);
+    for (int w = 0; w < num_workers_; ++w) {
+      for (auto& [v, vs] : state[w]) out.emplace(v, std::move(vs.value));
+    }
+    return out;
+  }
+
+ private:
+  int WorkerOf(NodeId v) const {
+    return static_cast<int>(Mix64(v) % static_cast<uint64_t>(num_workers_));
+  }
+
+  const Graph* graph_;
+  int num_workers_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMPUTE_PREGEL_H_

@@ -1,0 +1,59 @@
+#include "core/attr_options.h"
+
+namespace hgdb {
+
+Result<AttrOptions> AttrOptions::Parse(const std::string& spec) {
+  AttrOptions out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const char sign = spec[pos];
+    if (sign != '+' && sign != '-') {
+      return Status::InvalidArgument("attr options: expected '+' or '-' at position " +
+                                     std::to_string(pos) + " in \"" + spec + "\"");
+    }
+    ++pos;
+    // Token runs until the next +/- or end of string.
+    size_t end = pos;
+    while (end < spec.size() && spec[end] != '+' && spec[end] != '-') ++end;
+    const std::string token = spec.substr(pos, end - pos);
+    pos = end;
+
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("attr options: missing ':' in \"" + token + "\"");
+    }
+    const std::string target = token.substr(0, colon);
+    const std::string name = token.substr(colon + 1);
+    if (name.empty()) {
+      return Status::InvalidArgument("attr options: empty attribute name");
+    }
+    const bool plus = sign == '+';
+    if (target == "node") {
+      if (name == "all") {
+        out.node_all = plus;
+      } else if (plus) {
+        out.node_include.insert(name);
+        out.node_exclude.erase(name);
+      } else {
+        out.node_exclude.insert(name);
+        out.node_include.erase(name);
+      }
+    } else if (target == "edge") {
+      if (name == "all") {
+        out.edge_all = plus;
+      } else if (plus) {
+        out.edge_include.insert(name);
+        out.edge_exclude.erase(name);
+      } else {
+        out.edge_exclude.insert(name);
+        out.edge_include.erase(name);
+      }
+    } else {
+      return Status::InvalidArgument("attr options: unknown target \"" + target +
+                                     "\" (want node/edge)");
+    }
+  }
+  return out;
+}
+
+}  // namespace hgdb

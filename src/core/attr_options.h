@@ -1,0 +1,61 @@
+#ifndef HISTGRAPH_CORE_ATTR_OPTIONS_H_
+#define HISTGRAPH_CORE_ATTR_OPTIONS_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "temporal/event.h"
+
+namespace hgdb {
+
+/// \brief Parsed attribute-retrieval options (Table 1 of the paper).
+///
+/// The option string concatenates sub-options:
+///   "-node:all"   (default) no node attributes
+///   "+node:all"   all node attributes
+///   "+node:attr1" fetch node attribute attr1 (overrides -node:all for it)
+///   "-node:attr1" skip node attribute attr1 (overrides +node:all for it)
+/// and the same for "edge:". Example from the paper: to fetch all node
+/// attributes except salary plus the edge attribute name:
+///   "+node:all-node:salary+edge:name".
+struct AttrOptions {
+  bool node_all = false;
+  bool edge_all = false;
+  std::unordered_set<std::string> node_include, node_exclude;
+  std::unordered_set<std::string> edge_include, edge_exclude;
+
+  /// Parses an option string; empty string = structure only.
+  static Result<AttrOptions> Parse(const std::string& spec);
+
+  /// Columnar components a query with these options must fetch.
+  unsigned Components() const {
+    unsigned c = kCompStruct;
+    if (node_all || !node_include.empty()) c |= kCompNodeAttr;
+    if (edge_all || !edge_include.empty()) c |= kCompEdgeAttr;
+    return c;
+  }
+
+  /// Whether a specific attribute key survives filtering.
+  bool KeepNodeAttr(const std::string& key) const {
+    if (node_include.contains(key)) return true;
+    if (node_exclude.contains(key)) return false;
+    return node_all;
+  }
+  bool KeepEdgeAttr(const std::string& key) const {
+    if (edge_include.contains(key)) return true;
+    if (edge_exclude.contains(key)) return false;
+    return edge_all;
+  }
+
+  /// True if some individual attribute filtering is needed beyond whole
+  /// components.
+  bool NeedsFiltering() const {
+    return !node_include.empty() || !node_exclude.empty() || !edge_include.empty() ||
+           !edge_exclude.empty();
+  }
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_CORE_ATTR_OPTIONS_H_

@@ -1,0 +1,61 @@
+#include "core/hist_objects.h"
+
+#include <algorithm>
+
+namespace hgdb {
+
+std::vector<HistNode> HistNode::GetNeighbors() const {
+  std::vector<HistNode> out;
+  if (graph_ == nullptr) return out;
+  for (NodeId n : graph_->GetNeighbors(id_)) out.emplace_back(graph_, n);
+  return out;
+}
+
+std::vector<HistEdge> HistNode::GetEdges() const {
+  std::vector<HistEdge> out;
+  if (graph_ == nullptr) return out;
+  for (EdgeId e : graph_->view().GetIncidentEdges(id_)) out.emplace_back(graph_, e);
+  return out;
+}
+
+HistNode HistEdge::GetSource() const {
+  if (graph_ == nullptr) return HistNode();
+  const EdgeRecord* rec = graph_->view().GetEdgeRecord(id_);
+  return rec == nullptr ? HistNode() : HistNode(graph_, rec->src);
+}
+
+HistNode HistEdge::GetDestination() const {
+  if (graph_ == nullptr) return HistNode();
+  const EdgeRecord* rec = graph_->view().GetEdgeRecord(id_);
+  return rec == nullptr ? HistNode() : HistNode(graph_, rec->dst);
+}
+
+bool HistEdge::IsDirected() const {
+  if (graph_ == nullptr) return false;
+  const EdgeRecord* rec = graph_->view().GetEdgeRecord(id_);
+  return rec != nullptr && rec->directed;
+}
+
+std::vector<HistNode> GetNodeObjs(const HistGraph& graph) {
+  std::vector<HistNode> out;
+  for (NodeId n : graph.GetNodes()) out.emplace_back(&graph, n);
+  return out;
+}
+
+Result<HistEdge> GetEdgeObj(const HistGraph& graph, const HistNode& a,
+                            const HistNode& b) {
+  std::vector<EdgeId> candidates;
+  for (EdgeId e : graph.view().GetIncidentEdges(a.id())) {
+    const EdgeRecord* rec = graph.view().GetEdgeRecord(e);
+    if (rec == nullptr) continue;
+    const NodeId other = rec->src == a.id() ? rec->dst : rec->src;
+    if (other == b.id()) candidates.push_back(e);
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no edge between nodes " + std::to_string(a.id()) +
+                            " and " + std::to_string(b.id()));
+  }
+  return HistEdge(&graph, *std::min_element(candidates.begin(), candidates.end()));
+}
+
+}  // namespace hgdb

@@ -1,0 +1,81 @@
+#ifndef HISTGRAPH_CORE_HIST_OBJECTS_H_
+#define HISTGRAPH_CORE_HIST_OBJECTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/graph_manager.h"
+
+namespace hgdb {
+
+class HistEdge;
+
+/// \brief Object-style node handle mirroring the paper's traversal snippet:
+///
+///   List<HistNode> nodes = h1.getNodes();
+///   List<HistNode> neighborList = nodes.get(0).getNeighbors();
+///   HistEdge ed = h1.getEdgeObj(nodes.get(0), neighborList.get(0));
+///
+/// (Section 3.2.1; the paper's longer-term goal is the Blueprints API — this
+/// is the equivalent C++ shape.) Handles are cheap value types borrowing the
+/// HistGraph; they must not outlive it.
+class HistNode {
+ public:
+  HistNode() = default;
+  HistNode(const HistGraph* graph, NodeId id) : graph_(graph), id_(id) {}
+
+  NodeId id() const { return id_; }
+  bool valid() const { return graph_ != nullptr && graph_->HasNode(id_); }
+
+  /// Neighbor handles in this historical graph.
+  std::vector<HistNode> GetNeighbors() const;
+
+  /// Incident edge handles.
+  std::vector<HistEdge> GetEdges() const;
+
+  /// Attribute value as of the graph's time point, or nullptr.
+  const std::string* GetAttr(const std::string& key) const {
+    return graph_ == nullptr ? nullptr : graph_->GetNodeAttr(id_, key);
+  }
+
+  bool operator==(const HistNode& other) const { return id_ == other.id_; }
+
+ private:
+  const HistGraph* graph_ = nullptr;
+  NodeId id_ = kInvalidNodeId;
+};
+
+/// \brief Object-style edge handle (the paper's HistEdge).
+class HistEdge {
+ public:
+  HistEdge() = default;
+  HistEdge(const HistGraph* graph, EdgeId id) : graph_(graph), id_(id) {}
+
+  EdgeId id() const { return id_; }
+  bool valid() const { return graph_ != nullptr && graph_->HasEdge(id_); }
+
+  HistNode GetSource() const;
+  HistNode GetDestination() const;
+  bool IsDirected() const;
+
+  const std::string* GetAttr(const std::string& key) const {
+    return graph_ == nullptr ? nullptr : graph_->GetEdgeAttr(id_, key);
+  }
+
+ private:
+  const HistGraph* graph_ = nullptr;
+  EdgeId id_ = kInvalidEdgeId;
+};
+
+/// All node handles of a historical graph (the paper's h1.getNodes()).
+std::vector<HistNode> GetNodeObjs(const HistGraph& graph);
+
+/// The edge handle between two nodes, if one exists in this graph (the
+/// paper's h1.getEdgeObj(u, v)). When parallel edges connect the pair, the
+/// lowest edge id is returned.
+Result<HistEdge> GetEdgeObj(const HistGraph& graph, const HistNode& a,
+                            const HistNode& b);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_CORE_HIST_OBJECTS_H_

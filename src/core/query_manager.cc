@@ -1,0 +1,53 @@
+#include "core/query_manager.h"
+
+namespace hgdb {
+
+NodeId QueryManager::InternNode(const std::string& external_id) {
+  auto it = to_internal_.find(external_id);
+  if (it != to_internal_.end()) return it->second;
+  const NodeId id = next_node_id_++;
+  to_internal_.emplace(external_id, id);
+  to_external_.emplace(id, external_id);
+  return id;
+}
+
+Result<NodeId> QueryManager::Resolve(const std::string& external_id) const {
+  auto it = to_internal_.find(external_id);
+  if (it == to_internal_.end()) {
+    return Status::NotFound("external id: " + external_id);
+  }
+  return it->second;
+}
+
+Result<std::string> QueryManager::ExternalName(NodeId id) const {
+  auto it = to_external_.find(id);
+  if (it == to_external_.end()) {
+    return Status::NotFound("internal id: " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status QueryManager::AddNode(
+    Timestamp t, const std::string& external_id,
+    const std::vector<std::pair<std::string, std::string>>& attrs) {
+  const NodeId id = InternNode(external_id);
+  HG_RETURN_NOT_OK(gm_->ApplyEvent(Event::AddNode(t, id)));
+  for (const auto& [k, v] : attrs) {
+    HG_RETURN_NOT_OK(gm_->ApplyEvent(Event::SetNodeAttr(t, id, k, std::nullopt, v)));
+  }
+  return Status::OK();
+}
+
+Result<EdgeId> QueryManager::AddEdge(Timestamp t, const std::string& src_external,
+                                     const std::string& dst_external, bool directed) {
+  auto src = Resolve(src_external);
+  if (!src.ok()) return src.status();
+  auto dst = Resolve(dst_external);
+  if (!dst.ok()) return dst.status();
+  const EdgeId id = next_edge_id_++;
+  HG_RETURN_NOT_OK(
+      gm_->ApplyEvent(Event::AddEdge(t, id, src.value(), dst.value(), directed)));
+  return id;
+}
+
+}  // namespace hgdb

@@ -1,0 +1,57 @@
+#ifndef HISTGRAPH_CORE_QUERY_MANAGER_H_
+#define HISTGRAPH_CORE_QUERY_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/graph_manager.h"
+
+namespace hgdb {
+
+/// \brief The user-facing id-translation layer (Figure 2's QueryManager).
+///
+/// "One of its functions is to translate any explicit references (e.g.
+/// user-id) from the query to the corresponding internal-id and vice-versa
+/// for the final result, using a lookup table." This component keeps that
+/// lookup table and offers convenience wrappers that accept external string
+/// ids (e.g. author names) instead of internal NodeIds. Application-specific
+/// concerns beyond translation are intentionally out of scope, as in the
+/// paper.
+class QueryManager {
+ public:
+  explicit QueryManager(GraphManager* gm) : gm_(gm) {}
+
+  /// Registers (or looks up) an external id, allocating an internal NodeId.
+  NodeId InternNode(const std::string& external_id);
+
+  /// Resolves an external id; NotFound if never registered.
+  Result<NodeId> Resolve(const std::string& external_id) const;
+
+  /// Reverse lookup for presenting results.
+  Result<std::string> ExternalName(NodeId id) const;
+
+  /// Convenience: record a node addition (plus attributes) under an external
+  /// id at time `t`.
+  Status AddNode(Timestamp t, const std::string& external_id,
+                 const std::vector<std::pair<std::string, std::string>>& attrs = {});
+
+  /// Convenience: record an edge between two previously registered external
+  /// ids. Returns the new edge id.
+  Result<EdgeId> AddEdge(Timestamp t, const std::string& src_external,
+                         const std::string& dst_external, bool directed = false);
+
+  GraphManager* graph_manager() { return gm_; }
+
+ private:
+  GraphManager* gm_;
+  std::unordered_map<std::string, NodeId> to_internal_;
+  std::unordered_map<NodeId, std::string> to_external_;
+  NodeId next_node_id_ = 1;
+  EdgeId next_edge_id_ = 1;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_CORE_QUERY_MANAGER_H_

@@ -1,0 +1,54 @@
+#ifndef HISTGRAPH_CORE_TIME_EXPRESSION_H_
+#define HISTGRAPH_CORE_TIME_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace hgdb {
+
+/// \brief A multinomial Boolean expression over k time points (Section 3.2.1).
+///
+/// `GetHistGraph(TimeExpression, ...)` retrieves the hypothetical graph whose
+/// elements satisfy the expression — e.g. `(t0 & !t1)` selects the elements
+/// valid at t0 but not at t1. Time points are referenced as t0, t1, ... and
+/// combined with `&`, `|`, `!`, and parentheses.
+class TimeExpression {
+ public:
+  /// Builds an expression over `times` from a boolean formula string, e.g.
+  /// TimeExpression::Parse({t_a, t_b}, "t0 & !t1").
+  static Result<TimeExpression> Parse(std::vector<Timestamp> times,
+                                      const std::string& formula);
+
+  /// Evaluates the expression given per-timepoint membership of an element.
+  bool Evaluate(const std::vector<bool>& membership) const;
+
+  const std::vector<Timestamp>& times() const { return times_; }
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    enum class Op { kVar, kAnd, kOr, kNot } op = Op::kVar;
+    int var = -1;
+    std::unique_ptr<Node> lhs, rhs;
+  };
+
+  static Status ParseOr(const std::string& s, size_t* pos, size_t num_vars,
+                        std::unique_ptr<Node>* out);
+  static Status ParseAnd(const std::string& s, size_t* pos, size_t num_vars,
+                         std::unique_ptr<Node>* out);
+  static Status ParseFactor(const std::string& s, size_t* pos, size_t num_vars,
+                            std::unique_ptr<Node>* out);
+  static bool Eval(const Node& n, const std::vector<bool>& membership);
+  static std::string Render(const Node& n);
+
+  std::vector<Timestamp> times_;
+  std::shared_ptr<Node> root_;  // shared_ptr keeps TimeExpression copyable.
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_CORE_TIME_EXPRESSION_H_

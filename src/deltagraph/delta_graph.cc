@@ -1,0 +1,517 @@
+#include "deltagraph/delta_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/coding.h"
+
+namespace hgdb {
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+Status DeltaGraphOptions::Validate() const {
+  if (leaf_size < 1) return Status::InvalidArgument("leaf_size must be >= 1");
+  if (arity < 2) return Status::InvalidArgument("arity must be >= 2");
+  if (functions.empty()) {
+    return Status::InvalidArgument("at least one differential function required");
+  }
+  for (const auto& spec : functions) {
+    auto fn = MakeDifferentialFunction(spec);
+    if (!fn.ok()) return fn.status();
+  }
+  return Status::OK();
+}
+
+std::string DeltaGraphOptions::Encode() const {
+  std::string out;
+  PutVarint64(&out, leaf_size);
+  PutVarint32(&out, static_cast<uint32_t>(arity));
+  out.push_back(maintain_current ? 1 : 0);
+  out.push_back(use_plan_cache ? 1 : 0);
+  PutVarint64(&out, functions.size());
+  for (const auto& f : functions) PutLengthPrefixedSlice(&out, Slice(f));
+  return out;
+}
+
+Status DeltaGraphOptions::Decode(const std::string& blob, DeltaGraphOptions* out) {
+  Slice in(blob);
+  uint64_t leaf_size = 0, fn_count = 0;
+  uint32_t arity = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(&in, &leaf_size, "options leaf_size"));
+  if (!GetVarint32(&in, &arity)) return Status::Corruption("options arity");
+  if (in.empty()) return Status::Corruption("options maintain_current");
+  const bool maintain_current = in[0] != 0;
+  in.RemovePrefix(1);
+  if (in.empty()) return Status::Corruption("options use_plan_cache");
+  const bool use_plan_cache = in[0] != 0;
+  in.RemovePrefix(1);
+  HG_RETURN_NOT_OK(ExpectVarint64(&in, &fn_count, "options function count"));
+  out->functions.clear();
+  for (uint64_t i = 0; i < fn_count; ++i) {
+    std::string f;
+    HG_RETURN_NOT_OK(ExpectLengthPrefixedString(&in, &f, "options function"));
+    out->functions.push_back(std::move(f));
+  }
+  out->leaf_size = static_cast<size_t>(leaf_size);
+  out->arity = static_cast<int>(arity);
+  out->maintain_current = maintain_current;
+  out->use_plan_cache = use_plan_cache;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+DeltaGraph::DeltaGraph(KVStore* store, DeltaGraphOptions options)
+    : kv_(store), store_(store), options_(std::move(options)) {}
+
+Result<std::unique_ptr<DeltaGraph>> DeltaGraph::Create(KVStore* store,
+                                                       DeltaGraphOptions options) {
+  HG_RETURN_NOT_OK(options.Validate());
+  auto dg = std::unique_ptr<DeltaGraph>(new DeltaGraph(store, std::move(options)));
+  for (const auto& spec : dg->options_.functions) {
+    auto fn = MakeDifferentialFunction(spec);
+    dg->functions_.push_back(std::move(fn).value());
+  }
+  dg->pending_.resize(dg->functions_.size());
+  SkeletonNode super;
+  super.level = 0;
+  super.is_super_root = true;
+  dg->skeleton_.SetSuperRoot(dg->skeleton_.AddNode(super));
+  return dg;
+}
+
+Result<std::unique_ptr<DeltaGraph>> DeltaGraph::Open(KVStore* store) {
+  DeltaStore ds(store);
+  std::string blob;
+  HG_RETURN_NOT_OK(ds.GetMeta("options", &blob));
+  DeltaGraphOptions options;
+  HG_RETURN_NOT_OK(DeltaGraphOptions::Decode(blob, &options));
+  auto result = Create(store, std::move(options));
+  if (!result.ok()) return result.status();
+  auto dg = std::move(result).value();
+
+  Skeleton skel;
+  HG_RETURN_NOT_OK(ds.GetSkeleton(&skel));
+  dg->skeleton_ = std::move(skel);
+
+  HG_RETURN_NOT_OK(ds.GetMeta("counters", &blob));
+  Slice in(blob);
+  uint64_t next_id = 0, event_count = 0;
+  int64_t min_time = 0, max_time = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(&in, &next_id, "meta next_id"));
+  HG_RETURN_NOT_OK(ExpectVarint64(&in, &event_count, "meta event_count"));
+  if (!GetVarsint64(&in, &min_time) || !GetVarsint64(&in, &max_time)) {
+    return Status::Corruption("meta times");
+  }
+  dg->store_.SetNextId(next_id);
+  dg->event_count_ = static_cast<size_t>(event_count);
+  dg->min_time_ = min_time;
+  dg->max_time_ = max_time;
+  dg->has_initial_leaf_ = !dg->skeleton_.leaves().empty();
+
+  // Restore the recent (unindexed) eventlist.
+  Status s = ds.GetMeta("recent", &blob);
+  if (s.ok()) {
+    EventList recent;
+    HG_RETURN_NOT_OK(recent.DecodeAndMergeComponent(blob));
+    recent.FinalizeMerge();
+    dg->recent_ = std::move(recent);
+  } else if (!s.IsNotFound()) {
+    return s;
+  }
+
+  // Rebuild the current graph: last leaf snapshot + recent events.
+  if (dg->options_.maintain_current && !dg->skeleton_.leaves().empty()) {
+    const Timestamp last_boundary =
+        dg->skeleton_.node(dg->skeleton_.leaves().back()).boundary_time;
+    // Plan without the current graph (it does not exist yet).
+    Planner planner(PlannerContext{.skeleton = &dg->skeleton_,
+                                   .recent_count = 0,
+                                   .has_current = false});
+    auto plan = planner.PlanSnapshots({last_boundary}, kCompAll);
+    if (!plan.ok()) return plan.status();
+    auto snaps = dg->ExecuteSnapshotPlan(plan.value(), kCompAll);
+    if (!snaps.ok()) return snaps.status();
+    auto it = snaps.value().by_time.find(last_boundary);
+    if (it == snaps.value().by_time.end()) {
+      return Status::Internal("open: failed to rebuild current graph");
+    }
+    dg->current_ = std::move(it->second);
+    HG_RETURN_NOT_OK(dg->current_.ApplyAll(dg->recent_.events(), /*forward=*/true));
+  }
+  return dg;
+}
+
+// ---------------------------------------------------------------------------
+// Building / updating
+// ---------------------------------------------------------------------------
+
+Status DeltaGraph::SetInitialSnapshot(const Snapshot& g0, Timestamp t0) {
+  if (has_initial_leaf_ || event_count_ > 0) {
+    return Status::InvalidArgument(
+        "SetInitialSnapshot must precede all appended events");
+  }
+  SkeletonNode leaf;
+  leaf.level = 1;
+  leaf.is_leaf = true;
+  leaf.boundary_time = t0;
+  leaf.element_count = g0.ElementCount();
+  const int32_t leaf_id = skeleton_.AddNode(leaf);
+  auto graph = std::make_shared<Snapshot>(g0);
+  for (size_t h = 0; h < functions_.size(); ++h) {
+    if (pending_[h].empty()) pending_[h].emplace_back();
+    pending_[h][0].push_back(Pending{leaf_id, graph});
+  }
+  current_ = g0;
+  min_time_ = t0;
+  max_time_ = t0;
+  has_initial_leaf_ = true;
+  for (auto* hook : aux_hooks_) {
+    HG_RETURN_NOT_OK(hook->BuildOnInitialSnapshot(g0));
+    HG_RETURN_NOT_OK(hook->BuildOnLeaf(leaf_id, -1, -1));
+  }
+  return Status::OK();
+}
+
+Status DeltaGraph::Append(const Event& e) {
+  if (e.time < max_time_) {
+    return Status::InvalidArgument("events must be appended chronologically");
+  }
+  // Cut a leaf when the eventlist is full, but never split equal-time events
+  // across two leaves (a snapshot boundary must fall between distinct times).
+  if (recent_.size() >= options_.leaf_size && e.time > recent_.EndTime()) {
+    HG_RETURN_NOT_OK(CutLeaf());
+  }
+  if (!has_initial_leaf_) {
+    // Leaf 0: the initial (empty) state just before the first event.
+    SkeletonNode leaf;
+    leaf.level = 1;
+    leaf.is_leaf = true;
+    leaf.boundary_time = e.time - 1;
+    leaf.element_count = 0;
+    const int32_t leaf_id = skeleton_.AddNode(leaf);
+    auto graph = std::make_shared<Snapshot>();
+    for (size_t h = 0; h < functions_.size(); ++h) {
+      if (pending_[h].empty()) pending_[h].emplace_back();
+      pending_[h][0].push_back(Pending{leaf_id, graph});
+    }
+    for (auto* hook : aux_hooks_) {
+      HG_RETURN_NOT_OK(hook->BuildOnLeaf(leaf_id, -1, -1));
+    }
+    has_initial_leaf_ = true;
+  }
+  HG_RETURN_NOT_OK(current_.Apply(e, /*forward=*/true));
+  recent_.Append(e);
+  min_time_ = std::min(min_time_, e.time);
+  max_time_ = std::max(max_time_, e.time);
+  ++event_count_;
+  for (auto* hook : aux_hooks_) {
+    HG_RETURN_NOT_OK(hook->BuildOnEvent(e, current_));
+  }
+  return Status::OK();
+}
+
+Status DeltaGraph::AppendAll(const std::vector<Event>& events) {
+  for (const auto& e : events) HG_RETURN_NOT_OK(Append(e));
+  return Status::OK();
+}
+
+Status DeltaGraph::CutLeaf() {
+  if (recent_.empty()) return Status::OK();
+  const int32_t prev_leaf = skeleton_.leaves().back();
+
+  SkeletonNode leaf;
+  leaf.level = 1;
+  leaf.is_leaf = true;
+  leaf.boundary_time = recent_.EndTime();
+  leaf.element_count = current_.ElementCount();
+  const int32_t leaf_id = skeleton_.AddNode(leaf);
+
+  // Persist the eventlist and hook it between the leaves.
+  SkeletonEdge edge;
+  edge.from = prev_leaf;
+  edge.to = leaf_id;
+  edge.is_eventlist = true;
+  edge.delta_id = store_.AllocateId();
+  HG_RETURN_NOT_OK(store_.PutEventList(edge.delta_id, recent_, &edge.sizes));
+  const int32_t edge_id = skeleton_.AddEdge(edge);
+
+  auto graph = std::make_shared<Snapshot>(current_);
+  for (size_t h = 0; h < functions_.size(); ++h) {
+    if (pending_[h].empty()) pending_[h].emplace_back();
+    pending_[h][0].push_back(Pending{leaf_id, graph});
+  }
+  for (auto* hook : aux_hooks_) {
+    HG_RETURN_NOT_OK(hook->BuildOnLeaf(leaf_id, prev_leaf, edge_id));
+  }
+  recent_.Clear();
+  return CascadeMerges(/*force_partial=*/false);
+}
+
+Status DeltaGraph::BuildParent(size_t hierarchy, size_t level_index,
+                               bool force_partial) {
+  auto& level = pending_[hierarchy][level_index];
+  const size_t take =
+      std::min(level.size(), static_cast<size_t>(options_.arity));
+  if (take < 2 && !force_partial) return Status::OK();
+  if (take < 2) return Status::OK();
+
+  std::vector<Pending> children(level.begin(), level.begin() + take);
+  level.erase(level.begin(), level.begin() + take);
+
+  std::vector<const Snapshot*> child_graphs;
+  child_graphs.reserve(children.size());
+  for (const auto& c : children) child_graphs.push_back(c.graph.get());
+  auto parent_graph =
+      std::make_shared<Snapshot>(functions_[hierarchy]->Combine(child_graphs));
+
+  SkeletonNode parent;
+  parent.level = static_cast<int32_t>(level_index + 2);
+  parent.hierarchy = static_cast<int32_t>(hierarchy);
+  parent.element_count = parent_graph->ElementCount();
+  // The covered time range is that of the children (diagnostics only).
+  parent.boundary_time = skeleton_.node(children.back().node_id).boundary_time;
+  const int32_t parent_id = skeleton_.AddNode(parent);
+
+  std::vector<int32_t> child_ids, edge_ids;
+  for (const auto& c : children) {
+    Delta d = Delta::Between(*c.graph, *parent_graph);
+    SkeletonEdge edge;
+    edge.from = parent_id;
+    edge.to = c.node_id;
+    edge.delta_id = store_.AllocateId();
+    HG_RETURN_NOT_OK(store_.PutDelta(edge.delta_id, d, &edge.sizes));
+    const int32_t eid = skeleton_.AddEdge(edge);
+    child_ids.push_back(c.node_id);
+    edge_ids.push_back(eid);
+  }
+  for (auto* hook : aux_hooks_) {
+    HG_RETURN_NOT_OK(hook->BuildOnParent(parent_id, child_ids, edge_ids));
+  }
+
+  if (pending_[hierarchy].size() <= level_index + 1) {
+    pending_[hierarchy].emplace_back();
+  }
+  pending_[hierarchy][level_index + 1].push_back(Pending{parent_id, parent_graph});
+  return Status::OK();
+}
+
+Status DeltaGraph::CascadeMerges(bool force_partial) {
+  for (size_t h = 0; h < pending_.size(); ++h) {
+    for (size_t l = 0; l < pending_[h].size(); ++l) {
+      while (pending_[h][l].size() >= static_cast<size_t>(options_.arity)) {
+        HG_RETURN_NOT_OK(BuildParent(h, l, false));
+      }
+      if (force_partial) {
+        if (pending_[h][l].size() >= 2) {
+          HG_RETURN_NOT_OK(BuildParent(h, l, true));
+        }
+        // A single leftover node is promoted upward so exactly one root
+        // emerges per hierarchy.
+        if (pending_[h][l].size() == 1 && l + 1 < pending_[h].size()) {
+          pending_[h][l + 1].push_back(std::move(pending_[h][l].front()));
+          pending_[h][l].clear();
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DeltaGraph::AttachSuperRoot(size_t hierarchy, const Pending& pending_root) {
+  // Skip if this node is already attached.
+  for (int32_t eid : skeleton_.incident_edges(skeleton_.super_root())) {
+    const SkeletonEdge& e = skeleton_.edge(eid);
+    if (!e.deleted && e.to == pending_root.node_id) return Status::OK();
+  }
+  Snapshot empty;
+  Delta d = Delta::Between(*pending_root.graph, empty);
+  SkeletonEdge edge;
+  edge.from = skeleton_.super_root();
+  edge.to = pending_root.node_id;
+  edge.delta_id = store_.AllocateId();
+  HG_RETURN_NOT_OK(store_.PutDelta(edge.delta_id, d, &edge.sizes));
+  const int32_t eid = skeleton_.AddEdge(edge);
+  for (auto* hook : aux_hooks_) {
+    HG_RETURN_NOT_OK(hook->BuildOnSuperRootEdge(eid, pending_root.node_id));
+  }
+  (void)hierarchy;
+  return Status::OK();
+}
+
+Status DeltaGraph::Finalize() {
+  if (!recent_.empty()) HG_RETURN_NOT_OK(CutLeaf());
+  HG_RETURN_NOT_OK(CascadeMerges(/*force_partial=*/true));
+  for (size_t h = 0; h < pending_.size(); ++h) {
+    for (auto& level : pending_[h]) {
+      for (auto& p : level) {
+        HG_RETURN_NOT_OK(AttachSuperRoot(h, p));
+      }
+    }
+    pending_[h].clear();
+  }
+  return PersistMeta();
+}
+
+Status DeltaGraph::PersistMeta() {
+  HG_RETURN_NOT_OK(store_.PutSkeleton(skeleton_));
+  HG_RETURN_NOT_OK(store_.PutMeta("options", options_.Encode()));
+  std::string counters;
+  PutVarint64(&counters, store_.next_id());
+  PutVarint64(&counters, event_count_);
+  PutVarsint64(&counters, min_time_);
+  PutVarsint64(&counters, max_time_);
+  HG_RETURN_NOT_OK(store_.PutMeta("counters", counters));
+  std::string recent_blob;
+  recent_.EncodeComponent(
+      static_cast<ComponentMask>(kCompAllWithTransient), &recent_blob);
+  HG_RETURN_NOT_OK(store_.PutMeta("recent", recent_blob));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Materialization
+// ---------------------------------------------------------------------------
+
+std::vector<int32_t> DeltaGraph::NodesAtDepth(int depth) const {
+  std::vector<int32_t> frontier;
+  const int32_t sr = skeleton_.super_root();
+  if (sr < 0) return frontier;
+  for (int32_t eid : skeleton_.incident_edges(sr)) {
+    const SkeletonEdge& e = skeleton_.edge(eid);
+    if (!e.deleted && !e.is_eventlist && e.from == sr) frontier.push_back(e.to);
+  }
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int32_t> next;
+    for (int32_t node : frontier) {
+      bool has_children = false;
+      for (int32_t eid : skeleton_.incident_edges(node)) {
+        const SkeletonEdge& e = skeleton_.edge(eid);
+        if (!e.deleted && !e.is_eventlist && e.from == node) {
+          next.push_back(e.to);
+          has_children = true;
+        }
+      }
+      // Leaves stay in the frontier so "grandchildren of a shallow root"
+      // remains meaningful on ragged trees.
+      if (!has_children) next.push_back(node);
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+Status DeltaGraph::MaterializeNode(int32_t node_id, unsigned components) {
+  std::vector<int32_t> ids = {node_id};
+  Planner planner(MakePlannerContext());
+  auto plan = planner.PlanNodes(ids, components);
+  if (!plan.ok()) return plan.status();
+  auto exec = ExecuteSnapshotPlan(plan.value(), components);
+  if (!exec.ok()) return exec.status();
+  auto it = exec.value().by_node.find(node_id);
+  if (it == exec.value().by_node.end()) {
+    return Status::Internal("materialize: node not emitted by plan");
+  }
+  materialized_[node_id] = std::make_shared<Snapshot>(std::move(it->second));
+  skeleton_.mutable_node(node_id)->materialized = true;
+  skeleton_.mutable_node(node_id)->materialized_components = components;
+  skeleton_.mutable_node(node_id)->element_count =
+      materialized_[node_id]->ElementCount();
+  return Status::OK();
+}
+
+Status DeltaGraph::UnmaterializeNode(int32_t node_id) {
+  materialized_.erase(node_id);
+  skeleton_.mutable_node(node_id)->materialized = false;
+  skeleton_.mutable_node(node_id)->materialized_components = 0;
+  return Status::OK();
+}
+
+Result<size_t> DeltaGraph::MaterializeDepth(int depth, unsigned components) {
+  const std::vector<int32_t> ids = NodesAtDepth(depth);
+  if (ids.empty()) return Status::InvalidArgument("no nodes at requested depth");
+  Planner planner(MakePlannerContext());
+  auto plan = planner.PlanNodes(ids, components);
+  if (!plan.ok()) return plan.status();
+  auto exec = ExecuteSnapshotPlan(plan.value(), components);
+  if (!exec.ok()) return exec.status();
+  size_t count = 0;
+  for (auto& [id, snap] : exec.value().by_node) {
+    materialized_[id] = std::make_shared<Snapshot>(std::move(snap));
+    skeleton_.mutable_node(id)->materialized = true;
+    skeleton_.mutable_node(id)->materialized_components = components;
+    skeleton_.mutable_node(id)->element_count = materialized_[id]->ElementCount();
+    ++count;
+  }
+  return count;
+}
+
+Status DeltaGraph::MaterializeAllLeaves(unsigned components) {
+  std::vector<int32_t> ids = skeleton_.leaves();
+  Planner planner(MakePlannerContext());
+  auto plan = planner.PlanNodes(ids, components);
+  if (!plan.ok()) return plan.status();
+  auto exec = ExecuteSnapshotPlan(plan.value(), components);
+  if (!exec.ok()) return exec.status();
+  for (auto& [id, snap] : exec.value().by_node) {
+    materialized_[id] = std::make_shared<Snapshot>(std::move(snap));
+    skeleton_.mutable_node(id)->materialized = true;
+    skeleton_.mutable_node(id)->materialized_components = components;
+  }
+  return Status::OK();
+}
+
+const Snapshot* DeltaGraph::materialized_snapshot(int32_t node_id) const {
+  auto it = materialized_.find(node_id);
+  return it == materialized_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+PlannerContext DeltaGraph::MakePlannerContext() const {
+  PlannerContext ctx;
+  ctx.skeleton = &skeleton_;
+  ctx.recent_count = recent_.size();
+  ctx.recent_end = recent_.empty() ? kMinTimestamp : recent_.EndTime();
+  ctx.has_current = options_.maintain_current;
+  ctx.current_elements = current_.ElementCount();
+  return ctx;
+}
+
+DeltaGraphStats DeltaGraph::Stats() const {
+  DeltaGraphStats stats;
+  stats.leaf_count = skeleton_.leaves().size();
+  stats.node_count = skeleton_.node_count();
+  int max_level = 0;
+  for (size_t i = 0; i < skeleton_.node_count(); ++i) {
+    const auto& n = skeleton_.node(static_cast<int32_t>(i));
+    if (!n.is_super_root) max_level = std::max(max_level, n.level);
+  }
+  stats.height = max_level;
+  for (size_t i = 0; i < skeleton_.edge_count(); ++i) {
+    const auto& e = skeleton_.edge(static_cast<int32_t>(i));
+    if (e.deleted) continue;
+    ++stats.edge_count;
+    if (e.is_eventlist) {
+      stats.eventlist_bytes += e.sizes.TotalBytes(kCompAllWithTransient);
+    } else {
+      stats.delta_bytes += e.sizes.TotalBytes(kCompAllWithTransient);
+    }
+  }
+  stats.store_bytes = kv_->ValueBytes();
+  stats.materialized_nodes = materialized_.size();
+  for (const auto& [id, snap] : materialized_) {
+    stats.materialized_bytes += snap->MemoryBytes();
+  }
+  return stats;
+}
+
+}  // namespace hgdb

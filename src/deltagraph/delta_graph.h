@@ -1,0 +1,236 @@
+#ifndef HISTGRAPH_DELTAGRAPH_DELTA_GRAPH_H_
+#define HISTGRAPH_DELTAGRAPH_DELTA_GRAPH_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "deltagraph/aux_hook.h"
+#include "deltagraph/delta_store.h"
+#include "deltagraph/differential.h"
+#include "deltagraph/plan.h"
+#include "deltagraph/planner.h"
+#include "deltagraph/skeleton.h"
+#include "graph/delta.h"
+#include "graph/snapshot.h"
+#include "kvstore/kv_store.h"
+#include "temporal/event.h"
+#include "temporal/event_list.h"
+
+namespace hgdb {
+
+/// Construction parameters of a DeltaGraph (Section 4.6): the leaf-eventlist
+/// size L, the arity k, and the differential function(s). Multiple functions
+/// build multiple hierarchies over the same leaves (Figure 3(b)), trading
+/// disk space for query latitude.
+struct DeltaGraphOptions {
+  size_t leaf_size = 1000;  ///< L: events per leaf-eventlist.
+  int arity = 2;            ///< k: children per interior node.
+  /// Differential function specs (see MakeDifferentialFunction); one
+  /// hierarchy is built per entry.
+  std::vector<std::string> functions = {"intersection"};
+  /// Keep the current graph in memory and treat it as materialized
+  /// (Section 4.5: "the rightmost leaf should also be considered
+  /// materialized"). Needed for updates; may be disabled for read-only
+  /// replay experiments.
+  bool maintain_current = true;
+  /// Reuse a cached super-root shortest-path tree across singlepoint queries
+  /// (the incremental-planning optimization of Section 4.3's discussion);
+  /// invalidated automatically whenever the skeleton changes.
+  bool use_plan_cache = true;
+
+  Status Validate() const;
+  std::string Encode() const;
+  static Status Decode(const std::string& blob, DeltaGraphOptions* out);
+};
+
+/// Index statistics for the experiments (space columns of Figures 7, 9, 10).
+struct DeltaGraphStats {
+  size_t leaf_count = 0;
+  size_t node_count = 0;        ///< Skeleton nodes (incl. super-root).
+  size_t edge_count = 0;        ///< Live skeleton edges.
+  int height = 0;               ///< Levels incl. leaves, excl. super-root.
+  uint64_t delta_bytes = 0;     ///< Serialized delta bytes (interior + root).
+  uint64_t eventlist_bytes = 0; ///< Serialized leaf-eventlist bytes.
+  uint64_t store_bytes = 0;     ///< Actual (compressed) bytes in the KV store.
+  uint64_t materialized_bytes = 0;  ///< Approx. memory held by materialization.
+  size_t materialized_nodes = 0;
+};
+
+/// \brief Visitor over a plan execution (used for snapshot retrieval and for
+/// auxiliary-index retrieval over the same plan).
+class PlanVisitor {
+ public:
+  virtual ~PlanVisitor() = default;
+  virtual Status LoadMaterialized(int32_t node) = 0;
+  virtual Status LoadCurrent() = 0;
+  /// Undo of LoadMaterialized/LoadCurrent during backtracking.
+  virtual Status Unload() = 0;
+  virtual Status ApplyDelta(int32_t edge, bool forward) = 0;
+  virtual Status ApplyEvents(int32_t edge, bool forward, Timestamp lo, Timestamp hi) = 0;
+  virtual Status ApplyRecentEvents(bool forward, Timestamp lo, Timestamp hi) = 0;
+  /// `is_final` marks the very last emit of the plan: the working snapshot
+  /// will not be used again, so the visitor may move instead of copy.
+  virtual Status EmitTime(Timestamp t, bool is_final) = 0;
+  virtual Status EmitNode(int32_t node, bool is_final) = 0;
+};
+
+/// \brief The DeltaGraph: a hierarchical delta-based index over the history
+/// of a graph (Section 4), storing its payloads in a key-value store and its
+/// skeleton in memory.
+///
+/// Usage:
+///   auto dg = DeltaGraph::Create(store, options).value();
+///   dg->AppendAll(events);      // chronological
+///   dg->Finalize();             // attach roots, persist skeleton
+///   Snapshot g = dg->GetSnapshot(t, kCompStruct | kCompNodeAttr).value();
+///
+/// The index remains updatable after Finalize: further Append calls extend
+/// the recent eventlist, cut new leaves every L events, and cascade interior
+/// node creation (Section 6, "Updates to the Current graph").
+class DeltaGraph {
+ public:
+  /// Creates a fresh index backed by `store` (which must be empty of
+  /// DeltaGraph keys). The store must outlive the DeltaGraph.
+  static Result<std::unique_ptr<DeltaGraph>> Create(KVStore* store,
+                                                    DeltaGraphOptions options);
+
+  /// Reopens an index previously persisted to `store` by Finalize.
+  static Result<std::unique_ptr<DeltaGraph>> Open(KVStore* store);
+
+  // -- Building and updating --------------------------------------------------
+  /// Installs a non-empty initial graph G0 as of time `t0` (the state of
+  /// leaf 0). Must be called before any Append. This is how Datasets 2 and 3
+  /// of the paper start "with Dataset 1 / a patent network as the starting
+  /// snapshot"; with Intersection it also makes the root approximate the
+  /// surviving part of G0 (Section 5.3).
+  Status SetInitialSnapshot(const Snapshot& g0, Timestamp t0);
+
+  /// Appends one event (must be chronologically >= all prior events). Applies
+  /// it to the current graph and cuts a leaf when the recent eventlist
+  /// reaches L (leaves are cut at time boundaries so that equal-time events
+  /// never straddle two eventlists).
+  Status Append(const Event& e);
+  Status AppendAll(const std::vector<Event>& events);
+
+  /// Flushes the trailing partial eventlist as a final (short) leaf, builds
+  /// parents for all pending nodes up to the root(s), attaches root(s) to the
+  /// super-root, and persists the skeleton. Idempotent; callable again after
+  /// further appends.
+  Status Finalize();
+
+  // -- Snapshot retrieval -----------------------------------------------------
+  /// Retrieves the snapshot as of time `t` (all events with time <= t
+  /// applied), fetching only the requested components.
+  Result<Snapshot> GetSnapshot(Timestamp t, unsigned components = kCompAll);
+
+  /// Multipoint retrieval (Section 4.4): one Steiner-planned pass fetching
+  /// each shared delta once. Returns snapshots in the order of `times`.
+  Result<std::vector<Snapshot>> GetSnapshots(const std::vector<Timestamp>& times,
+                                             unsigned components = kCompAll);
+
+  /// Exposes the plan the index would execute (benchmarks, tests, EXPLAIN).
+  Result<Plan> PlanFor(const std::vector<Timestamp>& times,
+                       unsigned components = kCompAll) const;
+
+  /// Runs a plan with a custom visitor (auxiliary-index retrieval reuses the
+  /// snapshot plan machinery this way).
+  Status ExecutePlan(const Plan& plan, PlanVisitor* visitor) const;
+
+  /// Collects all events with ts <= time < te, including transient events if
+  /// requested (backs GetHistGraphInterval).
+  Status CollectEvents(Timestamp ts, Timestamp te, unsigned components,
+                       EventList* out) const;
+
+  // -- Materialization (Section 4.5) -------------------------------------------
+  /// Materializes the graph of a skeleton node in memory; subsequent plans
+  /// may start from it at near-zero cost.
+  Status MaterializeNode(int32_t node_id, unsigned components = kCompAll);
+  Status UnmaterializeNode(int32_t node_id);
+  /// Nodes at `depth` edges below the super-root (0 = roots, 1 = their
+  /// children, ...).
+  std::vector<int32_t> NodesAtDepth(int depth) const;
+  /// Materializes every node at the given depth; returns how many.
+  Result<size_t> MaterializeDepth(int depth, unsigned components = kCompAll);
+  /// Total materialization: every leaf in memory (reduces the index to
+  /// Copy+Log with overlaid in-memory copies).
+  Status MaterializeAllLeaves(unsigned components = kCompAll);
+
+  // -- Introspection ------------------------------------------------------------
+  const Skeleton& skeleton() const { return skeleton_; }
+  const DeltaGraphOptions& options() const { return options_; }
+  const Snapshot& current() const { return current_; }
+  Timestamp min_time() const { return min_time_; }
+  Timestamp max_time() const { return max_time_; }
+  size_t event_count() const { return event_count_; }
+  DeltaGraphStats Stats() const;
+  const Snapshot* materialized_snapshot(int32_t node_id) const;
+
+  // -- Extensibility (Section 4.7) ----------------------------------------------
+  /// Registers an auxiliary index hook. Must be called before events are
+  /// appended; the hook must outlive the DeltaGraph.
+  void RegisterAuxHook(AuxIndexHook* hook) { aux_hooks_.push_back(hook); }
+
+  /// Reconstructs the auxiliary state of `hook` as of time `t` by replaying
+  /// the retrieval plan through the hook.
+  Result<std::unique_ptr<AuxState>> GetAuxState(const AuxIndexHook& hook,
+                                                Timestamp t) const;
+
+ private:
+  DeltaGraph(KVStore* store, DeltaGraphOptions options);
+
+  /// A node pending aggregation into a parent, with its in-memory graph.
+  struct Pending {
+    int32_t node_id;
+    std::shared_ptr<Snapshot> graph;
+  };
+
+  /// Snapshots produced by one plan execution, keyed by emit target.
+  struct SnapshotPlanResults {
+    std::map<Timestamp, Snapshot> by_time;
+    std::map<int32_t, Snapshot> by_node;
+  };
+  Result<SnapshotPlanResults> ExecuteSnapshotPlan(const Plan& plan,
+                                                  unsigned components) const;
+  Status WalkPlanNode(const PlanNode& node, PlanVisitor* visitor, bool is_tail) const;
+  Status ApplyPlanStep(const PlanStep& step, PlanVisitor* visitor, bool undo) const;
+
+  Status CutLeaf();  ///< Flush recent events as a leaf + eventlist edge.
+  Status BuildParent(size_t hierarchy, size_t level_index, bool force_partial);
+  Status CascadeMerges(bool force_partial);
+  Status AttachSuperRoot(size_t hierarchy, const Pending& pending_root);
+  PlannerContext MakePlannerContext() const;
+  Status PersistMeta();
+
+  KVStore* kv_;
+  DeltaStore store_;
+  DeltaGraphOptions options_;
+  std::vector<std::unique_ptr<DifferentialFunction>> functions_;
+  Skeleton skeleton_;
+
+  Snapshot current_;          ///< The current graph (state after all events).
+  EventList recent_;          ///< Events newer than the last leaf.
+  Timestamp min_time_ = kMaxTimestamp;
+  Timestamp max_time_ = kMinTimestamp;
+  size_t event_count_ = 0;
+  bool has_initial_leaf_ = false;
+
+  /// pending_[h][l] = nodes at level l+1 awaiting a parent in hierarchy h.
+  std::vector<std::vector<std::vector<Pending>>> pending_;
+
+  std::map<int32_t, std::shared_ptr<Snapshot>> materialized_;
+  std::map<int32_t, unsigned> materialized_components_;
+  mutable SsspCache sssp_cache_;  ///< Singlepoint planning cache.
+
+  std::vector<AuxIndexHook*> aux_hooks_;
+
+  friend class SnapshotPlanVisitor;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_DELTAGRAPH_DELTA_GRAPH_H_

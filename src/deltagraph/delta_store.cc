@@ -1,0 +1,108 @@
+#include "deltagraph/delta_store.h"
+
+namespace hgdb {
+
+namespace {
+
+constexpr ComponentMask kComponentByIndex[kNumComponents] = {
+    kCompStruct, kCompNodeAttr, kCompEdgeAttr, kCompTransient};
+
+constexpr char kComponentTag[kNumComponents] = {'s', 'n', 'e', 't'};
+
+}  // namespace
+
+std::string DeltaStore::Key(DeltaId id, int component_index) {
+  std::string key = "d/";
+  key += std::to_string(id);
+  key += '/';
+  key += kComponentTag[component_index];
+  return key;
+}
+
+Status DeltaStore::PutDelta(DeltaId id, const Delta& delta, ComponentSizes* sizes) {
+  *sizes = ComponentSizes();
+  std::string blob;
+  for (int c = 0; c < 3; ++c) {  // Deltas have no transient component.
+    const ComponentMask mask = kComponentByIndex[c];
+    if (delta.ElementCount(mask) == 0) continue;
+    delta.EncodeComponent(mask, &blob);
+    HG_RETURN_NOT_OK(store_->Put(Key(id, c), blob));
+    sizes->bytes[c] = blob.size();
+    sizes->elements[c] = delta.ElementCount(mask);
+  }
+  return Status::OK();
+}
+
+Status DeltaStore::GetDelta(DeltaId id, unsigned components,
+                            const ComponentSizes& sizes, Delta* out) const {
+  *out = Delta();
+  std::string blob;
+  for (int c = 0; c < 3; ++c) {
+    const ComponentMask mask = kComponentByIndex[c];
+    if ((components & mask) == 0) continue;
+    if (sizes.bytes[c] == 0) continue;  // Component empty; nothing stored.
+    HG_RETURN_NOT_OK(store_->Get(Key(id, c), &blob));
+    HG_RETURN_NOT_OK(out->DecodeComponent(mask, blob));
+  }
+  return Status::OK();
+}
+
+Status DeltaStore::PutEventList(DeltaId id, const EventList& events,
+                                ComponentSizes* sizes) {
+  *sizes = ComponentSizes();
+  std::string blob;
+  for (int c = 0; c < kNumComponents; ++c) {
+    const ComponentMask mask = kComponentByIndex[c];
+    const size_t count = events.CountComponent(mask);
+    if (count == 0) continue;
+    events.EncodeComponent(mask, &blob);
+    HG_RETURN_NOT_OK(store_->Put(Key(id, c), blob));
+    sizes->bytes[c] = blob.size();
+    sizes->elements[c] = count;
+  }
+  return Status::OK();
+}
+
+Status DeltaStore::GetEventList(DeltaId id, unsigned components,
+                                const ComponentSizes& sizes, EventList* out) const {
+  *out = EventList();
+  std::string blob;
+  for (int c = 0; c < kNumComponents; ++c) {
+    const ComponentMask mask = kComponentByIndex[c];
+    if ((components & mask) == 0) continue;
+    if (sizes.bytes[c] == 0) continue;
+    HG_RETURN_NOT_OK(store_->Get(Key(id, c), &blob));
+    HG_RETURN_NOT_OK(out->DecodeAndMergeComponent(blob));
+  }
+  out->FinalizeMerge();
+  return Status::OK();
+}
+
+Status DeltaStore::DeleteDelta(DeltaId id) {
+  for (int c = 0; c < kNumComponents; ++c) {
+    HG_RETURN_NOT_OK(store_->Delete(Key(id, c)));
+  }
+  return Status::OK();
+}
+
+Status DeltaStore::PutSkeleton(const Skeleton& skeleton) {
+  std::string blob;
+  skeleton.EncodeTo(&blob);
+  return store_->Put("m/skeleton", blob);
+}
+
+Status DeltaStore::GetSkeleton(Skeleton* skeleton) const {
+  std::string blob;
+  HG_RETURN_NOT_OK(store_->Get("m/skeleton", &blob));
+  return Skeleton::DecodeFrom(blob, skeleton);
+}
+
+Status DeltaStore::PutMeta(const std::string& key, const std::string& value) {
+  return store_->Put("m/" + key, value);
+}
+
+Status DeltaStore::GetMeta(const std::string& key, std::string* value) const {
+  return store_->Get("m/" + key, value);
+}
+
+}  // namespace hgdb

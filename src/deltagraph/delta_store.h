@@ -1,0 +1,73 @@
+#ifndef HISTGRAPH_DELTAGRAPH_DELTA_STORE_H_
+#define HISTGRAPH_DELTAGRAPH_DELTA_STORE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "deltagraph/skeleton.h"
+#include "graph/delta.h"
+#include "kvstore/kv_store.h"
+#include "temporal/event_list.h"
+
+namespace hgdb {
+
+/// \brief Columnar persistence of deltas and leaf-eventlists in a KVStore.
+///
+/// Each delta/eventlist is stored as up to four values under keys
+/// `d/<delta_id>/<component>` — the paper's
+/// `<partition id, delta id, c>` keys with the partition made implicit by
+/// using one store per partition (one Kyoto Cabinet instance per machine in
+/// the paper's deployment). Empty components are not stored; the skeleton's
+/// per-edge ComponentSizes record which components exist and how large they
+/// are, so queries fetch exactly what they need.
+class DeltaStore {
+ public:
+  explicit DeltaStore(KVStore* store) : store_(store) {}
+
+  /// Allocates a fresh delta id.
+  DeltaId AllocateId() { return next_id_++; }
+
+  /// Persists all non-empty components of `delta`; fills `sizes` with the
+  /// serialized byte/element counts per component.
+  Status PutDelta(DeltaId id, const Delta& delta, ComponentSizes* sizes);
+
+  /// Loads the requested components into `out` (missing components of the
+  /// request that were never stored are treated as empty).
+  Status GetDelta(DeltaId id, unsigned components, const ComponentSizes& sizes,
+                  Delta* out) const;
+
+  /// Persists all non-empty components of `events` (struct, nodeattr,
+  /// edgeattr, transient).
+  Status PutEventList(DeltaId id, const EventList& events, ComponentSizes* sizes);
+
+  /// Loads and merges the requested components, in original order.
+  Status GetEventList(DeltaId id, unsigned components, const ComponentSizes& sizes,
+                      EventList* out) const;
+
+  /// Deletes all components of a delta (used when index evolution replaces
+  /// super-root attachments).
+  Status DeleteDelta(DeltaId id);
+
+  /// Skeleton + metadata persistence.
+  Status PutSkeleton(const Skeleton& skeleton);
+  Status GetSkeleton(Skeleton* skeleton) const;
+  Status PutMeta(const std::string& key, const std::string& value);
+  Status GetMeta(const std::string& key, std::string* value) const;
+
+  KVStore* store() const { return store_; }
+
+  /// Restores the id allocator after reopening an index.
+  void SetNextId(DeltaId next) { next_id_ = next; }
+  DeltaId next_id() const { return next_id_; }
+
+ private:
+  static std::string Key(DeltaId id, int component_index);
+
+  KVStore* store_;
+  DeltaId next_id_ = 1;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_DELTAGRAPH_DELTA_STORE_H_

@@ -1,0 +1,70 @@
+#ifndef HISTGRAPH_DELTAGRAPH_DIFFERENTIAL_H_
+#define HISTGRAPH_DELTAGRAPH_DIFFERENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/snapshot.h"
+
+namespace hgdb {
+
+/// \brief A differential function f() (Table 2 of the paper).
+///
+/// A differential function computes the graph corresponding to an interior
+/// DeltaGraph node from the graphs of its k children: Sp = f(Sc1, ..., Sck).
+/// The result need not be a valid graph as of any time point — it is just a
+/// set of elements chosen to make the deltas to the children small and to
+/// shape the distribution of retrieval times over history (Section 5.2).
+class DifferentialFunction {
+ public:
+  virtual ~DifferentialFunction() = default;
+
+  /// Canonical name, e.g. "intersection", "mixed(0.5,0.5)".
+  virtual std::string name() const = 0;
+
+  /// Combines the children snapshots (ordered oldest to newest) into the
+  /// parent snapshot. Children are never empty.
+  virtual Snapshot Combine(const std::vector<const Snapshot*>& children) const = 0;
+};
+
+/// f(a, b, ...) = a ∩ b ∩ ... — lowest disk usage; skewed retrieval times
+/// (older snapshots faster on growing graphs). For a growing-only graph the
+/// root equals G0.
+std::unique_ptr<DifferentialFunction> MakeIntersectionFunction();
+
+/// f(a, b, ...) = a ∪ b ∪ ...
+std::unique_ptr<DifferentialFunction> MakeUnionFunction();
+
+/// f(...) = ∅ — reduces the DeltaGraph to the Copy+Log approach (every
+/// interior edge stores a full snapshot).
+std::unique_ptr<DifferentialFunction> MakeEmptyFunction();
+
+/// Mixed: f(a, b, c, ...) = a + r1·(δab + δbc + ...) − r2·(ρab + ρbc + ...),
+/// 0 ≤ r2 ≤ r1 ≤ 1. Element selection uses a fixed hash (the same hash for
+/// the δ and ρ picks, which keeps the result well-defined — Section 5.2).
+/// Balanced is the special case r1 = r2 = 1/2.
+std::unique_ptr<DifferentialFunction> MakeMixedFunction(double r1, double r2);
+
+/// Balanced: Mixed with r1 = r2 = 1/2; equalizes delta sizes across children.
+std::unique_ptr<DifferentialFunction> MakeBalancedFunction();
+
+/// Skewed: f(a, b) = a + r·(b − a). r = 0 yields a, r = 1 yields b. Folds
+/// pairwise for arity > 2.
+std::unique_ptr<DifferentialFunction> MakeSkewedFunction(double r);
+
+/// Right-skewed: f(a, b) = a∩b + r·(b − a∩b).
+std::unique_ptr<DifferentialFunction> MakeRightSkewedFunction(double r);
+
+/// Left-skewed: f(a, b) = a∩b + r·(a − a∩b).
+std::unique_ptr<DifferentialFunction> MakeLeftSkewedFunction(double r);
+
+/// Parses a function spec: "intersection", "union", "empty", "balanced",
+/// "mixed:<r1>:<r2>", "skewed:<r>", "rightskewed:<r>", "leftskewed:<r>".
+Result<std::unique_ptr<DifferentialFunction>> MakeDifferentialFunction(
+    const std::string& spec);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_DELTAGRAPH_DIFFERENTIAL_H_

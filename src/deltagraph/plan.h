@@ -1,0 +1,64 @@
+#ifndef HISTGRAPH_DELTAGRAPH_PLAN_H_
+#define HISTGRAPH_DELTAGRAPH_PLAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hgdb {
+
+/// \brief One state transition in a query plan.
+///
+/// A plan is a tree rooted at the *origin* (the empty graph, i.e. the
+/// super-root). Each step transforms the working snapshot:
+///  - kLoadMaterialized: replace the (empty) working snapshot with a copy of
+///    a materialized skeleton node's graph (the 0-weight super-root edges of
+///    Section 4.5).
+///  - kLoadCurrent: replace it with a copy of the current graph (the
+///    "rightmost leaf should also be considered materialized").
+///  - kApplyDelta: fetch skeleton edge's delta and apply it (forward =
+///    parent-to-child direction).
+///  - kApplyEvents: fetch a leaf-eventlist edge and apply the events with
+///    lo < time <= hi. Forward applies them oldest-first; backward undoes
+///    them newest-first. Full traversal uses (kMinTimestamp, kMaxTimestamp].
+///  - kApplyRecentEvents: like kApplyEvents but over the in-memory recent
+///    eventlist that has not been folded into the index yet (Section 6,
+///    "Updates to the Current graph").
+struct PlanStep {
+  enum class Kind : unsigned char {
+    kLoadMaterialized,
+    kLoadCurrent,
+    kApplyDelta,
+    kApplyEvents,
+    kApplyRecentEvents,
+  };
+  Kind kind = Kind::kApplyDelta;
+  int32_t node = -1;  ///< kLoadMaterialized: skeleton node id.
+  int32_t edge = -1;  ///< kApplyDelta / kApplyEvents: skeleton edge id.
+  bool forward = true;
+  Timestamp lo = kMinTimestamp;  ///< kApplyEvents: exclusive lower bound.
+  Timestamp hi = kMaxTimestamp;  ///< kApplyEvents: inclusive upper bound.
+};
+
+/// A node of the plan tree. `emit_times` are the query time points whose
+/// snapshots equal the working snapshot at this node; `emit_nodes` are
+/// skeleton node ids whose graphs equal it (materialization plans).
+struct PlanNode {
+  std::vector<Timestamp> emit_times;
+  std::vector<int32_t> emit_nodes;
+  std::vector<std::pair<PlanStep, std::unique_ptr<PlanNode>>> children;
+};
+
+/// A complete (single- or multi-point) retrieval plan.
+struct Plan {
+  std::unique_ptr<PlanNode> root;  ///< The origin (empty working snapshot).
+  double estimated_cost = 0.0;     ///< Sum of traversed edge weights (bytes).
+
+  /// Total number of steps (diagnostics).
+  size_t StepCount() const;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_DELTAGRAPH_PLAN_H_

@@ -1,0 +1,338 @@
+#include <unordered_map>
+
+#include "deltagraph/delta_graph.h"
+
+namespace hgdb {
+
+// ---------------------------------------------------------------------------
+// Snapshot plan execution
+// ---------------------------------------------------------------------------
+
+/// The PlanVisitor that actually reconstructs snapshots: fetches deltas and
+/// eventlists from the store, applies them to a working snapshot, and copies
+/// the working snapshot out at every emit point. Decoded deltas/eventlists
+/// are cached for the duration of one plan so the backtracking (inverse)
+/// application never refetches.
+class SnapshotPlanVisitor final : public PlanVisitor {
+ public:
+  SnapshotPlanVisitor(const DeltaGraph* dg, unsigned components)
+      : dg_(dg), components_(components) {}
+
+  Status LoadMaterialized(int32_t node) override {
+    const Snapshot* snap = dg_->materialized_snapshot(node);
+    if (snap == nullptr) {
+      return Status::Internal("plan: node not materialized: " + std::to_string(node));
+    }
+    const unsigned have = dg_->skeleton().node(node).materialized_components;
+    g_ = (have == components_) ? *snap : snap->CopyFiltered(components_);
+    return Status::OK();
+  }
+
+  Status LoadCurrent() override {
+    g_ = dg_->current().CopyFiltered(components_);
+    return Status::OK();
+  }
+
+  Status Unload() override {
+    g_.Clear();
+    return Status::OK();
+  }
+
+  Status ApplyDelta(int32_t edge, bool forward) override {
+    const Delta* d = nullptr;
+    HG_RETURN_NOT_OK(FetchDelta(edge, &d));
+    return d->ApplyTo(&g_, forward, components_);
+  }
+
+  Status ApplyEvents(int32_t edge, bool forward, Timestamp lo, Timestamp hi) override {
+    const EventList* el = nullptr;
+    HG_RETURN_NOT_OK(FetchEventList(edge, &el));
+    return ApplyRange(el->events(), forward, lo, hi);
+  }
+
+  Status ApplyRecentEvents(bool forward, Timestamp lo, Timestamp hi) override {
+    return ApplyRange(dg_->recent_.events(), forward, lo, hi);
+  }
+
+  Status EmitTime(Timestamp t, bool is_final) override {
+    // The last emit of the plan owns the working snapshot outright; skipping
+    // the copy matters for large snapshots (singlepoint queries especially).
+    results_.by_time[t] = is_final ? std::move(g_) : g_;
+    return Status::OK();
+  }
+
+  Status EmitNode(int32_t node, bool is_final) override {
+    results_.by_node[node] = is_final ? std::move(g_) : g_;
+    return Status::OK();
+  }
+
+  DeltaGraph::SnapshotPlanResults TakeResults() { return std::move(results_); }
+
+ private:
+  Status FetchDelta(int32_t edge, const Delta** out) {
+    auto it = delta_cache_.find(edge);
+    if (it == delta_cache_.end()) {
+      const SkeletonEdge& e = dg_->skeleton().edge(edge);
+      Delta d;
+      HG_RETURN_NOT_OK(
+          dg_->store_.GetDelta(e.delta_id, components_, e.sizes, &d));
+      it = delta_cache_.emplace(edge, std::move(d)).first;
+    }
+    *out = &it->second;
+    return Status::OK();
+  }
+
+  Status FetchEventList(int32_t edge, const EventList** out) {
+    auto it = el_cache_.find(edge);
+    if (it == el_cache_.end()) {
+      const SkeletonEdge& e = dg_->skeleton().edge(edge);
+      EventList el;
+      HG_RETURN_NOT_OK(
+          dg_->store_.GetEventList(e.delta_id, components_, e.sizes, &el));
+      it = el_cache_.emplace(edge, std::move(el)).first;
+    }
+    *out = &it->second;
+    return Status::OK();
+  }
+
+  // Applies events with lo < time <= hi. Forward applies them oldest-first;
+  // backward applies the same range newest-first, inverted.
+  Status ApplyRange(const std::vector<Event>& events, bool forward, Timestamp lo,
+                    Timestamp hi) {
+    if (forward) {
+      for (const auto& e : events) {
+        if (e.time <= lo) continue;
+        if (e.time > hi) break;
+        HG_RETURN_NOT_OK(g_.Apply(e, true, components_));
+      }
+    } else {
+      for (auto it = events.rbegin(); it != events.rend(); ++it) {
+        if (it->time > hi) continue;
+        if (it->time <= lo) break;
+        HG_RETURN_NOT_OK(g_.Apply(*it, false, components_));
+      }
+    }
+    return Status::OK();
+  }
+
+  const DeltaGraph* dg_;
+  unsigned components_;
+  Snapshot g_;
+  DeltaGraph::SnapshotPlanResults results_;
+  std::unordered_map<int32_t, Delta> delta_cache_;
+  std::unordered_map<int32_t, EventList> el_cache_;
+};
+
+Status DeltaGraph::ApplyPlanStep(const PlanStep& step, PlanVisitor* visitor,
+                                 bool undo) const {
+  switch (step.kind) {
+    case PlanStep::Kind::kLoadMaterialized:
+      return undo ? visitor->Unload() : visitor->LoadMaterialized(step.node);
+    case PlanStep::Kind::kLoadCurrent:
+      return undo ? visitor->Unload() : visitor->LoadCurrent();
+    case PlanStep::Kind::kApplyDelta:
+      return visitor->ApplyDelta(step.edge, undo ? !step.forward : step.forward);
+    case PlanStep::Kind::kApplyEvents:
+      return visitor->ApplyEvents(step.edge, undo ? !step.forward : step.forward,
+                                  step.lo, step.hi);
+    case PlanStep::Kind::kApplyRecentEvents:
+      return visitor->ApplyRecentEvents(undo ? !step.forward : step.forward, step.lo,
+                                        step.hi);
+  }
+  return Status::Internal("plan: unknown step kind");
+}
+
+Status DeltaGraph::WalkPlanNode(const PlanNode& node, PlanVisitor* visitor,
+                                bool is_tail) const {
+  // The very last emit of the whole plan happens at a tail node with no
+  // children; that emit may consume the working state.
+  const bool final_here = is_tail && node.children.empty();
+  for (size_t i = 0; i < node.emit_times.size(); ++i) {
+    const bool is_final =
+        final_here && node.emit_nodes.empty() && i + 1 == node.emit_times.size();
+    HG_RETURN_NOT_OK(visitor->EmitTime(node.emit_times[i], is_final));
+  }
+  for (size_t i = 0; i < node.emit_nodes.size(); ++i) {
+    const bool is_final = final_here && i + 1 == node.emit_nodes.size();
+    HG_RETURN_NOT_OK(visitor->EmitNode(node.emit_nodes[i], is_final));
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const auto& [step, child] = node.children[i];
+    // The deepest-rightmost path never needs undoing: nothing follows it.
+    const bool child_tail = is_tail && (i + 1 == node.children.size());
+    HG_RETURN_NOT_OK(ApplyPlanStep(step, visitor, /*undo=*/false));
+    HG_RETURN_NOT_OK(WalkPlanNode(*child, visitor, child_tail));
+    if (!child_tail) HG_RETURN_NOT_OK(ApplyPlanStep(step, visitor, /*undo=*/true));
+  }
+  return Status::OK();
+}
+
+Status DeltaGraph::ExecutePlan(const Plan& plan, PlanVisitor* visitor) const {
+  if (!plan.root) return Status::InvalidArgument("plan has no root");
+  return WalkPlanNode(*plan.root, visitor, /*is_tail=*/true);
+}
+
+Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
+    const Plan& plan, unsigned components) const {
+  SnapshotPlanVisitor visitor(this, components);
+  HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
+  return visitor.TakeResults();
+}
+
+// ---------------------------------------------------------------------------
+// Public retrieval API
+// ---------------------------------------------------------------------------
+
+Result<Plan> DeltaGraph::PlanFor(const std::vector<Timestamp>& times,
+                                 unsigned components) const {
+  Planner planner(MakePlannerContext());
+  return planner.PlanSnapshots(times, components);
+}
+
+Result<Snapshot> DeltaGraph::GetSnapshot(Timestamp t, unsigned components) {
+  auto snaps = GetSnapshots({t}, components);
+  if (!snaps.ok()) return snaps.status();
+  return std::move(snaps.value()[0]);
+}
+
+Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
+    const std::vector<Timestamp>& times, unsigned components) {
+  if (times.empty()) return std::vector<Snapshot>();
+
+  // Index still empty: replay the recent eventlist directly.
+  if (skeleton_.leaves().empty()) {
+    std::vector<Snapshot> out;
+    out.reserve(times.size());
+    for (Timestamp t : times) {
+      Snapshot g;
+      for (const auto& e : recent_.events()) {
+        if (e.time > t) break;
+        HG_RETURN_NOT_OK(g.Apply(e, true, components));
+      }
+      out.push_back(std::move(g));
+    }
+    return out;
+  }
+
+  Planner planner(MakePlannerContext());
+  auto plan = (times.size() == 1 && options_.use_plan_cache)
+                  ? planner.PlanSinglepointCached(times[0], components, &sssp_cache_)
+                  : planner.PlanSnapshots(times, components);
+  if (!plan.ok()) return plan.status();
+  auto exec = ExecuteSnapshotPlan(plan.value(), components);
+  if (!exec.ok()) return exec.status();
+  auto& by_time = exec.value().by_time;
+
+  std::vector<Snapshot> out;
+  out.reserve(times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    auto it = by_time.find(times[i]);
+    if (it == by_time.end()) {
+      return Status::Internal("plan did not produce snapshot for requested time");
+    }
+    // The same time may be requested twice; copy all but the last use.
+    bool last_use = true;
+    for (size_t j = i + 1; j < times.size(); ++j) {
+      if (times[j] == times[i]) {
+        last_use = false;
+        break;
+      }
+    }
+    if (last_use) {
+      out.push_back(std::move(it->second));
+    } else {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+Status DeltaGraph::CollectEvents(Timestamp ts, Timestamp te, unsigned components,
+                                 EventList* out) const {
+  if (ts >= te) return Status::InvalidArgument("CollectEvents requires ts < te");
+  *out = EventList();
+  for (int32_t eid : skeleton_.EventlistEdgesInOrder()) {
+    const SkeletonEdge& e = skeleton_.edge(eid);
+    const Timestamp b_lo = skeleton_.node(e.from).boundary_time;
+    const Timestamp b_hi = skeleton_.node(e.to).boundary_time;
+    if (b_hi < ts || b_lo >= te) continue;  // Eventlist covers (b_lo, b_hi].
+    EventList el;
+    HG_RETURN_NOT_OK(store_.GetEventList(e.delta_id, components, e.sizes, &el));
+    for (const auto& ev : el.events()) {
+      if (ev.time >= ts && ev.time < te) out->Append(ev);
+    }
+  }
+  for (const auto& ev : recent_.events()) {
+    if (ev.time >= ts && ev.time < te &&
+        (ev.component() & components) != 0) {
+      out->Append(ev);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Auxiliary-index retrieval (Section 4.7)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Bridges plan execution onto an auxiliary index hook.
+class AuxPlanVisitor final : public PlanVisitor {
+ public:
+  AuxPlanVisitor(const AuxIndexHook& hook) : hook_(hook), state_(hook.NewState()) {}
+
+  Status LoadMaterialized(int32_t) override {
+    return Status::Internal("aux plan must not use materialized shortcuts");
+  }
+  Status LoadCurrent() override {
+    return Status::Internal("aux plan must not use the current graph");
+  }
+  Status Unload() override {
+    state_ = hook_.NewState();
+    return Status::OK();
+  }
+  Status ApplyDelta(int32_t edge, bool forward) override {
+    return hook_.ApplyDeltaEdge(state_.get(), edge, forward);
+  }
+  Status ApplyEvents(int32_t edge, bool forward, Timestamp lo, Timestamp hi) override {
+    return hook_.ApplyEventRange(state_.get(), edge, forward, lo, hi);
+  }
+  Status ApplyRecentEvents(bool forward, Timestamp lo, Timestamp hi) override {
+    return hook_.ApplyRecentRange(state_.get(), forward, lo, hi);
+  }
+  Status EmitTime(Timestamp, bool) override {
+    emitted_ = std::move(state_);
+    state_ = hook_.NewState();
+    return Status::OK();
+  }
+  Status EmitNode(int32_t, bool is_final) override { return EmitTime(0, is_final); }
+
+  std::unique_ptr<AuxState> TakeEmitted() { return std::move(emitted_); }
+
+ private:
+  const AuxIndexHook& hook_;
+  std::unique_ptr<AuxState> state_;
+  std::unique_ptr<AuxState> emitted_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<AuxState>> DeltaGraph::GetAuxState(const AuxIndexHook& hook,
+                                                          Timestamp t) const {
+  PlannerContext ctx = MakePlannerContext();
+  ctx.allow_materialized = false;
+  ctx.allow_current = false;
+  Planner planner(ctx);
+  auto plan = planner.PlanSnapshots({t}, kCompStruct);
+  if (!plan.ok()) return plan.status();
+  AuxPlanVisitor visitor(hook);
+  HG_RETURN_NOT_OK(ExecutePlan(plan.value(), &visitor));
+  auto emitted = visitor.TakeEmitted();
+  if (emitted == nullptr) {
+    return Status::Internal("aux plan emitted no state");
+  }
+  return emitted;
+}
+
+}  // namespace hgdb

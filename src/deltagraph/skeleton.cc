@@ -1,0 +1,180 @@
+#include "deltagraph/skeleton.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace hgdb {
+
+int32_t Skeleton::AddNode(SkeletonNode node) {
+  ++version_;
+  node.id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  incident_.emplace_back();
+  if (node.is_leaf) {
+    leaves_.push_back(node.id);
+    // Leaves are appended chronologically by the builder; keep sorted anyway.
+    std::sort(leaves_.begin(), leaves_.end(), [this](int32_t a, int32_t b) {
+      return nodes_[a].boundary_time < nodes_[b].boundary_time;
+    });
+  }
+  return node.id;
+}
+
+int32_t Skeleton::AddEdge(SkeletonEdge edge) {
+  ++version_;
+  edge.id = static_cast<int32_t>(edges_.size());
+  edges_.push_back(edge);
+  incident_[edge.from].push_back(edge.id);
+  incident_[edge.to].push_back(edge.id);
+  return edge.id;
+}
+
+void Skeleton::RemoveEdge(int32_t edge_id) {
+  ++version_;
+  SkeletonEdge& e = edges_[edge_id];
+  if (e.deleted) return;
+  e.deleted = true;
+  auto drop = [edge_id](std::vector<int32_t>* v) {
+    v->erase(std::remove(v->begin(), v->end(), edge_id), v->end());
+  };
+  drop(&incident_[e.from]);
+  drop(&incident_[e.to]);
+}
+
+int Skeleton::FindLeafInterval(Timestamp t) const {
+  if (leaves_.empty()) return -1;
+  // Find the last leaf with boundary_time < t; the interval to its right
+  // contains t. boundary(leaves[i]) < t <= boundary(leaves[i+1]).
+  int lo = 0, hi = static_cast<int>(leaves_.size()) - 1, ans = -1;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    if (nodes_[leaves_[mid]].boundary_time < t) {
+      ans = mid;
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return ans;
+}
+
+int32_t Skeleton::FindEventlistEdge(int32_t left_leaf, int32_t right_leaf) const {
+  for (int32_t eid : incident_[left_leaf]) {
+    const SkeletonEdge& e = edges_[eid];
+    if (e.is_eventlist && e.from == left_leaf && e.to == right_leaf) return eid;
+  }
+  return -1;
+}
+
+std::vector<int32_t> Skeleton::EventlistEdgesInOrder() const {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i + 1 < leaves_.size(); ++i) {
+    const int32_t eid = FindEventlistEdge(leaves_[i], leaves_[i + 1]);
+    if (eid >= 0) out.push_back(eid);
+  }
+  return out;
+}
+
+uint64_t Skeleton::TotalBytes(unsigned components) const {
+  uint64_t total = 0;
+  for (const auto& e : edges_) {
+    if (!e.deleted) total += e.sizes.TotalBytes(components);
+  }
+  return total;
+}
+
+void Skeleton::EncodeTo(std::string* out) const {
+  out->clear();
+  PutVarint32(out, 1);  // Format version.
+  PutVarint64(out, nodes_.size());
+  for (const auto& n : nodes_) {
+    PutVarint32(out, static_cast<uint32_t>(n.level));
+    unsigned char flags = 0;
+    if (n.is_leaf) flags |= 1;
+    if (n.is_super_root) flags |= 2;
+    if (n.materialized) flags |= 4;
+    out->push_back(static_cast<char>(flags));
+    PutVarint32(out, static_cast<uint32_t>(n.hierarchy));
+    PutVarsint64(out, n.boundary_time);
+    PutVarint64(out, n.element_count);
+  }
+  PutVarint64(out, edges_.size());
+  for (const auto& e : edges_) {
+    PutVarint32(out, static_cast<uint32_t>(e.from));
+    PutVarint32(out, static_cast<uint32_t>(e.to));
+    unsigned char flags = 0;
+    if (e.is_eventlist) flags |= 1;
+    if (e.deleted) flags |= 2;
+    out->push_back(static_cast<char>(flags));
+    PutVarint64(out, e.delta_id);
+    for (int c = 0; c < kNumComponents; ++c) PutVarint64(out, e.sizes.bytes[c]);
+    for (int c = 0; c < kNumComponents; ++c) PutVarint64(out, e.sizes.elements[c]);
+  }
+  PutVarint32(out, static_cast<uint32_t>(super_root_ + 1));
+}
+
+Status Skeleton::DecodeFrom(const Slice& blob, Skeleton* out) {
+  *out = Skeleton();
+  Slice in = blob;
+  uint32_t version = 0;
+  if (!GetVarint32(&in, &version) || version != 1) {
+    return Status::Corruption("skeleton: bad version");
+  }
+  uint64_t node_count = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(&in, &node_count, "skeleton node count"));
+  for (uint64_t i = 0; i < node_count; ++i) {
+    SkeletonNode n;
+    uint32_t level = 0, hierarchy = 0;
+    if (!GetVarint32(&in, &level)) return Status::Corruption("skeleton node level");
+    if (in.empty()) return Status::Corruption("skeleton node flags");
+    const unsigned char flags = static_cast<unsigned char>(in[0]);
+    in.RemovePrefix(1);
+    if (!GetVarint32(&in, &hierarchy)) return Status::Corruption("skeleton hierarchy");
+    if (!GetVarsint64(&in, &n.boundary_time)) {
+      return Status::Corruption("skeleton node time");
+    }
+    HG_RETURN_NOT_OK(ExpectVarint64(&in, &n.element_count, "skeleton node size"));
+    n.level = static_cast<int32_t>(level);
+    n.hierarchy = static_cast<int32_t>(hierarchy);
+    n.is_leaf = flags & 1;
+    n.is_super_root = flags & 2;
+    n.materialized = false;  // Materialization is a runtime property.
+    out->AddNode(n);
+  }
+  uint64_t edge_count = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(&in, &edge_count, "skeleton edge count"));
+  for (uint64_t i = 0; i < edge_count; ++i) {
+    SkeletonEdge e;
+    uint32_t from = 0, to = 0;
+    if (!GetVarint32(&in, &from) || !GetVarint32(&in, &to)) {
+      return Status::Corruption("skeleton edge endpoints");
+    }
+    if (in.empty()) return Status::Corruption("skeleton edge flags");
+    const unsigned char flags = static_cast<unsigned char>(in[0]);
+    in.RemovePrefix(1);
+    e.from = static_cast<int32_t>(from);
+    e.to = static_cast<int32_t>(to);
+    e.is_eventlist = flags & 1;
+    const bool deleted = flags & 2;
+    HG_RETURN_NOT_OK(ExpectVarint64(&in, &e.delta_id, "skeleton delta id"));
+    for (int c = 0; c < kNumComponents; ++c) {
+      HG_RETURN_NOT_OK(ExpectVarint64(&in, &e.sizes.bytes[c], "skeleton edge bytes"));
+    }
+    for (int c = 0; c < kNumComponents; ++c) {
+      HG_RETURN_NOT_OK(
+          ExpectVarint64(&in, &e.sizes.elements[c], "skeleton edge elements"));
+    }
+    const int32_t id = out->AddEdge(e);
+    if (deleted) out->RemoveEdge(id);
+  }
+  uint32_t super_root_plus1 = 0;
+  if (!GetVarint32(&in, &super_root_plus1)) {
+    return Status::Corruption("skeleton super root");
+  }
+  out->super_root_ = static_cast<int32_t>(super_root_plus1) - 1;
+  if (!in.empty()) return Status::Corruption("skeleton: trailing bytes");
+  return Status::OK();
+}
+
+}  // namespace hgdb

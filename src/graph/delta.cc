@@ -1,0 +1,315 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace hgdb {
+
+namespace {
+
+// Diff helper over attribute maps: emits (owner,key,value) adds for entries of
+// `target` missing or different in `source`, and deletes for the opposite.
+template <typename OwnerId>
+void DiffAttrs(const std::unordered_map<OwnerId, AttrMap>& target,
+               const std::unordered_map<OwnerId, AttrMap>& source,
+               std::vector<AttrEntry>* add, std::vector<AttrEntry>* del) {
+  for (const auto& [owner, attrs] : target) {
+    auto sit = source.find(owner);
+    for (const auto& [k, v] : attrs) {
+      const std::string* sv = nullptr;
+      if (sit != source.end()) {
+        auto jt = sit->second.find(k);
+        if (jt != sit->second.end()) sv = &jt->second;
+      }
+      if (sv == nullptr || *sv != v) add->push_back(AttrEntry{owner, k, v});
+      if (sv != nullptr && *sv != v) del->push_back(AttrEntry{owner, k, *sv});
+    }
+  }
+  for (const auto& [owner, attrs] : source) {
+    auto tit = target.find(owner);
+    for (const auto& [k, v] : attrs) {
+      bool in_target = false;
+      if (tit != target.end()) in_target = tit->second.contains(k);
+      if (!in_target) del->push_back(AttrEntry{owner, k, v});
+    }
+  }
+}
+
+void SortAttrEntries(std::vector<AttrEntry>* v) {
+  std::sort(v->begin(), v->end(), [](const AttrEntry& a, const AttrEntry& b) {
+    if (a.owner != b.owner) return a.owner < b.owner;
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
+  });
+}
+
+}  // namespace
+
+Delta Delta::Between(const Snapshot& target, const Snapshot& source) {
+  Delta d;
+  for (NodeId n : target.nodes()) {
+    if (!source.HasNode(n)) d.add_nodes.push_back(n);
+  }
+  for (NodeId n : source.nodes()) {
+    if (!target.HasNode(n)) d.del_nodes.push_back(n);
+  }
+  for (const auto& [id, rec] : target.edges()) {
+    const EdgeRecord* s = source.FindEdge(id);
+    if (s == nullptr) d.add_edges.emplace_back(id, rec);
+    // Ids are unique and immutable, so a shared id implies an identical record.
+  }
+  for (const auto& [id, rec] : source.edges()) {
+    if (!target.HasEdge(id)) d.del_edges.emplace_back(id, rec);
+  }
+  DiffAttrs(target.node_attrs(), source.node_attrs(), &d.add_node_attrs,
+            &d.del_node_attrs);
+  DiffAttrs(target.edge_attrs(), source.edge_attrs(), &d.add_edge_attrs,
+            &d.del_edge_attrs);
+  d.Canonicalize();
+  return d;
+}
+
+Status Delta::ApplyTo(Snapshot* g, bool forward, unsigned components) const {
+  const auto& plus_nodes = forward ? add_nodes : del_nodes;
+  const auto& minus_nodes = forward ? del_nodes : add_nodes;
+  const auto& plus_edges = forward ? add_edges : del_edges;
+  const auto& minus_edges = forward ? del_edges : add_edges;
+  const auto& plus_nattrs = forward ? add_node_attrs : del_node_attrs;
+  const auto& minus_nattrs = forward ? del_node_attrs : add_node_attrs;
+  const auto& plus_eattrs = forward ? add_edge_attrs : del_edge_attrs;
+  const auto& minus_eattrs = forward ? del_edge_attrs : add_edge_attrs;
+
+  // Deletions first (attributes, then structure), then additions (structure,
+  // then attributes), so that intermediate states stay consistent.
+  if (components & kCompStruct) {
+    g->ReserveAdditional(plus_nodes.size(), plus_edges.size());
+  }
+  if (components & kCompNodeAttr) {
+    for (const auto& a : minus_nattrs) g->RemoveNodeAttr(a.owner, a.key);
+  }
+  if (components & kCompEdgeAttr) {
+    for (const auto& a : minus_eattrs) g->RemoveEdgeAttr(a.owner, a.key);
+  }
+  if (components & kCompStruct) {
+    for (const auto& [id, rec] : minus_edges) {
+      if (!g->RemoveEdge(id)) {
+        return Status::InvalidArgument("delta: removing absent edge " +
+                                       std::to_string(id));
+      }
+    }
+    for (NodeId n : minus_nodes) {
+      if (!g->RemoveNode(n)) {
+        return Status::InvalidArgument("delta: removing absent node " +
+                                       std::to_string(n));
+      }
+    }
+    for (NodeId n : plus_nodes) {
+      if (!g->AddNode(n)) {
+        return Status::InvalidArgument("delta: adding duplicate node " +
+                                       std::to_string(n));
+      }
+    }
+    for (const auto& [id, rec] : plus_edges) {
+      if (!g->AddEdge(id, rec)) {
+        return Status::InvalidArgument("delta: adding duplicate edge " +
+                                       std::to_string(id));
+      }
+    }
+  }
+  if (components & kCompNodeAttr) {
+    for (const auto& a : plus_nattrs) g->SetNodeAttr(a.owner, a.key, a.value);
+  }
+  if (components & kCompEdgeAttr) {
+    for (const auto& a : plus_eattrs) g->SetEdgeAttr(a.owner, a.key, a.value);
+  }
+  return Status::OK();
+}
+
+Delta Delta::Inverse() const {
+  Delta inv;
+  inv.add_nodes = del_nodes;
+  inv.del_nodes = add_nodes;
+  inv.add_edges = del_edges;
+  inv.del_edges = add_edges;
+  inv.add_node_attrs = del_node_attrs;
+  inv.del_node_attrs = add_node_attrs;
+  inv.add_edge_attrs = del_edge_attrs;
+  inv.del_edge_attrs = add_edge_attrs;
+  return inv;
+}
+
+bool Delta::IsEmpty() const {
+  return add_nodes.empty() && del_nodes.empty() && add_edges.empty() &&
+         del_edges.empty() && add_node_attrs.empty() && del_node_attrs.empty() &&
+         add_edge_attrs.empty() && del_edge_attrs.empty();
+}
+
+size_t Delta::ElementCount(unsigned components) const {
+  size_t n = 0;
+  if (components & kCompStruct) {
+    n += add_nodes.size() + del_nodes.size() + add_edges.size() + del_edges.size();
+  }
+  if (components & kCompNodeAttr) {
+    n += add_node_attrs.size() + del_node_attrs.size();
+  }
+  if (components & kCompEdgeAttr) {
+    n += add_edge_attrs.size() + del_edge_attrs.size();
+  }
+  return n;
+}
+
+void Delta::Canonicalize() {
+  std::sort(add_nodes.begin(), add_nodes.end());
+  std::sort(del_nodes.begin(), del_nodes.end());
+  auto by_id = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(add_edges.begin(), add_edges.end(), by_id);
+  std::sort(del_edges.begin(), del_edges.end(), by_id);
+  SortAttrEntries(&add_node_attrs);
+  SortAttrEntries(&del_node_attrs);
+  SortAttrEntries(&add_edge_attrs);
+  SortAttrEntries(&del_edge_attrs);
+}
+
+namespace {
+
+void EncodeNodeIds(const std::vector<NodeId>& ids, std::string* out) {
+  PutVarint64(out, ids.size());
+  NodeId prev = 0;
+  for (NodeId n : ids) {
+    // Canonical order makes consecutive ids close; delta-encode them.
+    PutVarint64(out, n - prev);
+    prev = n;
+  }
+}
+
+Status DecodeNodeIds(Slice* in, std::vector<NodeId>* ids) {
+  uint64_t count = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(in, &count, "delta node count"));
+  ids->clear();
+  ids->reserve(static_cast<size_t>(count));
+  NodeId prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t gap = 0;
+    HG_RETURN_NOT_OK(ExpectVarint64(in, &gap, "delta node id"));
+    prev += gap;
+    ids->push_back(prev);
+  }
+  return Status::OK();
+}
+
+void EncodeEdges(const std::vector<std::pair<EdgeId, EdgeRecord>>& edges,
+                 std::string* out) {
+  PutVarint64(out, edges.size());
+  EdgeId prev = 0;
+  for (const auto& [id, rec] : edges) {
+    PutVarint64(out, id - prev);
+    prev = id;
+    PutVarint64(out, rec.src);
+    PutVarint64(out, rec.dst);
+    out->push_back(rec.directed ? 1 : 0);
+  }
+}
+
+Status DecodeEdges(Slice* in, std::vector<std::pair<EdgeId, EdgeRecord>>* edges) {
+  uint64_t count = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(in, &count, "delta edge count"));
+  edges->clear();
+  edges->reserve(static_cast<size_t>(count));
+  EdgeId prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t gap = 0, src = 0, dst = 0;
+    HG_RETURN_NOT_OK(ExpectVarint64(in, &gap, "delta edge id"));
+    HG_RETURN_NOT_OK(ExpectVarint64(in, &src, "delta edge src"));
+    HG_RETURN_NOT_OK(ExpectVarint64(in, &dst, "delta edge dst"));
+    if (in->empty()) return Status::Corruption("delta edge: truncated directed flag");
+    const bool directed = (*in)[0] != 0;
+    in->RemovePrefix(1);
+    prev += gap;
+    edges->emplace_back(prev, EdgeRecord{src, dst, directed});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void Delta::EncodeAttrEntries(const std::vector<AttrEntry>& entries, std::string* out) {
+  PutVarint64(out, entries.size());
+  for (const auto& a : entries) {
+    PutVarint64(out, a.owner);
+    PutLengthPrefixedSlice(out, Slice(a.key));
+    PutLengthPrefixedSlice(out, Slice(a.value));
+  }
+}
+
+Status Delta::DecodeAttrEntries(Slice* in, std::vector<AttrEntry>* entries) {
+  uint64_t count = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(in, &count, "delta attr count"));
+  entries->clear();
+  entries->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    AttrEntry a;
+    HG_RETURN_NOT_OK(ExpectVarint64(in, &a.owner, "delta attr owner"));
+    HG_RETURN_NOT_OK(ExpectLengthPrefixedString(in, &a.key, "delta attr key"));
+    HG_RETURN_NOT_OK(ExpectLengthPrefixedString(in, &a.value, "delta attr value"));
+    entries->push_back(std::move(a));
+  }
+  return Status::OK();
+}
+
+void Delta::EncodeComponent(ComponentMask component, std::string* out) const {
+  out->clear();
+  switch (component) {
+    case kCompStruct:
+      EncodeNodeIds(add_nodes, out);
+      EncodeNodeIds(del_nodes, out);
+      EncodeEdges(add_edges, out);
+      EncodeEdges(del_edges, out);
+      break;
+    case kCompNodeAttr:
+      EncodeAttrEntries(add_node_attrs, out);
+      EncodeAttrEntries(del_node_attrs, out);
+      break;
+    case kCompEdgeAttr:
+      EncodeAttrEntries(add_edge_attrs, out);
+      EncodeAttrEntries(del_edge_attrs, out);
+      break;
+    default:
+      break;  // Deltas have no transient component.
+  }
+}
+
+Status Delta::DecodeComponent(ComponentMask component, const Slice& blob) {
+  Slice in = blob;
+  switch (component) {
+    case kCompStruct:
+      HG_RETURN_NOT_OK(DecodeNodeIds(&in, &add_nodes));
+      HG_RETURN_NOT_OK(DecodeNodeIds(&in, &del_nodes));
+      HG_RETURN_NOT_OK(DecodeEdges(&in, &add_edges));
+      HG_RETURN_NOT_OK(DecodeEdges(&in, &del_edges));
+      break;
+    case kCompNodeAttr:
+      HG_RETURN_NOT_OK(DecodeAttrEntries(&in, &add_node_attrs));
+      HG_RETURN_NOT_OK(DecodeAttrEntries(&in, &del_node_attrs));
+      break;
+    case kCompEdgeAttr:
+      HG_RETURN_NOT_OK(DecodeAttrEntries(&in, &add_edge_attrs));
+      HG_RETURN_NOT_OK(DecodeAttrEntries(&in, &del_edge_attrs));
+      break;
+    default:
+      return Status::InvalidArgument("delta: unknown component");
+  }
+  if (!in.empty()) return Status::Corruption("delta component: trailing bytes");
+  return Status::OK();
+}
+
+bool Delta::operator==(const Delta& other) const {
+  return add_nodes == other.add_nodes && del_nodes == other.del_nodes &&
+         add_edges == other.add_edges && del_edges == other.del_edges &&
+         add_node_attrs == other.add_node_attrs &&
+         del_node_attrs == other.del_node_attrs &&
+         add_edge_attrs == other.add_edge_attrs &&
+         del_edge_attrs == other.del_edge_attrs;
+}
+
+}  // namespace hgdb

@@ -1,0 +1,86 @@
+#ifndef HISTGRAPH_GRAPH_DELTA_H_
+#define HISTGRAPH_GRAPH_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/snapshot.h"
+#include "temporal/event.h"
+
+namespace hgdb {
+
+/// One attribute element `(owner id, key, value)`.
+struct AttrEntry {
+  uint64_t owner = 0;
+  std::string key;
+  std::string value;
+
+  bool operator==(const AttrEntry& other) const {
+    return owner == other.owner && key == other.key && value == other.value;
+  }
+};
+
+/// \brief The difference between two snapshots (Section 4.2).
+///
+/// For an edge Sp -> Sc of the DeltaGraph, the stored delta is
+/// `Delta(Sc, Sp)`: the elements to *add* to Sp (those in Sc - Sp) and the
+/// elements to *delete* from Sp (those in Sp - Sc) to obtain Sc. A Delta is
+/// exactly invertible — applying it backward turns Sc into Sp — which makes
+/// every skeleton edge traversable in both directions and keeps the
+/// Steiner-tree planner's undirected 2-approximation sound.
+///
+/// A delta is stored *columnar* as three blobs (struct, nodeattr, edgeattr),
+/// each under its own key in the key-value store, so that structure-only
+/// queries never fetch or decode attribute bytes (Figure 8(d)).
+class Delta {
+ public:
+  // Structure component.
+  std::vector<NodeId> add_nodes, del_nodes;
+  std::vector<std::pair<EdgeId, EdgeRecord>> add_edges, del_edges;
+  // Node-attribute component.
+  std::vector<AttrEntry> add_node_attrs, del_node_attrs;
+  // Edge-attribute component.
+  std::vector<AttrEntry> add_edge_attrs, del_edge_attrs;
+
+  /// Computes the delta that transforms `source` into `target`:
+  /// `source + delta = target`.
+  static Delta Between(const Snapshot& target, const Snapshot& source);
+
+  /// Applies this delta to `g`. Forward means source -> target; backward
+  /// undoes it exactly. Only the selected components are touched.
+  Status ApplyTo(Snapshot* g, bool forward, unsigned components = kCompAll) const;
+
+  /// Returns the inverse delta (adds and deletes swapped).
+  Delta Inverse() const;
+
+  bool IsEmpty() const;
+
+  /// Number of elements in the given components (the "size of the delta" the
+  /// paper uses as the skeleton edge weight approximation).
+  size_t ElementCount(unsigned components = kCompAll) const;
+
+  /// Serializes one component (`kCompStruct`, `kCompNodeAttr`, or
+  /// `kCompEdgeAttr`) to a blob.
+  void EncodeComponent(ComponentMask component, std::string* out) const;
+
+  /// Decodes a component blob produced by EncodeComponent into this delta.
+  Status DecodeComponent(ComponentMask component, const Slice& blob);
+
+  /// Sorts element vectors into canonical order (by id / owner+key). Between
+  /// produces canonical deltas; hand-built deltas should call this before
+  /// encoding so that serialization is deterministic.
+  void Canonicalize();
+
+  bool operator==(const Delta& other) const;
+
+ private:
+  static void EncodeAttrEntries(const std::vector<AttrEntry>& entries, std::string* out);
+  static Status DecodeAttrEntries(Slice* in, std::vector<AttrEntry>* entries);
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_GRAPH_DELTA_H_

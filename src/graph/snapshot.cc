@@ -1,0 +1,257 @@
+#include "graph/snapshot.h"
+
+#include <sstream>
+
+namespace hgdb {
+
+void Snapshot::RemoveNodeAttr(NodeId n, const std::string& key) {
+  auto it = node_attrs_.find(n);
+  if (it == node_attrs_.end()) return;
+  it->second.erase(key);
+  if (it->second.empty()) node_attrs_.erase(it);
+}
+
+const std::string* Snapshot::GetNodeAttr(NodeId n, const std::string& key) const {
+  auto it = node_attrs_.find(n);
+  if (it == node_attrs_.end()) return nullptr;
+  auto jt = it->second.find(key);
+  return jt == it->second.end() ? nullptr : &jt->second;
+}
+
+void Snapshot::RemoveEdgeAttr(EdgeId e, const std::string& key) {
+  auto it = edge_attrs_.find(e);
+  if (it == edge_attrs_.end()) return;
+  it->second.erase(key);
+  if (it->second.empty()) edge_attrs_.erase(it);
+}
+
+const std::string* Snapshot::GetEdgeAttr(EdgeId e, const std::string& key) const {
+  auto it = edge_attrs_.find(e);
+  if (it == edge_attrs_.end()) return nullptr;
+  auto jt = it->second.find(key);
+  return jt == it->second.end() ? nullptr : &jt->second;
+}
+
+namespace {
+
+Status Inconsistent(const Event& e, const char* what) {
+  return Status::InvalidArgument(std::string("inconsistent event application (") + what +
+                                 "): " + e.ToString());
+}
+
+}  // namespace
+
+Status Snapshot::Apply(const Event& e, bool forward, unsigned components) {
+  if (e.is_transient()) return Status::OK();
+  if ((e.component() & components) == 0) return Status::OK();
+
+  // An event applied backward behaves exactly like its mirror event applied
+  // forward: adds become deletes and attribute old/new swap roles.
+  switch (e.type) {
+    case EventType::kAddNode:
+    case EventType::kDeleteNode: {
+      const bool add = (e.type == EventType::kAddNode) == forward;
+      if (add) {
+        if (!AddNode(e.node)) return Inconsistent(e, "node already present");
+      } else {
+        if (node_attrs_.contains(e.node)) {
+          return Inconsistent(e, "deleting node that still has attributes");
+        }
+        if (!RemoveNode(e.node)) return Inconsistent(e, "node absent");
+      }
+      return Status::OK();
+    }
+    case EventType::kAddEdge:
+    case EventType::kDeleteEdge: {
+      const bool add = (e.type == EventType::kAddEdge) == forward;
+      if (add) {
+        // Endpoint checks only make sense when structure is being tracked,
+        // which it is here (struct component gate above).
+        if (!AddEdge(e.edge, EdgeRecord{e.src, e.dst, e.directed})) {
+          return Inconsistent(e, "edge already present");
+        }
+      } else {
+        if (edge_attrs_.contains(e.edge)) {
+          return Inconsistent(e, "deleting edge that still has attributes");
+        }
+        if (!RemoveEdge(e.edge)) return Inconsistent(e, "edge absent");
+      }
+      return Status::OK();
+    }
+    case EventType::kNodeAttr: {
+      const auto& before = forward ? e.old_value : e.new_value;
+      const auto& after = forward ? e.new_value : e.old_value;
+      const std::string* current = GetNodeAttr(e.node, e.key);
+      if (before.has_value()) {
+        if (current == nullptr || *current != *before) {
+          return Inconsistent(e, "node attr old value mismatch");
+        }
+      } else if (current != nullptr) {
+        return Inconsistent(e, "node attr unexpectedly present");
+      }
+      if (after.has_value()) {
+        SetNodeAttr(e.node, e.key, *after);
+      } else {
+        RemoveNodeAttr(e.node, e.key);
+      }
+      return Status::OK();
+    }
+    case EventType::kEdgeAttr: {
+      const auto& before = forward ? e.old_value : e.new_value;
+      const auto& after = forward ? e.new_value : e.old_value;
+      const std::string* current = GetEdgeAttr(e.edge, e.key);
+      if (before.has_value()) {
+        if (current == nullptr || *current != *before) {
+          return Inconsistent(e, "edge attr old value mismatch");
+        }
+      } else if (current != nullptr) {
+        return Inconsistent(e, "edge attr unexpectedly present");
+      }
+      if (after.has_value()) {
+        SetEdgeAttr(e.edge, e.key, *after);
+      } else {
+        RemoveEdgeAttr(e.edge, e.key);
+      }
+      return Status::OK();
+    }
+    case EventType::kTransientEdge:
+    case EventType::kTransientNode:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Snapshot::ApplyAll(const std::vector<Event>& events, bool forward,
+                          unsigned components) {
+  if (forward) {
+    for (const auto& e : events) HG_RETURN_NOT_OK(Apply(e, true, components));
+  } else {
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+      HG_RETURN_NOT_OK(Apply(*it, false, components));
+    }
+  }
+  return Status::OK();
+}
+
+size_t Snapshot::NodeAttrCount() const {
+  size_t n = 0;
+  for (const auto& [id, attrs] : node_attrs_) n += attrs.size();
+  return n;
+}
+
+size_t Snapshot::EdgeAttrCount() const {
+  size_t n = 0;
+  for (const auto& [id, attrs] : edge_attrs_) n += attrs.size();
+  return n;
+}
+
+bool Snapshot::Equals(const Snapshot& other) const {
+  return nodes_ == other.nodes_ && edges_ == other.edges_ &&
+         node_attrs_ == other.node_attrs_ && edge_attrs_ == other.edge_attrs_;
+}
+
+std::string Snapshot::DiffString(const Snapshot& other, size_t limit) const {
+  std::ostringstream os;
+  size_t shown = 0;
+  auto note = [&](const std::string& s) {
+    if (shown < limit) os << s << "\n";
+    ++shown;
+  };
+  for (NodeId n : nodes_) {
+    if (!other.HasNode(n)) note("node " + std::to_string(n) + " only in lhs");
+  }
+  for (NodeId n : other.nodes_) {
+    if (!HasNode(n)) note("node " + std::to_string(n) + " only in rhs");
+  }
+  for (const auto& [id, rec] : edges_) {
+    auto* o = other.FindEdge(id);
+    if (o == nullptr) {
+      note("edge " + std::to_string(id) + " only in lhs");
+    } else if (!(rec == *o)) {
+      note("edge " + std::to_string(id) + " differs");
+    }
+  }
+  for (const auto& [id, rec] : other.edges_) {
+    if (!HasEdge(id)) note("edge " + std::to_string(id) + " only in rhs");
+  }
+  for (const auto& [id, attrs] : node_attrs_) {
+    for (const auto& [k, v] : attrs) {
+      const std::string* o = other.GetNodeAttr(id, k);
+      if (o == nullptr) {
+        note("nattr (" + std::to_string(id) + "," + k + ") only in lhs");
+      } else if (*o != v) {
+        note("nattr (" + std::to_string(id) + "," + k + ") value differs");
+      }
+    }
+  }
+  for (const auto& [id, attrs] : other.node_attrs_) {
+    for (const auto& [k, v] : attrs) {
+      if (GetNodeAttr(id, k) == nullptr) {
+        note("nattr (" + std::to_string(id) + "," + k + ") only in rhs");
+      }
+    }
+  }
+  for (const auto& [id, attrs] : edge_attrs_) {
+    for (const auto& [k, v] : attrs) {
+      const std::string* o = other.GetEdgeAttr(id, k);
+      if (o == nullptr) {
+        note("eattr (" + std::to_string(id) + "," + k + ") only in lhs");
+      } else if (*o != v) {
+        note("eattr (" + std::to_string(id) + "," + k + ") value differs");
+      }
+    }
+  }
+  for (const auto& [id, attrs] : other.edge_attrs_) {
+    for (const auto& [k, v] : attrs) {
+      if (GetEdgeAttr(id, k) == nullptr) {
+        note("eattr (" + std::to_string(id) + "," + k + ") only in rhs");
+      }
+    }
+  }
+  if (shown > limit) {
+    os << "... and " << (shown - limit) << " more differences\n";
+  }
+  return os.str();
+}
+
+Snapshot Snapshot::CopyFiltered(unsigned components) const {
+  Snapshot out;
+  if (components & kCompStruct) {
+    out.nodes_ = nodes_;
+    out.edges_ = edges_;
+  }
+  if (components & kCompNodeAttr) out.node_attrs_ = node_attrs_;
+  if (components & kCompEdgeAttr) out.edge_attrs_ = edge_attrs_;
+  return out;
+}
+
+void Snapshot::AbsorbDisjoint(Snapshot&& other) {
+  nodes_.merge(other.nodes_);
+  edges_.merge(other.edges_);
+  node_attrs_.merge(other.node_attrs_);
+  edge_attrs_.merge(other.edge_attrs_);
+}
+
+void Snapshot::Clear() {
+  nodes_.clear();
+  edges_.clear();
+  node_attrs_.clear();
+  edge_attrs_.clear();
+}
+
+size_t Snapshot::MemoryBytes() const {
+  size_t bytes = 0;
+  bytes += nodes_.size() * (sizeof(NodeId) + sizeof(void*));
+  bytes += edges_.size() * (sizeof(EdgeId) + sizeof(EdgeRecord) + sizeof(void*));
+  for (const auto& [id, attrs] : node_attrs_) {
+    bytes += sizeof(NodeId) + sizeof(void*);
+    for (const auto& [k, v] : attrs) bytes += k.size() + v.size() + 2 * sizeof(void*);
+  }
+  for (const auto& [id, attrs] : edge_attrs_) {
+    bytes += sizeof(EdgeId) + sizeof(void*);
+    for (const auto& [k, v] : attrs) bytes += k.size() + v.size() + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace hgdb

@@ -1,0 +1,149 @@
+#ifndef HISTGRAPH_GRAPH_SNAPSHOT_H_
+#define HISTGRAPH_GRAPH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "temporal/event.h"
+
+namespace hgdb {
+
+/// Endpoint and orientation payload of an edge. The edge id is kept outside.
+struct EdgeRecord {
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+  bool directed = false;
+
+  bool operator==(const EdgeRecord& other) const {
+    return src == other.src && dst == other.dst && directed == other.directed;
+  }
+};
+
+/// Attribute map of a single node or edge.
+using AttrMap = std::unordered_map<std::string, std::string>;
+
+/// \brief A graph as a set of *elements* — the unit the DeltaGraph's set
+/// algebra operates on (Section 4.2).
+///
+/// Elements are: node existence `(id)`, edge existence `(id, src, dst,
+/// directed)`, node attribute `(node, key, value)`, and edge attribute
+/// `(edge, key, value)`. Differential functions (intersection, union, ...)
+/// and deltas are defined element-wise over this representation. Both the
+/// DeltaGraph and GraphPool "treat the network as a collection of objects and
+/// do not exploit any properties of the graphical structure" — which is why
+/// the same machinery would serve a temporal relational store.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  // -- Structure ------------------------------------------------------------
+  bool HasNode(NodeId n) const { return nodes_.contains(n); }
+  bool HasEdge(EdgeId e) const { return edges_.contains(e); }
+  const EdgeRecord* FindEdge(EdgeId e) const {
+    auto it = edges_.find(e);
+    return it == edges_.end() ? nullptr : &it->second;
+  }
+
+  /// Adds a node; returns false if already present.
+  bool AddNode(NodeId n) { return nodes_.insert(n).second; }
+  /// Removes a node; returns false if absent. Does not touch attributes or
+  /// incident edges — the event protocol guarantees they were removed first.
+  bool RemoveNode(NodeId n) { return nodes_.erase(n) > 0; }
+  bool AddEdge(EdgeId e, const EdgeRecord& rec) { return edges_.emplace(e, rec).second; }
+  bool RemoveEdge(EdgeId e) { return edges_.erase(e) > 0; }
+
+  // -- Attributes -----------------------------------------------------------
+  /// Sets (inserting or overwriting) a node attribute.
+  void SetNodeAttr(NodeId n, const std::string& key, std::string value) {
+    node_attrs_[n][key] = std::move(value);
+  }
+  void RemoveNodeAttr(NodeId n, const std::string& key);
+  const std::string* GetNodeAttr(NodeId n, const std::string& key) const;
+  const AttrMap* GetNodeAttrs(NodeId n) const {
+    auto it = node_attrs_.find(n);
+    return it == node_attrs_.end() ? nullptr : &it->second;
+  }
+
+  void SetEdgeAttr(EdgeId e, const std::string& key, std::string value) {
+    edge_attrs_[e][key] = std::move(value);
+  }
+  void RemoveEdgeAttr(EdgeId e, const std::string& key);
+  const std::string* GetEdgeAttr(EdgeId e, const std::string& key) const;
+  const AttrMap* GetEdgeAttrs(EdgeId e) const {
+    auto it = edge_attrs_.find(e);
+    return it == edge_attrs_.end() ? nullptr : &it->second;
+  }
+
+  // -- Event application ----------------------------------------------------
+  /// Applies one event in the given direction (forward = evolving time).
+  /// Only aspects selected by `components` are applied; transient events are
+  /// always ignored (they are not part of any snapshot by definition).
+  /// Returns InvalidArgument on inconsistent application (e.g. adding an edge
+  /// whose endpoint is missing) — the ground-truth tests rely on this being
+  /// strict.
+  Status Apply(const Event& e, bool forward, unsigned components = kCompAll);
+
+  /// Applies a span of events in order (or reverse order when !forward).
+  Status ApplyAll(const std::vector<Event>& events, bool forward,
+                  unsigned components = kCompAll);
+
+  // -- Introspection --------------------------------------------------------
+  const std::unordered_set<NodeId>& nodes() const { return nodes_; }
+  const std::unordered_map<EdgeId, EdgeRecord>& edges() const { return edges_; }
+  const std::unordered_map<NodeId, AttrMap>& node_attrs() const { return node_attrs_; }
+  const std::unordered_map<EdgeId, AttrMap>& edge_attrs() const { return edge_attrs_; }
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t EdgeCount() const { return edges_.size(); }
+  size_t NodeAttrCount() const;
+  size_t EdgeAttrCount() const;
+  /// Total element count |G| used by the analytical models of Section 5.
+  size_t ElementCount() const {
+    return NodeCount() + EdgeCount() + NodeAttrCount() + EdgeAttrCount();
+  }
+
+  bool Empty() const { return nodes_.empty() && edges_.empty(); }
+
+  /// Element-wise equality (the correctness oracle of the test suite).
+  bool Equals(const Snapshot& other) const;
+
+  /// Returns a copy containing only the selected components (e.g. structure
+  /// without attributes, for structure-only retrieval from a full snapshot).
+  Snapshot CopyFiltered(unsigned components) const;
+
+  /// Merges another snapshot whose ids are disjoint from this one (used to
+  /// combine per-partition retrieval results).
+  void AbsorbDisjoint(Snapshot&& other);
+
+  /// Returns a human-readable diff of up to `limit` differing elements
+  /// (test-failure diagnostics).
+  std::string DiffString(const Snapshot& other, size_t limit = 10) const;
+
+  void Clear();
+
+  /// Pre-sizes the structure tables for `nodes` / `edges` additional entries
+  /// (bulk delta application avoids rehash churn this way).
+  void ReserveAdditional(size_t nodes, size_t edges) {
+    nodes_.reserve(nodes_.size() + nodes);
+    edges_.reserve(edges_.size() + edges);
+  }
+
+  /// Approximate heap usage in bytes (memory-accounting benches).
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_set<NodeId> nodes_;
+  std::unordered_map<EdgeId, EdgeRecord> edges_;
+  std::unordered_map<NodeId, AttrMap> node_attrs_;
+  std::unordered_map<EdgeId, AttrMap> edge_attrs_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_GRAPH_SNAPSHOT_H_

@@ -1,0 +1,578 @@
+#include "graphpool/graph_pool.h"
+
+#include <algorithm>
+
+namespace hgdb {
+
+GraphPool::GraphPool() {
+  // Slot 0 is the current graph (bits 0 and 1 reserved).
+  SlotInfo current;
+  current.id = kCurrentGraph;
+  current.kind = SlotInfo::Kind::kCurrent;
+  current.active = true;
+  current.bit0 = 0;
+  current.bit1 = 1;
+  slots_.push_back(current);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-pair membership semantics
+// ---------------------------------------------------------------------------
+
+bool GraphPool::MemberOf(const DynamicBitset& bm, PoolGraphId id) const {
+  const SlotInfo& s = slots_[id];
+  switch (s.kind) {
+    case SlotInfo::Kind::kCurrent:
+      return bm.Test(0);
+    case SlotInfo::Kind::kMaterialized:
+      return bm.Test(static_cast<size_t>(s.bit0));
+    case SlotInfo::Kind::kHistorical: {
+      if (bm.Test(static_cast<size_t>(s.bit0))) {
+        return bm.Test(static_cast<size_t>(s.bit1));  // Explicit override.
+      }
+      return s.dep >= 0 && MemberOf(bm, s.dep);  // Inherit from dependency.
+    }
+  }
+  return false;
+}
+
+void GraphPool::SetMembership(DynamicBitset* bm, PoolGraphId id, bool member) {
+  const SlotInfo& s = slots_[id];
+  switch (s.kind) {
+    case SlotInfo::Kind::kCurrent:
+      bm->Set(0, member);
+      return;
+    case SlotInfo::Kind::kMaterialized:
+      bm->Set(static_cast<size_t>(s.bit0), member);
+      return;
+    case SlotInfo::Kind::kHistorical:
+      bm->Set(static_cast<size_t>(s.bit0), true);
+      bm->Set(static_cast<size_t>(s.bit1), member);
+      return;
+  }
+}
+
+int GraphPool::AllocateBit() {
+  if (!free_bits_.empty()) {
+    const int bit = free_bits_.back();
+    free_bits_.pop_back();
+    return bit;
+  }
+  return next_bit_++;
+}
+
+PoolGraphId GraphPool::AllocateSlot(SlotInfo::Kind kind, int bits_needed,
+                                    PoolGraphId dep) {
+  SlotInfo slot;
+  slot.id = static_cast<PoolGraphId>(slots_.size());
+  slot.kind = kind;
+  slot.active = true;
+  slot.dep = dep;
+  slot.bit0 = AllocateBit();
+  if (bits_needed > 1) slot.bit1 = AllocateBit();
+  slots_.push_back(slot);
+  return slot.id;
+}
+
+// ---------------------------------------------------------------------------
+// Union-graph element management
+// ---------------------------------------------------------------------------
+
+GraphPool::NodeEntry* GraphPool::EnsureNode(NodeId n) { return &nodes_[n]; }
+
+GraphPool::EdgeEntry* GraphPool::EnsureEdge(EdgeId e, const EdgeRecord& rec) {
+  auto [it, inserted] = edges_.try_emplace(e);
+  if (inserted) {
+    it->second.rec = rec;
+    adjacency_[rec.src].push_back(e);
+    if (rec.dst != rec.src) adjacency_[rec.dst].push_back(e);
+  }
+  return &it->second;
+}
+
+void GraphPool::SetAttrValue(PoolAttrs* attrs, const std::string& key,
+                             const std::string& value, PoolGraphId id) {
+  auto& variants = (*attrs)[key];
+  // A graph holds at most one value per attribute: clear membership from any
+  // other variant this graph currently sees (including inherited ones).
+  for (auto& variant : variants) {
+    if (variant.value != value && MemberOf(variant.bm, id)) {
+      SetMembership(&variant.bm, id, false);
+    }
+  }
+  for (auto& variant : variants) {
+    if (variant.value == value) {
+      SetMembership(&variant.bm, id, true);
+      return;
+    }
+  }
+  variants.push_back(AttrValue{value, DynamicBitset()});
+  SetMembership(&variants.back().bm, id, true);
+}
+
+const std::string* GraphPool::FindAttrValue(const PoolAttrs& attrs,
+                                            const std::string& key,
+                                            PoolGraphId id) const {
+  auto it = attrs.find(key);
+  if (it == attrs.end()) return nullptr;
+  for (const auto& variant : it->second) {
+    if (MemberOf(variant.bm, id)) return &variant.value;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Current graph
+// ---------------------------------------------------------------------------
+
+void GraphPool::InitCurrent(const Snapshot& g) {
+  for (NodeId n : g.nodes()) EnsureNode(n)->bm.Set(0);
+  for (const auto& [id, rec] : g.edges()) EnsureEdge(id, rec)->bm.Set(0);
+  for (const auto& [n, attrs] : g.node_attrs()) {
+    NodeEntry* entry = EnsureNode(n);
+    for (const auto& [k, v] : attrs) SetAttrValue(&entry->attrs, k, v, kCurrentGraph);
+  }
+  for (const auto& [e, attrs] : g.edge_attrs()) {
+    auto it = edges_.find(e);
+    if (it == edges_.end()) continue;  // Attribute of an unknown edge.
+    for (const auto& [k, v] : attrs) {
+      SetAttrValue(&it->second.attrs, k, v, kCurrentGraph);
+    }
+  }
+}
+
+Status GraphPool::ApplyEventToCurrent(const Event& e) {
+  switch (e.type) {
+    case EventType::kAddNode:
+      EnsureNode(e.node)->bm.Set(0);
+      return Status::OK();
+    case EventType::kDeleteNode: {
+      auto it = nodes_.find(e.node);
+      if (it == nodes_.end()) return Status::InvalidArgument("delete of unknown node");
+      it->second.bm.Set(0, false);
+      it->second.bm.Set(1, true);  // Recently deleted; not yet indexed.
+      return Status::OK();
+    }
+    case EventType::kAddEdge:
+      EnsureEdge(e.edge, EdgeRecord{e.src, e.dst, e.directed})->bm.Set(0);
+      return Status::OK();
+    case EventType::kDeleteEdge: {
+      auto it = edges_.find(e.edge);
+      if (it == edges_.end()) return Status::InvalidArgument("delete of unknown edge");
+      it->second.bm.Set(0, false);
+      it->second.bm.Set(1, true);
+      return Status::OK();
+    }
+    case EventType::kNodeAttr: {
+      NodeEntry* entry = EnsureNode(e.node);
+      if (e.new_value.has_value()) {
+        SetAttrValue(&entry->attrs, e.key, *e.new_value, kCurrentGraph);
+      } else if (e.old_value.has_value()) {
+        auto it = entry->attrs.find(e.key);
+        if (it != entry->attrs.end()) {
+          for (auto& variant : it->second) {
+            if (variant.value == *e.old_value) {
+              variant.bm.Set(0, false);
+              variant.bm.Set(1, true);
+            }
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case EventType::kEdgeAttr: {
+      auto eit = edges_.find(e.edge);
+      if (eit == edges_.end()) {
+        return Status::InvalidArgument("attr update of unknown edge");
+      }
+      if (e.new_value.has_value()) {
+        SetAttrValue(&eit->second.attrs, e.key, *e.new_value, kCurrentGraph);
+      } else if (e.old_value.has_value()) {
+        auto it = eit->second.attrs.find(e.key);
+        if (it != eit->second.attrs.end()) {
+          for (auto& variant : it->second) {
+            if (variant.value == *e.old_value) {
+              variant.bm.Set(0, false);
+              variant.bm.Set(1, true);
+            }
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case EventType::kTransientEdge:
+    case EventType::kTransientNode:
+      return Status::OK();  // Transients are never part of the current graph.
+  }
+  return Status::OK();
+}
+
+void GraphPool::ClearRecentlyDeleted() {
+  for (auto& [n, entry] : nodes_) {
+    entry.bm.Set(1, false);
+    for (auto& [k, variants] : entry.attrs) {
+      for (auto& v : variants) v.bm.Set(1, false);
+    }
+  }
+  for (auto& [e, entry] : edges_) {
+    entry.bm.Set(1, false);
+    for (auto& [k, variants] : entry.attrs) {
+      for (auto& v : variants) v.bm.Set(1, false);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overlays
+// ---------------------------------------------------------------------------
+
+Result<PoolGraphId> GraphPool::OverlayHistorical(const Snapshot& g) {
+  const PoolGraphId id = AllocateSlot(SlotInfo::Kind::kHistorical, 2, -1);
+  for (NodeId n : g.nodes()) SetMembership(&EnsureNode(n)->bm, id, true);
+  for (const auto& [e, rec] : g.edges()) {
+    SetMembership(&EnsureEdge(e, rec)->bm, id, true);
+  }
+  for (const auto& [n, attrs] : g.node_attrs()) {
+    NodeEntry* entry = EnsureNode(n);
+    for (const auto& [k, v] : attrs) SetAttrValue(&entry->attrs, k, v, id);
+  }
+  for (const auto& [e, attrs] : g.edge_attrs()) {
+    auto it = edges_.find(e);
+    if (it == edges_.end()) continue;
+    for (const auto& [k, v] : attrs) SetAttrValue(&it->second.attrs, k, v, id);
+  }
+  return id;
+}
+
+Result<PoolGraphId> GraphPool::OverlayDependent(PoolGraphId base, const Delta& diff) {
+  if (base < 0 || static_cast<size_t>(base) >= slots_.size() || !slots_[base].active) {
+    return Status::InvalidArgument("dependent overlay: bad base graph");
+  }
+  const PoolGraphId id = AllocateSlot(SlotInfo::Kind::kHistorical, 2, base);
+  // Only the symmetric difference is touched — the point of the bit pair.
+  for (NodeId n : diff.add_nodes) SetMembership(&EnsureNode(n)->bm, id, true);
+  for (NodeId n : diff.del_nodes) {
+    auto it = nodes_.find(n);
+    if (it != nodes_.end()) SetMembership(&it->second.bm, id, false);
+  }
+  for (const auto& [e, rec] : diff.add_edges) {
+    SetMembership(&EnsureEdge(e, rec)->bm, id, true);
+  }
+  for (const auto& [e, rec] : diff.del_edges) {
+    auto it = edges_.find(e);
+    if (it != edges_.end()) SetMembership(&it->second.bm, id, false);
+  }
+  for (const auto& a : diff.del_node_attrs) {
+    auto nit = nodes_.find(a.owner);
+    if (nit == nodes_.end()) continue;
+    auto it = nit->second.attrs.find(a.key);
+    if (it == nit->second.attrs.end()) continue;
+    for (auto& variant : it->second) {
+      if (variant.value == a.value) SetMembership(&variant.bm, id, false);
+    }
+  }
+  for (const auto& a : diff.add_node_attrs) {
+    SetAttrValue(&EnsureNode(a.owner)->attrs, a.key, a.value, id);
+  }
+  for (const auto& a : diff.del_edge_attrs) {
+    auto eit = edges_.find(a.owner);
+    if (eit == edges_.end()) continue;
+    auto it = eit->second.attrs.find(a.key);
+    if (it == eit->second.attrs.end()) continue;
+    for (auto& variant : it->second) {
+      if (variant.value == a.value) SetMembership(&variant.bm, id, false);
+    }
+  }
+  for (const auto& a : diff.add_edge_attrs) {
+    auto eit = edges_.find(a.owner);
+    if (eit == edges_.end()) continue;
+    SetAttrValue(&eit->second.attrs, a.key, a.value, id);
+  }
+  return id;
+}
+
+Result<PoolGraphId> GraphPool::OverlayMaterialized(const Snapshot& g) {
+  const PoolGraphId id = AllocateSlot(SlotInfo::Kind::kMaterialized, 1, -1);
+  for (NodeId n : g.nodes()) SetMembership(&EnsureNode(n)->bm, id, true);
+  for (const auto& [e, rec] : g.edges()) {
+    SetMembership(&EnsureEdge(e, rec)->bm, id, true);
+  }
+  for (const auto& [n, attrs] : g.node_attrs()) {
+    NodeEntry* entry = EnsureNode(n);
+    for (const auto& [k, v] : attrs) SetAttrValue(&entry->attrs, k, v, id);
+  }
+  for (const auto& [e, attrs] : g.edge_attrs()) {
+    auto it = edges_.find(e);
+    if (it == edges_.end()) continue;
+    for (const auto& [k, v] : attrs) SetAttrValue(&it->second.attrs, k, v, id);
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Membership / access
+// ---------------------------------------------------------------------------
+
+bool GraphPool::ContainsNode(PoolGraphId id, NodeId n) const {
+  auto it = nodes_.find(n);
+  return it != nodes_.end() && MemberOf(it->second.bm, id);
+}
+
+bool GraphPool::ContainsEdge(PoolGraphId id, EdgeId e) const {
+  auto it = edges_.find(e);
+  return it != edges_.end() && MemberOf(it->second.bm, id);
+}
+
+const std::string* GraphPool::GetNodeAttr(PoolGraphId id, NodeId n,
+                                          const std::string& key) const {
+  auto it = nodes_.find(n);
+  if (it == nodes_.end()) return nullptr;
+  return FindAttrValue(it->second.attrs, key, id);
+}
+
+const std::string* GraphPool::GetEdgeAttr(PoolGraphId id, EdgeId e,
+                                          const std::string& key) const {
+  auto it = edges_.find(e);
+  if (it == edges_.end()) return nullptr;
+  return FindAttrValue(it->second.attrs, key, id);
+}
+
+const EdgeRecord* GraphPool::FindEdge(EdgeId e) const {
+  auto it = edges_.find(e);
+  return it == edges_.end() ? nullptr : &it->second.rec;
+}
+
+HistGraphView GraphPool::View(PoolGraphId id) const { return HistGraphView(this, id); }
+
+Snapshot GraphPool::ExtractSnapshot(PoolGraphId id) const {
+  Snapshot out;
+  for (const auto& [n, entry] : nodes_) {
+    if (MemberOf(entry.bm, id)) out.AddNode(n);
+    for (const auto& [k, variants] : entry.attrs) {
+      for (const auto& variant : variants) {
+        if (MemberOf(variant.bm, id)) out.SetNodeAttr(n, k, variant.value);
+      }
+    }
+  }
+  for (const auto& [e, entry] : edges_) {
+    if (MemberOf(entry.bm, id)) out.AddEdge(e, entry.rec);
+    for (const auto& [k, variants] : entry.attrs) {
+      for (const auto& variant : variants) {
+        if (MemberOf(variant.bm, id)) out.SetEdgeAttr(e, k, variant.value);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Status GraphPool::Release(PoolGraphId id) {
+  if (id <= 0 || static_cast<size_t>(id) >= slots_.size()) {
+    return Status::InvalidArgument("release: bad graph id (current graph is pinned)");
+  }
+  if (!slots_[id].active) return Status::OK();
+  for (const auto& s : slots_) {
+    if (s.active && s.dep == id && s.id != id) {
+      return Status::InvalidArgument(
+          "release: graph " + std::to_string(s.id) + " still depends on it");
+    }
+  }
+  slots_[id].active = false;  // Bits are reclaimed lazily by RunCleaner.
+  return Status::OK();
+}
+
+size_t GraphPool::RunCleaner() {
+  // Bits belonging to released slots.
+  std::vector<int> dead_bits;
+  for (auto& s : slots_) {
+    if (!s.active && s.bit0 >= 0) {
+      dead_bits.push_back(s.bit0);
+      if (s.bit1 >= 0) dead_bits.push_back(s.bit1);
+      free_bits_.push_back(s.bit0);
+      if (s.bit1 >= 0) free_bits_.push_back(s.bit1);
+      s.bit0 = s.bit1 = -1;
+    }
+  }
+  auto scrub = [&dead_bits](DynamicBitset* bm) {
+    for (int b : dead_bits) bm->Set(static_cast<size_t>(b), false);
+  };
+
+  size_t evicted = 0;
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    scrub(&it->second.bm);
+    for (auto ait = it->second.attrs.begin(); ait != it->second.attrs.end();) {
+      auto& variants = ait->second;
+      for (auto vit = variants.begin(); vit != variants.end();) {
+        scrub(&vit->bm);
+        if (vit->bm.None()) {
+          vit = variants.erase(vit);
+          ++evicted;
+        } else {
+          ++vit;
+        }
+      }
+      ait = variants.empty() ? it->second.attrs.erase(ait) : std::next(ait);
+    }
+    if (it->second.bm.None() && it->second.attrs.empty()) {
+      adjacency_.erase(it->first);
+      it = nodes_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = edges_.begin(); it != edges_.end();) {
+    scrub(&it->second.bm);
+    for (auto ait = it->second.attrs.begin(); ait != it->second.attrs.end();) {
+      auto& variants = ait->second;
+      for (auto vit = variants.begin(); vit != variants.end();) {
+        scrub(&vit->bm);
+        if (vit->bm.None()) {
+          vit = variants.erase(vit);
+          ++evicted;
+        } else {
+          ++vit;
+        }
+      }
+      ait = variants.empty() ? it->second.attrs.erase(ait) : std::next(ait);
+    }
+    if (it->second.bm.None() && it->second.attrs.empty()) {
+      const EdgeRecord rec = it->second.rec;
+      auto drop = [this](NodeId n, EdgeId e) {
+        auto ait = adjacency_.find(n);
+        if (ait == adjacency_.end()) return;
+        auto& v = ait->second;
+        v.erase(std::remove(v.begin(), v.end(), e), v.end());
+        if (v.empty()) adjacency_.erase(ait);
+      };
+      drop(rec.src, it->first);
+      drop(rec.dst, it->first);
+      it = edges_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+size_t GraphPool::ActiveGraphCount() const {
+  size_t n = 0;
+  for (const auto& s : slots_) {
+    if (s.active) ++n;
+  }
+  return n;
+}
+
+size_t GraphPool::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [n, entry] : nodes_) {
+    bytes += sizeof(NodeId) + sizeof(NodeEntry) + entry.bm.MemoryBytes();
+    for (const auto& [k, variants] : entry.attrs) {
+      bytes += k.size();
+      for (const auto& v : variants) {
+        bytes += v.value.size() + v.bm.MemoryBytes() + sizeof(AttrValue);
+      }
+    }
+  }
+  for (const auto& [e, entry] : edges_) {
+    bytes += sizeof(EdgeId) + sizeof(EdgeEntry) + entry.bm.MemoryBytes();
+    for (const auto& [k, variants] : entry.attrs) {
+      bytes += k.size();
+      for (const auto& v : variants) {
+        bytes += v.value.size() + v.bm.MemoryBytes() + sizeof(AttrValue);
+      }
+    }
+  }
+  for (const auto& [n, edges] : adjacency_) {
+    bytes += sizeof(NodeId) + edges.capacity() * sizeof(EdgeId);
+  }
+  return bytes;
+}
+
+const std::vector<EdgeId>* GraphPool::UnionIncidentEdges(NodeId n) const {
+  auto it = adjacency_.find(n);
+  return it == adjacency_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// HistGraphView
+// ---------------------------------------------------------------------------
+
+std::vector<NodeId> HistGraphView::GetNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& [n, entry] : pool_->nodes_) {
+    if (pool_->MemberOf(entry.bm, id_)) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<EdgeId> HistGraphView::GetIncidentEdges(NodeId n) const {
+  std::vector<EdgeId> out;
+  const std::vector<EdgeId>* union_edges = pool_->UnionIncidentEdges(n);
+  if (union_edges == nullptr) return out;
+  for (EdgeId e : *union_edges) {
+    auto it = pool_->edges_.find(e);
+    if (it != pool_->edges_.end() && pool_->MemberOf(it->second.bm, id_)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> HistGraphView::GetNeighbors(NodeId n) const {
+  // One hash lookup per edge: the membership test itself is a couple of
+  // bit probes, which is what keeps the paper's bitmap penalty small.
+  std::vector<NodeId> out;
+  const std::vector<EdgeId>* union_edges = pool_->UnionIncidentEdges(n);
+  if (union_edges == nullptr) return out;
+  for (EdgeId e : *union_edges) {
+    auto it = pool_->edges_.find(e);
+    if (it == pool_->edges_.end() || !pool_->MemberOf(it->second.bm, id_)) continue;
+    const EdgeRecord& rec = it->second.rec;
+    out.push_back(rec.src == n ? rec.dst : rec.src);
+  }
+  return out;
+}
+
+std::vector<NodeId> HistGraphView::GetOutNeighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  const std::vector<EdgeId>* union_edges = pool_->UnionIncidentEdges(n);
+  if (union_edges == nullptr) return out;
+  for (EdgeId e : *union_edges) {
+    auto it = pool_->edges_.find(e);
+    if (it == pool_->edges_.end() || !pool_->MemberOf(it->second.bm, id_)) continue;
+    const EdgeRecord& rec = it->second.rec;
+    if (!rec.directed) {
+      out.push_back(rec.src == n ? rec.dst : rec.src);
+    } else if (rec.src == n) {
+      out.push_back(rec.dst);
+    }
+  }
+  return out;
+}
+
+size_t HistGraphView::CountNodes() const {
+  size_t count = 0;
+  for (const auto& [n, entry] : pool_->nodes_) {
+    if (pool_->MemberOf(entry.bm, id_)) ++count;
+  }
+  return count;
+}
+
+size_t HistGraphView::CountEdges() const {
+  size_t count = 0;
+  for (const auto& [e, entry] : pool_->edges_) {
+    if (pool_->MemberOf(entry.bm, id_)) ++count;
+  }
+  return count;
+}
+
+}  // namespace hgdb

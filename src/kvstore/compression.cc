@@ -1,0 +1,145 @@
+#include "kvstore/compression.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace hgdb {
+
+namespace {
+
+constexpr char kTagRaw = 0;
+constexpr char kTagLz = 1;
+
+// LZ parameters: window and match bounds chosen for small, delta-shaped
+// payloads (lots of repeated varint id prefixes and attribute strings).
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 255 + kMinMatch;
+constexpr size_t kWindow = 1 << 16;
+constexpr size_t kHashBits = 15;
+
+inline uint32_t Hash4(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+// Token stream format:
+//   literal run:  0x00, varint len, bytes
+//   match:        0x01, varint distance, one byte (len - kMinMatch)
+void LzCompress(const Slice& input, std::string* output) {
+  output->clear();
+  const char* data = input.data();
+  const size_t n = input.size();
+  std::vector<int64_t> head(size_t{1} << kHashBits, -1);
+
+  size_t i = 0;
+  size_t literal_start = 0;
+  auto flush_literals = [&](size_t end) {
+    if (end > literal_start) {
+      output->push_back(0x00);
+      PutVarint64(output, end - literal_start);
+      output->append(data + literal_start, end - literal_start);
+    }
+  };
+
+  while (i + kMinMatch <= n) {
+    const uint32_t h = Hash4(data + i);
+    const int64_t cand = head[h];
+    head[h] = static_cast<int64_t>(i);
+    if (cand >= 0 && i - static_cast<size_t>(cand) <= kWindow &&
+        std::memcmp(data + cand, data + i, kMinMatch) == 0) {
+      size_t len = kMinMatch;
+      const size_t max_len = std::min(kMaxMatch, n - i);
+      while (len < max_len && data[cand + len] == data[i + len]) ++len;
+      flush_literals(i);
+      output->push_back(0x01);
+      PutVarint64(output, i - static_cast<size_t>(cand));
+      output->push_back(static_cast<char>(len - kMinMatch));
+      i += len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(n);
+}
+
+Status LzDecompress(const Slice& input, size_t decompressed_size, std::string* output) {
+  output->clear();
+  output->reserve(decompressed_size);
+  Slice in = input;
+  while (!in.empty()) {
+    const char tag = in[0];
+    in.RemovePrefix(1);
+    if (tag == 0x00) {
+      uint64_t len;
+      if (!GetVarint64(&in, &len) || in.size() < len) {
+        return Status::Corruption("lz: truncated literal run");
+      }
+      output->append(in.data(), static_cast<size_t>(len));
+      in.RemovePrefix(static_cast<size_t>(len));
+    } else if (tag == 0x01) {
+      uint64_t dist;
+      if (!GetVarint64(&in, &dist) || in.empty()) {
+        return Status::Corruption("lz: truncated match");
+      }
+      const size_t len = static_cast<unsigned char>(in[0]) + kMinMatch;
+      in.RemovePrefix(1);
+      if (dist == 0 || dist > output->size()) {
+        return Status::Corruption("lz: bad match distance");
+      }
+      // Byte-by-byte copy: matches may overlap their own output.
+      size_t src = output->size() - static_cast<size_t>(dist);
+      for (size_t k = 0; k < len; ++k) output->push_back((*output)[src + k]);
+    } else {
+      return Status::Corruption("lz: unknown token tag");
+    }
+  }
+  if (output->size() != decompressed_size) {
+    return Status::Corruption("lz: size mismatch after decompression");
+  }
+  return Status::OK();
+}
+
+void CompressValue(const Slice& input, std::string* output) {
+  output->clear();
+  std::string lz;
+  LzCompress(input, &lz);
+  // Keep the compressed form only if it actually saves space, including the
+  // varint original-size header.
+  std::string header;
+  PutVarint64(&header, input.size());
+  if (lz.size() + header.size() < input.size()) {
+    output->push_back(kTagLz);
+    output->append(header);
+    output->append(lz);
+  } else {
+    output->push_back(kTagRaw);
+    output->append(input.data(), input.size());
+  }
+}
+
+Status DecompressValue(const Slice& input, std::string* output) {
+  if (input.empty()) return Status::Corruption("compressed value: empty");
+  Slice in = input;
+  const char tag = in[0];
+  in.RemovePrefix(1);
+  if (tag == kTagRaw) {
+    output->assign(in.data(), in.size());
+    return Status::OK();
+  }
+  if (tag == kTagLz) {
+    uint64_t original_size;
+    if (!GetVarint64(&in, &original_size)) {
+      return Status::Corruption("compressed value: truncated size header");
+    }
+    return LzDecompress(in, static_cast<size_t>(original_size), output);
+  }
+  return Status::Corruption("compressed value: unknown codec tag");
+}
+
+}  // namespace hgdb

@@ -1,0 +1,31 @@
+#ifndef HISTGRAPH_KVSTORE_COMPRESSION_H_
+#define HISTGRAPH_KVSTORE_COMPRESSION_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace hgdb {
+
+/// \brief Built-in value compression.
+///
+/// A small LZ77-family codec (greedy hash-chain matcher, byte-oriented
+/// emission) standing in for Kyoto Cabinet's built-in compression. The format
+/// is self-describing: a one-byte tag selects raw vs compressed so that
+/// incompressible values are stored raw with 1 byte of overhead.
+
+/// Compresses `input` into `*output` (tag byte + payload). Never fails; falls
+/// back to raw storage when compression does not help.
+void CompressValue(const Slice& input, std::string* output);
+
+/// Decompresses a value produced by CompressValue.
+Status DecompressValue(const Slice& input, std::string* output);
+
+/// Raw LZ round-trip helpers (exposed for unit tests and micro-benchmarks).
+void LzCompress(const Slice& input, std::string* output);
+Status LzDecompress(const Slice& input, size_t decompressed_size, std::string* output);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_KVSTORE_COMPRESSION_H_

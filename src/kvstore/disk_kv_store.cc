@@ -1,0 +1,256 @@
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/coding.h"
+#include "kvstore/compression.h"
+#include "kvstore/kv_store.h"
+
+namespace hgdb {
+
+namespace {
+
+constexpr char kOpPut = 1;
+constexpr char kOpDelete = 2;
+
+/// Disk-backed KVStore: a single append-only log file plus an in-memory
+/// index (key -> value location) rebuilt by scanning the log on open. This is
+/// the classic log-structured design the RocksDB lineage is built on, cut down
+/// to the get/put interface the paper requires of its storage engine.
+///
+/// Record layout (all integers varint/fixed little-endian):
+///   [op:1][klen][vlen?][key][value?][checksum:4]
+/// The checksum covers everything before it; a torn tail is detected on open
+/// and ignored (recovery-by-truncation).
+class DiskKVStore final : public KVStore {
+ public:
+  DiskKVStore(std::string path, const KVStoreOptions& options)
+      : path_(std::move(path)), options_(options) {}
+
+  ~DiskKVStore() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Open() {
+    fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd_ < 0) {
+      return Status::IOError("open " + path_ + ": " + std::strerror(errno));
+    }
+    return RecoverIndex();
+  }
+
+  Status Put(const Slice& key, const Slice& value) override {
+    std::string stored;
+    Encode(value, &stored);
+    std::unique_lock lock(mu_);
+    return AppendRecord(kOpPut, key, Slice(stored));
+  }
+
+  Status Get(const Slice& key, std::string* value) const override {
+    ValueLoc loc;
+    {
+      std::shared_lock lock(mu_);
+      auto it = index_.find(key.ToString());
+      if (it == index_.end()) return Status::NotFound("key: " + key.ToString());
+      loc = it->second;
+    }
+    std::string stored(loc.size, '\0');
+    const ssize_t n = ::pread(fd_, stored.data(), loc.size, loc.offset);
+    if (n != static_cast<ssize_t>(loc.size)) {
+      return Status::IOError("pread " + path_ + ": short read");
+    }
+    if (options_.read_latency_us > 0 || options_.read_throughput_mbps > 0) {
+      uint64_t micros = options_.read_latency_us;
+      if (options_.read_throughput_mbps > 0) {
+        micros += loc.size / options_.read_throughput_mbps;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    }
+    return Decode(stored, value);
+  }
+
+  Status Delete(const Slice& key) override {
+    std::unique_lock lock(mu_);
+    if (!index_.contains(key.ToString())) return Status::OK();
+    return AppendRecord(kOpDelete, key, Slice());
+  }
+
+  Status Write(const WriteBatch& batch) override {
+    std::unique_lock lock(mu_);
+    for (const auto& op : batch.ops()) {
+      if (op.type == WriteBatch::OpType::kPut) {
+        std::string stored;
+        Encode(op.value, &stored);
+        HG_RETURN_NOT_OK(AppendRecord(kOpPut, op.key, Slice(stored)));
+      } else {
+        HG_RETURN_NOT_OK(AppendRecord(kOpDelete, op.key, Slice()));
+      }
+    }
+    if (options_.sync_writes) return SyncLocked();
+    return Status::OK();
+  }
+
+  bool Contains(const Slice& key) const override {
+    std::shared_lock lock(mu_);
+    return index_.contains(key.ToString());
+  }
+
+  void ForEachKey(const Slice& prefix,
+                  const std::function<void(const Slice&)>& fn) const override {
+    std::shared_lock lock(mu_);
+    for (const auto& [k, loc] : index_) {
+      if (Slice(k).StartsWith(prefix)) fn(Slice(k));
+    }
+  }
+
+  size_t KeyCount() const override {
+    std::shared_lock lock(mu_);
+    return index_.size();
+  }
+
+  size_t ValueBytes() const override {
+    std::shared_lock lock(mu_);
+    size_t total = 0;
+    for (const auto& [k, loc] : index_) total += loc.size;
+    return total;
+  }
+
+  Status Sync() override {
+    std::unique_lock lock(mu_);
+    return SyncLocked();
+  }
+
+ private:
+  struct ValueLoc {
+    uint64_t offset = 0;  // Byte offset of the stored value payload.
+    uint64_t size = 0;    // Stored (possibly compressed) size.
+  };
+
+  void Encode(const Slice& value, std::string* stored) const {
+    if (options_.compress_values) {
+      CompressValue(value, stored);
+    } else {
+      stored->assign(value.data(), value.size());
+    }
+  }
+
+  Status Decode(const std::string& stored, std::string* value) const {
+    if (options_.compress_values) return DecompressValue(stored, value);
+    *value = stored;
+    return Status::OK();
+  }
+
+  Status SyncLocked() {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  // Appends one record at end_offset_ and updates the index. Caller holds mu_.
+  Status AppendRecord(char op, const Slice& key, const Slice& stored_value) {
+    std::string rec;
+    rec.push_back(op);
+    PutVarint64(&rec, key.size());
+    if (op == kOpPut) PutVarint64(&rec, stored_value.size());
+    rec.append(key.data(), key.size());
+    const uint64_t value_offset_in_rec = rec.size();
+    if (op == kOpPut) rec.append(stored_value.data(), stored_value.size());
+    const uint32_t checksum = static_cast<uint32_t>(HashBytes(rec.data(), rec.size()));
+    PutFixed32(&rec, checksum);
+
+    const ssize_t n = ::pwrite(fd_, rec.data(), rec.size(), end_offset_);
+    if (n != static_cast<ssize_t>(rec.size())) {
+      return Status::IOError("pwrite " + path_ + ": short write");
+    }
+    if (op == kOpPut) {
+      index_[key.ToString()] =
+          ValueLoc{end_offset_ + value_offset_in_rec, stored_value.size()};
+    } else {
+      index_.erase(key.ToString());
+    }
+    end_offset_ += rec.size();
+    return Status::OK();
+  }
+
+  // Scans the log sequentially, rebuilding the index. Stops at the first
+  // corrupt or truncated record and truncates its view of the log there.
+  Status RecoverIndex() {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IOError("fstat " + path_ + ": " + std::strerror(errno));
+    }
+    const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+    std::string buf(file_size, '\0');
+    if (file_size > 0) {
+      const ssize_t n = ::pread(fd_, buf.data(), file_size, 0);
+      if (n != static_cast<ssize_t>(file_size)) {
+        return Status::IOError("pread " + path_ + ": short read during recovery");
+      }
+    }
+
+    uint64_t offset = 0;
+    Slice in(buf);
+    while (!in.empty()) {
+      Slice record_start = in;
+      const char op = in[0];
+      in.RemovePrefix(1);
+      if (op != kOpPut && op != kOpDelete) break;
+      uint64_t klen = 0, vlen = 0;
+      if (!GetVarint64(&in, &klen)) break;
+      if (op == kOpPut && !GetVarint64(&in, &vlen)) break;
+      if (in.size() < klen + (op == kOpPut ? vlen : 0) + 4) break;
+      const Slice key(in.data(), static_cast<size_t>(klen));
+      in.RemovePrefix(static_cast<size_t>(klen));
+      const uint64_t value_offset =
+          offset + static_cast<uint64_t>(in.data() - record_start.data());
+      if (op == kOpPut) in.RemovePrefix(static_cast<size_t>(vlen));
+      const size_t payload_len = static_cast<size_t>(in.data() - record_start.data());
+      uint32_t stored_checksum;
+      if (!GetFixed32(&in, &stored_checksum)) break;
+      const uint32_t computed =
+          static_cast<uint32_t>(HashBytes(record_start.data(), payload_len));
+      if (computed != stored_checksum) break;  // Torn/corrupt tail: stop here.
+      if (op == kOpPut) {
+        index_[key.ToString()] = ValueLoc{value_offset, vlen};
+      } else {
+        index_.erase(key.ToString());
+      }
+      offset += payload_len + 4;
+    }
+    end_offset_ = offset;
+    return Status::OK();
+  }
+
+  std::string path_;
+  KVStoreOptions options_;
+  int fd_ = -1;
+  uint64_t end_offset_ = 0;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, ValueLoc> index_;
+};
+
+}  // namespace
+
+Status OpenDiskKVStore(const std::string& path, const KVStoreOptions& options,
+                       std::unique_ptr<KVStore>* store) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  auto impl = std::make_unique<DiskKVStore>(path, options);
+  HG_RETURN_NOT_OK(impl->Open());
+  *store = std::move(impl);
+  return Status::OK();
+}
+
+}  // namespace hgdb

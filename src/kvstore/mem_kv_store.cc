@@ -1,0 +1,130 @@
+#include <chrono>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "kvstore/compression.h"
+#include "kvstore/kv_store.h"
+
+namespace hgdb {
+
+namespace {
+
+/// In-memory KVStore backed by a hash map. Values are stored in their
+/// on-disk (possibly compressed) representation so that ValueBytes() reports
+/// the same figure a disk store would.
+class MemKVStore final : public KVStore {
+ public:
+  explicit MemKVStore(const KVStoreOptions& options) : options_(options) {}
+
+  Status Put(const Slice& key, const Slice& value) override {
+    std::string stored;
+    Encode(value, &stored);
+    std::unique_lock lock(mu_);
+    auto [it, inserted] = map_.insert_or_assign(key.ToString(), std::move(stored));
+    (void)it;
+    (void)inserted;
+    return Status::OK();
+  }
+
+  Status Get(const Slice& key, std::string* value) const override {
+    size_t stored_size = 0;
+    {
+      std::shared_lock lock(mu_);
+      auto it = map_.find(key.ToString());
+      if (it == map_.end()) return Status::NotFound("key: " + key.ToString());
+      stored_size = it->second.size();
+      Status s = Decode(it->second, value);
+      if (!s.ok()) return s;
+    }
+    SimulateRead(stored_size);
+    return Status::OK();
+  }
+
+  Status Delete(const Slice& key) override {
+    std::unique_lock lock(mu_);
+    map_.erase(key.ToString());
+    return Status::OK();
+  }
+
+  Status Write(const WriteBatch& batch) override {
+    std::unique_lock lock(mu_);
+    for (const auto& op : batch.ops()) {
+      if (op.type == WriteBatch::OpType::kPut) {
+        std::string stored;
+        Encode(op.value, &stored);
+        map_.insert_or_assign(op.key, std::move(stored));
+      } else {
+        map_.erase(op.key);
+      }
+    }
+    return Status::OK();
+  }
+
+  bool Contains(const Slice& key) const override {
+    std::shared_lock lock(mu_);
+    return map_.contains(key.ToString());
+  }
+
+  void ForEachKey(const Slice& prefix,
+                  const std::function<void(const Slice&)>& fn) const override {
+    std::shared_lock lock(mu_);
+    for (const auto& [k, v] : map_) {
+      if (Slice(k).StartsWith(prefix)) fn(Slice(k));
+    }
+  }
+
+  size_t KeyCount() const override {
+    std::shared_lock lock(mu_);
+    return map_.size();
+  }
+
+  size_t ValueBytes() const override {
+    std::shared_lock lock(mu_);
+    size_t total = 0;
+    for (const auto& [k, v] : map_) total += v.size();
+    return total;
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  void Encode(const Slice& value, std::string* stored) const {
+    if (options_.compress_values) {
+      CompressValue(value, stored);
+    } else {
+      stored->assign(value.data(), value.size());
+    }
+  }
+
+  Status Decode(const std::string& stored, std::string* value) const {
+    if (options_.compress_values) return DecompressValue(stored, value);
+    *value = stored;
+    return Status::OK();
+  }
+
+  // Models the disk the paper's Kyoto Cabinet lived on: a per-fetch seek
+  // latency plus a sequential-read throughput term.
+  void SimulateRead(size_t bytes) const {
+    if (options_.read_latency_us == 0 && options_.read_throughput_mbps == 0) return;
+    uint64_t micros = options_.read_latency_us;
+    if (options_.read_throughput_mbps > 0) {
+      micros += static_cast<uint64_t>(bytes) /
+                options_.read_throughput_mbps;  // bytes / (MB/s) == us.
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+
+  KVStoreOptions options_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace
+
+std::unique_ptr<KVStore> NewMemKVStore(const KVStoreOptions& options) {
+  return std::make_unique<MemKVStore>(options);
+}
+
+}  // namespace hgdb

@@ -1,0 +1,288 @@
+#include "temporal/event.h"
+
+#include <sstream>
+
+namespace hgdb {
+
+Event Event::AddNode(Timestamp t, NodeId n) {
+  Event e;
+  e.type = EventType::kAddNode;
+  e.time = t;
+  e.node = n;
+  return e;
+}
+
+Event Event::DeleteNode(Timestamp t, NodeId n) {
+  Event e;
+  e.type = EventType::kDeleteNode;
+  e.time = t;
+  e.node = n;
+  return e;
+}
+
+Event Event::AddEdge(Timestamp t, EdgeId id, NodeId src, NodeId dst, bool directed) {
+  Event e;
+  e.type = EventType::kAddEdge;
+  e.time = t;
+  e.edge = id;
+  e.src = src;
+  e.dst = dst;
+  e.directed = directed;
+  return e;
+}
+
+Event Event::DeleteEdge(Timestamp t, EdgeId id, NodeId src, NodeId dst, bool directed) {
+  Event e;
+  e.type = EventType::kDeleteEdge;
+  e.time = t;
+  e.edge = id;
+  e.src = src;
+  e.dst = dst;
+  e.directed = directed;
+  return e;
+}
+
+Event Event::SetNodeAttr(Timestamp t, NodeId n, std::string key,
+                         std::optional<std::string> old_value,
+                         std::optional<std::string> new_value) {
+  Event e;
+  e.type = EventType::kNodeAttr;
+  e.time = t;
+  e.node = n;
+  e.key = std::move(key);
+  e.old_value = std::move(old_value);
+  e.new_value = std::move(new_value);
+  return e;
+}
+
+Event Event::SetEdgeAttr(Timestamp t, EdgeId id, std::string key,
+                         std::optional<std::string> old_value,
+                         std::optional<std::string> new_value) {
+  Event e;
+  e.type = EventType::kEdgeAttr;
+  e.time = t;
+  e.edge = id;
+  e.key = std::move(key);
+  e.old_value = std::move(old_value);
+  e.new_value = std::move(new_value);
+  return e;
+}
+
+Event Event::TransientEdge(Timestamp t, NodeId src, NodeId dst, std::string payload) {
+  Event e;
+  e.type = EventType::kTransientEdge;
+  e.time = t;
+  e.src = src;
+  e.dst = dst;
+  e.key = std::move(payload);
+  return e;
+}
+
+Event Event::TransientNode(Timestamp t, NodeId n, std::string payload) {
+  Event e;
+  e.type = EventType::kTransientNode;
+  e.time = t;
+  e.node = n;
+  e.key = std::move(payload);
+  return e;
+}
+
+ComponentMask Event::component() const {
+  switch (type) {
+    case EventType::kAddNode:
+    case EventType::kDeleteNode:
+    case EventType::kAddEdge:
+    case EventType::kDeleteEdge:
+      return kCompStruct;
+    case EventType::kNodeAttr:
+      return kCompNodeAttr;
+    case EventType::kEdgeAttr:
+      return kCompEdgeAttr;
+    case EventType::kTransientEdge:
+    case EventType::kTransientNode:
+      return kCompTransient;
+  }
+  return kCompStruct;
+}
+
+namespace {
+
+void PutOptionalString(std::string* dst, const std::optional<std::string>& v) {
+  if (v.has_value()) {
+    dst->push_back(1);
+    PutLengthPrefixedSlice(dst, Slice(*v));
+  } else {
+    dst->push_back(0);
+  }
+}
+
+Status GetOptionalString(Slice* input, std::optional<std::string>* v) {
+  if (input->empty()) return Status::Corruption("event: truncated optional");
+  const char present = (*input)[0];
+  input->RemovePrefix(1);
+  if (present == 0) {
+    v->reset();
+    return Status::OK();
+  }
+  std::string s;
+  HG_RETURN_NOT_OK(ExpectLengthPrefixedString(input, &s, "event optional string"));
+  *v = std::move(s);
+  return Status::OK();
+}
+
+}  // namespace
+
+void Event::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type));
+  PutVarsint64(out, time);
+  switch (type) {
+    case EventType::kAddNode:
+    case EventType::kDeleteNode:
+      PutVarint64(out, node);
+      break;
+    case EventType::kAddEdge:
+    case EventType::kDeleteEdge:
+      PutVarint64(out, edge);
+      PutVarint64(out, src);
+      PutVarint64(out, dst);
+      out->push_back(directed ? 1 : 0);
+      break;
+    case EventType::kNodeAttr:
+      PutVarint64(out, node);
+      PutLengthPrefixedSlice(out, Slice(key));
+      PutOptionalString(out, old_value);
+      PutOptionalString(out, new_value);
+      break;
+    case EventType::kEdgeAttr:
+      PutVarint64(out, edge);
+      // Endpoints ride along so partitioned indexes can co-locate the event
+      // with its edge (the paper routes every event by its node ids).
+      PutVarint64(out, src);
+      PutVarint64(out, dst);
+      PutLengthPrefixedSlice(out, Slice(key));
+      PutOptionalString(out, old_value);
+      PutOptionalString(out, new_value);
+      break;
+    case EventType::kTransientEdge:
+      PutVarint64(out, src);
+      PutVarint64(out, dst);
+      PutLengthPrefixedSlice(out, Slice(key));
+      break;
+    case EventType::kTransientNode:
+      PutVarint64(out, node);
+      PutLengthPrefixedSlice(out, Slice(key));
+      break;
+  }
+}
+
+Status Event::DecodeFrom(Slice* input, Event* out) {
+  if (input->empty()) return Status::Corruption("event: empty input");
+  const auto type = static_cast<EventType>((*input)[0]);
+  if (static_cast<unsigned>(type) > static_cast<unsigned>(EventType::kTransientNode)) {
+    return Status::Corruption("event: bad type byte");
+  }
+  input->RemovePrefix(1);
+  Event e;
+  e.type = type;
+  if (!GetVarsint64(input, &e.time)) return Status::Corruption("event: truncated time");
+  uint64_t v = 0;
+  switch (type) {
+    case EventType::kAddNode:
+    case EventType::kDeleteNode:
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event node"));
+      e.node = v;
+      break;
+    case EventType::kAddEdge:
+    case EventType::kDeleteEdge: {
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event edge"));
+      e.edge = v;
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event src"));
+      e.src = v;
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event dst"));
+      e.dst = v;
+      if (input->empty()) return Status::Corruption("event: truncated directed flag");
+      e.directed = (*input)[0] != 0;
+      input->RemovePrefix(1);
+      break;
+    }
+    case EventType::kNodeAttr:
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event node"));
+      e.node = v;
+      HG_RETURN_NOT_OK(ExpectLengthPrefixedString(input, &e.key, "event attr key"));
+      HG_RETURN_NOT_OK(GetOptionalString(input, &e.old_value));
+      HG_RETURN_NOT_OK(GetOptionalString(input, &e.new_value));
+      break;
+    case EventType::kEdgeAttr:
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event edge"));
+      e.edge = v;
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event src"));
+      e.src = v;
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event dst"));
+      e.dst = v;
+      HG_RETURN_NOT_OK(ExpectLengthPrefixedString(input, &e.key, "event attr key"));
+      HG_RETURN_NOT_OK(GetOptionalString(input, &e.old_value));
+      HG_RETURN_NOT_OK(GetOptionalString(input, &e.new_value));
+      break;
+    case EventType::kTransientEdge:
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event src"));
+      e.src = v;
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event dst"));
+      e.dst = v;
+      HG_RETURN_NOT_OK(ExpectLengthPrefixedString(input, &e.key, "event payload"));
+      break;
+    case EventType::kTransientNode:
+      HG_RETURN_NOT_OK(ExpectVarint64(input, &v, "event node"));
+      e.node = v;
+      HG_RETURN_NOT_OK(ExpectLengthPrefixedString(input, &e.key, "event payload"));
+      break;
+  }
+  *out = std::move(e);
+  return Status::OK();
+}
+
+std::string Event::ToString() const {
+  std::ostringstream os;
+  switch (type) {
+    case EventType::kAddNode:
+      os << "{NN, N:" << node;
+      break;
+    case EventType::kDeleteNode:
+      os << "{DN, N:" << node;
+      break;
+    case EventType::kAddEdge:
+      os << "{NE, E:" << edge << ", N:" << src << ", N:" << dst
+         << ", directed:" << (directed ? "yes" : "no");
+      break;
+    case EventType::kDeleteEdge:
+      os << "{DE, E:" << edge << ", N:" << src << ", N:" << dst
+         << ", directed:" << (directed ? "yes" : "no");
+      break;
+    case EventType::kNodeAttr:
+      os << "{UNA, N:" << node << ", '" << key << "', old:"
+         << (old_value ? "'" + *old_value + "'" : "-") << ", new:"
+         << (new_value ? "'" + *new_value + "'" : "-");
+      break;
+    case EventType::kEdgeAttr:
+      os << "{UEA, E:" << edge << ", '" << key << "', old:"
+         << (old_value ? "'" + *old_value + "'" : "-") << ", new:"
+         << (new_value ? "'" + *new_value + "'" : "-");
+      break;
+    case EventType::kTransientEdge:
+      os << "{TE, N:" << src << ", N:" << dst << ", '" << key << "'";
+      break;
+    case EventType::kTransientNode:
+      os << "{TN, N:" << node << ", '" << key << "'";
+      break;
+  }
+  os << ", t=" << time << "}";
+  return os.str();
+}
+
+bool Event::operator==(const Event& other) const {
+  return type == other.type && time == other.time && node == other.node &&
+         edge == other.edge && src == other.src && dst == other.dst &&
+         directed == other.directed && key == other.key &&
+         old_value == other.old_value && new_value == other.new_value;
+}
+
+}  // namespace hgdb

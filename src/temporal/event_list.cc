@@ -1,0 +1,58 @@
+#include "temporal/event_list.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace hgdb {
+
+bool EventList::IsChronological() const {
+  for (size_t i = 1; i < events_.size(); ++i) {
+    if (events_[i - 1].time > events_[i].time) return false;
+  }
+  return true;
+}
+
+size_t EventList::CountComponent(ComponentMask component) const {
+  size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.component() & component) ++n;
+  }
+  return n;
+}
+
+void EventList::EncodeComponent(ComponentMask component, std::string* out) const {
+  out->clear();
+  PutVarint64(out, CountComponent(component));
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if ((events_[i].component() & component) == 0) continue;
+    PutVarint64(out, i);  // Sequence number within the full list.
+    events_[i].EncodeTo(out);
+  }
+}
+
+Status EventList::DecodeAndMergeComponent(const Slice& blob) {
+  Slice in = blob;
+  uint64_t count = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(&in, &count, "eventlist component count"));
+  pending_.reserve(pending_.size() + static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t seq = 0;
+    HG_RETURN_NOT_OK(ExpectVarint64(&in, &seq, "eventlist seq"));
+    Event e;
+    HG_RETURN_NOT_OK(Event::DecodeFrom(&in, &e));
+    pending_.push_back(SeqEvent{seq, std::move(e)});
+  }
+  if (!in.empty()) return Status::Corruption("eventlist component: trailing bytes");
+  return Status::OK();
+}
+
+void EventList::FinalizeMerge() {
+  std::sort(pending_.begin(), pending_.end(),
+            [](const SeqEvent& a, const SeqEvent& b) { return a.seq < b.seq; });
+  events_.reserve(events_.size() + pending_.size());
+  for (auto& se : pending_) events_.push_back(std::move(se.event));
+  pending_.clear();
+}
+
+}  // namespace hgdb

@@ -1,0 +1,69 @@
+#ifndef HISTGRAPH_TEMPORAL_EVENT_LIST_H_
+#define HISTGRAPH_TEMPORAL_EVENT_LIST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "temporal/event.h"
+
+namespace hgdb {
+
+/// \brief A chronologically ordered list of events (Section 3.1).
+///
+/// Leaf-eventlists are the deltas stored on the bidirectional edges between
+/// adjacent DeltaGraph leaves. They are persisted *columnar*: the structure,
+/// node-attribute, edge-attribute, and transient events are serialized as
+/// separate blobs so that a query fetches only the components it needs
+/// (Section 4.2). Each event keeps its global sequence number within the list
+/// so that selective loads still apply in the exact original order.
+class EventList {
+ public:
+  EventList() = default;
+  explicit EventList(std::vector<Event> events) : events_(std::move(events)) {}
+
+  void Append(Event e) { events_.push_back(std::move(e)); }
+  void Clear() { events_.clear(); }
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const Event& operator[](size_t i) const { return events_[i]; }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Time of the first / last event; kMinTimestamp/kMaxTimestamp when empty.
+  Timestamp StartTime() const { return empty() ? kMinTimestamp : events_.front().time; }
+  Timestamp EndTime() const { return empty() ? kMaxTimestamp : events_.back().time; }
+
+  /// Verifies chronological ordering.
+  bool IsChronological() const;
+
+  /// Number of events belonging to the given component.
+  size_t CountComponent(ComponentMask component) const;
+
+  /// Serializes the events of one component as a blob of (seq, event) pairs.
+  /// `component` must be a single component bit.
+  void EncodeComponent(ComponentMask component, std::string* out) const;
+
+  /// Merges a component blob produced by EncodeComponent into this list.
+  /// Events from multiple component blobs interleave by sequence number, so
+  /// decoding {struct} or {struct, nodeattr} yields correctly ordered lists.
+  Status DecodeAndMergeComponent(const Slice& blob);
+
+  /// Sorts the merged events by sequence number. Call once after all
+  /// DecodeAndMergeComponent calls.
+  void FinalizeMerge();
+
+ private:
+  struct SeqEvent {
+    uint64_t seq;
+    Event event;
+  };
+  std::vector<Event> events_;
+  std::vector<SeqEvent> pending_;  ///< Accumulated by DecodeAndMergeComponent.
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_TEMPORAL_EVENT_LIST_H_

@@ -1,0 +1,164 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hgdb {
+
+GeneratedTrace GenerateRandomTrace(const RandomTraceOptions& options) {
+  GeneratedTrace trace;
+  trace.world = std::make_unique<TraceWorld>(options.seed);
+  TraceWorld& w = *trace.world;
+  auto& out = trace.events;
+  Rng& rng = w.rng();
+
+  Timestamp t = options.start_time;
+  // Seed a couple of nodes so edge events have endpoints.
+  w.AddNode(t, options.attrs_per_new_node, &out);
+  w.AddNode(t, options.attrs_per_new_node, &out);
+
+  while (out.size() < options.num_events) {
+    if (!rng.Chance(options.p_same_time)) t += 1 + rng.Uniform(3);
+    const double roll = rng.NextDouble();
+    double acc = 0.0;
+    if (roll < (acc += options.p_add_node)) {
+      w.AddNode(t, options.attrs_per_new_node, &out);
+    } else if (roll < (acc += options.p_add_edge)) {
+      w.AddRandomEdge(t, rng.Chance(0.3), &out);
+    } else if (roll < (acc += options.p_del_edge)) {
+      w.DeleteRandomEdge(t, &out);
+    } else if (roll < (acc += options.p_del_node)) {
+      // Keep a minimum population so the trace stays interesting.
+      if (w.node_count() > 4) w.DeleteRandomNode(t, &out);
+    } else if (roll < (acc += options.p_node_attr)) {
+      w.UpdateRandomNodeAttr(t, &out);
+    } else if (roll < (acc += options.p_edge_attr)) {
+      w.UpdateRandomEdgeAttr(t, &out);
+    } else {
+      w.EmitTransientEdge(t, &out);
+    }
+  }
+  return trace;
+}
+
+GeneratedTrace GenerateDblpLikeTrace(const DblpLikeOptions& options) {
+  GeneratedTrace trace;
+  trace.world = std::make_unique<TraceWorld>(options.seed);
+  TraceWorld& w = *trace.world;
+  auto& out = trace.events;
+  Rng& rng = w.rng();
+
+  // Yearly paper volume: base * growth^year, normalized so the total edge
+  // count lands near target_edges (average paper contributes ~2.6 edges:
+  // author cliques of mean size ~2.6 authors).
+  double growth_sum = 0.0;
+  for (int y = 0; y < options.years; ++y) {
+    growth_sum += std::pow(options.yearly_growth, y);
+  }
+  const double avg_edges_per_paper = 2.6;
+  const double base_papers =
+      static_cast<double>(options.target_edges) / (avg_edges_per_paper * growth_sum);
+
+  // Preferential re-selection pool: one entry per (author, paper) incidence.
+  std::vector<NodeId> activity_pool;
+
+  for (int y = 0; y < options.years && out.size() < options.target_edges * 4; ++y) {
+    const auto papers = static_cast<size_t>(
+        std::max(1.0, base_papers * std::pow(options.yearly_growth, y)));
+    for (size_t p = 0; p < papers; ++p) {
+      // Publication date: a day within the year.
+      const Timestamp t = static_cast<Timestamp>(y) * 365 + 1 +
+                          static_cast<Timestamp>(rng.Uniform(365));
+      const size_t team = 2 + rng.Uniform(3);  // 2..4 authors.
+      std::vector<NodeId> authors;
+      for (size_t a = 0; a < team; ++a) {
+        NodeId id;
+        if (activity_pool.empty() || rng.Chance(options.new_author_prob)) {
+          id = w.AddNode(t, options.attrs_per_node, &out);
+        } else {
+          id = activity_pool[rng.Uniform(activity_pool.size())];
+        }
+        if (std::find(authors.begin(), authors.end(), id) == authors.end()) {
+          authors.push_back(id);
+        }
+      }
+      for (size_t i = 0; i < authors.size(); ++i) {
+        for (size_t j = i + 1; j < authors.size(); ++j) {
+          // Repeat collaborations create parallel edges deliberately.
+          w.AddEdge(t, authors[i], authors[j], /*directed=*/false, &out);
+        }
+      }
+      for (NodeId a : authors) activity_pool.push_back(a);
+    }
+  }
+  // Events are generated per-paper with random days; restore chronology.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+  return trace;
+}
+
+void AppendChurnPhase(TraceWorld* world, Timestamp start_time,
+                      const ChurnOptions& options, std::vector<Event>* out) {
+  Rng& rng = world->rng();
+  Timestamp t = start_time;
+  size_t produced = 0;
+  while (produced < options.num_events) {
+    const size_t before = out->size();
+    t += 1 + rng.Uniform(static_cast<uint64_t>(options.time_step) + 1);
+    const double roll = rng.NextDouble();
+    if (roll < options.attr_update_fraction) {
+      if (rng.Chance(0.7)) {
+        world->UpdateRandomNodeAttr(t, out);
+      } else {
+        world->UpdateRandomEdgeAttr(t, out);
+      }
+    } else if (rng.NextDouble() < options.add_fraction) {
+      world->AddRandomEdge(t, /*directed=*/false, out);
+    } else if (world->edge_count() > 0) {
+      world->DeleteRandomEdge(t, out);
+    } else {
+      world->AddRandomEdge(t, /*directed=*/false, out);
+    }
+    produced += out->size() - before;
+  }
+}
+
+GeneratedTrace GeneratePatentLikeTrace(const PatentLikeOptions& options) {
+  GeneratedTrace trace;
+  trace.world = std::make_unique<TraceWorld>(options.seed);
+  TraceWorld& w = *trace.world;
+  auto& out = trace.events;
+  Rng& rng = w.rng();
+
+  // Bootstrap: patents arrive in order; each cites ~E/N earlier patents with
+  // preferential attachment (citation counts follow a heavy tail).
+  std::vector<NodeId> patents;
+  patents.reserve(options.initial_nodes);
+  std::vector<NodeId> citation_pool;
+  const double cites_per_patent = static_cast<double>(options.initial_edges) /
+                                  static_cast<double>(options.initial_nodes);
+  Timestamp t = 1;
+  for (size_t i = 0; i < options.initial_nodes; ++i) {
+    if (i % 16 == 0) ++t;  // Bursty arrivals: many patents share a day.
+    const NodeId id = w.AddNode(t, options.attrs_per_node, &out);
+    patents.push_back(id);
+    const auto cites = static_cast<size_t>(cites_per_patent * 0.5 +
+                                           rng.Uniform(static_cast<uint64_t>(
+                                               cites_per_patent + 1)));
+    for (size_t c = 0; c < cites && patents.size() > 1; ++c) {
+      const NodeId target = (citation_pool.empty() || rng.Chance(0.3))
+                                ? patents[rng.Uniform(patents.size() - 1)]
+                                : citation_pool[rng.Uniform(citation_pool.size())];
+      if (target == id) continue;
+      w.AddEdge(t, id, target, /*directed=*/true, &out);
+      citation_pool.push_back(target);
+    }
+  }
+  ChurnOptions churn;
+  churn.num_events = options.churn_events;
+  churn.seed = options.seed + 1;
+  AppendChurnPhase(&w, t + 1, churn, &out);
+  return trace;
+}
+
+}  // namespace hgdb

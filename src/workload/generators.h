@@ -1,0 +1,88 @@
+#ifndef HISTGRAPH_WORKLOAD_GENERATORS_H_
+#define HISTGRAPH_WORKLOAD_GENERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "temporal/event.h"
+#include "workload/trace_world.h"
+
+namespace hgdb {
+
+/// A generated historical trace plus its world (which holds the final graph
+/// state and can be extended with further phases).
+struct GeneratedTrace {
+  std::vector<Event> events;
+  std::unique_ptr<TraceWorld> world;
+
+  Timestamp min_time() const { return events.empty() ? 0 : events.front().time; }
+  Timestamp max_time() const { return events.empty() ? 0 : events.back().time; }
+};
+
+/// \brief Uniform random mixed trace for property tests: every event type,
+/// including transients, with tunable insert/delete rates.
+struct RandomTraceOptions {
+  size_t num_events = 10000;
+  double p_add_node = 0.18;
+  double p_add_edge = 0.40;
+  double p_del_edge = 0.12;
+  double p_del_node = 0.02;
+  double p_node_attr = 0.15;
+  double p_edge_attr = 0.08;
+  double p_transient = 0.05;
+  size_t attrs_per_new_node = 2;
+  /// Probability that consecutive events share a timestamp (tests boundary
+  /// handling of equal-time events).
+  double p_same_time = 0.25;
+  Timestamp start_time = 1;
+  uint64_t seed = 42;
+};
+GeneratedTrace GenerateRandomTrace(const RandomTraceOptions& options);
+
+/// \brief Dataset 1 stand-in (Section 7): a growing-only co-authorship
+/// network a la DBLP.
+///
+/// Authors arrive over `years` with super-linearly growing yearly volume
+/// (event density g(t) grows over time, Section 5.1); each "paper" adds a
+/// small author clique mixing new and preferentially re-selected authors
+/// (so repeat collaborations produce parallel edges, matching the paper's
+/// 2M edges / 1.04M unique endpoint pairs ratio); every node gets
+/// `attrs_per_node` random attribute pairs; nothing is ever deleted.
+struct DblpLikeOptions {
+  size_t target_edges = 100000;
+  int years = 70;
+  size_t attrs_per_node = 10;
+  double yearly_growth = 1.07;
+  double new_author_prob = 0.35;
+  uint64_t seed = 7;
+};
+GeneratedTrace GenerateDblpLikeTrace(const DblpLikeOptions& options);
+
+/// \brief Churn phase (Datasets 2 and 3): `num_events` random edge
+/// additions/deletions (plus optional attribute noise) appended to an
+/// existing world, starting after `start_time`.
+struct ChurnOptions {
+  size_t num_events = 100000;
+  double add_fraction = 0.5;
+  double attr_update_fraction = 0.0;  ///< Portion of events that are UNA/UEA.
+  Timestamp time_step = 1;            ///< Mean gap between event timestamps.
+  uint64_t seed = 11;
+};
+void AppendChurnPhase(TraceWorld* world, Timestamp start_time,
+                      const ChurnOptions& options, std::vector<Event>* out);
+
+/// \brief Dataset 3 stand-in: a patent-citation-like bootstrap (directed
+/// acyclic preferential citations) followed by heavy churn.
+struct PatentLikeOptions {
+  size_t initial_nodes = 30000;
+  size_t initial_edges = 100000;
+  size_t churn_events = 500000;
+  size_t attrs_per_node = 0;
+  uint64_t seed = 13;
+};
+GeneratedTrace GeneratePatentLikeTrace(const PatentLikeOptions& options);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,169 @@
+#include "workload/trace_world.h"
+
+#include <cassert>
+
+namespace hgdb {
+
+NodeId TraceWorld::AddNode(Timestamp t, size_t attr_count, std::vector<Event>* out) {
+  const NodeId id = next_node_id_++;
+  out->push_back(Event::AddNode(t, id));
+  graph_.AddNode(id);
+  node_pos_[id] = node_ids_.size();
+  node_ids_.push_back(id);
+  for (size_t i = 0; i < attr_count; ++i) {
+    const std::string key = "attr" + std::to_string(i);
+    const std::string value = rng_.String(8);
+    out->push_back(Event::SetNodeAttr(t, id, key, std::nullopt, value));
+    graph_.SetNodeAttr(id, key, value);
+  }
+  return id;
+}
+
+EdgeId TraceWorld::AddEdge(Timestamp t, NodeId src, NodeId dst, bool directed,
+                           std::vector<Event>* out) {
+  const EdgeId id = next_edge_id_++;
+  out->push_back(Event::AddEdge(t, id, src, dst, directed));
+  graph_.AddEdge(id, EdgeRecord{src, dst, directed});
+  edge_pos_[id] = edge_ids_.size();
+  edge_ids_.push_back(id);
+  incident_[src].insert(id);
+  incident_[dst].insert(id);
+  return id;
+}
+
+EdgeId TraceWorld::AddRandomEdge(Timestamp t, bool directed, std::vector<Event>* out) {
+  if (node_ids_.size() < 2) return kInvalidEdgeId;
+  const NodeId a = node_ids_[rng_.Uniform(node_ids_.size())];
+  NodeId b = node_ids_[rng_.Uniform(node_ids_.size())];
+  for (int tries = 0; b == a && tries < 8; ++tries) {
+    b = node_ids_[rng_.Uniform(node_ids_.size())];
+  }
+  if (a == b) return kInvalidEdgeId;
+  return AddEdge(t, a, b, directed, out);
+}
+
+void TraceWorld::DeleteEdge(Timestamp t, EdgeId e, std::vector<Event>* out) {
+  const EdgeRecord* rec = graph_.FindEdge(e);
+  assert(rec != nullptr);
+  const EdgeRecord copy = *rec;
+  // Attributes must be removed before the structural delete. The removal
+  // events carry the edge endpoints so partitioned indexes co-locate them
+  // with the edge itself.
+  if (const AttrMap* attrs = graph_.GetEdgeAttrs(e)) {
+    const AttrMap attrs_copy = *attrs;
+    for (const auto& [k, v] : attrs_copy) {
+      Event ev = Event::SetEdgeAttr(t, e, k, v, std::nullopt);
+      ev.src = copy.src;
+      ev.dst = copy.dst;
+      out->push_back(std::move(ev));
+      graph_.RemoveEdgeAttr(e, k);
+    }
+  }
+  out->push_back(Event::DeleteEdge(t, e, copy.src, copy.dst, copy.directed));
+  graph_.RemoveEdge(e);
+  incident_[copy.src].erase(e);
+  incident_[copy.dst].erase(e);
+  const size_t pos = edge_pos_[e];
+  edge_pos_[edge_ids_.back()] = pos;
+  std::swap(edge_ids_[pos], edge_ids_.back());
+  edge_ids_.pop_back();
+  edge_pos_.erase(e);
+}
+
+bool TraceWorld::DeleteRandomEdge(Timestamp t, std::vector<Event>* out) {
+  if (edge_ids_.empty()) return false;
+  DeleteEdge(t, edge_ids_[rng_.Uniform(edge_ids_.size())], out);
+  return true;
+}
+
+bool TraceWorld::DeleteRandomNode(Timestamp t, std::vector<Event>* out) {
+  if (node_ids_.empty()) return false;
+  const NodeId n = node_ids_[rng_.Uniform(node_ids_.size())];
+  // Remove incident edges first.
+  auto it = incident_.find(n);
+  if (it != incident_.end()) {
+    const std::vector<EdgeId> edges(it->second.begin(), it->second.end());
+    for (EdgeId e : edges) DeleteEdge(t, e, out);
+  }
+  incident_.erase(n);
+  if (const AttrMap* attrs = graph_.GetNodeAttrs(n)) {
+    const AttrMap attrs_copy = *attrs;
+    for (const auto& [k, v] : attrs_copy) {
+      out->push_back(Event::SetNodeAttr(t, n, k, v, std::nullopt));
+      graph_.RemoveNodeAttr(n, k);
+    }
+  }
+  out->push_back(Event::DeleteNode(t, n));
+  graph_.RemoveNode(n);
+  const size_t pos = node_pos_[n];
+  node_pos_[node_ids_.back()] = pos;
+  std::swap(node_ids_[pos], node_ids_.back());
+  node_ids_.pop_back();
+  node_pos_.erase(n);
+  return true;
+}
+
+void TraceWorld::SetNodeAttr(Timestamp t, NodeId n, const std::string& key,
+                             const std::string& value, std::vector<Event>* out) {
+  const std::string* old = graph_.GetNodeAttr(n, key);
+  out->push_back(Event::SetNodeAttr(
+      t, n, key, old ? std::optional<std::string>(*old) : std::nullopt, value));
+  graph_.SetNodeAttr(n, key, value);
+}
+
+bool TraceWorld::UpdateRandomNodeAttr(Timestamp t, std::vector<Event>* out) {
+  if (node_ids_.empty()) return false;
+  const NodeId n = node_ids_[rng_.Uniform(node_ids_.size())];
+  const std::string key = "attr" + std::to_string(rng_.Uniform(10));
+  SetNodeAttr(t, n, key, rng_.String(8), out);
+  return true;
+}
+
+bool TraceWorld::UpdateRandomEdgeAttr(Timestamp t, std::vector<Event>* out) {
+  if (edge_ids_.empty()) return false;
+  const EdgeId e = edge_ids_[rng_.Uniform(edge_ids_.size())];
+  const std::string key = "weight";
+  const std::string* old = graph_.GetEdgeAttr(e, key);
+  Event ev = Event::SetEdgeAttr(
+      t, e, key, old ? std::optional<std::string>(*old) : std::nullopt,
+      std::to_string(rng_.Uniform(1000)));
+  // Carry the source endpoint so partitioned indexes co-locate the event
+  // with its edge.
+  const EdgeRecord* rec = graph_.FindEdge(e);
+  ev.src = rec->src;
+  ev.dst = rec->dst;
+  graph_.SetEdgeAttr(e, key, *ev.new_value);
+  out->push_back(std::move(ev));
+  return true;
+}
+
+bool TraceWorld::EmitTransientEdge(Timestamp t, std::vector<Event>* out) {
+  if (node_ids_.size() < 2) return false;
+  const NodeId a = node_ids_[rng_.Uniform(node_ids_.size())];
+  const NodeId b = node_ids_[rng_.Uniform(node_ids_.size())];
+  out->push_back(Event::TransientEdge(t, a, b, "msg-" + rng_.String(6)));
+  return true;
+}
+
+NodeId TraceWorld::RandomNode() {
+  if (node_ids_.empty()) return kInvalidNodeId;
+  return node_ids_[rng_.Uniform(node_ids_.size())];
+}
+
+EdgeId TraceWorld::RandomEdge() {
+  if (edge_ids_.empty()) return kInvalidEdgeId;
+  return edge_ids_[rng_.Uniform(edge_ids_.size())];
+}
+
+Snapshot ReplayAt(const std::vector<Event>& events, Timestamp t, unsigned components) {
+  Snapshot g;
+  for (const auto& e : events) {
+    if (e.time > t) break;
+    const Status s = g.Apply(e, /*forward=*/true, components);
+    assert(s.ok());
+    (void)s;
+  }
+  return g;
+}
+
+}  // namespace hgdb

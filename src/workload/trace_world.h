@@ -1,0 +1,90 @@
+#ifndef HISTGRAPH_WORKLOAD_TRACE_WORLD_H_
+#define HISTGRAPH_WORKLOAD_TRACE_WORLD_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "graph/snapshot.h"
+#include "temporal/event.h"
+
+namespace hgdb {
+
+/// \brief Mutable world state used by trace generators to emit *valid*
+/// chronological event streams.
+///
+/// The event protocol requires deletes to reference existing elements with
+/// their exact prior state (attribute removals carry old values; structural
+/// deletes happen only after attributes and incident edges are gone).
+/// TraceWorld tracks the live graph plus adjacency so generators can produce
+/// arbitrarily shuffled add/delete/update mixes that always replay cleanly in
+/// both directions.
+class TraceWorld {
+ public:
+  explicit TraceWorld(uint64_t seed) : rng_(seed) {}
+
+  /// Emits a new-node event (plus attribute events) into `out`.
+  NodeId AddNode(Timestamp t, size_t attr_count, std::vector<Event>* out);
+
+  /// Emits a new-edge event between two existing nodes; returns
+  /// kInvalidEdgeId if fewer than two nodes exist or the pair is exhausted.
+  EdgeId AddEdge(Timestamp t, NodeId src, NodeId dst, bool directed,
+                 std::vector<Event>* out);
+
+  /// Adds an edge between random distinct existing nodes.
+  EdgeId AddRandomEdge(Timestamp t, bool directed, std::vector<Event>* out);
+
+  /// Deletes a uniformly random live edge (attribute removals first).
+  /// Returns false if no edges exist.
+  bool DeleteRandomEdge(Timestamp t, std::vector<Event>* out);
+
+  /// Deletes a specific edge.
+  void DeleteEdge(Timestamp t, EdgeId e, std::vector<Event>* out);
+
+  /// Deletes a random node along with its attributes and incident edges.
+  bool DeleteRandomNode(Timestamp t, std::vector<Event>* out);
+
+  /// Sets (or overwrites) an attribute on a random node.
+  bool UpdateRandomNodeAttr(Timestamp t, std::vector<Event>* out);
+
+  /// Sets (or overwrites) an attribute on a random edge.
+  bool UpdateRandomEdgeAttr(Timestamp t, std::vector<Event>* out);
+
+  /// Sets a specific node attribute (emitting the correct old value).
+  void SetNodeAttr(Timestamp t, NodeId n, const std::string& key,
+                   const std::string& value, std::vector<Event>* out);
+
+  /// Emits a transient edge (message) between two random nodes.
+  bool EmitTransientEdge(Timestamp t, std::vector<Event>* out);
+
+  NodeId RandomNode();
+  EdgeId RandomEdge();
+
+  const Snapshot& graph() const { return graph_; }
+  size_t node_count() const { return node_ids_.size(); }
+  size_t edge_count() const { return edge_ids_.size(); }
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+  Snapshot graph_;
+  NodeId next_node_id_ = 1;
+  EdgeId next_edge_id_ = 1;
+  std::vector<NodeId> node_ids_;   // Dense vectors for O(1) random pick
+  std::vector<EdgeId> edge_ids_;   // with swap-remove on delete.
+  std::unordered_map<NodeId, size_t> node_pos_;
+  std::unordered_map<EdgeId, size_t> edge_pos_;
+  std::unordered_map<NodeId, std::unordered_set<EdgeId>> incident_;
+};
+
+/// Replays `events` with time <= t onto an empty snapshot — the ground-truth
+/// oracle every index implementation is tested against.
+Snapshot ReplayAt(const std::vector<Event>& events, Timestamp t,
+                  unsigned components = kCompAll);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_WORKLOAD_TRACE_WORLD_H_

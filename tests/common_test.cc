@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/dynamic_bitset.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hgdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("delta 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: delta 42");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::Corruption("x").ToString(), "Corruption: x");
+  EXPECT_EQ(Status::InvalidArgument("x").ToString(), "InvalidArgument: x");
+  EXPECT_EQ(Status::IOError("x").ToString(), "IOError: x");
+  EXPECT_EQ(Status::NotSupported("x").ToString(), "NotSupported: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OutOfRange: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IOError("disk gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeefu);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  Slice in(buf);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&in, &v32));
+  ASSERT_TRUE(GetFixed64(&in, &v64));
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  EXPECT_EQ(v64, 0x0123456789abcdefull);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  const uint64_t values[] = {0,       1,        127,        128,
+                             16383,   16384,    (1ull << 32) - 1, 1ull << 32,
+                             ~0ull >> 1, ~0ull};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, SignedVarintRoundTrip) {
+  const int64_t values[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX, -123456789};
+  std::string buf;
+  for (int64_t v : values) PutVarsint64(&buf, v);
+  Slice in(buf);
+  for (int64_t v : values) {
+    int64_t got;
+    ASSERT_TRUE(GetVarsint64(&in, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&in, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, Slice("hello"));
+  PutLengthPrefixedSlice(&buf, Slice(""));
+  PutLengthPrefixedSlice(&buf, Slice(std::string(1000, 'x')));
+  Slice in(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedString(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixedString(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixedString(&in, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(1000, 'x'));
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  // Low bits of sequential inputs should not be sequential after mixing.
+  int same_parity = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if ((Mix64(i) & 1) == (i & 1)) ++same_parity;
+  }
+  EXPECT_GT(same_parity, 350);
+  EXPECT_LT(same_parity, 650);
+}
+
+TEST(SliceTest, BasicOps) {
+  Slice s("abcdef");
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_TRUE(s.StartsWith("abc"));
+  EXPECT_FALSE(s.StartsWith("abd"));
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("abc").Compare(Slice("abcd")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+}
+
+TEST(DynamicBitsetTest, SetTestGrow) {
+  DynamicBitset bm;
+  EXPECT_FALSE(bm.Test(0));
+  EXPECT_FALSE(bm.Test(1000));
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(1000);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(1000));
+  EXPECT_FALSE(bm.Test(999));
+  EXPECT_EQ(bm.Count(), 4u);
+  bm.Reset(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, NoneAndClear) {
+  DynamicBitset bm;
+  EXPECT_TRUE(bm.None());
+  bm.Set(77);
+  EXPECT_FALSE(bm.None());
+  bm.Clear();
+  EXPECT_TRUE(bm.None());
+}
+
+TEST(DynamicBitsetTest, EqualityIgnoresTrailingZeroWords) {
+  DynamicBitset a, b;
+  a.Set(5);
+  b.Set(5);
+  b.Set(500);
+  b.Reset(500);  // b now has extra zero words.
+  EXPECT_TRUE(a == b);
+  b.Set(6);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DynamicBitsetTest, SettingOutOfRangeZeroIsNoop) {
+  DynamicBitset bm;
+  bm.Set(10000, false);
+  EXPECT_EQ(bm.MemoryBytes(), 0u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(ZipfTest, SkewsTowardSmallValues) {
+  ZipfGenerator zipf(100, 1.2, 3);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    if (zipf.Next() < 10) ++low;
+  }
+  // With theta=1.2 the first 10 of 100 values should take well over half.
+  EXPECT_GT(low, total / 2);
+}
+
+}  // namespace
+}  // namespace hgdb

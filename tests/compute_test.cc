@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compute/algorithms.h"
+#include "compute/graph_accessor.h"
+#include "workload/generators.h"
+#include "workload/trace_world.h"
+
+namespace hgdb {
+namespace {
+
+Snapshot ChainGraph(size_t n) {
+  Snapshot g;
+  for (NodeId v = 1; v <= n; ++v) g.AddNode(v);
+  for (NodeId v = 1; v < n; ++v) {
+    g.AddEdge(v, EdgeRecord{v, v + 1, false});
+  }
+  return g;
+}
+
+TEST(PageRankTest, UniformOnRegularRing) {
+  Snapshot g;
+  const size_t n = 10;
+  for (NodeId v = 0; v < n; ++v) g.AddNode(v);
+  for (NodeId v = 0; v < n; ++v) {
+    g.AddEdge(v + 1, EdgeRecord{v, (v + 1) % n, true});
+  }
+  SnapshotAccessor acc(&g);
+  auto ranks = PageRank(acc, 30);
+  ASSERT_EQ(ranks.size(), n);
+  for (const auto& [v, r] : ranks) {
+    EXPECT_NEAR(r, 1.0 / n, 1e-6) << "node " << v;
+  }
+}
+
+TEST(PageRankTest, HubDominatesStar) {
+  // Directed star pointing at node 0: node 0 must outrank everyone.
+  Snapshot g;
+  g.AddNode(0);
+  for (NodeId v = 1; v <= 8; ++v) {
+    g.AddNode(v);
+    g.AddEdge(v, EdgeRecord{v, 0, true});
+  }
+  SnapshotAccessor acc(&g);
+  auto ranks = PageRank(acc, 25);
+  for (NodeId v = 1; v <= 8; ++v) EXPECT_GT(ranks[0], 2 * ranks[v]);
+}
+
+TEST(PageRankTest, SumIsBoundedAndStable) {
+  RandomTraceOptions opts;
+  opts.num_events = 2000;
+  opts.seed = 17;
+  GeneratedTrace trace = GenerateRandomTrace(opts);
+  Snapshot g = ReplayAt(trace.events, trace.events.back().time, kCompStruct);
+  SnapshotAccessor acc(&g);
+  auto ranks = PageRank(acc, 20);
+  double sum = 0;
+  for (const auto& [v, r] : ranks) {
+    EXPECT_GE(r, 0.0);
+    sum += r;
+  }
+  // With dangling nodes the sum leaks below 1 but stays in (0, 1].
+  EXPECT_GT(sum, 0.0);
+  EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+TEST(PageRankTest, MultiWorkerMatchesSingleWorker) {
+  RandomTraceOptions opts;
+  opts.num_events = 3000;
+  opts.seed = 23;
+  GeneratedTrace trace = GenerateRandomTrace(opts);
+  Snapshot g = ReplayAt(trace.events, trace.events.back().time, kCompStruct);
+  SnapshotAccessor acc(&g);
+  auto r1 = PageRank(acc, 15, 0.85, 1);
+  auto r4 = PageRank(acc, 15, 0.85, 4);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (const auto& [v, r] : r1) {
+    EXPECT_NEAR(r, r4[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(PageRankTest, ViewAndSnapshotAccessorsAgree) {
+  RandomTraceOptions opts;
+  opts.num_events = 2000;
+  opts.seed = 29;
+  GeneratedTrace trace = GenerateRandomTrace(opts);
+  Snapshot g = ReplayAt(trace.events, trace.events.back().time, kCompStruct);
+
+  GraphPool pool;
+  pool.InitCurrent(g);
+  SnapshotAccessor snap_acc(&g);
+  HistViewAccessor view_acc(pool.View(kCurrentGraph));
+  auto r_snap = PageRank(snap_acc, 10);
+  auto r_view = PageRank(view_acc, 10);
+  ASSERT_EQ(r_snap.size(), r_view.size());
+  for (const auto& [v, r] : r_snap) {
+    EXPECT_NEAR(r, r_view[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(ConnectedComponentsTest, TwoComponents) {
+  Snapshot g;
+  for (NodeId v = 1; v <= 6; ++v) g.AddNode(v);
+  g.AddEdge(1, EdgeRecord{1, 2, false});
+  g.AddEdge(2, EdgeRecord{2, 3, false});
+  g.AddEdge(3, EdgeRecord{4, 5, false});
+  SnapshotAccessor acc(&g);
+  auto cc = ConnectedComponents(acc);
+  EXPECT_EQ(cc[1], 1u);
+  EXPECT_EQ(cc[2], 1u);
+  EXPECT_EQ(cc[3], 1u);
+  EXPECT_EQ(cc[4], 4u);
+  EXPECT_EQ(cc[5], 4u);
+  EXPECT_EQ(cc[6], 6u);  // Isolated.
+}
+
+TEST(ConnectedComponentsTest, LongChainConverges) {
+  Snapshot g = ChainGraph(200);
+  SnapshotAccessor acc(&g);
+  auto cc = ConnectedComponents(acc, 2, 500);
+  for (NodeId v = 1; v <= 200; ++v) EXPECT_EQ(cc[v], 1u) << v;
+}
+
+TEST(ShortestPathsTest, ChainDistances) {
+  Snapshot g = ChainGraph(50);
+  SnapshotAccessor acc(&g);
+  auto dist = ShortestPaths(acc, 1);
+  for (NodeId v = 1; v <= 50; ++v) {
+    ASSERT_TRUE(dist.contains(v)) << v;
+    EXPECT_EQ(dist[v], static_cast<int64_t>(v - 1));
+  }
+}
+
+TEST(ShortestPathsTest, UnreachableNodesAbsent) {
+  Snapshot g;
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddNode(3);
+  g.AddEdge(1, EdgeRecord{1, 2, false});
+  SnapshotAccessor acc(&g);
+  auto dist = ShortestPaths(acc, 1);
+  EXPECT_TRUE(dist.contains(2));
+  EXPECT_FALSE(dist.contains(3));
+}
+
+TEST(ShortestPathsTest, RespectsDirection) {
+  Snapshot g;
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddEdge(1, EdgeRecord{2, 1, true});  // 2 -> 1 only.
+  SnapshotAccessor acc(&g);
+  auto dist = ShortestPaths(acc, 1);
+  EXPECT_FALSE(dist.contains(2));
+  auto dist2 = ShortestPaths(acc, 2);
+  EXPECT_TRUE(dist2.contains(1));
+}
+
+TEST(TriangleTest, CountsExactly) {
+  Snapshot g;
+  for (NodeId v = 1; v <= 5; ++v) g.AddNode(v);
+  // Triangle 1-2-3 and triangle 2-3-4; edge to 5 adds none.
+  g.AddEdge(1, EdgeRecord{1, 2, false});
+  g.AddEdge(2, EdgeRecord{2, 3, false});
+  g.AddEdge(3, EdgeRecord{1, 3, false});
+  g.AddEdge(4, EdgeRecord{2, 4, false});
+  g.AddEdge(5, EdgeRecord{3, 4, false});
+  g.AddEdge(6, EdgeRecord{4, 5, false});
+  SnapshotAccessor acc(&g);
+  EXPECT_EQ(CountTriangles(acc), 2u);
+}
+
+TEST(DegreeStatsTest, Basics) {
+  Snapshot g = ChainGraph(4);
+  SnapshotAccessor acc(&g);
+  DegreeStats stats = ComputeDegreeStats(acc);
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_NEAR(stats.mean_degree, 6.0 / 4.0, 1e-9);
+}
+
+TEST(LabelPropagationTest, SeparatesTwoCliques) {
+  Snapshot g;
+  EdgeId e = 1;
+  for (NodeId v = 1; v <= 8; ++v) g.AddNode(v);
+  // Clique {1..4} and clique {5..8}, joined by nothing.
+  for (NodeId a = 1; a <= 4; ++a)
+    for (NodeId b = a + 1; b <= 4; ++b) g.AddEdge(e++, EdgeRecord{a, b, false});
+  for (NodeId a = 5; a <= 8; ++a)
+    for (NodeId b = a + 1; b <= 8; ++b) g.AddEdge(e++, EdgeRecord{a, b, false});
+  SnapshotAccessor acc(&g);
+  auto labels = LabelPropagation(acc, 20);
+  for (NodeId v = 2; v <= 4; ++v) EXPECT_EQ(labels[v], labels[1]);
+  for (NodeId v = 6; v <= 8; ++v) EXPECT_EQ(labels[v], labels[5]);
+  EXPECT_NE(labels[1], labels[5]);
+}
+
+TEST(ClusteringCoefficientTest, TriangleAndStar) {
+  Snapshot tri;
+  for (NodeId v = 1; v <= 3; ++v) tri.AddNode(v);
+  tri.AddEdge(1, EdgeRecord{1, 2, false});
+  tri.AddEdge(2, EdgeRecord{2, 3, false});
+  tri.AddEdge(3, EdgeRecord{1, 3, false});
+  SnapshotAccessor tri_acc(&tri);
+  EXPECT_NEAR(ClusteringCoefficient(tri_acc), 1.0, 1e-9);
+
+  Snapshot star;
+  star.AddNode(0);
+  for (NodeId v = 1; v <= 5; ++v) {
+    star.AddNode(v);
+    star.AddEdge(v, EdgeRecord{0, v, false});
+  }
+  SnapshotAccessor star_acc(&star);
+  EXPECT_NEAR(ClusteringCoefficient(star_acc), 0.0, 1e-9);
+}
+
+TEST(EngineTest, HaltsOnEmptyGraph) {
+  Snapshot g;
+  SnapshotAccessor acc(&g);
+  auto ranks = PageRank(acc, 10);
+  EXPECT_TRUE(ranks.empty());
+}
+
+}  // namespace
+}  // namespace hgdb

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "core/graph_manager.h"
+#include "core/query_manager.h"
+#include "workload/generators.h"
+#include "workload/trace_world.h"
+
+namespace hgdb {
+namespace {
+
+// --- AttrOptions (Table 1) ----------------------------------------------------
+
+TEST(AttrOptionsTest, DefaultIsStructureOnly) {
+  auto opts = AttrOptions::Parse("");
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->Components(), kCompStruct);
+  EXPECT_FALSE(opts->KeepNodeAttr("x"));
+}
+
+TEST(AttrOptionsTest, PaperExample) {
+  // "+node:all-node:salary+edge:name": all node attrs except salary, plus
+  // the edge attribute name.
+  auto opts = AttrOptions::Parse("+node:all-node:salary+edge:name");
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->Components(), kCompStruct | kCompNodeAttr | kCompEdgeAttr);
+  EXPECT_TRUE(opts->KeepNodeAttr("job"));
+  EXPECT_FALSE(opts->KeepNodeAttr("salary"));
+  EXPECT_TRUE(opts->KeepEdgeAttr("name"));
+  EXPECT_FALSE(opts->KeepEdgeAttr("weight"));
+}
+
+TEST(AttrOptionsTest, IncludeOverridesMinusAll) {
+  auto opts = AttrOptions::Parse("+node:attr1");
+  ASSERT_TRUE(opts.ok());
+  EXPECT_TRUE(opts->KeepNodeAttr("attr1"));
+  EXPECT_FALSE(opts->KeepNodeAttr("attr2"));
+  EXPECT_EQ(opts->Components() & kCompNodeAttr, kCompNodeAttr + 0u);
+}
+
+TEST(AttrOptionsTest, RejectsMalformed) {
+  EXPECT_FALSE(AttrOptions::Parse("node:all").ok());
+  EXPECT_FALSE(AttrOptions::Parse("+nodeall").ok());
+  EXPECT_FALSE(AttrOptions::Parse("+vertex:all").ok());
+  EXPECT_FALSE(AttrOptions::Parse("+node:").ok());
+}
+
+// --- TimeExpression -------------------------------------------------------------
+
+TEST(TimeExpressionTest, ParseAndEvaluate) {
+  auto expr = TimeExpression::Parse({100, 200}, "t0 & !t1");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Evaluate({true, false}));
+  EXPECT_FALSE(expr->Evaluate({true, true}));
+  EXPECT_FALSE(expr->Evaluate({false, false}));
+}
+
+TEST(TimeExpressionTest, PrecedenceAndParens) {
+  auto expr = TimeExpression::Parse({1, 2, 3}, "t0 | t1 & t2");
+  ASSERT_TRUE(expr.ok());
+  // '&' binds tighter than '|'.
+  EXPECT_TRUE(expr->Evaluate({true, false, false}));
+  EXPECT_FALSE(expr->Evaluate({false, true, false}));
+  EXPECT_TRUE(expr->Evaluate({false, true, true}));
+
+  auto expr2 = TimeExpression::Parse({1, 2, 3}, "(t0 | t1) & t2");
+  ASSERT_TRUE(expr2.ok());
+  EXPECT_FALSE(expr2->Evaluate({true, false, false}));
+  EXPECT_TRUE(expr2->Evaluate({true, false, true}));
+}
+
+TEST(TimeExpressionTest, RejectsBadInput) {
+  EXPECT_FALSE(TimeExpression::Parse({1}, "t1").ok());       // Out of range.
+  EXPECT_FALSE(TimeExpression::Parse({1}, "t0 &").ok());     // Dangling op.
+  EXPECT_FALSE(TimeExpression::Parse({1}, "(t0").ok());      // Missing paren.
+  EXPECT_FALSE(TimeExpression::Parse({1}, "x0").ok());       // Bad token.
+  EXPECT_FALSE(TimeExpression::Parse({1}, "t0 t0").ok());    // Trailing input.
+}
+
+// --- GraphManager end-to-end -----------------------------------------------------
+
+class GraphManagerTest : public ::testing::Test {
+ protected:
+  void Build(size_t num_events = 4000, uint64_t seed = 99, size_t leaf_size = 400) {
+    RandomTraceOptions opts;
+    opts.num_events = num_events;
+    opts.seed = seed;
+    trace_ = GenerateRandomTrace(opts);
+    store_ = NewMemKVStore();
+    GraphManagerOptions gmo;
+    gmo.index.leaf_size = leaf_size;
+    auto gm = GraphManager::Create(store_.get(), gmo);
+    ASSERT_TRUE(gm.ok());
+    gm_ = std::move(gm).value();
+    ASSERT_TRUE(gm_->ApplyEvents(trace_.events).ok());
+    ASSERT_TRUE(gm_->FinalizeIndex().ok());
+  }
+
+  GeneratedTrace trace_;
+  std::unique_ptr<KVStore> store_;
+  std::unique_ptr<GraphManager> gm_;
+};
+
+TEST_F(GraphManagerTest, GetHistGraphMatchesReplay) {
+  Build();
+  const Timestamp t_max = trace_.events.back().time;
+  for (int i = 1; i <= 8; ++i) {
+    const Timestamp t = t_max * i / 9;
+    auto hist = gm_->GetHistGraph(t, "+node:all+edge:all");
+    ASSERT_TRUE(hist.ok()) << hist.status().ToString();
+    Snapshot got = gm_->pool().ExtractSnapshot(hist->pool_id());
+    Snapshot expected = ReplayAt(trace_.events, t);
+    EXPECT_TRUE(got.Equals(expected)) << "t=" << t << "\n" << got.DiffString(expected);
+    ASSERT_TRUE(gm_->Release(&hist.value()).ok());
+  }
+}
+
+TEST_F(GraphManagerTest, StructureOnlyRetrievalHasNoAttrs) {
+  Build();
+  const Timestamp t = trace_.events.back().time / 2;
+  auto hist = gm_->GetHistGraph(t, "");
+  ASSERT_TRUE(hist.ok());
+  Snapshot got = gm_->pool().ExtractSnapshot(hist->pool_id());
+  Snapshot expected = ReplayAt(trace_.events, t, kCompStruct);
+  EXPECT_TRUE(got.Equals(expected)) << got.DiffString(expected);
+}
+
+TEST_F(GraphManagerTest, AttrFilteringDropsExcludedKeys) {
+  Build();
+  const Timestamp t = trace_.events.back().time;
+  auto hist = gm_->GetHistGraph(t, "+node:all-node:attr0");
+  ASSERT_TRUE(hist.ok());
+  Snapshot got = gm_->pool().ExtractSnapshot(hist->pool_id());
+  for (const auto& [n, attrs] : got.node_attrs()) {
+    EXPECT_FALSE(attrs.contains("attr0")) << "node " << n;
+  }
+  EXPECT_EQ(got.EdgeAttrCount(), 0u);
+  // But some other node attrs survived.
+  Snapshot expected = ReplayAt(trace_.events, t);
+  if (expected.NodeAttrCount() > 0) {
+    EXPECT_GT(got.NodeAttrCount(), 0u);
+  }
+}
+
+TEST_F(GraphManagerTest, MultipointSharesPool) {
+  Build();
+  const Timestamp t_max = trace_.events.back().time;
+  std::vector<Timestamp> times;
+  for (int i = 1; i <= 6; ++i) times.push_back(t_max * i / 7);
+  auto graphs = gm_->GetHistGraphs(times, "+node:all");
+  ASSERT_TRUE(graphs.ok());
+  ASSERT_EQ(graphs->size(), times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    Snapshot got = gm_->pool().ExtractSnapshot((*graphs)[i].pool_id());
+    Snapshot expected = ReplayAt(trace_.events, times[i], kCompStruct | kCompNodeAttr);
+    EXPECT_TRUE(got.Equals(expected)) << got.DiffString(expected);
+  }
+  for (auto& g : graphs.value()) ASSERT_TRUE(gm_->Release(&g).ok());
+  gm_->RunCleaner();
+}
+
+TEST_F(GraphManagerTest, TimeExpressionDifference) {
+  Build();
+  const Timestamp t_max = trace_.events.back().time;
+  const Timestamp t1 = t_max / 3, t2 = 2 * t_max / 3;
+  auto expr = TimeExpression::Parse({t1, t2}, "t1 & !t0");  // Added between t1,t2.
+  ASSERT_TRUE(expr.ok());
+  auto hist = gm_->GetHistGraph(*expr, "+node:all+edge:all");
+  ASSERT_TRUE(hist.ok()) << hist.status().ToString();
+  Snapshot got = gm_->pool().ExtractSnapshot(hist->pool_id());
+
+  Snapshot g1 = ReplayAt(trace_.events, t1);
+  Snapshot g2 = ReplayAt(trace_.events, t2);
+  for (NodeId n : got.nodes()) {
+    EXPECT_TRUE(g2.HasNode(n) && !g1.HasNode(n)) << "node " << n;
+  }
+  size_t expected_nodes = 0;
+  for (NodeId n : g2.nodes()) {
+    if (!g1.HasNode(n)) ++expected_nodes;
+  }
+  EXPECT_EQ(got.NodeCount(), expected_nodes);
+}
+
+TEST_F(GraphManagerTest, IntervalGraphContainsAddedElementsAndTransients) {
+  Build();
+  const Timestamp t_max = trace_.events.back().time;
+  const Timestamp ts = t_max / 4, te = 3 * t_max / 4;
+  auto hist = gm_->GetHistGraphInterval(ts, te, "+node:all");
+  ASSERT_TRUE(hist.ok()) << hist.status().ToString();
+  Snapshot got = gm_->pool().ExtractSnapshot(hist->pool_id());
+
+  size_t expected_new_nodes = 0, expected_transients = 0;
+  for (const auto& e : trace_.events) {
+    if (e.time < ts || e.time >= te) continue;
+    if (e.type == EventType::kAddNode) ++expected_new_nodes;
+    if (e.type == EventType::kTransientEdge) ++expected_transients;
+  }
+  // Transient nodes from TransientEdge events are not nodes; count added
+  // nodes (synthetic transient edges contribute edges, not nodes).
+  EXPECT_EQ(got.NodeCount(), expected_new_nodes);
+  size_t transient_edges = 0;
+  for (const auto& [e, attrs] : got.edge_attrs()) {
+    if (attrs.contains("__transient")) ++transient_edges;
+  }
+  EXPECT_EQ(transient_edges, expected_transients);
+}
+
+TEST_F(GraphManagerTest, GetEventsWindow) {
+  Build();
+  const Timestamp t_max = trace_.events.back().time;
+  auto events = gm_->GetEvents(t_max / 2, t_max, /*include_transient=*/false);
+  ASSERT_TRUE(events.ok());
+  for (const auto& e : events->events()) {
+    EXPECT_FALSE(e.is_transient());
+    EXPECT_GE(e.time, t_max / 2);
+    EXPECT_LT(e.time, t_max);
+  }
+  EXPECT_TRUE(events->IsChronological());
+}
+
+TEST_F(GraphManagerTest, DependentOverlayKicksInNearCurrent) {
+  Build(3000, 7, 250);
+  const Timestamp t_max = trace_.events.back().time;
+  // A snapshot very near the end barely differs from the current graph.
+  auto hist = gm_->GetHistGraph(t_max - 1, "+node:all+edge:all");
+  ASSERT_TRUE(hist.ok());
+  const auto& slot = gm_->pool().slots()[hist->pool_id()];
+  EXPECT_EQ(slot.dep, kCurrentGraph);
+  // And it still extracts exactly.
+  Snapshot got = gm_->pool().ExtractSnapshot(hist->pool_id());
+  Snapshot expected = ReplayAt(trace_.events, t_max - 1);
+  EXPECT_TRUE(got.Equals(expected)) << got.DiffString(expected);
+}
+
+TEST_F(GraphManagerTest, MaterializedBasesServeAsDependencies) {
+  Build(5000, 83, 300);
+  ASSERT_TRUE(gm_->MaterializeDepth(1).ok());
+  // A time point near a materialized interior node's coverage: the snapshot
+  // should overlay as dependent on SOME base (current or materialized) and
+  // still extract exactly.
+  const Timestamp t_max = trace_.events.back().time;
+  size_t dependent_count = 0;
+  for (int i = 1; i <= 8; ++i) {
+    const Timestamp t = t_max * i / 9;
+    auto hist = gm_->GetHistGraph(t, "+node:all+edge:all");
+    ASSERT_TRUE(hist.ok());
+    Snapshot got = gm_->pool().ExtractSnapshot(hist->pool_id());
+    Snapshot expected = ReplayAt(trace_.events, t);
+    ASSERT_TRUE(got.Equals(expected)) << "t=" << t;
+    if (gm_->pool().slots()[hist->pool_id()].dep >= 0) ++dependent_count;
+  }
+  // The final timepoints at least are close to the current graph.
+  EXPECT_GE(dependent_count, 1u);
+}
+
+TEST_F(GraphManagerTest, ReopenServesQueries) {
+  Build();
+  const Timestamp t_max = trace_.events.back().time;
+  gm_.reset();
+  auto gm = GraphManager::Open(store_.get());
+  ASSERT_TRUE(gm.ok()) << gm.status().ToString();
+  auto hist = gm.value()->GetHistGraph(t_max / 2, "+node:all+edge:all");
+  ASSERT_TRUE(hist.ok());
+  Snapshot got = gm.value()->pool().ExtractSnapshot(hist->pool_id());
+  EXPECT_TRUE(got.Equals(ReplayAt(trace_.events, t_max / 2)));
+}
+
+// --- QueryManager ---------------------------------------------------------------
+
+TEST(QueryManagerTest, ExternalIdTranslation) {
+  auto store = NewMemKVStore();
+  GraphManagerOptions gmo;
+  gmo.index.leaf_size = 10;
+  auto gm = GraphManager::Create(store.get(), gmo);
+  ASSERT_TRUE(gm.ok());
+  QueryManager qm(gm.value().get());
+
+  ASSERT_TRUE(qm.AddNode(1, "alice", {{"job", "analyst"}}).ok());
+  ASSERT_TRUE(qm.AddNode(1, "bob").ok());
+  auto edge = qm.AddEdge(2, "alice", "bob");
+  ASSERT_TRUE(edge.ok());
+  EXPECT_FALSE(qm.AddEdge(2, "alice", "carol").ok());  // Unknown id.
+
+  auto alice = qm.Resolve("alice");
+  ASSERT_TRUE(alice.ok());
+  EXPECT_EQ(qm.ExternalName(*alice).ValueOr("?"), "alice");
+  EXPECT_EQ(qm.InternNode("alice"), *alice);  // Stable.
+
+  auto hist = gm.value()->GetHistGraph(2, "+node:all");
+  ASSERT_TRUE(hist.ok());
+  EXPECT_TRUE(hist->HasNode(*alice));
+  ASSERT_NE(hist->GetNodeAttr(*alice, "job"), nullptr);
+  EXPECT_EQ(*hist->GetNodeAttr(*alice, "job"), "analyst");
+}
+
+}  // namespace
+}  // namespace hgdb

@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "graphpool/graph_pool.h"
+#include "workload/generators.h"
+#include "workload/trace_world.h"
+
+namespace hgdb {
+namespace {
+
+Snapshot SmallGraph() {
+  Snapshot g;
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddNode(3);
+  g.AddEdge(10, EdgeRecord{1, 2, false});
+  g.AddEdge(11, EdgeRecord{2, 3, true});
+  g.SetNodeAttr(1, "name", "alice");
+  g.SetEdgeAttr(10, "w", "5");
+  return g;
+}
+
+TEST(GraphPoolTest, CurrentGraphMembership) {
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  EXPECT_TRUE(pool.ContainsNode(kCurrentGraph, 1));
+  EXPECT_TRUE(pool.ContainsEdge(kCurrentGraph, 10));
+  EXPECT_FALSE(pool.ContainsNode(kCurrentGraph, 99));
+  ASSERT_NE(pool.GetNodeAttr(kCurrentGraph, 1, "name"), nullptr);
+  EXPECT_EQ(*pool.GetNodeAttr(kCurrentGraph, 1, "name"), "alice");
+  EXPECT_EQ(pool.GetNodeAttr(kCurrentGraph, 2, "name"), nullptr);
+}
+
+TEST(GraphPoolTest, OverlayHistoricalRoundTrip) {
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  Snapshot old;
+  old.AddNode(1);
+  old.AddNode(4);
+  old.AddEdge(12, EdgeRecord{1, 4, false});
+  old.SetNodeAttr(1, "name", "al");  // Different historical value.
+  auto id = pool.OverlayHistorical(old);
+  ASSERT_TRUE(id.ok());
+
+  EXPECT_TRUE(pool.ContainsNode(*id, 1));
+  EXPECT_TRUE(pool.ContainsNode(*id, 4));
+  EXPECT_FALSE(pool.ContainsNode(*id, 2));
+  EXPECT_TRUE(pool.ContainsEdge(*id, 12));
+  EXPECT_FALSE(pool.ContainsEdge(*id, 10));
+  // Attribute variants: each graph sees its own value.
+  EXPECT_EQ(*pool.GetNodeAttr(*id, 1, "name"), "al");
+  EXPECT_EQ(*pool.GetNodeAttr(kCurrentGraph, 1, "name"), "alice");
+  // Extraction gives back exactly the overlaid snapshot.
+  EXPECT_TRUE(pool.ExtractSnapshot(*id).Equals(old));
+}
+
+TEST(GraphPoolTest, UnionIsSharedNotDuplicated) {
+  GraphPool pool;
+  Snapshot g = SmallGraph();
+  pool.InitCurrent(g);
+  const size_t nodes_before = pool.UnionNodeCount();
+  // Overlaying an identical snapshot must not grow the union.
+  auto id = pool.OverlayHistorical(g);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(pool.UnionNodeCount(), nodes_before);
+  EXPECT_EQ(pool.UnionEdgeCount(), 2u);
+}
+
+TEST(GraphPoolTest, DependentOverlayOnlyTouchesDiff) {
+  GraphPool pool;
+  Snapshot g = SmallGraph();
+  pool.InitCurrent(g);
+
+  // Historical graph = current minus node 3 / edge 11, plus node 5.
+  Snapshot hist = g;
+  hist.RemoveEdge(11);
+  hist.RemoveNode(3);
+  hist.AddNode(5);
+  Delta diff = Delta::Between(hist, g);
+  auto id = pool.OverlayDependent(kCurrentGraph, diff);
+  ASSERT_TRUE(id.ok());
+
+  EXPECT_TRUE(pool.ContainsNode(*id, 1));   // Inherited from current.
+  EXPECT_TRUE(pool.ContainsNode(*id, 5));   // Override add.
+  EXPECT_FALSE(pool.ContainsNode(*id, 3));  // Override delete.
+  EXPECT_FALSE(pool.ContainsEdge(*id, 11));
+  EXPECT_TRUE(pool.ContainsEdge(*id, 10));
+  EXPECT_EQ(*pool.GetNodeAttr(*id, 1, "name"), "alice");  // Inherited attr.
+  EXPECT_TRUE(pool.ExtractSnapshot(*id).Equals(hist));
+}
+
+TEST(GraphPoolTest, DependentAttrOverride) {
+  GraphPool pool;
+  Snapshot g = SmallGraph();
+  pool.InitCurrent(g);
+  Snapshot hist = g;
+  hist.SetNodeAttr(1, "name", "old-alice");
+  Delta diff = Delta::Between(hist, g);
+  auto id = pool.OverlayDependent(kCurrentGraph, diff);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*pool.GetNodeAttr(*id, 1, "name"), "old-alice");
+  EXPECT_EQ(*pool.GetNodeAttr(kCurrentGraph, 1, "name"), "alice");
+}
+
+TEST(GraphPoolTest, ReleaseOfDependencyBaseIsRefused) {
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  auto base = pool.OverlayMaterialized(SmallGraph());
+  ASSERT_TRUE(base.ok());
+  Delta empty_diff;
+  auto dep = pool.OverlayDependent(*base, empty_diff);
+  ASSERT_TRUE(dep.ok());
+  EXPECT_FALSE(pool.Release(*base).ok());  // Dependent still active.
+  ASSERT_TRUE(pool.Release(*dep).ok());
+  EXPECT_TRUE(pool.Release(*base).ok());
+}
+
+TEST(GraphPoolTest, CurrentGraphIsPinned) {
+  GraphPool pool;
+  EXPECT_FALSE(pool.Release(kCurrentGraph).ok());
+}
+
+TEST(GraphPoolTest, ApplyEventsToCurrentAndRecentlyDeletedBit) {
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  ASSERT_TRUE(pool.ApplyEventToCurrent(Event::AddNode(5, 7)).ok());
+  EXPECT_TRUE(pool.ContainsNode(kCurrentGraph, 7));
+  // Protocol: attribute removals precede the structural delete.
+  ASSERT_TRUE(
+      pool.ApplyEventToCurrent(Event::SetEdgeAttr(6, 10, "w", "5", std::nullopt))
+          .ok());
+  ASSERT_TRUE(
+      pool.ApplyEventToCurrent(Event::DeleteEdge(6, 10, 1, 2, false)).ok());
+  EXPECT_FALSE(pool.ContainsEdge(kCurrentGraph, 10));
+  // The deleted edge stays in the union (bit 1) until the index absorbs it.
+  EXPECT_EQ(pool.UnionEdgeCount(), 2u);
+  pool.ClearRecentlyDeleted();
+  EXPECT_EQ(pool.RunCleaner(), 2u);  // Edge and its attr value evicted now.
+  EXPECT_EQ(pool.UnionEdgeCount(), 1u);
+}
+
+TEST(GraphPoolTest, AttrValueChangeKeepsVariantsSeparate) {
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  ASSERT_TRUE(
+      pool.ApplyEventToCurrent(Event::SetNodeAttr(9, 1, "name", "alice", "alicia"))
+          .ok());
+  EXPECT_EQ(*pool.GetNodeAttr(kCurrentGraph, 1, "name"), "alicia");
+  // Old value survives with the recently-deleted bit (bit 1) only.
+  pool.ClearRecentlyDeleted();
+  pool.RunCleaner();
+  EXPECT_EQ(*pool.GetNodeAttr(kCurrentGraph, 1, "name"), "alicia");
+}
+
+TEST(GraphPoolTest, CleanerEvictsReleasedGraphElements) {
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  Snapshot extra;
+  extra.AddNode(100);
+  extra.AddNode(101);
+  extra.AddEdge(50, EdgeRecord{100, 101, false});
+  auto id = pool.OverlayHistorical(extra);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(pool.UnionNodeCount(), 5u);
+  ASSERT_TRUE(pool.Release(*id).ok());
+  // Lazy: nothing evicted until the cleaner runs.
+  EXPECT_EQ(pool.UnionNodeCount(), 5u);
+  const size_t evicted = pool.RunCleaner();
+  EXPECT_EQ(evicted, 3u);
+  EXPECT_EQ(pool.UnionNodeCount(), 3u);
+  EXPECT_EQ(pool.UnionEdgeCount(), 2u);
+}
+
+TEST(GraphPoolTest, BitsAreRecycledAfterCleanup) {
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  std::vector<int> first_bits;
+  Snapshot s;
+  s.AddNode(42);
+  auto a = pool.OverlayHistorical(s);
+  ASSERT_TRUE(a.ok());
+  const auto slot_a = pool.slots()[*a];
+  ASSERT_TRUE(pool.Release(*a).ok());
+  pool.RunCleaner();
+  auto b = pool.OverlayHistorical(s);
+  ASSERT_TRUE(b.ok());
+  const auto slot_b = pool.slots()[*b];
+  // The freed bit pair is reused by the next overlay.
+  EXPECT_EQ(slot_a.bit0 + slot_a.bit1, slot_b.bit0 + slot_b.bit1);
+}
+
+TEST(GraphPoolTest, ViewTraversal) {
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  HistGraphView view = pool.View(kCurrentGraph);
+  auto nodes = view.GetNodes();
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<NodeId>{1, 2, 3}));
+  auto n1 = view.GetNeighbors(2);
+  std::sort(n1.begin(), n1.end());
+  EXPECT_EQ(n1, (std::vector<NodeId>{1, 3}));
+  // Out-neighbors respect direction: edge 11 is 2 -> 3 directed, so node 3
+  // has no out-neighbors, while node 2 reaches both 1 (undirected) and 3.
+  EXPECT_EQ(view.GetOutNeighbors(3).size(), 0u);
+  auto out2 = view.GetOutNeighbors(2);
+  std::sort(out2.begin(), out2.end());
+  EXPECT_EQ(out2, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(GraphPoolTest, ViewCountsAndIncidence) {
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  HistGraphView view = pool.View(kCurrentGraph);
+  EXPECT_EQ(view.CountNodes(), 3u);
+  EXPECT_EQ(view.CountEdges(), 2u);
+  EXPECT_EQ(view.GetIncidentEdges(2).size(), 2u);
+  EXPECT_EQ(view.GetIncidentEdges(99).size(), 0u);
+}
+
+// Property test: overlay many snapshots of a random evolving graph; each
+// view must extract exactly its snapshot, independent of the others.
+class GraphPoolOverlayTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphPoolOverlayTest, ManyOverlaidSnapshotsStayIndependent) {
+  RandomTraceOptions opts;
+  opts.num_events = 3000;
+  opts.seed = GetParam();
+  GeneratedTrace trace = GenerateRandomTrace(opts);
+  const Timestamp t_max = trace.events.back().time;
+
+  GraphPool pool;
+  pool.InitCurrent(ReplayAt(trace.events, t_max));
+
+  std::vector<std::pair<PoolGraphId, Snapshot>> overlaid;
+  for (int i = 1; i <= 10; ++i) {
+    const Timestamp t = t_max * i / 10;
+    Snapshot snap = ReplayAt(trace.events, t);
+    auto id = pool.OverlayHistorical(snap);
+    ASSERT_TRUE(id.ok());
+    overlaid.emplace_back(*id, std::move(snap));
+  }
+  for (const auto& [id, want] : overlaid) {
+    Snapshot got = pool.ExtractSnapshot(id);
+    EXPECT_TRUE(got.Equals(want)) << got.DiffString(want);
+  }
+  // Release every other graph, clean, and re-verify the survivors.
+  for (size_t i = 0; i < overlaid.size(); i += 2) {
+    ASSERT_TRUE(pool.Release(overlaid[i].first).ok());
+  }
+  pool.RunCleaner();
+  for (size_t i = 1; i < overlaid.size(); i += 2) {
+    Snapshot got = pool.ExtractSnapshot(overlaid[i].first);
+    EXPECT_TRUE(got.Equals(overlaid[i].second))
+        << got.DiffString(overlaid[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPoolOverlayTest, ::testing::Values(3, 9, 27));
+
+TEST(GraphPoolTest, MemoryGrowsSublinearlyWithOverlappingSnapshots) {
+  // The Figure 8(a) effect in miniature: a growing-only trace where every
+  // snapshot is a subset of the current graph. Pool memory must stay within
+  // a small factor of the single-copy footprint instead of 10x.
+  DblpLikeOptions opts;
+  opts.target_edges = 5000;
+  opts.years = 20;
+  opts.attrs_per_node = 2;
+  GeneratedTrace trace = GenerateDblpLikeTrace(opts);
+  const Timestamp t_max = trace.events.back().time;
+
+  Snapshot full = ReplayAt(trace.events, t_max);
+  GraphPool pool;
+  pool.InitCurrent(full);
+  const size_t base = pool.MemoryBytes();  // One resident copy.
+  for (int i = 1; i <= 10; ++i) {
+    Snapshot snap = ReplayAt(trace.events, t_max * i / 10);
+    ASSERT_TRUE(pool.OverlayHistorical(snap).ok());
+  }
+  // Ten overlaid snapshots of a growing-only graph are all subsets of the
+  // current graph: only bitmap bits grow, so total memory must stay within a
+  // small factor of one copy instead of ~6x (the sum of the copies).
+  EXPECT_LT(pool.MemoryBytes(), base + base / 2);
+}
+
+TEST(GraphPoolTest, DependentOnMaterializedGraph) {
+  // The paper's Figure 5(c) row: "historical snapshot 35 is dependent on
+  // materialized graph 4" — dependency on a *materialized* base, not the
+  // current graph.
+  GraphPool pool;
+  pool.InitCurrent(SmallGraph());
+  Snapshot mat;
+  mat.AddNode(10);
+  mat.AddNode(11);
+  mat.AddEdge(20, EdgeRecord{10, 11, false});
+  mat.SetNodeAttr(10, "k", "v");
+  auto base = pool.OverlayMaterialized(mat);
+  ASSERT_TRUE(base.ok());
+
+  Snapshot hist = mat;
+  hist.RemoveEdge(20);
+  hist.AddNode(12);
+  Delta diff = Delta::Between(hist, mat);
+  auto dep = pool.OverlayDependent(*base, diff);
+  ASSERT_TRUE(dep.ok());
+  EXPECT_TRUE(pool.ContainsNode(*dep, 10));   // Inherited.
+  EXPECT_TRUE(pool.ContainsNode(*dep, 12));   // Override add.
+  EXPECT_FALSE(pool.ContainsEdge(*dep, 20));  // Override delete.
+  EXPECT_EQ(*pool.GetNodeAttr(*dep, 10, "k"), "v");
+  EXPECT_TRUE(pool.ExtractSnapshot(*dep).Equals(hist));
+  // The bit table records the dependency.
+  EXPECT_EQ(pool.slots()[*dep].dep, *base);
+}
+
+TEST(GraphPoolTest, ChainedDependencies) {
+  GraphPool pool;
+  Snapshot g = SmallGraph();
+  pool.InitCurrent(g);
+  // h1 depends on current; h2 depends on h1.
+  Snapshot h1 = g;
+  h1.AddNode(100);
+  auto id1 = pool.OverlayDependent(kCurrentGraph, Delta::Between(h1, g));
+  ASSERT_TRUE(id1.ok());
+  Snapshot h2 = h1;
+  h2.RemoveNode(100);
+  h2.AddNode(200);
+  auto id2 = pool.OverlayDependent(*id1, Delta::Between(h2, h1));
+  ASSERT_TRUE(id2.ok());
+  EXPECT_TRUE(pool.ExtractSnapshot(*id1).Equals(h1));
+  EXPECT_TRUE(pool.ExtractSnapshot(*id2).Equals(h2));
+  // Release order is enforced along the chain.
+  EXPECT_FALSE(pool.Release(*id1).ok());
+  ASSERT_TRUE(pool.Release(*id2).ok());
+  ASSERT_TRUE(pool.Release(*id1).ok());
+}
+
+TEST(GraphPoolTest, ManyAttrVariantsAcrossGraphs) {
+  // One attribute whose value differs across five historical graphs: each
+  // graph must see exactly its own variant.
+  GraphPool pool;
+  Snapshot base;
+  base.AddNode(1);
+  pool.InitCurrent(base);
+  std::vector<std::pair<PoolGraphId, std::string>> overlays;
+  for (int i = 0; i < 5; ++i) {
+    Snapshot h;
+    h.AddNode(1);
+    h.SetNodeAttr(1, "v", "value" + std::to_string(i));
+    auto id = pool.OverlayHistorical(h);
+    ASSERT_TRUE(id.ok());
+    overlays.emplace_back(*id, "value" + std::to_string(i));
+  }
+  for (const auto& [id, want] : overlays) {
+    const std::string* got = pool.GetNodeAttr(id, 1, "v");
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, want);
+  }
+  EXPECT_EQ(pool.GetNodeAttr(kCurrentGraph, 1, "v"), nullptr);
+}
+
+TEST(GraphPoolTest, CleanerKeepsSharedElements) {
+  // Element shared by a released and a live graph must survive cleanup.
+  GraphPool pool;
+  Snapshot a;
+  a.AddNode(1);
+  a.AddNode(2);
+  Snapshot b;
+  b.AddNode(2);
+  b.AddNode(3);
+  auto ia = pool.OverlayHistorical(a);
+  auto ib = pool.OverlayHistorical(b);
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+  ASSERT_TRUE(pool.Release(*ia).ok());
+  pool.RunCleaner();
+  EXPECT_FALSE(pool.ContainsNode(*ib, 1));
+  EXPECT_TRUE(pool.ContainsNode(*ib, 2));  // Shared: still alive.
+  EXPECT_TRUE(pool.ContainsNode(*ib, 3));
+  EXPECT_EQ(pool.UnionNodeCount(), 2u);
+}
+
+}  // namespace
+}  // namespace hgdb

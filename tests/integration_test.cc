@@ -1,0 +1,197 @@
+// End-to-end integration tests: the full stack on a *disk-backed* store,
+// reopen-from-disk, failure injection, and the object-style traversal API.
+
+#include <gtest/gtest.h>
+
+#include "common/env_util.h"
+#include "core/graph_manager.h"
+#include "core/hist_objects.h"
+#include "workload/generators.h"
+#include "workload/trace_world.h"
+
+namespace hgdb {
+namespace {
+
+class DiskBackedTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = FreshScratchDir("integration_test"); }
+  std::string dir_;
+};
+
+TEST_F(DiskBackedTest, FullStackOnDiskStore) {
+  RandomTraceOptions opts;
+  opts.num_events = 5000;
+  opts.seed = 321;
+  GeneratedTrace trace = GenerateRandomTrace(opts);
+
+  std::unique_ptr<KVStore> store;
+  ASSERT_TRUE(OpenDiskKVStore(dir_ + "/db.log", {}, &store).ok());
+  GraphManagerOptions gmo;
+  gmo.index.leaf_size = 500;
+  gmo.index.arity = 4;
+  auto gm = GraphManager::Create(store.get(), gmo);
+  ASSERT_TRUE(gm.ok());
+  ASSERT_TRUE(gm.value()->ApplyEvents(trace.events).ok());
+  ASSERT_TRUE(gm.value()->FinalizeIndex().ok());
+
+  const Timestamp t_max = trace.events.back().time;
+  for (int i = 1; i <= 5; ++i) {
+    const Timestamp t = t_max * i / 5;
+    auto hist = gm.value()->GetHistGraph(t, "+node:all+edge:all");
+    ASSERT_TRUE(hist.ok()) << hist.status().ToString();
+    Snapshot got = gm.value()->pool().ExtractSnapshot(hist->pool_id());
+    EXPECT_TRUE(got.Equals(ReplayAt(trace.events, t))) << "t=" << t;
+    ASSERT_TRUE(gm.value()->Release(&hist.value()).ok());
+  }
+}
+
+TEST_F(DiskBackedTest, ReopenFromDiskAfterProcessRestart) {
+  RandomTraceOptions opts;
+  opts.num_events = 4000;
+  opts.seed = 654;
+  GeneratedTrace trace = GenerateRandomTrace(opts);
+  const Timestamp t_max = trace.events.back().time;
+
+  {
+    std::unique_ptr<KVStore> store;
+    ASSERT_TRUE(OpenDiskKVStore(dir_ + "/db.log", {}, &store).ok());
+    auto gm = GraphManager::Create(store.get(), GraphManagerOptions{
+                                                    .index = {.leaf_size = 400}});
+    ASSERT_TRUE(gm.ok());
+    ASSERT_TRUE(gm.value()->ApplyEvents(trace.events).ok());
+    ASSERT_TRUE(gm.value()->FinalizeIndex().ok());
+    ASSERT_TRUE(store->Sync().ok());
+  }  // "Process exit": everything dropped.
+
+  std::unique_ptr<KVStore> store;
+  ASSERT_TRUE(OpenDiskKVStore(dir_ + "/db.log", {}, &store).ok());
+  auto gm = GraphManager::Open(store.get());
+  ASSERT_TRUE(gm.ok()) << gm.status().ToString();
+  auto hist = gm.value()->GetHistGraph(t_max / 2, "+node:all+edge:all");
+  ASSERT_TRUE(hist.ok());
+  Snapshot got = gm.value()->pool().ExtractSnapshot(hist->pool_id());
+  EXPECT_TRUE(got.Equals(ReplayAt(trace.events, t_max / 2)));
+
+  // The reopened database accepts further updates and stays correct.
+  std::vector<Event> more;
+  Timestamp t = t_max;
+  for (int i = 0; i < 600; ++i) {
+    t += 1;
+    more.push_back(Event::AddNode(t, 900000 + i));
+  }
+  ASSERT_TRUE(gm.value()->ApplyEvents(more).ok());
+  auto head = gm.value()->GetHistGraph(t, "");
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(head->HasNode(900000));
+  EXPECT_TRUE(head->HasNode(900000 + 599));
+}
+
+TEST_F(DiskBackedTest, MissingDeltaSurfacesAsError) {
+  RandomTraceOptions opts;
+  opts.num_events = 3000;
+  opts.seed = 987;
+  GeneratedTrace trace = GenerateRandomTrace(opts);
+
+  auto store = NewMemKVStore();
+  DeltaGraphOptions dgo;
+  dgo.leaf_size = 300;
+  dgo.maintain_current = false;
+  auto dg = DeltaGraph::Create(store.get(), dgo);
+  ASSERT_TRUE(dg.ok());
+  ASSERT_TRUE(dg.value()->AppendAll(trace.events).ok());
+  ASSERT_TRUE(dg.value()->Finalize().ok());
+
+  // Sanity: queries work before the damage.
+  const Timestamp mid = trace.events.back().time / 2;
+  ASSERT_TRUE(dg.value()->GetSnapshot(mid).ok());
+
+  // Delete every delta/eventlist blob: retrieval must fail cleanly with
+  // NotFound/Corruption, never crash or return a wrong graph.
+  std::vector<std::string> keys;
+  store->ForEachKey("d/", [&](const Slice& k) { keys.push_back(k.ToString()); });
+  ASSERT_FALSE(keys.empty());
+  for (const auto& k : keys) ASSERT_TRUE(store->Delete(k).ok());
+  auto result = dg.value()->GetSnapshot(mid);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound() || result.status().IsCorruption())
+      << result.status().ToString();
+}
+
+TEST_F(DiskBackedTest, CorruptSkeletonRejectedOnOpen) {
+  {
+    std::unique_ptr<KVStore> store;
+    ASSERT_TRUE(OpenDiskKVStore(dir_ + "/db.log", {}, &store).ok());
+    RandomTraceOptions opts;
+    opts.num_events = 1000;
+    opts.seed = 7;
+    GeneratedTrace trace = GenerateRandomTrace(opts);
+    auto dg = DeltaGraph::Create(store.get(), DeltaGraphOptions{.leaf_size = 200});
+    ASSERT_TRUE(dg.ok());
+    ASSERT_TRUE(dg.value()->AppendAll(trace.events).ok());
+    ASSERT_TRUE(dg.value()->Finalize().ok());
+    // Corrupt the skeleton blob.
+    ASSERT_TRUE(store->Put("m/skeleton", "garbage").ok());
+    auto reopened = DeltaGraph::Open(store.get());
+    EXPECT_FALSE(reopened.ok());
+    EXPECT_TRUE(reopened.status().IsCorruption()) << reopened.status().ToString();
+  }
+}
+
+// --- Object-style traversal API (paper's code snippet) -------------------------
+
+TEST(HistObjectsTest, TraversalMirrorsPaperSnippet) {
+  auto store = NewMemKVStore();
+  GraphManagerOptions gmo;
+  gmo.index.leaf_size = 4;
+  auto gm_result = GraphManager::Create(store.get(), gmo);
+  ASSERT_TRUE(gm_result.ok());
+  GraphManager& gm = *gm_result.value();
+
+  ASSERT_TRUE(gm.ApplyEvent(Event::AddNode(1, 1)).ok());
+  ASSERT_TRUE(gm.ApplyEvent(
+      Event::SetNodeAttr(1, 1, "name", std::nullopt, "alice")).ok());
+  ASSERT_TRUE(gm.ApplyEvent(Event::AddNode(1, 2)).ok());
+  ASSERT_TRUE(gm.ApplyEvent(Event::AddEdge(2, 10, 1, 2, false)).ok());
+  ASSERT_TRUE(gm.ApplyEvent(
+      Event::SetEdgeAttr(3, 10, "since", std::nullopt, "2024")).ok());
+  ASSERT_TRUE(gm.FinalizeIndex().ok());
+
+  /* HistGraph h1 = gm.GetHistGraph("1/2/1985", "+node:name"); */
+  auto h1 = gm.GetHistGraph(3, "+node:name+edge:all");
+  ASSERT_TRUE(h1.ok());
+
+  /* List<HistNode> nodes = h1.getNodes(); */
+  std::vector<HistNode> nodes = GetNodeObjs(h1.value());
+  ASSERT_EQ(nodes.size(), 2u);
+  std::sort(nodes.begin(), nodes.end(),
+            [](const HistNode& a, const HistNode& b) { return a.id() < b.id(); });
+
+  /* List<HistNode> neighborList = nodes.get(0).getNeighbors(); */
+  std::vector<HistNode> neighbors = nodes[0].GetNeighbors();
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].id(), 2u);
+
+  /* HistEdge ed = h1.getEdgeObj(nodes.get(0), neighborList.get(0)); */
+  auto edge = GetEdgeObj(h1.value(), nodes[0], neighbors[0]);
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(edge->id(), 10u);
+  EXPECT_FALSE(edge->IsDirected());
+  ASSERT_NE(edge->GetAttr("since"), nullptr);
+  EXPECT_EQ(*edge->GetAttr("since"), "2024");
+  EXPECT_EQ(edge->GetSource().id(), 1u);
+  EXPECT_EQ(edge->GetDestination().id(), 2u);
+
+  // Attr options filtered: name kept.
+  ASSERT_NE(nodes[0].GetAttr("name"), nullptr);
+  EXPECT_EQ(*nodes[0].GetAttr("name"), "alice");
+
+  // No edge between unconnected nodes.
+  EXPECT_TRUE(GetEdgeObj(h1.value(), neighbors[0], neighbors[0]).status().IsNotFound());
+
+  // Node edges list.
+  EXPECT_EQ(nodes[0].GetEdges().size(), 1u);
+  ASSERT_TRUE(gm.Release(&h1.value()).ok());
+}
+
+}  // namespace
+}  // namespace hgdb
