@@ -155,5 +155,80 @@ std::string FormatBytes(uint64_t bytes) {
   return buf;
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable results
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ReportState {
+  std::string name;
+  struct Row {
+    std::string op;
+    double wall_ns = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<Row> rows;
+  bool written = false;
+};
+
+ReportState* g_report = nullptr;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void OpenReport(const std::string& bench_name) {
+  if (g_report == nullptr) {
+    g_report = new ReportState();
+    std::atexit(WriteReport);
+  }
+  g_report->name = bench_name;
+  g_report->rows.clear();
+  g_report->written = false;
+}
+
+void ReportResult(const std::string& op, double wall_ns, uint64_t bytes) {
+  if (g_report == nullptr) return;
+  g_report->rows.push_back(ReportState::Row{op, wall_ns, bytes});
+}
+
+void WriteReport() {
+  if (g_report == nullptr || g_report->written || g_report->name.empty()) return;
+  g_report->written = true;
+  std::string dir = GetEnvString("HISTGRAPH_BENCH_OUT_DIR", ".");
+  const std::string path = dir + "/BENCH_" + g_report->name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %.4f,\n  \"results\": [\n",
+               JsonEscape(g_report->name).c_str(), Scale());
+  for (size_t i = 0; i < g_report->rows.size(); ++i) {
+    const auto& r = g_report->rows[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"wall_ns\": %.0f, \"bytes\": %" PRIu64 "}%s\n",
+                 JsonEscape(r.op).c_str(), r.wall_ns, r.bytes,
+                 i + 1 < g_report->rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\n[bench report: %s]\n", path.c_str());
+}
+
 }  // namespace bench
 }  // namespace hgdb

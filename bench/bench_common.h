@@ -71,6 +71,22 @@ void PrintRow(const std::vector<std::string>& cells, int width = 14);
 std::string FormatMs(double ms);
 std::string FormatBytes(uint64_t bytes);
 
+// -- Machine-readable results -------------------------------------------------
+//
+// Benches call OpenReport("<name>") once, then ReportResult per measured op.
+// Results are written as BENCH_<name>.json into the working directory (or
+// $HISTGRAPH_BENCH_OUT_DIR) at exit, so the perf trajectory across PRs can be
+// tracked by tooling instead of by scraping stdout tables.
+
+/// Starts a machine-readable report; registers the writer atexit.
+void OpenReport(const std::string& bench_name);
+
+/// Records one measured operation. `bytes` is optional payload volume.
+void ReportResult(const std::string& op, double wall_ns, uint64_t bytes = 0);
+
+/// Writes BENCH_<name>.json immediately (also runs atexit; idempotent).
+void WriteReport();
+
 }  // namespace bench
 }  // namespace hgdb
 

@@ -10,6 +10,7 @@ int main() {
   using namespace hgdb;
   using namespace hgdb::bench;
   PrintHeader("Figure 10: effect of memory materialization");
+  OpenReport("fig10_materialization");
   Dataset data = MakeDataset2();
   std::printf("dataset: %s, %zu events\n\n", data.name.c_str(), data.events.size());
 
@@ -47,6 +48,9 @@ int main() {
     PrintRow({cfg.label, FormatMs(avg), FormatBytes(stats.materialized_bytes),
               std::to_string(stats.materialized_nodes)},
              18);
+    std::string op = "avg_query_depth_";
+    op += (cfg.depth < 0 ? "none" : std::to_string(cfg.depth));
+    ReportResult(op, avg * 1e6, stats.materialized_bytes);
     if (cfg.depth == 2) {
       std::printf("\nspeedup grandchildren vs none: %.2fx (paper: up to ~8x)\n",
                   baseline / avg);

@@ -28,7 +28,8 @@ std::vector<Event> Flatten(const Dataset& data) {
   }
   for (const auto& [n, attrs] : data.initial.node_attrs()) {
     for (const auto& [k, v] : attrs) {
-      all.push_back(Event::SetNodeAttr(data.initial_time, n, k, std::nullopt, v));
+      all.push_back(
+          Event::SetNodeAttr(data.initial_time, n, AttrStr(k), std::nullopt, AttrStr(v)));
     }
   }
   for (const auto& [id, rec] : data.initial.edges()) {
@@ -37,7 +38,8 @@ std::vector<Event> Flatten(const Dataset& data) {
   }
   for (const auto& [id, attrs] : data.initial.edge_attrs()) {
     for (const auto& [k, v] : attrs) {
-      all.push_back(Event::SetEdgeAttr(data.initial_time, id, k, std::nullopt, v));
+      all.push_back(
+          Event::SetEdgeAttr(data.initial_time, id, AttrStr(k), std::nullopt, AttrStr(v)));
     }
   }
   all.insert(all.end(), data.events.begin(), data.events.end());

@@ -51,6 +51,10 @@ void RunOn(const Dataset& data) {
   std::printf("pooled/disjoint = %.2f%%  (paper shape: ~1%% for 100 snapshots)\n",
               100.0 * static_cast<double>(gm.value()->pool().MemoryBytes()) /
                   static_cast<double>(disjoint_sum));
+  ReportResult("pool_memory_" + data.name.substr(0, data.name.find(' ')), 0,
+               gm.value()->pool().MemoryBytes());
+  ReportResult("disjoint_sum_" + data.name.substr(0, data.name.find(' ')), 0,
+               disjoint_sum);
   for (auto& h : held) (void)gm.value()->Release(&h);
   gm.value()->RunCleaner();
 }
@@ -62,6 +66,7 @@ void RunOn(const Dataset& data) {
 int main() {
   using namespace hgdb::bench;
   PrintHeader("Figure 8(a): cumulative GraphPool memory over 100 queries");
+  OpenReport("fig8a_graphpool_memory");
   RunOn(MakeDataset1());
   RunOn(MakeDataset2());
   return 0;

@@ -10,6 +10,7 @@ int main() {
   using namespace hgdb;
   using namespace hgdb::bench;
   PrintHeader("Figure 8(c): multipoint query vs repeated singlepoint queries");
+  OpenReport("fig8c_multipoint");
   Dataset data = MakeDataset1();
   std::printf("dataset: %s, %zu events\n\n", data.name.c_str(), data.events.size());
 
@@ -43,6 +44,8 @@ int main() {
     char ratio[16];
     std::snprintf(ratio, sizeof(ratio), "%.2fx", single_ms / multi_ms);
     PrintRow({std::to_string(k), FormatMs(single_ms), FormatMs(multi_ms), ratio}, 16);
+    ReportResult("singlepoints_k" + std::to_string(k), single_ms * 1e6);
+    ReportResult("multipoint_k" + std::to_string(k), multi_ms * 1e6);
   }
   std::printf("\npaper shape: multipoint far below k independent retrievals.\n");
   return 0;

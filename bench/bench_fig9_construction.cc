@@ -45,6 +45,7 @@ int main() {
   using namespace hgdb;
   using namespace hgdb::bench;
   PrintHeader("Figure 9: varying arity and leaf-eventlist size");
+  OpenReport("fig9_construction");
   Dataset data = MakeDataset1();
   std::printf("dataset: %s, %zu events\n", data.name.c_str(), data.events.size());
   const size_t base_L = std::max<size_t>(400, data.events.size() / 60);
@@ -56,6 +57,8 @@ int main() {
     PrintRow({std::to_string(k), FormatMs(m.avg_query_ms), FormatBytes(m.space_bytes),
               std::to_string(m.height)},
              14);
+    ReportResult("avg_query_arity" + std::to_string(k), m.avg_query_ms * 1e6,
+                 m.space_bytes);
   }
 
   std::printf("\n(b) varying leaf-eventlist size, arity=2\n");
@@ -65,6 +68,8 @@ int main() {
     PrintRow({std::to_string(L), FormatMs(m.avg_query_ms), FormatBytes(m.space_bytes),
               std::to_string(m.height)},
              14);
+    ReportResult("avg_query_L" + std::to_string(L), m.avg_query_ms * 1e6,
+                 m.space_bytes);
   }
   std::printf(
       "\npaper shape: (a) higher arity -> lower query time (flattening) and\n"

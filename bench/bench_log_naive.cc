@@ -23,7 +23,8 @@ void RunOn(const Dataset& data) {
     }
     for (const auto& [n, attrs] : data.initial.node_attrs()) {
       for (const auto& [k, v] : attrs) {
-        all.push_back(Event::SetNodeAttr(data.initial_time, n, k, std::nullopt, v));
+        all.push_back(
+          Event::SetNodeAttr(data.initial_time, n, AttrStr(k), std::nullopt, AttrStr(v)));
       }
     }
     for (const auto& [id, rec] : data.initial.edges()) {

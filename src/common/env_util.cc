@@ -23,6 +23,11 @@ double GetEnvDouble(const char* name, double fallback) {
   return parsed;
 }
 
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
 double WorkloadScale() { return GetEnvDouble("HISTGRAPH_SCALE", 1.0); }
 
 std::string FreshScratchDir(const std::string& tag) {

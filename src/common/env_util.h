@@ -13,6 +13,9 @@ int64_t GetEnvInt(const char* name, int64_t fallback);
 /// Reads a floating-point environment variable.
 double GetEnvDouble(const char* name, double fallback);
 
+/// Reads a string environment variable, returning `fallback` when unset.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
 /// Global workload scale factor (HISTGRAPH_SCALE, default 1).
 double WorkloadScale();
 

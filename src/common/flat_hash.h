@@ -1,0 +1,582 @@
+#ifndef HISTGRAPH_COMMON_FLAT_HASH_H_
+#define HISTGRAPH_COMMON_FLAT_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace hgdb {
+
+/// \brief Open-addressing hash containers for the Snapshot element stores.
+///
+/// Linear probing over a power-of-two table with a separate one-byte control
+/// array (empty/full) and backward-shift deletion (no tombstones), so probe
+/// sequences never degrade under churn. Keys are integer ids (NodeId/EdgeId);
+/// the hash is a 64-bit finalizer over the raw id, which keeps probes O(1)
+/// even for the sequential ids the workload generators produce.
+///
+/// Compared to std::unordered_map, there is one allocation for the whole
+/// table instead of one per element, iteration touches contiguous memory, and
+/// cloning a table of trivially-copyable slots is a pair of memcpys — the
+/// property the Snapshot copy-on-write machinery leans on.
+///
+/// Invalidation rules (stricter than std::unordered_map — do not hold
+/// references across mutations): any insert may rehash and any erase may
+/// backward-shift later slots, so pointers/iterators into the table are
+/// invalidated by every mutation. Erase during iteration is not supported.
+
+namespace flat_hash_internal {
+
+/// Identity-folded hash. NodeId/EdgeId are dense allocation counters, so
+/// keeping the low bits intact maps sequential ids to sequential slots:
+/// bulk scans and the diff loops (iterate table A, probe table B) touch
+/// memory in order, which measures ~2x faster than a mixing hash here —
+/// the same reason libstdc++'s identity std::hash works well for these keys.
+/// The cost is sensitivity to strided keys (ids ≡ 0 mod 2^k cluster into
+/// linear chains); every id in this codebase comes from a ++counter, and the
+/// fold mixes the high bits in for anything else.
+inline uint64_t HashId(uint64_t x) { return x ^ (x >> 32); }
+
+inline constexpr size_t kMinCapacity = 8;
+
+/// Next power of two >= n (n > 0).
+inline size_t NormalizeCapacity(size_t n) {
+  size_t cap = kMinCapacity;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace flat_hash_internal
+
+/// Flat open-addressing map from an integer id to an arbitrary value type.
+template <typename K, typename V>
+class FlatHashMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatHashMap() = default;
+
+  FlatHashMap(const FlatHashMap& other) { CopyFrom(other); }
+  FlatHashMap& operator=(const FlatHashMap& other) {
+    if (this != &other) {
+      Destroy();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  FlatHashMap(FlatHashMap&& other) noexcept { MoveFrom(std::move(other)); }
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~FlatHashMap() { Destroy(); }
+
+  template <bool kConst>
+  class Iterator {
+   public:
+    using value_type = typename FlatHashMap::value_type;
+    using slot_ptr = std::conditional_t<kConst, const value_type*, value_type*>;
+    using ctrl_ptr = const uint8_t*;
+    using reference = std::conditional_t<kConst, const value_type&, value_type&>;
+    using pointer = slot_ptr;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    Iterator() = default;
+    Iterator(slot_ptr slots, ctrl_ptr ctrl, size_t pos, size_t cap)
+        : slots_(slots), ctrl_(ctrl), pos_(pos), cap_(cap) {
+      SkipEmpty();
+    }
+
+    reference operator*() const { return slots_[pos_]; }
+    pointer operator->() const { return &slots_[pos_]; }
+    Iterator& operator++() {
+      ++pos_;
+      SkipEmpty();
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const Iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const Iterator& o) const { return pos_ != o.pos_; }
+
+    // Implicit const conversion.
+    operator Iterator<true>() const {
+      Iterator<true> it;
+      it.slots_ = slots_;
+      it.ctrl_ = ctrl_;
+      it.pos_ = pos_;
+      it.cap_ = cap_;
+      return it;
+    }
+
+   private:
+    friend class FlatHashMap;
+    void SkipEmpty() {
+      while (pos_ < cap_ && ctrl_[pos_] == 0) ++pos_;
+    }
+    slot_ptr slots_ = nullptr;
+    ctrl_ptr ctrl_ = nullptr;
+    size_t pos_ = 0;
+    size_t cap_ = 0;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+
+  iterator begin() { return iterator(slots_, ctrl_, 0, capacity_); }
+  iterator end() { return iterator(slots_, ctrl_, capacity_, capacity_); }
+  const_iterator begin() const { return const_iterator(slots_, ctrl_, 0, capacity_); }
+  const_iterator end() const {
+    return const_iterator(slots_, ctrl_, capacity_, capacity_);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  void clear() {
+    if (capacity_ == 0) return;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (ctrl_[i]) slots_[i].~value_type();
+    }
+    std::memset(ctrl_, 0, capacity_);
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n == 0) return;
+    const size_t needed = flat_hash_internal::NormalizeCapacity(n + n / 3 + 1);
+    if (needed > capacity_) Rehash(needed);
+  }
+
+  bool contains(const K& key) const { return FindIndex(key) != kNotFound; }
+
+  const_iterator find(const K& key) const {
+    const size_t idx = FindIndex(key);
+    return idx == kNotFound ? end() : const_iterator(slots_, ctrl_, idx, capacity_);
+  }
+  iterator find(const K& key) {
+    const size_t idx = FindIndex(key);
+    return idx == kNotFound ? end() : iterator(slots_, ctrl_, idx, capacity_);
+  }
+
+  const V* FindValue(const K& key) const {
+    const size_t idx = FindIndex(key);
+    return idx == kNotFound ? nullptr : &slots_[idx].second;
+  }
+  V* FindValue(const K& key) {
+    const size_t idx = FindIndex(key);
+    return idx == kNotFound ? nullptr : &slots_[idx].second;
+  }
+
+  /// try_emplace semantics: no overwrite when the key exists.
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const K& key, Args&&... args) {
+    GrowIfNeeded();
+    size_t idx = ProbeFor(key);
+    if (ctrl_[idx]) return {iterator(slots_, ctrl_, idx, capacity_), false};
+    new (&slots_[idx]) value_type(std::piecewise_construct, std::forward_as_tuple(key),
+                                  std::forward_as_tuple(std::forward<Args>(args)...));
+    ctrl_[idx] = 1;
+    ++size_;
+    return {iterator(slots_, ctrl_, idx, capacity_), true};
+  }
+
+  V& operator[](const K& key) { return emplace(key).first->second; }
+
+  template <typename U>
+  void InsertOrAssign(const K& key, U&& value) {
+    auto [it, inserted] = emplace(key, std::forward<U>(value));
+    if (!inserted) it->second = std::forward<U>(value);
+  }
+
+  /// Erases by key (backward-shift, no tombstones); true if the key existed.
+  bool erase(const K& key) {
+    size_t idx = FindIndex(key);
+    if (idx == kNotFound) return false;
+    EraseAt(idx);
+    return true;
+  }
+
+  /// Order-independent element equality.
+  bool operator==(const FlatHashMap& other) const {
+    if (size_ != other.size_) return false;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (!ctrl_[i]) continue;
+      const V* ov = other.FindValue(slots_[i].first);
+      if (ov == nullptr || !(*ov == slots_[i].second)) return false;
+    }
+    return true;
+  }
+  bool operator!=(const FlatHashMap& other) const { return !(*this == other); }
+
+  /// Bytes held by the table itself (not by heap-owning values).
+  size_t TableBytes() const { return capacity_ * (sizeof(value_type) + 1); }
+
+ private:
+  static constexpr size_t kNotFound = ~size_t{0};
+
+  size_t Mask() const { return capacity_ - 1; }
+
+  size_t FindIndex(const K& key) const {
+    if (capacity_ == 0) return kNotFound;
+    size_t idx = flat_hash_internal::HashId(static_cast<uint64_t>(key)) & Mask();
+    while (ctrl_[idx]) {
+      if (slots_[idx].first == key) return idx;
+      idx = (idx + 1) & Mask();
+    }
+    return kNotFound;
+  }
+
+  /// First slot where `key` lives or should be inserted (capacity_ > 0).
+  size_t ProbeFor(const K& key) const {
+    size_t idx = flat_hash_internal::HashId(static_cast<uint64_t>(key)) & Mask();
+    while (ctrl_[idx] && !(slots_[idx].first == key)) idx = (idx + 1) & Mask();
+    return idx;
+  }
+
+  void GrowIfNeeded() {
+    if (capacity_ == 0) {
+      Rehash(flat_hash_internal::kMinCapacity);
+    } else if ((size_ + 1) * 4 > capacity_ * 3) {  // Max load factor 3/4.
+      Rehash(capacity_ * 2);
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    value_type* old_slots = slots_;
+    uint8_t* old_ctrl = ctrl_;
+    const size_t old_cap = capacity_;
+
+    slots_ = static_cast<value_type*>(
+        ::operator new(new_cap * sizeof(value_type), std::align_val_t(alignof(value_type))));
+    ctrl_ = new uint8_t[new_cap];
+    std::memset(ctrl_, 0, new_cap);
+    capacity_ = new_cap;
+
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (!old_ctrl[i]) continue;
+      const size_t idx = ProbeFor(old_slots[i].first);
+      new (&slots_[idx]) value_type(std::move(old_slots[i]));
+      ctrl_[idx] = 1;
+      old_slots[i].~value_type();
+    }
+    if (old_slots != nullptr) {
+      ::operator delete(old_slots, std::align_val_t(alignof(value_type)));
+      delete[] old_ctrl;
+    }
+  }
+
+  void EraseAt(size_t idx) {
+    slots_[idx].~value_type();
+    ctrl_[idx] = 0;
+    --size_;
+    // Backward-shift: pull home any follower whose probe chain crossed `idx`.
+    size_t hole = idx;
+    size_t next = (idx + 1) & Mask();
+    while (ctrl_[next]) {
+      const size_t home =
+          flat_hash_internal::HashId(static_cast<uint64_t>(slots_[next].first)) & Mask();
+      // Move `next` into the hole unless its home lies strictly inside
+      // (hole, next] in circular probe order (then the hole doesn't break it).
+      const size_t dist_home = (next - home) & Mask();
+      const size_t dist_hole = (next - hole) & Mask();
+      if (dist_home >= dist_hole) {
+        new (&slots_[hole]) value_type(std::move(slots_[next]));
+        ctrl_[hole] = 1;
+        slots_[next].~value_type();
+        ctrl_[next] = 0;
+        hole = next;
+      }
+      next = (next + 1) & Mask();
+    }
+  }
+
+  void CopyFrom(const FlatHashMap& other) {
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    if (capacity_ == 0) {
+      slots_ = nullptr;
+      ctrl_ = nullptr;
+      return;
+    }
+    slots_ = static_cast<value_type*>(
+        ::operator new(capacity_ * sizeof(value_type), std::align_val_t(alignof(value_type))));
+    ctrl_ = new uint8_t[capacity_];
+    std::memcpy(ctrl_, other.ctrl_, capacity_);
+    if constexpr (std::is_trivially_copyable_v<value_type>) {
+      std::memcpy(static_cast<void*>(slots_), static_cast<const void*>(other.slots_),
+                  capacity_ * sizeof(value_type));
+    } else {
+      for (size_t i = 0; i < capacity_; ++i) {
+        if (ctrl_[i]) new (&slots_[i]) value_type(other.slots_[i]);
+      }
+    }
+  }
+
+  void MoveFrom(FlatHashMap&& other) {
+    slots_ = other.slots_;
+    ctrl_ = other.ctrl_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.slots_ = nullptr;
+    other.ctrl_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+
+  void Destroy() {
+    if (capacity_ == 0) return;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (ctrl_[i]) slots_[i].~value_type();
+    }
+    ::operator delete(slots_, std::align_val_t(alignof(value_type)));
+    delete[] ctrl_;
+    slots_ = nullptr;
+    ctrl_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  value_type* slots_ = nullptr;
+  uint8_t* ctrl_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+/// Flat open-addressing set of trivially-copyable integer ids.
+template <typename K>
+class FlatHashSet {
+  static_assert(std::is_trivially_copyable_v<K>, "FlatHashSet keys must be POD ids");
+
+ public:
+  FlatHashSet() = default;
+
+  FlatHashSet(const FlatHashSet& other) { CopyFrom(other); }
+  FlatHashSet& operator=(const FlatHashSet& other) {
+    if (this != &other) {
+      Destroy();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  FlatHashSet(FlatHashSet&& other) noexcept { MoveFrom(std::move(other)); }
+  FlatHashSet& operator=(FlatHashSet&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~FlatHashSet() { Destroy(); }
+
+  class const_iterator {
+   public:
+    using reference = const K&;
+    using pointer = const K*;
+    using value_type = K;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    const_iterator(const K* slots, const uint8_t* ctrl, size_t pos, size_t cap)
+        : slots_(slots), ctrl_(ctrl), pos_(pos), cap_(cap) {
+      SkipEmpty();
+    }
+
+    reference operator*() const { return slots_[pos_]; }
+    pointer operator->() const { return &slots_[pos_]; }
+    const_iterator& operator++() {
+      ++pos_;
+      SkipEmpty();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const const_iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    void SkipEmpty() {
+      while (pos_ < cap_ && ctrl_[pos_] == 0) ++pos_;
+    }
+    const K* slots_ = nullptr;
+    const uint8_t* ctrl_ = nullptr;
+    size_t pos_ = 0;
+    size_t cap_ = 0;
+  };
+  using iterator = const_iterator;
+
+  const_iterator begin() const { return const_iterator(slots_, ctrl_, 0, capacity_); }
+  const_iterator end() const {
+    return const_iterator(slots_, ctrl_, capacity_, capacity_);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  void clear() {
+    if (capacity_ == 0) return;
+    std::memset(ctrl_, 0, capacity_);
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n == 0) return;
+    const size_t needed = flat_hash_internal::NormalizeCapacity(n + n / 3 + 1);
+    if (needed > capacity_) Rehash(needed);
+  }
+
+  bool contains(const K& key) const { return FindIndex(key) != kNotFound; }
+
+  /// Returns true if the key was newly inserted.
+  bool insert(const K& key) {
+    GrowIfNeeded();
+    const size_t idx = ProbeFor(key);
+    if (ctrl_[idx]) return false;
+    slots_[idx] = key;
+    ctrl_[idx] = 1;
+    ++size_;
+    return true;
+  }
+
+  bool erase(const K& key) {
+    size_t idx = FindIndex(key);
+    if (idx == kNotFound) return false;
+    ctrl_[idx] = 0;
+    --size_;
+    size_t hole = idx;
+    size_t next = (idx + 1) & Mask();
+    while (ctrl_[next]) {
+      const size_t home =
+          flat_hash_internal::HashId(static_cast<uint64_t>(slots_[next])) & Mask();
+      const size_t dist_home = (next - home) & Mask();
+      const size_t dist_hole = (next - hole) & Mask();
+      if (dist_home >= dist_hole) {
+        slots_[hole] = slots_[next];
+        ctrl_[hole] = 1;
+        ctrl_[next] = 0;
+        hole = next;
+      }
+      next = (next + 1) & Mask();
+    }
+    return true;
+  }
+
+  bool operator==(const FlatHashSet& other) const {
+    if (size_ != other.size_) return false;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (ctrl_[i] && !other.contains(slots_[i])) return false;
+    }
+    return true;
+  }
+  bool operator!=(const FlatHashSet& other) const { return !(*this == other); }
+
+  size_t TableBytes() const { return capacity_ * (sizeof(K) + 1); }
+
+ private:
+  static constexpr size_t kNotFound = ~size_t{0};
+
+  size_t Mask() const { return capacity_ - 1; }
+
+  size_t FindIndex(const K& key) const {
+    if (capacity_ == 0) return kNotFound;
+    size_t idx = flat_hash_internal::HashId(static_cast<uint64_t>(key)) & Mask();
+    while (ctrl_[idx]) {
+      if (slots_[idx] == key) return idx;
+      idx = (idx + 1) & Mask();
+    }
+    return kNotFound;
+  }
+
+  size_t ProbeFor(const K& key) const {
+    size_t idx = flat_hash_internal::HashId(static_cast<uint64_t>(key)) & Mask();
+    while (ctrl_[idx] && !(slots_[idx] == key)) idx = (idx + 1) & Mask();
+    return idx;
+  }
+
+  void GrowIfNeeded() {
+    if (capacity_ == 0) {
+      Rehash(flat_hash_internal::kMinCapacity);
+    } else if ((size_ + 1) * 4 > capacity_ * 3) {
+      Rehash(capacity_ * 2);
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    K* old_slots = slots_;
+    uint8_t* old_ctrl = ctrl_;
+    const size_t old_cap = capacity_;
+
+    slots_ = new K[new_cap];
+    ctrl_ = new uint8_t[new_cap];
+    std::memset(ctrl_, 0, new_cap);
+    capacity_ = new_cap;
+
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (!old_ctrl[i]) continue;
+      const size_t idx = ProbeFor(old_slots[i]);
+      slots_[idx] = old_slots[i];
+      ctrl_[idx] = 1;
+    }
+    delete[] old_slots;
+    delete[] old_ctrl;
+  }
+
+  void CopyFrom(const FlatHashSet& other) {
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    if (capacity_ == 0) {
+      slots_ = nullptr;
+      ctrl_ = nullptr;
+      return;
+    }
+    slots_ = new K[capacity_];
+    ctrl_ = new uint8_t[capacity_];
+    std::memcpy(static_cast<void*>(slots_), static_cast<const void*>(other.slots_),
+                capacity_ * sizeof(K));
+    std::memcpy(ctrl_, other.ctrl_, capacity_);
+  }
+
+  void MoveFrom(FlatHashSet&& other) {
+    slots_ = other.slots_;
+    ctrl_ = other.ctrl_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.slots_ = nullptr;
+    other.ctrl_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+
+  void Destroy() {
+    delete[] slots_;
+    delete[] ctrl_;
+    slots_ = nullptr;
+    ctrl_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  K* slots_ = nullptr;
+  uint8_t* ctrl_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_FLAT_HASH_H_

@@ -1,0 +1,101 @@
+#include "common/interner.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/coding.h"
+
+namespace hgdb {
+
+StringInterner::IndexTable::IndexTable(size_t cap)
+    : capacity(cap),
+      hashes(new std::atomic<uint64_t>[cap]()),
+      ids(new std::atomic<uint32_t>[cap]()) {}
+
+StringInterner::StringInterner()
+    : chunks_(new std::atomic<std::string*>[kMaxChunks]()) {
+  tables_.push_back(std::make_unique<IndexTable>(size_t{1} << 12));
+  index_.store(tables_.back().get(), std::memory_order_release);
+}
+
+StringInterner& StringInterner::Global() {
+  static StringInterner* interner = new StringInterner();  // Never destroyed.
+  return *interner;
+}
+
+uint64_t StringInterner::HashKey(std::string_view s) {
+  // Nonzero (0 marks an empty index slot).
+  return HashBytes(s.data(), s.size(), 0x5eed) | 1;
+}
+
+void StringInterner::InsertLocked(IndexTable* t, uint64_t h, AttrId id) {
+  const size_t mask = t->capacity - 1;
+  size_t idx = h & mask;
+  while (t->hashes[idx].load(std::memory_order_relaxed) != 0) {
+    idx = (idx + 1) & mask;
+  }
+  // Publish the id before the hash: a reader that acquires the hash is
+  // guaranteed to see the id (and, transitively, the string bytes).
+  t->ids[idx].store(id, std::memory_order_release);
+  t->hashes[idx].store(h, std::memory_order_release);
+}
+
+AttrId StringInterner::InternSlow(uint64_t h, std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IndexTable* table = index_.load(std::memory_order_relaxed);
+  // Re-probe: the string may have been interned between the lock-free miss
+  // and acquiring the lock (the table is stable under the lock).
+  if (const AttrId raced = Probe(table, h, s); raced != kInvalidAttrId) {
+    return raced;
+  }
+
+  const uint32_t id = size_.load(std::memory_order_relaxed);
+  const size_t chunk_idx = id >> kChunkShift;
+  if (chunk_idx >= kMaxChunks) {
+    std::fprintf(stderr, "StringInterner: id space exhausted\n");
+    std::abort();
+  }
+  std::string* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new std::string[kChunkSize];
+    chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  chunk[id & kChunkMask] = std::string(s);
+
+  // Grow the index at 70% load. Old tables are retired, not freed: a reader
+  // may still be probing one (append-only, so stale tables are merely
+  // incomplete — its misses fall through to this locked path).
+  if ((id + 1) * 10 > table->capacity * 7) {
+    auto grown = std::make_unique<IndexTable>(table->capacity * 2);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      const uint64_t hv = table->hashes[i].load(std::memory_order_relaxed);
+      if (hv != 0) {
+        InsertLocked(grown.get(), hv,
+                     table->ids[i].load(std::memory_order_relaxed));
+      }
+    }
+    table = grown.get();
+    tables_.push_back(std::move(grown));
+    index_.store(table, std::memory_order_release);
+  }
+
+  InsertLocked(table, h, id);
+  size_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+size_t StringInterner::MemoryBytes() const {
+  const uint32_t n = size_.load(std::memory_order_acquire);
+  size_t bytes = kMaxChunks * sizeof(std::atomic<std::string*>);
+  const size_t chunks_used = (n + kChunkSize - 1) >> kChunkShift;
+  bytes += chunks_used * kChunkSize * sizeof(std::string);
+  for (uint32_t id = 0; id < n; ++id) {
+    const std::string& s = Get(id);
+    if (s.capacity() > sizeof(std::string)) bytes += s.capacity();
+  }
+  const IndexTable* t = index_.load(std::memory_order_acquire);
+  bytes += t->capacity * (sizeof(uint64_t) + sizeof(uint32_t));
+  return bytes;
+}
+
+}  // namespace hgdb

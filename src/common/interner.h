@@ -1,0 +1,122 @@
+#ifndef HISTGRAPH_COMMON_INTERNER_H_
+#define HISTGRAPH_COMMON_INTERNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hgdb {
+
+/// Interned id of an attribute key or value string. 32 bits: a historical
+/// graph has many attribute *instances* but few distinct strings (keys repeat
+/// per schema; values repeat across time because most updates flip between a
+/// small set of values).
+using AttrId = uint32_t;
+inline constexpr AttrId kInvalidAttrId = 0xFFFFFFFFu;
+
+/// \brief Process-wide string interner backing all attribute storage.
+///
+/// Snapshots store attribute keys and values as AttrIds; the bytes live here
+/// exactly once. The table is append-only — ids are never reassigned or
+/// freed — so a resolved `const std::string&` stays valid for the process
+/// lifetime, which is what lets Snapshot::GetNodeAttr return a stable pointer
+/// even while the snapshot itself mutates.
+///
+/// Thread safety — both hot paths are lock-free:
+///  - Get: strings live in immutable fixed-size chunks whose pointers are
+///    published with release stores.
+///  - Intern/Find hits: an open-addressing index of (hash, id) atomic pairs,
+///    probed with acquire loads. Writers publish id before hash, so a reader
+///    that sees the hash sees the id and the string bytes.
+/// Only a first-sight Intern (and index growth) takes the mutex.
+class StringInterner {
+ public:
+  StringInterner();
+
+  /// The process-wide interner all snapshots share. Sharing one id space
+  /// means value equality is id equality across any two snapshots, however
+  /// they were produced (retrieval, differential combine, partition merge).
+  static StringInterner& Global();
+
+  /// Returns the id of `s`, interning it on first sight.
+  AttrId Intern(std::string_view s) {
+    const uint64_t h = HashKey(s);
+    const AttrId hit = Probe(index_.load(std::memory_order_acquire), h, s);
+    return hit != kInvalidAttrId ? hit : InternSlow(h, s);
+  }
+
+  /// Returns the id of `s` or kInvalidAttrId if it was never interned
+  /// (read-only probes, e.g. attribute lookup by name).
+  AttrId Find(std::string_view s) const {
+    return Probe(index_.load(std::memory_order_acquire), HashKey(s), s);
+  }
+
+  /// Resolves an id (must have been returned by Intern). Lock-free; the
+  /// reference is stable for the process lifetime.
+  const std::string& Get(AttrId id) const {
+    const std::string* chunk =
+        chunks_[id >> kChunkShift].load(std::memory_order_acquire);
+    return chunk[id & kChunkMask];
+  }
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Approximate heap bytes held by the interner (memory accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  static constexpr size_t kChunkShift = 13;  // 8192 strings per chunk.
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  // 512 KB directory, ~536M distinct strings before Intern reports overflow.
+  static constexpr size_t kMaxChunks = size_t{1} << 16;
+
+  /// One index generation: open-addressing (hash, id) slots. hash == 0 means
+  /// empty; ids are published before hashes (release/acquire pairing).
+  struct IndexTable {
+    explicit IndexTable(size_t cap);
+    const size_t capacity;  // Power of two.
+    std::unique_ptr<std::atomic<uint64_t>[]> hashes;
+    std::unique_ptr<std::atomic<uint32_t>[]> ids;
+  };
+
+  static uint64_t HashKey(std::string_view s);
+
+  AttrId Probe(const IndexTable* t, uint64_t h, std::string_view s) const {
+    const size_t mask = t->capacity - 1;
+    for (size_t idx = h & mask;; idx = (idx + 1) & mask) {
+      const uint64_t hv = t->hashes[idx].load(std::memory_order_acquire);
+      if (hv == 0) return kInvalidAttrId;
+      if (hv == h) {
+        const AttrId id = t->ids[idx].load(std::memory_order_acquire);
+        if (Get(id) == s) return id;  // 64-bit collisions resolved by bytes.
+      }
+    }
+  }
+
+  AttrId InternSlow(uint64_t h, std::string_view s);
+  void InsertLocked(IndexTable* t, uint64_t h, AttrId id);
+
+  std::mutex mu_;  // Guards writes: chunk allocation, index insert/growth.
+  std::atomic<IndexTable*> index_;
+  std::vector<std::unique_ptr<IndexTable>> tables_;  // Current + retired.
+  std::atomic<uint32_t> size_{0};
+  // Chunk directory: slots are null until a chunk is published. The
+  // directory itself is allocated once so chunk lookup never takes a lock;
+  // chunks are never freed or moved.
+  std::unique_ptr<std::atomic<std::string*>[]> chunks_;
+};
+
+/// Shorthands for the common "resolve this id" / "intern this string" calls.
+inline AttrId InternAttr(std::string_view s) {
+  return StringInterner::Global().Intern(s);
+}
+inline const std::string& AttrStr(AttrId id) { return StringInterner::Global().Get(id); }
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_INTERNER_H_

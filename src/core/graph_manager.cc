@@ -59,20 +59,20 @@ Status GraphManager::FinalizeIndex() {
 
 void GraphManager::FilterAttrs(Snapshot* snap, const AttrOptions& opts) {
   if (!opts.NeedsFiltering()) return;
-  std::vector<std::pair<NodeId, std::string>> drop_node_attrs;
+  std::vector<std::pair<NodeId, AttrId>> drop_node_attrs;
   for (const auto& [n, attrs] : snap->node_attrs()) {
     for (const auto& [k, v] : attrs) {
-      if (!opts.KeepNodeAttr(k)) drop_node_attrs.emplace_back(n, k);
+      if (!opts.KeepNodeAttr(AttrStr(k))) drop_node_attrs.emplace_back(n, k);
     }
   }
-  for (const auto& [n, k] : drop_node_attrs) snap->RemoveNodeAttr(n, k);
-  std::vector<std::pair<EdgeId, std::string>> drop_edge_attrs;
+  for (const auto& [n, k] : drop_node_attrs) snap->RemoveNodeAttrId(n, k);
+  std::vector<std::pair<EdgeId, AttrId>> drop_edge_attrs;
   for (const auto& [e, attrs] : snap->edge_attrs()) {
     for (const auto& [k, v] : attrs) {
-      if (!opts.KeepEdgeAttr(k)) drop_edge_attrs.emplace_back(e, k);
+      if (!opts.KeepEdgeAttr(AttrStr(k))) drop_edge_attrs.emplace_back(e, k);
     }
   }
-  for (const auto& [e, k] : drop_edge_attrs) snap->RemoveEdgeAttr(e, k);
+  for (const auto& [e, k] : drop_edge_attrs) snap->RemoveEdgeAttrId(e, k);
 }
 
 Result<size_t> GraphManager::MaterializeDepth(int depth) {
@@ -213,25 +213,21 @@ Result<HistGraph> GraphManager::GetHistGraph(const TimeExpression& expr,
     }
     for (const auto& [n, attrs] : g.node_attrs()) {
       for (const auto& [key, value] : attrs) {
-        if (result.GetNodeAttr(n, key) != nullptr) continue;
-        const std::string* v = &value;
-        if (membership_of([n, &key, v](const Snapshot& s) {
-              const std::string* mine = s.GetNodeAttr(n, key);
-              return mine != nullptr && *mine == *v;
+        if (result.GetNodeAttrValueId(n, key) != kInvalidAttrId) continue;
+        if (membership_of([n, key, value](const Snapshot& s) {
+              return s.GetNodeAttrValueId(n, key) == value;
             })) {
-          result.SetNodeAttr(n, key, value);
+          result.SetNodeAttrId(n, key, value);
         }
       }
     }
     for (const auto& [e, attrs] : g.edge_attrs()) {
       for (const auto& [key, value] : attrs) {
-        if (result.GetEdgeAttr(e, key) != nullptr) continue;
-        const std::string* v = &value;
-        if (membership_of([e, &key, v](const Snapshot& s) {
-              const std::string* mine = s.GetEdgeAttr(e, key);
-              return mine != nullptr && *mine == *v;
+        if (result.GetEdgeAttrValueId(e, key) != kInvalidAttrId) continue;
+        if (membership_of([e, key, value](const Snapshot& s) {
+              return s.GetEdgeAttrValueId(e, key) == value;
             })) {
-          result.SetEdgeAttr(e, key, value);
+          result.SetEdgeAttrId(e, key, value);
         }
       }
     }

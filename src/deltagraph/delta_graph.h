@@ -170,6 +170,13 @@ class DeltaGraph {
   DeltaGraphStats Stats() const;
   const Snapshot* materialized_snapshot(int32_t node_id) const;
 
+  /// Sizes the decoded delta/eventlist LRU that sits above the KVStore
+  /// (0 disables and drops all entries). For ablations and for tests that
+  /// damage the underlying store out-of-band.
+  void SetDecodedCacheCapacity(size_t entries) {
+    store_.SetDecodedCacheCapacity(entries);
+  }
+
   // -- Extensibility (Section 4.7) ----------------------------------------------
   /// Registers an auxiliary index hook. Must be called before events are
   /// appended; the hook must outlive the DeltaGraph.

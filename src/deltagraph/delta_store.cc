@@ -19,7 +19,83 @@ std::string DeltaStore::Key(DeltaId id, int component_index) {
   return key;
 }
 
+// -- Decoded-object LRU ------------------------------------------------------
+
+std::shared_ptr<const Delta> DeltaStore::CacheLookupDelta(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) {
+    ++cache_misses_;
+    return nullptr;
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  ++cache_hits_;
+  return it->second->delta;
+}
+
+std::shared_ptr<const EventList> DeltaStore::CacheLookupEvents(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) {
+    ++cache_misses_;
+    return nullptr;
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  ++cache_hits_;
+  return it->second->events;
+}
+
+void DeltaStore::CacheInsert(CacheEntry entry) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_capacity_ == 0) return;
+  auto it = cache_index_.find(entry.key);
+  if (it != cache_index_.end()) {  // Raced decode; keep the existing entry hot.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.push_front(std::move(entry));
+  cache_index_[cache_lru_.front().key] = cache_lru_.begin();
+  while (cache_lru_.size() > cache_capacity_) {
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+  }
+}
+
+void DeltaStore::CacheInvalidate(DeltaId id) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
+    if ((it->key >> 5) == id) {
+      cache_index_.erase(it->key);
+      it = cache_lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DeltaStore::SetDecodedCacheCapacity(size_t entries) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_capacity_ = entries;
+  while (cache_lru_.size() > cache_capacity_) {
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+  }
+}
+
+size_t DeltaStore::decoded_cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_hits_;
+}
+
+size_t DeltaStore::decoded_cache_misses() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_misses_;
+}
+
+// -- Deltas ------------------------------------------------------------------
+
 Status DeltaStore::PutDelta(DeltaId id, const Delta& delta, ComponentSizes* sizes) {
+  CacheInvalidate(id);
   *sizes = ComponentSizes();
   std::string blob;
   for (int c = 0; c < 3; ++c) {  // Deltas have no transient component.
@@ -35,20 +111,33 @@ Status DeltaStore::PutDelta(DeltaId id, const Delta& delta, ComponentSizes* size
 
 Status DeltaStore::GetDelta(DeltaId id, unsigned components,
                             const ComponentSizes& sizes, Delta* out) const {
-  *out = Delta();
+  auto shared = GetDeltaShared(id, components, sizes);
+  if (!shared.ok()) return shared.status();
+  *out = *shared.value();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Delta>> DeltaStore::GetDeltaShared(
+    DeltaId id, unsigned components, const ComponentSizes& sizes) const {
+  const uint64_t key = CacheKey(id, components, /*is_delta=*/true);
+  if (auto hit = CacheLookupDelta(key)) return hit;
+  auto decoded = std::make_shared<Delta>();
   std::string blob;
   for (int c = 0; c < 3; ++c) {
     const ComponentMask mask = kComponentByIndex[c];
     if ((components & mask) == 0) continue;
     if (sizes.bytes[c] == 0) continue;  // Component empty; nothing stored.
     HG_RETURN_NOT_OK(store_->Get(Key(id, c), &blob));
-    HG_RETURN_NOT_OK(out->DecodeComponent(mask, blob));
+    HG_RETURN_NOT_OK(decoded->DecodeComponent(mask, blob));
   }
-  return Status::OK();
+  std::shared_ptr<const Delta> out = std::move(decoded);
+  CacheInsert(CacheEntry{key, out, nullptr});
+  return out;
 }
 
 Status DeltaStore::PutEventList(DeltaId id, const EventList& events,
                                 ComponentSizes* sizes) {
+  CacheInvalidate(id);
   *sizes = ComponentSizes();
   std::string blob;
   for (int c = 0; c < kNumComponents; ++c) {
@@ -65,20 +154,33 @@ Status DeltaStore::PutEventList(DeltaId id, const EventList& events,
 
 Status DeltaStore::GetEventList(DeltaId id, unsigned components,
                                 const ComponentSizes& sizes, EventList* out) const {
-  *out = EventList();
+  auto shared = GetEventListShared(id, components, sizes);
+  if (!shared.ok()) return shared.status();
+  *out = *shared.value();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const EventList>> DeltaStore::GetEventListShared(
+    DeltaId id, unsigned components, const ComponentSizes& sizes) const {
+  const uint64_t key = CacheKey(id, components, /*is_delta=*/false);
+  if (auto hit = CacheLookupEvents(key)) return hit;
+  auto decoded = std::make_shared<EventList>();
   std::string blob;
   for (int c = 0; c < kNumComponents; ++c) {
     const ComponentMask mask = kComponentByIndex[c];
     if ((components & mask) == 0) continue;
     if (sizes.bytes[c] == 0) continue;
     HG_RETURN_NOT_OK(store_->Get(Key(id, c), &blob));
-    HG_RETURN_NOT_OK(out->DecodeAndMergeComponent(blob));
+    HG_RETURN_NOT_OK(decoded->DecodeAndMergeComponent(blob));
   }
-  out->FinalizeMerge();
-  return Status::OK();
+  decoded->FinalizeMerge();
+  std::shared_ptr<const EventList> out = std::move(decoded);
+  CacheInsert(CacheEntry{key, nullptr, out});
+  return out;
 }
 
 Status DeltaStore::DeleteDelta(DeltaId id) {
+  CacheInvalidate(id);
   for (int c = 0; c < kNumComponents; ++c) {
     HG_RETURN_NOT_OK(store_->Delete(Key(id, c)));
   }

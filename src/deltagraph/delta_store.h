@@ -1,8 +1,13 @@
 #ifndef HISTGRAPH_DELTAGRAPH_DELTA_STORE_H_
 #define HISTGRAPH_DELTAGRAPH_DELTA_STORE_H_
 
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "deltagraph/skeleton.h"
@@ -21,6 +26,13 @@ namespace hgdb {
 /// the paper's deployment). Empty components are not stored; the skeleton's
 /// per-edge ComponentSizes record which components exist and how large they
 /// are, so queries fetch exactly what they need.
+///
+/// A small LRU of *decoded* deltas/eventlists sits above the KVStore, keyed
+/// by (delta id, requested components). SnapshotPlanVisitor already caches
+/// decodes within one plan; this cache carries them across consecutive plans
+/// that traverse the same skeleton edges (repeated singlepoint queries, the
+/// paper's Section 6 access pattern), skipping the fetch, the decompression,
+/// and the decode. Entries are shared_ptr-owned so a hit never copies.
 class DeltaStore {
  public:
   explicit DeltaStore(KVStore* store) : store_(store) {}
@@ -37,6 +49,11 @@ class DeltaStore {
   Status GetDelta(DeltaId id, unsigned components, const ComponentSizes& sizes,
                   Delta* out) const;
 
+  /// Like GetDelta but returns the cache-resident decoded delta without
+  /// copying (the retrieval hot path).
+  Result<std::shared_ptr<const Delta>> GetDeltaShared(DeltaId id, unsigned components,
+                                                      const ComponentSizes& sizes) const;
+
   /// Persists all non-empty components of `events` (struct, nodeattr,
   /// edgeattr, transient).
   Status PutEventList(DeltaId id, const EventList& events, ComponentSizes* sizes);
@@ -44,6 +61,10 @@ class DeltaStore {
   /// Loads and merges the requested components, in original order.
   Status GetEventList(DeltaId id, unsigned components, const ComponentSizes& sizes,
                       EventList* out) const;
+
+  /// Like GetEventList but returns the cache-resident decoded eventlist.
+  Result<std::shared_ptr<const EventList>> GetEventListShared(
+      DeltaId id, unsigned components, const ComponentSizes& sizes) const;
 
   /// Deletes all components of a delta (used when index evolution replaces
   /// super-root attachments).
@@ -61,11 +82,39 @@ class DeltaStore {
   void SetNextId(DeltaId next) { next_id_ = next; }
   DeltaId next_id() const { return next_id_; }
 
+  /// Decoded-object cache sizing/introspection (0 capacity disables).
+  void SetDecodedCacheCapacity(size_t entries);
+  size_t decoded_cache_hits() const;
+  size_t decoded_cache_misses() const;
+
  private:
   static std::string Key(DeltaId id, int component_index);
 
+  // -- Decoded-object LRU ----------------------------------------------------
+  struct CacheEntry {
+    uint64_t key;
+    std::shared_ptr<const Delta> delta;          // One of the two is set.
+    std::shared_ptr<const EventList> events;
+  };
+  // (id, components) -> one cache slot. Components fit in 4 bits.
+  static uint64_t CacheKey(DeltaId id, unsigned components, bool is_delta) {
+    return (id << 5) | (static_cast<uint64_t>(components & 0xF) << 1) |
+           (is_delta ? 1 : 0);
+  }
+  std::shared_ptr<const Delta> CacheLookupDelta(uint64_t key) const;
+  std::shared_ptr<const EventList> CacheLookupEvents(uint64_t key) const;
+  void CacheInsert(CacheEntry entry) const;
+  void CacheInvalidate(DeltaId id);
+
   KVStore* store_;
   DeltaId next_id_ = 1;
+
+  mutable std::mutex cache_mu_;
+  mutable std::list<CacheEntry> cache_lru_;  // Front = most recent.
+  mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_index_;
+  size_t cache_capacity_ = 64;
+  mutable size_t cache_hits_ = 0;
+  mutable size_t cache_misses_ = 0;
 };
 
 }  // namespace hgdb

@@ -19,13 +19,13 @@ namespace {
 struct ElementVisitor {
   std::function<void(NodeId)> node;
   std::function<void(EdgeId, const EdgeRecord&)> edge;
-  std::function<void(NodeId, const std::string&, const std::string&)> nattr;
-  std::function<void(EdgeId, const std::string&, const std::string&)> eattr;
+  std::function<void(NodeId, AttrId, AttrId)> nattr;  ///< (owner, key id, value id).
+  std::function<void(EdgeId, AttrId, AttrId)> eattr;
 };
 
 // Visits every element of `to` that is not in `from` (value-sensitive for
 // attributes: a changed value counts as an add of the new and a delete of the
-// old element).
+// old element). Attribute values compare by interned id.
 void ForEachDiff(const Snapshot& to, const Snapshot& from, const ElementVisitor& v) {
   for (NodeId n : to.nodes()) {
     if (!from.HasNode(n)) v.node(n);
@@ -35,14 +35,12 @@ void ForEachDiff(const Snapshot& to, const Snapshot& from, const ElementVisitor&
   }
   for (const auto& [owner, attrs] : to.node_attrs()) {
     for (const auto& [k, val] : attrs) {
-      const std::string* other = from.GetNodeAttr(owner, k);
-      if (other == nullptr || *other != val) v.nattr(owner, k, val);
+      if (from.GetNodeAttrValueId(owner, k) != val) v.nattr(owner, k, val);
     }
   }
   for (const auto& [owner, attrs] : to.edge_attrs()) {
     for (const auto& [k, val] : attrs) {
-      const std::string* other = from.GetEdgeAttr(owner, k);
-      if (other == nullptr || *other != val) v.eattr(owner, k, val);
+      if (from.GetEdgeAttrValueId(owner, k) != val) v.eattr(owner, k, val);
     }
   }
 }
@@ -75,11 +73,17 @@ void ApplySelectedDiff(Snapshot* result, const Snapshot& from, const Snapshot& t
       [&](EdgeId e, const EdgeRecord& rec) {
         if (Selected(EdgeHash(e), r_add) && !result->HasEdge(e)) result->AddEdge(e, rec);
       },
-      [&](NodeId o, const std::string& k, const std::string& val) {
-        if (Selected(AttrHash(o, k, true), r_add)) result->SetNodeAttr(o, k, val);
+      [&](NodeId o, AttrId k, AttrId val) {
+        // The selection hash stays over the key *string* so element picks are
+        // stable across processes (interning order is run-dependent).
+        if (Selected(AttrHash(o, AttrStr(k), true), r_add)) {
+          result->SetNodeAttrId(o, k, val);
+        }
       },
-      [&](EdgeId o, const std::string& k, const std::string& val) {
-        if (Selected(AttrHash(o, k, false), r_add)) result->SetEdgeAttr(o, k, val);
+      [&](EdgeId o, AttrId k, AttrId val) {
+        if (Selected(AttrHash(o, AttrStr(k), false), r_add)) {
+          result->SetEdgeAttrId(o, k, val);
+        }
       }};
   ForEachDiff(to, from, add);
   ElementVisitor del{
@@ -89,18 +93,18 @@ void ApplySelectedDiff(Snapshot* result, const Snapshot& from, const Snapshot& t
       [&](EdgeId e, const EdgeRecord&) {
         if (Selected(EdgeHash(e), r_del)) result->RemoveEdge(e);
       },
-      [&](NodeId o, const std::string& k, const std::string& val) {
+      [&](NodeId o, AttrId k, AttrId val) {
         // Only remove if the value is still the one being deleted; a value
         // change pairs a delete of the old with an add of the new.
-        const std::string* cur = result->GetNodeAttr(o, k);
-        if (cur != nullptr && *cur == val && Selected(AttrHash(o, k, true), r_del)) {
-          result->RemoveNodeAttr(o, k);
+        if (result->GetNodeAttrValueId(o, k) == val &&
+            Selected(AttrHash(o, AttrStr(k), true), r_del)) {
+          result->RemoveNodeAttrId(o, k);
         }
       },
-      [&](EdgeId o, const std::string& k, const std::string& val) {
-        const std::string* cur = result->GetEdgeAttr(o, k);
-        if (cur != nullptr && *cur == val && Selected(AttrHash(o, k, false), r_del)) {
-          result->RemoveEdgeAttr(o, k);
+      [&](EdgeId o, AttrId k, AttrId val) {
+        if (result->GetEdgeAttrValueId(o, k) == val &&
+            Selected(AttrHash(o, AttrStr(k), false), r_del)) {
+          result->RemoveEdgeAttrId(o, k);
         }
       }};
   ForEachDiff(from, to, del);
@@ -116,14 +120,12 @@ Snapshot Intersect(const Snapshot& a, const Snapshot& b) {
   }
   for (const auto& [owner, attrs] : a.node_attrs()) {
     for (const auto& [k, val] : attrs) {
-      const std::string* other = b.GetNodeAttr(owner, k);
-      if (other != nullptr && *other == val) out.SetNodeAttr(owner, k, val);
+      if (b.GetNodeAttrValueId(owner, k) == val) out.SetNodeAttrId(owner, k, val);
     }
   }
   for (const auto& [owner, attrs] : a.edge_attrs()) {
     for (const auto& [k, val] : attrs) {
-      const std::string* other = b.GetEdgeAttr(owner, k);
-      if (other != nullptr && *other == val) out.SetEdgeAttr(owner, k, val);
+      if (b.GetEdgeAttrValueId(owner, k) == val) out.SetEdgeAttrId(owner, k, val);
     }
   }
   return out;

@@ -55,7 +55,7 @@ Status PartitionedDeltaGraph::SetInitialSnapshot(const Snapshot& g0, Timestamp t
   }
   for (const auto& [n, attrs] : g0.node_attrs()) {
     Snapshot& p = parts[PartitionOfNode(n)];
-    for (const auto& [k, v] : attrs) p.SetNodeAttr(n, k, v);
+    for (const auto& [k, v] : attrs) p.SetNodeAttrId(n, k, v);
   }
   for (const auto& [id, attrs] : g0.edge_attrs()) {
     const EdgeRecord* rec = g0.FindEdge(id);
@@ -64,7 +64,7 @@ Status PartitionedDeltaGraph::SetInitialSnapshot(const Snapshot& g0, Timestamp t
                                 : static_cast<PartitionId>(
                                       Mix64(id) % partitions_.size());
     Snapshot& p = parts[pid];
-    for (const auto& [k, v] : attrs) p.SetEdgeAttr(id, k, v);
+    for (const auto& [k, v] : attrs) p.SetEdgeAttrId(id, k, v);
   }
   for (size_t i = 0; i < partitions_.size(); ++i) {
     HG_RETURN_NOT_OK(partitions_[i]->SetInitialSnapshot(parts[i], t0));

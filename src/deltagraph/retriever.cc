@@ -10,9 +10,12 @@ namespace hgdb {
 
 /// The PlanVisitor that actually reconstructs snapshots: fetches deltas and
 /// eventlists from the store, applies them to a working snapshot, and copies
-/// the working snapshot out at every emit point. Decoded deltas/eventlists
-/// are cached for the duration of one plan so the backtracking (inverse)
-/// application never refetches.
+/// the working snapshot out at every emit point — an O(1) copy-on-write
+/// share since the Snapshot rework; the clone cost is paid lazily, only for
+/// stores the plan actually mutates after the emit. Decoded deltas and
+/// eventlists are pinned (shared_ptr) for the duration of one plan so the
+/// backtracking (inverse) application never refetches; across plans they
+/// come from the DeltaStore's decoded-object LRU.
 class SnapshotPlanVisitor final : public PlanVisitor {
  public:
   SnapshotPlanVisitor(const DeltaGraph* dg, unsigned components)
@@ -73,12 +76,11 @@ class SnapshotPlanVisitor final : public PlanVisitor {
     auto it = delta_cache_.find(edge);
     if (it == delta_cache_.end()) {
       const SkeletonEdge& e = dg_->skeleton().edge(edge);
-      Delta d;
-      HG_RETURN_NOT_OK(
-          dg_->store_.GetDelta(e.delta_id, components_, e.sizes, &d));
-      it = delta_cache_.emplace(edge, std::move(d)).first;
+      auto d = dg_->store_.GetDeltaShared(e.delta_id, components_, e.sizes);
+      if (!d.ok()) return d.status();
+      it = delta_cache_.emplace(edge, std::move(d).value()).first;
     }
-    *out = &it->second;
+    *out = it->second.get();
     return Status::OK();
   }
 
@@ -86,12 +88,11 @@ class SnapshotPlanVisitor final : public PlanVisitor {
     auto it = el_cache_.find(edge);
     if (it == el_cache_.end()) {
       const SkeletonEdge& e = dg_->skeleton().edge(edge);
-      EventList el;
-      HG_RETURN_NOT_OK(
-          dg_->store_.GetEventList(e.delta_id, components_, e.sizes, &el));
-      it = el_cache_.emplace(edge, std::move(el)).first;
+      auto el = dg_->store_.GetEventListShared(e.delta_id, components_, e.sizes);
+      if (!el.ok()) return el.status();
+      it = el_cache_.emplace(edge, std::move(el).value()).first;
     }
-    *out = &it->second;
+    *out = it->second.get();
     return Status::OK();
   }
 
@@ -119,8 +120,8 @@ class SnapshotPlanVisitor final : public PlanVisitor {
   unsigned components_;
   Snapshot g_;
   DeltaGraph::SnapshotPlanResults results_;
-  std::unordered_map<int32_t, Delta> delta_cache_;
-  std::unordered_map<int32_t, EventList> el_cache_;
+  std::unordered_map<int32_t, std::shared_ptr<const Delta>> delta_cache_;
+  std::unordered_map<int32_t, std::shared_ptr<const EventList>> el_cache_;
 };
 
 Status DeltaGraph::ApplyPlanStep(const PlanStep& step, PlanVisitor* visitor,
@@ -256,9 +257,9 @@ Status DeltaGraph::CollectEvents(Timestamp ts, Timestamp te, unsigned components
     const Timestamp b_lo = skeleton_.node(e.from).boundary_time;
     const Timestamp b_hi = skeleton_.node(e.to).boundary_time;
     if (b_hi < ts || b_lo >= te) continue;  // Eventlist covers (b_lo, b_hi].
-    EventList el;
-    HG_RETURN_NOT_OK(store_.GetEventList(e.delta_id, components, e.sizes, &el));
-    for (const auto& ev : el.events()) {
+    auto el = store_.GetEventListShared(e.delta_id, components, e.sizes);
+    if (!el.ok()) return el.status();
+    for (const auto& ev : el.value()->events()) {
       if (ev.time >= ts && ev.time < te) out->Append(ev);
     }
   }

@@ -1,0 +1,81 @@
+#ifndef HISTGRAPH_GRAPH_ATTR_MAP_H_
+#define HISTGRAPH_GRAPH_ATTR_MAP_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace hgdb {
+
+/// \brief Attribute map of a single node or edge: a small flat map from
+/// interned key id to interned value id, sorted by key id.
+///
+/// Nodes carry ~10 attributes in the paper's workloads, so a sorted vector of
+/// 8-byte entries beats any hash table: lookups are a binary search over one
+/// cache line, iteration is deterministic (key-id order), equality is a
+/// memcmp, and copying is a single allocation — which keeps the Snapshot
+/// copy-on-write clone path cheap.
+class AttrMap {
+ public:
+  using value_type = std::pair<AttrId, AttrId>;  ///< (key id, value id).
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Inserts or overwrites the value of `key`.
+  void Set(AttrId key, AttrId value) {
+    auto it = LowerBound(key);
+    if (it != entries_.end() && it->first == key) {
+      it->second = value;
+    } else {
+      entries_.insert(it, {key, value});
+    }
+  }
+
+  /// Removes `key`; returns false if absent.
+  bool Erase(AttrId key) {
+    auto it = LowerBound(key);
+    if (it == entries_.end() || it->first != key) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  /// The value id of `key`, or kInvalidAttrId.
+  AttrId Get(AttrId key) const {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, AttrId k) { return e.first < k; });
+    return (it != entries_.end() && it->first == key) ? it->second : kInvalidAttrId;
+  }
+
+  bool Contains(AttrId key) const { return Get(key) != kInvalidAttrId; }
+
+  /// String-keyed probe (tests / diagnostics): true if the key is present.
+  bool contains(std::string_view key) const {
+    const AttrId kid = StringInterner::Global().Find(key);
+    return kid != kInvalidAttrId && Contains(kid);
+  }
+
+  bool operator==(const AttrMap& other) const { return entries_ == other.entries_; }
+  bool operator!=(const AttrMap& other) const { return !(*this == other); }
+
+  size_t MemoryBytes() const { return entries_.capacity() * sizeof(value_type); }
+
+ private:
+  std::vector<value_type>::iterator LowerBound(AttrId key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, AttrId k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_GRAPH_ATTR_MAP_H_

@@ -8,30 +8,32 @@ namespace hgdb {
 
 namespace {
 
-// Diff helper over attribute maps: emits (owner,key,value) adds for entries of
-// `target` missing or different in `source`, and deletes for the opposite.
+AttrEntry MakeAttrEntry(uint64_t owner, AttrId key_id, AttrId value_id) {
+  return AttrEntry{owner, AttrStr(key_id), AttrStr(value_id)};
+}
+
+// Diff helper over attribute tables: emits (owner,key,value) adds for entries
+// of `target` missing or different in `source`, and deletes for the opposite.
+// Value comparison is id comparison (the interner guarantees id equality ==
+// string equality process-wide).
 template <typename OwnerId>
-void DiffAttrs(const std::unordered_map<OwnerId, AttrMap>& target,
-               const std::unordered_map<OwnerId, AttrMap>& source,
+void DiffAttrs(const FlatHashMap<OwnerId, AttrMap>& target,
+               const FlatHashMap<OwnerId, AttrMap>& source,
                std::vector<AttrEntry>* add, std::vector<AttrEntry>* del) {
   for (const auto& [owner, attrs] : target) {
-    auto sit = source.find(owner);
+    const AttrMap* sattrs = source.FindValue(owner);
     for (const auto& [k, v] : attrs) {
-      const std::string* sv = nullptr;
-      if (sit != source.end()) {
-        auto jt = sit->second.find(k);
-        if (jt != sit->second.end()) sv = &jt->second;
-      }
-      if (sv == nullptr || *sv != v) add->push_back(AttrEntry{owner, k, v});
-      if (sv != nullptr && *sv != v) del->push_back(AttrEntry{owner, k, *sv});
+      const AttrId sv = sattrs == nullptr ? kInvalidAttrId : sattrs->Get(k);
+      if (sv != v) add->push_back(MakeAttrEntry(owner, k, v));
+      if (sv != kInvalidAttrId && sv != v) del->push_back(MakeAttrEntry(owner, k, sv));
     }
   }
   for (const auto& [owner, attrs] : source) {
-    auto tit = target.find(owner);
+    const AttrMap* tattrs = target.FindValue(owner);
     for (const auto& [k, v] : attrs) {
-      bool in_target = false;
-      if (tit != target.end()) in_target = tit->second.contains(k);
-      if (!in_target) del->push_back(AttrEntry{owner, k, v});
+      if (tattrs == nullptr || !tattrs->Contains(k)) {
+        del->push_back(MakeAttrEntry(owner, k, v));
+      }
     }
   }
 }
@@ -48,24 +50,35 @@ void SortAttrEntries(std::vector<AttrEntry>* v) {
 
 Delta Delta::Between(const Snapshot& target, const Snapshot& source) {
   Delta d;
-  for (NodeId n : target.nodes()) {
-    if (!source.HasNode(n)) d.add_nodes.push_back(n);
+  // COW-shared stores are identical by construction (differential combines
+  // and filtered copies share structure until mutated) — skip them outright.
+  if (!target.SharesNodeStoreWith(source)) {
+    for (NodeId n : target.nodes()) {
+      if (!source.HasNode(n)) d.add_nodes.push_back(n);
+    }
+    for (NodeId n : source.nodes()) {
+      if (!target.HasNode(n)) d.del_nodes.push_back(n);
+    }
   }
-  for (NodeId n : source.nodes()) {
-    if (!target.HasNode(n)) d.del_nodes.push_back(n);
+  if (!target.SharesEdgeStoreWith(source)) {
+    for (const auto& [id, rec] : target.edges()) {
+      const EdgeRecord* s = source.FindEdge(id);
+      if (s == nullptr) d.add_edges.emplace_back(id, rec);
+      // Ids are unique and immutable, so a shared id implies an identical
+      // record.
+    }
+    for (const auto& [id, rec] : source.edges()) {
+      if (!target.HasEdge(id)) d.del_edges.emplace_back(id, rec);
+    }
   }
-  for (const auto& [id, rec] : target.edges()) {
-    const EdgeRecord* s = source.FindEdge(id);
-    if (s == nullptr) d.add_edges.emplace_back(id, rec);
-    // Ids are unique and immutable, so a shared id implies an identical record.
+  if (!target.SharesNodeAttrStoreWith(source)) {
+    DiffAttrs(target.node_attrs(), source.node_attrs(), &d.add_node_attrs,
+              &d.del_node_attrs);
   }
-  for (const auto& [id, rec] : source.edges()) {
-    if (!target.HasEdge(id)) d.del_edges.emplace_back(id, rec);
+  if (!target.SharesEdgeAttrStoreWith(source)) {
+    DiffAttrs(target.edge_attrs(), source.edge_attrs(), &d.add_edge_attrs,
+              &d.del_edge_attrs);
   }
-  DiffAttrs(target.node_attrs(), source.node_attrs(), &d.add_node_attrs,
-            &d.del_node_attrs);
-  DiffAttrs(target.edge_attrs(), source.edge_attrs(), &d.add_edge_attrs,
-            &d.del_edge_attrs);
   d.Canonicalize();
   return d;
 }
@@ -86,10 +99,10 @@ Status Delta::ApplyTo(Snapshot* g, bool forward, unsigned components) const {
     g->ReserveAdditional(plus_nodes.size(), plus_edges.size());
   }
   if (components & kCompNodeAttr) {
-    for (const auto& a : minus_nattrs) g->RemoveNodeAttr(a.owner, a.key);
+    for (const auto& a : minus_nattrs) g->RemoveNodeAttrId(a.owner, InternAttr(a.key));
   }
   if (components & kCompEdgeAttr) {
-    for (const auto& a : minus_eattrs) g->RemoveEdgeAttr(a.owner, a.key);
+    for (const auto& a : minus_eattrs) g->RemoveEdgeAttrId(a.owner, InternAttr(a.key));
   }
   if (components & kCompStruct) {
     for (const auto& [id, rec] : minus_edges) {
@@ -118,10 +131,14 @@ Status Delta::ApplyTo(Snapshot* g, bool forward, unsigned components) const {
     }
   }
   if (components & kCompNodeAttr) {
-    for (const auto& a : plus_nattrs) g->SetNodeAttr(a.owner, a.key, a.value);
+    for (const auto& a : plus_nattrs) {
+      g->SetNodeAttrId(a.owner, InternAttr(a.key), InternAttr(a.value));
+    }
   }
   if (components & kCompEdgeAttr) {
-    for (const auto& a : plus_eattrs) g->SetEdgeAttr(a.owner, a.key, a.value);
+    for (const auto& a : plus_eattrs) {
+      g->SetEdgeAttrId(a.owner, InternAttr(a.key), InternAttr(a.value));
+    }
   }
   return Status::OK();
 }

@@ -12,7 +12,10 @@
 
 namespace hgdb {
 
-/// One attribute element `(owner id, key, value)`.
+/// One attribute element `(owner id, key, value)`. Strings, not AttrIds:
+/// deltas are the serialization unit and their bytes must not depend on the
+/// process-local interning order. ApplyTo re-interns through the interner's
+/// lock-free hit path, which is a hash + probe per entry.
 struct AttrEntry {
   uint64_t owner = 0;
   std::string key;

@@ -4,32 +4,99 @@
 
 namespace hgdb {
 
+const Snapshot::NodeSet& Snapshot::EmptyNodes() {
+  static const NodeSet* empty = new NodeSet();
+  return *empty;
+}
+const Snapshot::EdgeMap& Snapshot::EmptyEdges() {
+  static const EdgeMap* empty = new EdgeMap();
+  return *empty;
+}
+const Snapshot::NodeAttrTable& Snapshot::EmptyNodeAttrs() {
+  static const NodeAttrTable* empty = new NodeAttrTable();
+  return *empty;
+}
+const Snapshot::EdgeAttrTable& Snapshot::EmptyEdgeAttrs() {
+  static const EdgeAttrTable* empty = new EdgeAttrTable();
+  return *empty;
+}
+
+void Snapshot::SetNodeAttrId(NodeId n, AttrId key, AttrId value) {
+  if (SoleOwner(node_attrs_)) {
+    (*node_attrs_)[n].Set(key, value);
+    return;
+  }
+  // Shared store: skip the COW clone when the write would be a no-op
+  // (common during idempotent replays and union-style combines).
+  if (GetNodeAttrValueId(n, key) == value) return;
+  (*MutableNodeAttrs())[n].Set(key, value);
+}
+
+void Snapshot::SetEdgeAttrId(EdgeId e, AttrId key, AttrId value) {
+  if (SoleOwner(edge_attrs_)) {
+    (*edge_attrs_)[e].Set(key, value);
+    return;
+  }
+  if (GetEdgeAttrValueId(e, key) == value) return;
+  (*MutableEdgeAttrs())[e].Set(key, value);
+}
+
+bool Snapshot::RemoveNodeAttrId(NodeId n, AttrId key) {
+  if (SoleOwner(node_attrs_)) {
+    AttrMap* mine = node_attrs_->FindValue(n);
+    if (mine == nullptr || !mine->Erase(key)) return false;
+    if (mine->empty()) node_attrs_->erase(n);
+    return true;
+  }
+  const AttrMap* attrs = GetNodeAttrs(n);
+  if (attrs == nullptr || !attrs->Contains(key)) return false;
+  NodeAttrTable* table = MutableNodeAttrs();
+  AttrMap* mine = table->FindValue(n);
+  mine->Erase(key);
+  if (mine->empty()) table->erase(n);
+  return true;
+}
+
+bool Snapshot::RemoveEdgeAttrId(EdgeId e, AttrId key) {
+  if (SoleOwner(edge_attrs_)) {
+    AttrMap* mine = edge_attrs_->FindValue(e);
+    if (mine == nullptr || !mine->Erase(key)) return false;
+    if (mine->empty()) edge_attrs_->erase(e);
+    return true;
+  }
+  const AttrMap* attrs = GetEdgeAttrs(e);
+  if (attrs == nullptr || !attrs->Contains(key)) return false;
+  EdgeAttrTable* table = MutableEdgeAttrs();
+  AttrMap* mine = table->FindValue(e);
+  mine->Erase(key);
+  if (mine->empty()) table->erase(e);
+  return true;
+}
+
 void Snapshot::RemoveNodeAttr(NodeId n, const std::string& key) {
-  auto it = node_attrs_.find(n);
-  if (it == node_attrs_.end()) return;
-  it->second.erase(key);
-  if (it->second.empty()) node_attrs_.erase(it);
+  const AttrId kid = StringInterner::Global().Find(key);
+  if (kid == kInvalidAttrId) return;
+  RemoveNodeAttrId(n, kid);
 }
 
 const std::string* Snapshot::GetNodeAttr(NodeId n, const std::string& key) const {
-  auto it = node_attrs_.find(n);
-  if (it == node_attrs_.end()) return nullptr;
-  auto jt = it->second.find(key);
-  return jt == it->second.end() ? nullptr : &jt->second;
+  const AttrId kid = StringInterner::Global().Find(key);
+  if (kid == kInvalidAttrId) return nullptr;
+  const AttrId vid = GetNodeAttrValueId(n, kid);
+  return vid == kInvalidAttrId ? nullptr : &AttrStr(vid);
 }
 
 void Snapshot::RemoveEdgeAttr(EdgeId e, const std::string& key) {
-  auto it = edge_attrs_.find(e);
-  if (it == edge_attrs_.end()) return;
-  it->second.erase(key);
-  if (it->second.empty()) edge_attrs_.erase(it);
+  const AttrId kid = StringInterner::Global().Find(key);
+  if (kid == kInvalidAttrId) return;
+  RemoveEdgeAttrId(e, kid);
 }
 
 const std::string* Snapshot::GetEdgeAttr(EdgeId e, const std::string& key) const {
-  auto it = edge_attrs_.find(e);
-  if (it == edge_attrs_.end()) return nullptr;
-  auto jt = it->second.find(key);
-  return jt == it->second.end() ? nullptr : &jt->second;
+  const AttrId kid = StringInterner::Global().Find(key);
+  if (kid == kInvalidAttrId) return nullptr;
+  const AttrId vid = GetEdgeAttrValueId(e, kid);
+  return vid == kInvalidAttrId ? nullptr : &AttrStr(vid);
 }
 
 namespace {
@@ -54,7 +121,7 @@ Status Snapshot::Apply(const Event& e, bool forward, unsigned components) {
       if (add) {
         if (!AddNode(e.node)) return Inconsistent(e, "node already present");
       } else {
-        if (node_attrs_.contains(e.node)) {
+        if (GetNodeAttrs(e.node) != nullptr) {
           return Inconsistent(e, "deleting node that still has attributes");
         }
         if (!RemoveNode(e.node)) return Inconsistent(e, "node absent");
@@ -71,7 +138,7 @@ Status Snapshot::Apply(const Event& e, bool forward, unsigned components) {
           return Inconsistent(e, "edge already present");
         }
       } else {
-        if (edge_attrs_.contains(e.edge)) {
+        if (GetEdgeAttrs(e.edge) != nullptr) {
           return Inconsistent(e, "deleting edge that still has attributes");
         }
         if (!RemoveEdge(e.edge)) return Inconsistent(e, "edge absent");
@@ -81,36 +148,38 @@ Status Snapshot::Apply(const Event& e, bool forward, unsigned components) {
     case EventType::kNodeAttr: {
       const auto& before = forward ? e.old_value : e.new_value;
       const auto& after = forward ? e.new_value : e.old_value;
-      const std::string* current = GetNodeAttr(e.node, e.key);
+      const AttrId kid = InternAttr(e.key);
+      const AttrId current = GetNodeAttrValueId(e.node, kid);
       if (before.has_value()) {
-        if (current == nullptr || *current != *before) {
+        if (current == kInvalidAttrId || AttrStr(current) != *before) {
           return Inconsistent(e, "node attr old value mismatch");
         }
-      } else if (current != nullptr) {
+      } else if (current != kInvalidAttrId) {
         return Inconsistent(e, "node attr unexpectedly present");
       }
       if (after.has_value()) {
-        SetNodeAttr(e.node, e.key, *after);
+        SetNodeAttrId(e.node, kid, InternAttr(*after));
       } else {
-        RemoveNodeAttr(e.node, e.key);
+        RemoveNodeAttrId(e.node, kid);
       }
       return Status::OK();
     }
     case EventType::kEdgeAttr: {
       const auto& before = forward ? e.old_value : e.new_value;
       const auto& after = forward ? e.new_value : e.old_value;
-      const std::string* current = GetEdgeAttr(e.edge, e.key);
+      const AttrId kid = InternAttr(e.key);
+      const AttrId current = GetEdgeAttrValueId(e.edge, kid);
       if (before.has_value()) {
-        if (current == nullptr || *current != *before) {
+        if (current == kInvalidAttrId || AttrStr(current) != *before) {
           return Inconsistent(e, "edge attr old value mismatch");
         }
-      } else if (current != nullptr) {
+      } else if (current != kInvalidAttrId) {
         return Inconsistent(e, "edge attr unexpectedly present");
       }
       if (after.has_value()) {
-        SetEdgeAttr(e.edge, e.key, *after);
+        SetEdgeAttrId(e.edge, kid, InternAttr(*after));
       } else {
-        RemoveEdgeAttr(e.edge, e.key);
+        RemoveEdgeAttrId(e.edge, kid);
       }
       return Status::OK();
     }
@@ -135,19 +204,25 @@ Status Snapshot::ApplyAll(const std::vector<Event>& events, bool forward,
 
 size_t Snapshot::NodeAttrCount() const {
   size_t n = 0;
-  for (const auto& [id, attrs] : node_attrs_) n += attrs.size();
+  for (const auto& [id, attrs] : node_attrs()) n += attrs.size();
   return n;
 }
 
 size_t Snapshot::EdgeAttrCount() const {
   size_t n = 0;
-  for (const auto& [id, attrs] : edge_attrs_) n += attrs.size();
+  for (const auto& [id, attrs] : edge_attrs()) n += attrs.size();
   return n;
 }
 
 bool Snapshot::Equals(const Snapshot& other) const {
-  return nodes_ == other.nodes_ && edges_ == other.edges_ &&
-         node_attrs_ == other.node_attrs_ && edge_attrs_ == other.edge_attrs_;
+  const bool nodes_eq = nodes_ == other.nodes_ || nodes() == other.nodes();
+  if (!nodes_eq) return false;
+  const bool edges_eq = edges_ == other.edges_ || edges() == other.edges();
+  if (!edges_eq) return false;
+  const bool nattrs_eq =
+      node_attrs_ == other.node_attrs_ || node_attrs() == other.node_attrs();
+  if (!nattrs_eq) return false;
+  return edge_attrs_ == other.edge_attrs_ || edge_attrs() == other.edge_attrs();
 }
 
 std::string Snapshot::DiffString(const Snapshot& other, size_t limit) const {
@@ -157,13 +232,13 @@ std::string Snapshot::DiffString(const Snapshot& other, size_t limit) const {
     if (shown < limit) os << s << "\n";
     ++shown;
   };
-  for (NodeId n : nodes_) {
+  for (NodeId n : nodes()) {
     if (!other.HasNode(n)) note("node " + std::to_string(n) + " only in lhs");
   }
-  for (NodeId n : other.nodes_) {
+  for (NodeId n : other.nodes()) {
     if (!HasNode(n)) note("node " + std::to_string(n) + " only in rhs");
   }
-  for (const auto& [id, rec] : edges_) {
+  for (const auto& [id, rec] : edges()) {
     auto* o = other.FindEdge(id);
     if (o == nullptr) {
       note("edge " + std::to_string(id) + " only in lhs");
@@ -171,40 +246,40 @@ std::string Snapshot::DiffString(const Snapshot& other, size_t limit) const {
       note("edge " + std::to_string(id) + " differs");
     }
   }
-  for (const auto& [id, rec] : other.edges_) {
+  for (const auto& [id, rec] : other.edges()) {
     if (!HasEdge(id)) note("edge " + std::to_string(id) + " only in rhs");
   }
-  for (const auto& [id, attrs] : node_attrs_) {
+  for (const auto& [id, attrs] : node_attrs()) {
     for (const auto& [k, v] : attrs) {
-      const std::string* o = other.GetNodeAttr(id, k);
-      if (o == nullptr) {
-        note("nattr (" + std::to_string(id) + "," + k + ") only in lhs");
-      } else if (*o != v) {
-        note("nattr (" + std::to_string(id) + "," + k + ") value differs");
+      const AttrId o = other.GetNodeAttrValueId(id, k);
+      if (o == kInvalidAttrId) {
+        note("nattr (" + std::to_string(id) + "," + AttrStr(k) + ") only in lhs");
+      } else if (o != v) {
+        note("nattr (" + std::to_string(id) + "," + AttrStr(k) + ") value differs");
       }
     }
   }
-  for (const auto& [id, attrs] : other.node_attrs_) {
+  for (const auto& [id, attrs] : other.node_attrs()) {
     for (const auto& [k, v] : attrs) {
-      if (GetNodeAttr(id, k) == nullptr) {
-        note("nattr (" + std::to_string(id) + "," + k + ") only in rhs");
+      if (GetNodeAttrValueId(id, k) == kInvalidAttrId) {
+        note("nattr (" + std::to_string(id) + "," + AttrStr(k) + ") only in rhs");
       }
     }
   }
-  for (const auto& [id, attrs] : edge_attrs_) {
+  for (const auto& [id, attrs] : edge_attrs()) {
     for (const auto& [k, v] : attrs) {
-      const std::string* o = other.GetEdgeAttr(id, k);
-      if (o == nullptr) {
-        note("eattr (" + std::to_string(id) + "," + k + ") only in lhs");
-      } else if (*o != v) {
-        note("eattr (" + std::to_string(id) + "," + k + ") value differs");
+      const AttrId o = other.GetEdgeAttrValueId(id, k);
+      if (o == kInvalidAttrId) {
+        note("eattr (" + std::to_string(id) + "," + AttrStr(k) + ") only in lhs");
+      } else if (o != v) {
+        note("eattr (" + std::to_string(id) + "," + AttrStr(k) + ") value differs");
       }
     }
   }
-  for (const auto& [id, attrs] : other.edge_attrs_) {
+  for (const auto& [id, attrs] : other.edge_attrs()) {
     for (const auto& [k, v] : attrs) {
-      if (GetEdgeAttr(id, k) == nullptr) {
-        note("eattr (" + std::to_string(id) + "," + k + ") only in rhs");
+      if (GetEdgeAttrValueId(id, k) == kInvalidAttrId) {
+        note("eattr (" + std::to_string(id) + "," + AttrStr(k) + ") only in rhs");
       }
     }
   }
@@ -226,30 +301,65 @@ Snapshot Snapshot::CopyFiltered(unsigned components) const {
 }
 
 void Snapshot::AbsorbDisjoint(Snapshot&& other) {
-  nodes_.merge(other.nodes_);
-  edges_.merge(other.edges_);
-  node_attrs_.merge(other.node_attrs_);
-  edge_attrs_.merge(other.edge_attrs_);
+  auto absorb = [](auto* mine, auto&& theirs, auto&& merge) {
+    if (theirs == nullptr || theirs->empty()) return;
+    if (*mine == nullptr || (*mine)->empty()) {
+      *mine = std::move(theirs);
+      return;
+    }
+    merge();
+  };
+  absorb(&nodes_, std::move(other.nodes_), [&] {
+    NodeSet* mine = MutableNodes();
+    mine->reserve(mine->size() + other.nodes_->size());
+    for (NodeId n : *other.nodes_) mine->insert(n);
+  });
+  absorb(&edges_, std::move(other.edges_), [&] {
+    EdgeMap* mine = MutableEdges();
+    mine->reserve(mine->size() + other.edges_->size());
+    for (auto& [id, rec] : *other.edges_) mine->emplace(id, rec);
+  });
+  absorb(&node_attrs_, std::move(other.node_attrs_), [&] {
+    NodeAttrTable* mine = MutableNodeAttrs();
+    mine->reserve(mine->size() + other.node_attrs_->size());
+    // Move the maps out only when `other` solely owns its store; a COW
+    // sibling (another emit of the same plan, a materialized snapshot) may
+    // still be reading it.
+    if (other.node_attrs_.use_count() == 1) {
+      for (auto& [id, attrs] : *other.node_attrs_) mine->emplace(id, std::move(attrs));
+    } else {
+      for (const auto& [id, attrs] : *other.node_attrs_) mine->emplace(id, attrs);
+    }
+  });
+  absorb(&edge_attrs_, std::move(other.edge_attrs_), [&] {
+    EdgeAttrTable* mine = MutableEdgeAttrs();
+    mine->reserve(mine->size() + other.edge_attrs_->size());
+    if (other.edge_attrs_.use_count() == 1) {
+      for (auto& [id, attrs] : *other.edge_attrs_) mine->emplace(id, std::move(attrs));
+    } else {
+      for (const auto& [id, attrs] : *other.edge_attrs_) mine->emplace(id, attrs);
+    }
+  });
 }
 
 void Snapshot::Clear() {
-  nodes_.clear();
-  edges_.clear();
-  node_attrs_.clear();
-  edge_attrs_.clear();
+  nodes_.reset();
+  edges_.reset();
+  node_attrs_.reset();
+  edge_attrs_.reset();
 }
 
 size_t Snapshot::MemoryBytes() const {
   size_t bytes = 0;
-  bytes += nodes_.size() * (sizeof(NodeId) + sizeof(void*));
-  bytes += edges_.size() * (sizeof(EdgeId) + sizeof(EdgeRecord) + sizeof(void*));
-  for (const auto& [id, attrs] : node_attrs_) {
-    bytes += sizeof(NodeId) + sizeof(void*);
-    for (const auto& [k, v] : attrs) bytes += k.size() + v.size() + 2 * sizeof(void*);
+  if (nodes_) bytes += nodes_->TableBytes();
+  if (edges_) bytes += edges_->TableBytes();
+  if (node_attrs_) {
+    bytes += node_attrs_->TableBytes();
+    for (const auto& [id, attrs] : *node_attrs_) bytes += attrs.MemoryBytes();
   }
-  for (const auto& [id, attrs] : edge_attrs_) {
-    bytes += sizeof(EdgeId) + sizeof(void*);
-    for (const auto& [k, v] : attrs) bytes += k.size() + v.size() + 2 * sizeof(void*);
+  if (edge_attrs_) {
+    bytes += edge_attrs_->TableBytes();
+    for (const auto& [id, attrs] : *edge_attrs_) bytes += attrs.MemoryBytes();
   }
   return bytes;
 }

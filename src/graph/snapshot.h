@@ -2,14 +2,16 @@
 #define HISTGRAPH_GRAPH_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.h"
+#include "common/interner.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "graph/attr_map.h"
 #include "temporal/event.h"
 
 namespace hgdb {
@@ -25,9 +27,6 @@ struct EdgeRecord {
   }
 };
 
-/// Attribute map of a single node or edge.
-using AttrMap = std::unordered_map<std::string, std::string>;
-
 /// \brief A graph as a set of *elements* — the unit the DeltaGraph's set
 /// algebra operates on (Section 4.2).
 ///
@@ -38,46 +37,97 @@ using AttrMap = std::unordered_map<std::string, std::string>;
 /// DeltaGraph and GraphPool "treat the network as a collection of objects and
 /// do not exploit any properties of the graphical structure" — which is why
 /// the same machinery would serve a temporal relational store.
+///
+/// Representation (see src/graph/README.md for the invariants):
+///  - Attribute keys/values are interned AttrIds; the bytes live once in the
+///    process-wide StringInterner. Value equality is id equality.
+///  - The four element stores are open-addressing flat tables held through
+///    shared_ptr with copy-on-write: copying a Snapshot is O(1) and shares
+///    structure; the first mutation of a shared store clones just that store.
+///    This is what makes multipoint retrieval's per-emit copies, CopyFiltered,
+///    and GraphPool handoffs cheap — the sharing discipline of the paper's
+///    follow-up system (Khurana & Deshpande, 2015) applied in memory.
 class Snapshot {
  public:
+  using NodeSet = FlatHashSet<NodeId>;
+  using EdgeMap = FlatHashMap<EdgeId, EdgeRecord>;
+  using NodeAttrTable = FlatHashMap<NodeId, AttrMap>;
+  using EdgeAttrTable = FlatHashMap<EdgeId, AttrMap>;
+
   Snapshot() = default;
+  Snapshot(const Snapshot&) = default;             // O(1): shares all stores.
+  Snapshot& operator=(const Snapshot&) = default;  // O(1): shares all stores.
+  Snapshot(Snapshot&&) = default;
+  Snapshot& operator=(Snapshot&&) = default;
 
   // -- Structure ------------------------------------------------------------
-  bool HasNode(NodeId n) const { return nodes_.contains(n); }
-  bool HasEdge(EdgeId e) const { return edges_.contains(e); }
+  bool HasNode(NodeId n) const { return nodes_ && nodes_->contains(n); }
+  bool HasEdge(EdgeId e) const { return edges_ && edges_->contains(e); }
+  /// The record of edge `e`, or nullptr. Invalidated by any mutation of this
+  /// snapshot's edge store (flat tables move elements on rehash/erase).
   const EdgeRecord* FindEdge(EdgeId e) const {
-    auto it = edges_.find(e);
-    return it == edges_.end() ? nullptr : &it->second;
+    return edges_ ? edges_->FindValue(e) : nullptr;
   }
 
   /// Adds a node; returns false if already present.
-  bool AddNode(NodeId n) { return nodes_.insert(n).second; }
+  bool AddNode(NodeId n) {
+    if (SoleOwner(nodes_)) return nodes_->insert(n);  // Single probe.
+    if (HasNode(n)) return false;  // No-op: don't break sharing.
+    return MutableNodes()->insert(n);
+  }
   /// Removes a node; returns false if absent. Does not touch attributes or
   /// incident edges — the event protocol guarantees they were removed first.
-  bool RemoveNode(NodeId n) { return nodes_.erase(n) > 0; }
-  bool AddEdge(EdgeId e, const EdgeRecord& rec) { return edges_.emplace(e, rec).second; }
-  bool RemoveEdge(EdgeId e) { return edges_.erase(e) > 0; }
+  bool RemoveNode(NodeId n) {
+    if (SoleOwner(nodes_)) return nodes_->erase(n);
+    if (!HasNode(n)) return false;
+    return MutableNodes()->erase(n);
+  }
+  bool AddEdge(EdgeId e, const EdgeRecord& rec) {
+    if (SoleOwner(edges_)) return edges_->emplace(e, rec).second;
+    if (HasEdge(e)) return false;
+    return MutableEdges()->emplace(e, rec).second;
+  }
+  bool RemoveEdge(EdgeId e) {
+    if (SoleOwner(edges_)) return edges_->erase(e);
+    if (!HasEdge(e)) return false;
+    return MutableEdges()->erase(e);
+  }
 
   // -- Attributes -----------------------------------------------------------
   /// Sets (inserting or overwriting) a node attribute.
-  void SetNodeAttr(NodeId n, const std::string& key, std::string value) {
-    node_attrs_[n][key] = std::move(value);
+  void SetNodeAttr(NodeId n, const std::string& key, const std::string& value) {
+    SetNodeAttrId(n, InternAttr(key), InternAttr(value));
   }
   void RemoveNodeAttr(NodeId n, const std::string& key);
   const std::string* GetNodeAttr(NodeId n, const std::string& key) const;
+  /// The attribute map of `n`, or nullptr. Invalidated by mutation (COW clone
+  /// or rehash) — copy it if you mutate this snapshot while holding it.
   const AttrMap* GetNodeAttrs(NodeId n) const {
-    auto it = node_attrs_.find(n);
-    return it == node_attrs_.end() ? nullptr : &it->second;
+    return node_attrs_ ? node_attrs_->FindValue(n) : nullptr;
   }
 
-  void SetEdgeAttr(EdgeId e, const std::string& key, std::string value) {
-    edge_attrs_[e][key] = std::move(value);
+  void SetEdgeAttr(EdgeId e, const std::string& key, const std::string& value) {
+    SetEdgeAttrId(e, InternAttr(key), InternAttr(value));
   }
   void RemoveEdgeAttr(EdgeId e, const std::string& key);
   const std::string* GetEdgeAttr(EdgeId e, const std::string& key) const;
   const AttrMap* GetEdgeAttrs(EdgeId e) const {
-    auto it = edge_attrs_.find(e);
-    return it == edge_attrs_.end() ? nullptr : &it->second;
+    return edge_attrs_ ? edge_attrs_->FindValue(e) : nullptr;
+  }
+
+  // -- Interned-id attribute API (hot paths skip the string round-trip) ------
+  void SetNodeAttrId(NodeId n, AttrId key, AttrId value);
+  void SetEdgeAttrId(EdgeId e, AttrId key, AttrId value);
+  bool RemoveNodeAttrId(NodeId n, AttrId key);
+  bool RemoveEdgeAttrId(EdgeId e, AttrId key);
+  /// Value id of the attribute, or kInvalidAttrId if absent.
+  AttrId GetNodeAttrValueId(NodeId n, AttrId key) const {
+    const AttrMap* attrs = GetNodeAttrs(n);
+    return attrs == nullptr ? kInvalidAttrId : attrs->Get(key);
+  }
+  AttrId GetEdgeAttrValueId(EdgeId e, AttrId key) const {
+    const AttrMap* attrs = GetEdgeAttrs(e);
+    return attrs == nullptr ? kInvalidAttrId : attrs->Get(key);
   }
 
   // -- Event application ----------------------------------------------------
@@ -94,13 +144,17 @@ class Snapshot {
                   unsigned components = kCompAll);
 
   // -- Introspection --------------------------------------------------------
-  const std::unordered_set<NodeId>& nodes() const { return nodes_; }
-  const std::unordered_map<EdgeId, EdgeRecord>& edges() const { return edges_; }
-  const std::unordered_map<NodeId, AttrMap>& node_attrs() const { return node_attrs_; }
-  const std::unordered_map<EdgeId, AttrMap>& edge_attrs() const { return edge_attrs_; }
+  const NodeSet& nodes() const { return nodes_ ? *nodes_ : EmptyNodes(); }
+  const EdgeMap& edges() const { return edges_ ? *edges_ : EmptyEdges(); }
+  const NodeAttrTable& node_attrs() const {
+    return node_attrs_ ? *node_attrs_ : EmptyNodeAttrs();
+  }
+  const EdgeAttrTable& edge_attrs() const {
+    return edge_attrs_ ? *edge_attrs_ : EmptyEdgeAttrs();
+  }
 
-  size_t NodeCount() const { return nodes_.size(); }
-  size_t EdgeCount() const { return edges_.size(); }
+  size_t NodeCount() const { return nodes_ ? nodes_->size() : 0; }
+  size_t EdgeCount() const { return edges_ ? edges_->size() : 0; }
   size_t NodeAttrCount() const;
   size_t EdgeAttrCount() const;
   /// Total element count |G| used by the analytical models of Section 5.
@@ -108,17 +162,20 @@ class Snapshot {
     return NodeCount() + EdgeCount() + NodeAttrCount() + EdgeAttrCount();
   }
 
-  bool Empty() const { return nodes_.empty() && edges_.empty(); }
+  bool Empty() const { return NodeCount() == 0 && EdgeCount() == 0; }
 
   /// Element-wise equality (the correctness oracle of the test suite).
+  /// Shared stores short-circuit by pointer identity.
   bool Equals(const Snapshot& other) const;
 
   /// Returns a copy containing only the selected components (e.g. structure
   /// without attributes, for structure-only retrieval from a full snapshot).
+  /// O(1): the returned snapshot shares the selected stores.
   Snapshot CopyFiltered(unsigned components) const;
 
   /// Merges another snapshot whose ids are disjoint from this one (used to
-  /// combine per-partition retrieval results).
+  /// combine per-partition retrieval results). Steals the other's stores
+  /// outright when this side is empty.
   void AbsorbDisjoint(Snapshot&& other);
 
   /// Returns a human-readable diff of up to `limit` differing elements
@@ -130,18 +187,68 @@ class Snapshot {
   /// Pre-sizes the structure tables for `nodes` / `edges` additional entries
   /// (bulk delta application avoids rehash churn this way).
   void ReserveAdditional(size_t nodes, size_t edges) {
-    nodes_.reserve(nodes_.size() + nodes);
-    edges_.reserve(edges_.size() + edges);
+    if (nodes > 0) MutableNodes()->reserve(NodeCount() + nodes);
+    if (edges > 0) MutableEdges()->reserve(EdgeCount() + edges);
   }
 
-  /// Approximate heap usage in bytes (memory-accounting benches).
+  /// Approximate heap usage in bytes (memory-accounting benches). Counts each
+  /// store this snapshot references, whether or not it is shared; interned
+  /// string bytes are global and not included.
   size_t MemoryBytes() const;
 
+  // -- Copy-on-write introspection (tests / benches) -------------------------
+  /// True if both snapshots reference the same store object for every
+  /// component they hold (i.e. a copy that has not diverged).
+  bool SharesAllStoresWith(const Snapshot& other) const {
+    return nodes_ == other.nodes_ && edges_ == other.edges_ &&
+           node_attrs_ == other.node_attrs_ && edge_attrs_ == other.edge_attrs_;
+  }
+  bool SharesNodeStoreWith(const Snapshot& other) const {
+    return nodes_ == other.nodes_;
+  }
+  bool SharesEdgeStoreWith(const Snapshot& other) const {
+    return edges_ == other.edges_;
+  }
+  bool SharesNodeAttrStoreWith(const Snapshot& other) const {
+    return node_attrs_ == other.node_attrs_;
+  }
+  bool SharesEdgeAttrStoreWith(const Snapshot& other) const {
+    return edge_attrs_ == other.edge_attrs_;
+  }
+
  private:
-  std::unordered_set<NodeId> nodes_;
-  std::unordered_map<EdgeId, EdgeRecord> edges_;
-  std::unordered_map<NodeId, AttrMap> node_attrs_;
-  std::unordered_map<EdgeId, AttrMap> edge_attrs_;
+  static const NodeSet& EmptyNodes();
+  static const EdgeMap& EmptyEdges();
+  static const NodeAttrTable& EmptyNodeAttrs();
+  static const EdgeAttrTable& EmptyEdgeAttrs();
+
+  // Copy-on-write gates: allocate on first write, clone on first write to a
+  // shared store. All mutations funnel through these. Mutators first try the
+  // SoleOwner fast path (uniquely-owned store: write straight through, one
+  // probe); the shared path re-checks for no-ops before cloning so that
+  // no-op writes never break sharing.
+  template <typename T>
+  static bool SoleOwner(const std::shared_ptr<T>& store) {
+    return store != nullptr && store.use_count() == 1;
+  }
+  template <typename T>
+  static T* Mutable(std::shared_ptr<T>* store) {
+    if (*store == nullptr) {
+      *store = std::make_shared<T>();
+    } else if (store->use_count() > 1) {
+      *store = std::make_shared<T>(**store);
+    }
+    return store->get();
+  }
+  NodeSet* MutableNodes() { return Mutable(&nodes_); }
+  EdgeMap* MutableEdges() { return Mutable(&edges_); }
+  NodeAttrTable* MutableNodeAttrs() { return Mutable(&node_attrs_); }
+  EdgeAttrTable* MutableEdgeAttrs() { return Mutable(&edge_attrs_); }
+
+  std::shared_ptr<NodeSet> nodes_;
+  std::shared_ptr<EdgeMap> edges_;
+  std::shared_ptr<NodeAttrTable> node_attrs_;
+  std::shared_ptr<EdgeAttrTable> edge_attrs_;
 };
 
 }  // namespace hgdb

@@ -90,8 +90,8 @@ GraphPool::EdgeEntry* GraphPool::EnsureEdge(EdgeId e, const EdgeRecord& rec) {
   return &it->second;
 }
 
-void GraphPool::SetAttrValue(PoolAttrs* attrs, const std::string& key,
-                             const std::string& value, PoolGraphId id) {
+void GraphPool::SetAttrValue(PoolAttrs* attrs, AttrId key, AttrId value,
+                             PoolGraphId id) {
   auto& variants = (*attrs)[key];
   // A graph holds at most one value per attribute: clear membership from any
   // other variant this graph currently sees (including inherited ones).
@@ -110,15 +110,14 @@ void GraphPool::SetAttrValue(PoolAttrs* attrs, const std::string& key,
   SetMembership(&variants.back().bm, id, true);
 }
 
-const std::string* GraphPool::FindAttrValue(const PoolAttrs& attrs,
-                                            const std::string& key,
-                                            PoolGraphId id) const {
+AttrId GraphPool::FindAttrValue(const PoolAttrs& attrs, AttrId key,
+                                PoolGraphId id) const {
   auto it = attrs.find(key);
-  if (it == attrs.end()) return nullptr;
+  if (it == attrs.end()) return kInvalidAttrId;
   for (const auto& variant : it->second) {
-    if (MemberOf(variant.bm, id)) return &variant.value;
+    if (MemberOf(variant.bm, id)) return variant.value;
   }
-  return nullptr;
+  return kInvalidAttrId;
 }
 
 // ---------------------------------------------------------------------------
@@ -130,7 +129,9 @@ void GraphPool::InitCurrent(const Snapshot& g) {
   for (const auto& [id, rec] : g.edges()) EnsureEdge(id, rec)->bm.Set(0);
   for (const auto& [n, attrs] : g.node_attrs()) {
     NodeEntry* entry = EnsureNode(n);
-    for (const auto& [k, v] : attrs) SetAttrValue(&entry->attrs, k, v, kCurrentGraph);
+    for (const auto& [k, v] : attrs) {
+      SetAttrValue(&entry->attrs, k, v, kCurrentGraph);
+    }
   }
   for (const auto& [e, attrs] : g.edge_attrs()) {
     auto it = edges_.find(e);
@@ -166,12 +167,14 @@ Status GraphPool::ApplyEventToCurrent(const Event& e) {
     case EventType::kNodeAttr: {
       NodeEntry* entry = EnsureNode(e.node);
       if (e.new_value.has_value()) {
-        SetAttrValue(&entry->attrs, e.key, *e.new_value, kCurrentGraph);
+        SetAttrValue(&entry->attrs, InternAttr(e.key), InternAttr(*e.new_value),
+                     kCurrentGraph);
       } else if (e.old_value.has_value()) {
-        auto it = entry->attrs.find(e.key);
+        auto it = entry->attrs.find(InternAttr(e.key));
         if (it != entry->attrs.end()) {
+          const AttrId old_id = InternAttr(*e.old_value);
           for (auto& variant : it->second) {
-            if (variant.value == *e.old_value) {
+            if (variant.value == old_id) {
               variant.bm.Set(0, false);
               variant.bm.Set(1, true);
             }
@@ -186,12 +189,14 @@ Status GraphPool::ApplyEventToCurrent(const Event& e) {
         return Status::InvalidArgument("attr update of unknown edge");
       }
       if (e.new_value.has_value()) {
-        SetAttrValue(&eit->second.attrs, e.key, *e.new_value, kCurrentGraph);
+        SetAttrValue(&eit->second.attrs, InternAttr(e.key), InternAttr(*e.new_value),
+                     kCurrentGraph);
       } else if (e.old_value.has_value()) {
-        auto it = eit->second.attrs.find(e.key);
+        auto it = eit->second.attrs.find(InternAttr(e.key));
         if (it != eit->second.attrs.end()) {
+          const AttrId old_id = InternAttr(*e.old_value);
           for (auto& variant : it->second) {
-            if (variant.value == *e.old_value) {
+            if (variant.value == old_id) {
               variant.bm.Set(0, false);
               variant.bm.Set(1, true);
             }
@@ -234,12 +239,16 @@ Result<PoolGraphId> GraphPool::OverlayHistorical(const Snapshot& g) {
   }
   for (const auto& [n, attrs] : g.node_attrs()) {
     NodeEntry* entry = EnsureNode(n);
-    for (const auto& [k, v] : attrs) SetAttrValue(&entry->attrs, k, v, id);
+    for (const auto& [k, v] : attrs) {
+      SetAttrValue(&entry->attrs, k, v, id);
+    }
   }
   for (const auto& [e, attrs] : g.edge_attrs()) {
     auto it = edges_.find(e);
     if (it == edges_.end()) continue;
-    for (const auto& [k, v] : attrs) SetAttrValue(&it->second.attrs, k, v, id);
+    for (const auto& [k, v] : attrs) {
+      SetAttrValue(&it->second.attrs, k, v, id);
+    }
   }
   return id;
 }
@@ -262,31 +271,35 @@ Result<PoolGraphId> GraphPool::OverlayDependent(PoolGraphId base, const Delta& d
     auto it = edges_.find(e);
     if (it != edges_.end()) SetMembership(&it->second.bm, id, false);
   }
+  auto key_of = [](const AttrEntry& a) { return InternAttr(a.key); };
+  auto value_of = [](const AttrEntry& a) { return InternAttr(a.value); };
   for (const auto& a : diff.del_node_attrs) {
     auto nit = nodes_.find(a.owner);
     if (nit == nodes_.end()) continue;
-    auto it = nit->second.attrs.find(a.key);
+    auto it = nit->second.attrs.find(key_of(a));
     if (it == nit->second.attrs.end()) continue;
+    const AttrId vid = value_of(a);
     for (auto& variant : it->second) {
-      if (variant.value == a.value) SetMembership(&variant.bm, id, false);
+      if (variant.value == vid) SetMembership(&variant.bm, id, false);
     }
   }
   for (const auto& a : diff.add_node_attrs) {
-    SetAttrValue(&EnsureNode(a.owner)->attrs, a.key, a.value, id);
+    SetAttrValue(&EnsureNode(a.owner)->attrs, key_of(a), value_of(a), id);
   }
   for (const auto& a : diff.del_edge_attrs) {
     auto eit = edges_.find(a.owner);
     if (eit == edges_.end()) continue;
-    auto it = eit->second.attrs.find(a.key);
+    auto it = eit->second.attrs.find(key_of(a));
     if (it == eit->second.attrs.end()) continue;
+    const AttrId vid = value_of(a);
     for (auto& variant : it->second) {
-      if (variant.value == a.value) SetMembership(&variant.bm, id, false);
+      if (variant.value == vid) SetMembership(&variant.bm, id, false);
     }
   }
   for (const auto& a : diff.add_edge_attrs) {
     auto eit = edges_.find(a.owner);
     if (eit == edges_.end()) continue;
-    SetAttrValue(&eit->second.attrs, a.key, a.value, id);
+    SetAttrValue(&eit->second.attrs, key_of(a), value_of(a), id);
   }
   return id;
 }
@@ -299,12 +312,16 @@ Result<PoolGraphId> GraphPool::OverlayMaterialized(const Snapshot& g) {
   }
   for (const auto& [n, attrs] : g.node_attrs()) {
     NodeEntry* entry = EnsureNode(n);
-    for (const auto& [k, v] : attrs) SetAttrValue(&entry->attrs, k, v, id);
+    for (const auto& [k, v] : attrs) {
+      SetAttrValue(&entry->attrs, k, v, id);
+    }
   }
   for (const auto& [e, attrs] : g.edge_attrs()) {
     auto it = edges_.find(e);
     if (it == edges_.end()) continue;
-    for (const auto& [k, v] : attrs) SetAttrValue(&it->second.attrs, k, v, id);
+    for (const auto& [k, v] : attrs) {
+      SetAttrValue(&it->second.attrs, k, v, id);
+    }
   }
   return id;
 }
@@ -325,16 +342,22 @@ bool GraphPool::ContainsEdge(PoolGraphId id, EdgeId e) const {
 
 const std::string* GraphPool::GetNodeAttr(PoolGraphId id, NodeId n,
                                           const std::string& key) const {
+  const AttrId kid = StringInterner::Global().Find(key);
+  if (kid == kInvalidAttrId) return nullptr;
   auto it = nodes_.find(n);
   if (it == nodes_.end()) return nullptr;
-  return FindAttrValue(it->second.attrs, key, id);
+  const AttrId vid = FindAttrValue(it->second.attrs, kid, id);
+  return vid == kInvalidAttrId ? nullptr : &AttrStr(vid);
 }
 
 const std::string* GraphPool::GetEdgeAttr(PoolGraphId id, EdgeId e,
                                           const std::string& key) const {
+  const AttrId kid = StringInterner::Global().Find(key);
+  if (kid == kInvalidAttrId) return nullptr;
   auto it = edges_.find(e);
   if (it == edges_.end()) return nullptr;
-  return FindAttrValue(it->second.attrs, key, id);
+  const AttrId vid = FindAttrValue(it->second.attrs, kid, id);
+  return vid == kInvalidAttrId ? nullptr : &AttrStr(vid);
 }
 
 const EdgeRecord* GraphPool::FindEdge(EdgeId e) const {
@@ -350,7 +373,7 @@ Snapshot GraphPool::ExtractSnapshot(PoolGraphId id) const {
     if (MemberOf(entry.bm, id)) out.AddNode(n);
     for (const auto& [k, variants] : entry.attrs) {
       for (const auto& variant : variants) {
-        if (MemberOf(variant.bm, id)) out.SetNodeAttr(n, k, variant.value);
+        if (MemberOf(variant.bm, id)) out.SetNodeAttrId(n, k, variant.value);
       }
     }
   }
@@ -358,7 +381,7 @@ Snapshot GraphPool::ExtractSnapshot(PoolGraphId id) const {
     if (MemberOf(entry.bm, id)) out.AddEdge(e, entry.rec);
     for (const auto& [k, variants] : entry.attrs) {
       for (const auto& variant : variants) {
-        if (MemberOf(variant.bm, id)) out.SetEdgeAttr(e, k, variant.value);
+        if (MemberOf(variant.bm, id)) out.SetEdgeAttrId(e, k, variant.value);
       }
     }
   }
@@ -476,18 +499,18 @@ size_t GraphPool::MemoryBytes() const {
   for (const auto& [n, entry] : nodes_) {
     bytes += sizeof(NodeId) + sizeof(NodeEntry) + entry.bm.MemoryBytes();
     for (const auto& [k, variants] : entry.attrs) {
-      bytes += k.size();
+      bytes += sizeof(AttrId);
       for (const auto& v : variants) {
-        bytes += v.value.size() + v.bm.MemoryBytes() + sizeof(AttrValue);
+        bytes += v.bm.MemoryBytes() + sizeof(AttrValue);
       }
     }
   }
   for (const auto& [e, entry] : edges_) {
     bytes += sizeof(EdgeId) + sizeof(EdgeEntry) + entry.bm.MemoryBytes();
     for (const auto& [k, variants] : entry.attrs) {
-      bytes += k.size();
+      bytes += sizeof(AttrId);
       for (const auto& v : variants) {
-        bytes += v.value.size() + v.bm.MemoryBytes() + sizeof(AttrValue);
+        bytes += v.bm.MemoryBytes() + sizeof(AttrValue);
       }
     }
   }

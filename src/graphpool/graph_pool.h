@@ -131,11 +131,15 @@ class GraphPool {
  private:
   friend class HistGraphView;
 
+  /// One attribute value *variant* (Section 6: a graph holds at most one
+  /// value per attribute; the pool holds every value any resident graph has,
+  /// each with its own membership bitmap). Values are interned ids — the
+  /// same id space Snapshots use, so overlaying never touches string bytes.
   struct AttrValue {
-    std::string value;
+    AttrId value = kInvalidAttrId;
     DynamicBitset bm;
   };
-  using PoolAttrs = std::unordered_map<std::string, std::vector<AttrValue>>;
+  using PoolAttrs = std::unordered_map<AttrId, std::vector<AttrValue>>;
 
   struct NodeEntry {
     DynamicBitset bm;
@@ -157,10 +161,9 @@ class GraphPool {
 
   NodeEntry* EnsureNode(NodeId n);
   EdgeEntry* EnsureEdge(EdgeId e, const EdgeRecord& rec);
-  void SetAttrValue(PoolAttrs* attrs, const std::string& key, const std::string& value,
-                    PoolGraphId id);
-  const std::string* FindAttrValue(const PoolAttrs& attrs, const std::string& key,
-                                   PoolGraphId id) const;
+  void SetAttrValue(PoolAttrs* attrs, AttrId key, AttrId value, PoolGraphId id);
+  /// The value id of `key` in graph `id`, or kInvalidAttrId.
+  AttrId FindAttrValue(const PoolAttrs& attrs, AttrId key, PoolGraphId id) const;
 
   std::vector<SlotInfo> slots_;
   std::vector<int> free_bits_;

@@ -52,11 +52,11 @@ void TraceWorld::DeleteEdge(Timestamp t, EdgeId e, std::vector<Event>* out) {
   if (const AttrMap* attrs = graph_.GetEdgeAttrs(e)) {
     const AttrMap attrs_copy = *attrs;
     for (const auto& [k, v] : attrs_copy) {
-      Event ev = Event::SetEdgeAttr(t, e, k, v, std::nullopt);
+      Event ev = Event::SetEdgeAttr(t, e, AttrStr(k), AttrStr(v), std::nullopt);
       ev.src = copy.src;
       ev.dst = copy.dst;
       out->push_back(std::move(ev));
-      graph_.RemoveEdgeAttr(e, k);
+      graph_.RemoveEdgeAttrId(e, k);
     }
   }
   out->push_back(Event::DeleteEdge(t, e, copy.src, copy.dst, copy.directed));
@@ -89,8 +89,8 @@ bool TraceWorld::DeleteRandomNode(Timestamp t, std::vector<Event>* out) {
   if (const AttrMap* attrs = graph_.GetNodeAttrs(n)) {
     const AttrMap attrs_copy = *attrs;
     for (const auto& [k, v] : attrs_copy) {
-      out->push_back(Event::SetNodeAttr(t, n, k, v, std::nullopt));
-      graph_.RemoveNodeAttr(n, k);
+      out->push_back(Event::SetNodeAttr(t, n, AttrStr(k), AttrStr(v), std::nullopt));
+      graph_.RemoveNodeAttrId(n, k);
     }
   }
   out->push_back(Event::DeleteNode(t, n));

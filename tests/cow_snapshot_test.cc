@@ -1,0 +1,427 @@
+// Coverage for the copy-on-write Snapshot core: COW aliasing semantics
+// (mutate-after-share leaves the sibling untouched), structure sharing on
+// copy (including an allocation-count proof), the string interner, the
+// flat-hash element stores, and the DeltaStore decoded-object LRU.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/flat_hash.h"
+#include "common/interner.h"
+#include "common/random.h"
+#include "deltagraph/delta_store.h"
+#include "graph/snapshot.h"
+#include "kvstore/kv_store.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (this test binary only): proves that copying a
+// Snapshot performs no per-element work.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const size_t a =
+      static_cast<size_t>(align) < sizeof(void*) ? sizeof(void*)
+                                                 : static_cast<size_t>(align);
+  void* p = nullptr;
+  if (posix_memalign(&p, a, size) == 0) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace hgdb {
+namespace {
+
+Snapshot MakeSample() {
+  Snapshot g;
+  for (NodeId n = 1; n <= 50; ++n) g.AddNode(n);
+  for (EdgeId e = 100; e < 140; ++e) {
+    g.AddEdge(e, EdgeRecord{e - 100 + 1, e - 100 + 2, false});
+  }
+  for (NodeId n = 1; n <= 20; ++n) {
+    g.SetNodeAttr(n, "name", "node-" + std::to_string(n));
+    g.SetNodeAttr(n, "color", n % 2 ? "red" : "blue");
+  }
+  for (EdgeId e = 100; e < 110; ++e) g.SetEdgeAttr(e, "weight", std::to_string(e));
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// COW sharing
+// ---------------------------------------------------------------------------
+
+TEST(CowSnapshotTest, CopySharesAllStores) {
+  Snapshot a = MakeSample();
+  Snapshot b = a;
+  EXPECT_TRUE(b.SharesAllStoresWith(a));
+  EXPECT_TRUE(a.Equals(b));
+}
+
+TEST(CowSnapshotTest, CopyCostsNoAllocations) {
+  Snapshot a = MakeSample();
+  const size_t before = g_alloc_count.load();
+  Snapshot b = a;
+  const size_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u) << "snapshot copy must not allocate";
+  EXPECT_TRUE(b.SharesAllStoresWith(a));
+}
+
+TEST(CowSnapshotTest, MutateNodesAfterShareLeavesSiblingUntouched) {
+  Snapshot a = MakeSample();
+  Snapshot b = a;
+  ASSERT_TRUE(b.AddNode(999));
+  EXPECT_TRUE(b.HasNode(999));
+  EXPECT_FALSE(a.HasNode(999));
+  // Only the node store diverged; the other three are still shared.
+  EXPECT_FALSE(b.SharesNodeStoreWith(a));
+  EXPECT_TRUE(b.SharesEdgeStoreWith(a));
+  EXPECT_TRUE(b.SharesNodeAttrStoreWith(a));
+  EXPECT_TRUE(b.SharesEdgeAttrStoreWith(a));
+
+  ASSERT_TRUE(b.RemoveNode(999));
+  EXPECT_TRUE(a.Equals(b)) << a.DiffString(b);
+}
+
+TEST(CowSnapshotTest, MutateEdgesAfterShareLeavesSiblingUntouched) {
+  Snapshot a = MakeSample();
+  Snapshot b = a;
+  ASSERT_TRUE(b.RemoveEdge(100));
+  EXPECT_FALSE(b.HasEdge(100));
+  EXPECT_TRUE(a.HasEdge(100));
+  EXPECT_FALSE(b.SharesEdgeStoreWith(a));
+  EXPECT_TRUE(b.SharesNodeStoreWith(a));
+}
+
+TEST(CowSnapshotTest, MutateNodeAttrsAfterShareLeavesSiblingUntouched) {
+  Snapshot a = MakeSample();
+  Snapshot b = a;
+  b.SetNodeAttr(1, "name", "changed");
+  EXPECT_EQ(*b.GetNodeAttr(1, "name"), "changed");
+  EXPECT_EQ(*a.GetNodeAttr(1, "name"), "node-1");
+  EXPECT_FALSE(b.SharesNodeAttrStoreWith(a));
+  EXPECT_TRUE(b.SharesEdgeAttrStoreWith(a));
+
+  Snapshot c = a;
+  c.RemoveNodeAttr(1, "name");
+  EXPECT_EQ(c.GetNodeAttr(1, "name"), nullptr);
+  EXPECT_NE(a.GetNodeAttr(1, "name"), nullptr);
+}
+
+TEST(CowSnapshotTest, MutateEdgeAttrsAfterShareLeavesSiblingUntouched) {
+  Snapshot a = MakeSample();
+  Snapshot b = a;
+  b.SetEdgeAttr(100, "weight", "override");
+  EXPECT_EQ(*b.GetEdgeAttr(100, "weight"), "override");
+  EXPECT_EQ(*a.GetEdgeAttr(100, "weight"), "100");
+  EXPECT_FALSE(b.SharesEdgeAttrStoreWith(a));
+  EXPECT_TRUE(b.SharesNodeAttrStoreWith(a));
+}
+
+TEST(CowSnapshotTest, NoOpMutationsDoNotBreakSharing) {
+  Snapshot a = MakeSample();
+  Snapshot b = a;
+  // All of these are no-ops and must not trigger a clone.
+  EXPECT_FALSE(b.AddNode(1));           // Already present.
+  EXPECT_FALSE(b.RemoveNode(999));      // Absent.
+  EXPECT_FALSE(b.RemoveEdge(999));      // Absent.
+  b.RemoveNodeAttr(1, "no-such-key");
+  b.SetNodeAttr(1, "name", "node-1");   // Same value.
+  EXPECT_TRUE(b.SharesAllStoresWith(a));
+}
+
+TEST(CowSnapshotTest, CopyFilteredSharesSelectedStores) {
+  Snapshot a = MakeSample();
+  Snapshot structs = a.CopyFiltered(kCompStruct);
+  EXPECT_TRUE(structs.SharesNodeStoreWith(a));
+  EXPECT_TRUE(structs.SharesEdgeStoreWith(a));
+  EXPECT_EQ(structs.NodeAttrCount(), 0u);
+  EXPECT_EQ(structs.EdgeAttrCount(), 0u);
+
+  // Mutating the filtered copy must not leak into the original.
+  structs.AddNode(12345);
+  EXPECT_FALSE(a.HasNode(12345));
+
+  Snapshot attrs = a.CopyFiltered(kCompNodeAttr | kCompEdgeAttr);
+  EXPECT_EQ(attrs.NodeCount(), 0u);
+  EXPECT_EQ(attrs.NodeAttrCount(), a.NodeAttrCount());
+}
+
+TEST(CowSnapshotTest, ChainOfCopiesDivergesIndependently) {
+  Snapshot a = MakeSample();
+  Snapshot b = a;
+  Snapshot c = b;
+  b.AddNode(500);
+  c.AddNode(600);
+  EXPECT_FALSE(a.HasNode(500));
+  EXPECT_FALSE(a.HasNode(600));
+  EXPECT_TRUE(b.HasNode(500));
+  EXPECT_FALSE(b.HasNode(600));
+  EXPECT_TRUE(c.HasNode(600));
+  EXPECT_FALSE(c.HasNode(500));
+}
+
+TEST(CowSnapshotTest, AbsorbDisjointStealsIntoEmptyAndMerges) {
+  Snapshot a;
+  Snapshot b = MakeSample();
+  const Snapshot b_copy = b;
+  a.AbsorbDisjoint(std::move(b));
+  EXPECT_TRUE(a.Equals(b_copy));
+
+  // Merge path: disjoint id ranges combine fully.
+  Snapshot c;
+  c.AddNode(1000);
+  c.SetNodeAttr(1000, "name", "extra");
+  Snapshot d = a.CopyFiltered(kCompAll);
+  d.AbsorbDisjoint(std::move(c));
+  EXPECT_TRUE(d.HasNode(1000));
+  EXPECT_EQ(d.NodeCount(), b_copy.NodeCount() + 1);
+  EXPECT_EQ(d.NodeAttrCount(), b_copy.NodeAttrCount() + 1);
+  // And the absorb did not corrupt the store `a` still shares.
+  EXPECT_TRUE(a.Equals(b_copy));
+}
+
+TEST(CowSnapshotTest, AbsorbDisjointMergePreservesCowSibling) {
+  // `other` shares its attr stores with a sibling; the merge path must copy,
+  // not move — a move would silently empty the sibling's attribute maps.
+  Snapshot other = MakeSample();
+  const Snapshot sibling = other;
+  ASSERT_TRUE(sibling.SharesNodeAttrStoreWith(other));
+
+  Snapshot target;
+  target.AddNode(5000);
+  target.SetNodeAttr(5000, "name", "pre-existing");  // Forces the merge path.
+  target.AbsorbDisjoint(std::move(other));
+
+  EXPECT_EQ(sibling.NodeAttrCount(), MakeSample().NodeAttrCount());
+  ASSERT_NE(sibling.GetNodeAttr(1, "name"), nullptr);
+  EXPECT_EQ(*sibling.GetNodeAttr(1, "name"), "node-1");
+  ASSERT_NE(target.GetNodeAttr(1, "name"), nullptr);
+  EXPECT_EQ(*target.GetNodeAttr(1, "name"), "node-1");
+  EXPECT_EQ(*target.GetNodeAttr(5000, "name"), "pre-existing");
+  ASSERT_NE(target.GetEdgeAttr(100, "weight"), nullptr);
+  EXPECT_EQ(*sibling.GetEdgeAttr(100, "weight"), "100");
+}
+
+// ---------------------------------------------------------------------------
+// Interner
+// ---------------------------------------------------------------------------
+
+TEST(InternerTest, RoundTripAndIdentity) {
+  auto& interner = StringInterner::Global();
+  const AttrId a = interner.Intern("interner-test-alpha");
+  const AttrId b = interner.Intern("interner-test-beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("interner-test-alpha"), a);
+  EXPECT_EQ(interner.Get(a), "interner-test-alpha");
+  EXPECT_EQ(interner.Get(b), "interner-test-beta");
+  EXPECT_EQ(interner.Find("interner-test-alpha"), a);
+  EXPECT_EQ(interner.Find("interner-test-never-interned"), kInvalidAttrId);
+}
+
+TEST(InternerTest, ReferencesStayStableAcrossGrowth) {
+  auto& interner = StringInterner::Global();
+  const AttrId id = interner.Intern("interner-stability-probe");
+  const std::string* ptr = &interner.Get(id);
+  for (int i = 0; i < 10000; ++i) {
+    interner.Intern("interner-growth-" + std::to_string(i));
+  }
+  EXPECT_EQ(&interner.Get(id), ptr);  // Deque storage never moves strings.
+  EXPECT_EQ(*ptr, "interner-stability-probe");
+}
+
+TEST(InternerTest, EmptyStringIsInternable) {
+  auto& interner = StringInterner::Global();
+  const AttrId id = interner.Intern("");
+  EXPECT_EQ(interner.Get(id), "");
+  EXPECT_EQ(interner.Intern(""), id);
+}
+
+// ---------------------------------------------------------------------------
+// Flat hash containers
+// ---------------------------------------------------------------------------
+
+TEST(FlatHashTest, MapGrowthKeepsAllEntries) {
+  FlatHashMap<uint64_t, uint64_t> m;
+  for (uint64_t i = 0; i < 10000; ++i) m.emplace(i, i * 3);
+  EXPECT_EQ(m.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const uint64_t* v = m.FindValue(i);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i * 3);
+  }
+  EXPECT_FALSE(m.contains(10001));
+}
+
+TEST(FlatHashTest, MapMatchesStdReferenceUnderChurn) {
+  FlatHashMap<uint64_t, uint64_t> m;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(42);
+  for (int i = 0; i < 50000; ++i) {
+    // Small key range forces constant collision/erase/reinsert churn.
+    const uint64_t key = rng.Uniform(512);
+    switch (rng.Uniform(3)) {
+      case 0:
+        m.emplace(key, i);
+        ref.emplace(key, i);
+        break;
+      case 1:
+        m.InsertOrAssign(key, i);
+        ref[key] = i;
+        break;
+      case 2:
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+        break;
+    }
+  }
+  ASSERT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const uint64_t* mine = m.FindValue(k);
+    ASSERT_NE(mine, nullptr) << k;
+    EXPECT_EQ(*mine, v);
+  }
+  size_t iterated = 0;
+  for (const auto& [k, v] : m) {
+    ASSERT_TRUE(ref.contains(k));
+    EXPECT_EQ(ref[k], v);
+    ++iterated;
+  }
+  EXPECT_EQ(iterated, ref.size());
+}
+
+TEST(FlatHashTest, EraseBackwardShiftKeepsProbeChainsIntact) {
+  // Sequential ids through the mixer land arbitrarily; erase every other key
+  // and verify every survivor is still reachable (a broken backward shift
+  // orphans keys whose probe chain crossed the hole).
+  FlatHashSet<uint64_t> s;
+  for (uint64_t i = 0; i < 4096; ++i) s.insert(i);
+  for (uint64_t i = 0; i < 4096; i += 2) EXPECT_TRUE(s.erase(i));
+  EXPECT_EQ(s.size(), 2048u);
+  for (uint64_t i = 1; i < 4096; i += 2) EXPECT_TRUE(s.contains(i)) << i;
+  for (uint64_t i = 0; i < 4096; i += 2) EXPECT_FALSE(s.contains(i)) << i;
+}
+
+TEST(FlatHashTest, SetMatchesStdReferenceUnderChurn) {
+  FlatHashSet<uint64_t> s;
+  std::unordered_set<uint64_t> ref;
+  Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t key = rng.Uniform(300);
+    if (rng.Uniform(2) == 0) {
+      EXPECT_EQ(s.insert(key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(s.erase(key), ref.erase(key) > 0);
+    }
+  }
+  ASSERT_EQ(s.size(), ref.size());
+  for (uint64_t k : ref) EXPECT_TRUE(s.contains(k));
+  size_t iterated = 0;
+  for (uint64_t k : s) {
+    EXPECT_TRUE(ref.contains(k));
+    ++iterated;
+  }
+  EXPECT_EQ(iterated, ref.size());
+}
+
+TEST(FlatHashTest, OrderIndependentEquality) {
+  FlatHashMap<uint64_t, uint64_t> a, b;
+  for (uint64_t i = 0; i < 100; ++i) a.emplace(i, i);
+  for (uint64_t i = 100; i > 0; --i) b.emplace(i - 1, i - 1);
+  b.reserve(4096);  // Different capacity, same contents.
+  EXPECT_TRUE(a == b);
+  b.InsertOrAssign(5, 999);
+  EXPECT_TRUE(a != b);
+}
+
+TEST(FlatHashTest, NonTrivialValuesCopyAndDestroyCleanly) {
+  FlatHashMap<uint64_t, AttrMap> m;
+  for (uint64_t i = 0; i < 300; ++i) {
+    AttrMap attrs;
+    attrs.Set(1, static_cast<AttrId>(i));
+    attrs.Set(2, static_cast<AttrId>(i + 1));
+    m.InsertOrAssign(i, std::move(attrs));
+  }
+  FlatHashMap<uint64_t, AttrMap> copy = m;
+  ASSERT_EQ(copy.size(), 300u);
+  for (uint64_t i = 0; i < 300; ++i) {
+    const AttrMap* attrs = copy.FindValue(i);
+    ASSERT_NE(attrs, nullptr);
+    EXPECT_EQ(attrs->Get(1), static_cast<AttrId>(i));
+  }
+  EXPECT_TRUE(copy == m);
+  m.erase(5);
+  EXPECT_FALSE(copy == m);
+}
+
+// ---------------------------------------------------------------------------
+// DeltaStore decoded-object LRU
+// ---------------------------------------------------------------------------
+
+TEST(DeltaStoreCacheTest, RepeatedGetHitsCacheAndSharesDecode) {
+  auto kv = NewMemKVStore();
+  DeltaStore store(kv.get());
+
+  Snapshot empty;
+  Snapshot g = MakeSample();
+  Delta d = Delta::Between(g, empty);
+  ComponentSizes sizes;
+  const DeltaId id = store.AllocateId();
+  ASSERT_TRUE(store.PutDelta(id, d, &sizes).ok());
+
+  auto first = store.GetDeltaShared(id, kCompAll, sizes);
+  ASSERT_TRUE(first.ok());
+  auto second = store.GetDeltaShared(id, kCompAll, sizes);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get()) << "expected a cache hit";
+  EXPECT_GE(store.decoded_cache_hits(), 1u);
+  EXPECT_TRUE(*first.value() == d);
+
+  // Different component masks are distinct cache entries.
+  auto structs = store.GetDeltaShared(id, kCompStruct, sizes);
+  ASSERT_TRUE(structs.ok());
+  EXPECT_NE(structs.value().get(), first.value().get());
+  EXPECT_TRUE(structs.value()->add_node_attrs.empty());
+
+  // Re-putting the id invalidates its cached decodes.
+  ASSERT_TRUE(store.PutDelta(id, Delta(), &sizes).ok());
+  auto after = store.GetDeltaShared(id, kCompAll, sizes);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value()->IsEmpty());
+}
+
+TEST(DeltaStoreCacheTest, CapacityZeroDisables) {
+  auto kv = NewMemKVStore();
+  DeltaStore store(kv.get());
+  store.SetDecodedCacheCapacity(0);
+
+  Snapshot g = MakeSample();
+  Delta d = Delta::Between(g, Snapshot());
+  ComponentSizes sizes;
+  const DeltaId id = store.AllocateId();
+  ASSERT_TRUE(store.PutDelta(id, d, &sizes).ok());
+  auto first = store.GetDeltaShared(id, kCompAll, sizes);
+  auto second = store.GetDeltaShared(id, kCompAll, sizes);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first.value().get(), second.value().get());
+  EXPECT_EQ(store.decoded_cache_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace hgdb

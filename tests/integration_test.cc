@@ -106,11 +106,14 @@ TEST_F(DiskBackedTest, MissingDeltaSurfacesAsError) {
   ASSERT_TRUE(dg.value()->GetSnapshot(mid).ok());
 
   // Delete every delta/eventlist blob: retrieval must fail cleanly with
-  // NotFound/Corruption, never crash or return a wrong graph.
+  // NotFound/Corruption, never crash or return a wrong graph. The damage is
+  // out-of-band (directly on the KVStore), so also drop the decoded-object
+  // cache that would otherwise — correctly — keep serving the old bytes.
   std::vector<std::string> keys;
   store->ForEachKey("d/", [&](const Slice& k) { keys.push_back(k.ToString()); });
   ASSERT_FALSE(keys.empty());
   for (const auto& k : keys) ASSERT_TRUE(store->Delete(k).ok());
+  dg.value()->SetDecodedCacheCapacity(0);
   auto result = dg.value()->GetSnapshot(mid);
   EXPECT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsNotFound() || result.status().IsCorruption())
