@@ -13,6 +13,7 @@ int main() {
   using namespace hgdb;
   using namespace hgdb::bench;
   PrintHeader("Dataset 3: partitioned index + parallel PageRank");
+  OpenReport("dataset3_pagerank");
   Dataset data = MakeDataset3();
   std::printf("dataset: %s\n", data.name.c_str());
   std::printf("initial: %zu nodes / %zu edges; churn: %zu events\n\n",
@@ -65,8 +66,11 @@ int main() {
     PrintRow({std::to_string(t), FormatMs(retrieval_ms), FormatMs(pr_ms),
               FormatMs(retrieval_ms + pr_ms)},
              16);
+    ReportResult("retrieval_t" + std::to_string(t), retrieval_ms * 1e6);
+    ReportResult("pagerank_t" + std::to_string(t), pr_ms * 1e6);
     (void)ranks;
   }
+  ReportResult("avg_per_snapshot", total_all / times.size() * 1e6);
   std::printf("\navg per snapshot (retrieval + PageRank): %s\n",
               FormatMs(total_all / times.size()).c_str());
   std::printf("paper: ~22-23.8 s per snapshot at ~500x this scale on 5-7\n"

@@ -37,7 +37,8 @@ std::vector<double> RunSeries(const Dataset& data, const std::string& function,
   return ms;
 }
 
-void Summarize(const char* label, const std::vector<double>& ms) {
+void Summarize(const char* label, const std::string& report_op,
+               const std::vector<double>& ms) {
   double total = 0, first_half = 0, second_half = 0;
   for (size_t i = 0; i < ms.size(); ++i) {
     total += ms[i];
@@ -47,6 +48,10 @@ void Summarize(const char* label, const std::vector<double>& ms) {
               FormatMs(total / ms.size()).c_str(),
               FormatMs(first_half / (ms.size() / 2)).c_str(),
               FormatMs(second_half / (ms.size() - ms.size() / 2)).c_str());
+  ReportResult(report_op + "_avg", total / ms.size() * 1e6);
+  ReportResult(report_op + "_old_half_avg", first_half / (ms.size() / 2) * 1e6);
+  ReportResult(report_op + "_new_half_avg",
+               second_half / (ms.size() - ms.size() / 2) * 1e6);
 }
 
 }  // namespace
@@ -57,6 +62,7 @@ int main() {
   using namespace hgdb;
   using namespace hgdb::bench;
   PrintHeader("Figure 11: differential functions vs retrieval-time profile");
+  OpenReport("fig11_diff_functions");
   Dataset data = MakeDataset1();
   std::printf("dataset: %s, %zu events\n\n", data.name.c_str(), data.events.size());
   const std::vector<Timestamp> times = UniformTimepoints(data, 20);
@@ -72,17 +78,17 @@ int main() {
              18);
   }
   std::printf("\n");
-  Summarize("intersection", inter);
-  Summarize("balanced", bal);
-  Summarize("balanced (root mat)", bal_mat);
+  Summarize("intersection", "intersection", inter);
+  Summarize("balanced", "balanced", bal);
+  Summarize("balanced (root mat)", "balanced_rootmat", bal_mat);
 
   std::printf("\n(b) Mixed functions r1=r2 in {0.1, 0.5, 0.9}\n");
   auto m01 = RunSeries(data, "mixed:0.1:0.1", false, times);
   auto m05 = RunSeries(data, "mixed:0.5:0.5", false, times);
   auto m09 = RunSeries(data, "mixed:0.9:0.9", false, times);
-  Summarize("mixed r=0.1 (old-favoring)", m01);
-  Summarize("mixed r=0.5 (balanced)", m05);
-  Summarize("mixed r=0.9 (new-favoring)", m09);
+  Summarize("mixed r=0.1 (old-favoring)", "mixed_r01", m01);
+  Summarize("mixed r=0.5 (balanced)", "mixed_r05", m05);
+  Summarize("mixed r=0.9 (new-favoring)", "mixed_r09", m09);
   std::printf(
       "\npaper shape: intersection skews toward newer snapshots; balanced is\n"
       "uniform; higher r shifts cost from new to old snapshots.\n");

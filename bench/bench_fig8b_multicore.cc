@@ -9,6 +9,7 @@ int main() {
   using namespace hgdb;
   using namespace hgdb::bench;
   PrintHeader("Figure 8(b): partition-parallel retrieval, 1-4 cores");
+  OpenReport("fig8b_multicore");
   Dataset data = MakeDataset2();
   std::printf("dataset: %s, %zu events\n\n", data.name.c_str(), data.events.size());
 
@@ -50,6 +51,7 @@ int main() {
     char speedup[16];
     std::snprintf(speedup, sizeof(speedup), "%.2fx", base / avg);
     PrintRow({std::to_string(cores), FormatMs(avg), speedup}, 16);
+    ReportResult("avg_retrieval_cores" + std::to_string(cores), avg * 1e6);
   }
   std::printf("\npaper shape: near-linear speedup with cores.\n");
   return 0;

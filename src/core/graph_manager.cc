@@ -10,6 +10,7 @@ Result<std::unique_ptr<GraphManager>> GraphManager::Create(KVStore* store,
   if (!dg.ok()) return dg.status();
   auto gm = std::unique_ptr<GraphManager>(
       new GraphManager(std::move(dg).value(), std::move(options)));
+  gm->WireExecPool();
   return gm;
 }
 
@@ -20,9 +21,26 @@ Result<std::unique_ptr<GraphManager>> GraphManager::Open(KVStore* store,
   options.index = dg.value()->options();
   auto gm = std::unique_ptr<GraphManager>(
       new GraphManager(std::move(dg).value(), std::move(options)));
+  gm->WireExecPool();
   gm->pool_.InitCurrent(gm->dg_->current());
   gm->leaves_seen_ = gm->dg_->skeleton().leaves().size();
   return gm;
+}
+
+void GraphManager::WireExecPool() {
+  if (options_.exec_parallelism < 0 || options_.exec_parallelism == 1) {
+    // 1 = documented forced serial; negative = invalid, fail conservative
+    // (serial) rather than silently spawning the shared pool.
+    dg_->SetTaskPool(nullptr);
+  } else if (options_.exec_parallelism >= 2) {
+    owned_exec_pool_ = std::make_unique<TaskPool>(options_.exec_parallelism);
+    dg_->SetTaskPool(owned_exec_pool_.get());
+  }
+  // 0: keep the DeltaGraph default (the lazily resolved shared pool).
+}
+
+std::unique_ptr<RetrievalSession> GraphManager::NewRetrievalSession() {
+  return std::make_unique<RetrievalSession>(dg_.get());
 }
 
 Status GraphManager::SetInitialSnapshot(const Snapshot& g0, Timestamp t0) {

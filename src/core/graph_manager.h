@@ -9,6 +9,7 @@
 #include "core/attr_options.h"
 #include "core/time_expression.h"
 #include "deltagraph/delta_graph.h"
+#include "exec/retrieval_session.h"
 #include "graphpool/graph_pool.h"
 
 namespace hgdb {
@@ -56,6 +57,11 @@ struct GraphManagerOptions {
   /// full-attribute retrievals use dependence (a partial retrieval must not
   /// inherit attributes the caller did not ask for).
   double dependent_overlay_threshold = 0.25;
+  /// Parallelism of multipoint plan execution. 0 = the process-wide default
+  /// (HISTGRAPH_THREADS, falling back to the hardware concurrency); 1 forces
+  /// the serial executor; N >= 2 runs this manager's retrievals on a private
+  /// pool of N threads. Negative values are treated as 1 (forced serial).
+  int exec_parallelism = 0;
 };
 
 /// \brief The system facade tying together the DeltaGraph (HistoryManager
@@ -108,6 +114,13 @@ class GraphManager {
   Result<EventList> GetEvents(Timestamp ts, Timestamp te,
                               bool include_transient = true);
 
+  /// Opens a batched-retrieval session over the index: queue several
+  /// GetSnapshot(s)-shaped requests, then run them concurrently on the
+  /// manager's task pool with one shared fetch pin (see RetrievalSession).
+  /// The session must not outlive the manager, and index updates must not
+  /// run while it has requests in flight.
+  std::unique_ptr<RetrievalSession> NewRetrievalSession();
+
   // -- Materialization ------------------------------------------------------------
   /// Materializes every index node at `depth` below the super-root (0 =
   /// roots) and overlays the materialized graphs into the pool, where they
@@ -137,10 +150,14 @@ class GraphManager {
   /// independent overlay, and wraps it in a HistGraph.
   Result<HistGraph> OverlaySnapshot(Snapshot&& snap, Timestamp t, unsigned components);
 
+  /// Applies options_.exec_parallelism to the index's task pool.
+  void WireExecPool();
+
   static void FilterAttrs(Snapshot* snap, const AttrOptions& opts);
 
   GraphManagerOptions options_;
   std::unique_ptr<DeltaGraph> dg_;
+  std::unique_ptr<TaskPool> owned_exec_pool_;  ///< When exec_parallelism >= 2.
   GraphPool pool_;
   size_t leaves_seen_ = 0;
   EdgeId next_transient_edge_id_ = (EdgeId{1} << 62);

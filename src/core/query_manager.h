@@ -42,6 +42,13 @@ class QueryManager {
   Result<EdgeId> AddEdge(Timestamp t, const std::string& src_external,
                          const std::string& dst_external, bool directed = false);
 
+  /// Batched-retrieval session passthrough (see GraphManager /
+  /// RetrievalSession): concurrent in-flight snapshot queries sharing the
+  /// task pool and one fetch pin.
+  std::unique_ptr<RetrievalSession> NewRetrievalSession() {
+    return gm_->NewRetrievalSession();
+  }
+
   GraphManager* graph_manager() { return gm_; }
 
  private:

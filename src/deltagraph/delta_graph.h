@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,8 @@
 #include "temporal/event_list.h"
 
 namespace hgdb {
+
+class TaskPool;  // src/exec/task_pool.h
 
 /// Construction parameters of a DeltaGraph (Section 4.6): the leaf-eventlist
 /// size L, the arity k, and the differential function(s). Multiple functions
@@ -60,6 +63,12 @@ struct DeltaGraphStats {
   uint64_t materialized_bytes = 0;  ///< Approx. memory held by materialization.
   size_t materialized_nodes = 0;
 };
+
+/// Applies the events with lo < time <= hi to `g`: forward applies them
+/// oldest-first, backward applies the same range newest-first, inverted.
+/// Shared by the serial plan visitor and the parallel executor.
+Status ApplyEventRange(const std::vector<Event>& events, Snapshot* g, bool forward,
+                       Timestamp lo, Timestamp hi, unsigned components);
 
 /// \brief Visitor over a plan execution (used for snapshot retrieval and for
 /// auxiliary-index retrieval over the same plan).
@@ -130,8 +139,22 @@ class DeltaGraph {
 
   /// Multipoint retrieval (Section 4.4): one Steiner-planned pass fetching
   /// each shared delta once. Returns snapshots in the order of `times`.
+  /// Independent plan subtrees execute concurrently on the attached task
+  /// pool when it has parallelism >= 2 (see SetTaskPool); results are
+  /// identical to serial execution.
   Result<std::vector<Snapshot>> GetSnapshots(const std::vector<Timestamp>& times,
                                              unsigned components = kCompAll);
+
+  /// Snapshots produced by one plan execution, keyed by emit target.
+  struct SnapshotPlanResults {
+    std::map<Timestamp, Snapshot> by_time;
+    std::map<int32_t, Snapshot> by_node;
+
+    /// Moves the by_time entries out in the order of `times` (duplicate
+    /// times are copied for all but their last use). Internal error if a
+    /// requested time was never emitted.
+    Result<std::vector<Snapshot>> TakeInOrder(const std::vector<Timestamp>& times);
+  };
 
   /// Exposes the plan the index would execute (benchmarks, tests, EXPLAIN).
   Result<Plan> PlanFor(const std::vector<Timestamp>& times,
@@ -170,6 +193,30 @@ class DeltaGraph {
   DeltaGraphStats Stats() const;
   const Snapshot* materialized_snapshot(int32_t node_id) const;
 
+  /// The decoded-payload store (read-only access for the execution layer;
+  /// its Get* paths are thread-safe).
+  const DeltaStore& delta_store() const { return store_; }
+  /// Events newer than the last cut leaf (read-only; the parallel executor
+  /// applies them without going through the store).
+  const EventList& recent_events() const { return recent_; }
+
+  /// Attaches the task pool that multipoint plan execution runs on. nullptr
+  /// forces the serial path. When never called, the default is
+  /// TaskPool::Shared() — resolved lazily, the first time a branchy plan
+  /// executes, so serial-only processes never spawn the pool's threads —
+  /// which is itself serial unless HISTGRAPH_THREADS (or the hardware)
+  /// allows >= 2 threads. Retrieval is safe to run concurrently from several
+  /// threads, but this setter itself must not race with in-flight queries.
+  void SetTaskPool(TaskPool* pool) {
+    exec_pool_ = pool;
+    exec_pool_set_ = true;
+  }
+  /// The explicitly attached pool (nullptr when defaulted or forced serial).
+  TaskPool* task_pool() const { return exec_pool_; }
+  /// True once SetTaskPool was called — distinguishes "forced serial"
+  /// (set to nullptr) from "never configured" (lazy shared default).
+  bool task_pool_overridden() const { return exec_pool_set_; }
+
   /// Sizes the decoded delta/eventlist LRU that sits above the KVStore
   /// (0 disables and drops all entries). For ablations and for tests that
   /// damage the underlying store out-of-band.
@@ -196,11 +243,6 @@ class DeltaGraph {
     std::shared_ptr<Snapshot> graph;
   };
 
-  /// Snapshots produced by one plan execution, keyed by emit target.
-  struct SnapshotPlanResults {
-    std::map<Timestamp, Snapshot> by_time;
-    std::map<int32_t, Snapshot> by_node;
-  };
   Result<SnapshotPlanResults> ExecuteSnapshotPlan(const Plan& plan,
                                                   unsigned components) const;
   Status WalkPlanNode(const PlanNode& node, PlanVisitor* visitor, bool is_tail) const;
@@ -232,6 +274,9 @@ class DeltaGraph {
   std::map<int32_t, std::shared_ptr<Snapshot>> materialized_;
   std::map<int32_t, unsigned> materialized_components_;
   mutable SsspCache sssp_cache_;  ///< Singlepoint planning cache.
+  mutable std::mutex sssp_mu_;    ///< Guards sssp_cache_ across concurrent queries.
+  TaskPool* exec_pool_ = nullptr;  ///< Plan-execution pool (see SetTaskPool).
+  bool exec_pool_set_ = false;     ///< False = default to the lazy shared pool.
 
   std::vector<AuxIndexHook*> aux_hooks_;
 

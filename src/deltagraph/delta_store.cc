@@ -22,47 +22,61 @@ std::string DeltaStore::Key(DeltaId id, int component_index) {
 // -- Decoded-object LRU ------------------------------------------------------
 
 std::shared_ptr<const Delta> DeltaStore::CacheLookupDelta(uint64_t key) const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::shared_lock lock(cache_mu_);
   auto it = cache_index_.find(key);
   if (it == cache_index_.end()) {
-    ++cache_misses_;
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-  ++cache_hits_;
+  it->second->hot.store(true, std::memory_order_relaxed);
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->delta;
 }
 
 std::shared_ptr<const EventList> DeltaStore::CacheLookupEvents(uint64_t key) const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::shared_lock lock(cache_mu_);
   auto it = cache_index_.find(key);
   if (it == cache_index_.end()) {
-    ++cache_misses_;
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-  ++cache_hits_;
+  it->second->hot.store(true, std::memory_order_relaxed);
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->events;
 }
 
-void DeltaStore::CacheInsert(CacheEntry entry) const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+void DeltaStore::CacheInsert(uint64_t key, std::shared_ptr<const Delta> delta,
+                             std::shared_ptr<const EventList> events) const {
+  std::unique_lock lock(cache_mu_);
   if (cache_capacity_ == 0) return;
-  auto it = cache_index_.find(entry.key);
+  auto it = cache_index_.find(key);
   if (it != cache_index_.end()) {  // Raced decode; keep the existing entry hot.
-    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    it->second->hot.store(true, std::memory_order_relaxed);
     return;
   }
-  cache_lru_.push_front(std::move(entry));
-  cache_index_[cache_lru_.front().key] = cache_lru_.begin();
+  cache_lru_.emplace_front(key, std::move(delta), std::move(events));
+  cache_index_[key] = cache_lru_.begin();
+  EvictOverCapacityLocked();
+}
+
+void DeltaStore::EvictOverCapacityLocked() const {
   while (cache_lru_.size() > cache_capacity_) {
-    cache_index_.erase(cache_lru_.back().key);
-    cache_lru_.pop_back();
+    auto victim = std::prev(cache_lru_.end());
+    if (victim->hot.load(std::memory_order_relaxed)) {
+      // Second chance: recently hit under the shared lock; cycle it to the
+      // hot end instead of evicting. Each pass either evicts or clears one
+      // flag, so the loop terminates.
+      victim->hot.store(false, std::memory_order_relaxed);
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, victim);
+      continue;
+    }
+    cache_index_.erase(victim->key);
+    cache_lru_.erase(victim);
   }
 }
 
 void DeltaStore::CacheInvalidate(DeltaId id) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::unique_lock lock(cache_mu_);
   for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
     if ((it->key >> 5) == id) {
       cache_index_.erase(it->key);
@@ -74,8 +88,9 @@ void DeltaStore::CacheInvalidate(DeltaId id) {
 }
 
 void DeltaStore::SetDecodedCacheCapacity(size_t entries) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::unique_lock lock(cache_mu_);
   cache_capacity_ = entries;
+  // Capacity shrink is an explicit reset; no second chances here.
   while (cache_lru_.size() > cache_capacity_) {
     cache_index_.erase(cache_lru_.back().key);
     cache_lru_.pop_back();
@@ -83,13 +98,11 @@ void DeltaStore::SetDecodedCacheCapacity(size_t entries) {
 }
 
 size_t DeltaStore::decoded_cache_hits() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return cache_hits_;
+  return cache_hits_.load(std::memory_order_relaxed);
 }
 
 size_t DeltaStore::decoded_cache_misses() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return cache_misses_;
+  return cache_misses_.load(std::memory_order_relaxed);
 }
 
 // -- Deltas ------------------------------------------------------------------
@@ -131,7 +144,7 @@ Result<std::shared_ptr<const Delta>> DeltaStore::GetDeltaShared(
     HG_RETURN_NOT_OK(decoded->DecodeComponent(mask, blob));
   }
   std::shared_ptr<const Delta> out = std::move(decoded);
-  CacheInsert(CacheEntry{key, out, nullptr});
+  CacheInsert(key, out, nullptr);
   return out;
 }
 
@@ -175,7 +188,7 @@ Result<std::shared_ptr<const EventList>> DeltaStore::GetEventListShared(
   }
   decoded->FinalizeMerge();
   std::shared_ptr<const EventList> out = std::move(decoded);
-  CacheInsert(CacheEntry{key, nullptr, out});
+  CacheInsert(key, nullptr, out);
   return out;
 }
 

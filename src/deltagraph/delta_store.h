@@ -1,9 +1,10 @@
 #ifndef HISTGRAPH_DELTAGRAPH_DELTA_STORE_H_
 #define HISTGRAPH_DELTAGRAPH_DELTA_STORE_H_
 
+#include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -90,11 +91,22 @@ class DeltaStore {
  private:
   static std::string Key(DeltaId id, int component_index);
 
-  // -- Decoded-object LRU ----------------------------------------------------
+  // -- Decoded-object cache --------------------------------------------------
+  //
+  // Approximate LRU with a second-chance (clock) recency bit instead of
+  // splice-on-hit, so concurrent plan execution can serve hits under a
+  // *shared* lock: a hit only reads the list node and flips an atomic flag.
+  // Eviction (under the exclusive lock) scans from the cold end, giving
+  // flagged entries one more trip through the list. The single-thread fast
+  // path is an uncontended shared-lock acquire plus one hash probe.
   struct CacheEntry {
+    CacheEntry(uint64_t k, std::shared_ptr<const Delta> d,
+               std::shared_ptr<const EventList> e)
+        : key(k), delta(std::move(d)), events(std::move(e)) {}
     uint64_t key;
     std::shared_ptr<const Delta> delta;          // One of the two is set.
     std::shared_ptr<const EventList> events;
+    mutable std::atomic<bool> hot{false};        // Set on hit; cleared by the clock.
   };
   // (id, components) -> one cache slot. Components fit in 4 bits.
   static uint64_t CacheKey(DeltaId id, unsigned components, bool is_delta) {
@@ -103,18 +115,21 @@ class DeltaStore {
   }
   std::shared_ptr<const Delta> CacheLookupDelta(uint64_t key) const;
   std::shared_ptr<const EventList> CacheLookupEvents(uint64_t key) const;
-  void CacheInsert(CacheEntry entry) const;
+  void CacheInsert(uint64_t key, std::shared_ptr<const Delta> delta,
+                   std::shared_ptr<const EventList> events) const;
+  /// Must be called with cache_mu_ held exclusively.
+  void EvictOverCapacityLocked() const;
   void CacheInvalidate(DeltaId id);
 
   KVStore* store_;
   DeltaId next_id_ = 1;
 
-  mutable std::mutex cache_mu_;
-  mutable std::list<CacheEntry> cache_lru_;  // Front = most recent.
+  mutable std::shared_mutex cache_mu_;
+  mutable std::list<CacheEntry> cache_lru_;  // Front = most recently inserted.
   mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_index_;
   size_t cache_capacity_ = 64;
-  mutable size_t cache_hits_ = 0;
-  mutable size_t cache_misses_ = 0;
+  mutable std::atomic<size_t> cache_hits_{0};
+  mutable std::atomic<size_t> cache_misses_{0};
 };
 
 }  // namespace hgdb

@@ -1,8 +1,28 @@
 #include <unordered_map>
 
 #include "deltagraph/delta_graph.h"
+#include "exec/parallel_executor.h"
+#include "exec/task_pool.h"
 
 namespace hgdb {
+
+Status ApplyEventRange(const std::vector<Event>& events, Snapshot* g, bool forward,
+                       Timestamp lo, Timestamp hi, unsigned components) {
+  if (forward) {
+    for (const auto& e : events) {
+      if (e.time <= lo) continue;
+      if (e.time > hi) break;
+      HG_RETURN_NOT_OK(g->Apply(e, true, components));
+    }
+  } else {
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+      if (it->time > hi) continue;
+      if (it->time <= lo) break;
+      HG_RETURN_NOT_OK(g->Apply(*it, false, components));
+    }
+  }
+  return Status::OK();
+}
 
 // ---------------------------------------------------------------------------
 // Snapshot plan execution
@@ -96,24 +116,9 @@ class SnapshotPlanVisitor final : public PlanVisitor {
     return Status::OK();
   }
 
-  // Applies events with lo < time <= hi. Forward applies them oldest-first;
-  // backward applies the same range newest-first, inverted.
   Status ApplyRange(const std::vector<Event>& events, bool forward, Timestamp lo,
                     Timestamp hi) {
-    if (forward) {
-      for (const auto& e : events) {
-        if (e.time <= lo) continue;
-        if (e.time > hi) break;
-        HG_RETURN_NOT_OK(g_.Apply(e, true, components_));
-      }
-    } else {
-      for (auto it = events.rbegin(); it != events.rend(); ++it) {
-        if (it->time > hi) continue;
-        if (it->time <= lo) break;
-        HG_RETURN_NOT_OK(g_.Apply(*it, false, components_));
-      }
-    }
-    return Status::OK();
+    return ApplyEventRange(events, &g_, forward, lo, hi, components_);
   }
 
   const DeltaGraph* dg_;
@@ -175,9 +180,47 @@ Status DeltaGraph::ExecutePlan(const Plan& plan, PlanVisitor* visitor) const {
 
 Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
     const Plan& plan, unsigned components) const {
+  // Branchy plans run on the attached pool when it offers real parallelism;
+  // linear plans (every singlepoint query) and serial configurations keep
+  // the backtracking visitor, whose single-thread profile matches PR 1
+  // exactly. The shared default pool is resolved lazily so processes that
+  // never execute a branchy plan never spawn its threads.
+  const bool branchy = PlanHasBranches(plan);
+  TaskPool* pool = exec_pool_;
+  if (pool == nullptr && !exec_pool_set_ && branchy) pool = &TaskPool::Shared();
+  if (branchy && pool != nullptr && pool->parallelism() >= 2) {
+    ParallelPlanExecutor executor(this, components, pool);
+    return executor.Run(plan);
+  }
   SnapshotPlanVisitor visitor(this, components);
   HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
   return visitor.TakeResults();
+}
+
+Result<std::vector<Snapshot>> DeltaGraph::SnapshotPlanResults::TakeInOrder(
+    const std::vector<Timestamp>& times) {
+  std::vector<Snapshot> out;
+  out.reserve(times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    auto it = by_time.find(times[i]);
+    if (it == by_time.end()) {
+      return Status::Internal("plan did not produce snapshot for requested time");
+    }
+    // The same time may be requested twice; copy all but the last use.
+    bool last_use = true;
+    for (size_t j = i + 1; j < times.size(); ++j) {
+      if (times[j] == times[i]) {
+        last_use = false;
+        break;
+      }
+    }
+    if (last_use) {
+      out.push_back(std::move(it->second));
+    } else {
+      out.push_back(it->second);
+    }
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -216,36 +259,19 @@ Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
   }
 
   Planner planner(MakePlannerContext());
-  auto plan = (times.size() == 1 && options_.use_plan_cache)
-                  ? planner.PlanSinglepointCached(times[0], components, &sssp_cache_)
-                  : planner.PlanSnapshots(times, components);
+  Result<Plan> plan = [&]() -> Result<Plan> {
+    if (times.size() == 1 && options_.use_plan_cache) {
+      // The SSSP cache is shared mutable state; concurrent retrievals
+      // serialize the (cheap) planning step, never the execution.
+      std::lock_guard<std::mutex> lock(sssp_mu_);
+      return planner.PlanSinglepointCached(times[0], components, &sssp_cache_);
+    }
+    return planner.PlanSnapshots(times, components);
+  }();
   if (!plan.ok()) return plan.status();
   auto exec = ExecuteSnapshotPlan(plan.value(), components);
   if (!exec.ok()) return exec.status();
-  auto& by_time = exec.value().by_time;
-
-  std::vector<Snapshot> out;
-  out.reserve(times.size());
-  for (size_t i = 0; i < times.size(); ++i) {
-    auto it = by_time.find(times[i]);
-    if (it == by_time.end()) {
-      return Status::Internal("plan did not produce snapshot for requested time");
-    }
-    // The same time may be requested twice; copy all but the last use.
-    bool last_use = true;
-    for (size_t j = i + 1; j < times.size(); ++j) {
-      if (times[j] == times[i]) {
-        last_use = false;
-        break;
-      }
-    }
-    if (last_use) {
-      out.push_back(std::move(it->second));
-    } else {
-      out.push_back(it->second);
-    }
-  }
-  return out;
+  return exec.value().TakeInOrder(times);
 }
 
 Status DeltaGraph::CollectEvents(Timestamp ts, Timestamp te, unsigned components,

@@ -1,0 +1,42 @@
+#include "exec/fetch_cache.h"
+
+#include "deltagraph/delta_graph.h"
+
+namespace hgdb {
+
+Result<std::shared_ptr<const Delta>> ExecFetchCache::GetDelta(const DeltaGraph& dg,
+                                                              int32_t edge,
+                                                              unsigned components) {
+  const uint64_t key = Key(edge, components);
+  {
+    std::shared_lock lock(mu_);
+    auto it = deltas_.find(key);
+    if (it != deltas_.end()) return it->second;
+  }
+  const SkeletonEdge& e = dg.skeleton().edge(edge);
+  auto d = dg.delta_store().GetDeltaShared(e.delta_id, components, e.sizes);
+  if (!d.ok()) return d.status();
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = deltas_.emplace(key, std::move(d).value());
+  (void)inserted;  // A racing decode already landed: keep the first, same data.
+  return it->second;
+}
+
+Result<std::shared_ptr<const EventList>> ExecFetchCache::GetEventList(
+    const DeltaGraph& dg, int32_t edge, unsigned components) {
+  const uint64_t key = Key(edge, components);
+  {
+    std::shared_lock lock(mu_);
+    auto it = events_.find(key);
+    if (it != events_.end()) return it->second;
+  }
+  const SkeletonEdge& e = dg.skeleton().edge(edge);
+  auto el = dg.delta_store().GetEventListShared(e.delta_id, components, e.sizes);
+  if (!el.ok()) return el.status();
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = events_.emplace(key, std::move(el).value());
+  (void)inserted;
+  return it->second;
+}
+
+}  // namespace hgdb

@@ -1,0 +1,55 @@
+#ifndef HISTGRAPH_EXEC_FETCH_CACHE_H_
+#define HISTGRAPH_EXEC_FETCH_CACHE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "graph/delta.h"
+#include "temporal/event_list.h"
+
+namespace hgdb {
+
+class DeltaGraph;
+
+/// \brief A thread-safe pin of decoded deltas/eventlists for one plan
+/// execution (or one RetrievalSession spanning several).
+///
+/// The serial SnapshotPlanVisitor pins decodes in plain maps so backtracking
+/// never refetches; the parallel executor needs the same pin shared across
+/// worker threads, and a session wants it shared across *plans* so two
+/// in-flight queries traversing the same skeleton edges fetch each edge once.
+/// Entries are keyed by (skeleton edge, components) and live for the cache's
+/// lifetime — unlike the DeltaStore's LRU underneath, nothing is evicted, so
+/// a pinned pointer stays valid without holding the lock.
+///
+/// Concurrency: lookups take a shared lock; a miss decodes *outside* any lock
+/// (so slow fetches don't serialize the pool) and inserts under an exclusive
+/// lock, first-writer-wins. Two workers racing on the same edge may both
+/// decode; both get usable objects and one copy is dropped — wasted work, not
+/// corruption. The DeltaStore LRU below makes the second decode cheap anyway.
+class ExecFetchCache {
+ public:
+  Result<std::shared_ptr<const Delta>> GetDelta(const DeltaGraph& dg, int32_t edge,
+                                                unsigned components);
+  Result<std::shared_ptr<const EventList>> GetEventList(const DeltaGraph& dg,
+                                                        int32_t edge,
+                                                        unsigned components);
+
+ private:
+  // Components fit in 4 bits (kCompAll == 0xF).
+  static uint64_t Key(int32_t edge, unsigned components) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(edge)) << 4) |
+           (components & 0xF);
+  }
+
+  std::shared_mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const Delta>> deltas_;
+  std::unordered_map<uint64_t, std::shared_ptr<const EventList>> events_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_EXEC_FETCH_CACHE_H_

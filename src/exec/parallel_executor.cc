@@ -1,0 +1,144 @@
+#include "exec/parallel_executor.h"
+
+#include <utility>
+#include <vector>
+
+namespace hgdb {
+
+bool PlanHasBranches(const Plan& plan) {
+  if (!plan.root) return false;
+  std::vector<const PlanNode*> stack = {plan.root.get()};
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    if (n->children.size() >= 2) return true;
+    for (const auto& [step, child] : n->children) stack.push_back(child.get());
+  }
+  return false;
+}
+
+ParallelPlanExecutor::ParallelPlanExecutor(const DeltaGraph* dg, unsigned components,
+                                           TaskPool* pool,
+                                           ExecFetchCache* shared_cache)
+    : dg_(dg),
+      components_(components),
+      pool_(pool),
+      fetches_(shared_cache != nullptr ? shared_cache : &own_cache_) {}
+
+Result<DeltaGraph::SnapshotPlanResults> ParallelPlanExecutor::Run(const Plan& plan) {
+  TaskGroup group(pool_);
+  Start(plan, &group);
+  group.Wait();
+  HG_RETURN_NOT_OK(TakeStatus());
+  return TakeResults();
+}
+
+void ParallelPlanExecutor::Start(const Plan& plan, TaskGroup* group) {
+  if (!plan.root) {
+    RecordError(Status::InvalidArgument("plan has no root"));
+    return;
+  }
+  const PlanNode* root = plan.root.get();
+  group->Spawn([this, root, group] { RunNode(root, Snapshot(), group); });
+}
+
+Status ParallelPlanExecutor::TakeStatus() {
+  std::lock_guard<std::mutex> lock(err_mu_);
+  return failed_.load(std::memory_order_acquire) ? first_error_ : Status::OK();
+}
+
+void ParallelPlanExecutor::RecordError(Status status) {
+  std::lock_guard<std::mutex> lock(err_mu_);
+  if (!failed_.load(std::memory_order_acquire)) {
+    first_error_ = std::move(status);
+    failed_.store(true, std::memory_order_release);
+  }
+}
+
+void ParallelPlanExecutor::EmitTime(Timestamp t, Snapshot snap) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  results_.by_time[t] = std::move(snap);
+}
+
+void ParallelPlanExecutor::EmitNode(int32_t node, Snapshot snap) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  results_.by_node[node] = std::move(snap);
+}
+
+Status ParallelPlanExecutor::ApplyStepTo(const PlanStep& step, Snapshot* snap) {
+  switch (step.kind) {
+    case PlanStep::Kind::kLoadMaterialized: {
+      const Snapshot* mat = dg_->materialized_snapshot(step.node);
+      if (mat == nullptr) {
+        return Status::Internal("plan: node not materialized: " +
+                                std::to_string(step.node));
+      }
+      const unsigned have = dg_->skeleton().node(step.node).materialized_components;
+      *snap = (have == components_) ? *mat : mat->CopyFiltered(components_);
+      return Status::OK();
+    }
+    case PlanStep::Kind::kLoadCurrent:
+      *snap = dg_->current().CopyFiltered(components_);
+      return Status::OK();
+    case PlanStep::Kind::kApplyDelta: {
+      auto d = fetches_->GetDelta(*dg_, step.edge, components_);
+      if (!d.ok()) return d.status();
+      return d.value()->ApplyTo(snap, step.forward, components_);
+    }
+    case PlanStep::Kind::kApplyEvents: {
+      auto el = fetches_->GetEventList(*dg_, step.edge, components_);
+      if (!el.ok()) return el.status();
+      return ApplyEventRange(el.value()->events(), snap, step.forward, step.lo,
+                             step.hi, components_);
+    }
+    case PlanStep::Kind::kApplyRecentEvents:
+      return ApplyEventRange(dg_->recent_events().events(), snap, step.forward,
+                             step.lo, step.hi, components_);
+  }
+  return Status::Internal("plan: unknown step kind");
+}
+
+void ParallelPlanExecutor::RunNode(const PlanNode* node, Snapshot working,
+                                   TaskGroup* group) {
+  // Iterative tail descent: this task handles `node`'s emits, forks siblings
+  // off as tasks, and follows the last child itself.
+  while (!failed_.load(std::memory_order_acquire)) {
+    const bool leaf_task = node->children.empty();
+    for (size_t i = 0; i < node->emit_times.size(); ++i) {
+      // The last emit of a childless node owns the working fork outright.
+      const bool last_emit =
+          leaf_task && node->emit_nodes.empty() && i + 1 == node->emit_times.size();
+      EmitTime(node->emit_times[i], last_emit ? std::move(working) : working);
+    }
+    for (size_t i = 0; i < node->emit_nodes.size(); ++i) {
+      const bool last_emit = leaf_task && i + 1 == node->emit_nodes.size();
+      EmitNode(node->emit_nodes[i], last_emit ? std::move(working) : working);
+    }
+    if (leaf_task) return;
+
+    // Fork a COW copy of the working snapshot per sibling subtree. The copy
+    // is O(1); each subtree's mutations clone only the stores they touch.
+    for (size_t i = 0; i + 1 < node->children.size(); ++i) {
+      const auto& [step, child] = node->children[i];
+      Snapshot fork = working;
+      const Status s = ApplyStepTo(step, &fork);
+      if (!s.ok()) {
+        RecordError(s);
+        return;
+      }
+      const PlanNode* child_ptr = child.get();
+      group->Spawn([this, child_ptr, fork = std::move(fork), group]() mutable {
+        RunNode(child_ptr, std::move(fork), group);
+      });
+    }
+    const auto& [last_step, last_child] = node->children.back();
+    const Status s = ApplyStepTo(last_step, &working);
+    if (!s.ok()) {
+      RecordError(s);
+      return;
+    }
+    node = last_child.get();
+  }
+}
+
+}  // namespace hgdb

@@ -1,0 +1,86 @@
+#ifndef HISTGRAPH_EXEC_PARALLEL_EXECUTOR_H_
+#define HISTGRAPH_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "deltagraph/delta_graph.h"
+#include "deltagraph/plan.h"
+#include "exec/fetch_cache.h"
+#include "exec/task_pool.h"
+
+namespace hgdb {
+
+/// True if the plan contains at least one node with two or more children —
+/// i.e. independent subtrees a parallel executor could overlap. Linear chains
+/// (every singlepoint plan) have nothing to parallelize.
+bool PlanHasBranches(const Plan& plan);
+
+/// \brief Executes a retrieval plan with independent subtrees running
+/// concurrently on a TaskPool.
+///
+/// Where the serial SnapshotPlanVisitor walks the plan depth-first and
+/// *backtracks* (applying each non-tail step inversely after finishing its
+/// subtree), the parallel executor *forks*: at a branch node it copies the
+/// working snapshot — an O(1) copy-on-write share — applies each child's step
+/// to its own fork, and schedules the sibling subtrees as tasks, descending
+/// into the last child itself. No undo steps are ever applied. Emits go
+/// through a mutex-guarded sink keyed by emit target (time / node id), so the
+/// assembled results are deterministic and element-for-element identical to
+/// the serial visitor's regardless of task completion order.
+///
+/// One executor instance serves one plan execution. The DeltaGraph must not
+/// be mutated (Append/Finalize/Materialize) while an execution is in flight;
+/// concurrent *retrievals* are fine (see src/exec/README.md for the full
+/// concurrency contract).
+class ParallelPlanExecutor {
+ public:
+  /// `shared_cache` (optional) lets a RetrievalSession share decoded fetches
+  /// across several concurrent plans; by default the executor uses a private
+  /// cache pinned for this plan only. Both must outlive the execution.
+  ParallelPlanExecutor(const DeltaGraph* dg, unsigned components, TaskPool* pool,
+                       ExecFetchCache* shared_cache = nullptr);
+
+  /// Runs the plan to completion, helping the pool from the calling thread.
+  Result<DeltaGraph::SnapshotPlanResults> Run(const Plan& plan);
+
+  /// Asynchronous form for sessions: schedules the plan's root into `group`
+  /// (the caller later waits on the group, then collects TakeStatus /
+  /// TakeResults). `plan` and the executor must outlive the group's Wait.
+  void Start(const Plan& plan, TaskGroup* group);
+
+  Status TakeStatus();
+  DeltaGraph::SnapshotPlanResults TakeResults() { return std::move(results_); }
+
+ private:
+  /// Walks `node` with `working` as the working snapshot, spawning sibling
+  /// subtrees into `group` and descending into the last child iteratively.
+  void RunNode(const PlanNode* node, Snapshot working, TaskGroup* group);
+
+  Status ApplyStepTo(const PlanStep& step, Snapshot* snap);
+  void RecordError(Status status);
+
+  void EmitTime(Timestamp t, Snapshot snap);
+  void EmitNode(int32_t node, Snapshot snap);
+
+  const DeltaGraph* dg_;
+  const unsigned components_;
+  TaskPool* pool_;
+  ExecFetchCache* fetches_;
+  ExecFetchCache own_cache_;
+
+  // Ordered sink: emits land keyed by target, so assembly order never
+  // depends on scheduling.
+  std::mutex sink_mu_;
+  DeltaGraph::SnapshotPlanResults results_;
+
+  std::atomic<bool> failed_{false};
+  std::mutex err_mu_;
+  Status first_error_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_EXEC_PARALLEL_EXECUTOR_H_

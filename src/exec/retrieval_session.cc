@@ -1,0 +1,79 @@
+#include "exec/retrieval_session.h"
+
+namespace hgdb {
+
+namespace {
+
+// Default pool resolution mirrors DeltaGraph::ExecuteSnapshotPlan: honor an
+// explicitly attached pool, honor forced-serial (SetTaskPool(nullptr) /
+// exec_parallelism=1) with the inline pool, and only fall back to the shared
+// pool when the index was never configured.
+TaskPool* ResolveSessionPool(DeltaGraph* dg, TaskPool* pool) {
+  if (pool != nullptr) return pool;
+  if (dg->task_pool() != nullptr) return dg->task_pool();
+  return dg->task_pool_overridden() ? &TaskPool::Serial() : &TaskPool::Shared();
+}
+
+}  // namespace
+
+RetrievalSession::RetrievalSession(DeltaGraph* dg, TaskPool* pool)
+    : dg_(dg), pool_(ResolveSessionPool(dg, pool)), group_(pool_) {}
+
+RetrievalSession::~RetrievalSession() {
+  // Tasks in flight reference this session's plans and fetch cache; they must
+  // drain before members go away.
+  (void)Wait();
+}
+
+RetrievalSession::Request* RetrievalSession::Submit(std::vector<Timestamp> times,
+                                                    unsigned components) {
+  requests_.push_back(std::make_unique<Request>());
+  Request* req = requests_.back().get();
+  req->times = std::move(times);
+  req->components = components;
+
+  if (req->times.empty()) {
+    req->result = std::vector<Snapshot>();
+    return req;
+  }
+  // An un-finalized (or empty) index has no skeleton to plan over; fall back
+  // to the DeltaGraph's own replay path, synchronously.
+  if (dg_->skeleton().leaves().empty()) {
+    req->result = dg_->GetSnapshots(req->times, req->components);
+    return req;
+  }
+
+  auto plan = dg_->PlanFor(req->times, req->components);
+  if (!plan.ok()) {
+    req->result = plan.status();
+    return req;
+  }
+  req->plan = std::move(plan).value();
+  req->executor = std::make_unique<ParallelPlanExecutor>(dg_, req->components,
+                                                         pool_, &fetches_);
+  req->executor->Start(req->plan, &group_);
+  return req;
+}
+
+Status RetrievalSession::Wait() {
+  group_.Wait();
+  Status first_error = Status::OK();
+  for (auto& req : requests_) {
+    if (req->executor == nullptr) {
+      // Never started (planned synchronously or failed to plan) — result is
+      // already set; still surface its error below.
+    } else {
+      const Status s = req->executor->TakeStatus();
+      if (s.ok()) {
+        req->result = req->executor->TakeResults().TakeInOrder(req->times);
+      } else {
+        req->result = s;
+      }
+      req->executor.reset();  // Collected; Wait stays idempotent.
+    }
+    if (first_error.ok() && !req->result.ok()) first_error = req->result.status();
+  }
+  return first_error;
+}
+
+}  // namespace hgdb

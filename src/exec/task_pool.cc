@@ -1,0 +1,172 @@
+#include "exec/task_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/env_util.h"
+
+namespace hgdb {
+
+namespace {
+
+/// Which pool (if any) the current thread is a worker of, and its deque
+/// index. Lets Submit route a worker's child tasks to its own deque.
+struct WorkerIdentity {
+  TaskPool* pool = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+TaskPool::TaskPool(int parallelism) : parallelism_(std::max(parallelism, 1)) {
+  const int workers = parallelism_ - 1;
+  deques_.reserve(std::max(workers, 1));
+  for (int i = 0; i < std::max(workers, 1); ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stopping_ = true;
+  }
+  idle_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  // Drain anything still queued so submitted work is never silently dropped
+  // (group-tracked tasks would otherwise leave a waiter hanging).
+  std::function<void()> task;
+  while (PopOrSteal(0, &task)) task();
+}
+
+TaskPool& TaskPool::Shared() {
+  static TaskPool* pool = new TaskPool(static_cast<int>(
+      GetEnvInt("HISTGRAPH_THREADS",
+                static_cast<int64_t>(std::max(1u, std::thread::hardware_concurrency())))));
+  return *pool;
+}
+
+TaskPool& TaskPool::Serial() {
+  static TaskPool* pool = new TaskPool(1);
+  return *pool;
+}
+
+void TaskPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();  // No workers: degenerate inline execution.
+    return;
+  }
+  size_t target;
+  if (tls_worker.pool == this) {
+    target = tls_worker.index;  // Worker spawning a child: keep it local.
+  } else {
+    target = next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(deques_[target]->mu);
+    deques_[target]->tasks.push_back(std::move(fn));
+  }
+  {
+    // The increment must be ordered against the workers' predicate check
+    // under idle_mu_, or a worker that just found pending_ == 0 could block
+    // right past this notify and sleep with the task queued (lost wakeup).
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  idle_cv_.notify_one();
+}
+
+bool TaskPool::PopOrSteal(size_t home, std::function<void()>* out) {
+  if (pending_.load(std::memory_order_acquire) == 0) return false;
+  const size_t n = deques_.size();
+  // Own deque from the back (LIFO: the subtree just forked, cache-warm) ...
+  {
+    Deque& d = *deques_[home % n];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (!d.tasks.empty()) {
+      *out = std::move(d.tasks.back());
+      d.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  // ... then steal from the front of the others (FIFO: the oldest, usually
+  // largest, pending subtree).
+  for (size_t i = 1; i < n; ++i) {
+    Deque& d = *deques_[(home + i) % n];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (!d.tasks.empty()) {
+      *out = std::move(d.tasks.front());
+      d.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TaskPool::RunOne() {
+  std::function<void()> task;
+  const size_t home = tls_worker.pool == this
+                          ? tls_worker.index
+                          : next_deque_.load(std::memory_order_relaxed);
+  if (!PopOrSteal(home, &task)) return false;
+  task();
+  return true;
+}
+
+void TaskPool::WorkerLoop(size_t index) {
+  tls_worker = {this, index};
+  std::function<void()> task;
+  for (;;) {
+    if (PopOrSteal(index, &task)) {
+      task();
+      task = nullptr;  // Release captures promptly.
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stopping_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_) return;
+  }
+}
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit([this, fn = std::move(fn)] {
+    fn();
+    // The decrement happens under mu_ so that Wait, which re-acquires mu_
+    // before returning, cannot let the group be destroyed while this task
+    // sits between its decrement and the notify (the classic
+    // notify-after-destroy condvar lifetime race).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    if (pool_->RunOne()) continue;
+    // Nothing queued but tasks are still running on workers; sleep briefly.
+    // The timeout covers the benign race where a running task spawns a child
+    // between our RunOne miss and the wait.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait_for(lock, std::chrono::microseconds(100), [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Serialize with the final completing task: it may still hold mu_ between
+  // its zero-reaching decrement and its notify. After this acquire, no task
+  // touches this group again, so the caller may destroy it.
+  std::lock_guard<std::mutex> lock(mu_);
+}
+
+}  // namespace hgdb

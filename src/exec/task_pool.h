@@ -1,0 +1,112 @@
+#ifndef HISTGRAPH_EXEC_TASK_POOL_H_
+#define HISTGRAPH_EXEC_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hgdb {
+
+/// \brief A fixed-size work-stealing task pool for plan execution.
+///
+/// A pool of parallelism P owns P-1 worker threads; the Pth thread is the
+/// caller blocked in TaskGroup::Wait, which *helps* by running queued tasks
+/// instead of sleeping. Each worker has its own deque: tasks submitted from a
+/// worker go to that worker's deque and are popped LIFO (depth-first, cache
+/// warm), while idle workers steal FIFO from the other end (breadth-first,
+/// stealing the biggest remaining subtrees). External submissions round-robin
+/// across deques.
+///
+/// Tasks must never block on other tasks — the executor forks state instead
+/// of waiting, so every task runs to completion once started. That is the
+/// no-deadlock invariant of the whole subsystem (see src/exec/README.md).
+class TaskPool {
+ public:
+  /// `parallelism` counts the helping caller: a pool of parallelism P spawns
+  /// P-1 workers. Values <= 1 spawn no workers (tasks run inline on submit or
+  /// in the caller's Wait loop).
+  explicit TaskPool(int parallelism);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// The process-wide pool retrieval defaults to, sized by the
+  /// HISTGRAPH_THREADS environment variable (default: the hardware
+  /// concurrency). Lazily constructed on first use.
+  static TaskPool& Shared();
+
+  /// A process-wide parallelism-1 pool (no worker threads; everything runs
+  /// inline). For callers that need *a* pool but must stay single-threaded.
+  static TaskPool& Serial();
+
+  /// Pool parallelism including the helping caller (the constructor arg).
+  int parallelism() const { return parallelism_; }
+
+  /// Enqueues a task. With no workers the task runs inline before Submit
+  /// returns (callers must tolerate inline execution — plan trees are
+  /// shallow, so the recursion this implies is bounded).
+  void Submit(std::function<void()> fn);
+
+  /// Runs one queued task on the calling thread; false if none was queued.
+  /// This is how waiting callers help drain the pool.
+  bool RunOne();
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool PopOrSteal(size_t home, std::function<void()>* out);
+
+  const int parallelism_;
+  std::vector<std::unique_ptr<Deque>> deques_;  // One per worker (>= 1).
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_deque_{0};  // Round-robin for external submits.
+  std::atomic<size_t> pending_{0};     // Queued (not yet started) tasks.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  bool stopping_ = false;
+};
+
+/// \brief Tracks a set of tasks spawned into a TaskPool and lets one caller
+/// wait for all of them (including tasks those tasks spawn) to finish.
+///
+/// The waiting thread does not sleep while work remains: it runs queued pool
+/// tasks itself, so a pool of parallelism P really applies P threads to the
+/// group. Spawn may be called from inside group tasks (the counter is
+/// incremented before the parent's decrement, so the group cannot be observed
+/// empty mid-tree).
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  TaskPool* pool() const { return pool_; }
+
+  void Spawn(std::function<void()> fn);
+
+  /// Blocks (helping) until every spawned task has completed.
+  void Wait();
+
+ private:
+  TaskPool* pool_;
+  std::atomic<size_t> outstanding_{0};
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_EXEC_TASK_POOL_H_

@@ -1,6 +1,7 @@
 #ifndef HISTGRAPH_GRAPH_SNAPSHOT_H_
 #define HISTGRAPH_GRAPH_SNAPSHOT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -227,9 +228,18 @@ class Snapshot {
   // SoleOwner fast path (uniquely-owned store: write straight through, one
   // probe); the shared path re-checks for no-ops before cloning so that
   // no-op writes never break sharing.
+  //
+  // The acquire fence is what lets snapshots that share stores be mutated
+  // from different threads (the parallel executor's fork model): use_count()
+  // is a relaxed load, so observing 1 does not by itself synchronize with
+  // the other thread's release-decrement of the refcount. The fence pairs
+  // with that release, ordering the releasing thread's reads of the store
+  // (its COW clone) before our in-place writes. Free on x86; one dmb on ARM.
   template <typename T>
   static bool SoleOwner(const std::shared_ptr<T>& store) {
-    return store != nullptr && store.use_count() == 1;
+    if (store == nullptr || store.use_count() != 1) return false;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return true;
   }
   template <typename T>
   static T* Mutable(std::shared_ptr<T>* store) {
@@ -237,6 +247,8 @@ class Snapshot {
       *store = std::make_shared<T>();
     } else if (store->use_count() > 1) {
       *store = std::make_shared<T>(**store);
+    } else {
+      std::atomic_thread_fence(std::memory_order_acquire);  // See SoleOwner.
     }
     return store->get();
   }

@@ -1,0 +1,355 @@
+// Tests for the parallel plan-execution subsystem (src/exec/): TaskPool
+// semantics, executor determinism against the serial visitor across seeds and
+// thread counts, batched RetrievalSessions, and concurrent-retrieval stress
+// (the latter two double as the ThreadSanitizer workload in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "deltagraph/delta_graph.h"
+#include "exec/parallel_executor.h"
+#include "exec/retrieval_session.h"
+#include "exec/task_pool.h"
+#include "workload/generators.h"
+#include "workload/trace_world.h"
+
+namespace hgdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TaskPool
+// ---------------------------------------------------------------------------
+
+TEST(TaskPoolTest, RunsAllSpawnedTasks) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.parallelism(), 4);
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 200; ++i) {
+    group.Spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(TaskPoolTest, NestedSpawnsAreAwaited) {
+  TaskPool pool(3);
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Spawn([&] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      for (int j = 0; j < 4; ++j) {
+        group.Spawn([&] {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          group.Spawn([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+        });
+      }
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 8 + 8 * 4 + 8 * 4);
+}
+
+TEST(TaskPoolTest, SerialPoolRunsInline) {
+  TaskPool pool(1);  // No workers: Submit executes before returning.
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+  TaskGroup group(&pool);
+  int order_probe = 0;
+  group.Spawn([&order_probe] { order_probe = 42; });
+  EXPECT_EQ(order_probe, 42);  // Already done, not merely queued.
+  group.Wait();
+}
+
+TEST(TaskPoolTest, WaitIsReusable) {
+  TaskPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Spawn([&] { ran.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 1);
+  group.Spawn([&] { ran.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Executor determinism: parallel == serial, element for element
+// ---------------------------------------------------------------------------
+
+struct BuiltIndex {
+  std::unique_ptr<KVStore> store;
+  std::unique_ptr<DeltaGraph> dg;
+  std::vector<Event> events;
+};
+
+BuiltIndex BuildRandomIndex(uint64_t seed, size_t num_events,
+                            size_t post_finalize_events = 0) {
+  RandomTraceOptions topts;
+  topts.num_events = num_events + post_finalize_events;
+  topts.seed = seed;
+  GeneratedTrace trace = GenerateRandomTrace(topts);
+
+  BuiltIndex built;
+  built.store = NewMemKVStore();
+  DeltaGraphOptions opts;
+  opts.leaf_size = std::max<size_t>(50, num_events / 24);  // Many leaves.
+  opts.arity = 2;
+  opts.functions = {"intersection"};
+  auto dg = DeltaGraph::Create(built.store.get(), opts);
+  EXPECT_TRUE(dg.ok());
+  built.dg = std::move(dg).value();
+  std::vector<Event> indexed(trace.events.begin(),
+                             trace.events.begin() + num_events);
+  EXPECT_TRUE(built.dg->AppendAll(indexed).ok());
+  EXPECT_TRUE(built.dg->Finalize().ok());
+  // Trailing un-finalized events exercise the kApplyRecentEvents step. Keep
+  // them strictly after the finalize boundary: events appended at a time
+  // *equal* to the final leaf's boundary straddle the (lo, hi] eventlist
+  // intervals and are lost by retrieval — a pre-existing index limitation
+  // (tracked in ROADMAP.md), not executor behavior under test here.
+  const auto& skel = built.dg->skeleton();
+  const Timestamp boundary =
+      skel.leaves().empty() ? kMinTimestamp
+                            : skel.node(skel.leaves().back()).boundary_time;
+  for (size_t i = num_events; i < trace.events.size(); ++i) {
+    if (trace.events[i].time <= boundary) trace.events[i].time = boundary + 1;
+    EXPECT_TRUE(built.dg->Append(trace.events[i]).ok());
+  }
+  built.events = std::move(trace.events);
+  return built;
+}
+
+std::vector<Timestamp> RandomTimes(std::mt19937_64& rng, const std::vector<Event>& ev,
+                                   int k) {
+  const Timestamp lo = ev.front().time, hi = ev.back().time;
+  std::uniform_int_distribution<Timestamp> dist(lo > 10 ? lo - 10 : 0, hi + 20);
+  std::vector<Timestamp> times;
+  for (int i = 0; i < k; ++i) times.push_back(dist(rng));
+  if (k >= 4) times[k - 1] = times[0];  // Duplicate request in the batch.
+  return times;
+}
+
+TEST(ParallelExecutorTest, MatchesSerialAcrossSeedsAndThreadCounts) {
+  TaskPool pool2(2), pool8(8);
+  for (uint64_t seed : {11u, 1234u, 990017u}) {
+    BuiltIndex built = BuildRandomIndex(seed, 3000, /*post_finalize_events=*/150);
+    std::mt19937_64 rng(seed * 31 + 7);
+    for (unsigned components : {unsigned{kCompAll}, unsigned{kCompStruct}}) {
+      for (int k : {2, 5, 9}) {
+        const std::vector<Timestamp> times = RandomTimes(rng, built.events, k);
+
+        built.dg->SetTaskPool(nullptr);  // Serial baseline.
+        auto serial = built.dg->GetSnapshots(times, components);
+        ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+        for (TaskPool* pool : {&pool2, &pool8}) {
+          built.dg->SetTaskPool(pool);
+          auto parallel = built.dg->GetSnapshots(times, components);
+          ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+          ASSERT_EQ(parallel.value().size(), serial.value().size());
+          for (size_t i = 0; i < times.size(); ++i) {
+            EXPECT_TRUE(parallel.value()[i].Equals(serial.value()[i]))
+                << "seed=" << seed << " threads=" << pool->parallelism()
+                << " components=" << components << " t=" << times[i] << "\n"
+                << parallel.value()[i].DiffString(serial.value()[i]);
+          }
+        }
+        // A parallelism-1 pool must take the serial path (and agree).
+        TaskPool pool1(1);
+        built.dg->SetTaskPool(&pool1);
+        auto one = built.dg->GetSnapshots(times, components);
+        ASSERT_TRUE(one.ok());
+        for (size_t i = 0; i < times.size(); ++i) {
+          EXPECT_TRUE(one.value()[i].Equals(serial.value()[i]));
+        }
+        built.dg->SetTaskPool(nullptr);
+      }
+    }
+    // Ground truth once per seed: the parallel result equals exact replay.
+    TaskPool pool4(4);
+    built.dg->SetTaskPool(&pool4);
+    const std::vector<Timestamp> times = RandomTimes(rng, built.events, 6);
+    auto snaps = built.dg->GetSnapshots(times, kCompAll);
+    ASSERT_TRUE(snaps.ok());
+    for (size_t i = 0; i < times.size(); ++i) {
+      Snapshot expected = ReplayAt(built.events, times[i]);
+      EXPECT_TRUE(snaps.value()[i].Equals(expected))
+          << "t=" << times[i] << "\n" << snaps.value()[i].DiffString(expected);
+    }
+  }
+}
+
+TEST(ParallelExecutorTest, MaterializedStartsMatchSerial) {
+  BuiltIndex built = BuildRandomIndex(77, 2500);
+  ASSERT_TRUE(built.dg->MaterializeDepth(1).ok());
+  std::mt19937_64 rng(99);
+  const std::vector<Timestamp> times = RandomTimes(rng, built.events, 7);
+
+  built.dg->SetTaskPool(nullptr);
+  auto serial = built.dg->GetSnapshots(times, kCompAll);
+  ASSERT_TRUE(serial.ok());
+
+  TaskPool pool4(4);
+  built.dg->SetTaskPool(&pool4);
+  auto parallel = built.dg->GetSnapshots(times, kCompAll);
+  ASSERT_TRUE(parallel.ok());
+  for (size_t i = 0; i < times.size(); ++i) {
+    EXPECT_TRUE(parallel.value()[i].Equals(serial.value()[i]))
+        << parallel.value()[i].DiffString(serial.value()[i]);
+  }
+}
+
+TEST(ParallelExecutorTest, PlanHasBranchesDetectsLinearChains) {
+  BuiltIndex built = BuildRandomIndex(5, 1500);
+  auto single = built.dg->PlanFor({built.events.back().time / 2});
+  ASSERT_TRUE(single.ok());
+  EXPECT_FALSE(PlanHasBranches(single.value()));  // Singlepoint = linear.
+}
+
+// ---------------------------------------------------------------------------
+// RetrievalSession
+// ---------------------------------------------------------------------------
+
+// Alternate components across a session's requests.
+unsigned i_th_components(size_t i) {
+  return i % 2 == 0 ? unsigned{kCompAll} : unsigned{kCompStruct};
+}
+
+TEST(RetrievalSessionTest, BatchedRequestsMatchDirectRetrieval) {
+  BuiltIndex built = BuildRandomIndex(321, 2500, 100);
+  std::mt19937_64 rng(5);
+  TaskPool pool(4);
+
+  std::vector<std::vector<Timestamp>> batches;
+  for (int i = 0; i < 5; ++i) batches.push_back(RandomTimes(rng, built.events, 4));
+
+  RetrievalSession session(built.dg.get(), &pool);
+  std::vector<RetrievalSession::Request*> tickets;
+  for (const auto& b : batches) {
+    tickets.push_back(session.Submit(b, i_th_components(tickets.size())));
+  }
+  ASSERT_TRUE(session.Wait().ok());
+
+  built.dg->SetTaskPool(nullptr);
+  for (size_t i = 0; i < batches.size(); ++i) {
+    ASSERT_TRUE(tickets[i]->result.ok()) << tickets[i]->result.status().ToString();
+    auto expect = built.dg->GetSnapshots(batches[i], i_th_components(i));
+    ASSERT_TRUE(expect.ok());
+    ASSERT_EQ(tickets[i]->result.value().size(), batches[i].size());
+    for (size_t j = 0; j < batches[i].size(); ++j) {
+      EXPECT_TRUE(tickets[i]->result.value()[j].Equals(expect.value()[j]))
+          << "request " << i << " time index " << j;
+    }
+  }
+}
+
+TEST(RetrievalSessionTest, EmptyAndUnfinalizedIndexFallBack) {
+  auto store = NewMemKVStore();
+  DeltaGraphOptions opts;
+  opts.leaf_size = 10000;  // Nothing gets cut: skeleton stays empty.
+  auto dg = DeltaGraph::Create(store.get(), opts);
+  ASSERT_TRUE(dg.ok());
+  RandomTraceOptions topts;
+  topts.num_events = 200;
+  GeneratedTrace trace = GenerateRandomTrace(topts);
+  ASSERT_TRUE(dg.value()->AppendAll(trace.events).ok());
+
+  TaskPool pool(2);
+  RetrievalSession session(dg.value().get(), &pool);
+  auto* empty = session.Submit({});
+  auto* replayed = session.Submit({trace.events.back().time});
+  ASSERT_TRUE(session.Wait().ok());
+  EXPECT_TRUE(empty->result.ok());
+  EXPECT_EQ(empty->result.value().size(), 0u);
+  ASSERT_TRUE(replayed->result.ok());
+  EXPECT_TRUE(replayed->result.value()[0].Equals(
+      ReplayAt(trace.events, trace.events.back().time)));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress (the TSan workload)
+// ---------------------------------------------------------------------------
+
+TEST(ExecStressTest, ConcurrentSessionsOverOneIndex) {
+  BuiltIndex built = BuildRandomIndex(2024, 2500, 120);
+  built.dg->SetDecodedCacheCapacity(4);  // Force LRU churn + eviction races.
+  TaskPool pool(4);
+  built.dg->SetTaskPool(&pool);
+
+  constexpr int kDrivers = 4;
+  constexpr int kRoundsPerDriver = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      std::mt19937_64 rng(9000 + d);
+      for (int round = 0; round < kRoundsPerDriver; ++round) {
+        RetrievalSession session(built.dg.get(), &pool);
+        std::vector<std::vector<Timestamp>> batches;
+        std::vector<RetrievalSession::Request*> tickets;
+        for (int r = 0; r < 3; ++r) {
+          batches.push_back(RandomTimes(rng, built.events, 3 + r));
+          tickets.push_back(session.Submit(batches.back()));
+        }
+        if (!session.Wait().ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t r = 0; r < tickets.size(); ++r) {
+          for (size_t j = 0; j < batches[r].size(); ++j) {
+            Snapshot expected = ReplayAt(built.events, batches[r][j]);
+            if (!tickets[r]->result.value()[j].Equals(expected)) {
+              failures.fetch_add(1);
+              ADD_FAILURE() << "driver " << d << " round " << round << " req " << r
+                            << " t=" << batches[r][j] << "\n"
+                            << tickets[r]->result.value()[j].DiffString(expected);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ExecStressTest, ConcurrentDirectGetSnapshots) {
+  BuiltIndex built = BuildRandomIndex(555, 2000, 80);
+  TaskPool pool(3);
+  built.dg->SetTaskPool(&pool);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&, d] {
+      std::mt19937_64 rng(70 + d);
+      for (int round = 0; round < 4; ++round) {
+        // Mix multipoint with singlepoint (the latter contends on the
+        // SSSP plan cache).
+        const int k = (round % 2 == 0) ? 4 : 1;
+        const std::vector<Timestamp> times = RandomTimes(rng, built.events, k);
+        auto snaps = built.dg->GetSnapshots(times, kCompAll);
+        if (!snaps.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < times.size(); ++i) {
+          if (!snaps.value()[i].Equals(ReplayAt(built.events, times[i]))) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace hgdb
