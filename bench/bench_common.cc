@@ -110,7 +110,26 @@ KVStoreOptions SimulatedDiskOptions() {
 }
 
 std::unique_ptr<KVStore> NewSimDiskStore() {
-  return NewMemKVStore(SimulatedDiskOptions());
+  return NewBenchStore(SimulatedDiskOptions());
+}
+
+std::unique_ptr<KVStore> NewBenchStore(const KVStoreOptions& options) {
+  if (GetEnvString("HISTGRAPH_BENCH_STORE", "mem") == "disk") {
+    // A real log-structured DiskKVStore (plus the simulated read costs) so CI
+    // exercises the actual on-disk read path behind the prefetcher. Each call
+    // gets a fresh scratch file; a bench process may open several stores.
+    static int counter = 0;
+    const std::string dir =
+        FreshScratchDir("bench_store_" + std::to_string(counter++));
+    std::unique_ptr<KVStore> store;
+    Status s = OpenDiskKVStore(dir + "/db.log", options, &store);
+    if (!s.ok()) {
+      std::fprintf(stderr, "disk store open failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    return store;
+  }
+  return NewMemKVStore(options);
 }
 
 std::vector<Timestamp> UniformTimepoints(const Dataset& data, int count) {

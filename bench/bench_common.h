@@ -58,7 +58,14 @@ std::unique_ptr<DeltaGraph> BuildIndex(KVStore* store, const Dataset& data,
 KVStoreOptions SimulatedDiskOptions();
 
 /// A memory-backed store with the simulated-disk read costs applied.
+/// With HISTGRAPH_BENCH_STORE=disk, a real log-structured DiskKVStore in a
+/// scratch directory instead (CI uses this to exercise the on-disk read path
+/// behind the prefetcher).
 std::unique_ptr<KVStore> NewSimDiskStore();
+
+/// A store with explicit options, honoring the HISTGRAPH_BENCH_STORE backend
+/// switch (mem | disk).
+std::unique_ptr<KVStore> NewBenchStore(const KVStoreOptions& options);
 
 /// `count` timepoints uniformly covering the dataset's indexed time span.
 std::vector<Timestamp> UniformTimepoints(const Dataset& data, int count);

@@ -37,6 +37,14 @@ void GraphManager::WireExecPool() {
     dg_->SetTaskPool(owned_exec_pool_.get());
   }
   // 0: keep the DeltaGraph default (the lazily resolved shared pool).
+
+  if (options_.io_parallelism < 0) {
+    dg_->SetIoPool(nullptr);  // Prefetch off: fetches block their worker.
+  } else if (options_.io_parallelism >= 1) {
+    owned_io_pool_ = std::make_unique<IoPool>(options_.io_parallelism);
+    dg_->SetIoPool(owned_io_pool_.get());
+  }
+  // 0: keep the DeltaGraph default (IoPool::Shared via HISTGRAPH_IO_THREADS).
 }
 
 std::unique_ptr<RetrievalSession> GraphManager::NewRetrievalSession() {

@@ -9,6 +9,7 @@
 #include "core/attr_options.h"
 #include "core/time_expression.h"
 #include "deltagraph/delta_graph.h"
+#include "exec/io_pool.h"
 #include "exec/retrieval_session.h"
 #include "graphpool/graph_pool.h"
 
@@ -62,6 +63,11 @@ struct GraphManagerOptions {
   /// the serial executor; N >= 2 runs this manager's retrievals on a private
   /// pool of N threads. Negative values are treated as 1 (forced serial).
   int exec_parallelism = 0;
+  /// Parallelism of the asynchronous fetch prefetcher. 0 = the process-wide
+  /// default (IoPool::Shared, sized by HISTGRAPH_IO_THREADS, default 8);
+  /// N >= 1 runs this manager's prefetches on a private I/O pool of N
+  /// threads; negative disables prefetching (every fetch blocks its worker).
+  int io_parallelism = 0;
 };
 
 /// \brief The system facade tying together the DeltaGraph (HistoryManager
@@ -158,6 +164,7 @@ class GraphManager {
   GraphManagerOptions options_;
   std::unique_ptr<DeltaGraph> dg_;
   std::unique_ptr<TaskPool> owned_exec_pool_;  ///< When exec_parallelism >= 2.
+  std::unique_ptr<IoPool> owned_io_pool_;      ///< When io_parallelism >= 1.
   GraphPool pool_;
   size_t leaves_seen_ = 0;
   EdgeId next_transient_edge_id_ = (EdgeId{1} << 62);

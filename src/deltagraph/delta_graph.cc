@@ -181,10 +181,21 @@ Status DeltaGraph::Append(const Event& e) {
   if (e.time < max_time_) {
     return Status::InvalidArgument("events must be appended chronologically");
   }
+  // An equal-time event may only extend a run that still lives in the recent
+  // eventlist. If the state at max_time_ is already sealed by a leaf boundary
+  // (an initial snapshot at t0 with nothing appended since), the event would
+  // fall on the closed end of that leaf's (lo, hi] interval and be invisible
+  // to retrieval, so reject it instead of silently losing it.
+  if (recent_.empty() && !skeleton_.leaves().empty() &&
+      e.time == skeleton_.node(skeleton_.leaves().back()).boundary_time) {
+    return Status::InvalidArgument(
+        "event time equals the sealed final leaf boundary; events must be "
+        "strictly after an initial snapshot's time");
+  }
   // Cut a leaf when the eventlist is full, but never split equal-time events
   // across two leaves (a snapshot boundary must fall between distinct times).
   if (recent_.size() >= options_.leaf_size && e.time > recent_.EndTime()) {
-    HG_RETURN_NOT_OK(CutLeaf());
+    HG_RETURN_NOT_OK(CutLeaf(recent_.size()));
   }
   if (!has_initial_leaf_) {
     // Leaf 0: the initial (empty) state just before the first event.
@@ -220,15 +231,26 @@ Status DeltaGraph::AppendAll(const std::vector<Event>& events) {
   return Status::OK();
 }
 
-Status DeltaGraph::CutLeaf() {
-  if (recent_.empty()) return Status::OK();
+Status DeltaGraph::CutLeaf(size_t prefix) {
+  if (recent_.empty() || prefix == 0) return Status::OK();
+  const std::vector<Event>& ev = recent_.events();
+  prefix = std::min(prefix, ev.size());
+  const bool full = prefix == ev.size();
   const int32_t prev_leaf = skeleton_.leaves().back();
+
+  // The leaf's graph is the state after the cut events only. Events held back
+  // beyond `prefix` are rolled off the current graph; events are exactly
+  // invertible, so the rollback is exact (transient events are no-ops).
+  auto graph = std::make_shared<Snapshot>(current_);
+  for (size_t i = ev.size(); i > prefix; --i) {
+    HG_RETURN_NOT_OK(graph->Apply(ev[i - 1], /*forward=*/false));
+  }
 
   SkeletonNode leaf;
   leaf.level = 1;
   leaf.is_leaf = true;
-  leaf.boundary_time = recent_.EndTime();
-  leaf.element_count = current_.ElementCount();
+  leaf.boundary_time = ev[prefix - 1].time;
+  leaf.element_count = graph->ElementCount();
   const int32_t leaf_id = skeleton_.AddNode(leaf);
 
   // Persist the eventlist and hook it between the leaves.
@@ -237,10 +259,14 @@ Status DeltaGraph::CutLeaf() {
   edge.to = leaf_id;
   edge.is_eventlist = true;
   edge.delta_id = store_.AllocateId();
-  HG_RETURN_NOT_OK(store_.PutEventList(edge.delta_id, recent_, &edge.sizes));
+  if (full) {
+    HG_RETURN_NOT_OK(store_.PutEventList(edge.delta_id, recent_, &edge.sizes));
+  } else {
+    const EventList cut(std::vector<Event>(ev.begin(), ev.begin() + prefix));
+    HG_RETURN_NOT_OK(store_.PutEventList(edge.delta_id, cut, &edge.sizes));
+  }
   const int32_t edge_id = skeleton_.AddEdge(edge);
 
-  auto graph = std::make_shared<Snapshot>(current_);
   for (size_t h = 0; h < functions_.size(); ++h) {
     if (pending_[h].empty()) pending_[h].emplace_back();
     pending_[h][0].push_back(Pending{leaf_id, graph});
@@ -248,16 +274,20 @@ Status DeltaGraph::CutLeaf() {
   for (auto* hook : aux_hooks_) {
     HG_RETURN_NOT_OK(hook->BuildOnLeaf(leaf_id, prev_leaf, edge_id));
   }
-  recent_.Clear();
+  if (full) {
+    recent_.Clear();
+  } else {
+    recent_ = EventList(std::vector<Event>(ev.begin() + prefix, ev.end()));
+  }
   return CascadeMerges(/*force_partial=*/false);
 }
 
-Status DeltaGraph::BuildParent(size_t hierarchy, size_t level_index,
-                               bool force_partial) {
+Status DeltaGraph::BuildParent(size_t hierarchy, size_t level_index) {
   auto& level = pending_[hierarchy][level_index];
   const size_t take =
       std::min(level.size(), static_cast<size_t>(options_.arity));
-  if (take < 2 && !force_partial) return Status::OK();
+  // A parent over a single child would be a delta onto itself; finalization
+  // promotes lone leftovers upward instead (see CascadeMerges).
   if (take < 2) return Status::OK();
 
   std::vector<Pending> children(level.begin(), level.begin() + take);
@@ -304,11 +334,11 @@ Status DeltaGraph::CascadeMerges(bool force_partial) {
   for (size_t h = 0; h < pending_.size(); ++h) {
     for (size_t l = 0; l < pending_[h].size(); ++l) {
       while (pending_[h][l].size() >= static_cast<size_t>(options_.arity)) {
-        HG_RETURN_NOT_OK(BuildParent(h, l, false));
+        HG_RETURN_NOT_OK(BuildParent(h, l));
       }
       if (force_partial) {
         if (pending_[h][l].size() >= 2) {
-          HG_RETURN_NOT_OK(BuildParent(h, l, true));
+          HG_RETURN_NOT_OK(BuildParent(h, l));
         }
         // A single leftover node is promoted upward so exactly one root
         // emerges per hierarchy.
@@ -344,7 +374,18 @@ Status DeltaGraph::AttachSuperRoot(size_t hierarchy, const Pending& pending_root
 }
 
 Status DeltaGraph::Finalize() {
-  if (!recent_.empty()) HG_RETURN_NOT_OK(CutLeaf());
+  // Flush the trailing partial eventlist — but never cut a boundary inside an
+  // equal-time run. A resumed index may keep appending events at max_time_,
+  // and those must stay strictly inside the recent interval (boundary, +inf)
+  // to remain visible under the (lo, hi] eventlist semantics. The events at
+  // EndTime() are therefore held back in the recent eventlist (persisted by
+  // PersistMeta, replayed by Open) until a strictly later event seals them.
+  if (!recent_.empty()) {
+    const std::vector<Event>& ev = recent_.events();
+    size_t prefix = ev.size();
+    while (prefix > 0 && ev[prefix - 1].time == recent_.EndTime()) --prefix;
+    HG_RETURN_NOT_OK(CutLeaf(prefix));
+  }
   HG_RETURN_NOT_OK(CascadeMerges(/*force_partial=*/true));
   for (size_t h = 0; h < pending_.size(); ++h) {
     for (auto& level : pending_[h]) {

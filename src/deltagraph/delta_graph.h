@@ -25,6 +25,7 @@
 namespace hgdb {
 
 class TaskPool;  // src/exec/task_pool.h
+class IoPool;    // src/exec/io_pool.h
 
 /// Construction parameters of a DeltaGraph (Section 4.6): the leaf-eventlist
 /// size L, the arity k, and the differential function(s). Multiple functions
@@ -217,6 +218,21 @@ class DeltaGraph {
   /// (set to nullptr) from "never configured" (lazy shared default).
   bool task_pool_overridden() const { return exec_pool_set_; }
 
+  /// Attaches the I/O pool that plan-driven prefetch runs on. nullptr
+  /// disables prefetching (every fetch blocks its worker, the pre-PR 3
+  /// behavior). When never called, the default is IoPool::Shared() — sized
+  /// by HISTGRAPH_IO_THREADS, itself null (prefetch off) at 0. Same
+  /// concurrency contract as SetTaskPool: must not race in-flight queries.
+  void SetIoPool(IoPool* pool) {
+    io_pool_ = pool;
+    io_pool_set_ = true;
+  }
+  IoPool* io_pool() const { return io_pool_; }
+  bool io_pool_overridden() const { return io_pool_set_; }
+  /// The pool prefetch actually uses: the attached one, or the shared
+  /// default when never configured (nullptr = prefetch disabled).
+  IoPool* ResolveIoPool() const;
+
   /// Sizes the decoded delta/eventlist LRU that sits above the KVStore
   /// (0 disables and drops all entries). For ablations and for tests that
   /// damage the underlying store out-of-band.
@@ -248,8 +264,13 @@ class DeltaGraph {
   Status WalkPlanNode(const PlanNode& node, PlanVisitor* visitor, bool is_tail) const;
   Status ApplyPlanStep(const PlanStep& step, PlanVisitor* visitor, bool undo) const;
 
-  Status CutLeaf();  ///< Flush recent events as a leaf + eventlist edge.
-  Status BuildParent(size_t hierarchy, size_t level_index, bool force_partial);
+  /// Flushes the first `prefix` recent events as a leaf + eventlist edge,
+  /// leaving the remainder in the recent eventlist. Callers must never place
+  /// the boundary inside an equal-time run: every event left behind must be
+  /// strictly newer than the cut's boundary time, or it becomes invisible to
+  /// the (lo, hi] interval semantics (see src/deltagraph/README.md).
+  Status CutLeaf(size_t prefix);
+  Status BuildParent(size_t hierarchy, size_t level_index);
   Status CascadeMerges(bool force_partial);
   Status AttachSuperRoot(size_t hierarchy, const Pending& pending_root);
   PlannerContext MakePlannerContext() const;
@@ -277,6 +298,8 @@ class DeltaGraph {
   mutable std::mutex sssp_mu_;    ///< Guards sssp_cache_ across concurrent queries.
   TaskPool* exec_pool_ = nullptr;  ///< Plan-execution pool (see SetTaskPool).
   bool exec_pool_set_ = false;     ///< False = default to the lazy shared pool.
+  IoPool* io_pool_ = nullptr;      ///< Prefetch I/O pool (see SetIoPool).
+  bool io_pool_set_ = false;       ///< False = default to IoPool::Shared().
 
   std::vector<AuxIndexHook*> aux_hooks_;
 

@@ -134,14 +134,25 @@ Result<std::shared_ptr<const Delta>> DeltaStore::GetDeltaShared(
     DeltaId id, unsigned components, const ComponentSizes& sizes) const {
   const uint64_t key = CacheKey(id, components, /*is_delta=*/true);
   if (auto hit = CacheLookupDelta(key)) return hit;
-  auto decoded = std::make_shared<Delta>();
-  std::string blob;
-  for (int c = 0; c < 3; ++c) {
+  // All requested components in one MultiGet: one storage round-trip per
+  // delta instead of one per component.
+  std::vector<std::string> keys;
+  std::vector<ComponentMask> masks;
+  for (int c = 0; c < 3; ++c) {  // Deltas have no transient component.
     const ComponentMask mask = kComponentByIndex[c];
     if ((components & mask) == 0) continue;
     if (sizes.bytes[c] == 0) continue;  // Component empty; nothing stored.
-    HG_RETURN_NOT_OK(store_->Get(Key(id, c), &blob));
-    HG_RETURN_NOT_OK(decoded->DecodeComponent(mask, blob));
+    keys.push_back(Key(id, c));
+    masks.push_back(mask);
+  }
+  auto decoded = std::make_shared<Delta>();
+  std::vector<Slice> key_slices(keys.begin(), keys.end());
+  std::vector<std::string> blobs;
+  std::vector<Status> statuses;
+  store_->MultiGet(key_slices, &blobs, &statuses);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    HG_RETURN_NOT_OK(statuses[i]);
+    HG_RETURN_NOT_OK(decoded->DecodeComponent(masks[i], blobs[i]));
   }
   std::shared_ptr<const Delta> out = std::move(decoded);
   CacheInsert(key, out, nullptr);
@@ -177,14 +188,21 @@ Result<std::shared_ptr<const EventList>> DeltaStore::GetEventListShared(
     DeltaId id, unsigned components, const ComponentSizes& sizes) const {
   const uint64_t key = CacheKey(id, components, /*is_delta=*/false);
   if (auto hit = CacheLookupEvents(key)) return hit;
-  auto decoded = std::make_shared<EventList>();
-  std::string blob;
+  std::vector<std::string> keys;
   for (int c = 0; c < kNumComponents; ++c) {
     const ComponentMask mask = kComponentByIndex[c];
     if ((components & mask) == 0) continue;
     if (sizes.bytes[c] == 0) continue;
-    HG_RETURN_NOT_OK(store_->Get(Key(id, c), &blob));
-    HG_RETURN_NOT_OK(decoded->DecodeAndMergeComponent(blob));
+    keys.push_back(Key(id, c));
+  }
+  auto decoded = std::make_shared<EventList>();
+  std::vector<Slice> key_slices(keys.begin(), keys.end());
+  std::vector<std::string> blobs;
+  std::vector<Status> statuses;
+  store_->MultiGet(key_slices, &blobs, &statuses);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    HG_RETURN_NOT_OK(statuses[i]);
+    HG_RETURN_NOT_OK(decoded->DecodeAndMergeComponent(blobs[i]));
   }
   decoded->FinalizeMerge();
   std::shared_ptr<const EventList> out = std::move(decoded);

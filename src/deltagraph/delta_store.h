@@ -2,6 +2,7 @@
 #define HISTGRAPH_DELTAGRAPH_DELTA_STORE_H_
 
 #include <atomic>
+#include <cassert>
 #include <list>
 #include <memory>
 #include <shared_mutex>
@@ -88,6 +89,16 @@ class DeltaStore {
   size_t decoded_cache_hits() const;
   size_t decoded_cache_misses() const;
 
+  /// Decoded-cache key: (id, components, is_delta) packed into 64 bits.
+  /// Components fit in 4 bits; ids get the remaining 59 bits, which at one
+  /// delta per leaf-cut outlasts any realizable index (debug-asserted so an
+  /// id overflow can never silently alias two cache slots).
+  static uint64_t CacheKey(DeltaId id, unsigned components, bool is_delta) {
+    assert((id >> 59) == 0 && "DeltaId exceeds 2^59: decoded-cache key overflow");
+    return (id << 5) | (static_cast<uint64_t>(components & 0xF) << 1) |
+           (is_delta ? 1 : 0);
+  }
+
  private:
   static std::string Key(DeltaId id, int component_index);
 
@@ -108,11 +119,6 @@ class DeltaStore {
     std::shared_ptr<const EventList> events;
     mutable std::atomic<bool> hot{false};        // Set on hit; cleared by the clock.
   };
-  // (id, components) -> one cache slot. Components fit in 4 bits.
-  static uint64_t CacheKey(DeltaId id, unsigned components, bool is_delta) {
-    return (id << 5) | (static_cast<uint64_t>(components & 0xF) << 1) |
-           (is_delta ? 1 : 0);
-  }
   std::shared_ptr<const Delta> CacheLookupDelta(uint64_t key) const;
   std::shared_ptr<const EventList> CacheLookupEvents(uint64_t key) const;
   void CacheInsert(uint64_t key, std::shared_ptr<const Delta> delta,

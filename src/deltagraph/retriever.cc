@@ -1,7 +1,10 @@
 #include <unordered_map>
 
 #include "deltagraph/delta_graph.h"
+#include "exec/fetch_cache.h"
+#include "exec/io_pool.h"
 #include "exec/parallel_executor.h"
+#include "exec/prefetcher.h"
 #include "exec/task_pool.h"
 
 namespace hgdb {
@@ -36,10 +39,16 @@ Status ApplyEventRange(const std::vector<Event>& events, Snapshot* g, bool forwa
 /// eventlists are pinned (shared_ptr) for the duration of one plan so the
 /// backtracking (inverse) application never refetches; across plans they
 /// come from the DeltaStore's decoded-object LRU.
+///
+/// When a `prefetched` cache is supplied, misses in the local pin resolve
+/// through it instead of fetching synchronously: the plan pre-scan has
+/// already queued every edge on the I/O pool, so the visitor blocks only if
+/// it outruns the prefetcher.
 class SnapshotPlanVisitor final : public PlanVisitor {
  public:
-  SnapshotPlanVisitor(const DeltaGraph* dg, unsigned components)
-      : dg_(dg), components_(components) {}
+  SnapshotPlanVisitor(const DeltaGraph* dg, unsigned components,
+                      ExecFetchCache* prefetched = nullptr)
+      : dg_(dg), components_(components), prefetched_(prefetched) {}
 
   Status LoadMaterialized(int32_t node) override {
     const Snapshot* snap = dg_->materialized_snapshot(node);
@@ -95,8 +104,11 @@ class SnapshotPlanVisitor final : public PlanVisitor {
   Status FetchDelta(int32_t edge, const Delta** out) {
     auto it = delta_cache_.find(edge);
     if (it == delta_cache_.end()) {
-      const SkeletonEdge& e = dg_->skeleton().edge(edge);
-      auto d = dg_->store_.GetDeltaShared(e.delta_id, components_, e.sizes);
+      Result<std::shared_ptr<const Delta>> d = [&] {
+        if (prefetched_ != nullptr) return prefetched_->GetDelta(*dg_, edge, components_);
+        const SkeletonEdge& e = dg_->skeleton().edge(edge);
+        return dg_->store_.GetDeltaShared(e.delta_id, components_, e.sizes);
+      }();
       if (!d.ok()) return d.status();
       it = delta_cache_.emplace(edge, std::move(d).value()).first;
     }
@@ -107,8 +119,13 @@ class SnapshotPlanVisitor final : public PlanVisitor {
   Status FetchEventList(int32_t edge, const EventList** out) {
     auto it = el_cache_.find(edge);
     if (it == el_cache_.end()) {
-      const SkeletonEdge& e = dg_->skeleton().edge(edge);
-      auto el = dg_->store_.GetEventListShared(e.delta_id, components_, e.sizes);
+      Result<std::shared_ptr<const EventList>> el = [&] {
+        if (prefetched_ != nullptr) {
+          return prefetched_->GetEventList(*dg_, edge, components_);
+        }
+        const SkeletonEdge& e = dg_->skeleton().edge(edge);
+        return dg_->store_.GetEventListShared(e.delta_id, components_, e.sizes);
+      }();
       if (!el.ok()) return el.status();
       it = el_cache_.emplace(edge, std::move(el).value()).first;
     }
@@ -123,6 +140,7 @@ class SnapshotPlanVisitor final : public PlanVisitor {
 
   const DeltaGraph* dg_;
   unsigned components_;
+  ExecFetchCache* prefetched_;  ///< Optional; filled ahead by the I/O pool.
   Snapshot g_;
   DeltaGraph::SnapshotPlanResults results_;
   std::unordered_map<int32_t, std::shared_ptr<const Delta>> delta_cache_;
@@ -178,19 +196,43 @@ Status DeltaGraph::ExecutePlan(const Plan& plan, PlanVisitor* visitor) const {
   return WalkPlanNode(*plan.root, visitor, /*is_tail=*/true);
 }
 
+IoPool* DeltaGraph::ResolveIoPool() const {
+  if (io_pool_ != nullptr) return io_pool_;
+  return io_pool_set_ ? nullptr : IoPool::Shared();
+}
+
 Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
     const Plan& plan, unsigned components) const {
   // Branchy plans run on the attached pool when it offers real parallelism;
   // linear plans (every singlepoint query) and serial configurations keep
   // the backtracking visitor, whose single-thread profile matches PR 1
   // exactly. The shared default pool is resolved lazily so processes that
-  // never execute a branchy plan never spawn its threads.
+  // never execute a branchy plan never spawn its threads. Either executor
+  // runs behind the plan prefetcher when an I/O pool is available.
   const bool branchy = PlanHasBranches(plan);
   TaskPool* pool = exec_pool_;
   if (pool == nullptr && !exec_pool_set_ && branchy) pool = &TaskPool::Shared();
+  IoPool* io = ResolveIoPool();
   if (branchy && pool != nullptr && pool->parallelism() >= 2) {
-    ParallelPlanExecutor executor(this, components, pool);
+    ParallelPlanExecutor executor(this, components, pool, /*shared_cache=*/nullptr,
+                                  io);
     return executor.Run(plan);
+  }
+  if (io != nullptr) {
+    // Serial execution over a prefetched pin: the I/O pool fetches the
+    // plan's edges in first-touch order while the visitor applies. The cache
+    // destructor drains any prefetches the plan never consumed. Plans with
+    // fewer than two fetches have nothing to overlap (the visitor blocks on
+    // the first fetch either way), so they keep the zero-synchronization
+    // direct path — e.g. singlepoint queries served from a materialized node.
+    const std::vector<PlanFetch> fetches = CollectPlanFetches(plan);
+    if (fetches.size() >= 2) {
+      ExecFetchCache cache;
+      StartCollectedPrefetch(*this, fetches, components, &cache, io);
+      SnapshotPlanVisitor visitor(this, components, &cache);
+      HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
+      return visitor.TakeResults();
+    }
   }
   SnapshotPlanVisitor visitor(this, components);
   HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));

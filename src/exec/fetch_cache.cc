@@ -4,39 +4,111 @@
 
 namespace hgdb {
 
+template <typename T>
+ExecFetchCache::FetchFuture<T> ExecFetchCache::ClaimOrGet(
+    std::unordered_map<uint64_t, FetchFuture<T>>* map, uint64_t key,
+    std::promise<Result<std::shared_ptr<const T>>>* promise, bool* claimed) {
+  // Fast path: slot already claimed (shared lock, one hash probe).
+  {
+    std::shared_lock lock(mu_);
+    auto it = map->find(key);
+    if (it != map->end()) {
+      *claimed = false;
+      return it->second;
+    }
+  }
+  std::unique_lock lock(mu_);
+  auto it = map->find(key);
+  if (it != map->end()) {  // Raced claim: wait on the winner's future.
+    *claimed = false;
+    return it->second;
+  }
+  *claimed = true;
+  auto future = promise->get_future().share();
+  map->emplace(key, future);
+  return future;
+}
+
+template <typename T>
+void ExecFetchCache::ReleaseFailedSlot(
+    std::unordered_map<uint64_t, FetchFuture<T>>* map, uint64_t key) {
+  // A failed fetch must not pin its error for the cache's lifetime: current
+  // waiters see the error (their future is already fulfilled), but dropping
+  // the slot lets the next caller re-claim and retry — matching the old
+  // insert-only-on-success behavior across a long-lived session cache.
+  std::unique_lock lock(mu_);
+  map->erase(key);
+}
+
+// The single-flight protocol, shared by the worker and prefetch paths: claim
+// the slot and (if won) fetch outside any lock, fulfil the future, drop the
+// slot on failure. A caller that lost the claim either blocks on the winner's
+// future (workers need the object) or skips (prefetch jobs must not stall
+// their I/O shard behind a busy slot). Returns null only on a lost claim with
+// wait_if_claimed=false.
+template <typename T, typename FetchFn>
+Result<std::shared_ptr<const T>> ExecFetchCache::FetchSingleFlight(
+    std::unordered_map<uint64_t, FetchFuture<T>>* map, uint64_t key,
+    bool wait_if_claimed, FetchFn fetch) {
+  std::promise<Result<std::shared_ptr<const T>>> promise;
+  bool claimed = false;
+  auto future = ClaimOrGet(map, key, &promise, &claimed);
+  if (claimed) {
+    Result<std::shared_ptr<const T>> r = fetch();
+    promise.set_value(r);
+    if (!r.ok()) ReleaseFailedSlot(map, key);
+    return r;
+  }
+  if (!wait_if_claimed) return std::shared_ptr<const T>();
+  return future.get();
+}
+
 Result<std::shared_ptr<const Delta>> ExecFetchCache::GetDelta(const DeltaGraph& dg,
                                                               int32_t edge,
                                                               unsigned components) {
-  const uint64_t key = Key(edge, components);
-  {
-    std::shared_lock lock(mu_);
-    auto it = deltas_.find(key);
-    if (it != deltas_.end()) return it->second;
-  }
   const SkeletonEdge& e = dg.skeleton().edge(edge);
-  auto d = dg.delta_store().GetDeltaShared(e.delta_id, components, e.sizes);
-  if (!d.ok()) return d.status();
-  std::unique_lock lock(mu_);
-  auto [it, inserted] = deltas_.emplace(key, std::move(d).value());
-  (void)inserted;  // A racing decode already landed: keep the first, same data.
-  return it->second;
+  return FetchSingleFlight(&deltas_, Key(edge, components), /*wait_if_claimed=*/true,
+                           [&] {
+                             return dg.delta_store().GetDeltaShared(
+                                 e.delta_id, components, e.sizes);
+                           });
 }
 
 Result<std::shared_ptr<const EventList>> ExecFetchCache::GetEventList(
     const DeltaGraph& dg, int32_t edge, unsigned components) {
-  const uint64_t key = Key(edge, components);
-  {
-    std::shared_lock lock(mu_);
-    auto it = events_.find(key);
-    if (it != events_.end()) return it->second;
-  }
   const SkeletonEdge& e = dg.skeleton().edge(edge);
-  auto el = dg.delta_store().GetEventListShared(e.delta_id, components, e.sizes);
-  if (!el.ok()) return el.status();
-  std::unique_lock lock(mu_);
-  auto [it, inserted] = events_.emplace(key, std::move(el).value());
-  (void)inserted;
-  return it->second;
+  return FetchSingleFlight(&events_, Key(edge, components), /*wait_if_claimed=*/true,
+                           [&] {
+                             return dg.delta_store().GetEventListShared(
+                                 e.delta_id, components, e.sizes);
+                           });
+}
+
+void ExecFetchCache::Prefetch(const DeltaGraph& dg, int32_t edge, bool is_eventlist,
+                              unsigned components) {
+  const uint64_t key = Key(edge, components);
+  const SkeletonEdge& e = dg.skeleton().edge(edge);
+  if (is_eventlist) {
+    (void)FetchSingleFlight(&events_, key, /*wait_if_claimed=*/false, [&] {
+      return dg.delta_store().GetEventListShared(e.delta_id, components, e.sizes);
+    });
+  } else {
+    (void)FetchSingleFlight(&deltas_, key, /*wait_if_claimed=*/false, [&] {
+      return dg.delta_store().GetDeltaShared(e.delta_id, components, e.sizes);
+    });
+  }
+  std::lock_guard<std::mutex> lock(prefetch_mu_);
+  if (--prefetches_in_flight_ == 0) prefetch_cv_.notify_all();
+}
+
+void ExecFetchCache::BeginPrefetch() {
+  std::lock_guard<std::mutex> lock(prefetch_mu_);
+  ++prefetches_in_flight_;
+}
+
+void ExecFetchCache::WaitPrefetchesIdle() {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  prefetch_cv_.wait(lock, [this] { return prefetches_in_flight_ == 0; });
 }
 
 }  // namespace hgdb

@@ -1,7 +1,10 @@
 #ifndef HISTGRAPH_EXEC_FETCH_CACHE_H_
 #define HISTGRAPH_EXEC_FETCH_CACHE_H_
 
+#include <condition_variable>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 
@@ -15,39 +18,89 @@ namespace hgdb {
 class DeltaGraph;
 
 /// \brief A thread-safe pin of decoded deltas/eventlists for one plan
-/// execution (or one RetrievalSession spanning several).
+/// execution (or one RetrievalSession spanning several), with future-based
+/// entries so an asynchronous prefetcher can fill it ahead of the workers.
 ///
 /// The serial SnapshotPlanVisitor pins decodes in plain maps so backtracking
 /// never refetches; the parallel executor needs the same pin shared across
-/// worker threads, and a session wants it shared across *plans* so two
-/// in-flight queries traversing the same skeleton edges fetch each edge once.
-/// Entries are keyed by (skeleton edge, components) and live for the cache's
-/// lifetime — unlike the DeltaStore's LRU underneath, nothing is evicted, so
-/// a pinned pointer stays valid without holding the lock.
+/// worker threads, a session wants it shared across *plans*, and the prefetch
+/// pipeline wants to start fetches before any worker needs them. Entries are
+/// keyed by (skeleton edge, components) and live for the cache's lifetime —
+/// unlike the DeltaStore's LRU underneath, nothing is evicted, so a pinned
+/// pointer stays valid without holding the lock.
 ///
-/// Concurrency: lookups take a shared lock; a miss decodes *outside* any lock
-/// (so slow fetches don't serialize the pool) and inserts under an exclusive
-/// lock, first-writer-wins. Two workers racing on the same edge may both
-/// decode; both get usable objects and one copy is dropped — wasted work, not
-/// corruption. The DeltaStore LRU below makes the second decode cheap anyway.
+/// Concurrency: every slot is claimed exactly once (first-claimer-wins under
+/// the map lock) and holds a shared_future. The claimer — a prefetch job on
+/// an I/O thread, or whichever worker got there first — fetches and decodes
+/// *outside* the lock and fulfils the future; everyone else blocks on the
+/// future, so a fetch is performed at most once per cache no matter how many
+/// threads race on the same edge. Claimers run straight-line fetch/decode
+/// code and never wait on other tasks, so blocking on a claimed future cannot
+/// deadlock (the no-deadlock invariant of src/exec/README.md).
 class ExecFetchCache {
  public:
+  /// Destruction waits for in-flight prefetch jobs (see BeginPrefetch), so
+  /// owners may die with prefetches still queued on an IoPool.
+  ~ExecFetchCache() { WaitPrefetchesIdle(); }
+
+  /// Returns the decoded delta for `edge`, fetching it if no prefetch ever
+  /// claimed the slot, or blocking on the in-flight fetch if one did.
   Result<std::shared_ptr<const Delta>> GetDelta(const DeltaGraph& dg, int32_t edge,
                                                 unsigned components);
   Result<std::shared_ptr<const EventList>> GetEventList(const DeltaGraph& dg,
                                                         int32_t edge,
                                                         unsigned components);
 
+  /// Claims and performs the fetch for `edge` (no-op if already claimed).
+  /// Called from IoPool jobs; pair each scheduled call with BeginPrefetch.
+  void Prefetch(const DeltaGraph& dg, int32_t edge, bool is_eventlist,
+                unsigned components);
+
+  /// Registers one scheduled Prefetch, keeping this cache (and the DeltaGraph
+  /// the job references) pinned until the job runs. Called by the scheduler
+  /// *before* submitting the job to an IoPool.
+  void BeginPrefetch();
+
+  /// Blocks until every registered prefetch has run.
+  void WaitPrefetchesIdle();
+
  private:
+  template <typename T>
+  using FetchFuture = std::shared_future<Result<std::shared_ptr<const T>>>;
+
   // Components fit in 4 bits (kCompAll == 0xF).
   static uint64_t Key(int32_t edge, unsigned components) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(edge)) << 4) |
            (components & 0xF);
   }
 
+  /// Claims the slot for `key` (returning an unset promise-backed future and
+  /// claimed=true) or returns the existing future (claimed=false).
+  template <typename T>
+  FetchFuture<T> ClaimOrGet(std::unordered_map<uint64_t, FetchFuture<T>>* map,
+                            uint64_t key, std::promise<Result<std::shared_ptr<const T>>>* promise,
+                            bool* claimed);
+
+  /// Drops a slot whose fetch failed so a later caller can retry (current
+  /// waiters still observe the error through their future).
+  template <typename T>
+  void ReleaseFailedSlot(std::unordered_map<uint64_t, FetchFuture<T>>* map,
+                         uint64_t key);
+
+  /// One copy of the claim/fetch/fulfil/release-on-failure protocol (see the
+  /// class comment); `fetch` runs outside any lock when the claim is won.
+  template <typename T, typename FetchFn>
+  Result<std::shared_ptr<const T>> FetchSingleFlight(
+      std::unordered_map<uint64_t, FetchFuture<T>>* map, uint64_t key,
+      bool wait_if_claimed, FetchFn fetch);
+
   std::shared_mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const Delta>> deltas_;
-  std::unordered_map<uint64_t, std::shared_ptr<const EventList>> events_;
+  std::unordered_map<uint64_t, FetchFuture<Delta>> deltas_;
+  std::unordered_map<uint64_t, FetchFuture<EventList>> events_;
+
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;
+  size_t prefetches_in_flight_ = 0;
 };
 
 }  // namespace hgdb

@@ -1,0 +1,69 @@
+#include "exec/io_pool.h"
+
+#include <algorithm>
+
+#include "common/env_util.h"
+
+namespace hgdb {
+
+IoPool::IoPool(int parallelism) {
+  const int n = std::max(parallelism, 1);
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { ShardLoop(static_cast<size_t>(i)); });
+  }
+}
+
+IoPool::~IoPool() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stopping = true;
+    shard->cv.notify_all();
+  }
+  // No job is ever dropped: each shard thread keeps draining its queue after
+  // `stopping` (ShardLoop exits only on an empty queue) and late Submits run
+  // inline, so a pending prefetch's fetch-cache promise is always fulfilled.
+  for (auto& t : threads_) t.join();
+}
+
+IoPool* IoPool::Shared() {
+  static IoPool* pool = [] {
+    const int n = static_cast<int>(GetEnvInt("HISTGRAPH_IO_THREADS", 8));
+    return n < 1 ? nullptr : new IoPool(n);
+  }();
+  return pool;
+}
+
+void IoPool::Submit(uint64_t shard_key, std::function<void()> fn) {
+  Shard& shard = *shards_[shard_key % shards_.size()];
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    if (shard.stopping) {
+      // Pool is shutting down; run inline rather than dropping the job.
+      lock.unlock();
+      fn();
+      return;
+    }
+    shard.jobs.push_back(std::move(fn));
+  }
+  shard.cv.notify_one();
+}
+
+void IoPool::ShardLoop(size_t index) {
+  Shard& shard = *shards_[index];
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] { return shard.stopping || !shard.jobs.empty(); });
+      if (shard.jobs.empty()) return;  // stopping && drained
+      job = std::move(shard.jobs.front());
+      shard.jobs.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace hgdb

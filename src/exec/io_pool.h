@@ -1,0 +1,68 @@
+#ifndef HISTGRAPH_EXEC_IO_POOL_H_
+#define HISTGRAPH_EXEC_IO_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hgdb {
+
+/// \brief A small pool of dedicated I/O threads for asynchronous
+/// delta/eventlist prefetch.
+///
+/// Unlike the compute TaskPool (work-stealing, caller-helps), the IoPool is a
+/// plain sharded FIFO: jobs are routed by `shard_key % parallelism()` and each
+/// shard drains in submission order on its own thread. Stable sharding keeps
+/// every delta's fetch on one thread (the per-shard I/O process of the G*
+/// deployment model) and preserves the plan pre-scan's first-touch order, so
+/// the prefetcher stays ahead of the executor instead of fetching the tail of
+/// the plan first. I/O jobs spend most of their life blocked on the KVStore
+/// (simulated seek latency or a real disk), so a pool larger than the core
+/// count is useful and cheap.
+///
+/// Jobs must never submit to or wait on the pool they run in — they fetch,
+/// decode, fulfil a fetch-cache future, and return. Waiting on an I/O job's
+/// *future* from a TaskPool worker is safe (I/O jobs never block on compute).
+class IoPool {
+ public:
+  /// Spawns `parallelism` I/O threads (values < 1 are clamped to 1).
+  explicit IoPool(int parallelism);
+  ~IoPool();
+
+  IoPool(const IoPool&) = delete;
+  IoPool& operator=(const IoPool&) = delete;
+
+  /// The process-wide pool prefetching defaults to, sized by the
+  /// HISTGRAPH_IO_THREADS environment variable (default 8; 0 disables
+  /// prefetching process-wide). Lazily constructed on first use.
+  /// Returns nullptr when disabled.
+  static IoPool* Shared();
+
+  int parallelism() const { return static_cast<int>(shards_.size()); }
+
+  /// Enqueues `fn` on shard `shard_key % parallelism()`.
+  void Submit(uint64_t shard_key, std::function<void()> fn);
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> jobs;
+    bool stopping = false;
+  };
+
+  void ShardLoop(size_t index);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_EXEC_IO_POOL_H_

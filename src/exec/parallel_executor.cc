@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "exec/prefetcher.h"
+
 namespace hgdb {
 
 bool PlanHasBranches(const Plan& plan) {
@@ -19,10 +21,12 @@ bool PlanHasBranches(const Plan& plan) {
 
 ParallelPlanExecutor::ParallelPlanExecutor(const DeltaGraph* dg, unsigned components,
                                            TaskPool* pool,
-                                           ExecFetchCache* shared_cache)
+                                           ExecFetchCache* shared_cache,
+                                           IoPool* io_pool)
     : dg_(dg),
       components_(components),
       pool_(pool),
+      io_pool_(io_pool),
       fetches_(shared_cache != nullptr ? shared_cache : &own_cache_) {}
 
 Result<DeltaGraph::SnapshotPlanResults> ParallelPlanExecutor::Run(const Plan& plan) {
@@ -38,6 +42,11 @@ void ParallelPlanExecutor::Start(const Plan& plan, TaskGroup* group) {
     RecordError(Status::InvalidArgument("plan has no root"));
     return;
   }
+  // Queue every fetch the plan will perform before the first worker runs;
+  // workers then overlap apply work with the I/O pool's fetches and block
+  // only if they outrun it. The fetch cache outlives any still-queued job
+  // (its destructor drains), so early errors cannot strand a prefetch.
+  StartPlanPrefetch(*dg_, plan, components_, fetches_, io_pool_);
   const PlanNode* root = plan.root.get();
   group->Spawn([this, root, group] { RunNode(root, Snapshot(), group); });
 }

@@ -35,13 +35,20 @@ bool PlanHasBranches(const Plan& plan);
 /// be mutated (Append/Finalize/Materialize) while an execution is in flight;
 /// concurrent *retrievals* are fine (see src/exec/README.md for the full
 /// concurrency contract).
+class IoPool;
+
 class ParallelPlanExecutor {
  public:
   /// `shared_cache` (optional) lets a RetrievalSession share decoded fetches
   /// across several concurrent plans; by default the executor uses a private
   /// cache pinned for this plan only. Both must outlive the execution.
+  /// `io_pool` (optional) enables asynchronous prefetch: Start pre-scans the
+  /// plan and queues every fetch on the I/O pool before the first worker
+  /// task runs, so fetch latency overlaps apply work (see
+  /// src/exec/prefetcher.h).
   ParallelPlanExecutor(const DeltaGraph* dg, unsigned components, TaskPool* pool,
-                       ExecFetchCache* shared_cache = nullptr);
+                       ExecFetchCache* shared_cache = nullptr,
+                       IoPool* io_pool = nullptr);
 
   /// Runs the plan to completion, helping the pool from the calling thread.
   Result<DeltaGraph::SnapshotPlanResults> Run(const Plan& plan);
@@ -68,6 +75,7 @@ class ParallelPlanExecutor {
   const DeltaGraph* dg_;
   const unsigned components_;
   TaskPool* pool_;
+  IoPool* io_pool_;
   ExecFetchCache* fetches_;
   ExecFetchCache own_cache_;
 

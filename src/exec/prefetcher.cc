@@ -1,0 +1,61 @@
+#include "exec/prefetcher.h"
+
+#include <unordered_set>
+
+#include "deltagraph/delta_graph.h"
+#include "exec/fetch_cache.h"
+#include "exec/io_pool.h"
+
+namespace hgdb {
+
+namespace {
+
+void CollectNode(const PlanNode& node, std::unordered_set<int32_t>* seen,
+                 std::vector<PlanFetch>* out) {
+  for (const auto& [step, child] : node.children) {
+    switch (step.kind) {
+      case PlanStep::Kind::kApplyDelta:
+      case PlanStep::Kind::kApplyEvents:
+        if (seen->insert(step.edge).second) {
+          out->push_back(
+              PlanFetch{step.edge, step.kind == PlanStep::Kind::kApplyEvents});
+        }
+        break;
+      case PlanStep::Kind::kLoadMaterialized:
+      case PlanStep::Kind::kLoadCurrent:
+      case PlanStep::Kind::kApplyRecentEvents:
+        break;  // In-memory; nothing to fetch.
+    }
+    CollectNode(*child, seen, out);
+  }
+}
+
+}  // namespace
+
+std::vector<PlanFetch> CollectPlanFetches(const Plan& plan) {
+  std::vector<PlanFetch> out;
+  if (!plan.root) return out;
+  std::unordered_set<int32_t> seen;
+  CollectNode(*plan.root, &seen, &out);
+  return out;
+}
+
+void StartPlanPrefetch(const DeltaGraph& dg, const Plan& plan, unsigned components,
+                       ExecFetchCache* cache, IoPool* io) {
+  if (io == nullptr || cache == nullptr) return;
+  StartCollectedPrefetch(dg, CollectPlanFetches(plan), components, cache, io);
+}
+
+void StartCollectedPrefetch(const DeltaGraph& dg, const std::vector<PlanFetch>& fetches,
+                            unsigned components, ExecFetchCache* cache, IoPool* io) {
+  if (io == nullptr || cache == nullptr) return;
+  for (const PlanFetch& fetch : fetches) {
+    const DeltaId shard = dg.skeleton().edge(fetch.edge).delta_id;
+    cache->BeginPrefetch();
+    io->Submit(shard, [&dg, cache, fetch, components] {
+      cache->Prefetch(dg, fetch.edge, fetch.is_eventlist, components);
+    });
+  }
+}
+
+}  // namespace hgdb

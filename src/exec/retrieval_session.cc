@@ -49,8 +49,8 @@ RetrievalSession::Request* RetrievalSession::Submit(std::vector<Timestamp> times
     return req;
   }
   req->plan = std::move(plan).value();
-  req->executor = std::make_unique<ParallelPlanExecutor>(dg_, req->components,
-                                                         pool_, &fetches_);
+  req->executor = std::make_unique<ParallelPlanExecutor>(
+      dg_, req->components, pool_, &fetches_, dg_->ResolveIoPool());
   req->executor->Start(req->plan, &group_);
   return req;
 }

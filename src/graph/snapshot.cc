@@ -304,6 +304,7 @@ void Snapshot::AbsorbDisjoint(Snapshot&& other) {
   auto absorb = [](auto* mine, auto&& theirs, auto&& merge) {
     if (theirs == nullptr || theirs->empty()) return;
     if (*mine == nullptr || (*mine)->empty()) {
+      CowAnnotateRelease(mine->get());  // Dropping our (empty) reference.
       *mine = std::move(theirs);
       return;
     }
@@ -343,6 +344,7 @@ void Snapshot::AbsorbDisjoint(Snapshot&& other) {
 }
 
 void Snapshot::Clear() {
+  AnnotateReleaseStores();
   nodes_.reset();
   edges_.reset();
   node_attrs_.reset();

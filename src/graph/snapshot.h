@@ -15,7 +15,42 @@
 #include "graph/attr_map.h"
 #include "temporal/event.h"
 
+// ThreadSanitizer does not model standalone atomic_thread_fence, so the COW
+// sole-owner fast path below — correct on hardware via use_count() + acquire
+// fence pairing with the refcount's release-decrement — is invisible to it
+// and reported as a race. Under TSan we mirror the fence protocol with
+// explicit happens-before annotations on the store address: every path that
+// drops a store reference announces (release) after its last read of the
+// store, and the sole-owner write path joins (acquire) before writing in
+// place. Production builds compile these away entirely.
+#if defined(__SANITIZE_THREAD__)
+#define HISTGRAPH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HISTGRAPH_TSAN 1
+#endif
+#endif
+
+#if defined(HISTGRAPH_TSAN)
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#endif
+
 namespace hgdb {
+
+inline void CowAnnotateAcquire([[maybe_unused]] const void* store) {
+#if defined(HISTGRAPH_TSAN)
+  if (store != nullptr) __tsan_acquire(const_cast<void*>(store));
+#endif
+}
+
+inline void CowAnnotateRelease([[maybe_unused]] const void* store) {
+#if defined(HISTGRAPH_TSAN)
+  if (store != nullptr) __tsan_release(const_cast<void*>(store));
+#endif
+}
 
 /// Endpoint and orientation payload of an edge. The edge id is kept outside.
 struct EdgeRecord {
@@ -56,10 +91,37 @@ class Snapshot {
   using EdgeAttrTable = FlatHashMap<EdgeId, AttrMap>;
 
   Snapshot() = default;
-  Snapshot(const Snapshot&) = default;             // O(1): shares all stores.
-  Snapshot& operator=(const Snapshot&) = default;  // O(1): shares all stores.
+  Snapshot(const Snapshot&) = default;  // O(1): shares all stores.
   Snapshot(Snapshot&&) = default;
+#if defined(HISTGRAPH_TSAN)
+  // Assignment and destruction drop store references; under TSan each drop
+  // announces its reads so a later sole-owner writer can join them (see the
+  // CowAnnotate* note above). Production keeps the defaulted members.
+  Snapshot& operator=(const Snapshot& other) {
+    if (this != &other) {
+      AnnotateReleaseStores();
+      nodes_ = other.nodes_;
+      edges_ = other.edges_;
+      node_attrs_ = other.node_attrs_;
+      edge_attrs_ = other.edge_attrs_;
+    }
+    return *this;
+  }
+  Snapshot& operator=(Snapshot&& other) {
+    if (this != &other) {
+      AnnotateReleaseStores();
+      nodes_ = std::move(other.nodes_);
+      edges_ = std::move(other.edges_);
+      node_attrs_ = std::move(other.node_attrs_);
+      edge_attrs_ = std::move(other.edge_attrs_);
+    }
+    return *this;
+  }
+  ~Snapshot() { AnnotateReleaseStores(); }
+#else
+  Snapshot& operator=(const Snapshot&) = default;  // O(1): shares all stores.
   Snapshot& operator=(Snapshot&&) = default;
+#endif
 
   // -- Structure ------------------------------------------------------------
   bool HasNode(NodeId n) const { return nodes_ && nodes_->contains(n); }
@@ -239,6 +301,7 @@ class Snapshot {
   static bool SoleOwner(const std::shared_ptr<T>& store) {
     if (store == nullptr || store.use_count() != 1) return false;
     std::atomic_thread_fence(std::memory_order_acquire);
+    CowAnnotateAcquire(store.get());
     return true;
   }
   template <typename T>
@@ -246,9 +309,12 @@ class Snapshot {
     if (*store == nullptr) {
       *store = std::make_shared<T>();
     } else if (store->use_count() > 1) {
-      *store = std::make_shared<T>(**store);
+      auto fresh = std::make_shared<T>(**store);
+      CowAnnotateRelease(store->get());  // Our clone read the shared block.
+      *store = std::move(fresh);
     } else {
       std::atomic_thread_fence(std::memory_order_acquire);  // See SoleOwner.
+      CowAnnotateAcquire(store->get());
     }
     return store->get();
   }
@@ -256,6 +322,15 @@ class Snapshot {
   EdgeMap* MutableEdges() { return Mutable(&edges_); }
   NodeAttrTable* MutableNodeAttrs() { return Mutable(&node_attrs_); }
   EdgeAttrTable* MutableEdgeAttrs() { return Mutable(&edge_attrs_); }
+
+  /// Announces (for TSan) that this snapshot is done reading all stores it
+  /// references; no-op in production builds.
+  void AnnotateReleaseStores() const {
+    CowAnnotateRelease(nodes_.get());
+    CowAnnotateRelease(edges_.get());
+    CowAnnotateRelease(node_attrs_.get());
+    CowAnnotateRelease(edge_attrs_.get());
+  }
 
   std::shared_ptr<NodeSet> nodes_;
   std::shared_ptr<EdgeMap> edges_;

@@ -68,6 +68,22 @@ class KVStore {
   virtual Status Delete(const Slice& key) = 0;
   virtual Status Write(const WriteBatch& batch) = 0;
 
+  /// Batch read: `(*values)[i]` / `(*statuses)[i]` correspond to `keys[i]`
+  /// (both vectors are resized). The base implementation loops over Get;
+  /// stores that model storage performance override it so one batch pays the
+  /// seek latency once (plus the per-byte throughput term for all values),
+  /// which is what lets the prefetch layer amortize round-trips across the
+  /// components of one delta.
+  virtual void MultiGet(const std::vector<Slice>& keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses) const {
+    values->resize(keys.size());
+    statuses->assign(keys.size(), Status::OK());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*statuses)[i] = Get(keys[i], &(*values)[i]);
+    }
+  }
+
   /// True if `key` exists.
   virtual bool Contains(const Slice& key) const = 0;
 

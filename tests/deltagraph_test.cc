@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "deltagraph/delta_graph.h"
 #include "deltagraph/differential.h"
 #include "deltagraph/partitioned_delta_graph.h"
@@ -434,6 +436,186 @@ TEST_F(DeltaGraphTest, UpdatesAfterFinalizeRemainQueryable) {
   auto snap = dg_->GetSnapshot(t_max);
   ASSERT_TRUE(snap.ok());
   EXPECT_TRUE(snap.value().Equals(ReplayAt(all, t_max)));
+}
+
+// Regression: events appended after Finalize with a timestamp *equal* to the
+// last indexed event's used to fall on the closed end of the final leaf's
+// (lo, hi] interval and vanish from retrieval (exact replay saw them).
+// Finalize now holds the trailing equal-time run back in the recent
+// eventlist, so no boundary is ever cut inside a run.
+TEST_F(DeltaGraphTest, PostFinalizeAppendsAtBoundaryTimeAreVisible) {
+  std::vector<Event> events;
+  for (NodeId n = 1; n <= 40; ++n) {
+    events.push_back(Event::AddNode(n, n));  // Distinct times 1..40.
+  }
+  DeltaGraphOptions opts;
+  opts.leaf_size = 10;
+  Build(events, opts);
+  const Timestamp t_end = 40;
+
+  // The final boundary must sit strictly before the last event's time.
+  const auto& skel = dg_->skeleton();
+  const Timestamp boundary = skel.node(skel.leaves().back()).boundary_time;
+  EXPECT_LT(boundary, t_end);
+
+  // Resume appending at exactly the last indexed timestamp.
+  ASSERT_TRUE(dg_->Append(Event::AddNode(t_end, 100)).ok());
+  ASSERT_TRUE(dg_->Append(Event::AddNode(t_end, 101)).ok());
+  ASSERT_TRUE(dg_->Append(Event::AddNode(t_end + 3, 102)).ok());
+
+  std::vector<Event> all = events;
+  all.push_back(Event::AddNode(t_end, 100));
+  all.push_back(Event::AddNode(t_end, 101));
+  all.push_back(Event::AddNode(t_end + 3, 102));
+
+  // GetSnapshot at the boundary-equal time sees the resumed events.
+  auto snap = dg_->GetSnapshot(t_end);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE(snap.value().HasNode(100));
+  EXPECT_TRUE(snap.value().HasNode(101));
+  EXPECT_TRUE(snap.value().Equals(ReplayAt(all, t_end)));
+
+  // GetSnapshots (multipoint) and probes around the run agree with replay.
+  auto snaps = dg_->GetSnapshots({t_end - 1, t_end, t_end + 1, t_end + 3});
+  ASSERT_TRUE(snaps.ok());
+  const std::vector<Timestamp> probes = {t_end - 1, t_end, t_end + 1, t_end + 3};
+  for (size_t i = 0; i < probes.size(); ++i) {
+    Snapshot expected = ReplayAt(all, probes[i]);
+    EXPECT_TRUE(snaps.value()[i].Equals(expected))
+        << "t=" << probes[i] << "\n" << snaps.value()[i].DiffString(expected);
+  }
+
+  // CollectEvents over a window spanning the run returns the resumed events.
+  EventList window;
+  ASSERT_TRUE(
+      dg_->CollectEvents(t_end, t_end + 1, kCompAllWithTransient, &window).ok());
+  size_t at_boundary = 0;
+  for (const auto& e : window.events()) {
+    if (e.time == t_end) ++at_boundary;
+  }
+  EXPECT_EQ(at_boundary, 3u);  // The original t=40 event + the two resumed.
+}
+
+// Persistence round-trip of the resumed-index path: Append -> Finalize ->
+// Append (including boundary-equal timestamps) -> Finalize -> Open; retrieval
+// over the reopened index equals exact replay everywhere, including at the
+// held-back run's timestamp.
+TEST_F(DeltaGraphTest, ResumedIndexPersistenceRoundTrip) {
+  RandomTraceOptions opts;
+  opts.num_events = 1500;
+  opts.seed = 91;
+  GeneratedTrace trace = GenerateRandomTrace(opts);
+  DeltaGraphOptions dgo;
+  dgo.leaf_size = 200;
+  Build(trace.events, dgo);
+
+  // Resume: a run at exactly the last indexed time, then strictly later ones.
+  std::vector<Event> more;
+  const Timestamp t_end = trace.events.back().time;
+  trace.world->AddRandomEdge(t_end, false, &more);
+  trace.world->AddRandomEdge(t_end, false, &more);
+  Timestamp t = t_end;
+  for (int i = 0; i < 500; ++i) {
+    t += (i % 5 == 0) ? 0 : 1;  // Mix equal-time runs into the resumed trace.
+    trace.world->AddRandomEdge(t, false, &more);
+  }
+  ASSERT_TRUE(dg_->AppendAll(more).ok());
+  ASSERT_TRUE(dg_->Finalize().ok());  // Persists skeleton + held-back recent.
+
+  std::vector<Event> all = trace.events;
+  all.insert(all.end(), more.begin(), more.end());
+
+  dg_.reset();
+  auto reopened = DeltaGraph::Open(store_.get());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto dg2 = std::move(reopened).value();
+  EXPECT_EQ(dg2->event_count(), all.size());
+
+  const Timestamp t_max = all.back().time;
+  std::vector<Timestamp> probes = {t_end, t_max, t_max - 1};
+  for (int i = 1; i <= 8; ++i) probes.push_back(t_max * i / 8);
+  for (Timestamp probe : probes) {
+    auto snap = dg2->GetSnapshot(probe);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    Snapshot expected = ReplayAt(all, probe);
+    EXPECT_TRUE(snap.value().Equals(expected))
+        << "t=" << probe << "\n" << snap.value().DiffString(expected);
+  }
+  EXPECT_TRUE(dg2->current().Equals(ReplayAt(all, t_max)));
+
+  // The reopened index keeps appending — still at the same head timestamp.
+  std::vector<Event> tail;
+  trace.world->AddRandomEdge(t_max, false, &tail);
+  trace.world->AddRandomEdge(t_max + 2, false, &tail);
+  ASSERT_TRUE(dg2->AppendAll(tail).ok());
+  all.insert(all.end(), tail.begin(), tail.end());
+  auto head = dg2->GetSnapshot(t_max + 2);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(head.value().Equals(ReplayAt(all, t_max + 2)));
+}
+
+// Odd-arity finalization: with arity 3 and a leaf count that leaves a lone
+// pending node at several levels, Finalize must still converge to one root
+// per hierarchy (lone leftovers are promoted, never given a single-child
+// parent) and retrieval must stay exact.
+TEST_F(DeltaGraphTest, OddArityFinalizationCascades) {
+  for (size_t num_events : {700u, 1000u, 1300u}) {
+    RandomTraceOptions opts;
+    opts.num_events = num_events;
+    opts.seed = 7 + num_events;
+    GeneratedTrace trace = GenerateRandomTrace(opts);
+    DeltaGraphOptions dgo;
+    dgo.leaf_size = 100;  // ~7, 10, 13 leaves; arity 3 leaves odd levels.
+    dgo.arity = 3;
+    Build(trace.events, dgo);
+
+    // Exactly one root (super-root child) per hierarchy.
+    const auto& skel = dg_->skeleton();
+    size_t roots = 0;
+    for (int32_t eid : skel.incident_edges(skel.super_root())) {
+      if (!skel.edge(eid).deleted) ++roots;
+    }
+    EXPECT_EQ(roots, 1u) << "leaves=" << skel.leaves().size();
+
+    // No interior node may have exactly one child (a delta onto itself).
+    for (size_t i = 0; i < skel.node_count(); ++i) {
+      const auto& n = skel.node(static_cast<int32_t>(i));
+      if (n.is_leaf || n.is_super_root) continue;
+      size_t children = 0;
+      for (int32_t eid : skel.incident_edges(n.id)) {
+        const auto& e = skel.edge(eid);
+        if (!e.deleted && !e.is_eventlist && e.from == n.id) ++children;
+      }
+      EXPECT_GE(children, 2u) << "node " << n.id;
+    }
+
+    const Timestamp t_max = trace.events.back().time;
+    for (int i = 1; i <= 5; ++i) {
+      const Timestamp probe = t_max * i / 5;
+      auto snap = dg_->GetSnapshot(probe);
+      ASSERT_TRUE(snap.ok());
+      EXPECT_TRUE(snap.value().Equals(ReplayAt(trace.events, probe)));
+    }
+  }
+}
+
+// Decoded-cache keys must be unique across the (id, components, is_delta)
+// space — the id is packed into the upper 59 bits (debug-asserted against
+// overflow in DeltaStore::CacheKey).
+TEST(DeltaStoreCacheKeyTest, UniqueAcrossIdComponentsAndKind) {
+  std::unordered_set<uint64_t> seen;
+  const std::vector<DeltaId> ids = {0, 1, 2, 63, 64, 1u << 20, (1ull << 59) - 1};
+  for (DeltaId id : ids) {
+    for (unsigned components = 0; components <= 0xF; ++components) {
+      for (bool is_delta : {false, true}) {
+        const uint64_t key = DeltaStore::CacheKey(id, components, is_delta);
+        EXPECT_TRUE(seen.insert(key).second)
+            << "collision: id=" << id << " components=" << components
+            << " is_delta=" << is_delta;
+        EXPECT_EQ(key >> 5, id);  // CacheInvalidate recovers the id this way.
+      }
+    }
+  }
 }
 
 TEST_F(DeltaGraphTest, CurrentGraphTracksHead) {

@@ -8,9 +8,12 @@
 #include <atomic>
 #include <random>
 #include <thread>
+#include <unordered_set>
 
 #include "deltagraph/delta_graph.h"
+#include "exec/io_pool.h"
 #include "exec/parallel_executor.h"
+#include "exec/prefetcher.h"
 #include "exec/retrieval_session.h"
 #include "exec/task_pool.h"
 #include "workload/generators.h"
@@ -89,14 +92,15 @@ struct BuiltIndex {
 };
 
 BuiltIndex BuildRandomIndex(uint64_t seed, size_t num_events,
-                            size_t post_finalize_events = 0) {
+                            size_t post_finalize_events = 0,
+                            const KVStoreOptions& kv_opts = {}) {
   RandomTraceOptions topts;
   topts.num_events = num_events + post_finalize_events;
   topts.seed = seed;
   GeneratedTrace trace = GenerateRandomTrace(topts);
 
   BuiltIndex built;
-  built.store = NewMemKVStore();
+  built.store = NewMemKVStore(kv_opts);
   DeltaGraphOptions opts;
   opts.leaf_size = std::max<size_t>(50, num_events / 24);  // Many leaves.
   opts.arity = 2;
@@ -108,17 +112,10 @@ BuiltIndex BuildRandomIndex(uint64_t seed, size_t num_events,
                              trace.events.begin() + num_events);
   EXPECT_TRUE(built.dg->AppendAll(indexed).ok());
   EXPECT_TRUE(built.dg->Finalize().ok());
-  // Trailing un-finalized events exercise the kApplyRecentEvents step. Keep
-  // them strictly after the finalize boundary: events appended at a time
-  // *equal* to the final leaf's boundary straddle the (lo, hi] eventlist
-  // intervals and are lost by retrieval — a pre-existing index limitation
-  // (tracked in ROADMAP.md), not executor behavior under test here.
-  const auto& skel = built.dg->skeleton();
-  const Timestamp boundary =
-      skel.leaves().empty() ? kMinTimestamp
-                            : skel.node(skel.leaves().back()).boundary_time;
+  // Trailing un-finalized events exercise the kApplyRecentEvents step —
+  // including events whose timestamp equals the last indexed event's, which
+  // Finalize's boundary holdback keeps strictly inside the recent interval.
   for (size_t i = num_events; i < trace.events.size(); ++i) {
-    if (trace.events[i].time <= boundary) trace.events[i].time = boundary + 1;
     EXPECT_TRUE(built.dg->Append(trace.events[i]).ok());
   }
   built.events = std::move(trace.events);
@@ -210,6 +207,97 @@ TEST(ParallelExecutorTest, PlanHasBranchesDetectsLinearChains) {
   auto single = built.dg->PlanFor({built.events.back().time / 2});
   ASSERT_TRUE(single.ok());
   EXPECT_FALSE(PlanHasBranches(single.value()));  // Singlepoint = linear.
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch pipeline
+// ---------------------------------------------------------------------------
+
+TEST(PrefetchTest, PlanPreScanDedupesAndSkipsInMemorySteps) {
+  BuiltIndex built = BuildRandomIndex(31, 2000, /*post_finalize_events=*/60);
+  std::mt19937_64 rng(3);
+  auto plan = built.dg->PlanFor(RandomTimes(rng, built.events, 6));
+  ASSERT_TRUE(plan.ok());
+  const std::vector<PlanFetch> fetches = CollectPlanFetches(plan.value());
+  ASSERT_FALSE(fetches.empty());
+  std::unordered_set<int32_t> seen;
+  for (const PlanFetch& f : fetches) {
+    EXPECT_TRUE(seen.insert(f.edge).second) << "duplicate edge " << f.edge;
+    EXPECT_EQ(built.dg->skeleton().edge(f.edge).is_eventlist, f.is_eventlist);
+  }
+}
+
+// The acceptance property of the async fetch layer: prefetch on/off,
+// serial/parallel, and fetch latency 0/100us must all produce
+// element-identical snapshots (prefetch only warms the cache; it never
+// changes apply order).
+TEST(PrefetchTest, PrefetchOnOffSerialParallelLatencyAllAgree) {
+  for (uint32_t latency_us : {0u, 100u}) {
+    KVStoreOptions kv;
+    kv.read_latency_us = latency_us;
+    BuiltIndex built =
+        BuildRandomIndex(4242 + latency_us, 2200, /*post_finalize_events=*/120, kv);
+    built.dg->SetDecodedCacheCapacity(0);  // Every run pays real fetches.
+    std::mt19937_64 rng(17);
+    const std::vector<Timestamp> times = RandomTimes(rng, built.events, 6);
+
+    built.dg->SetTaskPool(nullptr);
+    built.dg->SetIoPool(nullptr);  // Blocking-fetch serial baseline.
+    auto baseline = built.dg->GetSnapshots(times, kCompAll);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    for (size_t i = 0; i < times.size(); ++i) {
+      EXPECT_TRUE(baseline.value()[i].Equals(ReplayAt(built.events, times[i])))
+          << "baseline diverges from replay at t=" << times[i];
+    }
+
+    TaskPool pool4(4);
+    IoPool io3(3);
+    for (TaskPool* pool : std::vector<TaskPool*>{nullptr, &pool4}) {
+      for (IoPool* io : std::vector<IoPool*>{nullptr, &io3}) {
+        built.dg->SetTaskPool(pool);
+        built.dg->SetIoPool(io);
+        auto got = built.dg->GetSnapshots(times, kCompAll);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        for (size_t i = 0; i < times.size(); ++i) {
+          EXPECT_TRUE(got.value()[i].Equals(baseline.value()[i]))
+              << "latency=" << latency_us << "us pool=" << (pool ? 4 : 1)
+              << " prefetch=" << (io != nullptr) << " t=" << times[i] << "\n"
+              << got.value()[i].DiffString(baseline.value()[i]);
+        }
+      }
+    }
+  }
+}
+
+// Sessions share one prefetched fetch pin across requests; results must match
+// per-request direct retrieval with prefetching disabled.
+TEST(PrefetchTest, SessionWithPrefetchMatchesBlockingRetrieval) {
+  KVStoreOptions kv;
+  kv.read_latency_us = 50;
+  BuiltIndex built = BuildRandomIndex(777, 2000, /*post_finalize_events=*/80, kv);
+  built.dg->SetDecodedCacheCapacity(0);
+  std::mt19937_64 rng(23);
+  std::vector<std::vector<Timestamp>> batches;
+  for (int i = 0; i < 4; ++i) batches.push_back(RandomTimes(rng, built.events, 4));
+
+  TaskPool pool(4);
+  IoPool io(2);
+  built.dg->SetIoPool(&io);
+  RetrievalSession session(built.dg.get(), &pool);
+  std::vector<RetrievalSession::Request*> tickets;
+  for (const auto& b : batches) tickets.push_back(session.Submit(b));
+  ASSERT_TRUE(session.Wait().ok());
+
+  built.dg->SetTaskPool(nullptr);
+  built.dg->SetIoPool(nullptr);
+  for (size_t i = 0; i < batches.size(); ++i) {
+    auto expect = built.dg->GetSnapshots(batches[i], kCompAll);
+    ASSERT_TRUE(expect.ok());
+    for (size_t j = 0; j < batches[i].size(); ++j) {
+      EXPECT_TRUE(tickets[i]->result.value()[j].Equals(expect.value()[j]))
+          << "request " << i << " time index " << j;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
