@@ -1,0 +1,653 @@
+#ifndef HISTGRAPH_COMMON_CHUNKED_STORE_H_
+#define HISTGRAPH_COMMON_CHUNKED_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/cow.h"
+#include "common/flat_hash.h"
+
+namespace hgdb {
+
+/// \brief Chunked copy-on-write id containers — the Snapshot element stores.
+///
+/// The id space is cut into fixed ranges of 2^kRangeLog2 consecutive ids
+/// ("chunks"); a hash spine (FlatHashMap keyed by id >> kRangeLog2) maps each
+/// occupied range to a shared_ptr chunk holding an occupancy bitmap and, for
+/// maps, a direct-indexed slot array. Copying a container copies the spine
+/// and *shares every chunk*; mutating an element copies (at most) the one
+/// chunk it lives in. Two snapshots emitted by the same retrieval plan
+/// therefore share all chunks the plan did not touch between their emit
+/// points, making k-point retrieval's marginal emit cost O(|delta|) instead
+/// of O(|graph|) — the cross-snapshot structural sharing of the DeltaGraph
+/// follow-up system (Khurana & Deshpande, 2015) applied in memory.
+///
+/// Why a direct-indexed chunk per id range (rather than hashing ids across
+/// chunks): the workload's ids come from ++counters, so consecutive ids fill
+/// consecutive chunks, fresh appends never touch old chunks at all, and the
+/// spine never rehashes element positions — growth only *adds* spine
+/// entries, so sharing survives growth. Sparse id ranges cost only their
+/// occupied chunks (the spine is a hash map, not an array).
+///
+/// Thread-visibility contract (mirrors the Snapshot store-level COW; see
+/// src/graph/README.md): chunks may be shared between containers owned by
+/// different threads. A writer may mutate a chunk in place only while it is
+/// the chunk's sole owner; the relaxed use_count() == 1 probe is ordered by
+/// an acquire fence that pairs with the release-decrement performed by
+/// whichever thread dropped the other reference. CowAnnotate* make that
+/// protocol visible to TSan (no-ops in production).
+///
+/// Invalidation rules match FlatHashMap: pointers into a container are
+/// invalidated by every mutation of that container (the chunk they point
+/// into may be replaced by a copy).
+
+namespace chunked_internal {
+
+inline bool TestBit(const uint64_t* bits, size_t i) {
+  return (bits[i >> 6] >> (i & 63)) & 1u;
+}
+inline void SetBit(uint64_t* bits, size_t i) { bits[i >> 6] |= uint64_t{1} << (i & 63); }
+inline void ClearBit(uint64_t* bits, size_t i) {
+  bits[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+/// First occupied index >= `from`, or kWords*64 when none.
+template <size_t kWords>
+inline size_t NextOccupied(const uint64_t (&bits)[kWords], size_t from) {
+  constexpr size_t kRange = kWords * 64;
+  size_t word = from >> 6;
+  if (word >= kWords) return kRange;
+  const uint64_t first = bits[word] >> (from & 63);
+  if (first != 0) return from + static_cast<size_t>(__builtin_ctzll(first));
+  for (++word; word < kWords; ++word) {
+    if (bits[word] != 0) {
+      return (word << 6) + static_cast<size_t>(__builtin_ctzll(bits[word]));
+    }
+  }
+  return kRange;
+}
+
+/// Sole-owner-or-clone gate for a spine slot. The acquire fence pairs with
+/// the release-decrement of whichever thread dropped the other chunk
+/// reference, ordering its reads of the chunk before our in-place writes
+/// (free on x86; one dmb on ARM).
+template <typename Chunk>
+Chunk* MutableChunk(std::shared_ptr<Chunk>* slot) {
+  if (slot->use_count() > 1) {
+    auto fresh = std::make_shared<Chunk>(**slot);
+    CowAnnotateRelease(slot->get());  // Our clone read the shared chunk.
+    *slot = std::move(fresh);
+  } else {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    CowAnnotateAcquire(slot->get());
+  }
+  return slot->get();
+}
+
+}  // namespace chunked_internal
+
+/// Chunked COW map from an integer id to an arbitrary value type.
+/// Chunks cover 2^kRangeLog2 consecutive ids (default 128).
+template <typename K, typename V, size_t kRangeLog2 = 7>
+class ChunkedIdMap {
+ public:
+  static constexpr size_t kRange = size_t{1} << kRangeLog2;
+  static constexpr size_t kWords = kRange / 64;
+  static_assert(kRange >= 64, "chunks must cover at least one bitmap word");
+
+  struct Chunk {
+    uint64_t bits[kWords] = {};
+    uint32_t count = 0;
+    V slots[kRange] = {};
+
+    bool Test(size_t i) const { return chunked_internal::TestBit(bits, i); }
+  };
+  using ChunkPtr = std::shared_ptr<Chunk>;
+  using Spine = FlatHashMap<uint64_t, ChunkPtr>;
+
+  ChunkedIdMap() = default;
+  ChunkedIdMap(const ChunkedIdMap& other)
+      : spine_(other.spine_), size_(other.size_) {}  // Shares every chunk.
+  ChunkedIdMap& operator=(const ChunkedIdMap& other) {
+    if (this != &other) {
+      AnnotateReleaseChunks();
+      spine_ = other.spine_;
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  ChunkedIdMap(ChunkedIdMap&& other) noexcept
+      : spine_(std::move(other.spine_)), size_(other.size_) {
+    other.size_ = 0;
+  }
+  ChunkedIdMap& operator=(ChunkedIdMap&& other) noexcept {
+    if (this != &other) {
+      AnnotateReleaseChunks();
+      spine_ = std::move(other.spine_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~ChunkedIdMap() { AnnotateReleaseChunks(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    AnnotateReleaseChunks();
+    spine_.clear();
+    size_ = 0;
+  }
+
+  /// Pre-sizes the spine for ~n elements of dense ids. Never moves chunks.
+  void reserve(size_t n) { spine_.reserve(n >> kRangeLog2); }
+
+  bool contains(const K& key) const {
+    const ChunkPtr* c = spine_.FindValue(ChunkKey(key));
+    return c != nullptr && (*c)->Test(SlotIndex(key));
+  }
+
+  const V* FindValue(const K& key) const {
+    const ChunkPtr* c = spine_.FindValue(ChunkKey(key));
+    if (c == nullptr || !(*c)->Test(SlotIndex(key))) return nullptr;
+    return &(*c)->slots[SlotIndex(key)];
+  }
+
+  /// Writable pointer to the value of `key`, or nullptr. Copies the chunk
+  /// first if it is shared — the only sanctioned way to mutate a value in
+  /// place.
+  V* MutableValue(const K& key) {
+    ChunkPtr* c = spine_.FindValue(ChunkKey(key));
+    if (c == nullptr || !(*c)->Test(SlotIndex(key))) return nullptr;
+    return &chunked_internal::MutableChunk(c)->slots[SlotIndex(key)];
+  }
+
+  /// try_emplace semantics: no overwrite (and no chunk copy) when the key
+  /// exists. The returned pointer aliases a possibly-shared chunk when
+  /// `inserted` is false — treat it as read-only unless this container is
+  /// known to be exclusive.
+  template <typename... Args>
+  std::pair<V*, bool> emplace(const K& key, Args&&... args) {
+    const size_t idx = SlotIndex(key);
+    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
+    if (slot != nullptr && (*slot)->Test(idx)) {
+      return {&(*slot)->slots[idx], false};
+    }
+    Chunk* c = slot == nullptr
+                   ? spine_.emplace(ChunkKey(key), std::make_shared<Chunk>())
+                         .first->second.get()
+                   : chunked_internal::MutableChunk(slot);
+    c->slots[idx] = V(std::forward<Args>(args)...);
+    chunked_internal::SetBit(c->bits, idx);
+    ++c->count;
+    ++size_;
+    return {&c->slots[idx], true};
+  }
+
+  /// Inserts a default value if absent; owns the chunk either way.
+  V& operator[](const K& key) {
+    const size_t idx = SlotIndex(key);
+    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
+    Chunk* c = slot == nullptr
+                   ? spine_.emplace(ChunkKey(key), std::make_shared<Chunk>())
+                         .first->second.get()
+                   : chunked_internal::MutableChunk(slot);
+    if (!c->Test(idx)) {
+      chunked_internal::SetBit(c->bits, idx);
+      ++c->count;
+      ++size_;
+    }
+    return c->slots[idx];
+  }
+
+  /// Erases by key; true if the key existed. Fully vacated chunks leave the
+  /// spine (their memory is reclaimed or returned to COW siblings).
+  bool erase(const K& key) {
+    const size_t idx = SlotIndex(key);
+    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
+    if (slot == nullptr || !(*slot)->Test(idx)) return false;
+    if ((*slot)->count == 1) {  // Chunk becomes empty: drop it, copy nothing.
+      CowAnnotateRelease(slot->get());
+      spine_.erase(ChunkKey(key));
+      --size_;
+      return true;
+    }
+    Chunk* c = chunked_internal::MutableChunk(slot);
+    c->slots[idx] = V();  // Release any heap the value owns.
+    chunked_internal::ClearBit(c->bits, idx);
+    --c->count;
+    --size_;
+    return true;
+  }
+
+  /// Order-independent element equality; pointer-shared chunks short-circuit.
+  bool operator==(const ChunkedIdMap& other) const {
+    if (size_ != other.size_) return false;
+    for (const auto& [ck, chunk] : spine_) {
+      const ChunkPtr* oc = other.spine_.FindValue(ck);
+      if (oc == nullptr) return false;
+      if (oc->get() == chunk.get()) continue;
+      if ((*oc)->count != chunk->count) return false;
+      for (size_t i = chunked_internal::NextOccupied(chunk->bits, 0); i < kRange;
+           i = chunked_internal::NextOccupied(chunk->bits, i + 1)) {
+        if (!(*oc)->Test(i) || !((*oc)->slots[i] == chunk->slots[i])) return false;
+      }
+    }
+    // Equal totals + per-chunk equal counts leave no room for extra chunks
+    // on the other side (empty chunks never stay in a spine).
+    return true;
+  }
+  bool operator!=(const ChunkedIdMap& other) const { return !(*this == other); }
+
+  /// Calls fn(key, value) for every element living in a chunk that is not
+  /// pointer-shared with `other`'s chunk of the same id range. Shared chunks
+  /// are element-identical by construction, so diff loops skip them wholesale.
+  template <typename Fn>
+  void ForEachDivergent(const ChunkedIdMap& other, Fn fn) const {
+    for (const auto& [ck, chunk] : spine_) {
+      const ChunkPtr* oc = other.spine_.FindValue(ck);
+      if (oc != nullptr && oc->get() == chunk.get()) continue;
+      const K base = static_cast<K>(ck << kRangeLog2);
+      for (size_t i = chunked_internal::NextOccupied(chunk->bits, 0); i < kRange;
+           i = chunked_internal::NextOccupied(chunk->bits, i + 1)) {
+        fn(static_cast<K>(base | i), chunk->slots[i]);
+      }
+    }
+  }
+
+  /// Merges a container with disjoint keys: ranges absent here adopt the
+  /// other side's chunk pointer (O(1), shared); colliding ranges copy the
+  /// other side's elements in.
+  void MergeDisjointCopy(const ChunkedIdMap& other) {
+    for (const auto& [ck, chunk] : other.spine_) {
+      MergeChunk(ck, ChunkPtr(chunk), /*may_move_values=*/false);
+    }
+  }
+  /// As MergeDisjointCopy, but may move values out of chunks this side of
+  /// the merge solely owns (large attribute maps avoid a deep copy).
+  void MergeDisjointMove(ChunkedIdMap&& other) {
+    for (auto& [ck, chunk] : other.spine_) {
+      // Moving values out mutates `chunk` in place, so the sole-owner probe
+      // needs the same acquire pairing as MutableChunk: a sibling's last
+      // reference may have been dropped on another thread, and its reads
+      // must be ordered before our writes.
+      const bool sole = chunk.use_count() == 1;
+      if (sole) {
+        std::atomic_thread_fence(std::memory_order_acquire);
+        CowAnnotateAcquire(chunk.get());
+      }
+      MergeChunk(ck, std::move(chunk), /*may_move_values=*/sole);
+    }
+    other.spine_.clear();
+    other.size_ = 0;
+  }
+
+  // -- Introspection ---------------------------------------------------------
+  size_t ChunkCount() const { return spine_.size(); }
+
+  /// Bytes held by the spine and chunks themselves (not by heap-owning
+  /// values — callers account those via iteration).
+  size_t MemoryBytes() const {
+    return spine_.TableBytes() + spine_.size() * sizeof(Chunk);
+  }
+
+  /// Enumerates this container's heap parts as fn(pointer, bytes): the spine
+  /// (keyed by the container object) and each chunk (keyed by the chunk
+  /// address — identical across containers that share it). `value_bytes`
+  /// reports the heap owned by one value (return 0 for inline values).
+  template <typename PartFn, typename ValueBytesFn>
+  void ForEachPart(PartFn fn, ValueBytesFn value_bytes) const {
+    fn(static_cast<const void*>(this), spine_.TableBytes());
+    for (const auto& [ck, chunk] : spine_) {
+      size_t bytes = sizeof(Chunk);
+      for (size_t i = chunked_internal::NextOccupied(chunk->bits, 0); i < kRange;
+           i = chunked_internal::NextOccupied(chunk->bits, i + 1)) {
+        bytes += value_bytes(chunk->slots[i]);
+      }
+      fn(static_cast<const void*>(chunk.get()), bytes);
+    }
+  }
+
+  // -- Iteration (const only; yields proxy pairs) ----------------------------
+  class const_iterator {
+   public:
+    using value_type = std::pair<K, const V&>;
+    using reference = value_type;
+    using pointer = void;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    const_iterator(typename Spine::const_iterator it,
+                   typename Spine::const_iterator end, size_t idx)
+        : it_(it), end_(end), idx_(idx) {
+      Settle();
+    }
+
+    reference operator*() const {
+      const auto& [ck, chunk] = *it_;
+      return {static_cast<K>((ck << kRangeLog2) | idx_), chunk->slots[idx_]};
+    }
+    const_iterator& operator++() {
+      ++idx_;
+      Settle();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const {
+      return it_ == o.it_ && idx_ == o.idx_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    void Settle() {
+      while (it_ != end_) {
+        idx_ = chunked_internal::NextOccupied(it_->second->bits, idx_);
+        if (idx_ < kRange) return;
+        ++it_;
+        idx_ = 0;
+      }
+      idx_ = 0;  // end() canonical form.
+    }
+    typename Spine::const_iterator it_, end_;
+    size_t idx_ = 0;
+  };
+
+  const_iterator begin() const {
+    return const_iterator(spine_.begin(), spine_.end(), 0);
+  }
+  const_iterator end() const {
+    return const_iterator(spine_.end(), spine_.end(), 0);
+  }
+
+ private:
+  static uint64_t ChunkKey(const K& key) {
+    return static_cast<uint64_t>(key) >> kRangeLog2;
+  }
+  static size_t SlotIndex(const K& key) {
+    return static_cast<size_t>(key) & (kRange - 1);
+  }
+
+  void MergeChunk(uint64_t ck, ChunkPtr theirs, bool may_move_values) {
+    ChunkPtr* mine = spine_.FindValue(ck);
+    if (mine == nullptr) {
+      size_ += theirs->count;
+      spine_.emplace(ck, std::move(theirs));
+      return;
+    }
+    Chunk* c = chunked_internal::MutableChunk(mine);
+    for (size_t i = chunked_internal::NextOccupied(theirs->bits, 0); i < kRange;
+         i = chunked_internal::NextOccupied(theirs->bits, i + 1)) {
+      if (c->Test(i)) continue;  // Disjoint by contract; be tolerant anyway.
+      if (may_move_values) {
+        c->slots[i] = std::move(theirs->slots[i]);
+      } else {
+        c->slots[i] = theirs->slots[i];
+      }
+      chunked_internal::SetBit(c->bits, i);
+      ++c->count;
+      ++size_;
+    }
+  }
+
+  /// Announces (for TSan) that this container is done reading every chunk it
+  /// references; no-op in production builds.
+  void AnnotateReleaseChunks() const {
+#if defined(HISTGRAPH_TSAN)
+    for (const auto& [ck, chunk] : spine_) CowAnnotateRelease(chunk.get());
+#endif
+  }
+
+  Spine spine_;
+  size_t size_ = 0;
+};
+
+/// Chunked COW set of integer ids: bitmap-only chunks covering 2^kRangeLog2
+/// consecutive ids (default 256 — a 32-byte bitmap per chunk).
+template <typename K, size_t kRangeLog2 = 8>
+class ChunkedIdSet {
+ public:
+  static constexpr size_t kRange = size_t{1} << kRangeLog2;
+  static constexpr size_t kWords = kRange / 64;
+  static_assert(kRange >= 64, "chunks must cover at least one bitmap word");
+
+  struct Chunk {
+    uint64_t bits[kWords] = {};
+    uint32_t count = 0;
+
+    bool Test(size_t i) const { return chunked_internal::TestBit(bits, i); }
+  };
+  using ChunkPtr = std::shared_ptr<Chunk>;
+  using Spine = FlatHashMap<uint64_t, ChunkPtr>;
+
+  ChunkedIdSet() = default;
+  ChunkedIdSet(const ChunkedIdSet& other)
+      : spine_(other.spine_), size_(other.size_) {}  // Shares every chunk.
+  ChunkedIdSet& operator=(const ChunkedIdSet& other) {
+    if (this != &other) {
+      AnnotateReleaseChunks();
+      spine_ = other.spine_;
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  ChunkedIdSet(ChunkedIdSet&& other) noexcept
+      : spine_(std::move(other.spine_)), size_(other.size_) {
+    other.size_ = 0;
+  }
+  ChunkedIdSet& operator=(ChunkedIdSet&& other) noexcept {
+    if (this != &other) {
+      AnnotateReleaseChunks();
+      spine_ = std::move(other.spine_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~ChunkedIdSet() { AnnotateReleaseChunks(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    AnnotateReleaseChunks();
+    spine_.clear();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) { spine_.reserve(n >> kRangeLog2); }
+
+  bool contains(const K& key) const {
+    const ChunkPtr* c = spine_.FindValue(ChunkKey(key));
+    return c != nullptr && (*c)->Test(SlotIndex(key));
+  }
+
+  /// Returns true if the key was newly inserted.
+  bool insert(const K& key) {
+    const size_t idx = SlotIndex(key);
+    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
+    if (slot != nullptr && (*slot)->Test(idx)) return false;
+    Chunk* c;
+    if (slot == nullptr) {
+      c = spine_.emplace(ChunkKey(key), std::make_shared<Chunk>()).first->second.get();
+    } else {
+      c = chunked_internal::MutableChunk(slot);
+    }
+    chunked_internal::SetBit(c->bits, idx);
+    ++c->count;
+    ++size_;
+    return true;
+  }
+
+  bool erase(const K& key) {
+    const size_t idx = SlotIndex(key);
+    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
+    if (slot == nullptr || !(*slot)->Test(idx)) return false;
+    if ((*slot)->count == 1) {
+      CowAnnotateRelease(slot->get());
+      spine_.erase(ChunkKey(key));
+      --size_;
+      return true;
+    }
+    Chunk* c = chunked_internal::MutableChunk(slot);
+    chunked_internal::ClearBit(c->bits, idx);
+    --c->count;
+    --size_;
+    return true;
+  }
+
+  bool operator==(const ChunkedIdSet& other) const {
+    if (size_ != other.size_) return false;
+    for (const auto& [ck, chunk] : spine_) {
+      const ChunkPtr* oc = other.spine_.FindValue(ck);
+      if (oc == nullptr) return false;
+      if (oc->get() == chunk.get()) continue;
+      if ((*oc)->count != chunk->count) return false;
+      for (size_t w = 0; w < kWords; ++w) {
+        if (chunk->bits[w] != (*oc)->bits[w]) return false;
+      }
+    }
+    return true;
+  }
+  bool operator!=(const ChunkedIdSet& other) const { return !(*this == other); }
+
+  /// Calls fn(key) for every id living in a chunk not pointer-shared with
+  /// `other`'s chunk of the same range (see ChunkedIdMap::ForEachDivergent).
+  template <typename Fn>
+  void ForEachDivergent(const ChunkedIdSet& other, Fn fn) const {
+    for (const auto& [ck, chunk] : spine_) {
+      const ChunkPtr* oc = other.spine_.FindValue(ck);
+      if (oc != nullptr && oc->get() == chunk.get()) continue;
+      const K base = static_cast<K>(ck << kRangeLog2);
+      for (size_t i = chunked_internal::NextOccupied(chunk->bits, 0); i < kRange;
+           i = chunked_internal::NextOccupied(chunk->bits, i + 1)) {
+        fn(static_cast<K>(base | i));
+      }
+    }
+  }
+
+  void MergeDisjointCopy(const ChunkedIdSet& other) {
+    for (const auto& [ck, chunk] : other.spine_) MergeChunk(ck, ChunkPtr(chunk));
+  }
+  void MergeDisjointMove(ChunkedIdSet&& other) {
+    for (auto& [ck, chunk] : other.spine_) MergeChunk(ck, std::move(chunk));
+    other.spine_.clear();
+    other.size_ = 0;
+  }
+
+  size_t ChunkCount() const { return spine_.size(); }
+
+  size_t MemoryBytes() const {
+    return spine_.TableBytes() + spine_.size() * sizeof(Chunk);
+  }
+
+  template <typename PartFn>
+  void ForEachPart(PartFn fn) const {
+    fn(static_cast<const void*>(this), spine_.TableBytes());
+    for (const auto& [ck, chunk] : spine_) {
+      fn(static_cast<const void*>(chunk.get()), sizeof(Chunk));
+    }
+  }
+
+  class const_iterator {
+   public:
+    using value_type = K;
+    using reference = K;
+    using pointer = void;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    const_iterator(typename Spine::const_iterator it,
+                   typename Spine::const_iterator end, size_t idx)
+        : it_(it), end_(end), idx_(idx) {
+      Settle();
+    }
+
+    reference operator*() const {
+      return static_cast<K>((it_->first << kRangeLog2) | idx_);
+    }
+    const_iterator& operator++() {
+      ++idx_;
+      Settle();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const {
+      return it_ == o.it_ && idx_ == o.idx_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    void Settle() {
+      while (it_ != end_) {
+        idx_ = chunked_internal::NextOccupied(it_->second->bits, idx_);
+        if (idx_ < kRange) return;
+        ++it_;
+        idx_ = 0;
+      }
+      idx_ = 0;
+    }
+    typename Spine::const_iterator it_, end_;
+    size_t idx_ = 0;
+  };
+  using iterator = const_iterator;
+
+  const_iterator begin() const {
+    return const_iterator(spine_.begin(), spine_.end(), 0);
+  }
+  const_iterator end() const {
+    return const_iterator(spine_.end(), spine_.end(), 0);
+  }
+
+ private:
+  static uint64_t ChunkKey(const K& key) {
+    return static_cast<uint64_t>(key) >> kRangeLog2;
+  }
+  static size_t SlotIndex(const K& key) {
+    return static_cast<size_t>(key) & (kRange - 1);
+  }
+
+  void MergeChunk(uint64_t ck, ChunkPtr theirs) {
+    ChunkPtr* mine = spine_.FindValue(ck);
+    if (mine == nullptr) {
+      size_ += theirs->count;
+      spine_.emplace(ck, std::move(theirs));
+      return;
+    }
+    Chunk* c = chunked_internal::MutableChunk(mine);
+    for (size_t w = 0; w < kWords; ++w) {
+      const uint64_t added = theirs->bits[w] & ~c->bits[w];
+      c->bits[w] |= theirs->bits[w];
+      const auto n = static_cast<uint32_t>(__builtin_popcountll(added));
+      c->count += n;
+      size_ += n;
+    }
+  }
+
+  void AnnotateReleaseChunks() const {
+#if defined(HISTGRAPH_TSAN)
+    for (const auto& [ck, chunk] : spine_) CowAnnotateRelease(chunk.get());
+#endif
+  }
+
+  Spine spine_;
+  size_t size_ = 0;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_CHUNKED_STORE_H_

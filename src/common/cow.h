@@ -1,0 +1,48 @@
+#ifndef HISTGRAPH_COMMON_COW_H_
+#define HISTGRAPH_COMMON_COW_H_
+
+// Shared-block copy-on-write helpers used by the Snapshot stores at both
+// sharing granularities: whole stores (graph/snapshot.h) and the chunks
+// inside them (common/chunked_store.h).
+//
+// ThreadSanitizer does not model standalone atomic_thread_fence, so the COW
+// sole-owner fast path — correct on hardware via use_count() + acquire fence
+// pairing with the refcount's release-decrement — is invisible to it and
+// reported as a race. Under TSan we mirror the fence protocol with explicit
+// happens-before annotations on the shared block's address: every path that
+// drops a reference announces (release) after its last read of the block,
+// and the sole-owner write path joins (acquire) before writing in place.
+// Production builds compile these away entirely.
+
+#if defined(__SANITIZE_THREAD__)
+#define HISTGRAPH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HISTGRAPH_TSAN 1
+#endif
+#endif
+
+#if defined(HISTGRAPH_TSAN)
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#endif
+
+namespace hgdb {
+
+inline void CowAnnotateAcquire([[maybe_unused]] const void* block) {
+#if defined(HISTGRAPH_TSAN)
+  if (block != nullptr) __tsan_acquire(const_cast<void*>(block));
+#endif
+}
+
+inline void CowAnnotateRelease([[maybe_unused]] const void* block) {
+#if defined(HISTGRAPH_TSAN)
+  if (block != nullptr) __tsan_release(const_cast<void*>(block));
+#endif
+}
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_COMMON_COW_H_

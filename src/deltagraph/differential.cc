@@ -25,24 +25,27 @@ struct ElementVisitor {
 
 // Visits every element of `to` that is not in `from` (value-sensitive for
 // attributes: a changed value counts as an add of the new and a delete of the
-// old element). Attribute values compare by interned id.
+// old element). Attribute values compare by interned id. Chunks the two
+// snapshots share by pointer hold identical elements and are skipped.
 void ForEachDiff(const Snapshot& to, const Snapshot& from, const ElementVisitor& v) {
-  for (NodeId n : to.nodes()) {
+  to.nodes().ForEachDivergent(from.nodes(), [&](NodeId n) {
     if (!from.HasNode(n)) v.node(n);
-  }
-  for (const auto& [id, rec] : to.edges()) {
+  });
+  to.edges().ForEachDivergent(from.edges(), [&](EdgeId id, const EdgeRecord& rec) {
     if (!from.HasEdge(id)) v.edge(id, rec);
-  }
-  for (const auto& [owner, attrs] : to.node_attrs()) {
-    for (const auto& [k, val] : attrs) {
-      if (from.GetNodeAttrValueId(owner, k) != val) v.nattr(owner, k, val);
-    }
-  }
-  for (const auto& [owner, attrs] : to.edge_attrs()) {
-    for (const auto& [k, val] : attrs) {
-      if (from.GetEdgeAttrValueId(owner, k) != val) v.eattr(owner, k, val);
-    }
-  }
+  });
+  to.node_attrs().ForEachDivergent(
+      from.node_attrs(), [&](NodeId owner, const AttrMap& attrs) {
+        for (const auto& [k, val] : attrs) {
+          if (from.GetNodeAttrValueId(owner, k) != val) v.nattr(owner, k, val);
+        }
+      });
+  to.edge_attrs().ForEachDivergent(
+      from.edge_attrs(), [&](EdgeId owner, const AttrMap& attrs) {
+        for (const auto& [k, val] : attrs) {
+          if (from.GetEdgeAttrValueId(owner, k) != val) v.eattr(owner, k, val);
+        }
+      });
 }
 
 // Deterministic element-selection hashes (Section 5.2: "by using a hash

@@ -347,7 +347,7 @@ Result<Plan> Planner::PlanSnapshots(const std::vector<Timestamp>& times,
     g.AddEdge(prev_node, e.to, costs_.per_edge_overhead + frac * total_bytes, tail);
   }
 
-  if (!on_recent.empty()) {
+  if (!on_recent.empty() || current_node >= 0) {
     std::sort(on_recent.begin(), on_recent.end());
     const double total_bytes = costs_.memory_cost_factor * ctx_.avg_event_bytes *
                                static_cast<double>(ctx_.recent_count);
@@ -370,6 +370,12 @@ Result<Plan> Planner::PlanSnapshots(const std::vector<Timestamp>& times,
       prev_t = t;
     }
     if (current_node >= 0) {
+      // Always link the recent chain (or, with no on-recent terminals, the
+      // last leaf directly) to the current-graph node. Besides modeling the
+      // "rightmost leaf is materialized" rule, this keeps every leaf
+      // reachable through the current graph even when the skeleton's roots
+      // are not attached yet (leaves cut by appends after — or without —
+      // a Finalize); without it such plans had no path from the origin.
       PlanStep tail;
       tail.kind = PlanStep::Kind::kApplyRecentEvents;
       tail.lo = prev_t;
@@ -505,7 +511,11 @@ Result<Plan> Planner::PlanSinglepointCached(Timestamp t, unsigned components,
     }
   }
   if (cache->dist[target] == kInf) {
-    return Status::Internal("planner: terminal unreachable");
+    // The target is not reachable through persisted skeleton edges alone —
+    // e.g. it lives in a leaf cut by appends after the last Finalize, whose
+    // root is not yet attached to the super-root. The general planner also
+    // knows the current-graph and recent-eventlist edges; use it.
+    return PlanSnapshots({t}, components);
   }
 
   // Unfold the cached parent chain into a linear plan.

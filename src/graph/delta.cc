@@ -15,27 +15,27 @@ AttrEntry MakeAttrEntry(uint64_t owner, AttrId key_id, AttrId value_id) {
 // Diff helper over attribute tables: emits (owner,key,value) adds for entries
 // of `target` missing or different in `source`, and deletes for the opposite.
 // Value comparison is id comparison (the interner guarantees id equality ==
-// string equality process-wide).
-template <typename OwnerId>
-void DiffAttrs(const FlatHashMap<OwnerId, AttrMap>& target,
-               const FlatHashMap<OwnerId, AttrMap>& source,
+// string equality process-wide). Iteration skips chunks the two tables share
+// by pointer — those owners are element-identical and contribute nothing.
+template <typename AttrTable>
+void DiffAttrs(const AttrTable& target, const AttrTable& source,
                std::vector<AttrEntry>* add, std::vector<AttrEntry>* del) {
-  for (const auto& [owner, attrs] : target) {
+  target.ForEachDivergent(source, [&](uint64_t owner, const AttrMap& attrs) {
     const AttrMap* sattrs = source.FindValue(owner);
     for (const auto& [k, v] : attrs) {
       const AttrId sv = sattrs == nullptr ? kInvalidAttrId : sattrs->Get(k);
       if (sv != v) add->push_back(MakeAttrEntry(owner, k, v));
       if (sv != kInvalidAttrId && sv != v) del->push_back(MakeAttrEntry(owner, k, sv));
     }
-  }
-  for (const auto& [owner, attrs] : source) {
+  });
+  source.ForEachDivergent(target, [&](uint64_t owner, const AttrMap& attrs) {
     const AttrMap* tattrs = target.FindValue(owner);
     for (const auto& [k, v] : attrs) {
       if (tattrs == nullptr || !tattrs->Contains(k)) {
         del->push_back(MakeAttrEntry(owner, k, v));
       }
     }
-  }
+  });
 }
 
 void SortAttrEntries(std::vector<AttrEntry>* v) {
@@ -51,25 +51,29 @@ void SortAttrEntries(std::vector<AttrEntry>* v) {
 Delta Delta::Between(const Snapshot& target, const Snapshot& source) {
   Delta d;
   // COW-shared stores are identical by construction (differential combines
-  // and filtered copies share structure until mutated) — skip them outright.
+  // and filtered copies share structure until mutated) — skip them outright;
+  // within divergent stores, chunks still shared by pointer are skipped the
+  // same way, so diffing two snapshots emitted close together costs the
+  // divergent chunks, not the graph.
   if (!target.SharesNodeStoreWith(source)) {
-    for (NodeId n : target.nodes()) {
+    target.nodes().ForEachDivergent(source.nodes(), [&](NodeId n) {
       if (!source.HasNode(n)) d.add_nodes.push_back(n);
-    }
-    for (NodeId n : source.nodes()) {
+    });
+    source.nodes().ForEachDivergent(target.nodes(), [&](NodeId n) {
       if (!target.HasNode(n)) d.del_nodes.push_back(n);
-    }
+    });
   }
   if (!target.SharesEdgeStoreWith(source)) {
-    for (const auto& [id, rec] : target.edges()) {
-      const EdgeRecord* s = source.FindEdge(id);
-      if (s == nullptr) d.add_edges.emplace_back(id, rec);
-      // Ids are unique and immutable, so a shared id implies an identical
-      // record.
-    }
-    for (const auto& [id, rec] : source.edges()) {
-      if (!target.HasEdge(id)) d.del_edges.emplace_back(id, rec);
-    }
+    target.edges().ForEachDivergent(
+        source.edges(), [&](EdgeId id, const EdgeRecord& rec) {
+          if (source.FindEdge(id) == nullptr) d.add_edges.emplace_back(id, rec);
+          // Ids are unique and immutable, so a shared id implies an identical
+          // record.
+        });
+    source.edges().ForEachDivergent(
+        target.edges(), [&](EdgeId id, const EdgeRecord& rec) {
+          if (!target.HasEdge(id)) d.del_edges.emplace_back(id, rec);
+        });
   }
   if (!target.SharesNodeAttrStoreWith(source)) {
     DiffAttrs(target.node_attrs(), source.node_attrs(), &d.add_node_attrs,

@@ -22,52 +22,47 @@ const Snapshot::EdgeAttrTable& Snapshot::EmptyEdgeAttrs() {
 }
 
 void Snapshot::SetNodeAttrId(NodeId n, AttrId key, AttrId value) {
+  // Skip the write when it would be a no-op (common during idempotent
+  // replays and union-style combines): on a shared store it would clone the
+  // store's spine, and even on a solely-owned store it would deep-copy the
+  // 128-slot attr chunk the owner lives in if that chunk is still shared
+  // with an emitted sibling.
+  if (GetNodeAttrValueId(n, key) == value) return;
   if (SoleOwner(node_attrs_)) {
     (*node_attrs_)[n].Set(key, value);
     return;
   }
-  // Shared store: skip the COW clone when the write would be a no-op
-  // (common during idempotent replays and union-style combines).
-  if (GetNodeAttrValueId(n, key) == value) return;
   (*MutableNodeAttrs())[n].Set(key, value);
 }
 
 void Snapshot::SetEdgeAttrId(EdgeId e, AttrId key, AttrId value) {
+  if (GetEdgeAttrValueId(e, key) == value) return;
   if (SoleOwner(edge_attrs_)) {
     (*edge_attrs_)[e].Set(key, value);
     return;
   }
-  if (GetEdgeAttrValueId(e, key) == value) return;
   (*MutableEdgeAttrs())[e].Set(key, value);
 }
 
 bool Snapshot::RemoveNodeAttrId(NodeId n, AttrId key) {
-  if (SoleOwner(node_attrs_)) {
-    AttrMap* mine = node_attrs_->FindValue(n);
-    if (mine == nullptr || !mine->Erase(key)) return false;
-    if (mine->empty()) node_attrs_->erase(n);
-    return true;
-  }
+  // Probe read-only first: a no-op removal must not clone a store *or* a
+  // chunk. Only then take ownership of the one chunk the map lives in.
   const AttrMap* attrs = GetNodeAttrs(n);
   if (attrs == nullptr || !attrs->Contains(key)) return false;
-  NodeAttrTable* table = MutableNodeAttrs();
-  AttrMap* mine = table->FindValue(n);
+  NodeAttrTable* table =
+      SoleOwner(node_attrs_) ? node_attrs_.get() : MutableNodeAttrs();
+  AttrMap* mine = table->MutableValue(n);
   mine->Erase(key);
   if (mine->empty()) table->erase(n);
   return true;
 }
 
 bool Snapshot::RemoveEdgeAttrId(EdgeId e, AttrId key) {
-  if (SoleOwner(edge_attrs_)) {
-    AttrMap* mine = edge_attrs_->FindValue(e);
-    if (mine == nullptr || !mine->Erase(key)) return false;
-    if (mine->empty()) edge_attrs_->erase(e);
-    return true;
-  }
   const AttrMap* attrs = GetEdgeAttrs(e);
   if (attrs == nullptr || !attrs->Contains(key)) return false;
-  EdgeAttrTable* table = MutableEdgeAttrs();
-  AttrMap* mine = table->FindValue(e);
+  EdgeAttrTable* table =
+      SoleOwner(edge_attrs_) ? edge_attrs_.get() : MutableEdgeAttrs();
+  AttrMap* mine = table->MutableValue(e);
   mine->Erase(key);
   if (mine->empty()) table->erase(e);
   return true;
@@ -301,46 +296,33 @@ Snapshot Snapshot::CopyFiltered(unsigned components) const {
 }
 
 void Snapshot::AbsorbDisjoint(Snapshot&& other) {
-  auto absorb = [](auto* mine, auto&& theirs, auto&& merge) {
+  // Per store: steal the whole store when this side is empty; otherwise
+  // merge chunk-wise — id ranges only one side occupies adopt the other
+  // side's chunk pointer outright (O(1), shared), colliding ranges merge
+  // element-wise. Values move (instead of copy) only out of chunks `other`
+  // solely owns; a COW sibling (another emit of the same plan, a
+  // materialized snapshot) may still be reading shared chunks, and chunk
+  // adoption only ever copies pointers, never mutates in place.
+  auto absorb = [](auto* mine, auto&& theirs, auto&& make_mutable) {
     if (theirs == nullptr || theirs->empty()) return;
     if (*mine == nullptr || (*mine)->empty()) {
       CowAnnotateRelease(mine->get());  // Dropping our (empty) reference.
       *mine = std::move(theirs);
       return;
     }
-    merge();
+    auto* m = make_mutable();
+    if (theirs.use_count() == 1) {
+      m->MergeDisjointMove(std::move(*theirs));
+    } else {
+      m->MergeDisjointCopy(*theirs);
+    }
   };
-  absorb(&nodes_, std::move(other.nodes_), [&] {
-    NodeSet* mine = MutableNodes();
-    mine->reserve(mine->size() + other.nodes_->size());
-    for (NodeId n : *other.nodes_) mine->insert(n);
-  });
-  absorb(&edges_, std::move(other.edges_), [&] {
-    EdgeMap* mine = MutableEdges();
-    mine->reserve(mine->size() + other.edges_->size());
-    for (auto& [id, rec] : *other.edges_) mine->emplace(id, rec);
-  });
-  absorb(&node_attrs_, std::move(other.node_attrs_), [&] {
-    NodeAttrTable* mine = MutableNodeAttrs();
-    mine->reserve(mine->size() + other.node_attrs_->size());
-    // Move the maps out only when `other` solely owns its store; a COW
-    // sibling (another emit of the same plan, a materialized snapshot) may
-    // still be reading it.
-    if (other.node_attrs_.use_count() == 1) {
-      for (auto& [id, attrs] : *other.node_attrs_) mine->emplace(id, std::move(attrs));
-    } else {
-      for (const auto& [id, attrs] : *other.node_attrs_) mine->emplace(id, attrs);
-    }
-  });
-  absorb(&edge_attrs_, std::move(other.edge_attrs_), [&] {
-    EdgeAttrTable* mine = MutableEdgeAttrs();
-    mine->reserve(mine->size() + other.edge_attrs_->size());
-    if (other.edge_attrs_.use_count() == 1) {
-      for (auto& [id, attrs] : *other.edge_attrs_) mine->emplace(id, std::move(attrs));
-    } else {
-      for (const auto& [id, attrs] : *other.edge_attrs_) mine->emplace(id, attrs);
-    }
-  });
+  absorb(&nodes_, std::move(other.nodes_), [&] { return MutableNodes(); });
+  absorb(&edges_, std::move(other.edges_), [&] { return MutableEdges(); });
+  absorb(&node_attrs_, std::move(other.node_attrs_),
+         [&] { return MutableNodeAttrs(); });
+  absorb(&edge_attrs_, std::move(other.edge_attrs_),
+         [&] { return MutableEdgeAttrs(); });
 }
 
 void Snapshot::Clear() {
@@ -351,18 +333,19 @@ void Snapshot::Clear() {
   edge_attrs_.reset();
 }
 
+void Snapshot::ForEachStorePart(
+    const std::function<void(const void*, size_t)>& fn) const {
+  const auto no_heap = [](const EdgeRecord&) { return size_t{0}; };
+  const auto attr_heap = [](const AttrMap& attrs) { return attrs.MemoryBytes(); };
+  if (nodes_) nodes_->ForEachPart(fn);
+  if (edges_) edges_->ForEachPart(fn, no_heap);
+  if (node_attrs_) node_attrs_->ForEachPart(fn, attr_heap);
+  if (edge_attrs_) edge_attrs_->ForEachPart(fn, attr_heap);
+}
+
 size_t Snapshot::MemoryBytes() const {
   size_t bytes = 0;
-  if (nodes_) bytes += nodes_->TableBytes();
-  if (edges_) bytes += edges_->TableBytes();
-  if (node_attrs_) {
-    bytes += node_attrs_->TableBytes();
-    for (const auto& [id, attrs] : *node_attrs_) bytes += attrs.MemoryBytes();
-  }
-  if (edge_attrs_) {
-    bytes += edge_attrs_->TableBytes();
-    for (const auto& [id, attrs] : *edge_attrs_) bytes += attrs.MemoryBytes();
-  }
+  ForEachStorePart([&bytes](const void*, size_t part_bytes) { bytes += part_bytes; });
   return bytes;
 }
 

@@ -3,54 +3,25 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "common/flat_hash.h"
+#include "common/chunked_store.h"
+#include "common/cow.h"
 #include "common/interner.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "graph/attr_map.h"
 #include "temporal/event.h"
 
-// ThreadSanitizer does not model standalone atomic_thread_fence, so the COW
-// sole-owner fast path below — correct on hardware via use_count() + acquire
-// fence pairing with the refcount's release-decrement — is invisible to it
-// and reported as a race. Under TSan we mirror the fence protocol with
-// explicit happens-before annotations on the store address: every path that
-// drops a store reference announces (release) after its last read of the
-// store, and the sole-owner write path joins (acquire) before writing in
-// place. Production builds compile these away entirely.
-#if defined(__SANITIZE_THREAD__)
-#define HISTGRAPH_TSAN 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define HISTGRAPH_TSAN 1
-#endif
-#endif
-
-#if defined(HISTGRAPH_TSAN)
-extern "C" {
-void __tsan_acquire(void* addr);
-void __tsan_release(void* addr);
-}
-#endif
+// The COW/TSan annotation helpers (CowAnnotateAcquire/Release and the
+// HISTGRAPH_TSAN detection) live in common/cow.h — they are shared with the
+// chunk-granular sharing layer in common/chunked_store.h.
 
 namespace hgdb {
-
-inline void CowAnnotateAcquire([[maybe_unused]] const void* store) {
-#if defined(HISTGRAPH_TSAN)
-  if (store != nullptr) __tsan_acquire(const_cast<void*>(store));
-#endif
-}
-
-inline void CowAnnotateRelease([[maybe_unused]] const void* store) {
-#if defined(HISTGRAPH_TSAN)
-  if (store != nullptr) __tsan_release(const_cast<void*>(store));
-#endif
-}
 
 /// Endpoint and orientation payload of an edge. The edge id is kept outside.
 struct EdgeRecord {
@@ -77,18 +48,23 @@ struct EdgeRecord {
 /// Representation (see src/graph/README.md for the invariants):
 ///  - Attribute keys/values are interned AttrIds; the bytes live once in the
 ///    process-wide StringInterner. Value equality is id equality.
-///  - The four element stores are open-addressing flat tables held through
-///    shared_ptr with copy-on-write: copying a Snapshot is O(1) and shares
-///    structure; the first mutation of a shared store clones just that store.
-///    This is what makes multipoint retrieval's per-emit copies, CopyFiltered,
-///    and GraphPool handoffs cheap — the sharing discipline of the paper's
-///    follow-up system (Khurana & Deshpande, 2015) applied in memory.
+///  - The four element stores are *chunked* COW containers
+///    (common/chunked_store.h) held through shared_ptr with two granularities
+///    of sharing: copying a Snapshot is O(1) and shares whole stores; the
+///    first mutation of a shared store clones only the store's spine (a table
+///    of chunk pointers), sharing every chunk; and each element mutation then
+///    copies just the one 128/256-id chunk it lands in. Snapshots emitted by
+///    the same retrieval plan therefore share all chunks the plan did not
+///    touch between emits, which is what makes multipoint retrieval's
+///    marginal emit cost O(|delta|) instead of O(|graph|) — the sharing
+///    discipline of the paper's follow-up system (Khurana & Deshpande, 2015)
+///    applied in memory.
 class Snapshot {
  public:
-  using NodeSet = FlatHashSet<NodeId>;
-  using EdgeMap = FlatHashMap<EdgeId, EdgeRecord>;
-  using NodeAttrTable = FlatHashMap<NodeId, AttrMap>;
-  using EdgeAttrTable = FlatHashMap<EdgeId, AttrMap>;
+  using NodeSet = ChunkedIdSet<NodeId, 8>;              // 256-id bitmap chunks.
+  using EdgeMap = ChunkedIdMap<EdgeId, EdgeRecord, 7>;  // 128-id chunks.
+  using NodeAttrTable = ChunkedIdMap<NodeId, AttrMap, 7>;
+  using EdgeAttrTable = ChunkedIdMap<EdgeId, AttrMap, 7>;
 
   Snapshot() = default;
   Snapshot(const Snapshot&) = default;  // O(1): shares all stores.
@@ -258,6 +234,15 @@ class Snapshot {
   /// store this snapshot references, whether or not it is shared; interned
   /// string bytes are global and not included.
   size_t MemoryBytes() const;
+
+  /// Enumerates the heap parts this snapshot references as
+  /// `fn(const void* part, size_t bytes)` pairs. Parts shared between
+  /// snapshots report identical pointers, so a caller can dedupe by pointer
+  /// to compute *resident* bytes across a set of snapshots (as opposed to
+  /// the per-copy sum MemoryBytes gives) and measure how much structure a
+  /// group of emitted snapshots actually shares.
+  void ForEachStorePart(
+      const std::function<void(const void*, size_t)>& fn) const;
 
   // -- Copy-on-write introspection (tests / benches) -------------------------
   /// True if both snapshots reference the same store object for every

@@ -1,7 +1,10 @@
 // Coverage for the copy-on-write Snapshot core: COW aliasing semantics
 // (mutate-after-share leaves the sibling untouched), structure sharing on
-// copy (including an allocation-count proof), the string interner, the
-// flat-hash element stores, and the DeltaStore decoded-object LRU.
+// copy (including an allocation-count proof), chunk-granular sharing across
+// emitted snapshots (including an allocation proof that a post-emit mutation
+// epoch costs O(touched chunks), not O(store)), the chunked id containers
+// against std oracles, the string interner, the flat-hash spine containers,
+// and the DeltaStore decoded-object LRU.
 
 #include <gtest/gtest.h>
 
@@ -11,29 +14,34 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/chunked_store.h"
 #include "common/flat_hash.h"
 #include "common/interner.h"
-#include "common/random.h"
 #include "deltagraph/delta_store.h"
 #include "graph/snapshot.h"
 #include "kvstore/kv_store.h"
+#include "tests/test_util.h"
 
 // ---------------------------------------------------------------------------
-// Global allocation counter (this test binary only): proves that copying a
-// Snapshot performs no per-element work.
+// Global allocation counters (this test binary only): prove that copying a
+// Snapshot performs no per-element work, and that a mutation epoch after an
+// emit allocates in proportion to the chunks it touches.
 // ---------------------------------------------------------------------------
 
 namespace {
 std::atomic<size_t> g_alloc_count{0};
+std::atomic<size_t> g_alloc_bytes{0};
 }  // namespace
 
 void* operator new(size_t size) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 void* operator new(size_t size, std::align_val_t align) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   const size_t a =
       static_cast<size_t>(align) < sizeof(void*) ? sizeof(void*)
                                                  : static_cast<size_t>(align);
@@ -220,6 +228,271 @@ TEST(CowSnapshotTest, AbsorbDisjointMergePreservesCowSibling) {
 }
 
 // ---------------------------------------------------------------------------
+// Chunk-granular sharing (the overlay layer under the stores)
+// ---------------------------------------------------------------------------
+
+// All heap parts (spines + chunks) a snapshot references, by pointer.
+std::unordered_set<const void*> Parts(const Snapshot& s) {
+  std::unordered_set<const void*> parts;
+  s.ForEachStorePart([&](const void* p, size_t) { parts.insert(p); });
+  return parts;
+}
+
+size_t SharedParts(const Snapshot& a, const Snapshot& b) {
+  const auto pa = Parts(a);
+  size_t shared = 0;
+  for (const void* p : Parts(b)) shared += pa.count(p);
+  return shared;
+}
+
+TEST(ChunkedOverlayTest, MutationCopiesOneChunkNotTheStore) {
+  Snapshot a;
+  for (NodeId n = 0; n < 2048; ++n) a.AddNode(n);  // 8 set chunks (256 ids).
+  Snapshot b = a;
+  ASSERT_TRUE(b.SharesNodeStoreWith(a));
+
+  b.AddNode(5000);  // Lands in a fresh chunk: old chunks all stay shared.
+  EXPECT_FALSE(b.SharesNodeStoreWith(a));
+  EXPECT_EQ(SharedParts(a, b), Parts(a).size() - 1);  // All but a's spine.
+
+  Snapshot c = a;
+  c.RemoveNode(700);  // Copies exactly the chunk of id 700.
+  // Shared: everything except c's spine and the one diverged chunk.
+  EXPECT_EQ(SharedParts(a, c), Parts(a).size() - 2);
+  EXPECT_TRUE(a.HasNode(700));
+  EXPECT_FALSE(c.HasNode(700));
+}
+
+TEST(ChunkedOverlayTest, ChunkBoundaryMutationsIsolateSiblings) {
+  // Ids straddling a set-chunk boundary (256) and a map-chunk boundary (128)
+  // live in different chunks; mutating one side must not disturb the other
+  // or the COW sibling.
+  Snapshot a;
+  a.AddNode(255);
+  a.AddNode(256);
+  a.AddEdge(127, EdgeRecord{255, 256, false});
+  a.AddEdge(128, EdgeRecord{256, 255, false});
+  Snapshot b = a;
+
+  ASSERT_TRUE(b.RemoveNode(256));
+  ASSERT_TRUE(b.RemoveEdge(128));
+  EXPECT_TRUE(a.HasNode(256));
+  EXPECT_TRUE(a.HasEdge(128));
+  EXPECT_TRUE(b.HasNode(255));
+  EXPECT_TRUE(b.HasEdge(127));
+
+  // The untouched boundary-neighbor chunks are still pointer-shared.
+  EXPECT_GE(SharedParts(a, b), 2u);
+
+  ASSERT_TRUE(b.AddNode(256));
+  ASSERT_TRUE(b.AddEdge(128, EdgeRecord{256, 255, false}));
+  EXPECT_TRUE(a.Equals(b)) << a.DiffString(b);
+}
+
+TEST(ChunkedOverlayTest, DeleteThenReinsertInSameChunkRestoresEquality) {
+  Snapshot a;
+  for (NodeId n = 0; n < 600; ++n) a.AddNode(n);
+  for (EdgeId e = 0; e < 300; ++e) a.AddEdge(e, EdgeRecord{e, e + 1, true});
+  a.SetNodeAttr(5, "color", "red");
+  Snapshot b = a;
+
+  // Multi-element chunk: erase + reinsert inside chunk 1 (ids 256..511).
+  ASSERT_TRUE(b.RemoveNode(300));
+  ASSERT_TRUE(b.AddNode(300));
+  ASSERT_TRUE(b.RemoveEdge(130));
+  ASSERT_TRUE(b.AddEdge(130, EdgeRecord{130, 131, true}));
+  EXPECT_TRUE(a.Equals(b)) << a.DiffString(b);
+
+  // Attr delete + re-set in the same chunk.
+  b.RemoveNodeAttr(5, "color");
+  b.SetNodeAttr(5, "color", "red");
+  EXPECT_TRUE(a.Equals(b)) << a.DiffString(b);
+
+  // Single-element chunk: erasing the last element drops the chunk from the
+  // spine; reinsertion recreates it.
+  Snapshot c;
+  c.AddNode(1 << 20);
+  Snapshot d = c;
+  ASSERT_TRUE(d.RemoveNode(1 << 20));
+  EXPECT_TRUE(c.HasNode(1 << 20));
+  EXPECT_FALSE(d.HasNode(1 << 20));
+  EXPECT_EQ(d.NodeCount(), 0u);
+  ASSERT_TRUE(d.AddNode(1 << 20));
+  EXPECT_TRUE(c.Equals(d));
+}
+
+TEST(ChunkedOverlayTest, CopyFilteredOverSharedSpineDivergesPerChunk) {
+  Snapshot a = MakeSample();
+  Snapshot structs = a.CopyFiltered(kCompStruct);
+  ASSERT_TRUE(structs.SharesNodeStoreWith(a));
+
+  // Mutating the filtered copy clones its spine + one chunk; every other
+  // chunk keeps aliasing the original.
+  structs.AddNode(12345);
+  EXPECT_FALSE(a.HasNode(12345));
+  EXPECT_FALSE(structs.SharesNodeStoreWith(a));
+  EXPECT_GE(SharedParts(a, structs), 1u);
+
+  // And attr mutations on the original do not reach the struct-only copy.
+  a.SetNodeAttr(1, "name", "rewritten");
+  EXPECT_EQ(structs.GetNodeAttr(1, "name"), nullptr);
+  EXPECT_EQ(structs.NodeAttrCount(), 0u);
+}
+
+TEST(ChunkedOverlayTest, EmitEpochAllocatesTouchedChunksNotStores) {
+  // A large snapshot; then an "emit" (COW share) followed by a small
+  // mutation epoch, as the plan executor does between two emit points. The
+  // epoch must allocate memory proportional to the handful of chunks it
+  // touches — not to the ~full-store clone the pre-chunking code paid.
+  Snapshot big;
+  for (NodeId n = 0; n < 40000; ++n) big.AddNode(n);
+  for (EdgeId e = 0; e < 20000; ++e) {
+    big.AddEdge(e, EdgeRecord{e % 40000, (e + 1) % 40000, false});
+  }
+  for (NodeId n = 0; n < 5000; ++n) {
+    big.SetNodeAttr(n, "label", "node-" + std::to_string(n % 100));
+  }
+  const size_t store_bytes = big.MemoryBytes();
+  ASSERT_GT(store_bytes, 400u * 1024);
+
+  Snapshot emitted = big;  // The emit: O(1), shares everything.
+  const size_t count_before = g_alloc_count.load();
+  const size_t bytes_before = g_alloc_bytes.load();
+  // The epoch: one structural add, one delete, one attr change — touches
+  // three stores, one chunk each (plus the three spine copies).
+  ASSERT_TRUE(big.AddNode(40001));
+  ASSERT_TRUE(big.RemoveEdge(7));
+  big.SetNodeAttr(3, "label", "changed");
+  const size_t epoch_count = g_alloc_count.load() - count_before;
+  const size_t epoch_bytes = g_alloc_bytes.load() - bytes_before;
+
+  // O(touched chunks): a few spine tables (pointer arrays), three chunks,
+  // and the attr copies inside the one cloned attr chunk. Far below any
+  // whole-store clone both in allocation count and in bytes.
+  EXPECT_LE(epoch_count, 200u) << "epoch allocation count should be O(chunks)";
+  EXPECT_LE(epoch_bytes * 5, store_bytes)
+      << "epoch bytes " << epoch_bytes << " vs stores " << store_bytes;
+
+  // The emitted snapshot is untouched by the epoch.
+  EXPECT_FALSE(emitted.HasNode(40001));
+  EXPECT_TRUE(emitted.HasEdge(7));
+  EXPECT_EQ(*emitted.GetNodeAttr(3, "label"), "node-3");
+}
+
+// ---------------------------------------------------------------------------
+// Chunked containers vs std oracles
+// ---------------------------------------------------------------------------
+
+TEST(ChunkedStoreTest, MapMatchesStdReferenceUnderChurn) {
+  ChunkedIdMap<uint64_t, uint64_t> m;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  test::SeededRng rng(4242);
+  for (int i = 0; i < 50000; ++i) {
+    // Mix dense low keys (constant intra-chunk churn) with sparse strided
+    // keys (the hash spine's sparse-range handling).
+    const uint64_t key = rng.Chance(0.8) ? rng.Uniform(512)
+                                         : (1 + rng.Uniform(64)) * 1000000007ull;
+    switch (rng.Uniform(3)) {
+      case 0:
+        EXPECT_EQ(m.emplace(key, static_cast<uint64_t>(i)).second,
+                  ref.emplace(key, static_cast<uint64_t>(i)).second);
+        break;
+      case 1:
+        m[key] = static_cast<uint64_t>(i);
+        ref[key] = static_cast<uint64_t>(i);
+        break;
+      case 2:
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+        break;
+    }
+  }
+  ASSERT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const uint64_t* mine = m.FindValue(k);
+    ASSERT_NE(mine, nullptr) << k;
+    EXPECT_EQ(*mine, v);
+  }
+  size_t iterated = 0;
+  for (const auto& [k, v] : m) {
+    ASSERT_TRUE(ref.contains(k)) << k;
+    EXPECT_EQ(ref[k], v);
+    ++iterated;
+  }
+  EXPECT_EQ(iterated, ref.size());
+}
+
+TEST(ChunkedStoreTest, SetMatchesStdReferenceUnderChurn) {
+  ChunkedIdSet<uint64_t> s;
+  std::unordered_set<uint64_t> ref;
+  test::SeededRng rng(777);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t key = rng.Chance(0.8) ? rng.Uniform(700)
+                                         : (1 + rng.Uniform(64)) * 2654435761ull;
+    if (rng.Uniform(2) == 0) {
+      EXPECT_EQ(s.insert(key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(s.erase(key), ref.erase(key) > 0);
+    }
+  }
+  ASSERT_EQ(s.size(), ref.size());
+  for (uint64_t k : ref) EXPECT_TRUE(s.contains(k));
+  size_t iterated = 0;
+  for (uint64_t k : s) {
+    EXPECT_TRUE(ref.contains(k));
+    ++iterated;
+  }
+  EXPECT_EQ(iterated, ref.size());
+}
+
+TEST(ChunkedStoreTest, CowSiblingStaysFrozenUnderChurn) {
+  ChunkedIdMap<uint64_t, uint64_t> m;
+  std::unordered_map<uint64_t, uint64_t> expected;
+  test::SeededRng rng(90210);
+  for (uint64_t i = 0; i < 1500; ++i) {
+    const uint64_t v = rng.Uniform(1u << 30);
+    m[i] = v;
+    expected[i] = v;
+  }
+  const ChunkedIdMap<uint64_t, uint64_t> frozen = m;  // The "emit".
+  for (int i = 0; i < 20000; ++i) {  // Heavy churn on the working copy.
+    const uint64_t key = rng.Uniform(3000);
+    if (rng.Uniform(2) == 0) {
+      m[key] = static_cast<uint64_t>(i);
+    } else {
+      m.erase(key);
+    }
+  }
+  ASSERT_EQ(frozen.size(), expected.size());
+  for (const auto& [k, v] : expected) {
+    const uint64_t* f = frozen.FindValue(k);
+    ASSERT_NE(f, nullptr) << k;
+    EXPECT_EQ(*f, v) << k;
+  }
+}
+
+TEST(ChunkedStoreTest, EqualityIsOrderAndHistoryIndependent) {
+  ChunkedIdSet<uint64_t> a, b;
+  for (uint64_t i = 0; i < 1000; ++i) a.insert(i);
+  for (uint64_t i = 1000; i > 0; --i) b.insert(i - 1);
+  b.insert(5000);  // Extra chunk...
+  b.erase(5000);   // ...fully vacated again (must leave the spine).
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.ChunkCount(), b.ChunkCount());
+  b.erase(17);
+  EXPECT_TRUE(a != b);
+
+  ChunkedIdMap<uint64_t, uint64_t> x, y;
+  x.reserve(4096);  // Different spine capacity, same contents.
+  for (uint64_t i = 0; i < 300; ++i) {
+    x[i * 97] = i;
+    y[(299 - i) * 97] = 299 - i;
+  }
+  EXPECT_TRUE(x == y);
+  y[42 * 97] = 999;
+  EXPECT_TRUE(x != y);
+}
+
+// ---------------------------------------------------------------------------
 // Interner
 // ---------------------------------------------------------------------------
 
@@ -272,7 +545,7 @@ TEST(FlatHashTest, MapGrowthKeepsAllEntries) {
 TEST(FlatHashTest, MapMatchesStdReferenceUnderChurn) {
   FlatHashMap<uint64_t, uint64_t> m;
   std::unordered_map<uint64_t, uint64_t> ref;
-  Rng rng(42);
+  test::SeededRng rng(42);
   for (int i = 0; i < 50000; ++i) {
     // Small key range forces constant collision/erase/reinsert churn.
     const uint64_t key = rng.Uniform(512);
@@ -320,7 +593,7 @@ TEST(FlatHashTest, EraseBackwardShiftKeepsProbeChainsIntact) {
 TEST(FlatHashTest, SetMatchesStdReferenceUnderChurn) {
   FlatHashSet<uint64_t> s;
   std::unordered_set<uint64_t> ref;
-  Rng rng(7);
+  test::SeededRng rng(7);
   for (int i = 0; i < 50000; ++i) {
     const uint64_t key = rng.Uniform(300);
     if (rng.Uniform(2) == 0) {

@@ -5,6 +5,7 @@
 #include "deltagraph/delta_graph.h"
 #include "deltagraph/differential.h"
 #include "deltagraph/partitioned_delta_graph.h"
+#include "tests/test_util.h"
 #include "workload/generators.h"
 #include "workload/trace_world.h"
 
@@ -1014,7 +1015,7 @@ TEST(UpdateQueryInterleavingTest, QueriesStayCorrectWhileUpdating) {
   ASSERT_TRUE(dg->Finalize().ok());
 
   std::vector<Event> all = trace.events;
-  Rng rng(79);
+  test::SeededRng rng(79);
   Timestamp t = all.back().time;
   for (int round = 0; round < 30; ++round) {
     // A burst of updates...

@@ -6,7 +6,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <random>
 #include <thread>
 #include <unordered_set>
 
@@ -16,6 +15,7 @@
 #include "exec/prefetcher.h"
 #include "exec/retrieval_session.h"
 #include "exec/task_pool.h"
+#include "tests/test_util.h"
 #include "workload/generators.h"
 #include "workload/trace_world.h"
 
@@ -122,24 +122,14 @@ BuiltIndex BuildRandomIndex(uint64_t seed, size_t num_events,
   return built;
 }
 
-std::vector<Timestamp> RandomTimes(std::mt19937_64& rng, const std::vector<Event>& ev,
-                                   int k) {
-  const Timestamp lo = ev.front().time, hi = ev.back().time;
-  std::uniform_int_distribution<Timestamp> dist(lo > 10 ? lo - 10 : 0, hi + 20);
-  std::vector<Timestamp> times;
-  for (int i = 0; i < k; ++i) times.push_back(dist(rng));
-  if (k >= 4) times[k - 1] = times[0];  // Duplicate request in the batch.
-  return times;
-}
-
 TEST(ParallelExecutorTest, MatchesSerialAcrossSeedsAndThreadCounts) {
   TaskPool pool2(2), pool8(8);
   for (uint64_t seed : {11u, 1234u, 990017u}) {
     BuiltIndex built = BuildRandomIndex(seed, 3000, /*post_finalize_events=*/150);
-    std::mt19937_64 rng(seed * 31 + 7);
+    test::SeededRng rng(seed * 31 + 7);
     for (unsigned components : {unsigned{kCompAll}, unsigned{kCompStruct}}) {
       for (int k : {2, 5, 9}) {
-        const std::vector<Timestamp> times = RandomTimes(rng, built.events, k);
+        const std::vector<Timestamp> times = test::RandomTimes(rng, built.events, k);
 
         built.dg->SetTaskPool(nullptr);  // Serial baseline.
         auto serial = built.dg->GetSnapshots(times, components);
@@ -171,7 +161,7 @@ TEST(ParallelExecutorTest, MatchesSerialAcrossSeedsAndThreadCounts) {
     // Ground truth once per seed: the parallel result equals exact replay.
     TaskPool pool4(4);
     built.dg->SetTaskPool(&pool4);
-    const std::vector<Timestamp> times = RandomTimes(rng, built.events, 6);
+    const std::vector<Timestamp> times = test::RandomTimes(rng, built.events, 6);
     auto snaps = built.dg->GetSnapshots(times, kCompAll);
     ASSERT_TRUE(snaps.ok());
     for (size_t i = 0; i < times.size(); ++i) {
@@ -185,8 +175,8 @@ TEST(ParallelExecutorTest, MatchesSerialAcrossSeedsAndThreadCounts) {
 TEST(ParallelExecutorTest, MaterializedStartsMatchSerial) {
   BuiltIndex built = BuildRandomIndex(77, 2500);
   ASSERT_TRUE(built.dg->MaterializeDepth(1).ok());
-  std::mt19937_64 rng(99);
-  const std::vector<Timestamp> times = RandomTimes(rng, built.events, 7);
+  test::SeededRng rng(99);
+  const std::vector<Timestamp> times = test::RandomTimes(rng, built.events, 7);
 
   built.dg->SetTaskPool(nullptr);
   auto serial = built.dg->GetSnapshots(times, kCompAll);
@@ -215,8 +205,8 @@ TEST(ParallelExecutorTest, PlanHasBranchesDetectsLinearChains) {
 
 TEST(PrefetchTest, PlanPreScanDedupesAndSkipsInMemorySteps) {
   BuiltIndex built = BuildRandomIndex(31, 2000, /*post_finalize_events=*/60);
-  std::mt19937_64 rng(3);
-  auto plan = built.dg->PlanFor(RandomTimes(rng, built.events, 6));
+  test::SeededRng rng(3);
+  auto plan = built.dg->PlanFor(test::RandomTimes(rng, built.events, 6));
   ASSERT_TRUE(plan.ok());
   const std::vector<PlanFetch> fetches = CollectPlanFetches(plan.value());
   ASSERT_FALSE(fetches.empty());
@@ -238,8 +228,8 @@ TEST(PrefetchTest, PrefetchOnOffSerialParallelLatencyAllAgree) {
     BuiltIndex built =
         BuildRandomIndex(4242 + latency_us, 2200, /*post_finalize_events=*/120, kv);
     built.dg->SetDecodedCacheCapacity(0);  // Every run pays real fetches.
-    std::mt19937_64 rng(17);
-    const std::vector<Timestamp> times = RandomTimes(rng, built.events, 6);
+    test::SeededRng rng(17);
+    const std::vector<Timestamp> times = test::RandomTimes(rng, built.events, 6);
 
     built.dg->SetTaskPool(nullptr);
     built.dg->SetIoPool(nullptr);  // Blocking-fetch serial baseline.
@@ -276,9 +266,9 @@ TEST(PrefetchTest, SessionWithPrefetchMatchesBlockingRetrieval) {
   kv.read_latency_us = 50;
   BuiltIndex built = BuildRandomIndex(777, 2000, /*post_finalize_events=*/80, kv);
   built.dg->SetDecodedCacheCapacity(0);
-  std::mt19937_64 rng(23);
+  test::SeededRng rng(23);
   std::vector<std::vector<Timestamp>> batches;
-  for (int i = 0; i < 4; ++i) batches.push_back(RandomTimes(rng, built.events, 4));
+  for (int i = 0; i < 4; ++i) batches.push_back(test::RandomTimes(rng, built.events, 4));
 
   TaskPool pool(4);
   IoPool io(2);
@@ -311,11 +301,11 @@ unsigned i_th_components(size_t i) {
 
 TEST(RetrievalSessionTest, BatchedRequestsMatchDirectRetrieval) {
   BuiltIndex built = BuildRandomIndex(321, 2500, 100);
-  std::mt19937_64 rng(5);
+  test::SeededRng rng(5);
   TaskPool pool(4);
 
   std::vector<std::vector<Timestamp>> batches;
-  for (int i = 0; i < 5; ++i) batches.push_back(RandomTimes(rng, built.events, 4));
+  for (int i = 0; i < 5; ++i) batches.push_back(test::RandomTimes(rng, built.events, 4));
 
   RetrievalSession session(built.dg.get(), &pool);
   std::vector<RetrievalSession::Request*> tickets;
@@ -376,13 +366,13 @@ TEST(ExecStressTest, ConcurrentSessionsOverOneIndex) {
   std::vector<std::thread> drivers;
   for (int d = 0; d < kDrivers; ++d) {
     drivers.emplace_back([&, d] {
-      std::mt19937_64 rng(9000 + d);
+      test::SeededRng rng(9000 + d);
       for (int round = 0; round < kRoundsPerDriver; ++round) {
         RetrievalSession session(built.dg.get(), &pool);
         std::vector<std::vector<Timestamp>> batches;
         std::vector<RetrievalSession::Request*> tickets;
         for (int r = 0; r < 3; ++r) {
-          batches.push_back(RandomTimes(rng, built.events, 3 + r));
+          batches.push_back(test::RandomTimes(rng, built.events, 3 + r));
           tickets.push_back(session.Submit(batches.back()));
         }
         if (!session.Wait().ok()) {
@@ -416,12 +406,12 @@ TEST(ExecStressTest, ConcurrentDirectGetSnapshots) {
   std::vector<std::thread> drivers;
   for (int d = 0; d < 4; ++d) {
     drivers.emplace_back([&, d] {
-      std::mt19937_64 rng(70 + d);
+      test::SeededRng rng(70 + d);
       for (int round = 0; round < 4; ++round) {
         // Mix multipoint with singlepoint (the latter contends on the
         // SSSP plan cache).
         const int k = (round % 2 == 0) ? 4 : 1;
-        const std::vector<Timestamp> times = RandomTimes(rng, built.events, k);
+        const std::vector<Timestamp> times = test::RandomTimes(rng, built.events, k);
         auto snaps = built.dg->GetSnapshots(times, kCompAll);
         if (!snaps.ok()) {
           failures.fetch_add(1);

@@ -1,0 +1,186 @@
+#ifndef HISTGRAPH_TESTS_TEST_ORACLE_H_
+#define HISTGRAPH_TESTS_TEST_ORACLE_H_
+
+// A deliberately naive ground-truth model of snapshot retrieval: rebuild the
+// graph as of time t by replaying the full event log from the beginning into
+// plain std::unordered_map / std::map stores. It shares NO code with the
+// Snapshot/DeltaGraph machinery under test — no interner, no COW, no chunked
+// stores, no deltas — so an aliasing or visibility bug in any of those layers
+// cannot cancel itself out of a comparison against this oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/snapshot.h"
+#include "temporal/event.h"
+
+namespace hgdb {
+namespace test {
+
+class NaiveReplayOracle {
+ public:
+  struct OracleEdge {
+    NodeId src;
+    NodeId dst;
+    bool directed;
+  };
+  using AttrTable = std::unordered_map<uint64_t, std::map<std::string, std::string>>;
+
+  /// Replays every event of `log` with time <= t (in log order), keeping only
+  /// the aspects selected by `components`. Transient events are skipped:
+  /// they are not part of any snapshot by definition.
+  static NaiveReplayOracle At(const std::vector<Event>& log, Timestamp t,
+                              unsigned components) {
+    NaiveReplayOracle oracle;
+    for (const Event& e : log) {
+      if (e.time > t) break;  // Logs are appended chronologically.
+      oracle.Apply(e, components);
+    }
+    return oracle;
+  }
+
+  void Apply(const Event& e, unsigned components) {
+    if (e.is_transient()) return;
+    if ((e.component() & components) == 0) return;
+    switch (e.type) {
+      case EventType::kAddNode:
+        nodes_.insert(e.node);
+        break;
+      case EventType::kDeleteNode:
+        nodes_.erase(e.node);
+        break;
+      case EventType::kAddEdge:
+        edges_[e.edge] = OracleEdge{e.src, e.dst, e.directed};
+        break;
+      case EventType::kDeleteEdge:
+        edges_.erase(e.edge);
+        break;
+      case EventType::kNodeAttr:
+        ApplyAttr(&node_attrs_, e.node, e.key, e.new_value);
+        break;
+      case EventType::kEdgeAttr:
+        ApplyAttr(&edge_attrs_, e.edge, e.key, e.new_value);
+        break;
+      case EventType::kTransientEdge:
+      case EventType::kTransientNode:
+        break;
+    }
+  }
+
+  /// Element-for-element comparison in both directions, with a diagnostic
+  /// listing the first differences on failure.
+  ::testing::AssertionResult Matches(const Snapshot& got) const {
+    std::ostringstream diff;
+    size_t mismatches = 0;
+    auto note = [&](const std::string& s) {
+      if (mismatches < 10) diff << "  " << s << "\n";
+      ++mismatches;
+    };
+
+    // Nodes.
+    for (NodeId n : nodes_) {
+      if (!got.HasNode(n)) note("missing node " + std::to_string(n));
+    }
+    for (NodeId n : got.nodes()) {
+      if (nodes_.count(n) == 0) note("extra node " + std::to_string(n));
+    }
+    // Edges (id + endpoints + orientation).
+    for (const auto& [id, rec] : edges_) {
+      const EdgeRecord* g = got.FindEdge(id);
+      if (g == nullptr) {
+        note("missing edge " + std::to_string(id));
+      } else if (g->src != rec.src || g->dst != rec.dst ||
+                 g->directed != rec.directed) {
+        note("edge " + std::to_string(id) + " record differs");
+      }
+    }
+    for (const auto& [id, rec] : got.edges()) {
+      (void)rec;
+      if (edges_.count(id) == 0) note("extra edge " + std::to_string(id));
+    }
+    // Attributes, compared through the string API so interner state is part
+    // of what is being checked.
+    MatchAttrs(
+        node_attrs_, got.node_attrs(),
+        [&](uint64_t owner, const std::string& key) {
+          return got.GetNodeAttr(static_cast<NodeId>(owner), key);
+        },
+        "node", note);
+    MatchAttrs(
+        edge_attrs_, got.edge_attrs(),
+        [&](uint64_t owner, const std::string& key) {
+          return got.GetEdgeAttr(static_cast<EdgeId>(owner), key);
+        },
+        "edge", note);
+
+    if (mismatches == 0) return ::testing::AssertionSuccess();
+    auto result = ::testing::AssertionFailure();
+    result << mismatches << " element mismatch(es) vs naive replay:\n"
+           << diff.str();
+    if (mismatches > 10) result << "  ... and " << (mismatches - 10) << " more\n";
+    return result;
+  }
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t EdgeCount() const { return edges_.size(); }
+
+ private:
+  static void ApplyAttr(AttrTable* table, uint64_t owner, const std::string& key,
+                        const std::optional<std::string>& new_value) {
+    if (new_value.has_value()) {
+      (*table)[owner][key] = *new_value;
+    } else {
+      auto it = table->find(owner);
+      if (it != table->end()) {
+        it->second.erase(key);
+        if (it->second.empty()) table->erase(it);
+      }
+    }
+  }
+
+  template <typename GotTable, typename GetFn, typename NoteFn>
+  static void MatchAttrs(const AttrTable& want, const GotTable& got_table,
+                         GetFn get, const char* kind, NoteFn note) {
+    for (const auto& [owner, attrs] : want) {
+      for (const auto& [key, value] : attrs) {
+        const std::string* g = get(owner, key);
+        if (g == nullptr) {
+          note("missing " + std::string(kind) + " attr (" + std::to_string(owner) +
+               ", " + key + ")");
+        } else if (*g != value) {
+          note(std::string(kind) + " attr (" + std::to_string(owner) + ", " + key +
+               ") = \"" + *g + "\", want \"" + value + "\"");
+        }
+      }
+    }
+    // Reverse direction: anything the snapshot holds must be in the oracle.
+    for (const auto& [owner, attrs] : got_table) {
+      auto it = want.find(owner);
+      for (const auto& [kid, vid] : attrs) {
+        const std::string& key = AttrStr(kid);
+        (void)vid;
+        if (it == want.end() || it->second.count(key) == 0) {
+          note("extra " + std::string(kind) + " attr (" + std::to_string(owner) +
+               ", " + key + ")");
+        }
+      }
+    }
+  }
+
+  std::unordered_set<NodeId> nodes_;
+  std::unordered_map<EdgeId, OracleEdge> edges_;
+  AttrTable node_attrs_;
+  AttrTable edge_attrs_;
+};
+
+}  // namespace test
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_TESTS_TEST_ORACLE_H_
