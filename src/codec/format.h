@@ -1,0 +1,182 @@
+#ifndef HISTGRAPH_CODEC_FORMAT_H_
+#define HISTGRAPH_CODEC_FORMAT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/interner.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace hgdb {
+namespace codec {
+
+/// \brief Versioned columnar block format for delta / eventlist blobs.
+///
+/// Every v1 blob starts with a 4-byte header (3 magic bytes + version), then
+/// a sequence of framed column blocks:
+///
+///   [tag|flags : 1][varint stored_len][payload : stored_len]
+///
+/// The low 7 tag bits identify the column block; the high bit marks an
+/// LZ-compressed payload (prefixed by a varint uncompressed length). Readers
+/// skip blocks with unknown tags by their length, which is what makes the
+/// format evolvable: a future version can add columns without breaking this
+/// reader, and this reader rejects blobs whose *header* version it does not
+/// know. Blobs without the magic are the implicit legacy v0 row format and
+/// are routed to the v0 decoders (see README.md for the full spec).
+
+/// Magic prefix of every versioned blob. Chosen with the top bit set in each
+/// byte so that a legacy v0 blob (which starts with a varint element count)
+/// would need a pathological multi-megabyte leading count to collide.
+inline constexpr char kMagic[3] = {'\xd1', '\x47', '\xc5'};
+inline constexpr uint8_t kVersion1 = 1;
+/// Newest version this build can decode.
+inline constexpr uint8_t kMaxSupportedVersion = kVersion1;
+
+/// Column block tags (low 7 bits of the frame's first byte).
+enum BlockTag : uint8_t {
+  kBlockDict = 1,       ///< Per-blob string dictionary.
+  kBlockNodeAdds = 2,   ///< Delta: added node ids.
+  kBlockNodeDels = 3,   ///< Delta: deleted node ids.
+  kBlockEdgeAdds = 4,   ///< Delta: added edges (id/src/dst/directed columns).
+  kBlockEdgeDels = 5,   ///< Delta: deleted edges.
+  kBlockAttrAdds = 6,   ///< Delta: added attribute entries.
+  kBlockAttrDels = 7,   ///< Delta: deleted attribute entries.
+  kBlockEventMeta = 8,  ///< EventList: seq / time / op-kind columns.
+  kBlockEventIds = 9,   ///< EventList: node / edge / src / dst / directed columns.
+  kBlockEventAttrs = 10,  ///< EventList: key / old / new dictionary-id columns.
+};
+inline constexpr uint8_t kBlockTagMask = 0x7f;
+inline constexpr uint8_t kBlockCompressedBit = 0x80;
+
+/// Column payloads at least this large are attempted through the LZ codec
+/// and stored compressed when that shrinks them. (The KV layer stores codec
+/// blobs as-is — see CompressValue — so this is the only compression pass.)
+inline constexpr size_t kCompressMinBytes = 64;
+
+/// Appends the v1 header (magic + version byte).
+void PutHeader(std::string* out);
+
+/// True if `blob` carries the v1+ magic (false => legacy v0 blob).
+bool HasHeader(const Slice& blob);
+
+/// Consumes the header, rejecting unknown (newer) versions.
+Status ParseHeader(Slice* in, uint8_t* version);
+
+/// Appends one framed block, compressing the payload when profitable.
+void AppendBlock(uint8_t tag, const Slice& payload, std::string* out);
+
+/// \brief Iterates the framed blocks of a v1 blob body (post-header).
+///
+/// Decompressed payloads are owned by the reader; returned slices stay valid
+/// for the reader's lifetime. Unknown tags are returned to the caller, which
+/// may skip them (forward compatibility).
+class BlockReader {
+ public:
+  BlockReader() = default;
+  explicit BlockReader(Slice body) : in_(body) {}
+
+  /// Advances to the next block. Sets `*done` at a clean end of input;
+  /// returns Corruption for a torn frame or an undecodable payload.
+  Status Next(uint8_t* tag, Slice* payload, bool* done);
+
+ private:
+  Slice in_;
+  // deque: growth never moves existing elements, so payload slices into
+  // decompressed scratch buffers stay valid as more blocks are read.
+  std::deque<std::string> scratch_;
+};
+
+/// Reads every block of `blob` (header included) into a tag -> payload map.
+/// Duplicate tags are corruption. The reader owning decompressed payloads is
+/// `*reader`, which must outlive any use of the returned slices.
+Status ReadBlocks(const Slice& blob, BlockReader* reader,
+                  std::unordered_map<uint8_t, Slice>* blocks);
+
+// -- Per-blob string dictionary ----------------------------------------------
+//
+// Attribute keys/values (and transient payloads) repeat heavily within one
+// blob; the dictionary stores each distinct string once, in first-appearance
+// order, and the entry columns store small dictionary indexes. Decoding
+// resolves (and interns) each distinct string once per blob instead of once
+// per element. Because indexes are assigned by appearance order, the encoded
+// bytes are independent of the process-local interning order.
+
+class DictBuilder {
+ public:
+  /// Returns the dictionary index of `s`, adding it on first sight. The view
+  /// must stay valid until EncodeTo (interner strings and event fields both
+  /// outlive the encode call).
+  uint32_t Index(std::string_view s) {
+    auto [it, inserted] = map_.try_emplace(s, static_cast<uint32_t>(strings_.size()));
+    if (inserted) strings_.push_back(s);
+    return it->second;
+  }
+
+  bool empty() const { return strings_.empty(); }
+
+  /// Serializes the dictionary payload: varint count + length-prefixed bytes.
+  void EncodeTo(std::string* out) const;
+
+ private:
+  std::vector<std::string_view> strings_;
+  std::unordered_map<std::string_view, uint32_t> map_;
+};
+
+class DictView {
+ public:
+  /// Parses a dictionary block payload; entries are slices into it.
+  Status Parse(Slice payload);
+
+  size_t size() const { return entries_.size(); }
+
+  /// Bounds-checked entry access. Takes the full decoded varint so an index
+  /// that only aliases a valid entry modulo 2^32 is rejected, not resolved.
+  Status At(uint64_t idx, Slice* out) const {
+    if (idx >= entries_.size()) return Status::Corruption("codec: dict index out of range");
+    *out = entries_[static_cast<size_t>(idx)];
+    return Status::OK();
+  }
+
+  /// Bounds-checked interned id of entry `idx` (cached: each distinct string
+  /// is interned at most once per blob).
+  Status InternAt(uint64_t idx, AttrId* out) {
+    if (idx >= entries_.size()) return Status::Corruption("codec: dict index out of range");
+    AttrId& id = ids_[static_cast<size_t>(idx)];
+    if (id == kInvalidAttrId) id = InternAttr(entries_[static_cast<size_t>(idx)].ToView());
+    *out = id;
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Slice> entries_;
+  std::vector<AttrId> ids_;  // kInvalidAttrId = not interned yet.
+};
+
+// -- Column primitives --------------------------------------------------------
+
+/// Appends `ids` as varint count + ascending-delta varints (canonical order
+/// makes consecutive ids close, so deltas stay short). Works for any
+/// non-decreasing sequence; strictly unsorted inputs still round-trip because
+/// deltas are encoded as unsigned wrapping differences.
+void PutDeltaVarints(const std::vector<uint64_t>& ids, std::string* out);
+
+/// Reads a PutDeltaVarints column. `what` names the column in errors.
+Status GetDeltaVarints(Slice* in, std::vector<uint64_t>* ids, const char* what);
+
+/// Appends a bitmap of `bits` (ceil(n/8) bytes, LSB-first).
+void PutBitmap(const std::vector<bool>& bits, std::string* out);
+
+/// Reads `count` bits appended by PutBitmap.
+Status GetBitmap(Slice* in, size_t count, std::vector<bool>* bits, const char* what);
+
+}  // namespace codec
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_CODEC_FORMAT_H_

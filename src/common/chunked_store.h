@@ -41,6 +41,12 @@ namespace hgdb {
 /// whichever thread dropped the other reference. CowAnnotate* make that
 /// protocol visible to TSan (no-ops in production).
 ///
+/// The spine scaffolding — ctors/assignment, chunk-release annotations, the
+/// sole-owner-or-clone gate, divergent-chunk walks, erase-with-vacated-chunk
+/// handling, iterator settling — lives once in chunked_internal::SpineBase;
+/// ChunkedIdMap / ChunkedIdSet differ only in element semantics (slot array
+/// vs pure bitmap).
+///
 /// Invalidation rules match FlatHashMap: pointers into a container are
 /// invalidated by every mutation of that container (the chunk they point
 /// into may be replaced by a copy).
@@ -88,31 +94,30 @@ Chunk* MutableChunk(std::shared_ptr<Chunk>* slot) {
   return slot->get();
 }
 
-}  // namespace chunked_internal
-
-/// Chunked COW map from an integer id to an arbitrary value type.
-/// Chunks cover 2^kRangeLog2 consecutive ids (default 128).
-template <typename K, typename V, size_t kRangeLog2 = 7>
-class ChunkedIdMap {
+/// \brief The shared chunk-spine scaffolding of ChunkedIdMap / ChunkedIdSet.
+///
+/// Owns the spine and the element count, and implements everything that does
+/// not depend on what a chunk stores beyond its occupancy bitmap + count:
+/// the COW copy/move/destroy protocol (with its TSan annotations), lookup,
+/// erase, equality and divergence walks, per-part enumeration, and the
+/// occupied-slot iterator core. `ChunkT` must expose `bits[kWords]`,
+/// `count`, and `Test(i)`.
+template <typename K, typename ChunkT, size_t kRangeLog2_>
+class SpineBase {
  public:
-  static constexpr size_t kRange = size_t{1} << kRangeLog2;
+  static constexpr size_t kRangeLog2 = kRangeLog2_;
+  static constexpr size_t kRange = size_t{1} << kRangeLog2_;
   static constexpr size_t kWords = kRange / 64;
   static_assert(kRange >= 64, "chunks must cover at least one bitmap word");
 
-  struct Chunk {
-    uint64_t bits[kWords] = {};
-    uint32_t count = 0;
-    V slots[kRange] = {};
-
-    bool Test(size_t i) const { return chunked_internal::TestBit(bits, i); }
-  };
-  using ChunkPtr = std::shared_ptr<Chunk>;
+  using Chunk = ChunkT;
+  using ChunkPtr = std::shared_ptr<ChunkT>;
   using Spine = FlatHashMap<uint64_t, ChunkPtr>;
 
-  ChunkedIdMap() = default;
-  ChunkedIdMap(const ChunkedIdMap& other)
+  SpineBase() = default;
+  SpineBase(const SpineBase& other)
       : spine_(other.spine_), size_(other.size_) {}  // Shares every chunk.
-  ChunkedIdMap& operator=(const ChunkedIdMap& other) {
+  SpineBase& operator=(const SpineBase& other) {
     if (this != &other) {
       AnnotateReleaseChunks();
       spine_ = other.spine_;
@@ -120,11 +125,11 @@ class ChunkedIdMap {
     }
     return *this;
   }
-  ChunkedIdMap(ChunkedIdMap&& other) noexcept
+  SpineBase(SpineBase&& other) noexcept
       : spine_(std::move(other.spine_)), size_(other.size_) {
     other.size_ = 0;
   }
-  ChunkedIdMap& operator=(ChunkedIdMap&& other) noexcept {
+  SpineBase& operator=(SpineBase&& other) noexcept {
     if (this != &other) {
       AnnotateReleaseChunks();
       spine_ = std::move(other.spine_);
@@ -133,7 +138,7 @@ class ChunkedIdMap {
     }
     return *this;
   }
-  ~ChunkedIdMap() { AnnotateReleaseChunks(); }
+  ~SpineBase() { AnnotateReleaseChunks(); }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -145,26 +150,206 @@ class ChunkedIdMap {
   }
 
   /// Pre-sizes the spine for ~n elements of dense ids. Never moves chunks.
-  void reserve(size_t n) { spine_.reserve(n >> kRangeLog2); }
+  void reserve(size_t n) { spine_.reserve(n >> kRangeLog2_); }
 
   bool contains(const K& key) const {
     const ChunkPtr* c = spine_.FindValue(ChunkKey(key));
     return c != nullptr && (*c)->Test(SlotIndex(key));
   }
 
+  // -- Introspection ---------------------------------------------------------
+  size_t ChunkCount() const { return spine_.size(); }
+
+  /// Bytes held by the spine and chunks themselves (not by heap-owning
+  /// values — callers account those via iteration).
+  size_t MemoryBytes() const {
+    return spine_.TableBytes() + spine_.size() * sizeof(ChunkT);
+  }
+
+ protected:
+  static uint64_t ChunkKey(const K& key) {
+    return static_cast<uint64_t>(key) >> kRangeLog2_;
+  }
+  static size_t SlotIndex(const K& key) {
+    return static_cast<size_t>(key) & (kRange - 1);
+  }
+
+  /// Calls fn(idx) for every occupied slot of `chunk`.
+  template <typename Fn>
+  static void ForEachOccupied(const ChunkT& chunk, Fn fn) {
+    for (size_t i = NextOccupied(chunk.bits, 0); i < kRange;
+         i = NextOccupied(chunk.bits, i + 1)) {
+      fn(i);
+    }
+  }
+
+  /// The writable chunk for `ck`, given the (possibly null) slot a FindValue
+  /// just returned: creates a fresh chunk for an absent range, otherwise runs
+  /// the sole-owner-or-clone gate.
+  ChunkT* OwnedChunk(uint64_t ck, ChunkPtr* slot) {
+    return slot == nullptr
+               ? spine_.emplace(ck, std::make_shared<ChunkT>()).first->second.get()
+               : MutableChunk(slot);
+  }
+
+  /// Erase skeleton shared by map and set: a chunk holding its last element
+  /// is dropped from the spine (nothing is copied — its memory is reclaimed
+  /// or returned to COW siblings); otherwise the chunk is made writable and
+  /// `clear_slot(chunk, idx)` releases whatever the slot owns before the
+  /// occupancy bit clears.
+  template <typename ClearSlotFn>
+  bool EraseImpl(const K& key, ClearSlotFn clear_slot) {
+    const size_t idx = SlotIndex(key);
+    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
+    if (slot == nullptr || !(*slot)->Test(idx)) return false;
+    if ((*slot)->count == 1) {  // Chunk becomes empty: drop it, copy nothing.
+      CowAnnotateRelease(slot->get());
+      spine_.erase(ChunkKey(key));
+      --size_;
+      return true;
+    }
+    ChunkT* c = MutableChunk(slot);
+    clear_slot(c, idx);
+    ClearBit(c->bits, idx);
+    --c->count;
+    --size_;
+    return true;
+  }
+
+  /// Order-independent equality skeleton: totals, then per-range chunks with
+  /// pointer-shared chunks short-circuited; `eq(mine, theirs)` compares two
+  /// divergent chunks known to hold the same element count. Equal totals +
+  /// equal per-chunk counts leave no room for extra chunks on the other side
+  /// (empty chunks never stay in a spine).
+  template <typename ChunkEq>
+  bool EqualElements(const SpineBase& other, ChunkEq eq) const {
+    if (size_ != other.size_) return false;
+    for (const auto& [ck, chunk] : spine_) {
+      const ChunkPtr* oc = other.spine_.FindValue(ck);
+      if (oc == nullptr) return false;
+      if (oc->get() == chunk.get()) continue;
+      if ((*oc)->count != chunk->count) return false;
+      if (!eq(*chunk, **oc)) return false;
+    }
+    return true;
+  }
+
+  /// Calls fn(ck, chunk) for every chunk not pointer-shared with `other`'s
+  /// chunk of the same id range. Shared chunks are element-identical by
+  /// construction, so diff loops skip them wholesale.
+  template <typename Fn>
+  void ForEachDivergentChunk(const SpineBase& other, Fn fn) const {
+    for (const auto& [ck, chunk] : spine_) {
+      const ChunkPtr* oc = other.spine_.FindValue(ck);
+      if (oc != nullptr && oc->get() == chunk.get()) continue;
+      fn(ck, *chunk);
+    }
+  }
+
+  /// Enumerates this container's heap parts as fn(pointer, bytes): the spine
+  /// (keyed by the container object) and each chunk (keyed by the chunk
+  /// address — identical across containers that share it).
+  template <typename PartFn, typename ChunkBytesFn>
+  void ForEachPartImpl(PartFn fn, ChunkBytesFn chunk_bytes) const {
+    fn(static_cast<const void*>(this), spine_.TableBytes());
+    for (const auto& [ck, chunk] : spine_) {
+      fn(static_cast<const void*>(chunk.get()), chunk_bytes(*chunk));
+    }
+  }
+
+  /// Announces (for TSan) that this container is done reading every chunk it
+  /// references; no-op in production builds.
+  void AnnotateReleaseChunks() const {
+#if defined(HISTGRAPH_TSAN)
+    for (const auto& [ck, chunk] : spine_) CowAnnotateRelease(chunk.get());
+#endif
+  }
+
+  /// Occupied-slot cursor shared by both const_iterators: walks the spine,
+  /// settling on the next occupied bitmap slot. Derived iterators add only
+  /// the dereference.
+  class IterCore {
+   public:
+    IterCore() = default;
+    IterCore(typename Spine::const_iterator it, typename Spine::const_iterator end,
+             size_t idx)
+        : it_(it), end_(end), idx_(idx) {
+      Settle();
+    }
+
+    void Advance() {
+      ++idx_;
+      Settle();
+    }
+    bool Equal(const IterCore& o) const { return it_ == o.it_ && idx_ == o.idx_; }
+
+   protected:
+    void Settle() {
+      while (it_ != end_) {
+        idx_ = NextOccupied(it_->second->bits, idx_);
+        if (idx_ < kRange) return;
+        ++it_;
+        idx_ = 0;
+      }
+      idx_ = 0;  // end() canonical form.
+    }
+    typename Spine::const_iterator it_, end_;
+    size_t idx_ = 0;
+  };
+
+  Spine spine_;
+  size_t size_ = 0;
+};
+
+template <typename V, size_t kRange>
+struct MapChunk {
+  uint64_t bits[kRange / 64] = {};
+  uint32_t count = 0;
+  V slots[kRange] = {};
+
+  bool Test(size_t i) const { return TestBit(bits, i); }
+};
+
+template <size_t kRange>
+struct SetChunk {
+  uint64_t bits[kRange / 64] = {};
+  uint32_t count = 0;
+
+  bool Test(size_t i) const { return TestBit(bits, i); }
+};
+
+}  // namespace chunked_internal
+
+/// Chunked COW map from an integer id to an arbitrary value type.
+/// Chunks cover 2^kRangeLog2 consecutive ids (default 128).
+template <typename K, typename V, size_t kRangeLog2 = 7>
+class ChunkedIdMap
+    : public chunked_internal::SpineBase<
+          K, chunked_internal::MapChunk<V, (size_t{1} << kRangeLog2)>, kRangeLog2> {
+  using Base = chunked_internal::SpineBase<
+      K, chunked_internal::MapChunk<V, (size_t{1} << kRangeLog2)>, kRangeLog2>;
+  using Base::spine_;
+  using Base::size_;
+
+ public:
+  using Base::kRange;
+  using typename Base::Chunk;
+  using typename Base::ChunkPtr;
+  using typename Base::Spine;
+
   const V* FindValue(const K& key) const {
-    const ChunkPtr* c = spine_.FindValue(ChunkKey(key));
-    if (c == nullptr || !(*c)->Test(SlotIndex(key))) return nullptr;
-    return &(*c)->slots[SlotIndex(key)];
+    const ChunkPtr* c = spine_.FindValue(Base::ChunkKey(key));
+    if (c == nullptr || !(*c)->Test(Base::SlotIndex(key))) return nullptr;
+    return &(*c)->slots[Base::SlotIndex(key)];
   }
 
   /// Writable pointer to the value of `key`, or nullptr. Copies the chunk
   /// first if it is shared — the only sanctioned way to mutate a value in
   /// place.
   V* MutableValue(const K& key) {
-    ChunkPtr* c = spine_.FindValue(ChunkKey(key));
-    if (c == nullptr || !(*c)->Test(SlotIndex(key))) return nullptr;
-    return &chunked_internal::MutableChunk(c)->slots[SlotIndex(key)];
+    ChunkPtr* c = spine_.FindValue(Base::ChunkKey(key));
+    if (c == nullptr || !(*c)->Test(Base::SlotIndex(key))) return nullptr;
+    return &chunked_internal::MutableChunk(c)->slots[Base::SlotIndex(key)];
   }
 
   /// try_emplace semantics: no overwrite (and no chunk copy) when the key
@@ -173,15 +358,12 @@ class ChunkedIdMap {
   /// known to be exclusive.
   template <typename... Args>
   std::pair<V*, bool> emplace(const K& key, Args&&... args) {
-    const size_t idx = SlotIndex(key);
-    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
+    const size_t idx = Base::SlotIndex(key);
+    ChunkPtr* slot = spine_.FindValue(Base::ChunkKey(key));
     if (slot != nullptr && (*slot)->Test(idx)) {
       return {&(*slot)->slots[idx], false};
     }
-    Chunk* c = slot == nullptr
-                   ? spine_.emplace(ChunkKey(key), std::make_shared<Chunk>())
-                         .first->second.get()
-                   : chunked_internal::MutableChunk(slot);
+    Chunk* c = Base::OwnedChunk(Base::ChunkKey(key), slot);
     c->slots[idx] = V(std::forward<Args>(args)...);
     chunked_internal::SetBit(c->bits, idx);
     ++c->count;
@@ -191,12 +373,9 @@ class ChunkedIdMap {
 
   /// Inserts a default value if absent; owns the chunk either way.
   V& operator[](const K& key) {
-    const size_t idx = SlotIndex(key);
-    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
-    Chunk* c = slot == nullptr
-                   ? spine_.emplace(ChunkKey(key), std::make_shared<Chunk>())
-                         .first->second.get()
-                   : chunked_internal::MutableChunk(slot);
+    const size_t idx = Base::SlotIndex(key);
+    ChunkPtr* slot = spine_.FindValue(Base::ChunkKey(key));
+    Chunk* c = Base::OwnedChunk(Base::ChunkKey(key), slot);
     if (!c->Test(idx)) {
       chunked_internal::SetBit(c->bits, idx);
       ++c->count;
@@ -208,39 +387,20 @@ class ChunkedIdMap {
   /// Erases by key; true if the key existed. Fully vacated chunks leave the
   /// spine (their memory is reclaimed or returned to COW siblings).
   bool erase(const K& key) {
-    const size_t idx = SlotIndex(key);
-    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
-    if (slot == nullptr || !(*slot)->Test(idx)) return false;
-    if ((*slot)->count == 1) {  // Chunk becomes empty: drop it, copy nothing.
-      CowAnnotateRelease(slot->get());
-      spine_.erase(ChunkKey(key));
-      --size_;
-      return true;
-    }
-    Chunk* c = chunked_internal::MutableChunk(slot);
-    c->slots[idx] = V();  // Release any heap the value owns.
-    chunked_internal::ClearBit(c->bits, idx);
-    --c->count;
-    --size_;
-    return true;
+    return Base::EraseImpl(key, [](Chunk* c, size_t idx) {
+      c->slots[idx] = V();  // Release any heap the value owns.
+    });
   }
 
   /// Order-independent element equality; pointer-shared chunks short-circuit.
   bool operator==(const ChunkedIdMap& other) const {
-    if (size_ != other.size_) return false;
-    for (const auto& [ck, chunk] : spine_) {
-      const ChunkPtr* oc = other.spine_.FindValue(ck);
-      if (oc == nullptr) return false;
-      if (oc->get() == chunk.get()) continue;
-      if ((*oc)->count != chunk->count) return false;
-      for (size_t i = chunked_internal::NextOccupied(chunk->bits, 0); i < kRange;
-           i = chunked_internal::NextOccupied(chunk->bits, i + 1)) {
-        if (!(*oc)->Test(i) || !((*oc)->slots[i] == chunk->slots[i])) return false;
+    return Base::EqualElements(other, [](const Chunk& mine, const Chunk& theirs) {
+      for (size_t i = chunked_internal::NextOccupied(mine.bits, 0); i < kRange;
+           i = chunked_internal::NextOccupied(mine.bits, i + 1)) {
+        if (!theirs.Test(i) || !(theirs.slots[i] == mine.slots[i])) return false;
       }
-    }
-    // Equal totals + per-chunk equal counts leave no room for extra chunks
-    // on the other side (empty chunks never stay in a spine).
-    return true;
+      return true;
+    });
   }
   bool operator!=(const ChunkedIdMap& other) const { return !(*this == other); }
 
@@ -249,15 +409,12 @@ class ChunkedIdMap {
   /// are element-identical by construction, so diff loops skip them wholesale.
   template <typename Fn>
   void ForEachDivergent(const ChunkedIdMap& other, Fn fn) const {
-    for (const auto& [ck, chunk] : spine_) {
-      const ChunkPtr* oc = other.spine_.FindValue(ck);
-      if (oc != nullptr && oc->get() == chunk.get()) continue;
+    Base::ForEachDivergentChunk(other, [&](uint64_t ck, const Chunk& chunk) {
       const K base = static_cast<K>(ck << kRangeLog2);
-      for (size_t i = chunked_internal::NextOccupied(chunk->bits, 0); i < kRange;
-           i = chunked_internal::NextOccupied(chunk->bits, i + 1)) {
-        fn(static_cast<K>(base | i), chunk->slots[i]);
-      }
-    }
+      Base::ForEachOccupied(chunk, [&](size_t i) {
+        fn(static_cast<K>(base | i), chunk.slots[i]);
+      });
+    });
   }
 
   /// Merges a container with disjoint keys: ranges absent here adopt the
@@ -287,34 +444,19 @@ class ChunkedIdMap {
     other.size_ = 0;
   }
 
-  // -- Introspection ---------------------------------------------------------
-  size_t ChunkCount() const { return spine_.size(); }
-
-  /// Bytes held by the spine and chunks themselves (not by heap-owning
-  /// values — callers account those via iteration).
-  size_t MemoryBytes() const {
-    return spine_.TableBytes() + spine_.size() * sizeof(Chunk);
-  }
-
-  /// Enumerates this container's heap parts as fn(pointer, bytes): the spine
-  /// (keyed by the container object) and each chunk (keyed by the chunk
-  /// address — identical across containers that share it). `value_bytes`
-  /// reports the heap owned by one value (return 0 for inline values).
+  /// ForEachPart with per-value heap accounting: `value_bytes` reports the
+  /// heap owned by one value (return 0 for inline values).
   template <typename PartFn, typename ValueBytesFn>
   void ForEachPart(PartFn fn, ValueBytesFn value_bytes) const {
-    fn(static_cast<const void*>(this), spine_.TableBytes());
-    for (const auto& [ck, chunk] : spine_) {
+    Base::ForEachPartImpl(fn, [&](const Chunk& chunk) {
       size_t bytes = sizeof(Chunk);
-      for (size_t i = chunked_internal::NextOccupied(chunk->bits, 0); i < kRange;
-           i = chunked_internal::NextOccupied(chunk->bits, i + 1)) {
-        bytes += value_bytes(chunk->slots[i]);
-      }
-      fn(static_cast<const void*>(chunk.get()), bytes);
-    }
+      Base::ForEachOccupied(chunk, [&](size_t i) { bytes += value_bytes(chunk.slots[i]); });
+      return bytes;
+    });
   }
 
   // -- Iteration (const only; yields proxy pairs) ----------------------------
-  class const_iterator {
+  class const_iterator : public Base::IterCore {
    public:
     using value_type = std::pair<K, const V&>;
     using reference = value_type;
@@ -325,17 +467,15 @@ class ChunkedIdMap {
     const_iterator() = default;
     const_iterator(typename Spine::const_iterator it,
                    typename Spine::const_iterator end, size_t idx)
-        : it_(it), end_(end), idx_(idx) {
-      Settle();
-    }
+        : Base::IterCore(it, end, idx) {}
 
     reference operator*() const {
-      const auto& [ck, chunk] = *it_;
-      return {static_cast<K>((ck << kRangeLog2) | idx_), chunk->slots[idx_]};
+      const auto& [ck, chunk] = *this->it_;
+      return {static_cast<K>((ck << kRangeLog2) | this->idx_),
+              chunk->slots[this->idx_]};
     }
     const_iterator& operator++() {
-      ++idx_;
-      Settle();
+      this->Advance();
       return *this;
     }
     const_iterator operator++(int) {
@@ -343,23 +483,8 @@ class ChunkedIdMap {
       ++*this;
       return tmp;
     }
-    bool operator==(const const_iterator& o) const {
-      return it_ == o.it_ && idx_ == o.idx_;
-    }
+    bool operator==(const const_iterator& o) const { return this->Equal(o); }
     bool operator!=(const const_iterator& o) const { return !(*this == o); }
-
-   private:
-    void Settle() {
-      while (it_ != end_) {
-        idx_ = chunked_internal::NextOccupied(it_->second->bits, idx_);
-        if (idx_ < kRange) return;
-        ++it_;
-        idx_ = 0;
-      }
-      idx_ = 0;  // end() canonical form.
-    }
-    typename Spine::const_iterator it_, end_;
-    size_t idx_ = 0;
   };
 
   const_iterator begin() const {
@@ -370,13 +495,6 @@ class ChunkedIdMap {
   }
 
  private:
-  static uint64_t ChunkKey(const K& key) {
-    return static_cast<uint64_t>(key) >> kRangeLog2;
-  }
-  static size_t SlotIndex(const K& key) {
-    return static_cast<size_t>(key) & (kRange - 1);
-  }
-
   void MergeChunk(uint64_t ck, ChunkPtr theirs, bool may_move_values) {
     ChunkPtr* mine = spine_.FindValue(ck);
     if (mine == nullptr) {
@@ -385,9 +503,8 @@ class ChunkedIdMap {
       return;
     }
     Chunk* c = chunked_internal::MutableChunk(mine);
-    for (size_t i = chunked_internal::NextOccupied(theirs->bits, 0); i < kRange;
-         i = chunked_internal::NextOccupied(theirs->bits, i + 1)) {
-      if (c->Test(i)) continue;  // Disjoint by contract; be tolerant anyway.
+    Base::ForEachOccupied(*theirs, [&](size_t i) {
+      if (c->Test(i)) return;  // Disjoint by contract; be tolerant anyway.
       if (may_move_values) {
         c->slots[i] = std::move(theirs->slots[i]);
       } else {
@@ -396,92 +513,34 @@ class ChunkedIdMap {
       chunked_internal::SetBit(c->bits, i);
       ++c->count;
       ++size_;
-    }
+    });
   }
-
-  /// Announces (for TSan) that this container is done reading every chunk it
-  /// references; no-op in production builds.
-  void AnnotateReleaseChunks() const {
-#if defined(HISTGRAPH_TSAN)
-    for (const auto& [ck, chunk] : spine_) CowAnnotateRelease(chunk.get());
-#endif
-  }
-
-  Spine spine_;
-  size_t size_ = 0;
 };
 
 /// Chunked COW set of integer ids: bitmap-only chunks covering 2^kRangeLog2
 /// consecutive ids (default 256 — a 32-byte bitmap per chunk).
 template <typename K, size_t kRangeLog2 = 8>
-class ChunkedIdSet {
+class ChunkedIdSet
+    : public chunked_internal::SpineBase<
+          K, chunked_internal::SetChunk<(size_t{1} << kRangeLog2)>, kRangeLog2> {
+  using Base = chunked_internal::SpineBase<
+      K, chunked_internal::SetChunk<(size_t{1} << kRangeLog2)>, kRangeLog2>;
+  using Base::spine_;
+  using Base::size_;
+
  public:
-  static constexpr size_t kRange = size_t{1} << kRangeLog2;
-  static constexpr size_t kWords = kRange / 64;
-  static_assert(kRange >= 64, "chunks must cover at least one bitmap word");
-
-  struct Chunk {
-    uint64_t bits[kWords] = {};
-    uint32_t count = 0;
-
-    bool Test(size_t i) const { return chunked_internal::TestBit(bits, i); }
-  };
-  using ChunkPtr = std::shared_ptr<Chunk>;
-  using Spine = FlatHashMap<uint64_t, ChunkPtr>;
-
-  ChunkedIdSet() = default;
-  ChunkedIdSet(const ChunkedIdSet& other)
-      : spine_(other.spine_), size_(other.size_) {}  // Shares every chunk.
-  ChunkedIdSet& operator=(const ChunkedIdSet& other) {
-    if (this != &other) {
-      AnnotateReleaseChunks();
-      spine_ = other.spine_;
-      size_ = other.size_;
-    }
-    return *this;
-  }
-  ChunkedIdSet(ChunkedIdSet&& other) noexcept
-      : spine_(std::move(other.spine_)), size_(other.size_) {
-    other.size_ = 0;
-  }
-  ChunkedIdSet& operator=(ChunkedIdSet&& other) noexcept {
-    if (this != &other) {
-      AnnotateReleaseChunks();
-      spine_ = std::move(other.spine_);
-      size_ = other.size_;
-      other.size_ = 0;
-    }
-    return *this;
-  }
-  ~ChunkedIdSet() { AnnotateReleaseChunks(); }
-
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-
-  void clear() {
-    AnnotateReleaseChunks();
-    spine_.clear();
-    size_ = 0;
-  }
-
-  void reserve(size_t n) { spine_.reserve(n >> kRangeLog2); }
-
-  bool contains(const K& key) const {
-    const ChunkPtr* c = spine_.FindValue(ChunkKey(key));
-    return c != nullptr && (*c)->Test(SlotIndex(key));
-  }
+  using Base::kRange;
+  using Base::kWords;
+  using typename Base::Chunk;
+  using typename Base::ChunkPtr;
+  using typename Base::Spine;
 
   /// Returns true if the key was newly inserted.
   bool insert(const K& key) {
-    const size_t idx = SlotIndex(key);
-    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
+    const size_t idx = Base::SlotIndex(key);
+    ChunkPtr* slot = spine_.FindValue(Base::ChunkKey(key));
     if (slot != nullptr && (*slot)->Test(idx)) return false;
-    Chunk* c;
-    if (slot == nullptr) {
-      c = spine_.emplace(ChunkKey(key), std::make_shared<Chunk>()).first->second.get();
-    } else {
-      c = chunked_internal::MutableChunk(slot);
-    }
+    Chunk* c = Base::OwnedChunk(Base::ChunkKey(key), slot);
     chunked_internal::SetBit(c->bits, idx);
     ++c->count;
     ++size_;
@@ -489,34 +548,16 @@ class ChunkedIdSet {
   }
 
   bool erase(const K& key) {
-    const size_t idx = SlotIndex(key);
-    ChunkPtr* slot = spine_.FindValue(ChunkKey(key));
-    if (slot == nullptr || !(*slot)->Test(idx)) return false;
-    if ((*slot)->count == 1) {
-      CowAnnotateRelease(slot->get());
-      spine_.erase(ChunkKey(key));
-      --size_;
-      return true;
-    }
-    Chunk* c = chunked_internal::MutableChunk(slot);
-    chunked_internal::ClearBit(c->bits, idx);
-    --c->count;
-    --size_;
-    return true;
+    return Base::EraseImpl(key, [](Chunk*, size_t) {});
   }
 
   bool operator==(const ChunkedIdSet& other) const {
-    if (size_ != other.size_) return false;
-    for (const auto& [ck, chunk] : spine_) {
-      const ChunkPtr* oc = other.spine_.FindValue(ck);
-      if (oc == nullptr) return false;
-      if (oc->get() == chunk.get()) continue;
-      if ((*oc)->count != chunk->count) return false;
+    return Base::EqualElements(other, [](const Chunk& mine, const Chunk& theirs) {
       for (size_t w = 0; w < kWords; ++w) {
-        if (chunk->bits[w] != (*oc)->bits[w]) return false;
+        if (mine.bits[w] != theirs.bits[w]) return false;
       }
-    }
-    return true;
+      return true;
+    });
   }
   bool operator!=(const ChunkedIdSet& other) const { return !(*this == other); }
 
@@ -524,15 +565,10 @@ class ChunkedIdSet {
   /// `other`'s chunk of the same range (see ChunkedIdMap::ForEachDivergent).
   template <typename Fn>
   void ForEachDivergent(const ChunkedIdSet& other, Fn fn) const {
-    for (const auto& [ck, chunk] : spine_) {
-      const ChunkPtr* oc = other.spine_.FindValue(ck);
-      if (oc != nullptr && oc->get() == chunk.get()) continue;
+    Base::ForEachDivergentChunk(other, [&](uint64_t ck, const Chunk& chunk) {
       const K base = static_cast<K>(ck << kRangeLog2);
-      for (size_t i = chunked_internal::NextOccupied(chunk->bits, 0); i < kRange;
-           i = chunked_internal::NextOccupied(chunk->bits, i + 1)) {
-        fn(static_cast<K>(base | i));
-      }
-    }
+      Base::ForEachOccupied(chunk, [&](size_t i) { fn(static_cast<K>(base | i)); });
+    });
   }
 
   void MergeDisjointCopy(const ChunkedIdSet& other) {
@@ -544,21 +580,12 @@ class ChunkedIdSet {
     other.size_ = 0;
   }
 
-  size_t ChunkCount() const { return spine_.size(); }
-
-  size_t MemoryBytes() const {
-    return spine_.TableBytes() + spine_.size() * sizeof(Chunk);
-  }
-
   template <typename PartFn>
   void ForEachPart(PartFn fn) const {
-    fn(static_cast<const void*>(this), spine_.TableBytes());
-    for (const auto& [ck, chunk] : spine_) {
-      fn(static_cast<const void*>(chunk.get()), sizeof(Chunk));
-    }
+    Base::ForEachPartImpl(fn, [](const Chunk&) { return sizeof(Chunk); });
   }
 
-  class const_iterator {
+  class const_iterator : public Base::IterCore {
    public:
     using value_type = K;
     using reference = K;
@@ -569,16 +596,13 @@ class ChunkedIdSet {
     const_iterator() = default;
     const_iterator(typename Spine::const_iterator it,
                    typename Spine::const_iterator end, size_t idx)
-        : it_(it), end_(end), idx_(idx) {
-      Settle();
-    }
+        : Base::IterCore(it, end, idx) {}
 
     reference operator*() const {
-      return static_cast<K>((it_->first << kRangeLog2) | idx_);
+      return static_cast<K>((this->it_->first << kRangeLog2) | this->idx_);
     }
     const_iterator& operator++() {
-      ++idx_;
-      Settle();
+      this->Advance();
       return *this;
     }
     const_iterator operator++(int) {
@@ -586,23 +610,8 @@ class ChunkedIdSet {
       ++*this;
       return tmp;
     }
-    bool operator==(const const_iterator& o) const {
-      return it_ == o.it_ && idx_ == o.idx_;
-    }
+    bool operator==(const const_iterator& o) const { return this->Equal(o); }
     bool operator!=(const const_iterator& o) const { return !(*this == o); }
-
-   private:
-    void Settle() {
-      while (it_ != end_) {
-        idx_ = chunked_internal::NextOccupied(it_->second->bits, idx_);
-        if (idx_ < kRange) return;
-        ++it_;
-        idx_ = 0;
-      }
-      idx_ = 0;
-    }
-    typename Spine::const_iterator it_, end_;
-    size_t idx_ = 0;
   };
   using iterator = const_iterator;
 
@@ -614,13 +623,6 @@ class ChunkedIdSet {
   }
 
  private:
-  static uint64_t ChunkKey(const K& key) {
-    return static_cast<uint64_t>(key) >> kRangeLog2;
-  }
-  static size_t SlotIndex(const K& key) {
-    return static_cast<size_t>(key) & (kRange - 1);
-  }
-
   void MergeChunk(uint64_t ck, ChunkPtr theirs) {
     ChunkPtr* mine = spine_.FindValue(ck);
     if (mine == nullptr) {
@@ -637,15 +639,6 @@ class ChunkedIdSet {
       size_ += n;
     }
   }
-
-  void AnnotateReleaseChunks() const {
-#if defined(HISTGRAPH_TSAN)
-    for (const auto& [ck, chunk] : spine_) CowAnnotateRelease(chunk.get());
-#endif
-  }
-
-  Spine spine_;
-  size_t size_ = 0;
 };
 
 }  // namespace hgdb

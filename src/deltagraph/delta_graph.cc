@@ -1,8 +1,10 @@
 #include "deltagraph/delta_graph.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
+#include "codec/format.h"
 #include "common/coding.h"
 
 namespace hgdb {
@@ -87,6 +89,20 @@ Result<std::unique_ptr<DeltaGraph>> DeltaGraph::Create(KVStore* store,
 Result<std::unique_ptr<DeltaGraph>> DeltaGraph::Open(KVStore* store) {
   DeltaStore ds(store);
   std::string blob;
+  // Index-level format gate: a missing "format" meta is a pre-codec (v0)
+  // index, which still opens (every blob decoder auto-detects per blob); a
+  // version newer than this build can decode is rejected up front instead of
+  // failing blob-by-blob later.
+  Status format_status = ds.GetMeta("format", &blob);
+  if (format_status.ok()) {
+    const unsigned version = static_cast<unsigned>(std::strtoul(blob.c_str(), nullptr, 10));
+    if (version == 0 || version > codec::kMaxSupportedVersion) {
+      return Status::InvalidArgument("index written by unsupported format version: " +
+                                     blob);
+    }
+  } else if (!format_status.IsNotFound()) {
+    return format_status;
+  }
   HG_RETURN_NOT_OK(ds.GetMeta("options", &blob));
   DeltaGraphOptions options;
   HG_RETURN_NOT_OK(DeltaGraphOptions::Decode(blob, &options));
@@ -400,6 +416,10 @@ Status DeltaGraph::Finalize() {
 
 Status DeltaGraph::PersistMeta() {
   HG_RETURN_NOT_OK(store_.PutSkeleton(skeleton_));
+  // Index-level format version (the blob-level version rides in each blob's
+  // codec header; see src/codec/README.md). Absent on pre-codec indexes.
+  HG_RETURN_NOT_OK(store_.PutMeta(
+      "format", std::to_string(static_cast<unsigned>(codec::kVersion1))));
   HG_RETURN_NOT_OK(store_.PutMeta("options", options_.Encode()));
   std::string counters;
   PutVarint64(&counters, store_.next_id());

@@ -210,6 +210,94 @@ Result<std::shared_ptr<const EventList>> DeltaStore::GetEventListShared(
   return out;
 }
 
+void DeltaStore::GetBatch(std::vector<BatchedRead>* batch) const {
+  // Resolve decoded-LRU hits first and gather the KV keys of every miss, so
+  // the storage round-trip below covers the whole batch.
+  struct KeyPart {
+    size_t entry;
+    ComponentMask mask;
+  };
+  std::vector<std::string> keys;
+  std::vector<KeyPart> parts;
+  std::vector<size_t> misses;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    BatchedRead& r = (*batch)[i];
+    const uint64_t cache_key = CacheKey(r.id, r.components, !r.is_eventlist);
+    if (r.is_eventlist) {
+      if (auto hit = CacheLookupEvents(cache_key)) {
+        r.events = std::move(hit);
+        r.status = Status::OK();
+        continue;
+      }
+    } else {
+      if (auto hit = CacheLookupDelta(cache_key)) {
+        r.delta = std::move(hit);
+        r.status = Status::OK();
+        continue;
+      }
+    }
+    misses.push_back(i);
+    const int limit = r.is_eventlist ? kNumComponents : 3;
+    for (int c = 0; c < limit; ++c) {
+      const ComponentMask mask = kComponentByIndex[c];
+      if ((r.components & mask) == 0) continue;
+      if (r.sizes.bytes[c] == 0) continue;
+      keys.push_back(Key(r.id, c));
+      parts.push_back(KeyPart{i, mask});
+    }
+  }
+  if (misses.empty()) return;
+
+  // One MultiGet round-trip for the entire batch (cross-*delta*, not just
+  // cross-component): this is the prefetcher's per-I/O-shard drain path.
+  std::vector<std::string> blobs;
+  std::vector<Status> statuses;
+  if (!keys.empty()) {
+    std::vector<Slice> key_slices(keys.begin(), keys.end());
+    store_->MultiGet(key_slices, &blobs, &statuses);
+    batched_multigets_.fetch_add(1, std::memory_order_relaxed);
+    batched_reads_.fetch_add(misses.size(), std::memory_order_relaxed);
+  }
+
+  // Decode per entry; a failed component poisons only its own entry.
+  std::vector<std::shared_ptr<Delta>> deltas(batch->size());
+  std::vector<std::shared_ptr<EventList>> events(batch->size());
+  for (size_t i : misses) {
+    BatchedRead& r = (*batch)[i];
+    r.status = Status::OK();
+    if (r.is_eventlist) {
+      events[i] = std::make_shared<EventList>();
+    } else {
+      deltas[i] = std::make_shared<Delta>();
+    }
+  }
+  for (size_t k = 0; k < parts.size(); ++k) {
+    BatchedRead& r = (*batch)[parts[k].entry];
+    if (!r.status.ok()) continue;
+    if (!statuses[k].ok()) {
+      r.status = statuses[k];
+      continue;
+    }
+    Status s = r.is_eventlist
+                   ? events[parts[k].entry]->DecodeAndMergeComponent(blobs[k])
+                   : deltas[parts[k].entry]->DecodeComponent(parts[k].mask, blobs[k]);
+    if (!s.ok()) r.status = s;
+  }
+  for (size_t i : misses) {
+    BatchedRead& r = (*batch)[i];
+    if (!r.status.ok()) continue;
+    const uint64_t cache_key = CacheKey(r.id, r.components, !r.is_eventlist);
+    if (r.is_eventlist) {
+      events[i]->FinalizeMerge();
+      r.events = std::move(events[i]);
+      CacheInsert(cache_key, nullptr, r.events);
+    } else {
+      r.delta = std::move(deltas[i]);
+      CacheInsert(cache_key, r.delta, nullptr);
+    }
+  }
+}
+
 Status DeltaStore::DeleteDelta(DeltaId id) {
   CacheInvalidate(id);
   for (int c = 0; c < kNumComponents; ++c) {

@@ -68,6 +68,32 @@ class DeltaStore {
   Result<std::shared_ptr<const EventList>> GetEventListShared(
       DeltaId id, unsigned components, const ComponentSizes& sizes) const;
 
+  /// One delta / eventlist read inside a cross-delta batch (GetBatch).
+  struct BatchedRead {
+    // Inputs.
+    DeltaId id = 0;
+    unsigned components = 0;
+    ComponentSizes sizes;
+    bool is_eventlist = false;
+    // Outputs: `status` plus exactly one of the two objects (by is_eventlist).
+    Status status;
+    std::shared_ptr<const Delta> delta;
+    std::shared_ptr<const EventList> events;
+  };
+
+  /// Batched read path: resolves every entry of `batch`, serving decoded-LRU
+  /// hits directly and gathering the KV keys of *all* misses into ONE
+  /// KVStore::MultiGet — one storage round-trip per batch, not per delta.
+  /// This is what an I/O shard calls after draining its queued prefetches
+  /// (src/exec/fetch_cache.h). Per-entry failures land in that entry's
+  /// `status`; other entries still complete.
+  void GetBatch(std::vector<BatchedRead>* batch) const;
+
+  /// Cross-delta batching stats: number of GetBatch MultiGet round-trips and
+  /// the total reads they served (avg batch width = reads / round-trips).
+  size_t batched_multigets() const { return batched_multigets_.load(std::memory_order_relaxed); }
+  size_t batched_reads() const { return batched_reads_.load(std::memory_order_relaxed); }
+
   /// Deletes all components of a delta (used when index evolution replaces
   /// super-root attachments).
   Status DeleteDelta(DeltaId id);
@@ -136,6 +162,8 @@ class DeltaStore {
   size_t cache_capacity_ = 64;
   mutable std::atomic<size_t> cache_hits_{0};
   mutable std::atomic<size_t> cache_misses_{0};
+  mutable std::atomic<size_t> batched_multigets_{0};
+  mutable std::atomic<size_t> batched_reads_{0};
 };
 
 }  // namespace hgdb

@@ -84,19 +84,80 @@ Result<std::shared_ptr<const EventList>> ExecFetchCache::GetEventList(
                            });
 }
 
-void ExecFetchCache::Prefetch(const DeltaGraph& dg, int32_t edge, bool is_eventlist,
-                              unsigned components) {
-  const uint64_t key = Key(edge, components);
-  const SkeletonEdge& e = dg.skeleton().edge(edge);
-  if (is_eventlist) {
-    (void)FetchSingleFlight(&events_, key, /*wait_if_claimed=*/false, [&] {
-      return dg.delta_store().GetEventListShared(e.delta_id, components, e.sizes);
-    });
-  } else {
-    (void)FetchSingleFlight(&deltas_, key, /*wait_if_claimed=*/false, [&] {
-      return dg.delta_store().GetDeltaShared(e.delta_id, components, e.sizes);
-    });
+void ExecFetchCache::EnqueuePrefetch(const DeltaGraph& dg, size_t shard, int32_t edge,
+                                     bool is_eventlist, unsigned components) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  batch_queues_[shard].push_back(QueuedPrefetch{&dg, edge, is_eventlist, components});
+}
+
+void ExecFetchCache::DrainPrefetchBatch(size_t shard) {
+  std::vector<QueuedPrefetch> drained;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    auto it = batch_queues_.find(shard);
+    if (it != batch_queues_.end()) drained.swap(it->second);
   }
+  if (!drained.empty()) {
+    // Claim the unclaimed slots, then resolve all claimed reads of one graph
+    // through a single DeltaStore::GetBatch — one storage round-trip for the
+    // whole drain. Slots someone else claimed are skipped: single-flight, the
+    // owner fulfils them.
+    struct Pending {
+      uint64_t key;
+      bool is_eventlist;
+      // Exactly one engages (a promise allocates its shared state, so only
+      // the kind this fetch needs is constructed).
+      std::optional<std::promise<Result<std::shared_ptr<const Delta>>>> delta_promise;
+      std::optional<std::promise<Result<std::shared_ptr<const EventList>>>> events_promise;
+    };
+    std::unordered_map<const DeltaGraph*, std::vector<DeltaStore::BatchedRead>> reads;
+    std::unordered_map<const DeltaGraph*, std::vector<Pending>> pendings;
+    for (const QueuedPrefetch& q : drained) {
+      const uint64_t key = Key(q.edge, q.components);
+      Pending p;
+      p.key = key;
+      p.is_eventlist = q.is_eventlist;
+      bool claimed = false;
+      if (q.is_eventlist) {
+        (void)ClaimOrGet(&events_, key, &p.events_promise.emplace(), &claimed);
+      } else {
+        (void)ClaimOrGet(&deltas_, key, &p.delta_promise.emplace(), &claimed);
+      }
+      if (!claimed) continue;
+      const SkeletonEdge& e = q.dg->skeleton().edge(q.edge);
+      DeltaStore::BatchedRead read;
+      read.id = e.delta_id;
+      read.components = q.components;
+      read.sizes = e.sizes;
+      read.is_eventlist = q.is_eventlist;
+      reads[q.dg].push_back(read);
+      pendings[q.dg].push_back(std::move(p));
+    }
+    for (auto& [dg, batch] : reads) {
+      dg->delta_store().GetBatch(&batch);
+      auto& pending = pendings[dg];
+      for (size_t i = 0; i < batch.size(); ++i) {
+        DeltaStore::BatchedRead& r = batch[i];
+        Pending& p = pending[i];
+        if (p.is_eventlist) {
+          p.events_promise->set_value(r.status.ok()
+                                          ? Result<std::shared_ptr<const EventList>>(
+                                                std::move(r.events))
+                                          : Result<std::shared_ptr<const EventList>>(
+                                                r.status));
+          if (!r.status.ok()) ReleaseFailedSlot(&events_, p.key);
+        } else {
+          p.delta_promise->set_value(
+              r.status.ok()
+                  ? Result<std::shared_ptr<const Delta>>(std::move(r.delta))
+                  : Result<std::shared_ptr<const Delta>>(r.status));
+          if (!r.status.ok()) ReleaseFailedSlot(&deltas_, p.key);
+        }
+      }
+    }
+  }
+  // One scheduled drain job ran (jobs and enqueues are 1:1, so the counter
+  // drains exactly once per job even when one job takes the whole queue).
   std::lock_guard<std::mutex> lock(prefetch_mu_);
   if (--prefetches_in_flight_ == 0) prefetch_cv_.notify_all();
 }

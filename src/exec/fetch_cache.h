@@ -51,14 +51,22 @@ class ExecFetchCache {
                                                         int32_t edge,
                                                         unsigned components);
 
-  /// Claims and performs the fetch for `edge` (no-op if already claimed).
-  /// Called from IoPool jobs; pair each scheduled call with BeginPrefetch.
-  void Prefetch(const DeltaGraph& dg, int32_t edge, bool is_eventlist,
-                unsigned components);
+  /// Queues one fetch for I/O shard `shard`'s next drain. The scheduler pairs
+  /// each enqueue with one BeginPrefetch and one DrainPrefetchBatch job
+  /// submitted to that IoPool shard.
+  void EnqueuePrefetch(const DeltaGraph& dg, size_t shard, int32_t edge,
+                       bool is_eventlist, unsigned components);
 
-  /// Registers one scheduled Prefetch, keeping this cache (and the DeltaGraph
-  /// the job references) pinned until the job runs. Called by the scheduler
-  /// *before* submitting the job to an IoPool.
+  /// Drains everything queued for `shard` into one DeltaStore::GetBatch —
+  /// one storage round-trip per wakeup, however many deltas were queued while
+  /// the shard was busy. Runs on an IoPool shard thread; a wakeup whose queue
+  /// was already taken by an earlier drain is a no-op. Slots another claimer
+  /// already owns are skipped (single-flight; the owner fulfils them).
+  void DrainPrefetchBatch(size_t shard);
+
+  /// Registers one scheduled drain job, keeping this cache (and the
+  /// DeltaGraph the queued fetch references) pinned until the job runs.
+  /// Called by the scheduler *before* submitting the job to an IoPool.
   void BeginPrefetch();
 
   /// Blocks until every registered prefetch has run.
@@ -97,6 +105,18 @@ class ExecFetchCache {
   std::shared_mutex mu_;
   std::unordered_map<uint64_t, FetchFuture<Delta>> deltas_;
   std::unordered_map<uint64_t, FetchFuture<EventList>> events_;
+
+  /// One queued (not yet drained) prefetch. The DeltaGraph pointer rides
+  /// along because a cache outlives plans and could in principle serve more
+  /// than one graph; the drain groups reads per graph.
+  struct QueuedPrefetch {
+    const DeltaGraph* dg;
+    int32_t edge;
+    bool is_eventlist;
+    unsigned components;
+  };
+  std::mutex batch_mu_;
+  std::unordered_map<size_t, std::vector<QueuedPrefetch>> batch_queues_;
 
   std::mutex prefetch_mu_;
   std::condition_variable prefetch_cv_;

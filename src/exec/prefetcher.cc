@@ -49,12 +49,17 @@ void StartPlanPrefetch(const DeltaGraph& dg, const Plan& plan, unsigned componen
 void StartCollectedPrefetch(const DeltaGraph& dg, const std::vector<PlanFetch>& fetches,
                             unsigned components, ExecFetchCache* cache, IoPool* io) {
   if (io == nullptr || cache == nullptr) return;
+  // Fetches are queued per I/O shard and each shard wakeup drains its whole
+  // queue into one DeltaStore::GetBatch (one storage round-trip per *batch*):
+  // all the fetches that pile up while a shard sleeps through a simulated
+  // seek coalesce into the next round-trip instead of paying one each.
+  const auto shards = static_cast<uint64_t>(io->parallelism());
   for (const PlanFetch& fetch : fetches) {
-    const DeltaId shard = dg.skeleton().edge(fetch.edge).delta_id;
+    const DeltaId delta_id = dg.skeleton().edge(fetch.edge).delta_id;
+    const size_t shard = static_cast<size_t>(delta_id % shards);
     cache->BeginPrefetch();
-    io->Submit(shard, [&dg, cache, fetch, components] {
-      cache->Prefetch(dg, fetch.edge, fetch.is_eventlist, components);
-    });
+    cache->EnqueuePrefetch(dg, shard, fetch.edge, fetch.is_eventlist, components);
+    io->Submit(shard, [cache, shard] { cache->DrainPrefetchBatch(shard); });
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codec/delta_codec.h"
 #include "common/coding.h"
 
 namespace hgdb {
@@ -9,7 +10,7 @@ namespace hgdb {
 namespace {
 
 AttrEntry MakeAttrEntry(uint64_t owner, AttrId key_id, AttrId value_id) {
-  return AttrEntry{owner, AttrStr(key_id), AttrStr(value_id)};
+  return AttrEntry{owner, key_id, value_id};
 }
 
 // Diff helper over attribute tables: emits (owner,key,value) adds for entries
@@ -38,11 +39,15 @@ void DiffAttrs(const AttrTable& target, const AttrTable& source,
   });
 }
 
+// Canonical attr order compares the interned *strings* (not the ids), so two
+// processes with different interning histories canonicalize — and therefore
+// encode — identically.
 void SortAttrEntries(std::vector<AttrEntry>* v) {
   std::sort(v->begin(), v->end(), [](const AttrEntry& a, const AttrEntry& b) {
     if (a.owner != b.owner) return a.owner < b.owner;
-    if (a.key != b.key) return a.key < b.key;
-    return a.value < b.value;
+    if (a.key != b.key) return AttrStr(a.key) < AttrStr(b.key);
+    if (a.value == b.value) return false;
+    return AttrStr(a.value) < AttrStr(b.value);
   });
 }
 
@@ -103,10 +108,10 @@ Status Delta::ApplyTo(Snapshot* g, bool forward, unsigned components) const {
     g->ReserveAdditional(plus_nodes.size(), plus_edges.size());
   }
   if (components & kCompNodeAttr) {
-    for (const auto& a : minus_nattrs) g->RemoveNodeAttrId(a.owner, InternAttr(a.key));
+    for (const auto& a : minus_nattrs) g->RemoveNodeAttrId(a.owner, a.key);
   }
   if (components & kCompEdgeAttr) {
-    for (const auto& a : minus_eattrs) g->RemoveEdgeAttrId(a.owner, InternAttr(a.key));
+    for (const auto& a : minus_eattrs) g->RemoveEdgeAttrId(a.owner, a.key);
   }
   if (components & kCompStruct) {
     for (const auto& [id, rec] : minus_edges) {
@@ -136,12 +141,12 @@ Status Delta::ApplyTo(Snapshot* g, bool forward, unsigned components) const {
   }
   if (components & kCompNodeAttr) {
     for (const auto& a : plus_nattrs) {
-      g->SetNodeAttrId(a.owner, InternAttr(a.key), InternAttr(a.value));
+      g->SetNodeAttrId(a.owner, a.key, a.value);
     }
   }
   if (components & kCompEdgeAttr) {
     for (const auto& a : plus_eattrs) {
-      g->SetEdgeAttrId(a.owner, InternAttr(a.key), InternAttr(a.value));
+      g->SetEdgeAttrId(a.owner, a.key, a.value);
     }
   }
   return Status::OK();
@@ -192,136 +197,12 @@ void Delta::Canonicalize() {
   SortAttrEntries(&del_edge_attrs);
 }
 
-namespace {
-
-void EncodeNodeIds(const std::vector<NodeId>& ids, std::string* out) {
-  PutVarint64(out, ids.size());
-  NodeId prev = 0;
-  for (NodeId n : ids) {
-    // Canonical order makes consecutive ids close; delta-encode them.
-    PutVarint64(out, n - prev);
-    prev = n;
-  }
-}
-
-Status DecodeNodeIds(Slice* in, std::vector<NodeId>* ids) {
-  uint64_t count = 0;
-  HG_RETURN_NOT_OK(ExpectVarint64(in, &count, "delta node count"));
-  ids->clear();
-  ids->reserve(static_cast<size_t>(count));
-  NodeId prev = 0;
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t gap = 0;
-    HG_RETURN_NOT_OK(ExpectVarint64(in, &gap, "delta node id"));
-    prev += gap;
-    ids->push_back(prev);
-  }
-  return Status::OK();
-}
-
-void EncodeEdges(const std::vector<std::pair<EdgeId, EdgeRecord>>& edges,
-                 std::string* out) {
-  PutVarint64(out, edges.size());
-  EdgeId prev = 0;
-  for (const auto& [id, rec] : edges) {
-    PutVarint64(out, id - prev);
-    prev = id;
-    PutVarint64(out, rec.src);
-    PutVarint64(out, rec.dst);
-    out->push_back(rec.directed ? 1 : 0);
-  }
-}
-
-Status DecodeEdges(Slice* in, std::vector<std::pair<EdgeId, EdgeRecord>>* edges) {
-  uint64_t count = 0;
-  HG_RETURN_NOT_OK(ExpectVarint64(in, &count, "delta edge count"));
-  edges->clear();
-  edges->reserve(static_cast<size_t>(count));
-  EdgeId prev = 0;
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t gap = 0, src = 0, dst = 0;
-    HG_RETURN_NOT_OK(ExpectVarint64(in, &gap, "delta edge id"));
-    HG_RETURN_NOT_OK(ExpectVarint64(in, &src, "delta edge src"));
-    HG_RETURN_NOT_OK(ExpectVarint64(in, &dst, "delta edge dst"));
-    if (in->empty()) return Status::Corruption("delta edge: truncated directed flag");
-    const bool directed = (*in)[0] != 0;
-    in->RemovePrefix(1);
-    prev += gap;
-    edges->emplace_back(prev, EdgeRecord{src, dst, directed});
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-void Delta::EncodeAttrEntries(const std::vector<AttrEntry>& entries, std::string* out) {
-  PutVarint64(out, entries.size());
-  for (const auto& a : entries) {
-    PutVarint64(out, a.owner);
-    PutLengthPrefixedSlice(out, Slice(a.key));
-    PutLengthPrefixedSlice(out, Slice(a.value));
-  }
-}
-
-Status Delta::DecodeAttrEntries(Slice* in, std::vector<AttrEntry>* entries) {
-  uint64_t count = 0;
-  HG_RETURN_NOT_OK(ExpectVarint64(in, &count, "delta attr count"));
-  entries->clear();
-  entries->reserve(static_cast<size_t>(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    AttrEntry a;
-    HG_RETURN_NOT_OK(ExpectVarint64(in, &a.owner, "delta attr owner"));
-    HG_RETURN_NOT_OK(ExpectLengthPrefixedString(in, &a.key, "delta attr key"));
-    HG_RETURN_NOT_OK(ExpectLengthPrefixedString(in, &a.value, "delta attr value"));
-    entries->push_back(std::move(a));
-  }
-  return Status::OK();
-}
-
 void Delta::EncodeComponent(ComponentMask component, std::string* out) const {
-  out->clear();
-  switch (component) {
-    case kCompStruct:
-      EncodeNodeIds(add_nodes, out);
-      EncodeNodeIds(del_nodes, out);
-      EncodeEdges(add_edges, out);
-      EncodeEdges(del_edges, out);
-      break;
-    case kCompNodeAttr:
-      EncodeAttrEntries(add_node_attrs, out);
-      EncodeAttrEntries(del_node_attrs, out);
-      break;
-    case kCompEdgeAttr:
-      EncodeAttrEntries(add_edge_attrs, out);
-      EncodeAttrEntries(del_edge_attrs, out);
-      break;
-    default:
-      break;  // Deltas have no transient component.
-  }
+  codec::EncodeDeltaComponent(*this, component, out);
 }
 
 Status Delta::DecodeComponent(ComponentMask component, const Slice& blob) {
-  Slice in = blob;
-  switch (component) {
-    case kCompStruct:
-      HG_RETURN_NOT_OK(DecodeNodeIds(&in, &add_nodes));
-      HG_RETURN_NOT_OK(DecodeNodeIds(&in, &del_nodes));
-      HG_RETURN_NOT_OK(DecodeEdges(&in, &add_edges));
-      HG_RETURN_NOT_OK(DecodeEdges(&in, &del_edges));
-      break;
-    case kCompNodeAttr:
-      HG_RETURN_NOT_OK(DecodeAttrEntries(&in, &add_node_attrs));
-      HG_RETURN_NOT_OK(DecodeAttrEntries(&in, &del_node_attrs));
-      break;
-    case kCompEdgeAttr:
-      HG_RETURN_NOT_OK(DecodeAttrEntries(&in, &add_edge_attrs));
-      HG_RETURN_NOT_OK(DecodeAttrEntries(&in, &del_edge_attrs));
-      break;
-    default:
-      return Status::InvalidArgument("delta: unknown component");
-  }
-  if (!in.empty()) return Status::Corruption("delta component: trailing bytes");
-  return Status::OK();
+  return codec::DecodeDeltaComponent(component, blob, this);
 }
 
 bool Delta::operator==(const Delta& other) const {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -12,14 +13,19 @@
 
 namespace hgdb {
 
-/// One attribute element `(owner id, key, value)`. Strings, not AttrIds:
-/// deltas are the serialization unit and their bytes must not depend on the
-/// process-local interning order. ApplyTo re-interns through the interner's
-/// lock-free hit path, which is a hash + probe per entry.
+/// One attribute element `(owner id, key, value)`. Keys and values are
+/// interned AttrIds, so applying a delta writes ids straight into the
+/// snapshot stores with no per-entry hash or string copy. Serialized bytes
+/// stay independent of the process-local interning order because the codec
+/// resolves ids through a per-blob string dictionary (src/codec/README.md);
+/// id equality is string equality process-wide.
 struct AttrEntry {
   uint64_t owner = 0;
-  std::string key;
-  std::string value;
+  AttrId key = kInvalidAttrId;
+  AttrId value = kInvalidAttrId;
+
+  const std::string& key_str() const { return AttrStr(key); }
+  const std::string& value_str() const { return AttrStr(value); }
 
   bool operator==(const AttrEntry& other) const {
     return owner == other.owner && key == other.key && value == other.value;
@@ -66,22 +72,21 @@ class Delta {
   size_t ElementCount(unsigned components = kCompAll) const;
 
   /// Serializes one component (`kCompStruct`, `kCompNodeAttr`, or
-  /// `kCompEdgeAttr`) to a blob.
+  /// `kCompEdgeAttr`) to a blob in the current on-disk format (delegates to
+  /// src/codec/; the blob carries a magic + version header).
   void EncodeComponent(ComponentMask component, std::string* out) const;
 
-  /// Decodes a component blob produced by EncodeComponent into this delta.
+  /// Decodes a component blob produced by EncodeComponent — any supported
+  /// format version, including headerless legacy v0 blobs — into this delta.
   Status DecodeComponent(ComponentMask component, const Slice& blob);
 
-  /// Sorts element vectors into canonical order (by id / owner+key). Between
-  /// produces canonical deltas; hand-built deltas should call this before
-  /// encoding so that serialization is deterministic.
+  /// Sorts element vectors into canonical order (by id / owner + key string +
+  /// value string — *string* order, so the encoding stays deterministic
+  /// across processes with different interning orders). Between produces
+  /// canonical deltas; hand-built deltas should call this before encoding.
   void Canonicalize();
 
   bool operator==(const Delta& other) const;
-
- private:
-  static void EncodeAttrEntries(const std::vector<AttrEntry>& entries, std::string* out);
-  static Status DecodeAttrEntries(Slice* in, std::vector<AttrEntry>* entries);
 };
 
 }  // namespace hgdb

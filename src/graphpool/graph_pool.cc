@@ -271,8 +271,9 @@ Result<PoolGraphId> GraphPool::OverlayDependent(PoolGraphId base, const Delta& d
     auto it = edges_.find(e);
     if (it != edges_.end()) SetMembership(&it->second.bm, id, false);
   }
-  auto key_of = [](const AttrEntry& a) { return InternAttr(a.key); };
-  auto value_of = [](const AttrEntry& a) { return InternAttr(a.value); };
+  // AttrEntry keys/values are already interned ids; no lookup needed.
+  auto key_of = [](const AttrEntry& a) { return a.key; };
+  auto value_of = [](const AttrEntry& a) { return a.value; };
   for (const auto& a : diff.del_node_attrs) {
     auto nit = nodes_.find(a.owner);
     if (nit == nodes_.end()) continue;

@@ -1,5 +1,6 @@
 #include "kvstore/compression.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -27,6 +28,35 @@ inline uint32_t Hash4(const char* p) {
 
 }  // namespace
 
+namespace {
+
+// Hash-chain head table, reused across calls: zeroing 256 KB per compressed
+// value dominated small-blob compression (the per-column blocks of the codec
+// layer especially). A generation stamp invalidates stale entries lazily, so
+// a call only pays for the slots it actually probes.
+struct MatchTable {
+  std::vector<int64_t> head;
+  std::vector<uint32_t> stamp;
+  uint32_t gen = 0;
+
+  MatchTable()
+      : head(size_t{1} << kHashBits, -1), stamp(size_t{1} << kHashBits, 0) {}
+
+  void NextGen() {
+    if (++gen == 0) {  // Stamp wrap: one full reset every 2^32 calls.
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      gen = 1;
+    }
+  }
+  int64_t Get(uint32_t h) const { return stamp[h] == gen ? head[h] : -1; }
+  void Put(uint32_t h, int64_t pos) {
+    head[h] = pos;
+    stamp[h] = gen;
+  }
+};
+
+}  // namespace
+
 // Token stream format:
 //   literal run:  0x00, varint len, bytes
 //   match:        0x01, varint distance, one byte (len - kMinMatch)
@@ -34,7 +64,8 @@ void LzCompress(const Slice& input, std::string* output) {
   output->clear();
   const char* data = input.data();
   const size_t n = input.size();
-  std::vector<int64_t> head(size_t{1} << kHashBits, -1);
+  thread_local MatchTable table;
+  table.NextGen();
 
   size_t i = 0;
   size_t literal_start = 0;
@@ -48,8 +79,8 @@ void LzCompress(const Slice& input, std::string* output) {
 
   while (i + kMinMatch <= n) {
     const uint32_t h = Hash4(data + i);
-    const int64_t cand = head[h];
-    head[h] = static_cast<int64_t>(i);
+    const int64_t cand = table.Get(h);
+    table.Put(h, static_cast<int64_t>(i));
     if (cand >= 0 && i - static_cast<size_t>(cand) <= kWindow &&
         std::memcmp(data + cand, data + i, kMinMatch) == 0) {
       size_t len = kMinMatch;
@@ -105,8 +136,29 @@ Status LzDecompress(const Slice& input, size_t decompressed_size, std::string* o
   return Status::OK();
 }
 
+namespace {
+
+// Magic prefix of versioned codec blobs (mirrors codec::kMagic in
+// src/codec/format.h; a codec_test case asserts the two stay equal). Those
+// blobs arrive with their column blocks already LZ-compressed by the codec
+// layer, so a second whole-value pass here would only burn CPU to conclude
+// "incompressible" — store them raw immediately instead.
+constexpr char kCodecMagic[3] = {'\xd1', '\x47', '\xc5'};
+
+bool IsCodecBlob(const Slice& input) {
+  return input.size() >= sizeof(kCodecMagic) &&
+         std::memcmp(input.data(), kCodecMagic, sizeof(kCodecMagic)) == 0;
+}
+
+}  // namespace
+
 void CompressValue(const Slice& input, std::string* output) {
   output->clear();
+  if (IsCodecBlob(input)) {
+    output->push_back(kTagRaw);
+    output->append(input.data(), input.size());
+    return;
+  }
   std::string lz;
   LzCompress(input, &lz);
   // Keep the compressed form only if it actually saves space, including the

@@ -22,34 +22,18 @@ size_t EventList::CountComponent(ComponentMask component) const {
 }
 
 void EventList::EncodeComponent(ComponentMask component, std::string* out) const {
-  out->clear();
-  PutVarint64(out, CountComponent(component));
-  for (size_t i = 0; i < events_.size(); ++i) {
-    if ((events_[i].component() & component) == 0) continue;
-    PutVarint64(out, i);  // Sequence number within the full list.
-    events_[i].EncodeTo(out);
-  }
+  codec::EncodeEventListComponent(events_, component, out);
 }
 
 Status EventList::DecodeAndMergeComponent(const Slice& blob) {
-  Slice in = blob;
-  uint64_t count = 0;
-  HG_RETURN_NOT_OK(ExpectVarint64(&in, &count, "eventlist component count"));
-  pending_.reserve(pending_.size() + static_cast<size_t>(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t seq = 0;
-    HG_RETURN_NOT_OK(ExpectVarint64(&in, &seq, "eventlist seq"));
-    Event e;
-    HG_RETURN_NOT_OK(Event::DecodeFrom(&in, &e));
-    pending_.push_back(SeqEvent{seq, std::move(e)});
-  }
-  if (!in.empty()) return Status::Corruption("eventlist component: trailing bytes");
-  return Status::OK();
+  return codec::DecodeEventListComponent(blob, &pending_);
 }
 
 void EventList::FinalizeMerge() {
   std::sort(pending_.begin(), pending_.end(),
-            [](const SeqEvent& a, const SeqEvent& b) { return a.seq < b.seq; });
+            [](const codec::SeqEvent& a, const codec::SeqEvent& b) {
+              return a.seq < b.seq;
+            });
   events_.reserve(events_.size() + pending_.size());
   for (auto& se : pending_) events_.push_back(std::move(se.event));
   pending_.clear();

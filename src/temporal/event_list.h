@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/event_codec.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -42,8 +43,10 @@ class EventList {
   /// Number of events belonging to the given component.
   size_t CountComponent(ComponentMask component) const;
 
-  /// Serializes the events of one component as a blob of (seq, event) pairs.
-  /// `component` must be a single component bit.
+  /// Serializes the events matching `component` (one bit or a mask — the
+  /// persisted recent eventlist uses kCompAllWithTransient) as a columnar
+  /// blob of SoA columns keyed by each event's sequence number in this list
+  /// (delegates to src/codec/).
   void EncodeComponent(ComponentMask component, std::string* out) const;
 
   /// Merges a component blob produced by EncodeComponent into this list.
@@ -56,12 +59,8 @@ class EventList {
   void FinalizeMerge();
 
  private:
-  struct SeqEvent {
-    uint64_t seq;
-    Event event;
-  };
   std::vector<Event> events_;
-  std::vector<SeqEvent> pending_;  ///< Accumulated by DecodeAndMergeComponent.
+  std::vector<codec::SeqEvent> pending_;  ///< Accumulated by DecodeAndMergeComponent.
 };
 
 }  // namespace hgdb
