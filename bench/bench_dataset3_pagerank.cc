@@ -8,6 +8,8 @@
 #include "compute/algorithms.h"
 #include "compute/graph_accessor.h"
 #include "deltagraph/partitioned_delta_graph.h"
+#include "exec/io_pool.h"
+#include "exec/task_pool.h"
 
 int main() {
   using namespace hgdb;
@@ -34,6 +36,11 @@ int main() {
   opts.maintain_current = false;
   auto pdg = PartitionedDeltaGraph::Create(ptrs, opts);
   if (!pdg.ok()) std::abort();
+  // One compute worker and one I/O lane per partition ("machine").
+  TaskPool pool(kPartitions);
+  IoPool io(kPartitions);
+  pdg.value()->SetTaskPool(&pool);
+  pdg.value()->SetIoPool(&io);
   Stopwatch build_sw;
   if (!pdg.value()->SetInitialSnapshot(data.initial, data.initial_time).ok()) {
     std::abort();
@@ -55,7 +62,7 @@ int main() {
   double total_all = 0;
   for (Timestamp t : times) {
     Stopwatch sw;
-    auto snap = pdg.value()->GetSnapshot(t, kCompStruct, kPartitions);
+    auto snap = pdg.value()->GetSnapshot(t, kCompStruct);
     if (!snap.ok()) std::abort();
     const double retrieval_ms = sw.ElapsedMillis();
     sw.Restart();

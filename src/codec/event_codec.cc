@@ -1,9 +1,11 @@
 #include "codec/event_codec.h"
 
+#include <limits>
 #include <vector>
 
 #include "codec/format.h"
 #include "common/coding.h"
+#include "common/types.h"
 
 namespace hgdb {
 namespace codec {
@@ -35,10 +37,48 @@ bool HasOptionals(EventType t) {
   return t == EventType::kNodeAttr || t == EventType::kEdgeAttr;
 }
 
-Status DecodeV1(const Slice& blob, std::vector<SeqEvent>* out) {
+// v2 id columns (ROADMAP 5c). Node/edge/src/dst ids are written rebased
+// against their column's minimum *valid* id, and the invalid-id sentinel
+// (all-ones, shared by kInvalidNodeId and kInvalidEdgeId) maps to 0:
+//
+//   [varint base][per value: 0 for sentinel, else v - base + 1]
+//
+// Unknown-endpoint attribute events carry sentinel src/dst, which cost ten
+// varint bytes absolute but one byte rebased; valid ids shrink too whenever
+// a column's ids sit far from zero. A valid id is at most max-1, so
+// v - base + 1 never collides with the sentinel's 0 and round-trips exactly.
+constexpr uint64_t kSentinelId = std::numeric_limits<uint64_t>::max();
+static_assert(kInvalidNodeId == kSentinelId && kInvalidEdgeId == kSentinelId,
+              "rebased id columns assume the all-ones invalid-id sentinel");
+
+void PutRebasedIds(const std::vector<uint64_t>& col, std::string* out) {
+  uint64_t base = kSentinelId;
+  for (uint64_t v : col) {
+    if (v != kSentinelId && v < base) base = v;
+  }
+  if (base == kSentinelId) base = 0;  // Column holds no valid ids.
+  PutVarint64(out, base);
+  for (uint64_t v : col) PutVarint64(out, v == kSentinelId ? 0 : v - base + 1);
+}
+
+Status GetRebasedIds(Slice* in, std::vector<uint64_t>* col, const char* what) {
+  uint64_t base = 0;
+  HG_RETURN_NOT_OK(ExpectVarint64(in, &base, what));
+  for (uint64_t& v : *col) {
+    uint64_t rel = 0;
+    HG_RETURN_NOT_OK(ExpectVarint64(in, &rel, what));
+    // Unsigned wrap on corrupt (base, rel) pairs yields a garbage id, never
+    // UB; corrupt blobs fail structural checks elsewhere.
+    v = rel == 0 ? kSentinelId : base + rel - 1;
+  }
+  return Status::OK();
+}
+
+Status DecodeVersioned(const Slice& blob, std::vector<SeqEvent>* out) {
   BlockReader reader;
   std::unordered_map<uint8_t, Slice> blocks;
-  HG_RETURN_NOT_OK(ReadBlocks(blob, &reader, &blocks));
+  uint8_t version = 0;
+  HG_RETURN_NOT_OK(ReadBlocks(blob, &reader, &blocks, &version));
   auto block = [&](uint8_t tag, Slice* payload) {
     auto it = blocks.find(tag);
     if (it == blocks.end()) return false;
@@ -98,10 +138,17 @@ Status DecodeV1(const Slice& blob, std::vector<SeqEvent>* out) {
     return Status::Corruption("eventlist: missing id columns");
   }
   if (want_ids) {
-    for (auto& v : node_col) HG_RETURN_NOT_OK(ExpectVarint64(&ids, &v, "event node"));
-    for (auto& v : edge_col) HG_RETURN_NOT_OK(ExpectVarint64(&ids, &v, "event edge"));
-    for (auto& v : src_col) HG_RETURN_NOT_OK(ExpectVarint64(&ids, &v, "event src"));
-    for (auto& v : dst_col) HG_RETURN_NOT_OK(ExpectVarint64(&ids, &v, "event dst"));
+    if (version >= kVersion2) {
+      HG_RETURN_NOT_OK(GetRebasedIds(&ids, &node_col, "event node"));
+      HG_RETURN_NOT_OK(GetRebasedIds(&ids, &edge_col, "event edge"));
+      HG_RETURN_NOT_OK(GetRebasedIds(&ids, &src_col, "event src"));
+      HG_RETURN_NOT_OK(GetRebasedIds(&ids, &dst_col, "event dst"));
+    } else {  // v1: absolute varints.
+      for (auto& v : node_col) HG_RETURN_NOT_OK(ExpectVarint64(&ids, &v, "event node"));
+      for (auto& v : edge_col) HG_RETURN_NOT_OK(ExpectVarint64(&ids, &v, "event edge"));
+      for (auto& v : src_col) HG_RETURN_NOT_OK(ExpectVarint64(&ids, &v, "event src"));
+      for (auto& v : dst_col) HG_RETURN_NOT_OK(ExpectVarint64(&ids, &v, "event dst"));
+    }
     HG_RETURN_NOT_OK(GetBitmap(&ids, directed_n, &directed_col, "event directed"));
     if (!ids.empty()) return Status::Corruption("eventlist ids: trailing bytes");
   }
@@ -179,7 +226,7 @@ Status DecodeV1(const Slice& blob, std::vector<SeqEvent>* out) {
 void EncodeEventListComponent(const std::vector<Event>& events, ComponentMask mask,
                               std::string* out) {
   out->clear();
-  PutHeader(out);
+  PutHeader(out, kVersion2);  // v2: rebased id columns (see PutRebasedIds).
   std::vector<uint32_t> selected;
   selected.reserve(events.size());
   for (uint32_t i = 0; i < events.size(); ++i) {
@@ -204,34 +251,30 @@ void EncodeEventListComponent(const std::vector<Event>& events, ComponentMask ma
   for (uint32_t i : selected) meta.push_back(static_cast<char>(events[i].type));
   AppendBlock(kBlockEventMeta, meta, out);
 
-  // Id columns: node, edge, endpoints, directed bitmap.
-  std::string ids;
+  // Id columns: node, edge, endpoints (each rebased per column), directed
+  // bitmap.
+  std::vector<uint64_t> node_col, edge_col, src_col, dst_col;
   std::vector<bool> directed;
-  bool any_ids = false;
-  for (uint32_t i : selected) {
-    if (HasNodeField(events[i].type)) {
-      PutVarint64(&ids, events[i].node);
-      any_ids = true;
-    }
-  }
-  for (uint32_t i : selected) {
-    if (HasEdgeField(events[i].type)) PutVarint64(&ids, events[i].edge);
-  }
   for (uint32_t i : selected) {
     const Event& e = events[i];
+    if (HasNodeField(e.type)) node_col.push_back(e.node);
+    if (HasEdgeField(e.type)) edge_col.push_back(e.edge);
     if (HasEndpoints(e.type)) {
-      PutVarint64(&ids, e.src);
-      any_ids = true;
+      src_col.push_back(e.src);
+      dst_col.push_back(e.dst);
     }
+    if (HasDirected(e.type)) directed.push_back(e.directed);
   }
-  for (uint32_t i : selected) {
-    if (HasEndpoints(events[i].type)) PutVarint64(&ids, events[i].dst);
+  const bool any_ids = !node_col.empty() || !src_col.empty();
+  if (any_ids) {
+    std::string ids;
+    PutRebasedIds(node_col, &ids);
+    PutRebasedIds(edge_col, &ids);
+    PutRebasedIds(src_col, &ids);
+    PutRebasedIds(dst_col, &ids);
+    PutBitmap(directed, &ids);
+    AppendBlock(kBlockEventIds, ids, out);
   }
-  for (uint32_t i : selected) {
-    if (HasDirected(events[i].type)) directed.push_back(events[i].directed);
-  }
-  PutBitmap(directed, &ids);
-  if (any_ids) AppendBlock(kBlockEventIds, ids, out);
 
   // Attribute columns: key indexes, old/new presence bitmaps + indexes, all
   // through the per-blob dictionary.
@@ -264,7 +307,7 @@ void EncodeEventListComponent(const std::vector<Event>& events, ComponentMask ma
 }
 
 Status DecodeEventListComponent(const Slice& blob, std::vector<SeqEvent>* out) {
-  if (HasHeader(blob)) return DecodeV1(blob, out);
+  if (HasHeader(blob)) return DecodeVersioned(blob, out);
   return DecodeEventListComponentV0(blob, out);
 }
 

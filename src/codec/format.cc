@@ -5,9 +5,9 @@
 namespace hgdb {
 namespace codec {
 
-void PutHeader(std::string* out) {
+void PutHeader(std::string* out, uint8_t version) {
   out->append(kMagic, sizeof(kMagic));
-  out->push_back(static_cast<char>(kVersion1));
+  out->push_back(static_cast<char>(version));
 }
 
 bool HasHeader(const Slice& blob) {
@@ -84,10 +84,11 @@ Status BlockReader::Next(uint8_t* tag, Slice* payload, bool* done) {
 }
 
 Status ReadBlocks(const Slice& blob, BlockReader* reader,
-                  std::unordered_map<uint8_t, Slice>* blocks) {
+                  std::unordered_map<uint8_t, Slice>* blocks, uint8_t* version_out) {
   Slice in = blob;
   uint8_t version = 0;
   HG_RETURN_NOT_OK(ParseHeader(&in, &version));
+  if (version_out != nullptr) *version_out = version;
   *reader = BlockReader(in);
   for (;;) {
     uint8_t tag = 0;

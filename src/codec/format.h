@@ -36,8 +36,13 @@ namespace codec {
 /// would need a pathological multi-megabyte leading count to collide.
 inline constexpr char kMagic[3] = {'\xd1', '\x47', '\xc5'};
 inline constexpr uint8_t kVersion1 = 1;
+/// v2 changes only the EventList id block (kBlockEventIds): id columns are
+/// rebased against per-column minima with invalid-id sentinels mapped to 0,
+/// so a sentinel costs one varint byte instead of ten (see event_codec.cc).
+/// Delta blobs are unchanged and still written at v1.
+inline constexpr uint8_t kVersion2 = 2;
 /// Newest version this build can decode.
-inline constexpr uint8_t kMaxSupportedVersion = kVersion1;
+inline constexpr uint8_t kMaxSupportedVersion = kVersion2;
 
 /// Column block tags (low 7 bits of the frame's first byte).
 enum BlockTag : uint8_t {
@@ -60,8 +65,8 @@ inline constexpr uint8_t kBlockCompressedBit = 0x80;
 /// blobs as-is — see CompressValue — so this is the only compression pass.)
 inline constexpr size_t kCompressMinBytes = 64;
 
-/// Appends the v1 header (magic + version byte).
-void PutHeader(std::string* out);
+/// Appends the header (magic + version byte).
+void PutHeader(std::string* out, uint8_t version = kVersion1);
 
 /// True if `blob` carries the v1+ magic (false => legacy v0 blob).
 bool HasHeader(const Slice& blob);
@@ -95,9 +100,12 @@ class BlockReader {
 
 /// Reads every block of `blob` (header included) into a tag -> payload map.
 /// Duplicate tags are corruption. The reader owning decompressed payloads is
-/// `*reader`, which must outlive any use of the returned slices.
+/// `*reader`, which must outlive any use of the returned slices. The blob's
+/// header version is reported through `version` when non-null (decoders
+/// branch on it for version-dependent column layouts).
 Status ReadBlocks(const Slice& blob, BlockReader* reader,
-                  std::unordered_map<uint8_t, Slice>* blocks);
+                  std::unordered_map<uint8_t, Slice>* blocks,
+                  uint8_t* version = nullptr);
 
 // -- Per-blob string dictionary ----------------------------------------------
 //

@@ -418,8 +418,10 @@ Status DeltaGraph::PersistMeta() {
   HG_RETURN_NOT_OK(store_.PutSkeleton(skeleton_));
   // Index-level format version (the blob-level version rides in each blob's
   // codec header; see src/codec/README.md). Absent on pre-codec indexes.
+  // Written as the newest version this build emits, so older builds that
+  // cannot decode it refuse the whole index up front.
   HG_RETURN_NOT_OK(store_.PutMeta(
-      "format", std::to_string(static_cast<unsigned>(codec::kVersion1))));
+      "format", std::to_string(static_cast<unsigned>(codec::kMaxSupportedVersion))));
   HG_RETURN_NOT_OK(store_.PutMeta("options", options_.Encode()));
   std::string counters;
   PutVarint64(&counters, store_.next_id());

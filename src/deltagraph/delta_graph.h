@@ -24,8 +24,9 @@
 
 namespace hgdb {
 
-class TaskPool;  // src/exec/task_pool.h
-class IoPool;    // src/exec/io_pool.h
+class TaskPool;        // src/exec/task_pool.h
+class IoPool;          // src/exec/io_pool.h
+class ExecFetchCache;  // src/exec/fetch_cache.h
 
 /// Construction parameters of a DeltaGraph (Section 4.6): the leaf-eventlist
 /// size L, the arity k, and the differential function(s). Multiple functions
@@ -165,6 +166,14 @@ class DeltaGraph {
   /// snapshot plan machinery this way).
   Status ExecutePlan(const Plan& plan, PlanVisitor* visitor) const;
 
+  /// Executes an already-built snapshot plan with the serial backtracking
+  /// visitor, resolving every fetch through `pinned` when non-null — e.g. a
+  /// cache an external prefetch pass has already filled. The partitioned
+  /// index uses this to run per-shard plans serially behind one up-front
+  /// cross-shard prefetch; with `pinned` null it is a plain serial execute.
+  Result<SnapshotPlanResults> ExecutePlanPinned(const Plan& plan, unsigned components,
+                                                ExecFetchCache* pinned) const;
+
   /// Collects all events with ts <= time < te, including transient events if
   /// requested (backs GetHistGraphInterval).
   Status CollectEvents(Timestamp ts, Timestamp te, unsigned components,
@@ -233,6 +242,14 @@ class DeltaGraph {
   /// default when never configured (nullptr = prefetch disabled).
   IoPool* ResolveIoPool() const;
 
+  /// Pins every prefetch this graph issues to one IoPool lane
+  /// (lane % io->parallelism()) instead of sharding by delta id. A
+  /// partitioned index gives each shard its own lane so the shards' fetch
+  /// pipelines drain on distinct I/O threads and overlap in flight.
+  /// Negative (the default) restores delta-id sharding.
+  void SetIoLane(int lane) { io_lane_ = lane; }
+  int io_lane() const { return io_lane_; }
+
   /// Sizes the decoded delta/eventlist LRU that sits above the KVStore
   /// (0 disables and drops all entries). For ablations and for tests that
   /// damage the underlying store out-of-band.
@@ -300,6 +317,7 @@ class DeltaGraph {
   bool exec_pool_set_ = false;     ///< False = default to the lazy shared pool.
   IoPool* io_pool_ = nullptr;      ///< Prefetch I/O pool (see SetIoPool).
   bool io_pool_set_ = false;       ///< False = default to IoPool::Shared().
+  int io_lane_ = -1;               ///< Fixed prefetch lane (see SetIoLane).
 
   std::vector<AuxIndexHook*> aux_hooks_;
 

@@ -210,16 +210,16 @@ Result<std::shared_ptr<const EventList>> DeltaStore::GetEventListShared(
   return out;
 }
 
-void DeltaStore::GetBatch(std::vector<BatchedRead>* batch) const {
+void DeltaStore::FetchBatch(std::vector<BatchedRead>* batch,
+                            std::vector<FetchedRead>* fetched) const {
   // Resolve decoded-LRU hits first and gather the KV keys of every miss, so
   // the storage round-trip below covers the whole batch.
   struct KeyPart {
-    size_t entry;
+    size_t fetched_index;
     ComponentMask mask;
   };
   std::vector<std::string> keys;
   std::vector<KeyPart> parts;
-  std::vector<size_t> misses;
   for (size_t i = 0; i < batch->size(); ++i) {
     BatchedRead& r = (*batch)[i];
     const uint64_t cache_key = CacheKey(r.id, r.components, !r.is_eventlist);
@@ -236,17 +236,18 @@ void DeltaStore::GetBatch(std::vector<BatchedRead>* batch) const {
         continue;
       }
     }
-    misses.push_back(i);
+    const size_t fi = fetched->size();
+    fetched->push_back(FetchedRead{i, Status::OK(), {}});
     const int limit = r.is_eventlist ? kNumComponents : 3;
     for (int c = 0; c < limit; ++c) {
       const ComponentMask mask = kComponentByIndex[c];
       if ((r.components & mask) == 0) continue;
       if (r.sizes.bytes[c] == 0) continue;
       keys.push_back(Key(r.id, c));
-      parts.push_back(KeyPart{i, mask});
+      parts.push_back(KeyPart{fi, mask});
     }
   }
-  if (misses.empty()) return;
+  if (fetched->empty()) return;
 
   // One MultiGet round-trip for the entire batch (cross-*delta*, not just
   // cross-component): this is the prefetcher's per-I/O-shard drain path.
@@ -256,46 +257,56 @@ void DeltaStore::GetBatch(std::vector<BatchedRead>* batch) const {
     std::vector<Slice> key_slices(keys.begin(), keys.end());
     store_->MultiGet(key_slices, &blobs, &statuses);
     batched_multigets_.fetch_add(1, std::memory_order_relaxed);
-    batched_reads_.fetch_add(misses.size(), std::memory_order_relaxed);
-  }
-
-  // Decode per entry; a failed component poisons only its own entry.
-  std::vector<std::shared_ptr<Delta>> deltas(batch->size());
-  std::vector<std::shared_ptr<EventList>> events(batch->size());
-  for (size_t i : misses) {
-    BatchedRead& r = (*batch)[i];
-    r.status = Status::OK();
-    if (r.is_eventlist) {
-      events[i] = std::make_shared<EventList>();
-    } else {
-      deltas[i] = std::make_shared<Delta>();
-    }
+    batched_reads_.fetch_add(fetched->size(), std::memory_order_relaxed);
   }
   for (size_t k = 0; k < parts.size(); ++k) {
-    BatchedRead& r = (*batch)[parts[k].entry];
-    if (!r.status.ok()) continue;
+    FetchedRead& f = (*fetched)[parts[k].fetched_index];
+    if (!f.status.ok()) continue;  // A failed key poisons only its own entry.
     if (!statuses[k].ok()) {
-      r.status = statuses[k];
+      f.status = statuses[k];
+      f.blobs.clear();
       continue;
     }
-    Status s = r.is_eventlist
-                   ? events[parts[k].entry]->DecodeAndMergeComponent(blobs[k])
-                   : deltas[parts[k].entry]->DecodeComponent(parts[k].mask, blobs[k]);
-    if (!s.ok()) r.status = s;
+    f.blobs.emplace_back(parts[k].mask, std::move(blobs[k]));
   }
-  for (size_t i : misses) {
-    BatchedRead& r = (*batch)[i];
-    if (!r.status.ok()) continue;
-    const uint64_t cache_key = CacheKey(r.id, r.components, !r.is_eventlist);
-    if (r.is_eventlist) {
-      events[i]->FinalizeMerge();
-      r.events = std::move(events[i]);
-      CacheInsert(cache_key, nullptr, r.events);
-    } else {
-      r.delta = std::move(deltas[i]);
-      CacheInsert(cache_key, r.delta, nullptr);
+}
+
+void DeltaStore::DecodeFetched(BatchedRead* read, FetchedRead* fetched) const {
+  read->status = fetched->status;
+  if (!read->status.ok()) return;
+  if (read->is_eventlist) {
+    auto decoded = std::make_shared<EventList>();
+    for (auto& [mask, blob] : fetched->blobs) {
+      (void)mask;  // Eventlist blobs self-describe their component.
+      Status s = decoded->DecodeAndMergeComponent(blob);
+      if (!s.ok()) {
+        read->status = s;
+        return;
+      }
     }
+    decoded->FinalizeMerge();
+    read->events = std::move(decoded);
+    CacheInsert(CacheKey(read->id, read->components, /*is_delta=*/false),
+                nullptr, read->events);
+  } else {
+    auto decoded = std::make_shared<Delta>();
+    for (auto& [mask, blob] : fetched->blobs) {
+      Status s = decoded->DecodeComponent(mask, blob);
+      if (!s.ok()) {
+        read->status = s;
+        return;
+      }
+    }
+    read->delta = std::move(decoded);
+    CacheInsert(CacheKey(read->id, read->components, /*is_delta=*/true),
+                read->delta, nullptr);
   }
+}
+
+void DeltaStore::GetBatch(std::vector<BatchedRead>* batch) const {
+  std::vector<FetchedRead> fetched;
+  FetchBatch(batch, &fetched);
+  for (FetchedRead& f : fetched) DecodeFetched(&(*batch)[f.entry], &f);
 }
 
 Status DeltaStore::DeleteDelta(DeltaId id) {

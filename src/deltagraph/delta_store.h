@@ -8,6 +8,8 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -88,6 +90,27 @@ class DeltaStore {
   /// (src/exec/fetch_cache.h). Per-entry failures land in that entry's
   /// `status`; other entries still complete.
   void GetBatch(std::vector<BatchedRead>* batch) const;
+
+  /// Raw bytes of one batch miss, fetched but not yet decoded: the handoff
+  /// unit between FetchBatch (I/O thread) and DecodeFetched (compute pool).
+  struct FetchedRead {
+    size_t entry = 0;  ///< Index of the owning entry in the batch.
+    Status status;     ///< Fetch status; decode status lands on the entry.
+    std::vector<std::pair<ComponentMask, std::string>> blobs;
+  };
+
+  /// The I/O half of GetBatch: decoded-LRU probes plus ONE MultiGet for all
+  /// misses. LRU hits are resolved directly on their batch entries; each miss
+  /// yields one FetchedRead of raw component blobs. Splitting here lets the
+  /// fetch cache run the CPU-bound decode on the compute TaskPool instead of
+  /// serializing it on a seek-bound I/O shard thread.
+  void FetchBatch(std::vector<BatchedRead>* batch,
+                  std::vector<FetchedRead>* fetched) const;
+
+  /// The decode half: decodes one fetched miss into its batch entry and
+  /// inserts the result into the decoded LRU. Thread-safe; distinct entries
+  /// may decode concurrently.
+  void DecodeFetched(BatchedRead* read, FetchedRead* fetched) const;
 
   /// Cross-delta batching stats: number of GetBatch MultiGet round-trips and
   /// the total reads they served (avg batch width = reads / round-trips).

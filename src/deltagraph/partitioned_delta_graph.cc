@@ -1,10 +1,39 @@
 #include "deltagraph/partitioned_delta_graph.h"
 
-#include <thread>
+#include <cstdlib>
+#include <string>
+#include <utility>
 
 #include "common/coding.h"
+#include "exec/fetch_cache.h"
+#include "exec/io_pool.h"
+#include "exec/parallel_executor.h"
+#include "exec/prefetcher.h"
+#include "exec/task_pool.h"
 
 namespace hgdb {
+
+namespace {
+
+/// Meta key (in the base store, outside every shard namespace) recording the
+/// shard count of a single-store partitioned index.
+constexpr char kShardCountKey[] = "pm/shards";
+
+std::string ShardPrefix(size_t i) { return "s" + std::to_string(i) + "/"; }
+
+}  // namespace
+
+PartitionedDeltaGraph::PartitionedDeltaGraph(
+    std::vector<std::unique_ptr<DeltaGraph>> parts,
+    std::vector<std::unique_ptr<KVStore>> owned_stores)
+    : owned_stores_(std::move(owned_stores)), partitions_(std::move(parts)) {
+  // One I/O lane per shard: the shard's whole fetch pipeline drains on one
+  // IoPool thread, and distinct shards drain on distinct threads (mod the
+  // pool size), which is what makes the per-shard pipelines overlap.
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    partitions_[i]->SetIoLane(static_cast<int>(i));
+  }
+}
 
 Result<std::unique_ptr<PartitionedDeltaGraph>> PartitionedDeltaGraph::Create(
     std::vector<KVStore*> stores, DeltaGraphOptions options) {
@@ -19,11 +48,71 @@ Result<std::unique_ptr<PartitionedDeltaGraph>> PartitionedDeltaGraph::Create(
     parts.push_back(std::move(dg).value());
   }
   return std::unique_ptr<PartitionedDeltaGraph>(
-      new PartitionedDeltaGraph(std::move(parts)));
+      new PartitionedDeltaGraph(std::move(parts), {}));
+}
+
+Result<std::unique_ptr<PartitionedDeltaGraph>> PartitionedDeltaGraph::Create(
+    KVStore* base, size_t shards, DeltaGraphOptions options) {
+  if (base == nullptr) return Status::InvalidArgument("null base store");
+  if (shards == 0) return Status::InvalidArgument("at least one shard required");
+  if (base->Contains(kShardCountKey)) {
+    return Status::InvalidArgument("store already holds a partitioned index (use Open)");
+  }
+  std::vector<std::unique_ptr<KVStore>> owned;
+  std::vector<std::unique_ptr<DeltaGraph>> parts;
+  owned.reserve(shards);
+  parts.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    owned.push_back(NewPrefixKVStore(base, ShardPrefix(i)));
+    auto dg = DeltaGraph::Create(owned.back().get(), options);
+    if (!dg.ok()) return dg.status();
+    parts.push_back(std::move(dg).value());
+  }
+  HG_RETURN_NOT_OK(base->Put(kShardCountKey, std::to_string(shards)));
+  return std::unique_ptr<PartitionedDeltaGraph>(
+      new PartitionedDeltaGraph(std::move(parts), std::move(owned)));
+}
+
+Result<std::unique_ptr<PartitionedDeltaGraph>> PartitionedDeltaGraph::Open(
+    KVStore* base) {
+  if (base == nullptr) return Status::InvalidArgument("null base store");
+  std::string count_str;
+  Status s = base->Get(kShardCountKey, &count_str);
+  if (!s.ok()) {
+    return Status::InvalidArgument("store holds no partitioned index (missing " +
+                                   std::string(kShardCountKey) + ")");
+  }
+  char* end = nullptr;
+  const unsigned long shards = std::strtoul(count_str.c_str(), &end, 10);
+  if (end == count_str.c_str() || *end != '\0' || shards == 0 || shards > 1u << 16) {
+    return Status::Corruption("bad shard count: " + count_str);
+  }
+  std::vector<std::unique_ptr<KVStore>> owned;
+  std::vector<std::unique_ptr<DeltaGraph>> parts;
+  owned.reserve(shards);
+  parts.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    owned.push_back(NewPrefixKVStore(base, ShardPrefix(i)));
+    auto dg = DeltaGraph::Open(owned.back().get());
+    if (!dg.ok()) return dg.status();
+    parts.push_back(std::move(dg).value());
+  }
+  return std::unique_ptr<PartitionedDeltaGraph>(
+      new PartitionedDeltaGraph(std::move(parts), std::move(owned)));
 }
 
 PartitionId PartitionedDeltaGraph::PartitionOfNode(NodeId n) const {
-  return static_cast<PartitionId>(Mix64(n) % partitions_.size());
+  // Chunk-aligned: Snapshot's node-keyed chunks span at most 256 consecutive
+  // ids, so hashing the 256-id block number keeps every chunk on one shard
+  // and lets AbsorbDisjoint adopt it wholesale at merge time.
+  return static_cast<PartitionId>(Mix64(n >> 8) % partitions_.size());
+}
+
+PartitionId PartitionedDeltaGraph::PartitionOfEdge(EdgeId e) const {
+  // Same block-hash rule as nodes, over the edge id space: edge records and
+  // edge attributes live in 128-id chunks, and a 256-id block covers exactly
+  // two of those, so every edge-keyed chunk is partition-pure too.
+  return static_cast<PartitionId>(Mix64(e >> 8) % partitions_.size());
 }
 
 PartitionId PartitionedDeltaGraph::PartitionOf(const Event& e) const {
@@ -36,13 +125,10 @@ PartitionId PartitionedDeltaGraph::PartitionOf(const Event& e) const {
     case EventType::kAddEdge:
     case EventType::kDeleteEdge:
     case EventType::kTransientEdge:
-      return PartitionOfNode(e.src);
     case EventType::kEdgeAttr:
-      // Edge attributes must be co-located with their edge; generators carry
-      // the source endpoint on UEA events for this purpose.
-      return e.src != kInvalidNodeId ? PartitionOfNode(e.src)
-                                     : static_cast<PartitionId>(
-                                           Mix64(e.edge) % partitions_.size());
+      // All events about one edge — structural and attribute — carry the edge
+      // id, so routing by it keeps an edge's whole history on one shard.
+      return PartitionOfEdge(e.edge);
   }
   return 0;
 }
@@ -51,25 +137,19 @@ Status PartitionedDeltaGraph::SetInitialSnapshot(const Snapshot& g0, Timestamp t
   std::vector<Snapshot> parts(partitions_.size());
   for (NodeId n : g0.nodes()) parts[PartitionOfNode(n)].AddNode(n);
   for (const auto& [id, rec] : g0.edges()) {
-    parts[PartitionOfNode(rec.src)].AddEdge(id, rec);
+    parts[PartitionOfEdge(id)].AddEdge(id, rec);
   }
   for (const auto& [n, attrs] : g0.node_attrs()) {
     Snapshot& p = parts[PartitionOfNode(n)];
     for (const auto& [k, v] : attrs) p.SetNodeAttrId(n, k, v);
   }
   for (const auto& [id, attrs] : g0.edge_attrs()) {
-    const EdgeRecord* rec = g0.FindEdge(id);
-    const PartitionId pid = rec != nullptr
-                                ? PartitionOfNode(rec->src)
-                                : static_cast<PartitionId>(
-                                      Mix64(id) % partitions_.size());
-    Snapshot& p = parts[pid];
+    Snapshot& p = parts[PartitionOfEdge(id)];
     for (const auto& [k, v] : attrs) p.SetEdgeAttrId(id, k, v);
   }
-  for (size_t i = 0; i < partitions_.size(); ++i) {
-    HG_RETURN_NOT_OK(partitions_[i]->SetInitialSnapshot(parts[i], t0));
-  }
-  return Status::OK();
+  return ForEachShard([&](size_t i) {
+    return partitions_[i]->SetInitialSnapshot(parts[i], t0);
+  });
 }
 
 Status PartitionedDeltaGraph::Append(const Event& e) {
@@ -77,80 +157,184 @@ Status PartitionedDeltaGraph::Append(const Event& e) {
 }
 
 Status PartitionedDeltaGraph::AppendAll(const std::vector<Event>& events) {
-  for (const auto& e : events) HG_RETURN_NOT_OK(Append(e));
-  return Status::OK();
+  std::vector<std::vector<Event>> buckets(partitions_.size());
+  for (const Event& e : events) buckets[PartitionOf(e)].push_back(e);
+  return ForEachShard([&](size_t i) {
+    return partitions_[i]->AppendAll(buckets[i]);
+  });
 }
 
 Status PartitionedDeltaGraph::Finalize() {
-  for (auto& p : partitions_) HG_RETURN_NOT_OK(p->Finalize());
+  return ForEachShard([&](size_t i) { return partitions_[i]->Finalize(); });
+}
+
+void PartitionedDeltaGraph::SetTaskPool(TaskPool* pool) {
+  exec_pool_ = pool;
+  exec_pool_set_ = true;
+  for (auto& p : partitions_) p->SetTaskPool(pool);
+}
+
+TaskPool* PartitionedDeltaGraph::ResolveTaskPool() const {
+  if (exec_pool_ != nullptr) return exec_pool_;
+  return exec_pool_set_ ? nullptr : &TaskPool::Shared();
+}
+
+void PartitionedDeltaGraph::SetIoPool(IoPool* pool) {
+  for (auto& p : partitions_) p->SetIoPool(pool);
+}
+
+void PartitionedDeltaGraph::SetDecodedCacheCapacity(size_t entries) {
+  for (auto& p : partitions_) p->SetDecodedCacheCapacity(entries);
+}
+
+Status PartitionedDeltaGraph::ForEachShard(const std::function<Status(size_t)>& fn) {
+  const size_t n = partitions_.size();
+  TaskPool* pool = ResolveTaskPool();
+  if (pool == nullptr || pool->parallelism() < 2 || n < 2) {
+    for (size_t i = 0; i < n; ++i) HG_RETURN_NOT_OK(fn(i));
+    return Status::OK();
+  }
+  std::vector<Status> statuses(n);
+  {
+    TaskGroup group(pool);
+    for (size_t i = 0; i < n; ++i) {
+      group.Spawn([&statuses, &fn, i] { statuses[i] = fn(i); });
+    }
+    group.Wait();
+  }
+  for (const Status& s : statuses) HG_RETURN_NOT_OK(s);
   return Status::OK();
 }
 
-Result<std::vector<Snapshot>> PartitionedDeltaGraph::GetSnapshotParts(
-    Timestamp t, unsigned components, int num_threads) {
+Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
+    const std::vector<Timestamp>& times, unsigned components) {
   const size_t n = partitions_.size();
-  if (num_threads <= 0) num_threads = static_cast<int>(n);
-  std::vector<Snapshot> parts(n);
-  std::vector<Status> statuses(n);
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      auto snap = partitions_[i]->GetSnapshot(t, components);
-      if (snap.ok()) {
-        parts[i] = std::move(snap).value();
-      } else {
-        statuses[i] = snap.status();
-      }
+  std::vector<std::vector<Snapshot>> parts(n);
+  if (times.empty()) return parts;
+
+  TaskPool* pool = ResolveTaskPool();
+  const bool parallel = pool != nullptr && pool->parallelism() >= 2;
+
+  // Plan every shard before touching storage. A shard with no skeleton (never
+  // finalized, or simply empty) has nothing to plan over; it takes the
+  // in-memory replay fallback below.
+  std::vector<Plan> plans(n);
+  std::vector<char> fallback(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (partitions_[i]->skeleton().leaves().empty()) {
+      fallback[i] = 1;
+      continue;
     }
-  };
-  std::vector<std::thread> threads;
-  const int thread_count = std::min<int>(num_threads, static_cast<int>(n));
-  threads.reserve(thread_count);
-  for (int i = 0; i < thread_count; ++i) threads.emplace_back(worker);
-  for (auto& th : threads) th.join();
-  for (const auto& s : statuses) {
-    if (!s.ok()) return s;
+    auto plan = partitions_[i]->PlanFor(times, components);
+    if (!plan.ok()) return plan.status();
+    plans[i] = std::move(plan).value();
   }
+
+  // Issue every shard's prefetch before any shard executes. Each shard's
+  // batch lands on its own I/O lane (SetIoLane in the constructor), so all
+  // the per-shard fetch pipelines are in flight together and their storage
+  // stalls overlap instead of queueing behind one another.
+  std::vector<std::unique_ptr<ExecFetchCache>> caches(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (fallback[i]) continue;
+    caches[i] = std::make_unique<ExecFetchCache>();
+    if (parallel) caches[i]->SetDecodePool(pool);
+    IoPool* io = partitions_[i]->ResolveIoPool();
+    if (io != nullptr) {
+      StartCollectedPrefetch(*partitions_[i], CollectPlanFetches(plans[i]),
+                             components, caches[i].get(), io);
+    }
+  }
+
+  Status first_error;
+  auto record = [&first_error](const Status& s) {
+    if (first_error.ok() && !s.ok()) first_error = s;
+  };
+
+  if (parallel) {
+    // Every shard's plan tree goes into ONE group on the shared pool: shard
+    // subtrees are sibling tasks, stolen freely across workers, so a shard
+    // that finishes early lends its cycles to the others. Executors get a
+    // null IoPool — their prefetch already ran above into the shard cache —
+    // so Start does not queue the same fetches twice.
+    std::vector<std::unique_ptr<ParallelPlanExecutor>> executors(n);
+    {
+      TaskGroup group(pool);
+      for (size_t i = 0; i < n; ++i) {
+        if (fallback[i]) continue;
+        executors[i] = std::make_unique<ParallelPlanExecutor>(
+            partitions_[i].get(), components, pool, caches[i].get(),
+            /*io_pool=*/nullptr);
+        executors[i]->Start(plans[i], &group);
+      }
+      group.Wait();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (executors[i] == nullptr) continue;
+      const Status s = executors[i]->TakeStatus();
+      if (!s.ok()) {
+        record(s);
+        continue;
+      }
+      auto in_order = executors[i]->TakeResults().TakeInOrder(times);
+      record(in_order.status());
+      if (in_order.ok()) parts[i] = std::move(in_order).value();
+    }
+  } else {
+    // Serial execution pinned to the prefilled caches: the single thread
+    // walks one shard plan at a time while the I/O lanes keep fetching the
+    // other shards' payloads in the background.
+    for (size_t i = 0; i < n; ++i) {
+      if (fallback[i]) continue;
+      auto results =
+          partitions_[i]->ExecutePlanPinned(plans[i], components, caches[i].get());
+      if (!results.ok()) {
+        record(results.status());
+        continue;
+      }
+      auto in_order = results.value().TakeInOrder(times);
+      record(in_order.status());
+      if (in_order.ok()) parts[i] = std::move(in_order).value();
+    }
+  }
+
+  // Fallback shards replay their (entirely in-memory) recent history.
+  for (size_t i = 0; i < n; ++i) {
+    if (!fallback[i]) continue;
+    auto snaps = partitions_[i]->GetSnapshots(times, components);
+    record(snaps.status());
+    if (snaps.ok()) parts[i] = std::move(snaps).value();
+  }
+
+  if (!first_error.ok()) return first_error;
   return parts;
 }
 
 Result<std::vector<Snapshot>> PartitionedDeltaGraph::GetSnapshots(
-    const std::vector<Timestamp>& times, unsigned components, int num_threads) {
-  const size_t n = partitions_.size();
-  if (num_threads <= 0) num_threads = static_cast<int>(n);
-  std::vector<std::vector<Snapshot>> parts(n);
-  std::vector<Status> statuses(n);
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      auto snaps = partitions_[i]->GetSnapshots(times, components);
-      if (snaps.ok()) {
-        parts[i] = std::move(snaps).value();
-      } else {
-        statuses[i] = snaps.status();
-      }
-    }
-  };
-  std::vector<std::thread> threads;
-  const int thread_count = std::min<int>(num_threads, static_cast<int>(n));
-  threads.reserve(thread_count);
-  for (int i = 0; i < thread_count; ++i) threads.emplace_back(worker);
-  for (auto& th : threads) th.join();
-  for (const auto& s : statuses) {
-    if (!s.ok()) return s;
-  }
+    const std::vector<Timestamp>& times, unsigned components) {
+  auto parts = RetrieveParts(times, components);
+  if (!parts.ok()) return parts.status();
   std::vector<Snapshot> merged(times.size());
-  for (size_t p = 0; p < n; ++p) {
+  for (size_t p = 0; p < partitions_.size(); ++p) {
     for (size_t i = 0; i < times.size(); ++i) {
-      merged[i].AbsorbDisjoint(std::move(parts[p][i]));
+      merged[i].AbsorbDisjoint(std::move(parts.value()[p][i]));
     }
   }
   return merged;
 }
 
-Result<Snapshot> PartitionedDeltaGraph::GetSnapshot(Timestamp t, unsigned components,
-                                                    int num_threads) {
-  auto parts = GetSnapshotParts(t, components, num_threads);
+Result<std::vector<Snapshot>> PartitionedDeltaGraph::GetSnapshotParts(
+    Timestamp t, unsigned components) {
+  auto parts = RetrieveParts({t}, components);
+  if (!parts.ok()) return parts.status();
+  std::vector<Snapshot> flat;
+  flat.reserve(partitions_.size());
+  for (auto& p : parts.value()) flat.push_back(std::move(p.front()));
+  return flat;
+}
+
+Result<Snapshot> PartitionedDeltaGraph::GetSnapshot(Timestamp t, unsigned components) {
+  auto parts = GetSnapshotParts(t, components);
   if (!parts.ok()) return parts.status();
   Snapshot merged;
   for (auto& p : parts.value()) merged.AbsorbDisjoint(std::move(p));

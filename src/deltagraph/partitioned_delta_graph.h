@@ -1,6 +1,7 @@
 #ifndef HISTGRAPH_DELTAGRAPH_PARTITIONED_DELTA_GRAPH_H_
 #define HISTGRAPH_DELTAGRAPH_PARTITIONED_DELTA_GRAPH_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -9,65 +10,135 @@
 
 namespace hgdb {
 
+class TaskPool;  // src/exec/task_pool.h
+class IoPool;    // src/exec/io_pool.h
+
 /// \brief Horizontally partitioned DeltaGraph (Sections 4.2 / 4.6).
 ///
 /// The node-id space is hash-partitioned; every event, edge, node, and
 /// attribute is assigned to the partition of its primary node id ("based on
-/// the node id of the concerned node(s)"). Each partition is an independent
-/// DeltaGraph over its own key-value store — in the paper, one Kyoto Cabinet
-/// instance per machine; here, one store per partition with one thread per
-/// partition standing in for a machine. Snapshot retrieval on each partition
-/// is independent and requires no cross-partition communication; results are
-/// merged in memory (the Figure 8(b) multicore experiment and the Dataset-3
-/// deployment exercise this path).
+/// the node id of the concerned node(s)"). Each shard is a *full engine*: an
+/// independent DeltaGraph over its own key namespace, with its own decoded
+/// cache, its own plan, and its own IoPool lane — the paper's one Kyoto
+/// Cabinet instance per machine, with one I/O lane per shard standing in for
+/// a machine's disk. Snapshot retrieval on each shard is independent and
+/// requires no cross-shard communication; results are merged in memory (the
+/// Figure 8(b) multicore experiment and the Dataset-3 deployment exercise
+/// this path).
+///
+/// Routing is chunk-aligned: PartitionOfNode hashes `node_id >> 8` and
+/// PartitionOfEdge hashes `edge_id >> 8`, so every 256-id block of either id
+/// space lands on one shard. Snapshot stores elements in chunks of at most
+/// 256 ids (node sets) / 128 ids (edges and attributes), and a 256-id block
+/// covers exactly two 128-id chunks, so *every* chunk of a merged snapshot
+/// comes from exactly one shard and Snapshot::AbsorbDisjoint adopts it as an
+/// O(1) pointer move rather than an element-by-element merge. An edge's
+/// attributes route with the edge, so they are always co-located with it (see
+/// src/deltagraph/README.md for the merge invariants). Edges are *not*
+/// co-located with their endpoints — nothing in the element-wise delta
+/// machinery needs them to be.
+///
+/// Retrieval runs every shard's plan concurrently: multipoint queries plan
+/// one Steiner tree per shard, issue every shard's prefetch batch up front
+/// (each on the shard's own I/O lane, so the per-shard fetch pipelines
+/// overlap in flight), then execute all shard plans as sibling task trees on
+/// one shared work-stealing TaskPool.
 class PartitionedDeltaGraph {
  public:
   /// One store per partition; all partitions share the same options. Stores
-  /// must outlive the index.
+  /// must outlive the index. This is the multi-store deployment shape (one
+  /// physical store per shard, e.g. one disk or one machine each).
   static Result<std::unique_ptr<PartitionedDeltaGraph>> Create(
       std::vector<KVStore*> stores, DeltaGraphOptions options);
 
+  /// Single-store deployment shape: carves `shards` private key namespaces
+  /// ("s0/", "s1/", ...) out of `base` with prefix wrappers and records the
+  /// shard count under "pm/shards" so Open can rebuild the same layout.
+  /// `base` must be empty and must outlive the index.
+  static Result<std::unique_ptr<PartitionedDeltaGraph>> Create(
+      KVStore* base, size_t shards, DeltaGraphOptions options);
+
+  /// Reopens a single-store index previously created by Create(base, n) and
+  /// persisted by Finalize.
+  static Result<std::unique_ptr<PartitionedDeltaGraph>> Open(KVStore* base);
+
   /// The partition an event is routed to: node events and node attributes by
   /// node id, edge events (including edge attributes and transient edges) by
-  /// the source endpoint's node id.
+  /// edge id.
   PartitionId PartitionOf(const Event& e) const;
+  /// Chunk-aligned node routing: all ids in one 256-id block share a shard.
   PartitionId PartitionOfNode(NodeId n) const;
+  /// Chunk-aligned edge routing: all ids in one 256-id block share a shard.
+  PartitionId PartitionOfEdge(EdgeId e) const;
 
   /// Splits a non-empty initial graph across partitions (nodes and node
-  /// attributes by node id, edges and edge attributes by source endpoint).
+  /// attributes by node id, edges and edge attributes by edge id).
   Status SetInitialSnapshot(const Snapshot& g0, Timestamp t0);
 
   Status Append(const Event& e);
+  /// Buckets `events` per shard and appends each bucket on its own task
+  /// (shards ingest independently; per-shard event order is preserved).
   Status AppendAll(const std::vector<Event>& events);
+  /// Finalizes every shard, in parallel on the attached pool.
   Status Finalize();
 
-  /// Retrieves the merged snapshot as of `t`, loading partitions in parallel
-  /// with `num_threads` workers (<= partition count; 0 = one per partition).
-  Result<Snapshot> GetSnapshot(Timestamp t, unsigned components = kCompAll,
-                               int num_threads = 0);
+  /// Retrieves the merged snapshot as of `t`.
+  Result<Snapshot> GetSnapshot(Timestamp t, unsigned components = kCompAll);
 
   /// Per-partition retrieval without merging (a distributed compute engine
   /// keeps partitions separate; see the compute module).
   Result<std::vector<Snapshot>> GetSnapshotParts(Timestamp t,
-                                                 unsigned components = kCompAll,
-                                                 int num_threads = 0);
+                                                 unsigned components = kCompAll);
 
-  /// Multipoint retrieval: each partition plans one Steiner tree for all the
-  /// time points; partitions run in parallel and results are merged per
-  /// time point.
+  /// Multipoint retrieval: each shard plans one Steiner tree for all the
+  /// time points; shards run concurrently and results are merged per time
+  /// point. Snapshots are returned in the order of `times`.
   Result<std::vector<Snapshot>> GetSnapshots(const std::vector<Timestamp>& times,
-                                             unsigned components = kCompAll,
-                                             int num_threads = 0);
+                                             unsigned components = kCompAll);
+
+  /// The unmerged core of GetSnapshots: `result[shard][i]` is shard `shard`'s
+  /// piece of the snapshot at `times[i]`. Plans every shard, issues all
+  /// shards' prefetches up front, then executes the shard plans concurrently
+  /// (sibling task trees on one pool) or serially pinned to the prefilled
+  /// caches when the resolved pool is serial.
+  Result<std::vector<std::vector<Snapshot>>> RetrieveParts(
+      const std::vector<Timestamp>& times, unsigned components = kCompAll);
+
+  /// Attaches the pool shard plans (and parallel ingest) run on, and forwards
+  /// it to every shard. Same contract as DeltaGraph::SetTaskPool: nullptr
+  /// forces serial, never calling it defaults to TaskPool::Shared().
+  void SetTaskPool(TaskPool* pool);
+  TaskPool* task_pool() const { return exec_pool_; }
+  bool task_pool_overridden() const { return exec_pool_set_; }
+  /// The pool retrieval actually uses (nullptr = forced serial).
+  TaskPool* ResolveTaskPool() const;
+
+  /// Forwards to every shard. Each shard keeps its distinct I/O lane
+  /// (shard index % io->parallelism()), so shard fetch pipelines drain on
+  /// distinct I/O threads.
+  void SetIoPool(IoPool* pool);
+
+  /// Forwards to every shard's decoded-payload LRU.
+  void SetDecodedCacheCapacity(size_t entries);
 
   size_t partition_count() const { return partitions_.size(); }
   DeltaGraph* partition(size_t i) { return partitions_[i].get(); }
   const DeltaGraph* partition(size_t i) const { return partitions_[i].get(); }
 
  private:
-  explicit PartitionedDeltaGraph(std::vector<std::unique_ptr<DeltaGraph>> parts)
-      : partitions_(std::move(parts)) {}
+  PartitionedDeltaGraph(std::vector<std::unique_ptr<DeltaGraph>> parts,
+                        std::vector<std::unique_ptr<KVStore>> owned_stores);
 
+  /// Runs `fn(shard)` for every shard — concurrently when the resolved pool
+  /// has parallelism, serially otherwise. Returns the first error.
+  Status ForEachShard(const std::function<Status(size_t)>& fn);
+
+  // Prefix wrappers created by the single-store Create/Open (empty for the
+  // multi-store form). Declared before partitions_ so shards die first.
+  std::vector<std::unique_ptr<KVStore>> owned_stores_;
   std::vector<std::unique_ptr<DeltaGraph>> partitions_;
+  TaskPool* exec_pool_ = nullptr;  ///< See SetTaskPool.
+  bool exec_pool_set_ = false;     ///< False = default to the lazy shared pool.
 };
 
 }  // namespace hgdb

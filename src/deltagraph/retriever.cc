@@ -196,6 +196,13 @@ Status DeltaGraph::ExecutePlan(const Plan& plan, PlanVisitor* visitor) const {
   return WalkPlanNode(*plan.root, visitor, /*is_tail=*/true);
 }
 
+Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecutePlanPinned(
+    const Plan& plan, unsigned components, ExecFetchCache* pinned) const {
+  SnapshotPlanVisitor visitor(this, components, pinned);
+  HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
+  return visitor.TakeResults();
+}
+
 IoPool* DeltaGraph::ResolveIoPool() const {
   if (io_pool_ != nullptr) return io_pool_;
   return io_pool_set_ ? nullptr : IoPool::Shared();

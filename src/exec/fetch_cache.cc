@@ -1,8 +1,33 @@
 #include "exec/fetch_cache.h"
 
+#include <chrono>
+
 #include "deltagraph/delta_graph.h"
+#include "exec/task_pool.h"
 
 namespace hgdb {
+
+namespace {
+
+// Blocks on `future`, helping drain the calling thread's own TaskPool while
+// it waits. With decode offload, a slot's fulfilment can sit in the compute
+// pool's queue *behind* this very thread; a plain future.get() would park
+// the worker on work only it can start. The timed wait covers the window
+// where the fulfilling task is already running on another thread.
+template <typename FutureT>
+auto WaitHelping(const FutureT& future) {
+  TaskPool* helper = TaskPool::Current();
+  if (helper != nullptr) {
+    while (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!helper->RunOne()) {
+        future.wait_for(std::chrono::microseconds(100));
+      }
+    }
+  }
+  return future.get();
+}
+
+}  // namespace
 
 template <typename T>
 ExecFetchCache::FetchFuture<T> ExecFetchCache::ClaimOrGet(
@@ -60,7 +85,7 @@ Result<std::shared_ptr<const T>> ExecFetchCache::FetchSingleFlight(
     return r;
   }
   if (!wait_if_claimed) return std::shared_ptr<const T>();
-  return future.get();
+  return WaitHelping(future);
 }
 
 Result<std::shared_ptr<const Delta>> ExecFetchCache::GetDelta(const DeltaGraph& dg,
@@ -110,8 +135,15 @@ void ExecFetchCache::DrainPrefetchBatch(size_t shard) {
       std::optional<std::promise<Result<std::shared_ptr<const Delta>>>> delta_promise;
       std::optional<std::promise<Result<std::shared_ptr<const EventList>>>> events_promise;
     };
-    std::unordered_map<const DeltaGraph*, std::vector<DeltaStore::BatchedRead>> reads;
-    std::unordered_map<const DeltaGraph*, std::vector<Pending>> pendings;
+    // Per-graph drain state lives in a shared_ptr so the decode jobs this
+    // drain may schedule on the compute pool can outlive this stack frame.
+    struct GraphDrain {
+      const DeltaGraph* dg = nullptr;
+      std::vector<DeltaStore::BatchedRead> batch;
+      std::vector<Pending> pending;  // pending[i] owns batch[i]'s slot.
+      std::vector<DeltaStore::FetchedRead> fetched;
+    };
+    std::unordered_map<const DeltaGraph*, std::shared_ptr<GraphDrain>> graphs;
     for (const QueuedPrefetch& q : drained) {
       const uint64_t key = Key(q.edge, q.components);
       Pending p;
@@ -130,29 +162,63 @@ void ExecFetchCache::DrainPrefetchBatch(size_t shard) {
       read.components = q.components;
       read.sizes = e.sizes;
       read.is_eventlist = q.is_eventlist;
-      reads[q.dg].push_back(read);
-      pendings[q.dg].push_back(std::move(p));
+      std::shared_ptr<GraphDrain>& gd = graphs[q.dg];
+      if (gd == nullptr) {
+        gd = std::make_shared<GraphDrain>();
+        gd->dg = q.dg;
+      }
+      gd->batch.push_back(read);
+      gd->pending.push_back(std::move(p));
     }
-    for (auto& [dg, batch] : reads) {
-      dg->delta_store().GetBatch(&batch);
-      auto& pending = pendings[dg];
-      for (size_t i = 0; i < batch.size(); ++i) {
-        DeltaStore::BatchedRead& r = batch[i];
-        Pending& p = pending[i];
-        if (p.is_eventlist) {
-          p.events_promise->set_value(r.status.ok()
-                                          ? Result<std::shared_ptr<const EventList>>(
-                                                std::move(r.events))
-                                          : Result<std::shared_ptr<const EventList>>(
-                                                r.status));
-          if (!r.status.ok()) ReleaseFailedSlot(&events_, p.key);
-        } else {
-          p.delta_promise->set_value(
-              r.status.ok()
-                  ? Result<std::shared_ptr<const Delta>>(std::move(r.delta))
-                  : Result<std::shared_ptr<const Delta>>(r.status));
-          if (!r.status.ok()) ReleaseFailedSlot(&deltas_, p.key);
+    // Fulfils one resolved entry: publish through the slot's future, drop the
+    // slot on failure so a later caller can retry.
+    auto fulfil = [this](DeltaStore::BatchedRead& r, auto& p) {
+      if (p.is_eventlist) {
+        p.events_promise->set_value(r.status.ok()
+                                        ? Result<std::shared_ptr<const EventList>>(
+                                              std::move(r.events))
+                                        : Result<std::shared_ptr<const EventList>>(
+                                              r.status));
+        if (!r.status.ok()) ReleaseFailedSlot(&events_, p.key);
+      } else {
+        p.delta_promise->set_value(
+            r.status.ok()
+                ? Result<std::shared_ptr<const Delta>>(std::move(r.delta))
+                : Result<std::shared_ptr<const Delta>>(r.status));
+        if (!r.status.ok()) ReleaseFailedSlot(&deltas_, p.key);
+      }
+    };
+    TaskPool* const decode_pool = decode_pool_;
+    const bool offload = decode_pool != nullptr && decode_pool->parallelism() >= 2;
+    for (auto& graph_entry : graphs) {
+      const std::shared_ptr<GraphDrain>& gd = graph_entry.second;
+      if (!offload) {
+        gd->dg->delta_store().GetBatch(&gd->batch);
+        for (size_t i = 0; i < gd->batch.size(); ++i) {
+          fulfil(gd->batch[i], gd->pending[i]);
         }
+        continue;
+      }
+      // Decode offload: only the byte fetch runs on this I/O thread; each
+      // fetched miss becomes one decode job on the compute pool. Every job
+      // registers as an in-flight prefetch, so WaitPrefetchesIdle (and the
+      // cache destructor) cannot return beneath it.
+      gd->dg->delta_store().FetchBatch(&gd->batch, &gd->fetched);
+      std::vector<char> deferred(gd->batch.size(), 0);
+      for (const DeltaStore::FetchedRead& f : gd->fetched) deferred[f.entry] = 1;
+      for (size_t i = 0; i < gd->batch.size(); ++i) {
+        if (!deferred[i]) fulfil(gd->batch[i], gd->pending[i]);  // Decoded-LRU hit.
+      }
+      for (size_t j = 0; j < gd->fetched.size(); ++j) {
+        BeginPrefetch();
+        std::shared_ptr<GraphDrain> state = gd;
+        decode_pool->Submit([this, state, j, fulfil] {
+          DeltaStore::FetchedRead& f = state->fetched[j];
+          state->dg->delta_store().DecodeFetched(&state->batch[f.entry], &f);
+          fulfil(state->batch[f.entry], state->pending[f.entry]);
+          std::lock_guard<std::mutex> lock(prefetch_mu_);
+          if (--prefetches_in_flight_ == 0) prefetch_cv_.notify_all();
+        });
       }
     }
   }
@@ -168,8 +234,24 @@ void ExecFetchCache::BeginPrefetch() {
 }
 
 void ExecFetchCache::WaitPrefetchesIdle() {
+  // A waiter that is itself a pool worker must help: with decode offload the
+  // outstanding "prefetches" may be decode jobs queued on this thread's own
+  // pool, parked behind this very frame.
+  TaskPool* helper = TaskPool::Current();
   std::unique_lock<std::mutex> lock(prefetch_mu_);
-  prefetch_cv_.wait(lock, [this] { return prefetches_in_flight_ == 0; });
+  if (helper == nullptr) {
+    prefetch_cv_.wait(lock, [this] { return prefetches_in_flight_ == 0; });
+    return;
+  }
+  while (prefetches_in_flight_ != 0) {
+    lock.unlock();
+    const bool ran = helper->RunOne();
+    lock.lock();
+    if (!ran) {
+      prefetch_cv_.wait_for(lock, std::chrono::microseconds(100),
+                            [this] { return prefetches_in_flight_ == 0; });
+    }
+  }
 }
 
 }  // namespace hgdb

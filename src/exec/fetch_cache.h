@@ -16,6 +16,7 @@
 namespace hgdb {
 
 class DeltaGraph;
+class TaskPool;
 
 /// \brief A thread-safe pin of decoded deltas/eventlists for one plan
 /// execution (or one RetrievalSession spanning several), with future-based
@@ -35,8 +36,12 @@ class DeltaGraph;
 /// *outside* the lock and fulfils the future; everyone else blocks on the
 /// future, so a fetch is performed at most once per cache no matter how many
 /// threads race on the same edge. Claimers run straight-line fetch/decode
-/// code and never wait on other tasks, so blocking on a claimed future cannot
-/// deadlock (the no-deadlock invariant of src/exec/README.md).
+/// code and never wait on other tasks. With a decode pool attached
+/// (SetDecodePool) a slot's fulfilment may instead sit in the compute pool's
+/// queue, so a waiter that is itself a pool worker *helps* — runs queued
+/// tasks between readiness checks — rather than parking behind work only it
+/// can start; that preserves the no-deadlock invariant of
+/// src/exec/README.md.
 class ExecFetchCache {
  public:
   /// Destruction waits for in-flight prefetch jobs (see BeginPrefetch), so
@@ -57,12 +62,22 @@ class ExecFetchCache {
   void EnqueuePrefetch(const DeltaGraph& dg, size_t shard, int32_t edge,
                        bool is_eventlist, unsigned components);
 
-  /// Drains everything queued for `shard` into one DeltaStore::GetBatch —
+  /// Drains everything queued for `shard` into one batched DeltaStore read —
   /// one storage round-trip per wakeup, however many deltas were queued while
   /// the shard was busy. Runs on an IoPool shard thread; a wakeup whose queue
   /// was already taken by an earlier drain is a no-op. Slots another claimer
-  /// already owns are skipped (single-flight; the owner fulfils them).
+  /// already owns are skipped (single-flight; the owner fulfils them). With a
+  /// decode pool attached, the I/O thread only fetches bytes
+  /// (DeltaStore::FetchBatch) and schedules one decode job per fetched miss
+  /// on the compute pool, so a seek-bound shard never serializes the
+  /// CPU-bound decode of many deltas.
   void DrainPrefetchBatch(size_t shard);
+
+  /// Attaches the compute pool that drains should offload decode to; nullptr
+  /// (default) or a pool of parallelism < 2 keeps decode inline on the I/O
+  /// thread. Set before any prefetch is scheduled (not thread-safe against
+  /// concurrent drains).
+  void SetDecodePool(TaskPool* pool) { decode_pool_ = pool; }
 
   /// Registers one scheduled drain job, keeping this cache (and the
   /// DeltaGraph the queued fetch references) pinned until the job runs.
@@ -121,6 +136,8 @@ class ExecFetchCache {
   std::mutex prefetch_mu_;
   std::condition_variable prefetch_cv_;
   size_t prefetches_in_flight_ = 0;
+
+  TaskPool* decode_pool_ = nullptr;  ///< Optional decode-offload target.
 };
 
 }  // namespace hgdb

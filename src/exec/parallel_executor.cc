@@ -27,7 +27,13 @@ ParallelPlanExecutor::ParallelPlanExecutor(const DeltaGraph* dg, unsigned compon
       components_(components),
       pool_(pool),
       io_pool_(io_pool),
-      fetches_(shared_cache != nullptr ? shared_cache : &own_cache_) {}
+      fetches_(shared_cache != nullptr ? shared_cache : &own_cache_) {
+  // Our own cache can offload blob decode to the compute pool (a shared
+  // cache's owner decides for itself); pointless without real parallelism.
+  if (shared_cache == nullptr && pool_ != nullptr && pool_->parallelism() >= 2) {
+    own_cache_.SetDecodePool(pool_);
+  }
+}
 
 Result<DeltaGraph::SnapshotPlanResults> ParallelPlanExecutor::Run(const Plan& plan) {
   TaskGroup group(pool_);

@@ -1,0 +1,113 @@
+#include "exec/partitioned_session.h"
+
+namespace hgdb {
+
+namespace {
+
+// Mirrors RetrievalSession's pool resolution, over the partitioned index:
+// honor an explicit pool, honor forced-serial, default to the shared pool.
+TaskPool* ResolvePartitionedPool(PartitionedDeltaGraph* pdg, TaskPool* pool) {
+  if (pool != nullptr) return pool;
+  if (pdg->task_pool() != nullptr) return pdg->task_pool();
+  return pdg->task_pool_overridden() ? &TaskPool::Serial() : &TaskPool::Shared();
+}
+
+}  // namespace
+
+PartitionedRetrievalSession::PartitionedRetrievalSession(PartitionedDeltaGraph* pdg,
+                                                         TaskPool* pool)
+    : pdg_(pdg), pool_(ResolvePartitionedPool(pdg, pool)), group_(pool_) {
+  caches_.reserve(pdg_->partition_count());
+  for (size_t i = 0; i < pdg_->partition_count(); ++i) {
+    caches_.push_back(std::make_unique<ExecFetchCache>());
+    if (pool_->parallelism() >= 2) caches_.back()->SetDecodePool(pool_);
+  }
+}
+
+PartitionedRetrievalSession::~PartitionedRetrievalSession() {
+  // Tasks in flight reference this session's plans and fetch caches; they
+  // must drain before members go away.
+  (void)Wait();
+}
+
+PartitionedRetrievalSession::Request* PartitionedRetrievalSession::Submit(
+    std::vector<Timestamp> times, unsigned components) {
+  requests_.push_back(std::make_unique<Request>());
+  Request* req = requests_.back().get();
+  req->times = std::move(times);
+  req->components = components;
+
+  const size_t n = pdg_->partition_count();
+  if (req->times.empty()) {
+    req->result = std::vector<Snapshot>();
+    return req;
+  }
+  req->plans.resize(n);
+  req->executors.resize(n);
+  req->fallbacks.resize(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    DeltaGraph* shard = pdg_->partition(i);
+    // An un-finalized (or empty) shard has no skeleton to plan over; replay
+    // it synchronously — its whole history is the in-memory recent list.
+    if (shard->skeleton().leaves().empty()) {
+      req->fallbacks[i] = shard->GetSnapshots(req->times, req->components);
+      continue;
+    }
+    auto plan = shard->PlanFor(req->times, req->components);
+    if (!plan.ok()) {
+      req->fallbacks[i] = plan.status();
+      continue;
+    }
+    req->plans[i] = std::move(plan).value();
+    // The executor prefetches into the shard's session-wide cache on the
+    // shard's own I/O lane; the cache's single-flight slots dedup fetches
+    // across requests.
+    req->executors[i] = std::make_unique<ParallelPlanExecutor>(
+        shard, req->components, pool_, caches_[i].get(), shard->ResolveIoPool());
+    req->executors[i]->Start(req->plans[i], &group_);
+  }
+  return req;
+}
+
+Status PartitionedRetrievalSession::Wait() {
+  group_.Wait();
+  Status first_error = Status::OK();
+  for (auto& req : requests_) {
+    if (req->executors.empty() && req->fallbacks.empty()) {
+      // Empty-times request (or already collected on a prior Wait).
+      continue;
+    }
+    std::vector<Snapshot> merged(req->times.size());
+    Status req_error = Status::OK();
+    for (size_t i = 0; i < req->executors.size(); ++i) {
+      Result<std::vector<Snapshot>> piece = Status::Internal("shard never ran");
+      if (req->executors[i] != nullptr) {
+        const Status s = req->executors[i]->TakeStatus();
+        piece = s.ok() ? req->executors[i]->TakeResults().TakeInOrder(req->times)
+                       : Result<std::vector<Snapshot>>(s);
+        req->executors[i].reset();  // Collected; Wait stays idempotent.
+      } else if (req->fallbacks[i].has_value()) {
+        piece = std::move(*req->fallbacks[i]);
+        req->fallbacks[i].reset();
+      } else {
+        continue;  // Already collected on a prior Wait.
+      }
+      if (!piece.ok()) {
+        if (req_error.ok()) req_error = piece.status();
+        continue;
+      }
+      for (size_t t = 0; t < merged.size(); ++t) {
+        merged[t].AbsorbDisjoint(std::move(piece.value()[t]));
+      }
+    }
+    req->executors.clear();
+    req->fallbacks.clear();
+    req->result = req_error.ok() ? Result<std::vector<Snapshot>>(std::move(merged))
+                                 : Result<std::vector<Snapshot>>(req_error);
+    if (first_error.ok() && !req->result.ok()) first_error = req->result.status();
+  }
+  return first_error;
+}
+
+}  // namespace hgdb

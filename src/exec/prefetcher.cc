@@ -53,10 +53,17 @@ void StartCollectedPrefetch(const DeltaGraph& dg, const std::vector<PlanFetch>& 
   // queue into one DeltaStore::GetBatch (one storage round-trip per *batch*):
   // all the fetches that pile up while a shard sleeps through a simulated
   // seek coalesce into the next round-trip instead of paying one each.
+  // A graph pinned to an I/O lane (SetIoLane: one lane per partition of a
+  // PartitionedDeltaGraph) sends all its fetches there, so distinct
+  // partitions drain on distinct I/O threads and their pipelines overlap;
+  // otherwise fetches spread across shards by delta id.
   const auto shards = static_cast<uint64_t>(io->parallelism());
+  const int lane = dg.io_lane();
   for (const PlanFetch& fetch : fetches) {
     const DeltaId delta_id = dg.skeleton().edge(fetch.edge).delta_id;
-    const size_t shard = static_cast<size_t>(delta_id % shards);
+    const size_t shard = lane >= 0
+                             ? static_cast<size_t>(lane) % shards
+                             : static_cast<size_t>(delta_id % shards);
     cache->BeginPrefetch();
     cache->EnqueuePrefetch(dg, shard, fetch.edge, fetch.is_eventlist, components);
     io->Submit(shard, [cache, shard] { cache->DrainPrefetchBatch(shard); });

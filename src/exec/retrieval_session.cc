@@ -17,7 +17,9 @@ TaskPool* ResolveSessionPool(DeltaGraph* dg, TaskPool* pool) {
 }  // namespace
 
 RetrievalSession::RetrievalSession(DeltaGraph* dg, TaskPool* pool)
-    : dg_(dg), pool_(ResolveSessionPool(dg, pool)), group_(pool_) {}
+    : dg_(dg), pool_(ResolveSessionPool(dg, pool)), group_(pool_) {
+  if (pool_->parallelism() >= 2) fetches_.SetDecodePool(pool_);
+}
 
 RetrievalSession::~RetrievalSession() {
   // Tasks in flight reference this session's plans and fetch cache; they must

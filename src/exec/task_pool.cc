@@ -56,6 +56,8 @@ TaskPool& TaskPool::Serial() {
   return *pool;
 }
 
+TaskPool* TaskPool::Current() { return tls_worker.pool; }
+
 void TaskPool::Submit(std::function<void()> fn) {
   if (workers_.empty()) {
     fn();  // No workers: degenerate inline execution.

@@ -46,6 +46,13 @@ class TaskPool {
   /// inline). For callers that need *a* pool but must stay single-threaded.
   static TaskPool& Serial();
 
+  /// The pool the calling thread is a worker of, or nullptr. Code that must
+  /// block on a result produced by a pool task (e.g. the fetch cache waiting
+  /// on an offloaded decode) uses this to *help* — run queued tasks while
+  /// waiting — instead of parking a worker behind the very queue that holds
+  /// the task it waits on.
+  static TaskPool* Current();
+
   /// Pool parallelism including the helping caller (the constructor arg).
   int parallelism() const { return parallelism_; }
 

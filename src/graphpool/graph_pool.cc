@@ -231,8 +231,7 @@ void GraphPool::ClearRecentlyDeleted() {
 // Overlays
 // ---------------------------------------------------------------------------
 
-Result<PoolGraphId> GraphPool::OverlayHistorical(const Snapshot& g) {
-  const PoolGraphId id = AllocateSlot(SlotInfo::Kind::kHistorical, 2, -1);
+void GraphPool::OverlayIntoSlot(PoolGraphId id, const Snapshot& g) {
   for (NodeId n : g.nodes()) SetMembership(&EnsureNode(n)->bm, id, true);
   for (const auto& [e, rec] : g.edges()) {
     SetMembership(&EnsureEdge(e, rec)->bm, id, true);
@@ -250,6 +249,21 @@ Result<PoolGraphId> GraphPool::OverlayHistorical(const Snapshot& g) {
       SetAttrValue(&it->second.attrs, k, v, id);
     }
   }
+}
+
+Result<PoolGraphId> GraphPool::OverlayHistorical(const Snapshot& g) {
+  const PoolGraphId id = AllocateSlot(SlotInfo::Kind::kHistorical, 2, -1);
+  OverlayIntoSlot(id, g);
+  return id;
+}
+
+Result<PoolGraphId> GraphPool::OverlayHistoricalParts(
+    const std::vector<Snapshot>& parts) {
+  const PoolGraphId id = AllocateSlot(SlotInfo::Kind::kHistorical, 2, -1);
+  // One slot, many disjoint pieces: each piece's elements are marked under
+  // the same bit pair, so the overlaid graph is the union of the pieces —
+  // the merged snapshot — without ever materializing that merge.
+  for (const Snapshot& part : parts) OverlayIntoSlot(id, part);
   return id;
 }
 

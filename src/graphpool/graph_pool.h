@@ -67,6 +67,13 @@ class GraphPool {
   /// Overlays an independent historical snapshot; returns its pool id.
   Result<PoolGraphId> OverlayHistorical(const Snapshot& g);
 
+  /// Overlays one historical graph supplied as disjoint per-shard pieces (a
+  /// PartitionedDeltaGraph's GetSnapshotParts output) under a *single* pool
+  /// id, without first merging the pieces into one Snapshot. Pieces must be
+  /// element-disjoint; each piece's edge attributes must reference edges of
+  /// the same piece (shard routing co-locates an edge with its attributes).
+  Result<PoolGraphId> OverlayHistoricalParts(const std::vector<Snapshot>& parts);
+
   /// Overlays a historical snapshot as `base` plus `diff` (the dependent-
   /// graph optimization): only elements in the diff are touched.
   /// `diff` must satisfy: base-graph-membership + diff = overlaid graph.
@@ -161,6 +168,8 @@ class GraphPool {
 
   NodeEntry* EnsureNode(NodeId n);
   EdgeEntry* EnsureEdge(EdgeId e, const EdgeRecord& rec);
+  /// Marks every element of `g` as a member of the (historical) slot `id`.
+  void OverlayIntoSlot(PoolGraphId id, const Snapshot& g);
   void SetAttrValue(PoolAttrs* attrs, AttrId key, AttrId value, PoolGraphId id);
   /// The value id of `key` in graph `id`, or kInvalidAttrId.
   AttrId FindAttrValue(const PoolAttrs& attrs, AttrId key, PoolGraphId id) const;

@@ -105,6 +105,16 @@ class KVStore {
 /// Creates a purely in-memory store (used in tests and as a fast backend).
 std::unique_ptr<KVStore> NewMemKVStore(const KVStoreOptions& options = {});
 
+/// A view of `base` that prepends `prefix` to every key, giving callers a
+/// private namespace inside a shared store. The partitioned index uses one
+/// wrapper per shard ("s0/", "s1/", ...) so N shard engines can share a
+/// single physical store while keeping disjoint key spaces. MultiGet
+/// forwards to the base store as one batch, so the batched-seek accounting
+/// of simulated-disk stores is preserved. KeyCount/ForEachKey see only the
+/// namespace; ValueBytes reports the shared substrate's total (per-prefix
+/// value attribution is not tracked). `base` must outlive the wrapper.
+std::unique_ptr<KVStore> NewPrefixKVStore(KVStore* base, std::string prefix);
+
 /// Opens (creating if absent) a disk-backed store rooted at `path`, an
 /// append-only log with an in-memory index that is rebuilt on open.
 Status OpenDiskKVStore(const std::string& path, const KVStoreOptions& options,

@@ -1,0 +1,100 @@
+// Key-prefixing KVStore wrapper: a private namespace inside a shared store.
+//
+// Every key is rewritten to `prefix + key` on the way in and stripped on the
+// way out (ForEachKey). The wrapper holds no state beyond the prefix, so it
+// is as thread-safe as the base store. Batch reads are forwarded as a single
+// base MultiGet: a simulated-disk base store charges one seek for the whole
+// batch, exactly as it would for an unwrapped caller — this matters because
+// each partition of a PartitionedDeltaGraph drains its prefetch batches
+// through one of these wrappers.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kvstore/kv_store.h"
+
+namespace hgdb {
+namespace {
+
+class PrefixKVStore : public KVStore {
+ public:
+  PrefixKVStore(KVStore* base, std::string prefix)
+      : base_(base), prefix_(std::move(prefix)) {}
+
+  Status Put(const Slice& key, const Slice& value) override {
+    return base_->Put(Prefixed(key), value);
+  }
+
+  Status Get(const Slice& key, std::string* value) const override {
+    return base_->Get(Prefixed(key), value);
+  }
+
+  Status Delete(const Slice& key) override { return base_->Delete(Prefixed(key)); }
+
+  Status Write(const WriteBatch& batch) override {
+    WriteBatch prefixed;
+    for (const WriteBatch::Op& op : batch.ops()) {
+      if (op.type == WriteBatch::OpType::kPut) {
+        prefixed.Put(prefix_ + op.key, op.value);
+      } else {
+        prefixed.Delete(prefix_ + op.key);
+      }
+    }
+    return base_->Write(prefixed);
+  }
+
+  void MultiGet(const std::vector<Slice>& keys, std::vector<std::string>* values,
+                std::vector<Status>* statuses) const override {
+    // Prefixed copies must outlive the base call; one vector owns them.
+    std::vector<std::string> owned;
+    owned.reserve(keys.size());
+    std::vector<Slice> prefixed;
+    prefixed.reserve(keys.size());
+    for (const Slice& key : keys) {
+      owned.push_back(Prefixed(key));
+      prefixed.emplace_back(owned.back());
+    }
+    base_->MultiGet(prefixed, values, statuses);
+  }
+
+  bool Contains(const Slice& key) const override {
+    return base_->Contains(Prefixed(key));
+  }
+
+  void ForEachKey(const Slice& prefix,
+                  const std::function<void(const Slice&)>& fn) const override {
+    base_->ForEachKey(prefix_ + prefix.ToString(), [this, &fn](const Slice& key) {
+      fn(Slice(key.data() + prefix_.size(), key.size() - prefix_.size()));
+    });
+  }
+
+  size_t KeyCount() const override {
+    // The base store cannot count per-namespace; walk the prefix (O(keys)).
+    size_t count = 0;
+    ForEachKey(Slice(), [&count](const Slice&) { ++count; });
+    return count;
+  }
+
+  size_t ValueBytes() const override {
+    // Shared-substrate total; see NewPrefixKVStore's contract.
+    return base_->ValueBytes();
+  }
+
+  Status Sync() override { return base_->Sync(); }
+
+ private:
+  std::string Prefixed(const Slice& key) const { return prefix_ + key.ToString(); }
+
+  KVStore* const base_;
+  const std::string prefix_;
+};
+
+}  // namespace
+
+std::unique_ptr<KVStore> NewPrefixKVStore(KVStore* base, std::string prefix) {
+  return std::make_unique<PrefixKVStore>(base, std::move(prefix));
+}
+
+}  // namespace hgdb

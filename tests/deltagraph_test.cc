@@ -904,7 +904,7 @@ TEST_P(PartitionedTest, MergedRetrievalMatchesUnpartitioned) {
   const Timestamp t_max = trace.events.back().time;
   for (int i = 1; i <= 6; ++i) {
     const Timestamp t = t_max * i / 6;
-    auto snap = pdg.value()->GetSnapshot(t, kCompAll, P);
+    auto snap = pdg.value()->GetSnapshot(t, kCompAll);
     ASSERT_TRUE(snap.ok()) << snap.status().ToString();
     Snapshot expected = ReplayAt(trace.events, t);
     EXPECT_TRUE(snap.value().Equals(expected))
@@ -942,7 +942,7 @@ TEST(PartitionedMultipointTest, MatchesReplayAtEveryTime) {
   const Timestamp t_max = trace.events.back().time;
   std::vector<Timestamp> times;
   for (int i = 1; i <= 5; ++i) times.push_back(t_max * i / 6);
-  auto snaps = pdg.value()->GetSnapshots(times, kCompAll, 3);
+  auto snaps = pdg.value()->GetSnapshots(times, kCompAll);
   ASSERT_TRUE(snaps.ok()) << snaps.status().ToString();
   ASSERT_EQ(snaps.value().size(), times.size());
   for (size_t i = 0; i < times.size(); ++i) {

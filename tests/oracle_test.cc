@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "deltagraph/delta_graph.h"
+#include "deltagraph/partitioned_delta_graph.h"
 #include "exec/io_pool.h"
 #include "exec/task_pool.h"
 #include "kvstore/kv_store.h"
@@ -143,6 +144,83 @@ TEST(ReplayOracleTest, AllRetrievalPathsMatchNaiveReplay) {
                               << times[i] << " components=" << components;
         EXPECT_TRUE(oracles.at(times[i]).Matches(got.value()))
             << "singlepoint t=" << times[i] << " components=" << components;
+      }
+    }
+  }
+}
+
+// The sharded index under the same harness: the identical randomized
+// workloads are split across shard counts {1, 2, 4} by chunk-aligned hash
+// routing, ingested in parallel, and every retrieval mode — serial and
+// parallel shard execution, prefetch on and off — must be element-identical
+// to the single-log naive replay. Partitioning must be invisible in the
+// result.
+TEST(ReplayOracleTest, PartitionedRetrievalMatchesNaiveReplay) {
+  TaskPool pool(4);
+  IoPool io(2);
+  TaskPool* const pools[] = {nullptr, &pool};
+  IoPool* const ios[] = {nullptr, &io};
+
+  for (uint64_t seed : test::PropertySeeds(12, 6200)) {
+    test::SeededRng rng(seed);
+    SCOPED_TRACE(rng.Desc());
+
+    RandomTraceOptions topts;
+    topts.num_events = 400 + rng.Uniform(800);
+    topts.seed = rng.seed() * 977 + 13;
+    topts.p_same_time = 0.10 + rng.NextDouble() * 0.35;
+    topts.p_del_edge = 0.06 + rng.NextDouble() * 0.14;
+    topts.p_del_node = rng.NextDouble() * 0.05;
+    topts.p_node_attr = 0.10 + rng.NextDouble() * 0.20;
+    topts.p_edge_attr = 0.05 + rng.NextDouble() * 0.15;
+    GeneratedTrace trace = GenerateRandomTrace(topts);
+
+    std::vector<Timestamp> times = test::RandomTimes(rng, trace.events, 5);
+    times.push_back(trace.events[rng.Uniform(trace.events.size())].time);
+    std::map<Timestamp, test::NaiveReplayOracle> oracles;
+    for (Timestamp t : times) {
+      if (oracles.count(t) == 0) {
+        oracles.emplace(t,
+                        test::NaiveReplayOracle::At(trace.events, t, kCompAll));
+      }
+    }
+
+    for (size_t shards : {1, 2, 4}) {
+      std::vector<std::unique_ptr<KVStore>> stores;
+      std::vector<KVStore*> ptrs;
+      for (size_t i = 0; i < shards; ++i) {
+        stores.push_back(NewMemKVStore());
+        ptrs.push_back(stores.back().get());
+      }
+      DeltaGraphOptions opts;
+      opts.leaf_size = 40 + rng.Uniform(120);
+      opts.arity = 2 + static_cast<int>(rng.Uniform(3));
+      const char* kFunctions[] = {"intersection", "union", "balanced"};
+      opts.functions = {kFunctions[rng.Uniform(3)]};
+      auto pdg = PartitionedDeltaGraph::Create(ptrs, opts);
+      ASSERT_TRUE(pdg.ok());
+      pdg.value()->SetTaskPool(&pool);  // Parallel per-shard ingest.
+      ASSERT_TRUE(pdg.value()->AppendAll(trace.events).ok());
+      if (rng.Chance(0.8)) {  // Sometimes answer from recent eventlists only.
+        ASSERT_TRUE(pdg.value()->Finalize().ok());
+      }
+      if (rng.Chance(0.3)) pdg.value()->SetDecodedCacheCapacity(0);
+
+      for (TaskPool* p : pools) {
+        for (IoPool* iop : ios) {
+          pdg.value()->SetTaskPool(p);
+          pdg.value()->SetIoPool(iop);
+          SCOPED_TRACE("shards=" + std::to_string(shards) +
+                       " parallel=" + std::to_string(p != nullptr) +
+                       " prefetch=" + std::to_string(iop != nullptr));
+          auto got = pdg.value()->GetSnapshots(times);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ASSERT_EQ(got.value().size(), times.size());
+          for (size_t i = 0; i < times.size(); ++i) {
+            EXPECT_TRUE(oracles.at(times[i]).Matches(got.value()[i]))
+                << "t=" << times[i];
+          }
+        }
       }
     }
   }
