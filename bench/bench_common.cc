@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "workload/trace_world.h"
 
 namespace hgdb {
@@ -218,6 +219,10 @@ void OpenReport(const std::string& bench_name) {
   g_report->name = bench_name;
   g_report->rows.clear();
   g_report->written = false;
+  // Benches record metrics by default (HISTGRAPH_METRICS=0 opts out), so
+  // every BENCH_*.json carries the registry snapshot of the whole run — CI
+  // asserts the block is present.
+  obs::SetMetricsEnabled(GetEnvInt("HISTGRAPH_METRICS", 1) != 0);
 }
 
 void ReportResult(const std::string& op, double wall_ns, uint64_t bytes) {
@@ -244,7 +249,11 @@ void WriteReport() {
                  JsonEscape(r.op).c_str(), r.wall_ns, r.bytes,
                  i + 1 < g_report->rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // The whole run's metrics registry (counters/gauges/histograms + exports),
+  // embedded verbatim so perf tooling can read hit rates and batch widths
+  // next to the wall times.
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+               obs::MetricsRegistry::Global().ToJSON().c_str());
   std::fclose(f);
   std::printf("\n[bench report: %s]\n", path.c_str());
 }

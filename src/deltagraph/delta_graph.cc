@@ -6,6 +6,7 @@
 
 #include "codec/format.h"
 #include "common/coding.h"
+#include "obs/metrics.h"
 
 namespace hgdb {
 
@@ -185,6 +186,7 @@ Status DeltaGraph::SetInitialSnapshot(const Snapshot& g0, Timestamp t0) {
   current_ = g0;
   min_time_ = t0;
   max_time_ = t0;
+  initial_elements_ = static_cast<double>(g0.ElementCount());
   has_initial_leaf_ = true;
   for (auto* hook : aux_hooks_) {
     HG_RETURN_NOT_OK(hook->BuildOnInitialSnapshot(g0));
@@ -236,6 +238,12 @@ Status DeltaGraph::Append(const Event& e) {
   min_time_ = std::min(min_time_, e.time);
   max_time_ = std::max(max_time_, e.time);
   ++event_count_;
+  // Running (δ*, ρ*) inputs for the online cost model (see insert_events()).
+  if (e.type == EventType::kAddNode || e.type == EventType::kAddEdge) {
+    ++insert_events_;
+  } else if (e.type == EventType::kDeleteNode || e.type == EventType::kDeleteEdge) {
+    ++delete_events_;
+  }
   for (auto* hook : aux_hooks_) {
     HG_RETURN_NOT_OK(hook->BuildOnEvent(e, current_));
   }
@@ -575,6 +583,36 @@ DeltaGraphStats DeltaGraph::Stats() const {
     stats.materialized_bytes += snap->MemoryBytes();
   }
   return stats;
+}
+
+void DeltaGraph::RegisterMetricsExports(const std::string& name) {
+  auto& registry = obs::MetricsRegistry::Global();
+  if (!metrics_export_name_.empty()) {
+    registry.UnregisterProvider(metrics_export_name_);
+  }
+  metrics_export_name_ = "deltagraph." + name;
+  registry.RegisterProvider(metrics_export_name_, [this]() {
+    const DeltaGraphStats s = Stats();
+    std::ostringstream out;
+    out << "{\"stats\":{"
+        << "\"leaf_count\":" << s.leaf_count
+        << ",\"node_count\":" << s.node_count
+        << ",\"edge_count\":" << s.edge_count
+        << ",\"height\":" << s.height
+        << ",\"delta_bytes\":" << s.delta_bytes
+        << ",\"eventlist_bytes\":" << s.eventlist_bytes
+        << ",\"store_bytes\":" << s.store_bytes
+        << ",\"materialized_bytes\":" << s.materialized_bytes
+        << ",\"materialized_nodes\":" << s.materialized_nodes
+        << "},\"fetch_freq_top\":" << store_.fetch_frequency().TopKJSON(16) << "}";
+    return out.str();
+  });
+}
+
+DeltaGraph::~DeltaGraph() {
+  if (!metrics_export_name_.empty()) {
+    obs::MetricsRegistry::Global().UnregisterProvider(metrics_export_name_);
+  }
 }
 
 }  // namespace hgdb

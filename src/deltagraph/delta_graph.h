@@ -19,6 +19,7 @@
 #include "graph/delta.h"
 #include "graph/snapshot.h"
 #include "kvstore/kv_store.h"
+#include "obs/trace.h"
 #include "temporal/event.h"
 #include "temporal/event_list.h"
 
@@ -147,6 +148,12 @@ class DeltaGraph {
   Result<std::vector<Snapshot>> GetSnapshots(const std::vector<Timestamp>& times,
                                              unsigned components = kCompAll);
 
+  /// GetSnapshots under an externally owned trace: plan/execute spans and all
+  /// fetch attribution land under `tc`. The no-trace form above allocates its
+  /// own trace when `obs::TraceEnabled()` and dumps it per HISTGRAPH_TRACE.
+  Result<std::vector<Snapshot>> GetSnapshots(const std::vector<Timestamp>& times,
+                                             unsigned components, obs::TraceCtx tc);
+
   /// Snapshots produced by one plan execution, keyed by emit target.
   struct SnapshotPlanResults {
     std::map<Timestamp, Snapshot> by_time;
@@ -172,7 +179,8 @@ class DeltaGraph {
   /// index uses this to run per-shard plans serially behind one up-front
   /// cross-shard prefetch; with `pinned` null it is a plain serial execute.
   Result<SnapshotPlanResults> ExecutePlanPinned(const Plan& plan, unsigned components,
-                                                ExecFetchCache* pinned) const;
+                                                ExecFetchCache* pinned,
+                                                obs::TraceCtx tc = {}) const;
 
   /// Collects all events with ts <= time < te, including transient events if
   /// requested (backs GetHistGraphInterval).
@@ -200,7 +208,22 @@ class DeltaGraph {
   Timestamp min_time() const { return min_time_; }
   Timestamp max_time() const { return max_time_; }
   size_t event_count() const { return event_count_; }
+  /// Insert/delete event tallies — feed `EstimateDynamics` (src/analysis/
+  /// models.h) so the paper's cost model can run online, next to real plans.
+  size_t insert_events() const { return insert_events_; }
+  size_t delete_events() const { return delete_events_; }
+  /// |G0| in elements (0 without an initial snapshot).
+  double initial_elements() const { return initial_elements_; }
   DeltaGraphStats Stats() const;
+
+  /// Registers this graph's index-shape stats and per-delta fetch-frequency
+  /// top-k under `"deltagraph.<name>"` in the metrics registry's "exports"
+  /// block (MetricsRegistry::ToJSON). Re-registering under a new name moves
+  /// the export; the registration is removed when the graph dies. The graph
+  /// must outlive any concurrent ToJSON call.
+  void RegisterMetricsExports(const std::string& name);
+
+  ~DeltaGraph();  ///< Unregisters any metrics export.
   const Snapshot* materialized_snapshot(int32_t node_id) const;
 
   /// The decoded-payload store (read-only access for the execution layer;
@@ -277,7 +300,8 @@ class DeltaGraph {
   };
 
   Result<SnapshotPlanResults> ExecuteSnapshotPlan(const Plan& plan,
-                                                  unsigned components) const;
+                                                  unsigned components,
+                                                  obs::TraceCtx tc = {}) const;
   Status WalkPlanNode(const PlanNode& node, PlanVisitor* visitor, bool is_tail) const;
   Status ApplyPlanStep(const PlanStep& step, PlanVisitor* visitor, bool undo) const;
 
@@ -304,6 +328,9 @@ class DeltaGraph {
   Timestamp min_time_ = kMaxTimestamp;
   Timestamp max_time_ = kMinTimestamp;
   size_t event_count_ = 0;
+  size_t insert_events_ = 0;   ///< kAddNode/kAddEdge appended so far.
+  size_t delete_events_ = 0;   ///< kDeleteNode/kDeleteEdge appended so far.
+  double initial_elements_ = 0;  ///< |G0| at SetInitialSnapshot.
   bool has_initial_leaf_ = false;
 
   /// pending_[h][l] = nodes at level l+1 awaiting a parent in hierarchy h.
@@ -320,6 +347,8 @@ class DeltaGraph {
   int io_lane_ = -1;               ///< Fixed prefetch lane (see SetIoLane).
 
   std::vector<AuxIndexHook*> aux_hooks_;
+
+  std::string metrics_export_name_;  ///< Non-empty after RegisterMetricsExports.
 
   friend class SnapshotPlanVisitor;
 };

@@ -1,5 +1,8 @@
 #include "deltagraph/delta_store.h"
 
+#include <algorithm>
+#include <sstream>
+
 namespace hgdb {
 
 namespace {
@@ -9,7 +12,98 @@ constexpr ComponentMask kComponentByIndex[kNumComponents] = {
 
 constexpr char kComponentTag[kNumComponents] = {'s', 'n', 'e', 't'};
 
+// Registry metrics (process-wide; every DeltaStore instance folds in). The
+// pointers are fetched once — GetCounter takes the registry lock — and the
+// per-event cost is Counter::Add's enabled-check + relaxed add.
+obs::Counter& LruHits() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("delta_store.lru_hits");
+  return *c;
+}
+obs::Counter& LruMisses() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("delta_store.lru_misses");
+  return *c;
+}
+obs::Counter& MultiGets() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("delta_store.multigets");
+  return *c;
+}
+obs::Counter& KeysRead() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("delta_store.keys_read");
+  return *c;
+}
+obs::Counter& BytesRead() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("delta_store.bytes_read");
+  return *c;
+}
+obs::Counter& Decodes() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("delta_store.decodes");
+  return *c;
+}
+
 }  // namespace
+
+// -- FetchFrequency ----------------------------------------------------------
+
+void FetchFrequency::EnsureSize(size_t n) {
+  if (n <= size_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  const size_t old_n = size_.load(std::memory_order_acquire);
+  if (n <= old_n) return;
+  size_t cap = std::max<size_t>(1024, old_n * 2);
+  while (cap < n) cap *= 2;
+  auto fresh = std::make_unique<std::atomic<uint32_t>[]>(cap);
+  std::atomic<uint32_t>* old = slots_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < old_n; ++i) {
+    fresh[i].store(old[i].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  for (size_t i = old_n; i < cap; ++i) {
+    fresh[i].store(0, std::memory_order_relaxed);
+  }
+  slots_.store(fresh.get(), std::memory_order_release);
+  size_.store(cap, std::memory_order_release);
+  arenas_.push_back(std::move(fresh));  // Old arenas stay alive (see header).
+}
+
+uint32_t FetchFrequency::Count(DeltaId id) const {
+  const size_t n = size_.load(std::memory_order_acquire);
+  if (id >= n) return 0;
+  return slots_.load(std::memory_order_acquire)[id].load(
+      std::memory_order_relaxed);
+}
+
+void FetchFrequency::Reset() {
+  const size_t n = size_.load(std::memory_order_acquire);
+  std::atomic<uint32_t>* slots = slots_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) slots[i].store(0, std::memory_order_relaxed);
+}
+
+std::string FetchFrequency::TopKJSON(size_t k) const {
+  const size_t n = size_.load(std::memory_order_acquire);
+  std::atomic<uint32_t>* slots = slots_.load(std::memory_order_acquire);
+  std::vector<std::pair<uint32_t, size_t>> hot;  // (count, id)
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t c = slots[i].load(std::memory_order_relaxed);
+    if (c > 0) hot.emplace_back(c, i);
+  }
+  const size_t keep = std::min(k, hot.size());
+  std::partial_sort(hot.begin(), hot.begin() + keep, hot.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < keep; ++i) {
+    if (i > 0) out << ",";
+    out << "{\"id\":" << hot[i].second << ",\"fetches\":" << hot[i].first << "}";
+  }
+  out << "]";
+  return out.str();
+}
 
 std::string DeltaStore::Key(DeltaId id, int component_index) {
   std::string key = "d/";
@@ -26,10 +120,12 @@ std::shared_ptr<const Delta> DeltaStore::CacheLookupDelta(uint64_t key) const {
   auto it = cache_index_.find(key);
   if (it == cache_index_.end()) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    LruMisses().Add();
     return nullptr;
   }
   it->second->hot.store(true, std::memory_order_relaxed);
   cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  LruHits().Add();
   return it->second->delta;
 }
 
@@ -38,10 +134,12 @@ std::shared_ptr<const EventList> DeltaStore::CacheLookupEvents(uint64_t key) con
   auto it = cache_index_.find(key);
   if (it == cache_index_.end()) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    LruMisses().Add();
     return nullptr;
   }
   it->second->hot.store(true, std::memory_order_relaxed);
   cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  LruHits().Add();
   return it->second->events;
 }
 
@@ -131,9 +229,14 @@ Status DeltaStore::GetDelta(DeltaId id, unsigned components,
 }
 
 Result<std::shared_ptr<const Delta>> DeltaStore::GetDeltaShared(
-    DeltaId id, unsigned components, const ComponentSizes& sizes) const {
+    DeltaId id, unsigned components, const ComponentSizes& sizes,
+    ReadStats* rs) const {
+  fetch_freq_.Record(id);
   const uint64_t key = CacheKey(id, components, /*is_delta=*/true);
-  if (auto hit = CacheLookupDelta(key)) return hit;
+  if (auto hit = CacheLookupDelta(key)) {
+    if (rs != nullptr) rs->cache_hit = true;
+    return hit;
+  }
   // All requested components in one MultiGet: one storage round-trip per
   // delta instead of one per component.
   std::vector<std::string> keys;
@@ -150,6 +253,16 @@ Result<std::shared_ptr<const Delta>> DeltaStore::GetDeltaShared(
   std::vector<std::string> blobs;
   std::vector<Status> statuses;
   store_->MultiGet(key_slices, &blobs, &statuses);
+  MultiGets().Add();
+  KeysRead().Add(keys.size());
+  Decodes().Add();
+  uint64_t bytes = 0;
+  for (const std::string& b : blobs) bytes += b.size();
+  BytesRead().Add(bytes);
+  if (rs != nullptr) {
+    rs->kv_keys = static_cast<uint32_t>(keys.size());
+    rs->bytes = bytes;
+  }
   for (size_t i = 0; i < keys.size(); ++i) {
     HG_RETURN_NOT_OK(statuses[i]);
     HG_RETURN_NOT_OK(decoded->DecodeComponent(masks[i], blobs[i]));
@@ -185,9 +298,14 @@ Status DeltaStore::GetEventList(DeltaId id, unsigned components,
 }
 
 Result<std::shared_ptr<const EventList>> DeltaStore::GetEventListShared(
-    DeltaId id, unsigned components, const ComponentSizes& sizes) const {
+    DeltaId id, unsigned components, const ComponentSizes& sizes,
+    ReadStats* rs) const {
+  fetch_freq_.Record(id);
   const uint64_t key = CacheKey(id, components, /*is_delta=*/false);
-  if (auto hit = CacheLookupEvents(key)) return hit;
+  if (auto hit = CacheLookupEvents(key)) {
+    if (rs != nullptr) rs->cache_hit = true;
+    return hit;
+  }
   std::vector<std::string> keys;
   for (int c = 0; c < kNumComponents; ++c) {
     const ComponentMask mask = kComponentByIndex[c];
@@ -200,6 +318,16 @@ Result<std::shared_ptr<const EventList>> DeltaStore::GetEventListShared(
   std::vector<std::string> blobs;
   std::vector<Status> statuses;
   store_->MultiGet(key_slices, &blobs, &statuses);
+  MultiGets().Add();
+  KeysRead().Add(keys.size());
+  Decodes().Add();
+  uint64_t bytes = 0;
+  for (const std::string& b : blobs) bytes += b.size();
+  BytesRead().Add(bytes);
+  if (rs != nullptr) {
+    rs->kv_keys = static_cast<uint32_t>(keys.size());
+    rs->bytes = bytes;
+  }
   for (size_t i = 0; i < keys.size(); ++i) {
     HG_RETURN_NOT_OK(statuses[i]);
     HG_RETURN_NOT_OK(decoded->DecodeAndMergeComponent(blobs[i]));
@@ -222,17 +350,20 @@ void DeltaStore::FetchBatch(std::vector<BatchedRead>* batch,
   std::vector<KeyPart> parts;
   for (size_t i = 0; i < batch->size(); ++i) {
     BatchedRead& r = (*batch)[i];
+    fetch_freq_.Record(r.id);
     const uint64_t cache_key = CacheKey(r.id, r.components, !r.is_eventlist);
     if (r.is_eventlist) {
       if (auto hit = CacheLookupEvents(cache_key)) {
         r.events = std::move(hit);
         r.status = Status::OK();
+        r.lru_hit = true;
         continue;
       }
     } else {
       if (auto hit = CacheLookupDelta(cache_key)) {
         r.delta = std::move(hit);
         r.status = Status::OK();
+        r.lru_hit = true;
         continue;
       }
     }
@@ -258,6 +389,11 @@ void DeltaStore::FetchBatch(std::vector<BatchedRead>* batch,
     store_->MultiGet(key_slices, &blobs, &statuses);
     batched_multigets_.fetch_add(1, std::memory_order_relaxed);
     batched_reads_.fetch_add(fetched->size(), std::memory_order_relaxed);
+    MultiGets().Add();
+    KeysRead().Add(keys.size());
+    uint64_t bytes = 0;
+    for (const std::string& b : blobs) bytes += b.size();
+    BytesRead().Add(bytes);
   }
   for (size_t k = 0; k < parts.size(); ++k) {
     FetchedRead& f = (*fetched)[parts[k].fetched_index];
@@ -274,6 +410,7 @@ void DeltaStore::FetchBatch(std::vector<BatchedRead>* batch,
 void DeltaStore::DecodeFetched(BatchedRead* read, FetchedRead* fetched) const {
   read->status = fetched->status;
   if (!read->status.ok()) return;
+  Decodes().Add();
   if (read->is_eventlist) {
     auto decoded = std::make_shared<EventList>();
     for (auto& [mask, blob] : fetched->blobs) {

@@ -17,9 +17,51 @@
 #include "deltagraph/skeleton.h"
 #include "graph/delta.h"
 #include "kvstore/kv_store.h"
+#include "obs/metrics.h"
 #include "temporal/event_list.h"
 
 namespace hgdb {
+
+/// \brief Per-payload fetch-frequency counters, indexed by delta id — the
+/// access-frequency signal adaptive materialization (ROADMAP item 3) scores
+/// candidates with. One relaxed atomic add per recorded fetch (LRU hits
+/// count too: a hit is still traffic on that skeleton edge), gated on
+/// `obs::MetricsEnabled()`.
+///
+/// Storage is a grow-only flat array of atomics. Growth (EnsureSize) happens
+/// on the build path (AllocateId/SetNextId) under a mutex; retired arrays are
+/// kept alive so a concurrent Record through a stale pointer stays safe.
+/// Increments racing a grow can be dropped — the index contract already
+/// forbids mutating an index mid-retrieval, and frequency estimates tolerate
+/// off-by-a-few.
+class FetchFrequency {
+ public:
+  void Record(DeltaId id) {
+    if (!obs::MetricsEnabled()) return;
+    const size_t n = size_.load(std::memory_order_acquire);
+    if (id >= n) return;
+    std::atomic<uint32_t>* slots = slots_.load(std::memory_order_acquire);
+    slots[id].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Grows to at least `n` slots (geometric, so repeated AllocateId is O(1)
+  /// amortized). Existing counts carry over.
+  void EnsureSize(size_t n);
+
+  uint32_t Count(DeltaId id) const;
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  void Reset();
+
+  /// The `k` hottest (id, count) pairs with nonzero counts, as a JSON array
+  /// sorted by count descending — the registry-provider export format.
+  std::string TopKJSON(size_t k) const;
+
+ private:
+  mutable std::mutex grow_mu_;
+  std::atomic<std::atomic<uint32_t>*> slots_{nullptr};
+  std::atomic<size_t> size_{0};
+  std::vector<std::unique_ptr<std::atomic<uint32_t>[]>> arenas_;
+};
 
 /// \brief Columnar persistence of deltas and leaf-eventlists in a KVStore.
 ///
@@ -42,7 +84,11 @@ class DeltaStore {
   explicit DeltaStore(KVStore* store) : store_(store) {}
 
   /// Allocates a fresh delta id.
-  DeltaId AllocateId() { return next_id_++; }
+  DeltaId AllocateId() {
+    const DeltaId id = next_id_++;
+    fetch_freq_.EnsureSize(next_id_);
+    return id;
+  }
 
   /// Persists all non-empty components of `delta`; fills `sizes` with the
   /// serialized byte/element counts per component.
@@ -53,10 +99,19 @@ class DeltaStore {
   Status GetDelta(DeltaId id, unsigned components, const ComponentSizes& sizes,
                   Delta* out) const;
 
+  /// What one shared read cost, for trace attribution (filled when the
+  /// caller passes a non-null out-param; no cost otherwise).
+  struct ReadStats {
+    bool cache_hit = false;  ///< Served from the decoded LRU.
+    uint32_t kv_keys = 0;    ///< Keys fetched from the KVStore.
+    uint64_t bytes = 0;      ///< Blob bytes fetched.
+  };
+
   /// Like GetDelta but returns the cache-resident decoded delta without
   /// copying (the retrieval hot path).
   Result<std::shared_ptr<const Delta>> GetDeltaShared(DeltaId id, unsigned components,
-                                                      const ComponentSizes& sizes) const;
+                                                      const ComponentSizes& sizes,
+                                                      ReadStats* rs = nullptr) const;
 
   /// Persists all non-empty components of `events` (struct, nodeattr,
   /// edgeattr, transient).
@@ -68,7 +123,8 @@ class DeltaStore {
 
   /// Like GetEventList but returns the cache-resident decoded eventlist.
   Result<std::shared_ptr<const EventList>> GetEventListShared(
-      DeltaId id, unsigned components, const ComponentSizes& sizes) const;
+      DeltaId id, unsigned components, const ComponentSizes& sizes,
+      ReadStats* rs = nullptr) const;
 
   /// One delta / eventlist read inside a cross-delta batch (GetBatch).
   struct BatchedRead {
@@ -81,6 +137,7 @@ class DeltaStore {
     Status status;
     std::shared_ptr<const Delta> delta;
     std::shared_ptr<const EventList> events;
+    bool lru_hit = false;  ///< Served from the decoded LRU, no fetch needed.
   };
 
   /// Batched read path: resolves every entry of `batch`, serving decoded-LRU
@@ -130,8 +187,14 @@ class DeltaStore {
   KVStore* store() const { return store_; }
 
   /// Restores the id allocator after reopening an index.
-  void SetNextId(DeltaId next) { next_id_ = next; }
+  void SetNextId(DeltaId next) {
+    next_id_ = next;
+    fetch_freq_.EnsureSize(next);
+  }
   DeltaId next_id() const { return next_id_; }
+
+  /// Per-delta fetch-frequency counters (see FetchFrequency).
+  FetchFrequency& fetch_frequency() const { return fetch_freq_; }
 
   /// Decoded-object cache sizing/introspection (0 capacity disables).
   void SetDecodedCacheCapacity(size_t entries);
@@ -187,6 +250,7 @@ class DeltaStore {
   mutable std::atomic<size_t> cache_misses_{0};
   mutable std::atomic<size_t> batched_multigets_{0};
   mutable std::atomic<size_t> batched_reads_{0};
+  mutable FetchFrequency fetch_freq_;
 };
 
 }  // namespace hgdb

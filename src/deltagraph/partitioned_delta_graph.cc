@@ -1,5 +1,6 @@
 #include "deltagraph/partitioned_delta_graph.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <utility>
@@ -208,9 +209,27 @@ Status PartitionedDeltaGraph::ForEachShard(const std::function<Status(size_t)>& 
 
 Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
     const std::vector<Timestamp>& times, unsigned components) {
+  // Standalone call with tracing on: own the trace and dump on completion.
+  // GetSnapshots wraps this with its own trace, so only one of them owns it.
+  if (obs::TraceEnabled() && !times.empty()) {
+    obs::QueryTrace trace;
+    trace.set_query_label("retrieve_parts");
+    auto out = RetrieveParts(times, components, obs::TraceCtx{&trace, obs::kNoSpan});
+    obs::FinishAndMaybeDump(&trace);
+    return out;
+  }
+  return RetrieveParts(times, components, obs::TraceCtx{});
+}
+
+Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
+    const std::vector<Timestamp>& times, unsigned components, obs::TraceCtx tc) {
   const size_t n = partitions_.size();
   std::vector<std::vector<Snapshot>> parts(n);
   if (times.empty()) return parts;
+
+  obs::ScopedSpan retrieve_span(tc, "retrieve");
+  tc = retrieve_span.ctx();
+  std::vector<obs::SpanId> shard_spans(n, obs::kNoSpan);
 
   TaskPool* pool = ResolveTaskPool();
   const bool parallel = pool != nullptr && pool->parallelism() >= 2;
@@ -239,6 +258,14 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
     if (fallback[i]) continue;
     caches[i] = std::make_unique<ExecFetchCache>();
     if (parallel) caches[i]->SetDecodePool(pool);
+    if (tc) {
+      shard_spans[i] = tc.trace->BeginSpan("shard", tc.span);
+      tc.trace->SetAttr(shard_spans[i], "shard", static_cast<int64_t>(i));
+      tc.trace->SetAttr(shard_spans[i], "steps",
+                        static_cast<int64_t>(plans[i].StepCount()));
+      tc.trace->SetAttr(shard_spans[i], "est_cost_bytes", plans[i].estimated_cost);
+      caches[i]->SetTrace(obs::TraceCtx{tc.trace, shard_spans[i]});
+    }
     IoPool* io = partitions_[i]->ResolveIoPool();
     if (io != nullptr) {
       StartCollectedPrefetch(*partitions_[i], CollectPlanFetches(plans[i]),
@@ -265,13 +292,23 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
         executors[i] = std::make_unique<ParallelPlanExecutor>(
             partitions_[i].get(), components, pool, caches[i].get(),
             /*io_pool=*/nullptr);
+        executors[i]->SetTrace(obs::TraceCtx{tc.trace, shard_spans[i]});
         executors[i]->Start(plans[i], &group);
       }
       group.Wait();
     }
+    uint64_t busy_sum_ns = 0, busy_max_ns = 0;
+    size_t busy_shards = 0;
     for (size_t i = 0; i < n; ++i) {
       if (executors[i] == nullptr) continue;
       const Status s = executors[i]->TakeStatus();
+      if (tc) {
+        const uint64_t busy = executors[i]->busy_ns();
+        busy_sum_ns += busy;
+        busy_max_ns = std::max(busy_max_ns, busy);
+        ++busy_shards;
+        tc.trace->EndSpan(shard_spans[i]);
+      }
       if (!s.ok()) {
         record(s);
         continue;
@@ -280,14 +317,29 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
       record(in_order.status());
       if (in_order.ok()) parts[i] = std::move(in_order).value();
     }
+    if (tc && busy_shards > 0) {
+      // Execution skew: slowest shard's busy time over the per-shard mean;
+      // 1.0 = perfectly balanced.
+      tc.trace->SetAttr(tc.span, "busy_us_sum",
+                        static_cast<int64_t>(busy_sum_ns / 1000));
+      tc.trace->SetAttr(tc.span, "busy_us_max",
+                        static_cast<int64_t>(busy_max_ns / 1000));
+      if (busy_sum_ns > 0) {
+        tc.trace->SetAttr(tc.span, "shard_skew",
+                          static_cast<double>(busy_max_ns) * busy_shards /
+                              static_cast<double>(busy_sum_ns));
+      }
+    }
   } else {
     // Serial execution pinned to the prefilled caches: the single thread
     // walks one shard plan at a time while the I/O lanes keep fetching the
     // other shards' payloads in the background.
     for (size_t i = 0; i < n; ++i) {
       if (fallback[i]) continue;
-      auto results =
-          partitions_[i]->ExecutePlanPinned(plans[i], components, caches[i].get());
+      auto results = partitions_[i]->ExecutePlanPinned(
+          plans[i], components, caches[i].get(),
+          obs::TraceCtx{tc.trace, shard_spans[i]});
+      if (tc) tc.trace->EndSpan(shard_spans[i]);
       if (!results.ok()) {
         record(results.status());
         continue;
@@ -301,7 +353,7 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
   // Fallback shards replay their (entirely in-memory) recent history.
   for (size_t i = 0; i < n; ++i) {
     if (!fallback[i]) continue;
-    auto snaps = partitions_[i]->GetSnapshots(times, components);
+    auto snaps = partitions_[i]->GetSnapshots(times, components, tc);
     record(snaps.status());
     if (snaps.ok()) parts[i] = std::move(snaps).value();
   }
@@ -312,14 +364,27 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
 
 Result<std::vector<Snapshot>> PartitionedDeltaGraph::GetSnapshots(
     const std::vector<Timestamp>& times, unsigned components) {
-  auto parts = RetrieveParts(times, components);
+  // Own the trace here (rather than letting RetrieveParts own one) so the
+  // cross-shard merge is on the same trace as the per-shard execution.
+  obs::QueryTrace trace;
+  obs::TraceCtx tc;
+  if (obs::TraceEnabled() && !times.empty()) {
+    trace.set_query_label(times.size() == 1 ? "partitioned_singlepoint"
+                                            : "partitioned_multipoint");
+    tc = obs::TraceCtx{&trace, obs::kNoSpan};
+  }
+  auto parts = RetrieveParts(times, components, tc);
   if (!parts.ok()) return parts.status();
   std::vector<Snapshot> merged(times.size());
-  for (size_t p = 0; p < partitions_.size(); ++p) {
-    for (size_t i = 0; i < times.size(); ++i) {
-      merged[i].AbsorbDisjoint(std::move(parts.value()[p][i]));
+  {
+    obs::ScopedSpan merge_span(tc, "merge");
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      for (size_t i = 0; i < times.size(); ++i) {
+        merged[i].AbsorbDisjoint(std::move(parts.value()[p][i]));
+      }
     }
   }
+  if (tc) obs::FinishAndMaybeDump(tc.trace);
   return merged;
 }
 
@@ -331,6 +396,23 @@ Result<std::vector<Snapshot>> PartitionedDeltaGraph::GetSnapshotParts(
   flat.reserve(partitions_.size());
   for (auto& p : parts.value()) flat.push_back(std::move(p.front()));
   return flat;
+}
+
+DeltaGraphStats PartitionedDeltaGraph::Stats() const {
+  DeltaGraphStats agg;
+  for (const auto& shard : partitions_) {
+    const DeltaGraphStats s = shard->Stats();
+    agg.leaf_count += s.leaf_count;
+    agg.node_count += s.node_count;
+    agg.edge_count += s.edge_count;
+    agg.height = std::max(agg.height, s.height);
+    agg.delta_bytes += s.delta_bytes;
+    agg.eventlist_bytes += s.eventlist_bytes;
+    agg.store_bytes += s.store_bytes;
+    agg.materialized_bytes += s.materialized_bytes;
+    agg.materialized_nodes += s.materialized_nodes;
+  }
+  return agg;
 }
 
 Result<Snapshot> PartitionedDeltaGraph::GetSnapshot(Timestamp t, unsigned components) {

@@ -104,6 +104,17 @@ class PartitionedDeltaGraph {
   Result<std::vector<std::vector<Snapshot>>> RetrieveParts(
       const std::vector<Timestamp>& times, unsigned components = kCompAll);
 
+  /// RetrieveParts under an externally owned trace: one "shard" span per
+  /// shard plan (carrying that shard's fetches), plus per-shard busy-time
+  /// skew attributes on the enclosing "retrieve" span.
+  Result<std::vector<std::vector<Snapshot>>> RetrieveParts(
+      const std::vector<Timestamp>& times, unsigned components, obs::TraceCtx tc);
+
+  /// Index-shape statistics aggregated across every shard: counts and byte
+  /// totals are summed; `height` is the tallest shard's (retrieval cost is
+  /// bounded by the deepest traversal, not the sum).
+  DeltaGraphStats Stats() const;
+
   /// Attaches the pool shard plans (and parallel ingest) run on, and forwards
   /// it to every shard. Same contract as DeltaGraph::SetTaskPool: nullptr
   /// forces serial, never calling it defaults to TaskPool::Shared().

@@ -1,13 +1,44 @@
+#include <chrono>
 #include <unordered_map>
 
+#include "analysis/models.h"
 #include "deltagraph/delta_graph.h"
 #include "exec/fetch_cache.h"
 #include "exec/io_pool.h"
 #include "exec/parallel_executor.h"
 #include "exec/prefetcher.h"
 #include "exec/task_pool.h"
+#include "obs/metrics.h"
 
 namespace hgdb {
+
+namespace {
+
+/// Times one GetSnapshots call into the registry (when metrics are on).
+class QueryMeter {
+ public:
+  QueryMeter() : on_(obs::MetricsEnabled()) {
+    if (on_) start_ = std::chrono::steady_clock::now();
+  }
+  ~QueryMeter() {
+    if (!on_) return;
+    static obs::Histogram* us =
+        obs::MetricsRegistry::Global().GetHistogram("deltagraph.query_us");
+    static obs::Counter* queries =
+        obs::MetricsRegistry::Global().GetCounter("deltagraph.queries");
+    us->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+    queries->Add();
+  }
+
+ private:
+  bool on_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 Status ApplyEventRange(const std::vector<Event>& events, Snapshot* g, bool forward,
                        Timestamp lo, Timestamp hi, unsigned components) {
@@ -46,9 +77,12 @@ Status ApplyEventRange(const std::vector<Event>& events, Snapshot* g, bool forwa
 /// it outruns the prefetcher.
 class SnapshotPlanVisitor final : public PlanVisitor {
  public:
+  /// `tc` attributes the visitor's *direct* store fetches (the no-prefetch
+  /// path) to the trace; fetches through `prefetched` are attributed by the
+  /// cache itself (its owner set its trace).
   SnapshotPlanVisitor(const DeltaGraph* dg, unsigned components,
-                      ExecFetchCache* prefetched = nullptr)
-      : dg_(dg), components_(components), prefetched_(prefetched) {}
+                      ExecFetchCache* prefetched = nullptr, obs::TraceCtx tc = {})
+      : dg_(dg), components_(components), prefetched_(prefetched), tc_(tc) {}
 
   Status LoadMaterialized(int32_t node) override {
     const Snapshot* snap = dg_->materialized_snapshot(node);
@@ -107,7 +141,12 @@ class SnapshotPlanVisitor final : public PlanVisitor {
       Result<std::shared_ptr<const Delta>> d = [&] {
         if (prefetched_ != nullptr) return prefetched_->GetDelta(*dg_, edge, components_);
         const SkeletonEdge& e = dg_->skeleton().edge(edge);
-        return dg_->store_.GetDeltaShared(e.delta_id, components_, e.sizes);
+        obs::ScopedSpan span(tc_, "fetch.demand");
+        DeltaStore::ReadStats rs;
+        auto r = dg_->store_.GetDeltaShared(e.delta_id, components_, e.sizes,
+                                            tc_ ? &rs : nullptr);
+        RecordDirectFetch(span, edge, "delta", rs);
+        return r;
       }();
       if (!d.ok()) return d.status();
       it = delta_cache_.emplace(edge, std::move(d).value()).first;
@@ -124,13 +163,39 @@ class SnapshotPlanVisitor final : public PlanVisitor {
           return prefetched_->GetEventList(*dg_, edge, components_);
         }
         const SkeletonEdge& e = dg_->skeleton().edge(edge);
-        return dg_->store_.GetEventListShared(e.delta_id, components_, e.sizes);
+        obs::ScopedSpan span(tc_, "fetch.demand");
+        DeltaStore::ReadStats rs;
+        auto r = dg_->store_.GetEventListShared(e.delta_id, components_, e.sizes,
+                                                tc_ ? &rs : nullptr);
+        RecordDirectFetch(span, edge, "eventlist", rs);
+        return r;
       }();
       if (!el.ok()) return el.status();
       it = el_cache_.emplace(edge, std::move(el).value()).first;
     }
     *out = it->second.get();
     return Status::OK();
+  }
+
+  /// Books one direct (no fetch cache) store read onto the trace.
+  void RecordDirectFetch(obs::ScopedSpan& span, int32_t edge, const char* kind,
+                         const DeltaStore::ReadStats& rs) {
+    if (!tc_) return;
+    span.SetAttr("edge", static_cast<int64_t>(edge));
+    span.SetAttr("kind", std::string(kind));
+    span.SetAttr("lru_hit", static_cast<int64_t>(rs.cache_hit ? 1 : 0));
+    span.SetAttr("kv_keys", static_cast<int64_t>(rs.kv_keys));
+    span.SetAttr("bytes", static_cast<int64_t>(rs.bytes));
+    tc_.trace->fetches_total.fetch_add(1, std::memory_order_relaxed);
+    tc_.trace->fetches_demand.fetch_add(1, std::memory_order_relaxed);
+    if (rs.cache_hit) {
+      tc_.trace->lru_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      tc_.trace->lru_misses.fetch_add(1, std::memory_order_relaxed);
+      tc_.trace->kv_reads.fetch_add(rs.kv_keys, std::memory_order_relaxed);
+      tc_.trace->bytes_read.fetch_add(rs.bytes, std::memory_order_relaxed);
+      tc_.trace->bytes_decoded.fetch_add(rs.bytes, std::memory_order_relaxed);
+    }
   }
 
   Status ApplyRange(const std::vector<Event>& events, bool forward, Timestamp lo,
@@ -141,6 +206,7 @@ class SnapshotPlanVisitor final : public PlanVisitor {
   const DeltaGraph* dg_;
   unsigned components_;
   ExecFetchCache* prefetched_;  ///< Optional; filled ahead by the I/O pool.
+  obs::TraceCtx tc_;            ///< Attribution for direct store fetches.
   Snapshot g_;
   DeltaGraph::SnapshotPlanResults results_;
   std::unordered_map<int32_t, std::shared_ptr<const Delta>> delta_cache_;
@@ -197,8 +263,10 @@ Status DeltaGraph::ExecutePlan(const Plan& plan, PlanVisitor* visitor) const {
 }
 
 Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecutePlanPinned(
-    const Plan& plan, unsigned components, ExecFetchCache* pinned) const {
-  SnapshotPlanVisitor visitor(this, components, pinned);
+    const Plan& plan, unsigned components, ExecFetchCache* pinned,
+    obs::TraceCtx tc) const {
+  obs::ScopedSpan span(tc, "execute.serial");
+  SnapshotPlanVisitor visitor(this, components, pinned, span.ctx());
   HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
   return visitor.TakeResults();
 }
@@ -209,7 +277,7 @@ IoPool* DeltaGraph::ResolveIoPool() const {
 }
 
 Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
-    const Plan& plan, unsigned components) const {
+    const Plan& plan, unsigned components, obs::TraceCtx tc) const {
   // Branchy plans run on the attached pool when it offers real parallelism;
   // linear plans (every singlepoint query) and serial configurations keep
   // the backtracking visitor, whose single-thread profile matches PR 1
@@ -223,6 +291,7 @@ Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
   if (branchy && pool != nullptr && pool->parallelism() >= 2) {
     ParallelPlanExecutor executor(this, components, pool, /*shared_cache=*/nullptr,
                                   io);
+    executor.SetTrace(tc);
     return executor.Run(plan);
   }
   if (io != nullptr) {
@@ -234,14 +303,17 @@ Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
     // direct path — e.g. singlepoint queries served from a materialized node.
     const std::vector<PlanFetch> fetches = CollectPlanFetches(plan);
     if (fetches.size() >= 2) {
+      obs::ScopedSpan span(tc, "execute.serial_prefetch");
       ExecFetchCache cache;
+      cache.SetTrace(span.ctx());
       StartCollectedPrefetch(*this, fetches, components, &cache, io);
-      SnapshotPlanVisitor visitor(this, components, &cache);
+      SnapshotPlanVisitor visitor(this, components, &cache, span.ctx());
       HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
       return visitor.TakeResults();
     }
   }
-  SnapshotPlanVisitor visitor(this, components);
+  obs::ScopedSpan span(tc, "execute.serial");
+  SnapshotPlanVisitor visitor(this, components, /*prefetched=*/nullptr, span.ctx());
   HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
   return visitor.TakeResults();
 }
@@ -290,7 +362,23 @@ Result<Snapshot> DeltaGraph::GetSnapshot(Timestamp t, unsigned components) {
 
 Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
     const std::vector<Timestamp>& times, unsigned components) {
+  // When tracing is on, a standalone call owns its own trace and dumps it on
+  // completion; callers that want programmatic access go through a session
+  // (RetrievalSession::LastTrace) or the traced overload below.
+  if (obs::TraceEnabled() && !times.empty() && !skeleton_.leaves().empty()) {
+    obs::QueryTrace trace;
+    trace.set_query_label(times.size() == 1 ? "singlepoint" : "multipoint");
+    auto out = GetSnapshots(times, components, obs::TraceCtx{&trace, obs::kNoSpan});
+    obs::FinishAndMaybeDump(&trace);
+    return out;
+  }
+  return GetSnapshots(times, components, obs::TraceCtx{});
+}
+
+Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
+    const std::vector<Timestamp>& times, unsigned components, obs::TraceCtx tc) {
   if (times.empty()) return std::vector<Snapshot>();
+  QueryMeter meter;
 
   // Index still empty: replay the recent eventlist directly.
   if (skeleton_.leaves().empty()) {
@@ -309,16 +397,31 @@ Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
 
   Planner planner(MakePlannerContext());
   Result<Plan> plan = [&]() -> Result<Plan> {
-    if (times.size() == 1 && options_.use_plan_cache) {
-      // The SSSP cache is shared mutable state; concurrent retrievals
-      // serialize the (cheap) planning step, never the execution.
-      std::lock_guard<std::mutex> lock(sssp_mu_);
-      return planner.PlanSinglepointCached(times[0], components, &sssp_cache_);
+    obs::ScopedSpan span(tc, "plan");
+    auto r = [&]() -> Result<Plan> {
+      if (times.size() == 1 && options_.use_plan_cache) {
+        // The SSSP cache is shared mutable state; concurrent retrievals
+        // serialize the (cheap) planning step, never the execution.
+        std::lock_guard<std::mutex> lock(sssp_mu_);
+        return planner.PlanSinglepointCached(times[0], components, &sssp_cache_);
+      }
+      return planner.PlanSnapshots(times, components);
+    }();
+    if (tc && r.ok()) {
+      // Predicted cost next to actuals: the planner's byte estimate for this
+      // plan, and the analytical model's balanced-path element count from the
+      // graph's observed dynamics (Section 6 of the paper).
+      span.SetAttr("steps", static_cast<int64_t>(r.value().StepCount()));
+      span.SetAttr("est_cost_bytes", r.value().estimated_cost);
+      const GraphDynamics dyn = EstimateDynamics(
+          insert_events_, delete_events_, event_count_, initial_elements_);
+      span.SetAttr("model_path_elements", BalancedPathElements(dyn));
+      span.SetAttr("times", static_cast<int64_t>(times.size()));
     }
-    return planner.PlanSnapshots(times, components);
+    return r;
   }();
   if (!plan.ok()) return plan.status();
-  auto exec = ExecuteSnapshotPlan(plan.value(), components);
+  auto exec = ExecuteSnapshotPlan(plan.value(), components, tc);
   if (!exec.ok()) return exec.status();
   return exec.value().TakeInOrder(times);
 }

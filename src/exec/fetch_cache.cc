@@ -4,10 +4,50 @@
 
 #include "deltagraph/delta_graph.h"
 #include "exec/task_pool.h"
+#include "obs/metrics.h"
 
 namespace hgdb {
 
 namespace {
+
+obs::Counter& DemandFetches() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("exec.fetches_demand");
+  return *c;
+}
+obs::Counter& CoveredFetches() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("exec.fetches_covered");
+  return *c;
+}
+obs::Counter& PrefetchesIssued() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("exec.prefetch_issued");
+  return *c;
+}
+obs::Counter& Drains() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("exec.drains");
+  return *c;
+}
+obs::Histogram& DrainWidth() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("exec.drain_width");
+  return *h;
+}
+
+// Books one demand fetch's cost onto the trace tallies.
+void TallyDemandRead(const obs::TraceCtx& tc, const DeltaStore::ReadStats& rs) {
+  if (!tc) return;
+  if (rs.cache_hit) {
+    tc.trace->lru_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    tc.trace->lru_misses.fetch_add(1, std::memory_order_relaxed);
+    tc.trace->kv_reads.fetch_add(rs.kv_keys, std::memory_order_relaxed);
+    tc.trace->bytes_read.fetch_add(rs.bytes, std::memory_order_relaxed);
+    tc.trace->bytes_decoded.fetch_add(rs.bytes, std::memory_order_relaxed);
+  }
+}
 
 // Blocks on `future`, helping drain the calling thread's own TaskPool while
 // it waits. With decode offload, a slot's fulfilment can sit in the compute
@@ -92,25 +132,81 @@ Result<std::shared_ptr<const Delta>> ExecFetchCache::GetDelta(const DeltaGraph& 
                                                               int32_t edge,
                                                               unsigned components) {
   const SkeletonEdge& e = dg.skeleton().edge(edge);
-  return FetchSingleFlight(&deltas_, Key(edge, components), /*wait_if_claimed=*/true,
-                           [&] {
-                             return dg.delta_store().GetDeltaShared(
-                                 e.delta_id, components, e.sizes);
-                           });
+  const obs::TraceCtx tc = trace();
+  bool claimed_here = false;
+  auto result = FetchSingleFlight(
+      &deltas_, Key(edge, components), /*wait_if_claimed=*/true, [&] {
+        claimed_here = true;
+        obs::ScopedSpan span(tc, "fetch.demand");
+        DeltaStore::ReadStats rs;
+        auto r = dg.delta_store().GetDeltaShared(e.delta_id, components, e.sizes,
+                                                 tc ? &rs : nullptr);
+        if (tc) {
+          span.SetAttr("edge", static_cast<int64_t>(edge));
+          span.SetAttr("kind", std::string("delta"));
+          span.SetAttr("lru_hit", static_cast<int64_t>(rs.cache_hit ? 1 : 0));
+          span.SetAttr("kv_keys", static_cast<int64_t>(rs.kv_keys));
+          span.SetAttr("bytes", static_cast<int64_t>(rs.bytes));
+          TallyDemandRead(tc, rs);
+        }
+        return r;
+      });
+  if (claimed_here) {
+    DemandFetches().Add();
+  } else {
+    CoveredFetches().Add();
+  }
+  if (tc) {
+    tc.trace->fetches_total.fetch_add(1, std::memory_order_relaxed);
+    auto& bucket =
+        claimed_here ? tc.trace->fetches_demand : tc.trace->fetches_prefetched;
+    bucket.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
 }
 
 Result<std::shared_ptr<const EventList>> ExecFetchCache::GetEventList(
     const DeltaGraph& dg, int32_t edge, unsigned components) {
   const SkeletonEdge& e = dg.skeleton().edge(edge);
-  return FetchSingleFlight(&events_, Key(edge, components), /*wait_if_claimed=*/true,
-                           [&] {
-                             return dg.delta_store().GetEventListShared(
-                                 e.delta_id, components, e.sizes);
-                           });
+  const obs::TraceCtx tc = trace();
+  bool claimed_here = false;
+  auto result = FetchSingleFlight(
+      &events_, Key(edge, components), /*wait_if_claimed=*/true, [&] {
+        claimed_here = true;
+        obs::ScopedSpan span(tc, "fetch.demand");
+        DeltaStore::ReadStats rs;
+        auto r = dg.delta_store().GetEventListShared(
+            e.delta_id, components, e.sizes, tc ? &rs : nullptr);
+        if (tc) {
+          span.SetAttr("edge", static_cast<int64_t>(edge));
+          span.SetAttr("kind", std::string("eventlist"));
+          span.SetAttr("lru_hit", static_cast<int64_t>(rs.cache_hit ? 1 : 0));
+          span.SetAttr("kv_keys", static_cast<int64_t>(rs.kv_keys));
+          span.SetAttr("bytes", static_cast<int64_t>(rs.bytes));
+          TallyDemandRead(tc, rs);
+        }
+        return r;
+      });
+  if (claimed_here) {
+    DemandFetches().Add();
+  } else {
+    CoveredFetches().Add();
+  }
+  if (tc) {
+    tc.trace->fetches_total.fetch_add(1, std::memory_order_relaxed);
+    auto& bucket =
+        claimed_here ? tc.trace->fetches_demand : tc.trace->fetches_prefetched;
+    bucket.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
 }
 
 void ExecFetchCache::EnqueuePrefetch(const DeltaGraph& dg, size_t shard, int32_t edge,
                                      bool is_eventlist, unsigned components) {
+  PrefetchesIssued().Add();
+  if (const obs::TraceCtx tc = trace()) {
+    tc.trace->prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(batch_mu_);
   batch_queues_[shard].push_back(QueuedPrefetch{&dg, edge, is_eventlist, components});
 }
@@ -123,10 +219,13 @@ void ExecFetchCache::DrainPrefetchBatch(size_t shard) {
     if (it != batch_queues_.end()) drained.swap(it->second);
   }
   if (!drained.empty()) {
+    const obs::TraceCtx tc = trace();
+    obs::ScopedSpan drain_span(tc, "io.drain");
+    uint64_t claimed_n = 0, lru_hits_n = 0, kv_keys_n = 0, bytes_n = 0;
     // Claim the unclaimed slots, then resolve all claimed reads of one graph
-    // through a single DeltaStore::GetBatch — one storage round-trip for the
-    // whole drain. Slots someone else claimed are skipped: single-flight, the
-    // owner fulfils them.
+    // through a single batched DeltaStore fetch — one storage round-trip for
+    // the whole drain. Slots someone else claimed are skipped: single-flight,
+    // the owner fulfils them.
     struct Pending {
       uint64_t key;
       bool is_eventlist;
@@ -192,18 +291,30 @@ void ExecFetchCache::DrainPrefetchBatch(size_t shard) {
     const bool offload = decode_pool != nullptr && decode_pool->parallelism() >= 2;
     for (auto& graph_entry : graphs) {
       const std::shared_ptr<GraphDrain>& gd = graph_entry.second;
+      // Fetch bytes for the whole graph batch (one MultiGet), then account
+      // the drain before decode touches the blobs.
+      gd->dg->delta_store().FetchBatch(&gd->batch, &gd->fetched);
+      claimed_n += gd->batch.size();
+      for (const DeltaStore::BatchedRead& r : gd->batch) {
+        if (r.lru_hit) ++lru_hits_n;
+      }
+      for (const DeltaStore::FetchedRead& f : gd->fetched) {
+        kv_keys_n += f.blobs.size();
+        for (const auto& [mask, blob] : f.blobs) bytes_n += blob.size();
+      }
       if (!offload) {
-        gd->dg->delta_store().GetBatch(&gd->batch);
+        for (DeltaStore::FetchedRead& f : gd->fetched) {
+          gd->dg->delta_store().DecodeFetched(&gd->batch[f.entry], &f);
+        }
         for (size_t i = 0; i < gd->batch.size(); ++i) {
           fulfil(gd->batch[i], gd->pending[i]);
         }
         continue;
       }
-      // Decode offload: only the byte fetch runs on this I/O thread; each
+      // Decode offload: only the byte fetch ran on this I/O thread; each
       // fetched miss becomes one decode job on the compute pool. Every job
       // registers as an in-flight prefetch, so WaitPrefetchesIdle (and the
       // cache destructor) cannot return beneath it.
-      gd->dg->delta_store().FetchBatch(&gd->batch, &gd->fetched);
       std::vector<char> deferred(gd->batch.size(), 0);
       for (const DeltaStore::FetchedRead& f : gd->fetched) deferred[f.entry] = 1;
       for (size_t i = 0; i < gd->batch.size(); ++i) {
@@ -220,6 +331,22 @@ void ExecFetchCache::DrainPrefetchBatch(size_t shard) {
           if (--prefetches_in_flight_ == 0) prefetch_cv_.notify_all();
         });
       }
+    }
+    Drains().Add();
+    DrainWidth().Record(drained.size());
+    if (tc) {
+      drain_span.SetAttr("shard", static_cast<int64_t>(shard));
+      drain_span.SetAttr("queued", static_cast<int64_t>(drained.size()));
+      drain_span.SetAttr("claimed", static_cast<int64_t>(claimed_n));
+      drain_span.SetAttr("lru_hits", static_cast<int64_t>(lru_hits_n));
+      drain_span.SetAttr("kv_keys", static_cast<int64_t>(kv_keys_n));
+      drain_span.SetAttr("bytes", static_cast<int64_t>(bytes_n));
+      tc.trace->lru_hits.fetch_add(lru_hits_n, std::memory_order_relaxed);
+      tc.trace->lru_misses.fetch_add(claimed_n - lru_hits_n,
+                                     std::memory_order_relaxed);
+      tc.trace->kv_reads.fetch_add(kv_keys_n, std::memory_order_relaxed);
+      tc.trace->bytes_read.fetch_add(bytes_n, std::memory_order_relaxed);
+      tc.trace->bytes_decoded.fetch_add(bytes_n, std::memory_order_relaxed);
     }
   }
   // One scheduled drain job ran (jobs and enqueues are 1:1, so the counter

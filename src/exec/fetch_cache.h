@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "graph/delta.h"
+#include "obs/trace.h"
 #include "temporal/event_list.h"
 
 namespace hgdb {
@@ -87,6 +88,21 @@ class ExecFetchCache {
   /// Blocks until every registered prefetch has run.
   void WaitPrefetchesIdle();
 
+  /// Attaches the query trace that fetches through this cache attribute to
+  /// (drain spans, demand-fetch spans, hit/byte tallies). The owning session
+  /// sets it before scheduling prefetches or executors; the trace must
+  /// outlive the cache. Null trace (the default) records nothing.
+  void SetTrace(obs::TraceCtx ctx) {
+    trace_span_.store(ctx.span, std::memory_order_relaxed);
+    trace_.store(ctx.trace, std::memory_order_release);
+  }
+  obs::TraceCtx trace() const {
+    obs::TraceCtx ctx;
+    ctx.trace = trace_.load(std::memory_order_acquire);
+    ctx.span = trace_span_.load(std::memory_order_relaxed);
+    return ctx;
+  }
+
  private:
   template <typename T>
   using FetchFuture = std::shared_future<Result<std::shared_ptr<const T>>>;
@@ -138,6 +154,13 @@ class ExecFetchCache {
   size_t prefetches_in_flight_ = 0;
 
   TaskPool* decode_pool_ = nullptr;  ///< Optional decode-offload target.
+
+  // Trace attachment (see SetTrace). Two atomics rather than one struct so
+  // drain threads can read it lock-free; span is written first and the trace
+  // pointer released last, so a reader never sees the new trace with a stale
+  // span id.
+  std::atomic<obs::QueryTrace*> trace_{nullptr};
+  std::atomic<obs::SpanId> trace_span_{obs::kNoSpan};
 };
 
 }  // namespace hgdb

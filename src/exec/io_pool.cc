@@ -1,10 +1,26 @@
 #include "exec/io_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/env_util.h"
+#include "obs/metrics.h"
 
 namespace hgdb {
+
+namespace {
+
+obs::Counter& IoJobs() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter("io_pool.jobs");
+  return *c;
+}
+obs::Histogram& IoJobUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("io_pool.job_us");
+  return *h;
+}
+
+}  // namespace
 
 IoPool::IoPool(int parallelism) {
   const int n = std::max(parallelism, 1);
@@ -62,7 +78,17 @@ void IoPool::ShardLoop(size_t index) {
       job = std::move(shard.jobs.front());
       shard.jobs.pop_front();
     }
-    job();
+    if (obs::MetricsEnabled()) {
+      const auto start = std::chrono::steady_clock::now();
+      job();
+      IoJobUs().Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+      IoJobs().Add();
+    } else {
+      job();
+    }
   }
 }
 

@@ -1,5 +1,6 @@
 #include "exec/parallel_executor.h"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -48,6 +49,14 @@ void ParallelPlanExecutor::Start(const Plan& plan, TaskGroup* group) {
     RecordError(Status::InvalidArgument("plan has no root"));
     return;
   }
+  if (tc_) {
+    exec_span_ = tc_.trace->BeginSpan("execute.parallel", tc_.span);
+    // Nest this execution's fetches under its span — but only through a cache
+    // we own; a shared cache already carries its owner's attachment.
+    if (fetches_ == &own_cache_) {
+      own_cache_.SetTrace(obs::TraceCtx{tc_.trace, exec_span_});
+    }
+  }
   // Queue every fetch the plan will perform before the first worker runs;
   // workers then overlap apply work with the I/O pool's fetches and block
   // only if they outrun it. The fetch cache outlives any still-queued job
@@ -58,6 +67,14 @@ void ParallelPlanExecutor::Start(const Plan& plan, TaskGroup* group) {
 }
 
 Status ParallelPlanExecutor::TakeStatus() {
+  if (tc_ && exec_span_ != obs::kNoSpan) {
+    tc_.trace->SetAttr(exec_span_, "tasks",
+                       static_cast<int64_t>(task_count_.load(std::memory_order_relaxed)));
+    tc_.trace->SetAttr(exec_span_, "busy_us",
+                       static_cast<int64_t>(busy_ns() / 1000));
+    tc_.trace->EndSpan(exec_span_);
+    exec_span_ = obs::kNoSpan;
+  }
   std::lock_guard<std::mutex> lock(err_mu_);
   return failed_.load(std::memory_order_acquire) ? first_error_ : Status::OK();
 }
@@ -115,6 +132,30 @@ Status ParallelPlanExecutor::ApplyStepTo(const PlanStep& step, Snapshot* snap) {
 
 void ParallelPlanExecutor::RunNode(const PlanNode* node, Snapshot working,
                                    TaskGroup* group) {
+  // Busy-time accounting (trace only): one interval per task invocation,
+  // including time blocked on fetch futures — that is wall time this subtree
+  // occupied a worker, which is what shard-skew comparisons want.
+  struct BusyTimer {
+    explicit BusyTimer(ParallelPlanExecutor* e) : exec(e), on(bool(e->tc_)) {
+      if (on) {
+        exec->task_count_.fetch_add(1, std::memory_order_relaxed);
+        start = std::chrono::steady_clock::now();
+      }
+    }
+    ~BusyTimer() {
+      if (on) {
+        exec->busy_ns_.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count(),
+            std::memory_order_relaxed);
+      }
+    }
+    ParallelPlanExecutor* exec;
+    bool on;
+    std::chrono::steady_clock::time_point start;
+  } busy_timer(this);
+
   // Iterative tail descent: this task handles `node`'s emits, forks siblings
   // off as tasks, and follows the last child itself.
   while (!failed_.load(std::memory_order_acquire)) {

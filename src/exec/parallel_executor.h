@@ -61,6 +61,18 @@ class ParallelPlanExecutor {
   Status TakeStatus();
   DeltaGraph::SnapshotPlanResults TakeResults() { return std::move(results_); }
 
+  /// Attributes this execution to `tc`: Start opens an "execute.parallel"
+  /// span (closed by TakeStatus), worker tasks accumulate busy time, and —
+  /// when the executor owns its cache — prefetch drains and demand fetches
+  /// nest under the span. Call before Start; with a shared cache the cache's
+  /// owner attaches its own trace. No-op for a null trace.
+  void SetTrace(obs::TraceCtx tc) { tc_ = tc; }
+
+  /// Total nanoseconds worker tasks of this execution spent running
+  /// (accumulated only when a trace is attached). Sessions compare this
+  /// across shards to report execution skew.
+  uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
+
  private:
   /// Walks `node` with `working` as the working snapshot, spawning sibling
   /// subtrees into `group` and descending into the last child iteratively.
@@ -87,6 +99,14 @@ class ParallelPlanExecutor {
   std::atomic<bool> failed_{false};
   std::mutex err_mu_;
   Status first_error_;
+
+  // Trace attribution (see SetTrace). The span is opened by Start and closed
+  // by TakeStatus, which both run on the submitting thread; workers only
+  // bump the (relaxed) tallies.
+  obs::TraceCtx tc_;
+  obs::SpanId exec_span_ = obs::kNoSpan;
+  std::atomic<uint64_t> busy_ns_{0};
+  std::atomic<uint32_t> task_count_{0};
 };
 
 }  // namespace hgdb

@@ -1,5 +1,7 @@
 #include "exec/partitioned_session.h"
 
+#include <algorithm>
+
 namespace hgdb {
 
 namespace {
@@ -17,10 +19,22 @@ TaskPool* ResolvePartitionedPool(PartitionedDeltaGraph* pdg, TaskPool* pool) {
 PartitionedRetrievalSession::PartitionedRetrievalSession(PartitionedDeltaGraph* pdg,
                                                          TaskPool* pool)
     : pdg_(pdg), pool_(ResolvePartitionedPool(pdg, pool)), group_(pool_) {
+  if (obs::TraceEnabled()) {
+    trace_ = std::make_unique<obs::QueryTrace>();
+    trace_->set_query_label("partitioned_session");
+  }
   caches_.reserve(pdg_->partition_count());
   for (size_t i = 0; i < pdg_->partition_count(); ++i) {
     caches_.push_back(std::make_unique<ExecFetchCache>());
     if (pool_->parallelism() >= 2) caches_.back()->SetDecodePool(pool_);
+    if (trace_ != nullptr) {
+      // One session-lifetime span per shard: every fetch through the shard's
+      // pin — whichever request triggered it — lands here.
+      const obs::SpanId s = trace_->BeginSpan("shard", obs::kNoSpan);
+      trace_->SetAttr(s, "shard", static_cast<int64_t>(i));
+      shard_spans_.push_back(s);
+      caches_.back()->SetTrace(obs::TraceCtx{trace_.get(), s});
+    }
   }
 }
 
@@ -45,6 +59,11 @@ PartitionedRetrievalSession::Request* PartitionedRetrievalSession::Submit(
   req->plans.resize(n);
   req->executors.resize(n);
   req->fallbacks.resize(n);
+  if (trace_ != nullptr) {
+    req->span = trace_->BeginSpan("request", obs::kNoSpan);
+    trace_->SetAttr(req->span, "times", static_cast<int64_t>(req->times.size()));
+    trace_->SetAttr(req->span, "shards", static_cast<int64_t>(n));
+  }
 
   for (size_t i = 0; i < n; ++i) {
     DeltaGraph* shard = pdg_->partition(i);
@@ -65,6 +84,7 @@ PartitionedRetrievalSession::Request* PartitionedRetrievalSession::Submit(
     // across requests.
     req->executors[i] = std::make_unique<ParallelPlanExecutor>(
         shard, req->components, pool_, caches_[i].get(), shard->ResolveIoPool());
+    req->executors[i]->SetTrace(obs::TraceCtx{trace_.get(), req->span});
     req->executors[i]->Start(req->plans[i], &group_);
   }
   return req;
@@ -80,12 +100,19 @@ Status PartitionedRetrievalSession::Wait() {
     }
     std::vector<Snapshot> merged(req->times.size());
     Status req_error = Status::OK();
+    uint64_t busy_sum_ns = 0, busy_max_ns = 0;
+    size_t busy_shards = 0;
+    obs::ScopedSpan merge_span(obs::TraceCtx{trace_.get(), req->span}, "merge");
     for (size_t i = 0; i < req->executors.size(); ++i) {
       Result<std::vector<Snapshot>> piece = Status::Internal("shard never ran");
       if (req->executors[i] != nullptr) {
         const Status s = req->executors[i]->TakeStatus();
         piece = s.ok() ? req->executors[i]->TakeResults().TakeInOrder(req->times)
                        : Result<std::vector<Snapshot>>(s);
+        const uint64_t busy = req->executors[i]->busy_ns();
+        busy_sum_ns += busy;
+        busy_max_ns = std::max(busy_max_ns, busy);
+        ++busy_shards;
         req->executors[i].reset();  // Collected; Wait stays idempotent.
       } else if (req->fallbacks[i].has_value()) {
         piece = std::move(*req->fallbacks[i]);
@@ -106,6 +133,26 @@ Status PartitionedRetrievalSession::Wait() {
     req->result = req_error.ok() ? Result<std::vector<Snapshot>>(std::move(merged))
                                  : Result<std::vector<Snapshot>>(req_error);
     if (first_error.ok() && !req->result.ok()) first_error = req->result.status();
+    if (trace_ != nullptr && req->span != obs::kNoSpan) {
+      // Execution skew: the slowest shard's busy time over the per-shard
+      // mean; 1.0 = perfectly balanced.
+      trace_->SetAttr(req->span, "busy_us_sum",
+                      static_cast<int64_t>(busy_sum_ns / 1000));
+      trace_->SetAttr(req->span, "busy_us_max",
+                      static_cast<int64_t>(busy_max_ns / 1000));
+      if (busy_shards > 0 && busy_sum_ns > 0) {
+        trace_->SetAttr(req->span, "shard_skew",
+                        static_cast<double>(busy_max_ns) * busy_shards /
+                            static_cast<double>(busy_sum_ns));
+      }
+      trace_->EndSpan(req->span);
+      req->span = obs::kNoSpan;
+    }
+  }
+  if (trace_ != nullptr && !trace_dumped_) {
+    trace_dumped_ = true;
+    for (obs::SpanId s : shard_spans_) trace_->EndSpan(s);
+    obs::FinishAndMaybeDump(trace_.get());
   }
   return first_error;
 }

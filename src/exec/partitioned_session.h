@@ -51,6 +51,7 @@ class PartitionedRetrievalSession {
     std::vector<Plan> plans;
     std::vector<std::unique_ptr<ParallelPlanExecutor>> executors;
     std::vector<std::optional<Result<std::vector<Snapshot>>>> fallbacks;
+    obs::SpanId span = obs::kNoSpan;  ///< "request" span; closed by Wait.
   };
 
   /// `pool` defaults to the index's attached pool (which itself defaults to
@@ -74,9 +75,22 @@ class PartitionedRetrievalSession {
 
   size_t request_count() const { return requests_.size(); }
 
+  /// The session's query trace, or nullptr when tracing is off. Spans —
+  /// per-request "request" spans with per-shard busy-time skew attributes,
+  /// session-wide per-shard "shard" spans carrying every fetch through that
+  /// shard's pin, and per-request "merge" spans — are complete after Wait.
+  const obs::QueryTrace* LastTrace() const { return trace_.get(); }
+
  private:
   PartitionedDeltaGraph* pdg_;
   TaskPool* pool_;
+  /// Declared before caches_ so in-flight prefetch drains (waited out by the
+  /// caches' destructors) never outlive the trace they attribute to.
+  std::unique_ptr<obs::QueryTrace> trace_;
+  bool trace_dumped_ = false;
+  /// Session-lifetime span per shard; the shard's fetch pin attributes its
+  /// drains and demand fetches here. Closed by the final Wait.
+  std::vector<obs::SpanId> shard_spans_;
   /// One fetch pin per shard, shared across all requests in the session.
   std::vector<std::unique_ptr<ExecFetchCache>> caches_;
   std::vector<std::unique_ptr<Request>> requests_;

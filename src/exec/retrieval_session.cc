@@ -19,6 +19,11 @@ TaskPool* ResolveSessionPool(DeltaGraph* dg, TaskPool* pool) {
 RetrievalSession::RetrievalSession(DeltaGraph* dg, TaskPool* pool)
     : dg_(dg), pool_(ResolveSessionPool(dg, pool)), group_(pool_) {
   if (pool_->parallelism() >= 2) fetches_.SetDecodePool(pool_);
+  if (obs::TraceEnabled()) {
+    trace_ = std::make_unique<obs::QueryTrace>();
+    trace_->set_query_label("session");
+    fetches_.SetTrace(obs::TraceCtx{trace_.get(), obs::kNoSpan});
+  }
 }
 
 RetrievalSession::~RetrievalSession() {
@@ -51,8 +56,16 @@ RetrievalSession::Request* RetrievalSession::Submit(std::vector<Timestamp> times
     return req;
   }
   req->plan = std::move(plan).value();
+  if (trace_ != nullptr) {
+    req->span = trace_->BeginSpan("request", obs::kNoSpan);
+    trace_->SetAttr(req->span, "times", static_cast<int64_t>(req->times.size()));
+    trace_->SetAttr(req->span, "steps",
+                    static_cast<int64_t>(req->plan.StepCount()));
+    trace_->SetAttr(req->span, "est_cost_bytes", req->plan.estimated_cost);
+  }
   req->executor = std::make_unique<ParallelPlanExecutor>(
       dg_, req->components, pool_, &fetches_, dg_->ResolveIoPool());
+  req->executor->SetTrace(obs::TraceCtx{trace_.get(), req->span});
   req->executor->Start(req->plan, &group_);
   return req;
 }
@@ -72,8 +85,16 @@ Status RetrievalSession::Wait() {
         req->result = s;
       }
       req->executor.reset();  // Collected; Wait stays idempotent.
+      if (trace_ != nullptr && req->span != obs::kNoSpan) {
+        trace_->EndSpan(req->span);
+        req->span = obs::kNoSpan;
+      }
     }
     if (first_error.ok() && !req->result.ok()) first_error = req->result.status();
+  }
+  if (trace_ != nullptr && !trace_dumped_) {
+    trace_dumped_ = true;
+    obs::FinishAndMaybeDump(trace_.get());
   }
   return first_error;
 }

@@ -47,6 +47,7 @@ class RetrievalSession {
 
     Plan plan;  // Owned here: executors reference it until Wait returns.
     std::unique_ptr<ParallelPlanExecutor> executor;
+    obs::SpanId span = obs::kNoSpan;  ///< "request" span; closed by Wait.
   };
 
   /// `pool` defaults to the DeltaGraph's attached pool (which itself
@@ -72,9 +73,18 @@ class RetrievalSession {
 
   size_t request_count() const { return requests_.size(); }
 
+  /// The session's query trace, or nullptr when tracing is off
+  /// (HISTGRAPH_TRACE unset and obs::SetTraceEnabled never called). Spans are
+  /// complete after Wait; the pointer stays valid for the session's lifetime.
+  const obs::QueryTrace* LastTrace() const { return trace_.get(); }
+
  private:
   DeltaGraph* dg_;
   TaskPool* pool_;
+  /// Declared before fetches_ so in-flight prefetch drains (waited out by the
+  /// cache's destructor) never outlive the trace they attribute to.
+  std::unique_ptr<obs::QueryTrace> trace_;
+  bool trace_dumped_ = false;
   ExecFetchCache fetches_;  ///< Shared across all requests in the session.
   std::vector<std::unique_ptr<Request>> requests_;
   // Declared last (destroyed first): in-flight tasks reference the plans and

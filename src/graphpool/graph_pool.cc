@@ -1,8 +1,46 @@
 #include "graphpool/graph_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace hgdb {
+
+namespace {
+
+obs::Counter& PoolOverlays() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("graphpool.overlays");
+  return *c;
+}
+obs::Histogram& PoolOverlayUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("graphpool.overlay_us");
+  return *h;
+}
+
+/// Times one historical-overlay operation into the registry.
+class OverlayMeter {
+ public:
+  OverlayMeter() : on_(obs::MetricsEnabled()) {
+    if (on_) start_ = std::chrono::steady_clock::now();
+  }
+  ~OverlayMeter() {
+    if (!on_) return;
+    PoolOverlayUs().Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+    PoolOverlays().Add();
+  }
+
+ private:
+  bool on_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 GraphPool::GraphPool() {
   // Slot 0 is the current graph (bits 0 and 1 reserved).
@@ -252,6 +290,7 @@ void GraphPool::OverlayIntoSlot(PoolGraphId id, const Snapshot& g) {
 }
 
 Result<PoolGraphId> GraphPool::OverlayHistorical(const Snapshot& g) {
+  OverlayMeter meter;
   const PoolGraphId id = AllocateSlot(SlotInfo::Kind::kHistorical, 2, -1);
   OverlayIntoSlot(id, g);
   return id;
@@ -259,6 +298,7 @@ Result<PoolGraphId> GraphPool::OverlayHistorical(const Snapshot& g) {
 
 Result<PoolGraphId> GraphPool::OverlayHistoricalParts(
     const std::vector<Snapshot>& parts) {
+  OverlayMeter meter;
   const PoolGraphId id = AllocateSlot(SlotInfo::Kind::kHistorical, 2, -1);
   // One slot, many disjoint pieces: each piece's elements are marked under
   // the same bit pair, so the overlaid graph is the union of the pieces —

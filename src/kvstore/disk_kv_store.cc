@@ -14,6 +14,7 @@
 #include "common/coding.h"
 #include "kvstore/compression.h"
 #include "kvstore/kv_store.h"
+#include "obs/metrics.h"
 
 namespace hgdb {
 
@@ -21,6 +22,28 @@ namespace {
 
 constexpr char kOpPut = 1;
 constexpr char kOpDelete = 2;
+
+// Same registry metrics as MemKVStore: every concrete store records under
+// kvstore.*, the prefix wrapper does not (it would double count).
+obs::Counter& KvGets() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter("kvstore.gets");
+  return *c;
+}
+obs::Counter& KvMultiGets() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("kvstore.multigets");
+  return *c;
+}
+obs::Counter& KvKeysRead() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("kvstore.keys_read");
+  return *c;
+}
+obs::Counter& KvBytesRead() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("kvstore.bytes_read");
+  return *c;
+}
 
 /// Disk-backed KVStore: a single append-only log file plus an in-memory
 /// index (key -> value location) rebuilt by scanning the log on open. This is
@@ -68,6 +91,9 @@ class DiskKVStore final : public KVStore {
     if (n != static_cast<ssize_t>(loc.size)) {
       return Status::IOError("pread " + path_ + ": short read");
     }
+    KvGets().Add();
+    KvKeysRead().Add();
+    KvBytesRead().Add(loc.size);
     SimulateRead(loc.size);
     return Decode(stored, value);
   }
@@ -90,10 +116,12 @@ class DiskKVStore final : public KVStore {
       }
     }
     uint64_t stored_bytes = 0;
+    uint64_t hits = 0;
     bool any_hit = false;
     for (size_t i = 0; i < keys.size(); ++i) {
       if (!(*statuses)[i].ok()) continue;
       any_hit = true;
+      ++hits;
       std::string stored(locs[i].size, '\0');
       const ssize_t n = ::pread(fd_, stored.data(), locs[i].size, locs[i].offset);
       if (n != static_cast<ssize_t>(locs[i].size)) {
@@ -103,6 +131,9 @@ class DiskKVStore final : public KVStore {
       stored_bytes += locs[i].size;
       (*statuses)[i] = Decode(stored, &(*values)[i]);
     }
+    KvMultiGets().Add();
+    KvKeysRead().Add(hits);
+    KvBytesRead().Add(stored_bytes);
     // The whole batch is one round-trip: one seek, every byte at sequential
     // throughput. An all-miss batch resolves from the in-memory index and —
     // like Get returning NotFound — touches no disk.

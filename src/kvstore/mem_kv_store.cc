@@ -6,10 +6,33 @@
 
 #include "kvstore/compression.h"
 #include "kvstore/kv_store.h"
+#include "obs/metrics.h"
 
 namespace hgdb {
 
 namespace {
+
+// Registry metrics, shared by every MemKVStore instance (concrete stores
+// record; prefix wrappers deliberately do not, to avoid double counting).
+obs::Counter& KvGets() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter("kvstore.gets");
+  return *c;
+}
+obs::Counter& KvMultiGets() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("kvstore.multigets");
+  return *c;
+}
+obs::Counter& KvKeysRead() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("kvstore.keys_read");
+  return *c;
+}
+obs::Counter& KvBytesRead() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("kvstore.bytes_read");
+  return *c;
+}
 
 /// In-memory KVStore backed by a hash map. Values are stored in their
 /// on-disk (possibly compressed) representation so that ValueBytes() reports
@@ -38,6 +61,9 @@ class MemKVStore final : public KVStore {
       Status s = Decode(it->second, value);
       if (!s.ok()) return s;
     }
+    KvGets().Add();
+    KvKeysRead().Add();
+    KvBytesRead().Add(stored_size);
     SimulateRead(stored_size);
     return Status::OK();
   }
@@ -48,6 +74,7 @@ class MemKVStore final : public KVStore {
     statuses->assign(keys.size(), Status::OK());
     if (keys.empty()) return;
     size_t stored_bytes = 0;
+    size_t hits = 0;
     bool any_hit = false;
     {
       std::shared_lock lock(mu_);
@@ -58,10 +85,14 @@ class MemKVStore final : public KVStore {
           continue;
         }
         any_hit = true;
+        ++hits;
         stored_bytes += it->second.size();
         (*statuses)[i] = Decode(it->second, &(*values)[i]);
       }
     }
+    KvMultiGets().Add();
+    KvKeysRead().Add(hits);
+    KvBytesRead().Add(stored_bytes);
     // One round-trip for the whole batch: the seek latency is paid once, the
     // throughput term covers every byte actually read. An all-miss batch
     // reads nothing — like Get returning NotFound, it costs no simulated I/O.

@@ -1,0 +1,220 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hgdb {
+namespace obs {
+
+namespace {
+const JsonValue& NullValue() {
+  static const JsonValue* v = new JsonValue();
+  return *v;
+}
+}  // namespace
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  return NullValue();
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  JsonValue Run() {
+    JsonValue v = ParseValue();
+    SkipWs();
+    if (!failed_ && pos_ != s_.size()) Fail("trailing characters");
+    return failed_ ? JsonValue() : v;
+  }
+
+ private:
+  void Fail(const std::string& why) {
+    if (!failed_ && error_ != nullptr) {
+      *error_ = why + " at offset " + std::to_string(pos_);
+    }
+    failed_ = true;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    size_t n = 0;
+    while (w[n] != '\0') ++n;
+    if (s_.compare(pos_, n, w) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    if (failed_ || pos_ >= s_.size()) {
+      Fail("unexpected end");
+      return JsonValue();
+    }
+    const char c = s_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    JsonValue v;
+    if (ConsumeWord("null")) return v;
+    if (ConsumeWord("true")) {
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = true;
+      return v;
+    }
+    if (ConsumeWord("false")) {
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = false;
+      return v;
+    }
+    Fail("unexpected character");
+    return JsonValue();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) return v;
+    while (!failed_) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        Fail("expected object key");
+        break;
+      }
+      JsonValue key = ParseString();
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        break;
+      }
+      v.members_.emplace_back(key.str_, ParseValue());
+      if (Consume('}')) break;
+      if (!Consume(',')) {
+        Fail("expected ',' or '}'");
+        break;
+      }
+    }
+    return v;
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) return v;
+    while (!failed_) {
+      v.items_.push_back(ParseValue());
+      if (Consume(']')) break;
+      if (!Consume(',')) {
+        Fail("expected ',' or ']'");
+        break;
+      }
+    }
+    return v;
+  }
+
+  JsonValue ParseString() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kString;
+    ++pos_;  // '"'
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        v.str_ += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case 'n': v.str_ += '\n'; break;
+        case 't': v.str_ += '\t'; break;
+        case 'r': v.str_ += '\r'; break;
+        case 'b': v.str_ += '\b'; break;
+        case 'f': v.str_ += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            Fail("bad \\u escape");
+            return v;
+          }
+          const unsigned long cp =
+              std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Basic UTF-8 encode; surrogate pairs unsupported.
+          if (cp < 0x80) {
+            v.str_ += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            v.str_ += static_cast<char>(0xC0 | (cp >> 6));
+            v.str_ += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            v.str_ += static_cast<char>(0xE0 | (cp >> 12));
+            v.str_ += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            v.str_ += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: v.str_ += esc;
+      }
+    }
+    if (pos_ >= s_.size()) {
+      Fail("unterminated string");
+    } else {
+      ++pos_;  // closing '"'
+    }
+    return v;
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.num_ = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+JsonValue JsonValue::Parse(const std::string& text, std::string* error) {
+  return JsonParser(text, error).Run();
+}
+
+}  // namespace obs
+}  // namespace hgdb

@@ -1,0 +1,62 @@
+#ifndef HISTGRAPH_OBS_JSON_H_
+#define HISTGRAPH_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hgdb {
+namespace obs {
+
+/// \brief Minimal JSON value tree + recursive-descent parser, just enough to
+/// read back the JSON this module emits (traces, metrics snapshots, BENCH
+/// reports) in the trace viewer and in tests. Not a general-purpose library:
+/// no surrogate-pair unicode, numbers parse as double.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool AsBool(bool def = false) const {
+    return kind_ == Kind::kBool ? bool_ : def;
+  }
+  double AsDouble(double def = 0) const {
+    return kind_ == Kind::kNumber ? num_ : def;
+  }
+  int64_t AsInt(int64_t def = 0) const {
+    return kind_ == Kind::kNumber ? static_cast<int64_t>(num_) : def;
+  }
+  const std::string& AsString() const { return str_; }
+
+  const std::vector<JsonValue>& Items() const { return items_; }
+  /// Object member by key; a shared null value when absent (so lookups chain:
+  /// `v["summary"]["kv_reads"].AsInt()`).
+  const JsonValue& operator[](const std::string& key) const;
+  bool Has(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    return members_;
+  }
+
+  /// Parses `text`; returns null (with *error set) on malformed input.
+  static JsonValue Parse(const std::string& text, std::string* error = nullptr);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace obs
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_OBS_JSON_H_

@@ -1,0 +1,286 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace hgdb {
+namespace obs {
+
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  // Initialized once from the environment; SetMetricsEnabled overrides.
+  static std::atomic<bool> flag = [] {
+    const char* v = std::getenv("HISTGRAPH_METRICS");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return flag;
+}
+
+void AppendJSONString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void AppendHistJSON(std::ostringstream& out, uint64_t count, uint64_t sum,
+                    const std::vector<uint64_t>& buckets) {
+  out << "{\"count\":" << count << ",\"sum\":" << sum;
+  if (count > 0) {
+    out << ",\"mean\":" << static_cast<double>(sum) / static_cast<double>(count)
+        << ",\"p50\":" << Histogram::QuantileOf(buckets, 0.50)
+        << ",\"p95\":" << Histogram::QuantileOf(buckets, 0.95)
+        << ",\"p99\":" << Histogram::QuantileOf(buckets, 0.99);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> merged(kNumBuckets, 0);
+  for (const auto& s : shards_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      merged[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      n += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return n;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s.sum.load(std::memory_order_relaxed);
+  return n;
+}
+
+uint64_t Histogram::BucketLowerBound(int i) {
+  if (i < 32) return static_cast<uint64_t>(i);
+  const int octave = kMinOctave + (i - 32) / kSubBuckets;
+  const int sub = (i - 32) % kSubBuckets;
+  // Sub-bucket width within the octave is 2^(octave-4).
+  return (uint64_t(1) << octave) +
+         static_cast<uint64_t>(sub) * (uint64_t(1) << (octave - 4));
+}
+
+double Histogram::BucketMidpoint(int i) {
+  if (i < 32) return static_cast<double>(i);
+  const int octave = kMinOctave + (i - 32) / kSubBuckets;
+  const double width = static_cast<double>(uint64_t(1) << (octave - 4));
+  return static_cast<double>(BucketLowerBound(i)) + width / 2.0;
+}
+
+double Histogram::QuantileOf(const std::vector<uint64_t>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-quantile element (nearest-rank, 1-based).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketMidpoint(static_cast<int>(i));
+  }
+  return BucketMidpoint(static_cast<int>(buckets.size()) - 1);
+}
+
+double Histogram::Quantile(double q) const { return QuantileOf(BucketCounts(), q); }
+
+void Histogram::Reset() {
+  for (auto& s : shards_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsSnapshot::ToJSON() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out << ",";
+    first = false;
+    AppendJSONString(out, name);
+    out << ":" << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out << ",";
+    first = false;
+    AppendJSONString(out, name);
+    out << ":" << v;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ",";
+    first = false;
+    AppendJSONString(out, name);
+    out << ":";
+    AppendHistJSON(out, h.count, h.sum, h.buckets);
+  }
+  out << "}}";
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed
+  return *r;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(name) || histograms_.count(name)) return nullptr;
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || histograms_.count(name)) return nullptr;
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || gauges_.count(name)) return nullptr;
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterProvider(const std::string& name,
+                                       std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_[name] = std::move(fn);
+}
+
+void MetricsRegistry::UnregisterProvider(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.erase(name);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    auto& out = snap.histograms[name];
+    out.buckets = h->BucketCounts();
+    for (uint64_t c : out.buckets) out.count += c;
+    out.sum = h->Sum();
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToJSON() const {
+  MetricsSnapshot snap = Snapshot();
+  // Providers run outside the registry lock: a provider may itself read
+  // metrics or register lazily.
+  std::vector<std::pair<std::string, std::function<std::string()>>> provs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, fn] : providers_) provs.emplace_back(name, fn);
+  }
+  std::string base = snap.ToJSON();
+  if (provs.empty()) return base;
+  std::ostringstream out;
+  // Splice "exports" into the snapshot object before the closing brace.
+  out << base.substr(0, base.size() - 1) << ",\"exports\":{";
+  bool first = true;
+  for (const auto& [name, fn] : provs) {
+    if (!first) out << ",";
+    first = false;
+    AppendJSONString(out, name);
+    out << ":" << fn();
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::DeltaJSON(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : after.counters) {
+    auto it = before.counters.find(name);
+    d.counters[name] = v - (it == before.counters.end() ? 0 : it->second);
+  }
+  d.gauges = after.gauges;
+  for (const auto& [name, h] : after.histograms) {
+    auto it = before.histograms.find(name);
+    MetricsSnapshot::Hist out = h;
+    if (it != before.histograms.end()) {
+      const auto& prev = it->second;
+      for (size_t i = 0; i < out.buckets.size() && i < prev.buckets.size(); ++i) {
+        out.buckets[i] -= prev.buckets[i];
+      }
+      out.count -= prev.count;
+      out.sum -= prev.sum;
+    }
+    d.histograms[name] = std::move(out);
+  }
+  return d.ToJSON();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace hgdb

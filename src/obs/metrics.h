@@ -1,0 +1,224 @@
+#ifndef HISTGRAPH_OBS_METRICS_H_
+#define HISTGRAPH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hgdb {
+namespace obs {
+
+/// \brief Process-wide metrics: named counters, gauges, and log-bucketed
+/// latency histograms, sharded per-thread so hot-path increments are one
+/// relaxed atomic add with no shared cache line.
+///
+/// The whole subsystem sits behind one gate, `MetricsEnabled()`: a single
+/// relaxed atomic-bool load. When off (the default unless HISTGRAPH_METRICS
+/// is set, or a bench/server enables it programmatically), every Add/Record
+/// is that one load plus a branch — no allocation, no store, no lock
+/// (enforced by obs_test's zero-allocation check). Metric objects are
+/// allocated once at first GetCounter/GetGauge/GetHistogram and never freed,
+/// so callers cache the returned pointer (typically in a function-local
+/// static) and the hot path never touches the registry lock.
+///
+/// Naming scheme (see src/obs/README.md): `<subsystem>.<metric>` in
+/// lower_snake_case, with a unit suffix where one applies — `_us` for
+/// microseconds, `_bytes` for bytes. Counters count events; gauges hold a
+/// settable level; histograms record value distributions and export
+/// p50/p95/p99.
+
+/// True when metric recording is on. Initialized from the HISTGRAPH_METRICS
+/// environment variable (unset/0 = off) at first use; overridable at runtime.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool on);
+
+namespace internal {
+
+/// Number of per-thread shards a metric's storage is split across. Threads
+/// map to shards by a sticky thread-local slot, so two threads only contend
+/// when they alias modulo the shard count.
+inline constexpr size_t kMetricShards = 16;
+
+/// The calling thread's sticky shard index in [0, kMetricShards).
+size_t ThreadShard();
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> v{0};
+};
+
+}  // namespace internal
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    shards_[internal::ThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void Reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<internal::ShardCell, internal::kMetricShards> shards_;
+};
+
+/// A settable level (queue depths, resident bytes, shard counts).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief A log-linear histogram of non-negative 64-bit values (HDR-style):
+/// values below 32 get exact buckets; above, each power-of-two octave is
+/// split into 16 sub-buckets, so the quantile error is bounded by one
+/// sub-bucket — at most 1/16 ≈ 6.25% relative (obs_test checks this against
+/// a sorted oracle). Values are clamped to ~2^39 (≈ 9 minutes in
+/// microseconds... and 550 billion of anything else), far above any latency
+/// this system records.
+class Histogram {
+ public:
+  /// Exact buckets [0, 32) + 16 sub-buckets per octave for 2^5..2^39.
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kMinOctave = 5;
+  static constexpr int kMaxOctave = 39;
+  static constexpr int kNumBuckets =
+      32 + (kMaxOctave - kMinOctave + 1) * kSubBuckets;
+
+  void Record(uint64_t v) {
+    if (!MetricsEnabled()) return;
+    // ThreadShard() ranges over kMetricShards slots; fold onto this metric's
+    // smaller shard count.
+    Shard& s = shards_[internal::ThreadShard() % shards_.size()];
+    s.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Merged per-bucket counts (index by BucketIndex).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  /// q in [0, 1]; returns a representative value (bucket midpoint) of the
+  /// bucket holding the q-quantile, 0 when empty.
+  double Quantile(double q) const;
+  void Reset();
+
+  static int BucketIndex(uint64_t v) {
+    if (v < 32) return static_cast<int>(v);
+    int octave = 63;
+    while ((v >> octave) == 0) --octave;  // octave = floor(log2 v) >= 5.
+    if (octave > kMaxOctave) {
+      octave = kMaxOctave;
+      v = (uint64_t(1) << (kMaxOctave + 1)) - 1;
+    }
+    const int sub = static_cast<int>((v >> (octave - 4)) & 15);
+    return 32 + (octave - kMinOctave) * kSubBuckets + sub;
+  }
+  /// Inclusive lower bound of bucket `i`.
+  static uint64_t BucketLowerBound(int i);
+  /// Midpoint representative used by Quantile.
+  static double BucketMidpoint(int i);
+
+  /// Quantile over an externally merged bucket array (snapshot deltas).
+  static double QuantileOf(const std::vector<uint64_t>& buckets, double q);
+
+ private:
+  struct Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  // Histograms are bigger than counters; shard less aggressively (recording a
+  // latency is rarer than bumping a counter).
+  std::array<Shard, 4> shards_;
+};
+
+/// Point-in-time copy of every registered metric, used for delta export
+/// ("what did this query/bench section cost").
+struct MetricsSnapshot {
+  struct Hist {
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Hist> histograms;
+
+  std::string ToJSON() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem records into.
+  static MetricsRegistry& Global();
+
+  /// Returns the named metric, creating it on first use. The pointer is
+  /// valid for the process lifetime; asking for the same name with a
+  /// different metric kind returns nullptr (a naming bug).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Registers a named export hook: `fn` returns a JSON *value* (object,
+  /// array, or scalar) embedded verbatim under "exports" in ToJSON. Used for
+  /// structured per-instance state that is not a scalar metric — e.g. a
+  /// DeltaGraph's skeleton stats or its per-delta fetch-frequency table.
+  /// Re-registering a name replaces the hook; owners must Unregister before
+  /// they die.
+  void RegisterProvider(const std::string& name, std::function<std::string()> fn);
+  void UnregisterProvider(const std::string& name);
+
+  /// Copies every metric's current value.
+  MetricsSnapshot Snapshot() const;
+
+  /// Full JSON export: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, p50, p95, p99}}, "exports": {...}}.
+  std::string ToJSON() const;
+
+  /// JSON of the difference `after - before` (counters and histogram buckets
+  /// subtract; gauges report their `after` value). Quantiles are recomputed
+  /// over the subtracted buckets, so a delta's p99 reflects only the window.
+  static std::string DeltaJSON(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+  /// Zeroes every registered metric (metric pointers stay valid). Tests and
+  /// bench sections use this to measure from a clean slate.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<std::string()>> providers_;
+};
+
+}  // namespace obs
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_OBS_METRICS_H_

@@ -1,0 +1,192 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hgdb {
+namespace obs {
+
+namespace {
+
+std::atomic<bool>& TraceFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* v = std::getenv("HISTGRAPH_TRACE");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return flag;
+}
+
+bool EnvDumpRequested() {
+  const char* v = std::getenv("HISTGRAPH_TRACE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+void AppendJSONString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void AppendAttr(std::ostringstream& out, const QueryTrace::AttrValue& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    out << *i;
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    out << *d;
+  } else {
+    AppendJSONString(out, std::get<std::string>(v));
+  }
+}
+
+}  // namespace
+
+bool TraceEnabled() { return TraceFlag().load(std::memory_order_relaxed); }
+void SetTraceEnabled(bool on) {
+  TraceFlag().store(on, std::memory_order_relaxed);
+}
+
+QueryTrace::QueryTrace() : start_(std::chrono::steady_clock::now()) {}
+
+int64_t QueryTrace::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+SpanId QueryTrace::BeginSpan(const std::string& name, SpanId parent) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span s;
+  s.id = static_cast<SpanId>(spans_.size());
+  s.parent = parent;
+  s.name = name;
+  s.start_ns = now;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void QueryTrace::EndSpan(SpanId id) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  if (spans_[id].end_ns < 0) spans_[id].end_ns = now;
+}
+
+void QueryTrace::SetAttr(SpanId id, const std::string& key, AttrValue v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  auto& attrs = spans_[id].attrs;
+  for (auto& [k, old] : attrs) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  attrs.emplace_back(key, std::move(v));
+}
+
+void QueryTrace::Finish() {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_ns_ >= 0) return;
+  finished_ns_ = now;
+  for (auto& s : spans_) {
+    if (s.end_ns < 0) s.end_ns = now;
+  }
+}
+
+double QueryTrace::PrefetchCoverage() const {
+  const uint64_t total = fetches_total.load(std::memory_order_relaxed);
+  if (total == 0) return 1.0;
+  const uint64_t pre = fetches_prefetched.load(std::memory_order_relaxed);
+  return static_cast<double>(pre) / static_cast<double>(total);
+}
+
+std::vector<QueryTrace::Span> QueryTrace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string QueryTrace::ToJSON() const {
+  std::ostringstream out;
+  std::vector<Span> spans;
+  int64_t finished;
+  std::string label;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    finished = finished_ns_;
+    label = query_label_;
+  }
+  out << "{\"query\":";
+  AppendJSONString(out, label.empty() ? "query" : label);
+  out << ",\"total_us\":" << (finished >= 0 ? finished : NowNs()) / 1000.0;
+  const uint64_t total = fetches_total.load(std::memory_order_relaxed);
+  out << ",\"summary\":{"
+      << "\"fetches_total\":" << total
+      << ",\"fetches_prefetched\":"
+      << fetches_prefetched.load(std::memory_order_relaxed)
+      << ",\"fetches_demand\":" << fetches_demand.load(std::memory_order_relaxed)
+      << ",\"prefetch_issued\":" << prefetch_issued.load(std::memory_order_relaxed)
+      << ",\"prefetch_coverage\":" << PrefetchCoverage()
+      << ",\"lru_hits\":" << lru_hits.load(std::memory_order_relaxed)
+      << ",\"lru_misses\":" << lru_misses.load(std::memory_order_relaxed)
+      << ",\"kv_reads\":" << kv_reads.load(std::memory_order_relaxed)
+      << ",\"bytes_read\":" << bytes_read.load(std::memory_order_relaxed)
+      << ",\"bytes_decoded\":" << bytes_decoded.load(std::memory_order_relaxed)
+      << "},\"spans\":[";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":" << s.id << ",\"parent\":" << s.parent << ",\"name\":";
+    AppendJSONString(out, s.name);
+    out << ",\"start_us\":" << s.start_ns / 1000.0 << ",\"dur_us\":"
+        << (s.end_ns >= 0 ? (s.end_ns - s.start_ns) / 1000.0 : -1.0);
+    for (const auto& [k, v] : s.attrs) {
+      out << ",";
+      AppendJSONString(out, k);
+      out << ":";
+      AppendAttr(out, v);
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void FinishAndMaybeDump(QueryTrace* trace) {
+  if (trace == nullptr) return;
+  trace->Finish();
+  if (!EnvDumpRequested()) return;
+  const std::string json = trace->ToJSON();
+  if (const char* path = std::getenv("HISTGRAPH_TRACE_OUT");
+      path != nullptr && path[0] != '\0') {
+    if (std::FILE* f = std::fopen(path, "a")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      return;
+    }
+  }
+  std::fwrite(json.data(), 1, json.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace obs
+}  // namespace hgdb
