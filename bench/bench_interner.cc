@@ -1,0 +1,114 @@
+// Contention micro-bench for the sharded StringInterner: threads hammer
+// Intern() under three mixes — all-miss (every op interns a fresh string:
+// pure write-side contention, the case sharding targets), all-hit (a shared
+// pool of pre-interned strings: the lock-free probe path), and a 90/10
+// hit/miss mix (the shape decode workloads actually have — most attribute
+// strings repeat, a few are first sightings).
+//
+// Output: ops/s per (mix, thread count) on stdout and BENCH_interner.json
+// rows named `<mix>_t<threads>_ns_per_op`.
+//
+// Knobs: HISTGRAPH_INTERNER_OPS (per thread, default 200000),
+//        HISTGRAPH_INTERNER_MAX_THREADS (default 8).
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/env_util.h"
+#include "common/interner.h"
+#include "common/stopwatch.h"
+
+namespace hgdb {
+namespace {
+
+using bench::OpenReport;
+using bench::PrintHeader;
+using bench::ReportResult;
+using bench::WriteReport;
+
+// Tags make every phase's miss strings globally fresh (the interner is
+// append-only and process-wide, so reuse across phases would turn misses
+// into hits).
+std::string MissKey(int phase, int tid, int i) {
+  return "bench-miss-" + std::to_string(phase) + "-" + std::to_string(tid) +
+         "-" + std::to_string(i);
+}
+
+struct MixResult {
+  double ns_per_op = 0;
+  double mops = 0;
+};
+
+// hit_per_mille: 0 = all miss, 1000 = all hit.
+MixResult RunMix(int phase, int threads, int ops_per_thread, int hit_per_mille,
+                 const std::vector<AttrId>& pool) {
+  auto& interner = StringInterner::Global();
+  std::vector<std::thread> workers;
+  Stopwatch sw;
+  for (int tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      uint64_t x = 0x9e3779b97f4a7c15ull * (tid + 1) + phase;
+      int fresh = 0;
+      for (int i = 0; i < ops_per_thread; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if (static_cast<int>(x % 1000) < hit_per_mille) {
+          const std::string& s = interner.Get(pool[x % pool.size()]);
+          if (interner.Intern(s) == kInvalidAttrId) std::abort();
+        } else {
+          if (interner.Intern(MissKey(phase, tid, fresh++)) == kInvalidAttrId) {
+            std::abort();
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double total_ns = sw.ElapsedMicros() * 1000.0;
+  const double ops = static_cast<double>(threads) * ops_per_thread;
+  return MixResult{total_ns / ops, ops * 1000.0 / total_ns};
+}
+
+int Main() {
+  const int ops = GetEnvInt("HISTGRAPH_INTERNER_OPS", 200000);
+  const int max_threads = GetEnvInt("HISTGRAPH_INTERNER_MAX_THREADS", 8);
+  PrintHeader("interner contention (sharded write path)");
+  OpenReport("interner");
+
+  // Shared hit pool, sized like a real attribute vocabulary.
+  std::vector<AttrId> pool;
+  for (int i = 0; i < 4096; ++i) {
+    pool.push_back(InternAttr("bench-pool-" + std::to_string(i)));
+  }
+
+  struct Mix {
+    const char* name;
+    int hit_per_mille;
+  };
+  const Mix mixes[] = {{"miss", 0}, {"hit", 1000}, {"mixed90", 900}};
+  int phase = 0;
+  for (const Mix& mix : mixes) {
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+      const MixResult r = RunMix(++phase, threads, ops, mix.hit_per_mille, pool);
+      std::printf("  %-8s t=%d  %8.1f ns/op  %7.2f Mops/s\n", mix.name,
+                  threads, r.ns_per_op, r.mops);
+      ReportResult(std::string(mix.name) + "_t" + std::to_string(threads) +
+                       "_ns_per_op",
+                   r.ns_per_op);
+    }
+  }
+  std::printf("  interned strings: %zu (%.1f MB)\n",
+              StringInterner::Global().size(),
+              StringInterner::Global().MemoryBytes() / (1024.0 * 1024.0));
+  WriteReport();
+  return 0;
+}
+
+}  // namespace
+}  // namespace hgdb
+
+int main() { return hgdb::Main(); }

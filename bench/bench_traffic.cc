@@ -1,0 +1,315 @@
+// Traffic driver: mixed read/write load against a HistGraphServer.
+//
+// Models the paper's target deployment — a historical graph store serving
+// "heavy traffic from millions of users" — as an open-loop driver: Zipf-
+// skewed query times (recent history is hot), bursty exponential arrivals, a
+// configurable read/write mix and single/multipoint blend. Two phases run
+// against the same server and index:
+//
+//   A  ingest-idle:  readers only; the baseline read latency profile.
+//   B  90/10 mix:    the same readers while the ingest strand continuously
+//                    applies batches and periodic finalizes.
+//
+// Reported per phase: sustained QPS and p50/p95/p99 read latency, taken from
+// the obs `server.query_us` histogram as a *windowed delta* (snapshot before
+// / after each measured phase, quantiles recomputed over the subtracted
+// buckets) so warmup iterations never pollute the reported tail. The final
+// row reports phase B's p95 regression over phase A — the epoch/frontier
+// machinery's whole point is keeping that small.
+//
+// Env knobs: HISTGRAPH_TRAFFIC_OPS (reads per phase, default 400),
+// HISTGRAPH_TRAFFIC_READERS (reader threads, default 4),
+// HISTGRAPH_TRAFFIC_QPS (target offered load, default 2000),
+// HISTGRAPH_SCALE (index size), plus the bench-common store knobs.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/metrics.h"
+#include "server/hist_graph_server.h"
+#include "workload/generators.h"
+
+namespace hgdb {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Zipf-skewed pick over `buckets` ranks (rank 0 hottest), exponent ~1.1.
+class ZipfPicker {
+ public:
+  explicit ZipfPicker(int buckets, double s = 1.1) : cdf_(buckets) {
+    double total = 0;
+    for (int i = 0; i < buckets; ++i) {
+      total += 1.0 / std::pow(i + 1, s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  int Pick(std::mt19937_64& rng) const {
+    const double u = std::uniform_real_distribution<double>(0, 1)(rng);
+    return static_cast<int>(std::lower_bound(cdf_.begin(), cdf_.end(), u) -
+                            cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct TrafficConfig {
+  Timestamp lo = 0, hi = 0;  ///< Queryable time span.
+  int buckets = 64;          ///< Zipf buckets over the span (0 = newest).
+  double p_multipoint = 0.2;
+  int multipoint_times = 4;
+  double target_qps = 2000;  ///< Offered load across all readers.
+};
+
+// One reader thread: `ops` queries against `server`, open-loop — arrivals
+// follow a precomputed bursty-exponential schedule; when the server falls
+// behind the schedule the reader does not slow down (queueing shows up as
+// latency), which is what distinguishes an open-loop driver from a closed
+// loop that politely waits.
+void RunReader(HistGraphServer* server, const TrafficConfig& cfg, int ops,
+               uint64_t seed, std::atomic<uint64_t>* completed,
+               std::atomic<uint64_t>* errors) {
+  std::mt19937_64 rng(seed);
+  const ZipfPicker zipf(cfg.buckets);
+  std::exponential_distribution<double> interarrival(cfg.target_qps);
+  std::uniform_real_distribution<double> unit(0, 1);
+  const double span = static_cast<double>(cfg.hi - cfg.lo);
+
+  auto pick_time = [&] {
+    // Rank 0 = the most recent bucket of the span.
+    const int b = zipf.Pick(rng);
+    const double bucket_width = span / cfg.buckets;
+    const double hi_off = span - b * bucket_width;
+    const double lo_off = std::max(0.0, hi_off - bucket_width);
+    return cfg.lo +
+           static_cast<Timestamp>(lo_off + unit(rng) * (hi_off - lo_off));
+  };
+
+  const auto start = Clock::now();
+  double next_arrival_s = 0;
+  for (int i = 0; i < ops; ++i) {
+    // Bursty arrivals: every 64 ops, a 16-op burst arrives at 8x rate.
+    const bool burst = (i % 64) < 16;
+    next_arrival_s += interarrival(rng) * (burst ? 0.125 : 1.0);
+    const auto scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(next_arrival_s));
+    if (scheduled > Clock::now()) std::this_thread::sleep_until(scheduled);
+
+    std::vector<Timestamp> times;
+    if (unit(rng) < cfg.p_multipoint) {
+      times.reserve(cfg.multipoint_times);
+      for (int k = 0; k < cfg.multipoint_times; ++k) times.push_back(pick_time());
+    } else {
+      times.push_back(pick_time());
+    }
+    auto r = server->Retrieve(times, kCompAll);
+    if (r.ok()) {
+      completed->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      errors->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+struct PhaseStats {
+  double qps = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  uint64_t reads = 0, errors = 0;
+};
+
+// Quantiles of the `server.query_us` histogram over the window
+// [before, after] — the DeltaJSON windowing discipline, applied directly:
+// subtract bucket counts, recompute quantiles over the difference.
+void WindowedLatency(const obs::MetricsSnapshot& before,
+                     const obs::MetricsSnapshot& after, PhaseStats* out) {
+  auto it_after = after.histograms.find("server.query_us");
+  if (it_after == after.histograms.end()) return;
+  std::vector<uint64_t> window = it_after->second.buckets;
+  auto it_before = before.histograms.find("server.query_us");
+  if (it_before != before.histograms.end()) {
+    const auto& prior = it_before->second.buckets;
+    for (size_t i = 0; i < window.size() && i < prior.size(); ++i) {
+      window[i] -= prior[i];
+    }
+  }
+  out->p50_us = obs::Histogram::QuantileOf(window, 0.50);
+  out->p95_us = obs::Histogram::QuantileOf(window, 0.95);
+  out->p99_us = obs::Histogram::QuantileOf(window, 0.99);
+}
+
+PhaseStats RunPhase(HistGraphServer* server, const TrafficConfig& cfg,
+                    int total_ops, int readers, uint64_t seed_base) {
+  std::atomic<uint64_t> completed{0}, errors{0};
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    TrafficConfig per_reader = cfg;
+    per_reader.target_qps = cfg.target_qps / readers;
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back(RunReader, server, per_reader, total_ops / readers,
+                           seed_base + r, &completed, &errors);
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+
+  PhaseStats stats;
+  stats.reads = completed.load();
+  stats.errors = errors.load();
+  stats.qps = secs > 0 ? stats.reads / secs : 0;
+  WindowedLatency(before, after, &stats);
+  return stats;
+}
+
+}  // namespace
+
+int Main() {
+  PrintHeader("bench_traffic: mixed ingest/retrieval traffic via HistGraphServer");
+  OpenReport("traffic");
+
+  const int ops = static_cast<int>(GetEnvInt("HISTGRAPH_TRAFFIC_OPS", 400));
+  const int readers =
+      std::max<int>(1, GetEnvInt("HISTGRAPH_TRAFFIC_READERS", 4));
+  const double qps = GetEnvDouble("HISTGRAPH_TRAFFIC_QPS", 2000);
+
+  // One self-consistent event log: the first 80% is bulk-loaded and
+  // finalized (the served index), the last 20% is the live ingest stream
+  // phase B appends while readers run.
+  GeneratedTrace trace = GenerateRandomTrace(RandomTraceOptions{
+      .num_events = static_cast<size_t>(40000 * WorkloadScale()),
+      .seed = 20130408,
+  });
+  const size_t split = trace.events.size() * 8 / 10;
+  const std::vector<Event> base(trace.events.begin(),
+                                trace.events.begin() + split);
+  const std::vector<Event> live(trace.events.begin() + split,
+                                trace.events.end());
+
+  auto store = NewSimDiskStore();
+  HistGraphServerOptions options;
+  options.max_concurrent_queries = 256;
+  auto server_or = HistGraphServer::Create(store.get(), options);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "server create failed: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(server_or).value();
+
+  {
+    Stopwatch sw;
+    for (size_t i = 0; i < base.size(); i += 2048) {
+      const size_t n = std::min<size_t>(2048, base.size() - i);
+      std::vector<Event> batch(base.begin() + i, base.begin() + i + n);
+      if (!server->Append(std::move(batch)).ok()) return 1;
+    }
+    if (!server->Finalize().ok()) return 1;
+    const Status s = server->Flush();
+    if (!s.ok()) {
+      std::fprintf(stderr, "bulk load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %zu events in %s (epoch %llu)\n", base.size(),
+                FormatMs(sw.ElapsedMillis()).c_str(),
+                static_cast<unsigned long long>(server->frontier_epoch()));
+  }
+
+  TrafficConfig cfg;
+  cfg.lo = base.front().time;
+  cfg.hi = base.back().time;
+  cfg.target_qps = qps;
+
+  // Warmup (not measured): populate the decoded cache and page the skeleton
+  // path. The phase snapshots below exclude everything recorded here.
+  RunPhase(server.get(), cfg, std::max(32, ops / 8), readers, 1);
+
+  // Phase A: ingest idle.
+  const PhaseStats a = RunPhase(server.get(), cfg, ops, readers, 100);
+  std::printf("phase A (ingest idle):  %7.0f qps  p50 %.0fus  p95 %.0fus  "
+              "p99 %.0fus  (%llu reads, %llu errors)\n",
+              a.qps, a.p50_us, a.p95_us, a.p99_us,
+              static_cast<unsigned long long>(a.reads),
+              static_cast<unsigned long long>(a.errors));
+
+  // Phase B: same readers, while a writer streams the live 20% through the
+  // ingest strand in small batches with periodic finalizes — a ~90/10
+  // read/write op mix at the defaults.
+  std::atomic<bool> writer_stop{false};
+  std::atomic<uint64_t> batches_written{0};
+  std::thread writer([&] {
+    size_t i = 0;
+    const size_t batch_size = 64;
+    std::mt19937_64 wrng(7);
+    std::exponential_distribution<double> gap(qps / 9 / batch_size);
+    auto next = Clock::now();
+    while (!writer_stop.load(std::memory_order_relaxed) && i < live.size()) {
+      const size_t n = std::min(batch_size, live.size() - i);
+      std::vector<Event> batch(live.begin() + i, live.begin() + i + n);
+      if (server->Append(std::move(batch)).ok()) {
+        i += n;
+        batches_written.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (batches_written.load(std::memory_order_relaxed) % 32 == 0) {
+        (void)server->Finalize();
+      }
+      next += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(gap(wrng)));
+      std::this_thread::sleep_until(next);
+    }
+  });
+  const PhaseStats b = RunPhase(server.get(), cfg, ops, readers, 200);
+  writer_stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  const Status ingest_status = server->Flush();
+  std::printf("phase B (live ingest):  %7.0f qps  p50 %.0fus  p95 %.0fus  "
+              "p99 %.0fus  (%llu reads, %llu errors, %llu batches ingested, "
+              "ingest %s)\n",
+              b.qps, b.p50_us, b.p95_us, b.p99_us,
+              static_cast<unsigned long long>(b.reads),
+              static_cast<unsigned long long>(b.errors),
+              static_cast<unsigned long long>(batches_written.load()),
+              ingest_status.ToString().c_str());
+
+  const double regression_pct =
+      a.p95_us > 0 ? (b.p95_us / a.p95_us - 1.0) * 100.0 : 0.0;
+  std::printf("read p95 regression under ingest: %+.1f%%\n", regression_pct);
+
+  const auto st = server->stats();
+  std::printf("server: %llu admitted, %llu rejected, %llu deadline, epoch %llu\n",
+              static_cast<unsigned long long>(st.queries_admitted),
+              static_cast<unsigned long long>(st.queries_rejected),
+              static_cast<unsigned long long>(st.deadlines_exceeded),
+              static_cast<unsigned long long>(st.frontier_epoch));
+
+  // Machine-readable rows (values carried in the wall_ns column; *_us rows
+  // are microseconds * 1000 = ns, qps and pct rows use the unit their name
+  // says). The CI smoke step asserts these rows exist.
+  ReportResult("phase_a_qps", a.qps);
+  ReportResult("phase_a_read_p50_us", a.p50_us * 1000);
+  ReportResult("phase_a_read_p95_us", a.p95_us * 1000);
+  ReportResult("phase_a_read_p99_us", a.p99_us * 1000);
+  ReportResult("phase_b_qps", b.qps);
+  ReportResult("phase_b_read_p50_us", b.p50_us * 1000);
+  ReportResult("phase_b_read_p95_us", b.p95_us * 1000);
+  ReportResult("phase_b_read_p99_us", b.p99_us * 1000);
+  ReportResult("read_p95_regression_pct_milli", regression_pct * 1000);
+  return ingest_status.ok() && a.errors == 0 && b.errors == 0 ? 0 : 1;
+}
+
+}  // namespace bench
+}  // namespace hgdb
+
+int main() { return hgdb::bench::Main(); }

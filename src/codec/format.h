@@ -56,6 +56,9 @@ enum BlockTag : uint8_t {
   kBlockEventMeta = 8,  ///< EventList: seq / time / op-kind columns.
   kBlockEventIds = 9,   ///< EventList: node / edge / src / dst / directed columns.
   kBlockEventAttrs = 10,  ///< EventList: key / old / new dictionary-id columns.
+  kBlockSkelNodes = 11,   ///< Skeleton: level/flags/hierarchy/time/size columns.
+  kBlockSkelEdges = 12,   ///< Skeleton: from/to/flags/delta-id/sizes columns.
+  kBlockSkelMeta = 13,    ///< Skeleton: super-root pointer.
 };
 inline constexpr uint8_t kBlockTagMask = 0x7f;
 inline constexpr uint8_t kBlockCompressedBit = 0x80;

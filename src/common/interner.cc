@@ -13,9 +13,13 @@ StringInterner::IndexTable::IndexTable(size_t cap)
       ids(new std::atomic<uint32_t>[cap]()) {}
 
 StringInterner::StringInterner()
-    : chunks_(new std::atomic<std::string*>[kMaxChunks]()) {
-  tables_.push_back(std::make_unique<IndexTable>(size_t{1} << 12));
-  index_.store(tables_.back().get(), std::memory_order_release);
+    : shards_(new Shard[kNumShards]),
+      chunks_(new std::atomic<std::string*>[kMaxChunks]()) {
+  for (size_t i = 0; i < kNumShards; ++i) {
+    shards_[i].tables.push_back(std::make_unique<IndexTable>(size_t{1} << 8));
+    shards_[i].index.store(shards_[i].tables.back().get(),
+                           std::memory_order_release);
+  }
 }
 
 StringInterner& StringInterner::Global() {
@@ -40,32 +44,41 @@ void StringInterner::InsertLocked(IndexTable* t, uint64_t h, AttrId id) {
   t->hashes[idx].store(h, std::memory_order_release);
 }
 
-AttrId StringInterner::InternSlow(uint64_t h, std::string_view s) {
-  std::lock_guard<std::mutex> lock(mu_);
-  IndexTable* table = index_.load(std::memory_order_relaxed);
+AttrId StringInterner::InternSlow(Shard& shard, uint64_t h, std::string_view s) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  IndexTable* table = shard.index.load(std::memory_order_relaxed);
   // Re-probe: the string may have been interned between the lock-free miss
-  // and acquiring the lock (the table is stable under the lock).
+  // and acquiring the lock (equal strings hash to the same shard, so the
+  // shard lock is enough to make first-sight interns unique).
   if (const AttrId raced = Probe(table, h, s); raced != kInvalidAttrId) {
     return raced;
   }
 
-  const uint32_t id = size_.load(std::memory_order_relaxed);
-  const size_t chunk_idx = id >> kChunkShift;
-  if (chunk_idx >= kMaxChunks) {
-    std::fprintf(stderr, "StringInterner: id space exhausted\n");
-    std::abort();
+  // Allocate the id from the shard's current chunk, grabbing a fresh chunk
+  // from the shared counter when it's full. Chunks are owned by one shard,
+  // so the string write below is ordered by this shard's lock alone.
+  if (shard.owned_chunks.empty() || shard.chunk_used == kChunkSize) {
+    const uint32_t chunk_idx =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk_idx >= kMaxChunks) {
+      std::fprintf(stderr, "StringInterner: id space exhausted\n");
+      std::abort();
+    }
+    chunks_[chunk_idx].store(new std::string[kChunkSize],
+                             std::memory_order_release);
+    shard.owned_chunks.push_back(chunk_idx);
+    shard.chunk_used = 0;
   }
-  std::string* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
-  if (chunk == nullptr) {
-    chunk = new std::string[kChunkSize];
-    chunks_[chunk_idx].store(chunk, std::memory_order_release);
-  }
-  chunk[id & kChunkMask] = std::string(s);
+  const uint32_t id = (shard.owned_chunks.back() << kChunkShift) |
+                      shard.chunk_used++;
+  chunks_[id >> kChunkShift].load(std::memory_order_relaxed)[id & kChunkMask] =
+      std::string(s);
 
   // Grow the index at 70% load. Old tables are retired, not freed: a reader
   // may still be probing one (append-only, so stale tables are merely
   // incomplete — its misses fall through to this locked path).
-  if ((id + 1) * 10 > table->capacity * 7) {
+  ++shard.count;
+  if (shard.count * 10 > table->capacity * 7) {
     auto grown = std::make_unique<IndexTable>(table->capacity * 2);
     for (size_t i = 0; i < table->capacity; ++i) {
       const uint64_t hv = table->hashes[i].load(std::memory_order_relaxed);
@@ -75,26 +88,34 @@ AttrId StringInterner::InternSlow(uint64_t h, std::string_view s) {
       }
     }
     table = grown.get();
-    tables_.push_back(std::move(grown));
-    index_.store(table, std::memory_order_release);
+    shard.tables.push_back(std::move(grown));
+    shard.index.store(table, std::memory_order_release);
   }
 
   InsertLocked(table, h, id);
-  size_.store(id + 1, std::memory_order_release);
+  size_.fetch_add(1, std::memory_order_release);
   return id;
 }
 
 size_t StringInterner::MemoryBytes() const {
-  const uint32_t n = size_.load(std::memory_order_acquire);
   size_t bytes = kMaxChunks * sizeof(std::atomic<std::string*>);
-  const size_t chunks_used = (n + kChunkSize - 1) >> kChunkShift;
-  bytes += chunks_used * kChunkSize * sizeof(std::string);
-  for (uint32_t id = 0; id < n; ++id) {
-    const std::string& s = Get(id);
-    if (s.capacity() > sizeof(std::string)) bytes += s.capacity();
+  for (size_t i = 0; i < kNumShards; ++i) {
+    Shard& shard = shards_[i];
+    // Under the shard lock every string this shard wrote is fully published.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes += shard.owned_chunks.size() * kChunkSize * sizeof(std::string);
+    for (size_t c = 0; c < shard.owned_chunks.size(); ++c) {
+      const std::string* chunk =
+          chunks_[shard.owned_chunks[c]].load(std::memory_order_relaxed);
+      const size_t used = c + 1 == shard.owned_chunks.size() ? shard.chunk_used
+                                                             : kChunkSize;
+      for (size_t j = 0; j < used; ++j) {
+        if (chunk[j].capacity() > sizeof(std::string)) bytes += chunk[j].capacity();
+      }
+    }
+    const IndexTable* t = shard.index.load(std::memory_order_relaxed);
+    bytes += t->capacity * (sizeof(uint64_t) + sizeof(uint32_t));
   }
-  const IndexTable* t = index_.load(std::memory_order_acquire);
-  bytes += t->capacity * (sizeof(uint64_t) + sizeof(uint32_t));
   return bytes;
 }
 

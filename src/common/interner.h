@@ -32,7 +32,14 @@ inline constexpr AttrId kInvalidAttrId = 0xFFFFFFFFu;
 ///  - Intern/Find hits: an open-addressing index of (hash, id) atomic pairs,
 ///    probed with acquire loads. Writers publish id before hash, so a reader
 ///    that sees the hash sees the id and the string bytes.
-/// Only a first-sight Intern (and index growth) takes the mutex.
+///
+/// First-sight Interns take a lock, but the write side is **sharded**: the
+/// index (and its mutex) is picked by the string's hash, so concurrent
+/// decoders interning distinct strings contend only 1/kNumShards of the
+/// time instead of on one process-wide mutex. Each shard allocates whole
+/// chunks from a shared chunk counter and then owns them, so the id space
+/// stays process-wide (ids remain comparable across shards) while every
+/// string write happens under exactly one shard's lock.
 class StringInterner {
  public:
   StringInterner();
@@ -45,14 +52,16 @@ class StringInterner {
   /// Returns the id of `s`, interning it on first sight.
   AttrId Intern(std::string_view s) {
     const uint64_t h = HashKey(s);
-    const AttrId hit = Probe(index_.load(std::memory_order_acquire), h, s);
-    return hit != kInvalidAttrId ? hit : InternSlow(h, s);
+    Shard& shard = ShardFor(h);
+    const AttrId hit = Probe(shard.index.load(std::memory_order_acquire), h, s);
+    return hit != kInvalidAttrId ? hit : InternSlow(shard, h, s);
   }
 
   /// Returns the id of `s` or kInvalidAttrId if it was never interned
   /// (read-only probes, e.g. attribute lookup by name).
   AttrId Find(std::string_view s) const {
-    return Probe(index_.load(std::memory_order_acquire), HashKey(s), s);
+    const uint64_t h = HashKey(s);
+    return Probe(ShardFor(h).index.load(std::memory_order_acquire), h, s);
   }
 
   /// Resolves an id (must have been returned by Intern). Lock-free; the
@@ -63,6 +72,7 @@ class StringInterner {
     return chunk[id & kChunkMask];
   }
 
+  /// Distinct strings interned so far (advisory; monotone).
   size_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Approximate heap bytes held by the interner (memory accounting).
@@ -74,6 +84,7 @@ class StringInterner {
   static constexpr size_t kChunkMask = kChunkSize - 1;
   // 512 KB directory, ~536M distinct strings before Intern reports overflow.
   static constexpr size_t kMaxChunks = size_t{1} << 16;
+  static constexpr size_t kNumShards = 16;
 
   /// One index generation: open-addressing (hash, id) slots. hash == 0 means
   /// empty; ids are published before hashes (release/acquire pairing).
@@ -84,7 +95,22 @@ class StringInterner {
     std::unique_ptr<std::atomic<uint32_t>[]> ids;
   };
 
+  /// Write-side state of one shard, padded to its own cache line so shard
+  /// mutexes don't false-share.
+  struct alignas(64) Shard {
+    std::mutex mu;  // Guards everything below + this shard's string writes.
+    std::atomic<IndexTable*> index{nullptr};
+    std::vector<std::unique_ptr<IndexTable>> tables;  // Current + retired.
+    uint32_t count = 0;       ///< Strings interned through this shard.
+    uint32_t chunk_used = 0;  ///< Slots used in the newest owned chunk.
+    std::vector<uint32_t> owned_chunks;  ///< Chunk directory indexes.
+  };
+
   static uint64_t HashKey(std::string_view s);
+
+  /// Shard selection uses high hash bits; index slots use low bits, so the
+  /// two stay decorrelated.
+  Shard& ShardFor(uint64_t h) const { return shards_[(h >> 57) & (kNumShards - 1)]; }
 
   AttrId Probe(const IndexTable* t, uint64_t h, std::string_view s) const {
     const size_t mask = t->capacity - 1;
@@ -98,13 +124,12 @@ class StringInterner {
     }
   }
 
-  AttrId InternSlow(uint64_t h, std::string_view s);
+  AttrId InternSlow(Shard& shard, uint64_t h, std::string_view s);
   void InsertLocked(IndexTable* t, uint64_t h, AttrId id);
 
-  std::mutex mu_;  // Guards writes: chunk allocation, index insert/growth.
-  std::atomic<IndexTable*> index_;
-  std::vector<std::unique_ptr<IndexTable>> tables_;  // Current + retired.
-  std::atomic<uint32_t> size_{0};
+  mutable std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint32_t> next_chunk_{0};  ///< Shared chunk allocator.
+  std::atomic<uint32_t> size_{0};        ///< Total across shards.
   // Chunk directory: slots are null until a chunk is published. The
   // directory itself is allocated once so chunk lookup never takes a lock;
   // chunks are never freed or moved.

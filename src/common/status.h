@@ -22,6 +22,11 @@ class Status {
     kNotSupported = 5,
     kOutOfRange = 6,
     kInternal = 7,
+    /// Transient overload: the server declined admission (queue full,
+    /// concurrency limit). Retrying later is expected to succeed.
+    kUnavailable = 8,
+    /// The caller's deadline expired before the operation completed.
+    kDeadlineExceeded = 9,
   };
 
   Status() : code_(Code::kOk) {}
@@ -42,6 +47,12 @@ class Status {
     return Status(Code::kOutOfRange, std::move(msg));
   }
   static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -51,6 +62,8 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -72,7 +72,16 @@ Status GraphManager::ApplyEvent(const Event& e) {
 }
 
 Status GraphManager::ApplyEvents(const std::vector<Event>& events) {
-  for (const auto& e : events) HG_RETURN_NOT_OK(ApplyEvent(e));
+  // Batched form: one AppendAll — and therefore ONE published epoch — for
+  // the whole batch, so concurrent readers never observe a torn batch. The
+  // pool's current graph then catches up event by event.
+  HG_RETURN_NOT_OK(dg_->AppendAll(events));
+  for (const auto& e : events) HG_RETURN_NOT_OK(pool_.ApplyEventToCurrent(e));
+  const size_t leaves = dg_->skeleton().leaves().size();
+  if (leaves != leaves_seen_) {
+    pool_.ClearRecentlyDeleted();
+    leaves_seen_ = leaves;
+  }
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
 #include "codec/format.h"
 #include "common/coding.h"
@@ -84,6 +85,7 @@ Result<std::unique_ptr<DeltaGraph>> DeltaGraph::Create(KVStore* store,
   super.level = 0;
   super.is_super_root = true;
   dg->skeleton_.SetSuperRoot(dg->skeleton_.AddNode(super));
+  dg->PublishFrontier();
   return dg;
 }
 
@@ -141,6 +143,11 @@ Result<std::unique_ptr<DeltaGraph>> DeltaGraph::Open(KVStore* store) {
     return s;
   }
 
+  // Publish the reopened state (sans current graph) so the rebuild below can
+  // execute against a pinned frontier like any other query.
+  dg->ResetRecentTail();
+  dg->PublishFrontier();
+
   // Rebuild the current graph: last leaf snapshot + recent events.
   if (dg->options_.maintain_current && !dg->skeleton_.leaves().empty()) {
     const Timestamp last_boundary =
@@ -151,7 +158,7 @@ Result<std::unique_ptr<DeltaGraph>> DeltaGraph::Open(KVStore* store) {
                                    .has_current = false});
     auto plan = planner.PlanSnapshots({last_boundary}, kCompAll);
     if (!plan.ok()) return plan.status();
-    auto snaps = dg->ExecuteSnapshotPlan(plan.value(), kCompAll);
+    auto snaps = dg->ExecuteSnapshotPlan(plan.value(), kCompAll, dg->PinFrontier());
     if (!snaps.ok()) return snaps.status();
     auto it = snaps.value().by_time.find(last_boundary);
     if (it == snaps.value().by_time.end()) {
@@ -159,8 +166,75 @@ Result<std::unique_ptr<DeltaGraph>> DeltaGraph::Open(KVStore* store) {
     }
     dg->current_ = std::move(it->second);
     HG_RETURN_NOT_OK(dg->current_.ApplyAll(dg->recent_.events(), /*forward=*/true));
+    dg->PublishFrontier();
   }
   return dg;
+}
+
+// ---------------------------------------------------------------------------
+// Epoch publication (single writer; see src/deltagraph/frontier.h)
+// ---------------------------------------------------------------------------
+
+void DeltaGraph::PushRecentTail(const Event& e) {
+  if (recent_tail_ == nullptr || recent_tail_count_ == recent_tail_->capacity()) {
+    // Full (or first use): move to a larger append-once buffer. The old
+    // buffer stays alive behind every frontier that references it.
+    const size_t cap = std::max<size_t>(
+        64, std::max(options_.leaf_size, 2 * recent_tail_count_));
+    auto grown = std::make_shared<RecentTail>(cap);
+    for (size_t i = 0; i < recent_tail_count_; ++i) {
+      *grown->slot(i) = *recent_tail_->slot(i);
+    }
+    recent_tail_ = std::move(grown);
+  }
+  *recent_tail_->slot(recent_tail_count_++) = e;
+}
+
+void DeltaGraph::ResetRecentTail() {
+  // A leaf cut (or reopen) leaves a *different* event sequence in recent_;
+  // published views of the old tail must not change, so start a new buffer.
+  const std::vector<Event>& ev = recent_.events();
+  recent_tail_ =
+      std::make_shared<RecentTail>(std::max<size_t>(64, std::max(options_.leaf_size, 2 * ev.size())));
+  for (size_t i = 0; i < ev.size(); ++i) *recent_tail_->slot(i) = ev[i];
+  recent_tail_count_ = ev.size();
+}
+
+void DeltaGraph::PublishFrontier() {
+  auto f = std::make_shared<FrontierState>();
+  f->epoch = ++epoch_;
+  if (skeleton_.version() != published_skeleton_version_) {
+    published_skeleton_ = std::make_shared<const Skeleton>(skeleton_);
+    published_skeleton_version_ = skeleton_.version();
+  }
+  f->skeleton = published_skeleton_;
+  if (options_.maintain_current) {
+    // O(1) COW copy: shares every chunk with the writer's working graph; the
+    // writer's next mutation clones the touched chunk (common/cow.h).
+    f->current = std::make_shared<const Snapshot>(current_);
+  }
+  if (materialized_dirty_) {
+    published_materialized_ = std::make_shared<
+        const std::map<int32_t, std::shared_ptr<Snapshot>>>(materialized_);
+    materialized_dirty_ = false;
+  }
+  f->materialized = published_materialized_;
+  f->recent = RecentView{recent_tail_, recent_tail_count_};
+  f->min_time = min_time_;
+  f->max_time = max_time_;
+  f->event_count = event_count_;
+  f->insert_events = insert_events_;
+  f->delete_events = delete_events_;
+  f->initial_elements = initial_elements_;
+  // The swap is the release point: every slot write and COW clone above
+  // happens-before any reader's pin (mutex release/acquire pairing). The
+  // lock covers only the pointer swap; the old frontier (possibly the last
+  // reference) is dropped after unlock.
+  FrontierPtr old;
+  {
+    std::lock_guard<std::mutex> lock(frontier_mu_);
+    old = std::exchange(frontier_, std::move(f));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -192,10 +266,17 @@ Status DeltaGraph::SetInitialSnapshot(const Snapshot& g0, Timestamp t0) {
     HG_RETURN_NOT_OK(hook->BuildOnInitialSnapshot(g0));
     HG_RETURN_NOT_OK(hook->BuildOnLeaf(leaf_id, -1, -1));
   }
+  PublishFrontier();
   return Status::OK();
 }
 
 Status DeltaGraph::Append(const Event& e) {
+  Status s = AppendOne(e);
+  PublishFrontier();
+  return s;
+}
+
+Status DeltaGraph::AppendOne(const Event& e) {
   if (e.time < max_time_) {
     return Status::InvalidArgument("events must be appended chronologically");
   }
@@ -235,6 +316,7 @@ Status DeltaGraph::Append(const Event& e) {
   }
   HG_RETURN_NOT_OK(current_.Apply(e, /*forward=*/true));
   recent_.Append(e);
+  PushRecentTail(e);
   min_time_ = std::min(min_time_, e.time);
   max_time_ = std::max(max_time_, e.time);
   ++event_count_;
@@ -251,8 +333,16 @@ Status DeltaGraph::Append(const Event& e) {
 }
 
 Status DeltaGraph::AppendAll(const std::vector<Event>& events) {
-  for (const auto& e : events) HG_RETURN_NOT_OK(Append(e));
-  return Status::OK();
+  // One epoch per batch: readers never observe a torn AppendAll. (On error
+  // the successfully applied prefix is still published — the frontier always
+  // reflects the events actually applied.)
+  Status s;
+  for (const auto& e : events) {
+    s = AppendOne(e);
+    if (!s.ok()) break;
+  }
+  PublishFrontier();
+  return s;
 }
 
 Status DeltaGraph::CutLeaf(size_t prefix) {
@@ -303,6 +393,7 @@ Status DeltaGraph::CutLeaf(size_t prefix) {
   } else {
     recent_ = EventList(std::vector<Event>(ev.begin() + prefix, ev.end()));
   }
+  ResetRecentTail();
   return CascadeMerges(/*force_partial=*/false);
 }
 
@@ -419,7 +510,9 @@ Status DeltaGraph::Finalize() {
     }
     pending_[h].clear();
   }
-  return PersistMeta();
+  Status s = PersistMeta();
+  PublishFrontier();
+  return s;
 }
 
 Status DeltaGraph::PersistMeta() {
@@ -483,7 +576,7 @@ Status DeltaGraph::MaterializeNode(int32_t node_id, unsigned components) {
   Planner planner(MakePlannerContext());
   auto plan = planner.PlanNodes(ids, components);
   if (!plan.ok()) return plan.status();
-  auto exec = ExecuteSnapshotPlan(plan.value(), components);
+  auto exec = ExecuteSnapshotPlan(plan.value(), components, PinFrontier());
   if (!exec.ok()) return exec.status();
   auto it = exec.value().by_node.find(node_id);
   if (it == exec.value().by_node.end()) {
@@ -494,6 +587,8 @@ Status DeltaGraph::MaterializeNode(int32_t node_id, unsigned components) {
   skeleton_.mutable_node(node_id)->materialized_components = components;
   skeleton_.mutable_node(node_id)->element_count =
       materialized_[node_id]->ElementCount();
+  materialized_dirty_ = true;
+  PublishFrontier();
   return Status::OK();
 }
 
@@ -501,6 +596,8 @@ Status DeltaGraph::UnmaterializeNode(int32_t node_id) {
   materialized_.erase(node_id);
   skeleton_.mutable_node(node_id)->materialized = false;
   skeleton_.mutable_node(node_id)->materialized_components = 0;
+  materialized_dirty_ = true;
+  PublishFrontier();
   return Status::OK();
 }
 
@@ -510,7 +607,7 @@ Result<size_t> DeltaGraph::MaterializeDepth(int depth, unsigned components) {
   Planner planner(MakePlannerContext());
   auto plan = planner.PlanNodes(ids, components);
   if (!plan.ok()) return plan.status();
-  auto exec = ExecuteSnapshotPlan(plan.value(), components);
+  auto exec = ExecuteSnapshotPlan(plan.value(), components, PinFrontier());
   if (!exec.ok()) return exec.status();
   size_t count = 0;
   for (auto& [id, snap] : exec.value().by_node) {
@@ -520,6 +617,8 @@ Result<size_t> DeltaGraph::MaterializeDepth(int depth, unsigned components) {
     skeleton_.mutable_node(id)->element_count = materialized_[id]->ElementCount();
     ++count;
   }
+  materialized_dirty_ = true;
+  PublishFrontier();
   return count;
 }
 
@@ -528,13 +627,15 @@ Status DeltaGraph::MaterializeAllLeaves(unsigned components) {
   Planner planner(MakePlannerContext());
   auto plan = planner.PlanNodes(ids, components);
   if (!plan.ok()) return plan.status();
-  auto exec = ExecuteSnapshotPlan(plan.value(), components);
+  auto exec = ExecuteSnapshotPlan(plan.value(), components, PinFrontier());
   if (!exec.ok()) return exec.status();
   for (auto& [id, snap] : exec.value().by_node) {
     materialized_[id] = std::make_shared<Snapshot>(std::move(snap));
     skeleton_.mutable_node(id)->materialized = true;
     skeleton_.mutable_node(id)->materialized_components = components;
   }
+  materialized_dirty_ = true;
+  PublishFrontier();
   return Status::OK();
 }
 
@@ -554,6 +655,18 @@ PlannerContext DeltaGraph::MakePlannerContext() const {
   ctx.recent_end = recent_.empty() ? kMinTimestamp : recent_.EndTime();
   ctx.has_current = options_.maintain_current;
   ctx.current_elements = current_.ElementCount();
+  return ctx;
+}
+
+PlannerContext DeltaGraph::MakePlannerContext(const FrontierState& frontier) const {
+  PlannerContext ctx;
+  ctx.skeleton = frontier.skeleton.get();
+  ctx.recent_count = frontier.recent.size();
+  ctx.recent_end =
+      frontier.recent.empty() ? kMinTimestamp : frontier.recent.EndTime();
+  ctx.has_current = options_.maintain_current && frontier.current != nullptr;
+  ctx.current_elements =
+      frontier.current == nullptr ? 0 : frontier.current->ElementCount();
   return ctx;
 }
 

@@ -1,9 +1,11 @@
 #ifndef HISTGRAPH_DELTAGRAPH_DELTA_GRAPH_H_
 #define HISTGRAPH_DELTAGRAPH_DELTA_GRAPH_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "deltagraph/aux_hook.h"
 #include "deltagraph/delta_store.h"
 #include "deltagraph/differential.h"
+#include "deltagraph/frontier.h"
 #include "deltagraph/plan.h"
 #include "deltagraph/planner.h"
 #include "deltagraph/skeleton.h"
@@ -69,8 +72,10 @@ struct DeltaGraphStats {
 
 /// Applies the events with lo < time <= hi to `g`: forward applies them
 /// oldest-first, backward applies the same range newest-first, inverted.
-/// Shared by the serial plan visitor and the parallel executor.
-Status ApplyEventRange(const std::vector<Event>& events, Snapshot* g, bool forward,
+/// Shared by the serial plan visitor and the parallel executor. Takes a span
+/// so both owned eventlists and pinned recent-tail views apply through one
+/// path.
+Status ApplyEventRange(std::span<const Event> events, Snapshot* g, bool forward,
                        Timestamp lo, Timestamp hi, unsigned components);
 
 /// \brief Visitor over a plan execution (used for snapshot retrieval and for
@@ -154,6 +159,37 @@ class DeltaGraph {
   Result<std::vector<Snapshot>> GetSnapshots(const std::vector<Timestamp>& times,
                                              unsigned components, obs::TraceCtx tc);
 
+  // -- Epoch-based visibility (see src/deltagraph/frontier.h) -----------------
+  /// Pins the latest published frontier: an immutable view of the index the
+  /// caller may plan and execute against while the writer keeps appending.
+  /// Never null (a fresh index publishes its empty state at construction).
+  /// The pin is one mutex-guarded shared_ptr copy — not std::atomic<
+  /// shared_ptr>, whose libstdc++ implementation unlocks its embedded
+  /// spinlock with a relaxed store on the load path, which leaves the
+  /// reader's pointer read formally unordered against the writer's next
+  /// swap (TSan reports it). One uncontended lock per *query* is noise.
+  FrontierPtr PinFrontier() const {
+    std::lock_guard<std::mutex> lock(frontier_mu_);
+    return frontier_;
+  }
+  /// Epoch of the latest published frontier.
+  uint64_t frontier_epoch() const { return PinFrontier()->epoch; }
+
+  /// GetSnapshots against an explicitly pinned frontier. All state — plan,
+  /// skeleton edges, current graph, materialized graphs, recent tail — is
+  /// resolved from `frontier`, so the result equals a replay of exactly
+  /// `frontier->event_count` events no matter what the writer does
+  /// concurrently. `frontier` must come from this graph's PinFrontier().
+  Result<std::vector<Snapshot>> GetSnapshotsAt(const FrontierPtr& frontier,
+                                               const std::vector<Timestamp>& times,
+                                               unsigned components = kCompAll,
+                                               obs::TraceCtx tc = {}) const;
+
+  /// The plan the index would execute for `times` at a pinned frontier.
+  Result<Plan> PlanForAt(const FrontierPtr& frontier,
+                         const std::vector<Timestamp>& times,
+                         unsigned components = kCompAll) const;
+
   /// Snapshots produced by one plan execution, keyed by emit target.
   struct SnapshotPlanResults {
     std::map<Timestamp, Snapshot> by_time;
@@ -178,9 +214,12 @@ class DeltaGraph {
   /// cache an external prefetch pass has already filled. The partitioned
   /// index uses this to run per-shard plans serially behind one up-front
   /// cross-shard prefetch; with `pinned` null it is a plain serial execute.
+  /// `frontier` fixes the visibility epoch (null pins the latest); the plan
+  /// must have been built against the same frontier.
   Result<SnapshotPlanResults> ExecutePlanPinned(const Plan& plan, unsigned components,
                                                 ExecFetchCache* pinned,
-                                                obs::TraceCtx tc = {}) const;
+                                                obs::TraceCtx tc = {},
+                                                FrontierPtr frontier = nullptr) const;
 
   /// Collects all events with ts <= time < te, including transient events if
   /// requested (backs GetHistGraphInterval).
@@ -301,6 +340,7 @@ class DeltaGraph {
 
   Result<SnapshotPlanResults> ExecuteSnapshotPlan(const Plan& plan,
                                                   unsigned components,
+                                                  const FrontierPtr& frontier,
                                                   obs::TraceCtx tc = {}) const;
   Status WalkPlanNode(const PlanNode& node, PlanVisitor* visitor, bool is_tail) const;
   Status ApplyPlanStep(const PlanStep& step, PlanVisitor* visitor, bool undo) const;
@@ -315,7 +355,20 @@ class DeltaGraph {
   Status CascadeMerges(bool force_partial);
   Status AttachSuperRoot(size_t hierarchy, const Pending& pending_root);
   PlannerContext MakePlannerContext() const;
+  PlannerContext MakePlannerContext(const FrontierState& frontier) const;
   Status PersistMeta();
+
+  /// The single-event body of Append, without publication (AppendAll batches
+  /// publication so a multi-event call lands as one epoch).
+  Status AppendOne(const Event& e);
+  /// Mirrors the event into the append-once recent tail (see RecentTail).
+  void PushRecentTail(const Event& e);
+  /// Starts a fresh tail holding the current recent_ events (leaf cut, Open).
+  void ResetRecentTail();
+  /// Builds and atomically publishes a new FrontierState from writer state.
+  /// Called by the single writer after every mutation batch; readers that
+  /// pinned earlier frontiers are unaffected.
+  void PublishFrontier();
 
   KVStore* kv_;
   DeltaStore store_;
@@ -338,6 +391,24 @@ class DeltaGraph {
 
   std::map<int32_t, std::shared_ptr<Snapshot>> materialized_;
   std::map<int32_t, unsigned> materialized_components_;
+
+  // -- Epoch publication state (single writer; see frontier.h) ---------------
+  /// The latest published frontier; readers pin it under frontier_mu_ (held
+  /// only for the shared_ptr copy/swap — never while building a frontier or
+  /// executing a query).
+  mutable std::mutex frontier_mu_;
+  FrontierPtr frontier_ = std::make_shared<FrontierState>();
+  uint64_t epoch_ = 0;  ///< Last published epoch.
+  /// Append-once mirror of recent_ the published RecentViews point into.
+  std::shared_ptr<RecentTail> recent_tail_;
+  size_t recent_tail_count_ = 0;
+  /// Cached immutable skeleton copy; refreshed only when version() moved.
+  std::shared_ptr<const Skeleton> published_skeleton_;
+  uint64_t published_skeleton_version_ = ~uint64_t{0};
+  /// Cached immutable materialized-map copy; refreshed when dirty.
+  std::shared_ptr<const std::map<int32_t, std::shared_ptr<Snapshot>>>
+      published_materialized_;
+  bool materialized_dirty_ = true;
   mutable SsspCache sssp_cache_;  ///< Singlepoint planning cache.
   mutable std::mutex sssp_mu_;    ///< Guards sssp_cache_ across concurrent queries.
   TaskPool* exec_pool_ = nullptr;  ///< Plan-execution pool (see SetTaskPool).

@@ -234,17 +234,22 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
   TaskPool* pool = ResolveTaskPool();
   const bool parallel = pool != nullptr && pool->parallelism() >= 2;
 
+  // Pin one cross-shard frontier up front: planning, prefetch, execution,
+  // and the replay fallbacks below all resolve against this vector, so a
+  // concurrent writer cannot skew any shard mid-query.
+  const std::vector<FrontierPtr> frontiers = PinFrontiers();
+
   // Plan every shard before touching storage. A shard with no skeleton (never
   // finalized, or simply empty) has nothing to plan over; it takes the
   // in-memory replay fallback below.
   std::vector<Plan> plans(n);
   std::vector<char> fallback(n, 0);
   for (size_t i = 0; i < n; ++i) {
-    if (partitions_[i]->skeleton().leaves().empty()) {
+    if (frontiers[i]->skeleton->leaves().empty()) {
       fallback[i] = 1;
       continue;
     }
-    auto plan = partitions_[i]->PlanFor(times, components);
+    auto plan = partitions_[i]->PlanForAt(frontiers[i], times, components);
     if (!plan.ok()) return plan.status();
     plans[i] = std::move(plan).value();
   }
@@ -268,8 +273,9 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
     }
     IoPool* io = partitions_[i]->ResolveIoPool();
     if (io != nullptr) {
-      StartCollectedPrefetch(*partitions_[i], CollectPlanFetches(plans[i]),
-                             components, caches[i].get(), io);
+      StartCollectedPrefetch(*partitions_[i], *frontiers[i]->skeleton,
+                             CollectPlanFetches(plans[i]), components,
+                             caches[i].get(), io);
     }
   }
 
@@ -290,8 +296,8 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
       for (size_t i = 0; i < n; ++i) {
         if (fallback[i]) continue;
         executors[i] = std::make_unique<ParallelPlanExecutor>(
-            partitions_[i].get(), components, pool, caches[i].get(),
-            /*io_pool=*/nullptr);
+            partitions_[i].get(), frontiers[i], components, pool,
+            caches[i].get(), /*io_pool=*/nullptr);
         executors[i]->SetTrace(obs::TraceCtx{tc.trace, shard_spans[i]});
         executors[i]->Start(plans[i], &group);
       }
@@ -338,7 +344,7 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
       if (fallback[i]) continue;
       auto results = partitions_[i]->ExecutePlanPinned(
           plans[i], components, caches[i].get(),
-          obs::TraceCtx{tc.trace, shard_spans[i]});
+          obs::TraceCtx{tc.trace, shard_spans[i]}, frontiers[i]);
       if (tc) tc.trace->EndSpan(shard_spans[i]);
       if (!results.ok()) {
         record(results.status());
@@ -350,10 +356,10 @@ Result<std::vector<std::vector<Snapshot>>> PartitionedDeltaGraph::RetrieveParts(
     }
   }
 
-  // Fallback shards replay their (entirely in-memory) recent history.
+  // Fallback shards replay their (entirely in-memory) pinned recent view.
   for (size_t i = 0; i < n; ++i) {
     if (!fallback[i]) continue;
-    auto snaps = partitions_[i]->GetSnapshots(times, components, tc);
+    auto snaps = partitions_[i]->GetSnapshotsAt(frontiers[i], times, components, tc);
     record(snaps.status());
     if (snaps.ok()) parts[i] = std::move(snaps).value();
   }

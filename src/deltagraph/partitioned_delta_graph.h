@@ -136,6 +136,18 @@ class PartitionedDeltaGraph {
   DeltaGraph* partition(size_t i) { return partitions_[i].get(); }
   const DeltaGraph* partition(size_t i) const { return partitions_[i].get(); }
 
+  /// Pins one cross-shard frontier: every shard's published state, read in
+  /// one sweep. Shards publish independently, so the vector is the sharded
+  /// analogue of one DeltaGraph::PinFrontier() — a query that resolves all
+  /// its shard reads against this vector sees a consistent, immutable view
+  /// even while the writer keeps appending.
+  std::vector<FrontierPtr> PinFrontiers() const {
+    std::vector<FrontierPtr> out;
+    out.reserve(partitions_.size());
+    for (const auto& p : partitions_) out.push_back(p->PinFrontier());
+    return out;
+  }
+
  private:
   PartitionedDeltaGraph(std::vector<std::unique_ptr<DeltaGraph>> parts,
                         std::vector<std::unique_ptr<KVStore>> owned_stores);

@@ -40,7 +40,7 @@ class QueryMeter {
 
 }  // namespace
 
-Status ApplyEventRange(const std::vector<Event>& events, Snapshot* g, bool forward,
+Status ApplyEventRange(std::span<const Event> events, Snapshot* g, bool forward,
                        Timestamp lo, Timestamp hi, unsigned components) {
   if (forward) {
     for (const auto& e : events) {
@@ -77,25 +77,36 @@ Status ApplyEventRange(const std::vector<Event>& events, Snapshot* g, bool forwa
 /// it outruns the prefetcher.
 class SnapshotPlanVisitor final : public PlanVisitor {
  public:
-  /// `tc` attributes the visitor's *direct* store fetches (the no-prefetch
-  /// path) to the trace; fetches through `prefetched` are attributed by the
-  /// cache itself (its owner set its trace).
-  SnapshotPlanVisitor(const DeltaGraph* dg, unsigned components,
-                      ExecFetchCache* prefetched = nullptr, obs::TraceCtx tc = {})
-      : dg_(dg), components_(components), prefetched_(prefetched), tc_(tc) {}
+  /// Every piece of writer-mutable state — skeleton edges, the current graph,
+  /// materialized snapshots, the recent tail — is resolved from `frontier`,
+  /// so the visitor is immune to concurrent appends. `tc` attributes the
+  /// visitor's *direct* store fetches (the no-prefetch path) to the trace;
+  /// fetches through `prefetched` are attributed by the cache itself (its
+  /// owner set its trace).
+  SnapshotPlanVisitor(const DeltaGraph* dg, FrontierPtr frontier,
+                      unsigned components, ExecFetchCache* prefetched = nullptr,
+                      obs::TraceCtx tc = {})
+      : dg_(dg),
+        frontier_(std::move(frontier)),
+        components_(components),
+        prefetched_(prefetched),
+        tc_(tc) {}
 
   Status LoadMaterialized(int32_t node) override {
-    const Snapshot* snap = dg_->materialized_snapshot(node);
+    const Snapshot* snap = frontier_->materialized_snapshot(node);
     if (snap == nullptr) {
       return Status::Internal("plan: node not materialized: " + std::to_string(node));
     }
-    const unsigned have = dg_->skeleton().node(node).materialized_components;
+    const unsigned have = frontier_->skeleton->node(node).materialized_components;
     g_ = (have == components_) ? *snap : snap->CopyFiltered(components_);
     return Status::OK();
   }
 
   Status LoadCurrent() override {
-    g_ = dg_->current().CopyFiltered(components_);
+    if (frontier_->current == nullptr) {
+      return Status::Internal("plan: no current graph at pinned frontier");
+    }
+    g_ = frontier_->current->CopyFiltered(components_);
     return Status::OK();
   }
 
@@ -117,7 +128,7 @@ class SnapshotPlanVisitor final : public PlanVisitor {
   }
 
   Status ApplyRecentEvents(bool forward, Timestamp lo, Timestamp hi) override {
-    return ApplyRange(dg_->recent_.events(), forward, lo, hi);
+    return ApplyRange(frontier_->recent.events(), forward, lo, hi);
   }
 
   Status EmitTime(Timestamp t, bool is_final) override {
@@ -138,9 +149,12 @@ class SnapshotPlanVisitor final : public PlanVisitor {
   Status FetchDelta(int32_t edge, const Delta** out) {
     auto it = delta_cache_.find(edge);
     if (it == delta_cache_.end()) {
+      // Resolve the edge's payload key from the *pinned* skeleton; payloads
+      // are written before their edge is published and never deleted, so the
+      // fetch always succeeds regardless of concurrent ingest.
+      const SkeletonEdge& e = frontier_->skeleton->edge(edge);
       Result<std::shared_ptr<const Delta>> d = [&] {
-        if (prefetched_ != nullptr) return prefetched_->GetDelta(*dg_, edge, components_);
-        const SkeletonEdge& e = dg_->skeleton().edge(edge);
+        if (prefetched_ != nullptr) return prefetched_->GetDelta(*dg_, e, components_);
         obs::ScopedSpan span(tc_, "fetch.demand");
         DeltaStore::ReadStats rs;
         auto r = dg_->store_.GetDeltaShared(e.delta_id, components_, e.sizes,
@@ -158,11 +172,11 @@ class SnapshotPlanVisitor final : public PlanVisitor {
   Status FetchEventList(int32_t edge, const EventList** out) {
     auto it = el_cache_.find(edge);
     if (it == el_cache_.end()) {
+      const SkeletonEdge& e = frontier_->skeleton->edge(edge);
       Result<std::shared_ptr<const EventList>> el = [&] {
         if (prefetched_ != nullptr) {
-          return prefetched_->GetEventList(*dg_, edge, components_);
+          return prefetched_->GetEventList(*dg_, e, components_);
         }
-        const SkeletonEdge& e = dg_->skeleton().edge(edge);
         obs::ScopedSpan span(tc_, "fetch.demand");
         DeltaStore::ReadStats rs;
         auto r = dg_->store_.GetEventListShared(e.delta_id, components_, e.sizes,
@@ -198,12 +212,13 @@ class SnapshotPlanVisitor final : public PlanVisitor {
     }
   }
 
-  Status ApplyRange(const std::vector<Event>& events, bool forward, Timestamp lo,
+  Status ApplyRange(std::span<const Event> events, bool forward, Timestamp lo,
                     Timestamp hi) {
     return ApplyEventRange(events, &g_, forward, lo, hi, components_);
   }
 
   const DeltaGraph* dg_;
+  FrontierPtr frontier_;  ///< Pinned visibility epoch for all mutable state.
   unsigned components_;
   ExecFetchCache* prefetched_;  ///< Optional; filled ahead by the I/O pool.
   obs::TraceCtx tc_;            ///< Attribution for direct store fetches.
@@ -264,9 +279,11 @@ Status DeltaGraph::ExecutePlan(const Plan& plan, PlanVisitor* visitor) const {
 
 Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecutePlanPinned(
     const Plan& plan, unsigned components, ExecFetchCache* pinned,
-    obs::TraceCtx tc) const {
+    obs::TraceCtx tc, FrontierPtr frontier) const {
+  if (frontier == nullptr) frontier = PinFrontier();
   obs::ScopedSpan span(tc, "execute.serial");
-  SnapshotPlanVisitor visitor(this, components, pinned, span.ctx());
+  SnapshotPlanVisitor visitor(this, std::move(frontier), components, pinned,
+                              span.ctx());
   HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
   return visitor.TakeResults();
 }
@@ -277,7 +294,8 @@ IoPool* DeltaGraph::ResolveIoPool() const {
 }
 
 Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
-    const Plan& plan, unsigned components, obs::TraceCtx tc) const {
+    const Plan& plan, unsigned components, const FrontierPtr& frontier,
+    obs::TraceCtx tc) const {
   // Branchy plans run on the attached pool when it offers real parallelism;
   // linear plans (every singlepoint query) and serial configurations keep
   // the backtracking visitor, whose single-thread profile matches PR 1
@@ -289,8 +307,8 @@ Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
   if (pool == nullptr && !exec_pool_set_ && branchy) pool = &TaskPool::Shared();
   IoPool* io = ResolveIoPool();
   if (branchy && pool != nullptr && pool->parallelism() >= 2) {
-    ParallelPlanExecutor executor(this, components, pool, /*shared_cache=*/nullptr,
-                                  io);
+    ParallelPlanExecutor executor(this, frontier, components, pool,
+                                  /*shared_cache=*/nullptr, io);
     executor.SetTrace(tc);
     return executor.Run(plan);
   }
@@ -306,14 +324,16 @@ Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
       obs::ScopedSpan span(tc, "execute.serial_prefetch");
       ExecFetchCache cache;
       cache.SetTrace(span.ctx());
-      StartCollectedPrefetch(*this, fetches, components, &cache, io);
-      SnapshotPlanVisitor visitor(this, components, &cache, span.ctx());
+      StartCollectedPrefetch(*this, *frontier->skeleton, fetches, components,
+                             &cache, io);
+      SnapshotPlanVisitor visitor(this, frontier, components, &cache, span.ctx());
       HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
       return visitor.TakeResults();
     }
   }
   obs::ScopedSpan span(tc, "execute.serial");
-  SnapshotPlanVisitor visitor(this, components, /*prefetched=*/nullptr, span.ctx());
+  SnapshotPlanVisitor visitor(this, frontier, components, /*prefetched=*/nullptr,
+                              span.ctx());
   HG_RETURN_NOT_OK(ExecutePlan(plan, &visitor));
   return visitor.TakeResults();
 }
@@ -354,6 +374,13 @@ Result<Plan> DeltaGraph::PlanFor(const std::vector<Timestamp>& times,
   return planner.PlanSnapshots(times, components);
 }
 
+Result<Plan> DeltaGraph::PlanForAt(const FrontierPtr& frontier,
+                                   const std::vector<Timestamp>& times,
+                                   unsigned components) const {
+  Planner planner(MakePlannerContext(*frontier));
+  return planner.PlanSnapshots(times, components);
+}
+
 Result<Snapshot> DeltaGraph::GetSnapshot(Timestamp t, unsigned components) {
   auto snaps = GetSnapshots({t}, components);
   if (!snaps.ok()) return snaps.status();
@@ -362,31 +389,40 @@ Result<Snapshot> DeltaGraph::GetSnapshot(Timestamp t, unsigned components) {
 
 Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
     const std::vector<Timestamp>& times, unsigned components) {
+  // Pin once so the trace-enabled check and the query see one epoch.
+  FrontierPtr frontier = PinFrontier();
   // When tracing is on, a standalone call owns its own trace and dumps it on
   // completion; callers that want programmatic access go through a session
   // (RetrievalSession::LastTrace) or the traced overload below.
-  if (obs::TraceEnabled() && !times.empty() && !skeleton_.leaves().empty()) {
+  if (obs::TraceEnabled() && !times.empty() && !frontier->skeleton->leaves().empty()) {
     obs::QueryTrace trace;
     trace.set_query_label(times.size() == 1 ? "singlepoint" : "multipoint");
-    auto out = GetSnapshots(times, components, obs::TraceCtx{&trace, obs::kNoSpan});
+    auto out =
+        GetSnapshotsAt(frontier, times, components, obs::TraceCtx{&trace, obs::kNoSpan});
     obs::FinishAndMaybeDump(&trace);
     return out;
   }
-  return GetSnapshots(times, components, obs::TraceCtx{});
+  return GetSnapshotsAt(frontier, times, components, obs::TraceCtx{});
 }
 
 Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
     const std::vector<Timestamp>& times, unsigned components, obs::TraceCtx tc) {
+  return GetSnapshotsAt(PinFrontier(), times, components, tc);
+}
+
+Result<std::vector<Snapshot>> DeltaGraph::GetSnapshotsAt(
+    const FrontierPtr& frontier, const std::vector<Timestamp>& times,
+    unsigned components, obs::TraceCtx tc) const {
   if (times.empty()) return std::vector<Snapshot>();
   QueryMeter meter;
 
-  // Index still empty: replay the recent eventlist directly.
-  if (skeleton_.leaves().empty()) {
+  // Index still empty at the pinned epoch: replay the recent tail directly.
+  if (frontier->skeleton->leaves().empty()) {
     std::vector<Snapshot> out;
     out.reserve(times.size());
     for (Timestamp t : times) {
       Snapshot g;
-      for (const auto& e : recent_.events()) {
+      for (const auto& e : frontier->recent.events()) {
         if (e.time > t) break;
         HG_RETURN_NOT_OK(g.Apply(e, true, components));
       }
@@ -395,13 +431,15 @@ Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
     return out;
   }
 
-  Planner planner(MakePlannerContext());
+  Planner planner(MakePlannerContext(*frontier));
   Result<Plan> plan = [&]() -> Result<Plan> {
     obs::ScopedSpan span(tc, "plan");
     auto r = [&]() -> Result<Plan> {
       if (times.size() == 1 && options_.use_plan_cache) {
         // The SSSP cache is shared mutable state; concurrent retrievals
-        // serialize the (cheap) planning step, never the execution.
+        // serialize the (cheap) planning step, never the execution. The cache
+        // keys on the skeleton version, so queries pinned at different
+        // epochs rebuild it rather than reading a mismatched tree.
         std::lock_guard<std::mutex> lock(sssp_mu_);
         return planner.PlanSinglepointCached(times[0], components, &sssp_cache_);
       }
@@ -413,15 +451,16 @@ Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
       // graph's observed dynamics (Section 6 of the paper).
       span.SetAttr("steps", static_cast<int64_t>(r.value().StepCount()));
       span.SetAttr("est_cost_bytes", r.value().estimated_cost);
-      const GraphDynamics dyn = EstimateDynamics(
-          insert_events_, delete_events_, event_count_, initial_elements_);
+      const GraphDynamics dyn =
+          EstimateDynamics(frontier->insert_events, frontier->delete_events,
+                           frontier->event_count, frontier->initial_elements);
       span.SetAttr("model_path_elements", BalancedPathElements(dyn));
       span.SetAttr("times", static_cast<int64_t>(times.size()));
     }
     return r;
   }();
   if (!plan.ok()) return plan.status();
-  auto exec = ExecuteSnapshotPlan(plan.value(), components, tc);
+  auto exec = ExecuteSnapshotPlan(plan.value(), components, frontier, tc);
   if (!exec.ok()) return exec.status();
   return exec.value().TakeInOrder(times);
 }
@@ -429,11 +468,14 @@ Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
 Status DeltaGraph::CollectEvents(Timestamp ts, Timestamp te, unsigned components,
                                  EventList* out) const {
   if (ts >= te) return Status::InvalidArgument("CollectEvents requires ts < te");
+  // Pin once: the scan sees one consistent epoch of eventlists + recent tail.
+  const FrontierPtr frontier = PinFrontier();
+  const Skeleton& skel = *frontier->skeleton;
   *out = EventList();
-  for (int32_t eid : skeleton_.EventlistEdgesInOrder()) {
-    const SkeletonEdge& e = skeleton_.edge(eid);
-    const Timestamp b_lo = skeleton_.node(e.from).boundary_time;
-    const Timestamp b_hi = skeleton_.node(e.to).boundary_time;
+  for (int32_t eid : skel.EventlistEdgesInOrder()) {
+    const SkeletonEdge& e = skel.edge(eid);
+    const Timestamp b_lo = skel.node(e.from).boundary_time;
+    const Timestamp b_hi = skel.node(e.to).boundary_time;
     if (b_hi < ts || b_lo >= te) continue;  // Eventlist covers (b_lo, b_hi].
     auto el = store_.GetEventListShared(e.delta_id, components, e.sizes);
     if (!el.ok()) return el.status();
@@ -441,7 +483,7 @@ Status DeltaGraph::CollectEvents(Timestamp ts, Timestamp te, unsigned components
       if (ev.time >= ts && ev.time < te) out->Append(ev);
     }
   }
-  for (const auto& ev : recent_.events()) {
+  for (const auto& ev : frontier->recent.events()) {
     if (ev.time >= ts && ev.time < te &&
         (ev.component() & components) != 0) {
       out->Append(ev);

@@ -129,9 +129,9 @@ Result<std::shared_ptr<const T>> ExecFetchCache::FetchSingleFlight(
 }
 
 Result<std::shared_ptr<const Delta>> ExecFetchCache::GetDelta(const DeltaGraph& dg,
-                                                              int32_t edge,
+                                                              const SkeletonEdge& e,
                                                               unsigned components) {
-  const SkeletonEdge& e = dg.skeleton().edge(edge);
+  const int32_t edge = e.id;
   const obs::TraceCtx tc = trace();
   bool claimed_here = false;
   auto result = FetchSingleFlight(
@@ -166,8 +166,8 @@ Result<std::shared_ptr<const Delta>> ExecFetchCache::GetDelta(const DeltaGraph& 
 }
 
 Result<std::shared_ptr<const EventList>> ExecFetchCache::GetEventList(
-    const DeltaGraph& dg, int32_t edge, unsigned components) {
-  const SkeletonEdge& e = dg.skeleton().edge(edge);
+    const DeltaGraph& dg, const SkeletonEdge& e, unsigned components) {
+  const int32_t edge = e.id;
   const obs::TraceCtx tc = trace();
   bool claimed_here = false;
   auto result = FetchSingleFlight(
@@ -201,14 +201,16 @@ Result<std::shared_ptr<const EventList>> ExecFetchCache::GetEventList(
   return result;
 }
 
-void ExecFetchCache::EnqueuePrefetch(const DeltaGraph& dg, size_t shard, int32_t edge,
-                                     bool is_eventlist, unsigned components) {
+void ExecFetchCache::EnqueuePrefetch(const DeltaGraph& dg, size_t shard,
+                                     const SkeletonEdge& e, bool is_eventlist,
+                                     unsigned components) {
   PrefetchesIssued().Add();
   if (const obs::TraceCtx tc = trace()) {
     tc.trace->prefetch_issued.fetch_add(1, std::memory_order_relaxed);
   }
   std::lock_guard<std::mutex> lock(batch_mu_);
-  batch_queues_[shard].push_back(QueuedPrefetch{&dg, edge, is_eventlist, components});
+  batch_queues_[shard].push_back(
+      QueuedPrefetch{&dg, e.id, e.delta_id, e.sizes, is_eventlist, components});
 }
 
 void ExecFetchCache::DrainPrefetchBatch(size_t shard) {
@@ -255,11 +257,10 @@ void ExecFetchCache::DrainPrefetchBatch(size_t shard) {
         (void)ClaimOrGet(&deltas_, key, &p.delta_promise.emplace(), &claimed);
       }
       if (!claimed) continue;
-      const SkeletonEdge& e = q.dg->skeleton().edge(q.edge);
       DeltaStore::BatchedRead read;
-      read.id = e.delta_id;
+      read.id = q.delta_id;
       read.components = q.components;
-      read.sizes = e.sizes;
+      read.sizes = q.sizes;
       read.is_eventlist = q.is_eventlist;
       std::shared_ptr<GraphDrain>& gd = graphs[q.dg];
       if (gd == nullptr) {

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/types.h"
+#include "deltagraph/skeleton.h"
 #include "graph/delta.h"
 #include "obs/trace.h"
 #include "temporal/event_list.h"
@@ -49,18 +50,25 @@ class ExecFetchCache {
   /// owners may die with prefetches still queued on an IoPool.
   ~ExecFetchCache() { WaitPrefetchesIdle(); }
 
-  /// Returns the decoded delta for `edge`, fetching it if no prefetch ever
-  /// claimed the slot, or blocking on the in-flight fetch if one did.
-  Result<std::shared_ptr<const Delta>> GetDelta(const DeltaGraph& dg, int32_t edge,
+  /// Returns the decoded delta for skeleton edge `e`, fetching it if no
+  /// prefetch ever claimed the slot, or blocking on the in-flight fetch if
+  /// one did. The edge is passed by value-semantics reference (resolved by
+  /// the caller against *its* pinned frontier's skeleton) so the cache never
+  /// reads the live skeleton — payloads are immutable and never deleted, so
+  /// an entry fetched under one epoch is valid under every later one.
+  Result<std::shared_ptr<const Delta>> GetDelta(const DeltaGraph& dg,
+                                                const SkeletonEdge& e,
                                                 unsigned components);
   Result<std::shared_ptr<const EventList>> GetEventList(const DeltaGraph& dg,
-                                                        int32_t edge,
+                                                        const SkeletonEdge& e,
                                                         unsigned components);
 
   /// Queues one fetch for I/O shard `shard`'s next drain. The scheduler pairs
   /// each enqueue with one BeginPrefetch and one DrainPrefetchBatch job
-  /// submitted to that IoPool shard.
-  void EnqueuePrefetch(const DeltaGraph& dg, size_t shard, int32_t edge,
+  /// submitted to that IoPool shard. The edge's delta id and sizes are
+  /// captured here, so the drain job never touches a (possibly newer) live
+  /// skeleton.
+  void EnqueuePrefetch(const DeltaGraph& dg, size_t shard, const SkeletonEdge& e,
                        bool is_eventlist, unsigned components);
 
   /// Drains everything queued for `shard` into one batched DeltaStore read —
@@ -142,7 +150,9 @@ class ExecFetchCache {
   /// than one graph; the drain groups reads per graph.
   struct QueuedPrefetch {
     const DeltaGraph* dg;
-    int32_t edge;
+    int32_t edge;        ///< Skeleton edge id (cache key only).
+    DeltaId delta_id;    ///< Storage id, captured at enqueue time.
+    ComponentSizes sizes;
     bool is_eventlist;
     unsigned components;
   };

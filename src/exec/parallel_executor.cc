@@ -20,11 +20,12 @@ bool PlanHasBranches(const Plan& plan) {
   return false;
 }
 
-ParallelPlanExecutor::ParallelPlanExecutor(const DeltaGraph* dg, unsigned components,
-                                           TaskPool* pool,
+ParallelPlanExecutor::ParallelPlanExecutor(const DeltaGraph* dg, FrontierPtr frontier,
+                                           unsigned components, TaskPool* pool,
                                            ExecFetchCache* shared_cache,
                                            IoPool* io_pool)
     : dg_(dg),
+      frontier_(frontier != nullptr ? std::move(frontier) : dg->PinFrontier()),
       components_(components),
       pool_(pool),
       io_pool_(io_pool),
@@ -61,7 +62,8 @@ void ParallelPlanExecutor::Start(const Plan& plan, TaskGroup* group) {
   // workers then overlap apply work with the I/O pool's fetches and block
   // only if they outrun it. The fetch cache outlives any still-queued job
   // (its destructor drains), so early errors cannot strand a prefetch.
-  StartPlanPrefetch(*dg_, plan, components_, fetches_, io_pool_);
+  StartPlanPrefetch(*dg_, *frontier_->skeleton, plan, components_, fetches_,
+                    io_pool_);
   const PlanNode* root = plan.root.get();
   group->Spawn([this, root, group] { RunNode(root, Snapshot(), group); });
 }
@@ -100,31 +102,37 @@ void ParallelPlanExecutor::EmitNode(int32_t node, Snapshot snap) {
 Status ParallelPlanExecutor::ApplyStepTo(const PlanStep& step, Snapshot* snap) {
   switch (step.kind) {
     case PlanStep::Kind::kLoadMaterialized: {
-      const Snapshot* mat = dg_->materialized_snapshot(step.node);
+      const Snapshot* mat = frontier_->materialized_snapshot(step.node);
       if (mat == nullptr) {
         return Status::Internal("plan: node not materialized: " +
                                 std::to_string(step.node));
       }
-      const unsigned have = dg_->skeleton().node(step.node).materialized_components;
+      const unsigned have =
+          frontier_->skeleton->node(step.node).materialized_components;
       *snap = (have == components_) ? *mat : mat->CopyFiltered(components_);
       return Status::OK();
     }
     case PlanStep::Kind::kLoadCurrent:
-      *snap = dg_->current().CopyFiltered(components_);
+      if (frontier_->current == nullptr) {
+        return Status::Internal("plan: current graph not maintained");
+      }
+      *snap = frontier_->current->CopyFiltered(components_);
       return Status::OK();
     case PlanStep::Kind::kApplyDelta: {
-      auto d = fetches_->GetDelta(*dg_, step.edge, components_);
+      auto d = fetches_->GetDelta(*dg_, frontier_->skeleton->edge(step.edge),
+                                  components_);
       if (!d.ok()) return d.status();
       return d.value()->ApplyTo(snap, step.forward, components_);
     }
     case PlanStep::Kind::kApplyEvents: {
-      auto el = fetches_->GetEventList(*dg_, step.edge, components_);
+      auto el = fetches_->GetEventList(*dg_, frontier_->skeleton->edge(step.edge),
+                                       components_);
       if (!el.ok()) return el.status();
       return ApplyEventRange(el.value()->events(), snap, step.forward, step.lo,
                              step.hi, components_);
     }
     case PlanStep::Kind::kApplyRecentEvents:
-      return ApplyEventRange(dg_->recent_events().events(), snap, step.forward,
+      return ApplyEventRange(frontier_->recent.events(), snap, step.forward,
                              step.lo, step.hi, components_);
   }
   return Status::Internal("plan: unknown step kind");

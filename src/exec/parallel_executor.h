@@ -31,22 +31,26 @@ bool PlanHasBranches(const Plan& plan);
 /// assembled results are deterministic and element-for-element identical to
 /// the serial visitor's regardless of task completion order.
 ///
-/// One executor instance serves one plan execution. The DeltaGraph must not
-/// be mutated (Append/Finalize/Materialize) while an execution is in flight;
-/// concurrent *retrievals* are fine (see src/exec/README.md for the full
-/// concurrency contract).
+/// One executor instance serves one plan execution, pinned to one frontier:
+/// every piece of mutable graph state (skeleton, current graph, materialized
+/// graphs, recent tail) is resolved against the immutable FrontierState the
+/// plan was built from, so concurrent appends/finalizes cannot skew an
+/// in-flight execution. Concurrent *retrievals* are fine (see
+/// src/exec/README.md for the full concurrency contract).
 class IoPool;
 
 class ParallelPlanExecutor {
  public:
-  /// `shared_cache` (optional) lets a RetrievalSession share decoded fetches
-  /// across several concurrent plans; by default the executor uses a private
-  /// cache pinned for this plan only. Both must outlive the execution.
-  /// `io_pool` (optional) enables asynchronous prefetch: Start pre-scans the
-  /// plan and queues every fetch on the I/O pool before the first worker
-  /// task runs, so fetch latency overlaps apply work (see
-  /// src/exec/prefetcher.h).
-  ParallelPlanExecutor(const DeltaGraph* dg, unsigned components, TaskPool* pool,
+  /// `frontier` is the pinned epoch this execution reads at; the plan must
+  /// have been built from the same frontier. `shared_cache` (optional) lets a
+  /// RetrievalSession share decoded fetches across several concurrent plans;
+  /// by default the executor uses a private cache pinned for this plan only.
+  /// Both must outlive the execution. `io_pool` (optional) enables
+  /// asynchronous prefetch: Start pre-scans the plan and queues every fetch
+  /// on the I/O pool before the first worker task runs, so fetch latency
+  /// overlaps apply work (see src/exec/prefetcher.h).
+  ParallelPlanExecutor(const DeltaGraph* dg, FrontierPtr frontier,
+                       unsigned components, TaskPool* pool,
                        ExecFetchCache* shared_cache = nullptr,
                        IoPool* io_pool = nullptr);
 
@@ -85,6 +89,7 @@ class ParallelPlanExecutor {
   void EmitNode(int32_t node, Snapshot snap);
 
   const DeltaGraph* dg_;
+  const FrontierPtr frontier_;  ///< Pinned epoch; all graph state reads go here.
   const unsigned components_;
   TaskPool* pool_;
   IoPool* io_pool_;

@@ -56,6 +56,8 @@ PartitionedRetrievalSession::Request* PartitionedRetrievalSession::Submit(
     req->result = std::vector<Snapshot>();
     return req;
   }
+  // Pin one cross-shard frontier; all shard reads resolve against it.
+  req->frontiers = pdg_->PinFrontiers();
   req->plans.resize(n);
   req->executors.resize(n);
   req->fallbacks.resize(n);
@@ -67,13 +69,15 @@ PartitionedRetrievalSession::Request* PartitionedRetrievalSession::Submit(
 
   for (size_t i = 0; i < n; ++i) {
     DeltaGraph* shard = pdg_->partition(i);
+    const FrontierPtr& frontier = req->frontiers[i];
     // An un-finalized (or empty) shard has no skeleton to plan over; replay
-    // it synchronously — its whole history is the in-memory recent list.
-    if (shard->skeleton().leaves().empty()) {
-      req->fallbacks[i] = shard->GetSnapshots(req->times, req->components);
+    // it synchronously — its whole history is the pinned recent view.
+    if (frontier->skeleton->leaves().empty()) {
+      req->fallbacks[i] =
+          shard->GetSnapshotsAt(frontier, req->times, req->components);
       continue;
     }
-    auto plan = shard->PlanFor(req->times, req->components);
+    auto plan = shard->PlanForAt(frontier, req->times, req->components);
     if (!plan.ok()) {
       req->fallbacks[i] = plan.status();
       continue;
@@ -83,7 +87,8 @@ PartitionedRetrievalSession::Request* PartitionedRetrievalSession::Submit(
     // shard's own I/O lane; the cache's single-flight slots dedup fetches
     // across requests.
     req->executors[i] = std::make_unique<ParallelPlanExecutor>(
-        shard, req->components, pool_, caches_[i].get(), shard->ResolveIoPool());
+        shard, frontier, req->components, pool_, caches_[i].get(),
+        shard->ResolveIoPool());
     req->executors[i]->SetTrace(obs::TraceCtx{trace_.get(), req->span});
     req->executors[i]->Start(req->plans[i], &group_);
   }

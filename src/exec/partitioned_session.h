@@ -34,8 +34,11 @@ namespace hgdb {
 ///   use(a->result.value());   // merged snapshots, in the order of a's times
 ///
 /// Same ownership contract as RetrievalSession: one thread drives
-/// Submit/Wait, execution fans out on the pool, and nothing may mutate the
-/// index while requests are in flight.
+/// Submit/Wait and execution fans out on the pool. Each Submit pins one
+/// cross-shard frontier (every shard's published epoch, read in one sweep),
+/// so the single ingest writer may keep appending while requests are in
+/// flight — a request merges shard states that were all published when it
+/// was submitted.
 class PartitionedRetrievalSession {
  public:
   /// One queued retrieval and, after Wait, its merged outcome.
@@ -44,6 +47,11 @@ class PartitionedRetrievalSession {
     unsigned components = kCompAll;
     /// Merged snapshots in the order of `times`; set by Wait.
     Result<std::vector<Snapshot>> result = Status::Internal("session not waited");
+
+    /// One cross-shard frontier, pinned at Submit: frontiers[s] is shard s's
+    /// published state as of the pin. Each shard publishes independently, but
+    /// the whole request reads this one consistent vector.
+    std::vector<FrontierPtr> frontiers;
 
     // Per-shard machinery (owned here: executors reference the plans until
     // Wait returns). executors[s] is null when shard s took the synchronous

@@ -40,13 +40,14 @@ std::vector<PlanFetch> CollectPlanFetches(const Plan& plan) {
   return out;
 }
 
-void StartPlanPrefetch(const DeltaGraph& dg, const Plan& plan, unsigned components,
-                       ExecFetchCache* cache, IoPool* io) {
+void StartPlanPrefetch(const DeltaGraph& dg, const Skeleton& skel, const Plan& plan,
+                       unsigned components, ExecFetchCache* cache, IoPool* io) {
   if (io == nullptr || cache == nullptr) return;
-  StartCollectedPrefetch(dg, CollectPlanFetches(plan), components, cache, io);
+  StartCollectedPrefetch(dg, skel, CollectPlanFetches(plan), components, cache, io);
 }
 
-void StartCollectedPrefetch(const DeltaGraph& dg, const std::vector<PlanFetch>& fetches,
+void StartCollectedPrefetch(const DeltaGraph& dg, const Skeleton& skel,
+                            const std::vector<PlanFetch>& fetches,
                             unsigned components, ExecFetchCache* cache, IoPool* io) {
   if (io == nullptr || cache == nullptr) return;
   // Fetches are queued per I/O shard and each shard wakeup drains its whole
@@ -60,12 +61,12 @@ void StartCollectedPrefetch(const DeltaGraph& dg, const std::vector<PlanFetch>& 
   const auto shards = static_cast<uint64_t>(io->parallelism());
   const int lane = dg.io_lane();
   for (const PlanFetch& fetch : fetches) {
-    const DeltaId delta_id = dg.skeleton().edge(fetch.edge).delta_id;
+    const SkeletonEdge& e = skel.edge(fetch.edge);
     const size_t shard = lane >= 0
                              ? static_cast<size_t>(lane) % shards
-                             : static_cast<size_t>(delta_id % shards);
+                             : static_cast<size_t>(e.delta_id % shards);
     cache->BeginPrefetch();
-    cache->EnqueuePrefetch(dg, shard, fetch.edge, fetch.is_eventlist, components);
+    cache->EnqueuePrefetch(dg, shard, e, fetch.is_eventlist, components);
     io->Submit(shard, [cache, shard] { cache->DrainPrefetchBatch(shard); });
   }
 }

@@ -11,6 +11,7 @@ namespace hgdb {
 class DeltaGraph;
 class ExecFetchCache;
 class IoPool;
+class Skeleton;
 
 /// One storage fetch a plan will perform: a skeleton edge and whether its
 /// payload is a leaf-eventlist (vs an interior delta).
@@ -26,18 +27,21 @@ struct PlanFetch {
 std::vector<PlanFetch> CollectPlanFetches(const Plan& plan);
 
 /// Issues an asynchronous fetch into `cache` for every edge `plan` touches,
-/// sharded across `io`'s threads by delta id. Returns immediately: workers
-/// that reach an edge before its fetch lands block on the cache's future
-/// (they only ever wait if they outrun the prefetcher). The jobs reference
-/// `dg` and `cache`, which must stay alive until the cache drains
-/// (~ExecFetchCache waits; `plan` itself is not referenced after this call
-/// returns). No-op when `io` is null.
-void StartPlanPrefetch(const DeltaGraph& dg, const Plan& plan, unsigned components,
-                       ExecFetchCache* cache, IoPool* io);
+/// sharded across `io`'s threads by delta id. Edges are resolved against
+/// `skel` — the *pinned frontier's* skeleton, which the plan was built from —
+/// never the live one, so a concurrent leaf cut cannot skew a fetch. Returns
+/// immediately: workers that reach an edge before its fetch lands block on
+/// the cache's future (they only ever wait if they outrun the prefetcher).
+/// The jobs reference `dg` and `cache`, which must stay alive until the
+/// cache drains (~ExecFetchCache waits; `plan` and `skel` are not referenced
+/// after this call returns). No-op when `io` is null.
+void StartPlanPrefetch(const DeltaGraph& dg, const Skeleton& skel, const Plan& plan,
+                       unsigned components, ExecFetchCache* cache, IoPool* io);
 
 /// Same, over an already-collected fetch list (callers that pre-scan
 /// themselves, e.g. to skip prefetch for trivially small plans).
-void StartCollectedPrefetch(const DeltaGraph& dg, const std::vector<PlanFetch>& fetches,
+void StartCollectedPrefetch(const DeltaGraph& dg, const Skeleton& skel,
+                            const std::vector<PlanFetch>& fetches,
                             unsigned components, ExecFetchCache* cache, IoPool* io);
 
 }  // namespace hgdb

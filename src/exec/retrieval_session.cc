@@ -43,14 +43,16 @@ RetrievalSession::Request* RetrievalSession::Submit(std::vector<Timestamp> times
     req->result = std::vector<Snapshot>();
     return req;
   }
+  // Pin the frontier once; the whole request resolves against it.
+  req->frontier = dg_->PinFrontier();
   // An un-finalized (or empty) index has no skeleton to plan over; fall back
-  // to the DeltaGraph's own replay path, synchronously.
-  if (dg_->skeleton().leaves().empty()) {
-    req->result = dg_->GetSnapshots(req->times, req->components);
+  // to the DeltaGraph's own replay path, synchronously (still pinned).
+  if (req->frontier->skeleton->leaves().empty()) {
+    req->result = dg_->GetSnapshotsAt(req->frontier, req->times, req->components);
     return req;
   }
 
-  auto plan = dg_->PlanFor(req->times, req->components);
+  auto plan = dg_->PlanForAt(req->frontier, req->times, req->components);
   if (!plan.ok()) {
     req->result = plan.status();
     return req;
@@ -64,7 +66,7 @@ RetrievalSession::Request* RetrievalSession::Submit(std::vector<Timestamp> times
     trace_->SetAttr(req->span, "est_cost_bytes", req->plan.estimated_cost);
   }
   req->executor = std::make_unique<ParallelPlanExecutor>(
-      dg_, req->components, pool_, &fetches_, dg_->ResolveIoPool());
+      dg_, req->frontier, req->components, pool_, &fetches_, dg_->ResolveIoPool());
   req->executor->SetTrace(obs::TraceCtx{trace_.get(), req->span});
   req->executor->Start(req->plan, &group_);
   return req;

@@ -35,7 +35,11 @@ namespace hgdb {
 /// serializes the planning step, which shares the index's SSSP cache), while
 /// execution fans out on the pool. Sessions from *different* threads over the
 /// same DeltaGraph are safe — the underlying stores and caches are
-/// thread-safe — as long as nobody mutates the index concurrently.
+/// thread-safe. Each Submit pins the index's published frontier (epoch) and
+/// the whole request — planning, prefetch, execution — reads only that
+/// immutable state, so the single ingest writer may Append/Finalize
+/// concurrently with in-flight sessions (see src/server/README.md for the
+/// visibility contract).
 class RetrievalSession {
  public:
   /// One queued retrieval and, after Wait, its outcome.
@@ -45,9 +49,19 @@ class RetrievalSession {
     /// Snapshots in the order of `times`; set by Wait.
     Result<std::vector<Snapshot>> result = Status::Internal("session not waited");
 
+    /// The epoch this request pinned at Submit. Everything the request reads
+    /// — skeleton, current graph, recent tail — resolves against this
+    /// frontier, so concurrent appends/finalizes never skew the result.
+    FrontierPtr frontier;
+
     Plan plan;  // Owned here: executors reference it until Wait returns.
     std::unique_ptr<ParallelPlanExecutor> executor;
     obs::SpanId span = obs::kNoSpan;  ///< "request" span; closed by Wait.
+
+    /// Epoch of the pinned frontier (0 before Submit resolved it).
+    uint64_t pinned_epoch() const {
+      return frontier == nullptr ? 0 : frontier->epoch;
+    }
   };
 
   /// `pool` defaults to the DeltaGraph's attached pool (which itself

@@ -1,0 +1,224 @@
+#include "server/hist_graph_server.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace hgdb {
+
+namespace {
+
+obs::Histogram& QueryLatency() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("server.query_us");
+  return *h;
+}
+obs::Counter& QueriesServed() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("server.queries");
+  return *c;
+}
+obs::Counter& QueriesShed() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("server.rejected");
+  return *c;
+}
+obs::Counter& QueriesTimedOut() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("server.deadline_exceeded");
+  return *c;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HistGraphServer>> HistGraphServer::Create(
+    KVStore* store, HistGraphServerOptions options) {
+  auto gm = GraphManager::Create(store, options.manager);
+  if (!gm.ok()) return gm.status();
+  return std::unique_ptr<HistGraphServer>(
+      new HistGraphServer(std::move(gm).value(), std::move(options)));
+}
+
+Result<std::unique_ptr<HistGraphServer>> HistGraphServer::Open(
+    KVStore* store, HistGraphServerOptions options) {
+  auto gm = GraphManager::Open(store, options.manager);
+  if (!gm.ok()) return gm.status();
+  return std::unique_ptr<HistGraphServer>(
+      new HistGraphServer(std::move(gm).value(), std::move(options)));
+}
+
+HistGraphServer::HistGraphServer(std::unique_ptr<GraphManager> manager,
+                                 HistGraphServerOptions options)
+    : options_(std::move(options)), manager_(std::move(manager)) {
+  ingest_thread_ = std::thread([this] { IngestLoop(); });
+}
+
+HistGraphServer::~HistGraphServer() {
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    stopping_ = true;
+  }
+  ingest_cv_.notify_all();
+  ingest_thread_.join();
+}
+
+// -- Ingest strand -------------------------------------------------------------
+
+Status HistGraphServer::EnqueueIngest(IngestOp op) {
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    if (stopping_) return Status::Unavailable("server is shutting down");
+    // Surface a poisoned strand immediately: once a batch failed to apply,
+    // later batches would be applied against inconsistent state, so the
+    // strand discards them and producers see the original error.
+    if (!ingest_error_.ok()) return ingest_error_;
+    if (ingest_queue_.size() >= options_.max_ingest_queue) {
+      appends_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("ingest queue full");
+    }
+    op.seq = next_seq_++;
+    ingest_queue_.push_back(std::move(op));
+  }
+  ingest_cv_.notify_one();
+  return Status::OK();
+}
+
+Status HistGraphServer::Append(std::vector<Event> batch) {
+  if (batch.empty()) return Status::OK();
+  IngestOp op;
+  op.batch = std::move(batch);
+  return EnqueueIngest(std::move(op));
+}
+
+Status HistGraphServer::Finalize() {
+  IngestOp op;
+  op.finalize = true;
+  return EnqueueIngest(std::move(op));
+}
+
+Status HistGraphServer::Flush() {
+  std::unique_lock<std::mutex> lock(ingest_mu_);
+  const uint64_t target = next_seq_ - 1;
+  drained_cv_.wait(lock, [&] { return applied_seq_ >= target; });
+  return ingest_error_;
+}
+
+void HistGraphServer::IngestLoop() {
+  std::unique_lock<std::mutex> lock(ingest_mu_);
+  for (;;) {
+    ingest_cv_.wait(lock, [&] { return stopping_ || !ingest_queue_.empty(); });
+    if (ingest_queue_.empty()) {
+      if (stopping_) return;  // Drained and told to stop.
+      continue;
+    }
+    IngestOp op = std::move(ingest_queue_.front());
+    ingest_queue_.pop_front();
+    const bool poisoned = !ingest_error_.ok();
+    lock.unlock();
+
+    const int64_t delay = ingest_delay_us_.load(std::memory_order_relaxed);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+    Status s;
+    if (!poisoned) {
+      if (op.finalize) {
+        s = manager_->FinalizeIndex();
+        if (s.ok()) finalizes_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        s = manager_->ApplyEvents(op.batch);
+        if (s.ok()) {
+          batches_appended_.fetch_add(1, std::memory_order_relaxed);
+          events_appended_.fetch_add(op.batch.size(), std::memory_order_relaxed);
+        }
+      }
+    }
+
+    lock.lock();
+    if (!s.ok() && ingest_error_.ok()) ingest_error_ = s;
+    applied_seq_ = op.seq;
+    drained_cv_.notify_all();
+  }
+}
+
+// -- Queries -------------------------------------------------------------------
+
+Result<HistGraphServer::QueryResult> HistGraphServer::Retrieve(
+    const std::vector<Timestamp>& times, unsigned components,
+    int64_t deadline_us) {
+  const int64_t limit =
+      deadline_us < 0 ? options_.default_deadline_us : deadline_us;
+  const auto start = std::chrono::steady_clock::now();
+  auto expired = [&] {
+    return limit > 0 && std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                                .count() >= limit;
+  };
+
+  // Admission: run or reject, never queue — under overload the caller sheds
+  // (or retries with backoff) instead of stacking latency onto every later
+  // query.
+  const int max = options_.max_concurrent_queries;
+  const int running = active_queries_.fetch_add(1, std::memory_order_acq_rel);
+  if (max <= 0 || running >= max) {
+    active_queries_.fetch_sub(1, std::memory_order_acq_rel);
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    QueriesShed().Add();
+    return Status::Unavailable("admission limit reached");
+  }
+  struct Admission {
+    std::atomic<int>* active;
+    ~Admission() { active->fetch_sub(1, std::memory_order_acq_rel); }
+  } admission{&active_queries_};
+  queries_admitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Pin one frontier; the whole query resolves against it, so the ingest
+  // strand may keep publishing epochs while this runs.
+  const FrontierPtr frontier = manager_->index().PinFrontier();
+  if (expired()) {
+    deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    QueriesTimedOut().Add();
+    return Status::DeadlineExceeded("deadline expired before execution");
+  }
+  auto snaps = manager_->index().GetSnapshotsAt(frontier, times, components);
+  if (!snaps.ok()) return snaps.status();
+  if (expired()) {
+    // The work is done but the caller has given up; count and drop it.
+    deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    QueriesTimedOut().Add();
+    return Status::DeadlineExceeded("deadline expired during execution");
+  }
+
+  QueriesServed().Add();
+  QueryLatency().Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+
+  QueryResult out;
+  out.snapshots = std::move(snaps).value();
+  out.epoch = frontier->epoch;
+  out.event_count = frontier->event_count;
+  return out;
+}
+
+// -- Introspection -------------------------------------------------------------
+
+uint64_t HistGraphServer::frontier_epoch() const {
+  return manager_->index().frontier_epoch();
+}
+
+HistGraphServer::Stats HistGraphServer::stats() const {
+  Stats s;
+  s.queries_admitted = queries_admitted_.load(std::memory_order_relaxed);
+  s.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  s.deadlines_exceeded = deadlines_exceeded_.load(std::memory_order_relaxed);
+  s.batches_appended = batches_appended_.load(std::memory_order_relaxed);
+  s.events_appended = events_appended_.load(std::memory_order_relaxed);
+  s.finalizes = finalizes_.load(std::memory_order_relaxed);
+  s.appends_rejected = appends_rejected_.load(std::memory_order_relaxed);
+  s.frontier_epoch = frontier_epoch();
+  return s;
+}
+
+}  // namespace hgdb

@@ -1,0 +1,193 @@
+#ifndef HISTGRAPH_SERVER_HIST_GRAPH_SERVER_H_
+#define HISTGRAPH_SERVER_HIST_GRAPH_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/graph_manager.h"
+
+namespace hgdb {
+
+/// Configuration of the service front end.
+struct HistGraphServerOptions {
+  GraphManagerOptions manager;
+
+  /// Queries admitted concurrently; one more is rejected with Unavailable
+  /// rather than queued (open-loop callers retry or shed). Values <= 0
+  /// reject every query — useful for drain/maintenance and for testing the
+  /// rejection path deterministically.
+  int max_concurrent_queries = 64;
+
+  /// Ingest operations (Append batches / Finalize markers) buffered ahead of
+  /// the ingest strand; a full queue rejects Append with Unavailable instead
+  /// of blocking the producer.
+  size_t max_ingest_queue = 4096;
+
+  /// Deadline applied to queries that don't pass their own, in microseconds
+  /// of wall time from admission. 0 = none. Deadlines are cooperative:
+  /// checked at stage boundaries (admission, frontier pin, execution done),
+  /// so a query can overshoot by at most one stage.
+  int64_t default_deadline_us = 0;
+};
+
+/// \brief Service-shaped front end over one GraphManager: a single ingest
+/// strand, concurrent admitted queries, per-query deadlines.
+///
+/// The paper's target deployment ("heavy traffic from millions of users")
+/// needs ingest and retrieval to run concurrently. The epoch-based frontier
+/// machinery (src/deltagraph/frontier.h) makes that safe at the storage
+/// layer: every mutation publishes an immutable FrontierState, and every
+/// query pins one. The server supplies the process shape on top:
+///
+///  - **One ingest strand.** Append/Finalize enqueue onto a bounded FIFO
+///    drained by a dedicated thread, pipeline-stage style (samgraph's
+///    queued-stage engine): callers never wait for a leaf cut, an encode, or
+///    a KV write, and Finalize is a background stage that never blocks
+///    readers — readers were never blocked to begin with, since they only
+///    ever read published frontiers. A full queue fails fast (Unavailable).
+///  - **Admission control.** At most max_concurrent_queries queries run at
+///    once; the next one is rejected, not queued, keeping tail latency
+///    bounded under overload.
+///  - **Deadlines.** Each query carries a deadline (its own or the server
+///    default), checked cooperatively at stage boundaries.
+///
+/// Results carry the pinned epoch and its event count, so a caller (or an
+/// oracle test) can state exactly which prefix of the ingest log the answer
+/// reflects.
+class HistGraphServer {
+ public:
+  /// Creates a fresh database under the server. `store` must outlive it.
+  static Result<std::unique_ptr<HistGraphServer>> Create(
+      KVStore* store, HistGraphServerOptions options);
+  /// Reopens a previously finalized database.
+  static Result<std::unique_ptr<HistGraphServer>> Open(
+      KVStore* store, HistGraphServerOptions options = {});
+
+  /// Stops the ingest strand after draining whatever is queued.
+  ~HistGraphServer();
+
+  HistGraphServer(const HistGraphServer&) = delete;
+  HistGraphServer& operator=(const HistGraphServer&) = delete;
+
+  // -- Ingest (asynchronous; applied in submission order) ---------------------
+
+  /// Queues one batch of events for the ingest strand. The batch lands under
+  /// one epoch (readers never observe it torn). Returns Unavailable when the
+  /// ingest queue is full, or the sticky ingest error if a previous batch
+  /// failed to apply.
+  Status Append(std::vector<Event> batch);
+
+  /// Queues a finalize (flush trailing events, persist index meta) behind
+  /// everything appended so far. Never blocks readers.
+  Status Finalize();
+
+  /// Blocks until the ingest strand has drained everything queued before
+  /// this call, then returns the sticky ingest error (OK when none).
+  Status Flush();
+
+  // -- Queries (concurrent; each pins one frontier) ---------------------------
+
+  struct QueryResult {
+    std::vector<Snapshot> snapshots;  ///< In the order of the query's times.
+    uint64_t epoch = 0;               ///< The pinned frontier's epoch.
+    /// Events visible at the pinned frontier: the result equals a naive
+    /// replay of exactly the first `event_count` appended events.
+    size_t event_count = 0;
+  };
+
+  /// Multipoint retrieval at the server's current frontier. `deadline_us` in
+  /// wall microseconds from admission; -1 uses the server default, 0 means
+  /// no deadline.
+  Result<QueryResult> Retrieve(const std::vector<Timestamp>& times,
+                               unsigned components = kCompAll,
+                               int64_t deadline_us = -1);
+
+  Result<QueryResult> GetSnapshot(Timestamp t, unsigned components = kCompAll,
+                                  int64_t deadline_us = -1) {
+    return Retrieve({t}, components, deadline_us);
+  }
+  Result<QueryResult> GetSnapshots(const std::vector<Timestamp>& times,
+                                   unsigned components = kCompAll,
+                                   int64_t deadline_us = -1) {
+    return Retrieve(times, components, deadline_us);
+  }
+
+  // -- Introspection ----------------------------------------------------------
+
+  struct Stats {
+    uint64_t queries_admitted = 0;
+    uint64_t queries_rejected = 0;   ///< Admission-limit rejections.
+    uint64_t deadlines_exceeded = 0;
+    uint64_t batches_appended = 0;   ///< Applied by the ingest strand.
+    uint64_t events_appended = 0;
+    uint64_t finalizes = 0;
+    uint64_t appends_rejected = 0;   ///< Queue-full rejections.
+    uint64_t frontier_epoch = 0;     ///< Published epoch at the stats read.
+  };
+  Stats stats() const;
+
+  /// The epoch a query admitted right now would pin.
+  uint64_t frontier_epoch() const;
+
+  GraphManager& manager() { return *manager_; }
+  const GraphManager& manager() const { return *manager_; }
+
+  /// Test hook: makes the ingest strand sleep this long before applying each
+  /// op, so a test can fill the bounded queue deterministically.
+  void SetIngestDelayForTesting(int64_t us) {
+    ingest_delay_us_.store(us, std::memory_order_relaxed);
+  }
+
+ private:
+  explicit HistGraphServer(std::unique_ptr<GraphManager> manager,
+                           HistGraphServerOptions options);
+
+  struct IngestOp {
+    std::vector<Event> batch;  ///< Empty for a finalize marker.
+    bool finalize = false;
+    uint64_t seq = 0;
+  };
+
+  void IngestLoop();
+  /// Enqueues `op`; Unavailable when the queue is full.
+  Status EnqueueIngest(IngestOp op);
+
+  HistGraphServerOptions options_;
+  std::unique_ptr<GraphManager> manager_;
+
+  // Ingest strand state. `ingest_mu_` guards the queue, sequence counters,
+  // and the sticky error; the strand signals `drained_cv_` whenever it
+  // finishes an op so Flush can wait for a sequence point.
+  mutable std::mutex ingest_mu_;
+  std::condition_variable ingest_cv_;   ///< Strand wakeup: work or shutdown.
+  std::condition_variable drained_cv_;  ///< Flush wakeup: op completed.
+  std::deque<IngestOp> ingest_queue_;
+  uint64_t next_seq_ = 1;      ///< Sequence of the next enqueued op.
+  uint64_t applied_seq_ = 0;   ///< Highest op sequence fully applied.
+  Status ingest_error_;        ///< Sticky: first failure, kept forever.
+  bool stopping_ = false;
+  std::atomic<int64_t> ingest_delay_us_{0};
+
+  // Admission + stats (all relaxed; stats are advisory).
+  std::atomic<int> active_queries_{0};
+  std::atomic<uint64_t> queries_admitted_{0};
+  std::atomic<uint64_t> queries_rejected_{0};
+  std::atomic<uint64_t> deadlines_exceeded_{0};
+  std::atomic<uint64_t> batches_appended_{0};
+  std::atomic<uint64_t> events_appended_{0};
+  std::atomic<uint64_t> finalizes_{0};
+  std::atomic<uint64_t> appends_rejected_{0};
+
+  std::thread ingest_thread_;  ///< Last member: joined by the destructor.
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_SERVER_HIST_GRAPH_SERVER_H_

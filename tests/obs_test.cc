@@ -490,7 +490,7 @@ TEST(TraceTest, PrefetchCoverageIsFullOnPrefetchedPinnedPlan) {
     // coverage is exactly 1.0 (no scheduling race to tolerate).
     ExecFetchCache cache;
     cache.SetTrace(tc);
-    StartCollectedPrefetch(*dg, fetches, kCompAll, &cache, &io);
+    StartCollectedPrefetch(*dg, dg->skeleton(), fetches, kCompAll, &cache, &io);
     cache.WaitPrefetchesIdle();
     auto results = dg->ExecutePlanPinned(plan.value(), kCompAll, &cache, tc);
     ASSERT_TRUE(results.ok());
