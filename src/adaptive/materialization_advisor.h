@@ -1,0 +1,127 @@
+#ifndef HISTGRAPH_ADAPTIVE_MATERIALIZATION_ADVISOR_H_
+#define HISTGRAPH_ADAPTIVE_MATERIALIZATION_ADVISOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "deltagraph/planner.h"
+
+namespace hgdb {
+
+class DeltaGraph;
+
+/// Tuning of the adaptive materialization policy (see src/adaptive/README.md
+/// for the scoring formula and the budget/eviction contract).
+struct MaterializationAdvisorOptions {
+  /// Total bytes of resident materialized snapshots the advisor may hold.
+  /// 0 disables the advisor entirely. HISTGRAPH_MAT_BUDGET overrides
+  /// (ResolveBudgetBytes).
+  uint64_t budget_bytes = 0;
+  /// Components materialized copies carry. Queries for a superset of these
+  /// cannot start from the copy, so serve-everything deployments keep
+  /// kCompAll.
+  unsigned components = kCompAll;
+  /// Materializations applied per tick. Each one is a real retrieval on the
+  /// ingest strand, so this caps how long a tick can stall appends.
+  int max_materialize_per_tick = 4;
+  /// Candidates below this touch count are never materialized (noise floor).
+  uint32_t min_touches = 2;
+  /// An incumbent's score is multiplied by this before ranking, so a
+  /// challenger must beat it by a margin to displace it (thrash damping).
+  double hysteresis = 1.5;
+  /// Both traffic counters are halved every this many ticks, so a past hot
+  /// streak ages out and the policy follows traffic shifts.
+  int decay_every_ticks = 8;
+  /// Cost constants — kept identical to the planner's so "bytes saved" here
+  /// means the same thing as plan cost there.
+  PlannerCosts costs;
+};
+
+/// \brief The online materialization policy (ROADMAP item 3): scores every
+/// skeleton node by observed traffic × predicted bytes saved per resident
+/// byte, then materializes winners and evicts losers under the byte budget.
+///
+/// Traffic comes from two live counters: the planner-side per-node touch
+/// counter (DeltaGraph::node_touches — every retrieval plan records the
+/// skeleton nodes its traversal passes through) and the store's per-edge
+/// fetch frequency (delta-id keyed; LRU hits count). The predicted benefit
+/// of a candidate is its super-root shortest-path cost under planner weights
+/// — what every query through it pays today and would not pay with a
+/// resident copy — with the paper's analytical model
+/// (EstimateDynamics → BalancedPathElements) supplying the estimate for
+/// nodes the skeleton cannot yet price.
+///
+/// Threading contract: Tick mutates the skeleton and the materialized map,
+/// so it MUST run on the index's single writer strand (the server runs it
+/// on the ingest strand between batches). Every mutation publishes through
+/// PublishFrontier, so concurrent queries keep their pinned frontier: an
+/// eviction never invalidates a running plan — the pinned frontier's
+/// materialized map keeps the snapshot alive until the last query drops it.
+class MaterializationAdvisor {
+ public:
+  explicit MaterializationAdvisor(MaterializationAdvisorOptions options);
+  ~MaterializationAdvisor();  ///< Unregisters any metrics export.
+
+  MaterializationAdvisor(const MaterializationAdvisor&) = delete;
+  MaterializationAdvisor& operator=(const MaterializationAdvisor&) = delete;
+
+  /// The configured budget with the HISTGRAPH_MAT_BUDGET environment
+  /// override applied (set = wins, including 0 to disable).
+  static uint64_t ResolveBudgetBytes(uint64_t configured);
+
+  /// Turns on always-on recording for `dg`'s traffic counters so the signal
+  /// flows even when the metrics subsystem is off. Call once before ticking.
+  void Attach(DeltaGraph* dg);
+
+  /// What one decision round did.
+  struct TickResult {
+    size_t materialized = 0;       ///< Nodes materialized this tick.
+    size_t evicted = 0;            ///< Nodes evicted this tick.
+    size_t resident_nodes = 0;     ///< Materialized nodes after the tick.
+    uint64_t resident_bytes = 0;   ///< Their actual in-memory bytes.
+    size_t candidates = 0;         ///< Nodes scored this tick.
+    double model_path_bytes = 0;   ///< Analytical expected path cost (bytes).
+  };
+
+  /// Runs one decision round against `dg`. Must run on the writer strand
+  /// (see class comment). A no-op returning current residency when the
+  /// budget is 0 or the skeleton has no leaves yet.
+  Result<TickResult> Tick(DeltaGraph* dg);
+
+  uint64_t budget_bytes() const { return options_.budget_bytes; }
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  uint64_t total_materialized() const {
+    return total_materialized_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_evicted() const {
+    return total_evicted_.load(std::memory_order_relaxed);
+  }
+  uint64_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers the advisor's state under `"adaptive.<name>"` in the metrics
+  /// registry's "exports" block: budget, residency, cumulative decisions,
+  /// and the model estimate. The advisor must outlive concurrent ToJSON.
+  void RegisterMetricsExports(const std::string& name);
+
+ private:
+  MaterializationAdvisorOptions options_;
+
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> total_materialized_{0};
+  std::atomic<uint64_t> total_evicted_{0};
+  std::atomic<uint64_t> resident_bytes_{0};
+  std::atomic<uint64_t> resident_nodes_{0};
+  /// Bit-cast double: last tick's analytical path estimate, for the export.
+  std::atomic<uint64_t> model_path_bytes_bits_{0};
+
+  std::string metrics_export_name_;
+};
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_ADAPTIVE_MATERIALIZATION_ADVISOR_H_

@@ -68,6 +68,13 @@ struct GraphManagerOptions {
   /// N >= 1 runs this manager's prefetches on a private I/O pool of N
   /// threads; negative disables prefetching (every fetch blocks its worker).
   int io_parallelism = 0;
+  /// Memory budget for traffic-adaptive materialization, in bytes of
+  /// resident materialized snapshots (src/adaptive/). 0 disables the
+  /// advisor. The HISTGRAPH_MAT_BUDGET environment variable overrides when
+  /// set. Consumed by HistGraphServer, which runs the advisor's decision
+  /// ticks on its ingest strand; a bare GraphManager does not tick on its
+  /// own (construct a MaterializationAdvisor directly to drive one).
+  uint64_t materialization_budget_bytes = 0;
 };
 
 /// \brief The system facade tying together the DeltaGraph (HistoryManager

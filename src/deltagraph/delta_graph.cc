@@ -633,6 +633,10 @@ Status DeltaGraph::MaterializeAllLeaves(unsigned components) {
     materialized_[id] = std::make_shared<Snapshot>(std::move(snap));
     skeleton_.mutable_node(id)->materialized = true;
     skeleton_.mutable_node(id)->materialized_components = components;
+    // Same skeleton state as MaterializeNode/MaterializeDepth: the planner
+    // weights materialized starts by element_count, so a stale count here
+    // would mis-cost every plan that could start from this leaf.
+    skeleton_.mutable_node(id)->element_count = materialized_[id]->ElementCount();
   }
   materialized_dirty_ = true;
   PublishFrontier();
@@ -717,7 +721,8 @@ void DeltaGraph::RegisterMetricsExports(const std::string& name) {
         << ",\"store_bytes\":" << s.store_bytes
         << ",\"materialized_bytes\":" << s.materialized_bytes
         << ",\"materialized_nodes\":" << s.materialized_nodes
-        << "},\"fetch_freq_top\":" << store_.fetch_frequency().TopKJSON(16) << "}";
+        << "},\"fetch_freq_top\":" << store_.fetch_frequency().TopKJSON(16)
+        << ",\"node_touch_top\":" << node_touches_.TopKJSON(16) << "}";
     return out.str();
   });
 }

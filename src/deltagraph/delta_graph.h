@@ -268,6 +268,12 @@ class DeltaGraph {
   /// The decoded-payload store (read-only access for the execution layer;
   /// its Get* paths are thread-safe).
   const DeltaStore& delta_store() const { return store_; }
+  /// Per-skeleton-node touch counters: every retrieval plan records the
+  /// nodes its traversal passes through (see exec/plan_touches.h). Together
+  /// with the store's per-edge fetch frequency this is the traffic signal
+  /// the adaptive materialization advisor scores candidates with. Gated like
+  /// FetchFrequency: off unless metrics are on or SetAlwaysOn was called.
+  FetchFrequency& node_touches() const { return node_touches_; }
   /// Events newer than the last cut leaf (read-only; the parallel executor
   /// applies them without going through the store).
   const EventList& recent_events() const { return recent_; }
@@ -342,6 +348,13 @@ class DeltaGraph {
                                                   unsigned components,
                                                   const FrontierPtr& frontier,
                                                   obs::TraceCtx tc = {}) const;
+  /// Counts `plan`'s node touches into node_touches(). Called once per
+  /// query — from the inline-planning retrieval path and from PlanForAt
+  /// (the session paths plan there and execute separately), which between
+  /// them cover every retrieval exactly once. Materialization's own
+  /// PlanNodes work is deliberately not counted: the advisor must not see
+  /// its own actions as traffic.
+  void RecordPlanTouches(const Plan& plan, const Skeleton& skel) const;
   Status WalkPlanNode(const PlanNode& node, PlanVisitor* visitor, bool is_tail) const;
   Status ApplyPlanStep(const PlanStep& step, PlanVisitor* visitor, bool undo) const;
 
@@ -390,7 +403,9 @@ class DeltaGraph {
   std::vector<std::vector<std::vector<Pending>>> pending_;
 
   std::map<int32_t, std::shared_ptr<Snapshot>> materialized_;
-  std::map<int32_t, unsigned> materialized_components_;
+  /// Per-skeleton-node touch counters (see node_touches()). Mutable: queries
+  /// are const but still traffic.
+  mutable FetchFrequency node_touches_;
 
   // -- Epoch publication state (single writer; see frontier.h) ---------------
   /// The latest published frontier; readers pin it under frontier_mu_ (held

@@ -79,9 +79,23 @@ uint32_t FetchFrequency::Count(DeltaId id) const {
 }
 
 void FetchFrequency::Reset() {
+  // grow_mu_ serializes against EnsureSize: without it a concurrent grow
+  // could copy counts into a fresh arena while this loop zeroes only the old
+  // one, and the copied counts would survive the reset.
+  std::lock_guard<std::mutex> lock(grow_mu_);
   const size_t n = size_.load(std::memory_order_acquire);
   std::atomic<uint32_t>* slots = slots_.load(std::memory_order_acquire);
   for (size_t i = 0; i < n; ++i) slots[i].store(0, std::memory_order_relaxed);
+}
+
+void FetchFrequency::Decay() {
+  std::lock_guard<std::mutex> lock(grow_mu_);  // Same carry-over race as Reset.
+  const size_t n = size_.load(std::memory_order_acquire);
+  std::atomic<uint32_t>* slots = slots_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t c = slots[i].load(std::memory_order_relaxed);
+    if (c > 0) slots[i].store(c >> 1, std::memory_order_relaxed);
+  }
 }
 
 std::string FetchFrequency::TopKJSON(size_t k) const {
@@ -93,8 +107,14 @@ std::string FetchFrequency::TopKJSON(size_t k) const {
     if (c > 0) hot.emplace_back(c, i);
   }
   const size_t keep = std::min(k, hot.size());
+  // (count desc, id asc) is a strict total order over the (count, id) pairs,
+  // so the selected top-k — including which of several equal-count entries
+  // make the cut — is deterministic across runs.
   std::partial_sort(hot.begin(), hot.begin() + keep, hot.end(),
-                    [](const auto& a, const auto& b) { return a.first > b.first; });
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
   std::ostringstream out;
   out << "[";
   for (size_t i = 0; i < keep; ++i) {

@@ -37,12 +37,19 @@ namespace hgdb {
 class FetchFrequency {
  public:
   void Record(DeltaId id) {
-    if (!obs::MetricsEnabled()) return;
+    if (!always_on_.load(std::memory_order_relaxed) && !obs::MetricsEnabled()) {
+      return;
+    }
     const size_t n = size_.load(std::memory_order_acquire);
     if (id >= n) return;
     std::atomic<uint32_t>* slots = slots_.load(std::memory_order_acquire);
     slots[id].fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Records counts even when the metrics subsystem is off. The adaptive
+  /// materialization advisor steers on these counters, so its signal must
+  /// not depend on HISTGRAPH_METRICS being set.
+  void SetAlwaysOn(bool on) { always_on_.store(on, std::memory_order_relaxed); }
 
   /// Grows to at least `n` slots (geometric, so repeated AllocateId is O(1)
   /// amortized). Existing counts carry over.
@@ -50,14 +57,22 @@ class FetchFrequency {
 
   uint32_t Count(DeltaId id) const;
   size_t size() const { return size_.load(std::memory_order_acquire); }
+  /// Zeroes every counter. Serialized against EnsureSize (both take
+  /// grow_mu_) so a reset cannot race a grow's count carry-over and leave
+  /// stale counts alive in the new arena.
   void Reset();
+  /// Halves every counter (the advisor's per-tick exponential decay, so a
+  /// past hot streak cannot pin a node forever once traffic shifts).
+  void Decay();
 
   /// The `k` hottest (id, count) pairs with nonzero counts, as a JSON array
-  /// sorted by count descending — the registry-provider export format.
+  /// sorted by count descending, ties broken by ascending id so exports and
+  /// the advisor's candidate ranking are deterministic across runs.
   std::string TopKJSON(size_t k) const;
 
  private:
   mutable std::mutex grow_mu_;
+  std::atomic<bool> always_on_{false};
   std::atomic<std::atomic<uint32_t>*> slots_{nullptr};
   std::atomic<size_t> size_{0};
   std::vector<std::unique_ptr<std::atomic<uint32_t>[]>> arenas_;

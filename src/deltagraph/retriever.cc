@@ -6,6 +6,7 @@
 #include "exec/fetch_cache.h"
 #include "exec/io_pool.h"
 #include "exec/parallel_executor.h"
+#include "exec/plan_touches.h"
 #include "exec/prefetcher.h"
 #include "exec/task_pool.h"
 #include "obs/metrics.h"
@@ -378,7 +379,16 @@ Result<Plan> DeltaGraph::PlanForAt(const FrontierPtr& frontier,
                                    const std::vector<Timestamp>& times,
                                    unsigned components) const {
   Planner planner(MakePlannerContext(*frontier));
-  return planner.PlanSnapshots(times, components);
+  auto plan = planner.PlanSnapshots(times, components);
+  if (plan.ok()) RecordPlanTouches(plan.value(), *frontier->skeleton);
+  return plan;
+}
+
+void DeltaGraph::RecordPlanTouches(const Plan& plan, const Skeleton& skel) const {
+  node_touches_.EnsureSize(skel.node_count());
+  for (int32_t n : CollectPlanNodeTouches(plan, skel)) {
+    node_touches_.Record(static_cast<DeltaId>(n));
+  }
 }
 
 Result<Snapshot> DeltaGraph::GetSnapshot(Timestamp t, unsigned components) {
@@ -460,6 +470,7 @@ Result<std::vector<Snapshot>> DeltaGraph::GetSnapshotsAt(
     return r;
   }();
   if (!plan.ok()) return plan.status();
+  RecordPlanTouches(plan.value(), *frontier->skeleton);
   auto exec = ExecuteSnapshotPlan(plan.value(), components, frontier, tc);
   if (!exec.ok()) return exec.status();
   return exec.value().TakeInOrder(times);

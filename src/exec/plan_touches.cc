@@ -1,0 +1,39 @@
+#include "exec/plan_touches.h"
+
+#include "deltagraph/skeleton.h"
+
+namespace hgdb {
+
+namespace {
+
+void CollectNode(const PlanNode& node, const Skeleton& skel,
+                 std::vector<int32_t>* out) {
+  for (const auto& [step, child] : node.children) {
+    switch (step.kind) {
+      case PlanStep::Kind::kLoadMaterialized:
+        out->push_back(step.node);
+        break;
+      case PlanStep::Kind::kApplyDelta:
+      case PlanStep::Kind::kApplyEvents: {
+        const SkeletonEdge& e = skel.edge(step.edge);
+        out->push_back(step.forward ? e.to : e.from);
+        break;
+      }
+      case PlanStep::Kind::kLoadCurrent:
+      case PlanStep::Kind::kApplyRecentEvents:
+        break;  // No skeleton node behind these.
+    }
+    CollectNode(*child, skel, out);
+  }
+}
+
+}  // namespace
+
+std::vector<int32_t> CollectPlanNodeTouches(const Plan& plan, const Skeleton& skel) {
+  std::vector<int32_t> out;
+  if (!plan.root) return out;
+  CollectNode(*plan.root, skel, &out);
+  return out;
+}
+
+}  // namespace hgdb

@@ -1,0 +1,27 @@
+#ifndef HISTGRAPH_EXEC_PLAN_TOUCHES_H_
+#define HISTGRAPH_EXEC_PLAN_TOUCHES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "deltagraph/plan.h"
+
+namespace hgdb {
+
+class Skeleton;
+
+/// Pre-scans `plan` depth-first and returns every skeleton node the
+/// traversal passes through: the destination endpoint of each delta/
+/// eventlist step (resolved against `skel`, the pinned frontier's skeleton
+/// the plan was built from) and each materialized start node. This is the
+/// per-node hit signal adaptive materialization scores candidates with — a
+/// node on many query paths is a node whose materialized copy would have
+/// let those queries start closer to their targets. Virtual query terminals
+/// (partial eventlist applications end between leaves) still credit the
+/// eventlist edge's destination leaf: the query traveled to that leaf's
+/// neighborhood. kLoadCurrent and recent-tail steps touch no skeleton node.
+std::vector<int32_t> CollectPlanNodeTouches(const Plan& plan, const Skeleton& skel);
+
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_EXEC_PLAN_TOUCHES_H_

@@ -28,6 +28,36 @@ obs::Counter& QueriesTimedOut() {
       obs::MetricsRegistry::Global().GetCounter("server.deadline_exceeded");
   return *c;
 }
+obs::Counter& MatTicks() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("server.mat_ticks");
+  return *c;
+}
+obs::Counter& MatMaterializations() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("server.mat_materializations");
+  return *c;
+}
+obs::Counter& MatEvictions() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("server.mat_evictions");
+  return *c;
+}
+obs::Gauge& MatResidentBytes() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("server.mat_resident_bytes");
+  return *g;
+}
+obs::Gauge& MatResidentNodes() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("server.mat_resident_nodes");
+  return *g;
+}
+obs::Gauge& MatBudgetBytes() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("server.mat_budget_bytes");
+  return *g;
+}
 
 }  // namespace
 
@@ -50,6 +80,15 @@ Result<std::unique_ptr<HistGraphServer>> HistGraphServer::Open(
 HistGraphServer::HistGraphServer(std::unique_ptr<GraphManager> manager,
                                  HistGraphServerOptions options)
     : options_(std::move(options)), manager_(std::move(manager)) {
+  // The budget knob lives on the manager options (HISTGRAPH_MAT_BUDGET
+  // overrides); the rest of the advisor tuning rides on options_.advisor.
+  MaterializationAdvisorOptions aopts = options_.advisor;
+  aopts.budget_bytes = options_.manager.materialization_budget_bytes;
+  if (MaterializationAdvisor::ResolveBudgetBytes(aopts.budget_bytes) > 0) {
+    advisor_ = std::make_unique<MaterializationAdvisor>(aopts);
+    advisor_->Attach(&manager_->index());
+    MatBudgetBytes().Set(static_cast<int64_t>(advisor_->budget_bytes()));
+  }
   ingest_thread_ = std::thread([this] { IngestLoop(); });
 }
 
@@ -104,11 +143,35 @@ Status HistGraphServer::Flush() {
 }
 
 void HistGraphServer::IngestLoop() {
+  // Advisor ticks share the strand with appends: they run while idle and
+  // between queued ops (never preempting one), so every skeleton /
+  // materialized-map mutation on this thread serializes with appends by
+  // construction and publishes through the usual frontier protocol.
+  const bool periodic = advisor_ != nullptr && options_.advisor_tick_us > 0;
+  const auto interval = std::chrono::microseconds(
+      periodic ? options_.advisor_tick_us : 0);
+  auto next_tick = std::chrono::steady_clock::now() + interval;
+  auto tick_if_due = [&] {
+    // Caller must NOT hold ingest_mu_.
+    if (periodic && std::chrono::steady_clock::now() >= next_tick) {
+      RunAdvisorTick();
+      next_tick = std::chrono::steady_clock::now() + interval;
+    }
+  };
+
   std::unique_lock<std::mutex> lock(ingest_mu_);
   for (;;) {
-    ingest_cv_.wait(lock, [&] { return stopping_ || !ingest_queue_.empty(); });
+    if (periodic) {
+      ingest_cv_.wait_until(lock, next_tick,
+                            [&] { return stopping_ || !ingest_queue_.empty(); });
+    } else {
+      ingest_cv_.wait(lock, [&] { return stopping_ || !ingest_queue_.empty(); });
+    }
     if (ingest_queue_.empty()) {
       if (stopping_) return;  // Drained and told to stop.
+      lock.unlock();
+      tick_if_due();  // Idle wakeup: keep adapting with no traffic to drain.
+      lock.lock();
       continue;
     }
     IngestOp op = std::move(ingest_queue_.front());
@@ -122,7 +185,9 @@ void HistGraphServer::IngestLoop() {
     }
     Status s;
     if (!poisoned) {
-      if (op.finalize) {
+      if (op.advise) {
+        if (advisor_ != nullptr) RunAdvisorTick();
+      } else if (op.finalize) {
         s = manager_->FinalizeIndex();
         if (s.ok()) finalizes_.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -133,12 +198,45 @@ void HistGraphServer::IngestLoop() {
         }
       }
     }
+    tick_if_due();  // Busy path: ticks interleave with a saturated queue too.
 
     lock.lock();
     if (!s.ok() && ingest_error_.ok()) ingest_error_ = s;
     applied_seq_ = op.seq;
     drained_cv_.notify_all();
   }
+}
+
+void HistGraphServer::RunAdvisorTick() {
+  auto res = advisor_->Tick(&manager_->index());
+  MatTicks().Add();
+  std::lock_guard<std::mutex> lock(advisor_mu_);
+  if (res.ok()) {
+    last_tick_status_ = Status::OK();
+    last_tick_result_ = res.value();
+    MatMaterializations().Add(last_tick_result_.materialized);
+    MatEvictions().Add(last_tick_result_.evicted);
+    MatResidentBytes().Set(static_cast<int64_t>(last_tick_result_.resident_bytes));
+    MatResidentNodes().Set(static_cast<int64_t>(last_tick_result_.resident_nodes));
+  } else {
+    // An advisor failure does not poison ingest: appends remain correct
+    // whether or not a materialized copy exists. Surfaced via RunAdvisorOnce.
+    last_tick_status_ = res.status();
+  }
+}
+
+Result<MaterializationAdvisor::TickResult> HistGraphServer::RunAdvisorOnce() {
+  if (advisor_ == nullptr) {
+    return Status::InvalidArgument(
+        "adaptive materialization is disabled (resolved budget is 0)");
+  }
+  IngestOp op;
+  op.advise = true;
+  HG_RETURN_NOT_OK(EnqueueIngest(std::move(op)));
+  HG_RETURN_NOT_OK(Flush());
+  std::lock_guard<std::mutex> lock(advisor_mu_);
+  HG_RETURN_NOT_OK(last_tick_status_);
+  return last_tick_result_;
 }
 
 // -- Queries -------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "adaptive/materialization_advisor.h"
 #include "common/result.h"
 #include "core/graph_manager.h"
 
@@ -35,6 +36,18 @@ struct HistGraphServerOptions {
   /// checked at stage boundaries (admission, frontier pin, execution done),
   /// so a query can overshoot by at most one stage.
   int64_t default_deadline_us = 0;
+
+  /// Tuning of the traffic-adaptive materialization policy. Its budget_bytes
+  /// is ignored: the budget comes from manager.materialization_budget_bytes
+  /// (one knob), with the HISTGRAPH_MAT_BUDGET environment override. A
+  /// resolved budget of 0 means no advisor runs at all.
+  MaterializationAdvisorOptions advisor;
+
+  /// How often the ingest strand runs an advisor decision tick, in
+  /// microseconds. Ticks run between queued ops (never preempting one) and
+  /// while idle. <= 0 disables periodic ticks — RunAdvisorOnce still works,
+  /// which is how deterministic tests drive the policy.
+  int64_t advisor_tick_us = 50000;
 };
 
 /// \brief Service-shaped front end over one GraphManager: a single ingest
@@ -91,6 +104,22 @@ class HistGraphServer {
   /// Blocks until the ingest strand has drained everything queued before
   /// this call, then returns the sticky ingest error (OK when none).
   Status Flush();
+
+  // -- Adaptive materialization -----------------------------------------------
+
+  /// Queues one advisor decision tick behind everything appended so far,
+  /// waits for it, and returns what it did. This is the deterministic
+  /// driver for tests and benches (periodic ticks race the caller's clock;
+  /// this does not). InvalidArgument when the advisor is disabled. If
+  /// periodic ticks run concurrently, the returned TickResult may be from a
+  /// newer tick than the queued one — same strand, never torn.
+  Result<MaterializationAdvisor::TickResult> RunAdvisorOnce();
+
+  /// The advisor, or nullptr when the resolved budget is 0. Exposed for
+  /// introspection (budget/residency accessors, metrics export
+  /// registration); do not call Tick directly — use RunAdvisorOnce so it
+  /// runs on the ingest strand.
+  MaterializationAdvisor* advisor() { return advisor_.get(); }
 
   // -- Queries (concurrent; each pins one frontier) ---------------------------
 
@@ -150,17 +179,33 @@ class HistGraphServer {
                            HistGraphServerOptions options);
 
   struct IngestOp {
-    std::vector<Event> batch;  ///< Empty for a finalize marker.
+    std::vector<Event> batch;  ///< Empty for a finalize/advise marker.
     bool finalize = false;
+    bool advise = false;  ///< RunAdvisorOnce marker: run one advisor tick.
     uint64_t seq = 0;
   };
 
   void IngestLoop();
   /// Enqueues `op`; Unavailable when the queue is full.
   Status EnqueueIngest(IngestOp op);
+  /// Runs one advisor tick on the calling (ingest) thread and publishes the
+  /// outcome to server.mat_* metrics and last_tick_*. Caller must NOT hold
+  /// ingest_mu_ (the tick runs real retrievals).
+  void RunAdvisorTick();
 
   HistGraphServerOptions options_;
   std::unique_ptr<GraphManager> manager_;
+  /// Non-null iff the resolved materialization budget is > 0. Ticks only on
+  /// the ingest strand, so its mutations serialize with appends by
+  /// construction.
+  std::unique_ptr<MaterializationAdvisor> advisor_;
+
+  /// Guards the last advisor tick outcome (written by the ingest strand,
+  /// read by RunAdvisorOnce). Separate from ingest_mu_: the tick itself runs
+  /// with no lock held.
+  mutable std::mutex advisor_mu_;
+  Status last_tick_status_;
+  MaterializationAdvisor::TickResult last_tick_result_;
 
   // Ingest strand state. `ingest_mu_` guards the queue, sequence counters,
   // and the sticky error; the strand signals `drained_cv_` whenever it

@@ -1,0 +1,184 @@
+// MaterializationAdvisor unit tests: budget resolution (env override), the
+// disabled path, traffic-driven materialization under a budget, and eviction
+// when traffic shifts. Driven deterministically through
+// HistGraphServer::RunAdvisorOnce (periodic ticks off), so every decision
+// runs on the ingest strand exactly when the test says.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "adaptive/materialization_advisor.h"
+#include "server/hist_graph_server.h"
+#include "tests/test_oracle.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hgdb {
+namespace {
+
+// Restores HISTGRAPH_MAT_BUDGET on scope exit so env-twiddling tests cannot
+// leak into later ones.
+class EnvBudgetGuard {
+ public:
+  EnvBudgetGuard() {
+    const char* v = std::getenv("HISTGRAPH_MAT_BUDGET");
+    if (v != nullptr) saved_ = v;
+    had_ = v != nullptr;
+  }
+  ~EnvBudgetGuard() {
+    if (had_) {
+      ::setenv("HISTGRAPH_MAT_BUDGET", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("HISTGRAPH_MAT_BUDGET");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+GeneratedTrace MakeTrace(uint64_t seed, size_t n = 3000) {
+  RandomTraceOptions opts;
+  opts.num_events = n;
+  opts.seed = seed;
+  return GenerateRandomTrace(opts);
+}
+
+std::unique_ptr<HistGraphServer> MakeServer(KVStore* store,
+                                            const GeneratedTrace& trace,
+                                            HistGraphServerOptions opts) {
+  opts.advisor_tick_us = 0;  // Ticks only via RunAdvisorOnce.
+  auto server = HistGraphServer::Create(store, opts);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  if (!server.ok()) return nullptr;
+  EXPECT_TRUE((*server)->Append(trace.events).ok());
+  EXPECT_TRUE((*server)->Finalize().ok());
+  EXPECT_TRUE((*server)->Flush().ok());
+  return std::move(server).value();
+}
+
+TEST(MaterializationAdvisorTest, EnvOverridesConfiguredBudget) {
+  EnvBudgetGuard guard;
+  ::unsetenv("HISTGRAPH_MAT_BUDGET");
+  EXPECT_EQ(MaterializationAdvisor::ResolveBudgetBytes(0), 0u);
+  EXPECT_EQ(MaterializationAdvisor::ResolveBudgetBytes(777), 777u);
+  ::setenv("HISTGRAPH_MAT_BUDGET", "12345", 1);
+  EXPECT_EQ(MaterializationAdvisor::ResolveBudgetBytes(0), 12345u);
+  EXPECT_EQ(MaterializationAdvisor::ResolveBudgetBytes(777), 12345u);
+  // An explicit 0 in the environment disables even a configured budget.
+  ::setenv("HISTGRAPH_MAT_BUDGET", "0", 1);
+  EXPECT_EQ(MaterializationAdvisor::ResolveBudgetBytes(777), 0u);
+}
+
+TEST(MaterializationAdvisorTest, DisabledWithoutBudget) {
+  EnvBudgetGuard guard;
+  ::unsetenv("HISTGRAPH_MAT_BUDGET");
+  const GeneratedTrace trace = MakeTrace(4242, 600);
+  auto store = NewMemKVStore();
+  auto server = MakeServer(store.get(), trace, {});
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->advisor(), nullptr);
+  auto tick = server->RunAdvisorOnce();
+  EXPECT_FALSE(tick.ok());
+  EXPECT_TRUE(tick.status().IsInvalidArgument()) << tick.status().ToString();
+}
+
+TEST(MaterializationAdvisorTest, HotTrafficMaterializesUnderBudget) {
+  EnvBudgetGuard guard;
+  ::unsetenv("HISTGRAPH_MAT_BUDGET");
+  const GeneratedTrace trace = MakeTrace(99);
+  auto store = NewMemKVStore();
+  HistGraphServerOptions opts;
+  opts.manager.index.leaf_size = 200;
+  opts.manager.materialization_budget_bytes = 1ull << 20;
+  opts.advisor.min_touches = 1;
+  auto server = MakeServer(store.get(), trace, opts);
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(server->advisor(), nullptr);
+
+  // A tick with zero observed traffic must not materialize anything: the
+  // policy follows traffic, it does not preload.
+  auto idle = server->RunAdvisorOnce();
+  ASSERT_TRUE(idle.ok()) << idle.status().ToString();
+  EXPECT_EQ(idle->materialized, 0u);
+
+  // Hammer one historical timepoint, then tick until quiescent.
+  const Timestamp hot = trace.events.back().time / 2;
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(server->GetSnapshot(hot, kCompAll).ok());
+  }
+  uint64_t materialized = 0;
+  for (int round = 0; round < 8; ++round) {
+    auto tick = server->RunAdvisorOnce();
+    ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+    materialized += tick->materialized;
+    EXPECT_LE(tick->resident_bytes, opts.manager.materialization_budget_bytes);
+    if (round > 0 && tick->materialized == 0 && tick->evicted == 0) break;
+  }
+  EXPECT_GT(materialized, 0u);
+  EXPECT_GT(server->advisor()->resident_bytes(), 0u);
+
+  // Correctness is untouched: the hot query still equals the naive replay.
+  auto res = server->GetSnapshot(hot, kCompAll);
+  ASSERT_TRUE(res.ok());
+  const auto oracle = test::NaiveReplayOracle::At(trace.events, hot, kCompAll);
+  EXPECT_TRUE(oracle.Matches(res->snapshots[0]));
+}
+
+TEST(MaterializationAdvisorTest, TrafficShiftEvictsColdIncumbents) {
+  EnvBudgetGuard guard;
+  ::unsetenv("HISTGRAPH_MAT_BUDGET");
+  const GeneratedTrace trace = MakeTrace(1337);
+  auto store = NewMemKVStore();
+  HistGraphServerOptions opts;
+  opts.manager.index.leaf_size = 200;
+  // Room for only a sliver of the index, so phase A's winners must go when
+  // phase B's traffic takes over.
+  opts.manager.materialization_budget_bytes = 96 * 1024;
+  opts.advisor.min_touches = 1;
+  opts.advisor.hysteresis = 1.1;
+  opts.advisor.decay_every_ticks = 1;  // Age phase A out quickly.
+  auto server = MakeServer(store.get(), trace, opts);
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(server->advisor(), nullptr);
+
+  const Timestamp span = trace.events.back().time;
+  auto hammer = [&](Timestamp t, int n) {
+    for (int i = 0; i < n; ++i) ASSERT_TRUE(server->GetSnapshot(t, kCompAll).ok());
+  };
+  auto settle = [&] {
+    for (int round = 0; round < 10; ++round) {
+      auto tick = server->RunAdvisorOnce();
+      ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+      EXPECT_LE(tick->resident_bytes,
+                opts.manager.materialization_budget_bytes);
+      if (round > 0 && tick->materialized == 0 && tick->evicted == 0) break;
+    }
+  };
+
+  hammer(span / 4, 32);
+  settle();
+  const uint64_t after_a = server->advisor()->total_materialized();
+  EXPECT_GT(after_a, 0u);
+
+  // Phase B: traffic moves to a far timepoint; decay ages A's counts, so
+  // B's nodes outscore the incumbents and the budget forces evictions.
+  hammer(span * 3 / 4, 64);
+  settle();
+  EXPECT_GT(server->advisor()->total_materialized(), after_a);
+  EXPECT_GT(server->advisor()->total_evicted(), 0u);
+
+  // Both old and new hot queries still match the replay oracle.
+  for (Timestamp t : {span / 4, span * 3 / 4}) {
+    auto res = server->GetSnapshot(t, kCompAll);
+    ASSERT_TRUE(res.ok());
+    const auto oracle = test::NaiveReplayOracle::At(trace.events, t, kCompAll);
+    EXPECT_TRUE(oracle.Matches(res->snapshots[0])) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace hgdb

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <unordered_set>
 
 #include "deltagraph/delta_graph.h"
@@ -1038,6 +1040,146 @@ TEST(UpdateQueryInterleavingTest, QueriesStayCorrectWhileUpdating) {
         << "round " << round << " t=" << probe << "\n"
         << snap.value().DiffString(expected);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Materialization paths: all three must leave identical skeleton state
+// ---------------------------------------------------------------------------
+
+// The planner weights a materialized start by the node's element_count and
+// the adaptive advisor sizes candidates with it, so a path that sets
+// `materialized` without refreshing `element_count` mis-costs every later
+// plan. Struct-only copies expose it: their element counts differ from the
+// full counts CutLeaf recorded at build time.
+TEST(MaterializationPathsTest, AllPathsLeaveIdenticalSkeletonState) {
+  RandomTraceOptions opts;
+  opts.num_events = 3000;
+  opts.seed = 99;
+  GeneratedTrace trace = GenerateRandomTrace(opts);
+  DeltaGraphOptions dgo;
+  dgo.leaf_size = 250;
+
+  auto build = [&](KVStore* store) {
+    auto dg = DeltaGraph::Create(store, dgo);
+    EXPECT_TRUE(dg.ok()) << dg.status().ToString();
+    auto g = std::move(dg).value();
+    EXPECT_TRUE(g->AppendAll(trace.events).ok());
+    EXPECT_TRUE(g->Finalize().ok());
+    return g;
+  };
+  auto s1 = NewMemKVStore(), s2 = NewMemKVStore(), s3 = NewMemKVStore();
+  auto per_node = build(s1.get());
+  auto all_leaves = build(s2.get());
+  auto by_depth = build(s3.get());
+  ASSERT_GE(per_node->skeleton().leaves().size(), 4u);
+
+  for (int32_t leaf : per_node->skeleton().leaves()) {
+    ASSERT_TRUE(per_node->MaterializeNode(leaf, kCompStruct).ok());
+  }
+  ASSERT_TRUE(all_leaves->MaterializeAllLeaves(kCompStruct).ok());
+  // Deep enough that the NodesAtDepth frontier has converged to the leaf set
+  // (leaves persist in the frontier on ragged trees).
+  auto md = by_depth->MaterializeDepth(64, kCompStruct);
+  ASSERT_TRUE(md.ok()) << md.status().ToString();
+  EXPECT_EQ(md.value(), by_depth->skeleton().leaves().size());
+
+  const Skeleton& a = per_node->skeleton();
+  const Skeleton& b = all_leaves->skeleton();
+  const Skeleton& c = by_depth->skeleton();
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.node_count(), c.node_count());
+  for (size_t i = 0; i < a.node_count(); ++i) {
+    const int32_t id = static_cast<int32_t>(i);
+    const SkeletonNode& na = a.node(id);
+    const SkeletonNode& nb = b.node(id);
+    const SkeletonNode& nc = c.node(id);
+    EXPECT_EQ(na.materialized, nb.materialized) << "node " << id;
+    EXPECT_EQ(na.materialized, nc.materialized) << "node " << id;
+    EXPECT_EQ(na.materialized_components, nb.materialized_components)
+        << "node " << id;
+    EXPECT_EQ(na.materialized_components, nc.materialized_components)
+        << "node " << id;
+    EXPECT_EQ(na.element_count, nb.element_count) << "node " << id;
+    EXPECT_EQ(na.element_count, nc.element_count) << "node " << id;
+    if (na.is_leaf) {
+      ASSERT_NE(per_node->materialized_snapshot(id), nullptr);
+      EXPECT_EQ(na.element_count,
+                per_node->materialized_snapshot(id)->ElementCount())
+          << "node " << id;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FetchFrequency: concurrency and determinism
+// ---------------------------------------------------------------------------
+
+// Reset must serialize with EnsureSize's count carry-over: an unlocked reset
+// can zero the old arena after the grow already copied the counts out,
+// resurrecting them in the new arena. Recorders hammer both arenas the whole
+// time; run under TSan this also proves the arena handoff itself is clean.
+TEST(FetchFrequencyTest, ConcurrentGrowResetRecordIsSafe) {
+  FetchFrequency freq;
+  freq.SetAlwaysOn(true);
+  freq.EnsureSize(64);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  for (int r = 0; r < 2; ++r) {
+    recorders.emplace_back([&freq, &stop, r] {
+      uint64_t x = 88172645463325252ull + r;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        freq.Record(static_cast<DeltaId>(x % 4096));
+      }
+    });
+  }
+  std::thread grower([&freq] {
+    for (size_t n = 64; n <= 4096; n += 64) {
+      freq.EnsureSize(n);
+      std::this_thread::yield();
+    }
+  });
+  std::thread resetter([&freq] {
+    for (int i = 0; i < 200; ++i) {
+      if (i % 3 == 0) {
+        freq.Decay();
+      } else {
+        freq.Reset();
+      }
+      std::this_thread::yield();
+    }
+  });
+  grower.join();
+  resetter.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : recorders) t.join();
+
+  EXPECT_GE(freq.size(), 4096u);
+  freq.Reset();
+  for (size_t id = 0; id < freq.size(); ++id) {
+    ASSERT_EQ(freq.Count(id), 0u) << "stale count resurrected at id " << id;
+  }
+}
+
+TEST(FetchFrequencyTest, TopKJSONBreaksTiesById) {
+  FetchFrequency freq;
+  freq.SetAlwaysOn(true);
+  freq.EnsureSize(16);
+  for (DeltaId id : {9, 3, 5}) {
+    freq.Record(id);
+    freq.Record(id);
+  }
+  for (int i = 0; i < 5; ++i) freq.Record(7);
+  // Count descending, equal counts by ascending id — including which of the
+  // tied entries make a truncated top-k.
+  EXPECT_EQ(freq.TopKJSON(8),
+            "[{\"id\":7,\"fetches\":5},{\"id\":3,\"fetches\":2},"
+            "{\"id\":5,\"fetches\":2},{\"id\":9,\"fetches\":2}]");
+  EXPECT_EQ(freq.TopKJSON(2),
+            "[{\"id\":7,\"fetches\":5},{\"id\":3,\"fetches\":2}]");
 }
 
 }  // namespace

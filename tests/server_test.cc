@@ -144,6 +144,101 @@ TEST(ServerOracleTest, ConcurrentIngestAndRetrievalMatchReplayPrefix) {
   }
 }
 
+// The adaptive-materialization variant of the oracle property: readers run
+// against live ingest while the advisor concurrently materializes and evicts
+// nodes under a deliberately tiny budget (periodic ticks on the ingest
+// strand PLUS a thread spamming RunAdvisorOnce). Every result must still
+// equal the naive replay at its claimed (epoch, event_count), and epochs
+// must stay monotone per reader — materialization churn is invisible to the
+// visibility contract. Run under TSan this is the data-race proof for the
+// advisor's frontier-published mutations against pinned queries.
+TEST(ServerOracleTest, AdaptiveChurnKeepsReplayOracle) {
+  for (uint64_t seed : test::PropertySeeds(6, 9900)) {
+    test::SeededRng rng(seed);
+    SCOPED_TRACE(rng.Desc());
+
+    RandomTraceOptions topts;
+    topts.num_events = 1200;
+    topts.seed = seed * 7 + 1;
+    const GeneratedTrace trace = GenerateRandomTrace(topts);
+
+    auto store = NewMemKVStore();
+    HistGraphServerOptions opts;
+    opts.manager.index.leaf_size = 64 + 64 * rng.Uniform(4);
+    // A budget of a few leaves forces constant materialize/evict pressure.
+    opts.manager.materialization_budget_bytes = 256 * 1024;
+    opts.advisor_tick_us = 500;
+    opts.advisor.min_touches = 1;
+    opts.advisor.max_materialize_per_tick = 2;
+    opts.advisor.decay_every_ticks = 2;
+    opts.advisor.hysteresis = 1.0;  // No incumbent edge: maximize churn.
+    auto server = HistGraphServer::Create(store.get(), opts);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    ASSERT_NE((*server)->advisor(), nullptr);
+
+    std::atomic<bool> writer_done{false};
+    std::thread writer([&] {
+      test::SeededRng wrng(seed ^ 0x571);
+      size_t pos = 0;
+      while (pos < trace.events.size()) {
+        const size_t n =
+            std::min(trace.events.size() - pos, 1 + wrng.Uniform(48));
+        std::vector<Event> batch(trace.events.begin() + pos,
+                                 trace.events.begin() + pos + n);
+        pos += n;
+        ASSERT_TRUE((*server)->Append(std::move(batch)).ok());
+        if (wrng.Chance(0.15)) {
+          ASSERT_TRUE((*server)->Finalize().ok());
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      ASSERT_TRUE((*server)->Finalize().ok());
+      ASSERT_TRUE((*server)->Flush().ok());
+      writer_done.store(true, std::memory_order_release);
+    });
+    std::thread churner([&] {
+      while (!writer_done.load(std::memory_order_acquire)) {
+        auto tick = (*server)->RunAdvisorOnce();
+        ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+
+    ReaderStats r1, r2;
+    std::thread reader1([&] {
+      ReaderLoop(server->get(), trace.events, seed * 31 + 1, writer_done, &r1);
+    });
+    std::thread reader2([&] {
+      ReaderLoop(server->get(), trace.events, seed * 31 + 2, writer_done, &r2);
+    });
+    writer.join();
+    churner.join();
+    reader1.join();
+    reader2.join();
+
+    for (const auto& f : r1.failures) ADD_FAILURE() << "reader1: " << f;
+    for (const auto& f : r2.failures) ADD_FAILURE() << "reader2: " << f;
+    EXPECT_GT(r1.queries + r2.queries, 0);
+
+    // The advisor really ran, and its residency respected the budget.
+    const auto* advisor = (*server)->advisor();
+    EXPECT_GT(advisor->ticks(), 0u);
+    EXPECT_LE(advisor->resident_bytes(),
+              opts.manager.materialization_budget_bytes);
+
+    // One last deterministic tick on the fully-ingested index, then the
+    // final frontier must still reflect the entire log exactly.
+    ASSERT_TRUE((*server)->RunAdvisorOnce().ok());
+    auto final_res =
+        (*server)->Retrieve({trace.events.back().time + 1}, kCompAll);
+    ASSERT_TRUE(final_res.ok()) << final_res.status().ToString();
+    EXPECT_EQ(final_res->event_count, trace.events.size());
+    const auto oracle = test::NaiveReplayOracle::At(
+        trace.events, trace.events.back().time + 1, kCompAll);
+    EXPECT_TRUE(oracle.Matches(final_res->snapshots[0]));
+  }
+}
+
 TEST(ServerTest, AdmissionLimitZeroRejectsEveryQuery) {
   auto store = NewMemKVStore();
   HistGraphServerOptions opts;
