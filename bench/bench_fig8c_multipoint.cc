@@ -10,11 +10,13 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "exec/io_pool.h"
 #include "exec/task_pool.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 int main() {
@@ -84,41 +86,79 @@ int main() {
     ReportResult("multipoint_k" + std::to_string(k), multi_serial_ms * 1e6);
     ReportResult("multipoint_parallel_k" + std::to_string(k), multi_par_ms * 1e6);
   }
-  // --- Observability overhead (acceptance gate: < 2%) ------------------------
+  // --- Observability overhead (sampled gate < 2%, full-on gate < 3.5%) ------
   // The k=8 serial multipoint query with metrics + trace spans fully off vs
   // fully on (trace dumping stays off; HISTGRAPH_TRACE gates that
-  // separately). Min of five runs each, warm LRU, so the percent-level
-  // comparison is not drowned by simulated-disk jitter.
+  // separately). Warm LRU, per-triple paired comparison, so the
+  // percent-level comparison is not drowned by simulated-disk jitter.
   {
     dg->SetTaskPool(nullptr);
     std::vector<Timestamp> times;
     for (int i = 0; i < 8; ++i) times.push_back(base + i * 30);
     if (!dg->GetSnapshots(times, kCompAll).ok()) std::abort();  // Warm the LRU.
-    auto run = [&] {
-      double best = 1e30;
-      for (int rep = 0; rep < 5; ++rep) {
-        Stopwatch sw;
-        if (!dg->GetSnapshots(times, kCompAll).ok()) std::abort();
-        best = std::min(best, sw.ElapsedMillis());
+    // Off; metrics + full tracing on; and the production configuration —
+    // metrics on, full tracing off, sampled tracing (1-in-64 + tail arming)
+    // feeding the flight recorder, which is what HistGraphServer runs
+    // always-on.
+    enum { kOff = 0, kOn = 1, kSampled = 2 };
+    constexpr int kTriples = 151;
+    double triple_ms[3];
+    double best[3] = {1e30, 1e30, 1e30};
+    std::vector<double> ratio_on, ratio_sampled;
+    auto run_config = [&](int cfg) {
+      obs::SetMetricsEnabled(cfg != kOff);
+      obs::SetTraceEnabled(cfg == kOn);
+      if (cfg == kSampled) {
+        obs::TraceSampler::Global().Configure(64, 1000000, 4);
       }
-      return best;
+      Stopwatch sw;
+      if (!dg->GetSnapshots(times, kCompAll).ok()) std::abort();
+      triple_ms[cfg] = sw.ElapsedMillis();
+      if (cfg == kSampled) obs::TraceSampler::Global().Configure(0, 0, 0);
+      best[cfg] = std::min(best[cfg], triple_ms[cfg]);
     };
-    obs::SetMetricsEnabled(false);
-    obs::SetTraceEnabled(false);
-    const double off_ms = run();
-    obs::SetMetricsEnabled(true);
-    obs::SetTraceEnabled(true);
-    const double on_ms = run();
+    // Paired comparison at the finest granularity: each triple runs the
+    // three configs back-to-back (a ~2 ms window, so host / simulated-disk
+    // drift is effectively constant across the triple and cancels in the
+    // ratio), order rotating so any residual within-triple bias cancels
+    // too. Every 5th triple re-warms untimed: whoever runs first after an
+    // LRU eviction pays disk fetches, and that belongs to no config. The
+    // median over all per-triple ratios then rejects the odd jittery triple
+    // that a min-of-mins would fold into the gate.
+    for (int triple = 0; triple < kTriples; ++triple) {
+      if (triple % 5 == 0) {
+        obs::SetMetricsEnabled(false);
+        obs::SetTraceEnabled(false);
+        if (!dg->GetSnapshots(times, kCompAll).ok()) std::abort();
+      }
+      for (int j = 0; j < 3; ++j) {
+        run_config((triple + j) % 3);
+      }
+      ratio_on.push_back(triple_ms[kOn] / triple_ms[kOff]);
+      ratio_sampled.push_back(triple_ms[kSampled] / triple_ms[kOff]);
+    }
     obs::SetTraceEnabled(false);
     obs::SetMetricsEnabled(GetEnvInt("HISTGRAPH_METRICS", 1) != 0);
-    const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+    auto median_overhead_pct = [](std::vector<double> r) {
+      std::sort(r.begin(), r.end());
+      return (r[r.size() / 2] - 1.0) * 100.0;
+    };
+    const double off_ms = best[kOff];
+    const double on_ms = best[kOn];
+    const double sampled_ms = best[kSampled];
+    const double overhead_pct = median_overhead_pct(ratio_on);
+    const double sampled_pct = median_overhead_pct(ratio_sampled);
     std::printf("\nobservability overhead (k=8 multipoint, serial): off %s, on %s "
-                "(%+.2f%%; gate < 2%%)\n",
-                FormatMs(off_ms).c_str(), FormatMs(on_ms).c_str(), overhead_pct);
+                "(%+.2f%%; debug gate < 3.5%%), sampled %s (%+.2f%%; "
+                "production gate < 2%%)\n",
+                FormatMs(off_ms).c_str(), FormatMs(on_ms).c_str(), overhead_pct,
+                FormatMs(sampled_ms).c_str(), sampled_pct);
     ReportResult("multipoint_k8_obs_off", off_ms * 1e6);
     ReportResult("multipoint_k8_obs_on", on_ms * 1e6);
+    ReportResult("multipoint_k8_obs_sampled", sampled_ms * 1e6);
     // Percent in thousandths (the report writes integers): 1500 = 1.5%.
     ReportResult("obs_overhead_k8_pct_milli", overhead_pct * 1e3);
+    ReportResult("obs_overhead_k8_sampled_pct_milli", sampled_pct * 1e3);
   }
 
   // --- Structural sharing across emitted snapshots --------------------------

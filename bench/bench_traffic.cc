@@ -26,12 +26,16 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <random>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/hist_graph_server.h"
 #include "workload/generators.h"
 
@@ -123,7 +127,7 @@ void RunReader(HistGraphServer* server, const TrafficConfig& cfg, int ops,
 
 struct PhaseStats {
   double qps = 0;
-  double p50_us = 0, p95_us = 0, p99_us = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0, p999_us = 0;
   uint64_t reads = 0, errors = 0;
 };
 
@@ -145,6 +149,7 @@ void WindowedLatency(const obs::MetricsSnapshot& before,
   out->p50_us = obs::Histogram::QuantileOf(window, 0.50);
   out->p95_us = obs::Histogram::QuantileOf(window, 0.95);
   out->p99_us = obs::Histogram::QuantileOf(window, 0.99);
+  out->p999_us = obs::Histogram::QuantileOf(window, 0.999);
 }
 
 PhaseStats RunPhase(HistGraphServer* server, const TrafficConfig& cfg,
@@ -201,6 +206,13 @@ int Main() {
   auto store = NewSimDiskStore();
   HistGraphServerOptions options;
   options.max_concurrent_queries = 256;
+  // Production observability on for the whole run: 1-in-N sampled tracing
+  // into the flight recorder, slow-query capture, and the ingest watchdog.
+  // The fig10/fig8c obs-overhead gates bound what this configuration costs.
+  options.trace_sample_every_n =
+      static_cast<int>(GetEnvInt("HISTGRAPH_TRAFFIC_SAMPLE", 64));
+  options.slow_query_us = GetEnvInt("HISTGRAPH_TRAFFIC_SLOW_US", 50000);
+  options.watchdog_budget_us = GetEnvInt("HISTGRAPH_TRAFFIC_WATCHDOG_US", 50000);
   auto server_or = HistGraphServer::Create(store.get(), options);
   if (!server_or.ok()) {
     std::fprintf(stderr, "server create failed: %s\n",
@@ -239,8 +251,8 @@ int Main() {
   // Phase A: ingest idle.
   const PhaseStats a = RunPhase(server.get(), cfg, ops, readers, 100);
   std::printf("phase A (ingest idle):  %7.0f qps  p50 %.0fus  p95 %.0fus  "
-              "p99 %.0fus  (%llu reads, %llu errors)\n",
-              a.qps, a.p50_us, a.p95_us, a.p99_us,
+              "p99 %.0fus  p99.9 %.0fus  (%llu reads, %llu errors)\n",
+              a.qps, a.p50_us, a.p95_us, a.p99_us, a.p999_us,
               static_cast<unsigned long long>(a.reads),
               static_cast<unsigned long long>(a.errors));
 
@@ -275,9 +287,9 @@ int Main() {
   writer.join();
   const Status ingest_status = server->Flush();
   std::printf("phase B (live ingest):  %7.0f qps  p50 %.0fus  p95 %.0fus  "
-              "p99 %.0fus  (%llu reads, %llu errors, %llu batches ingested, "
-              "ingest %s)\n",
-              b.qps, b.p50_us, b.p95_us, b.p99_us,
+              "p99 %.0fus  p99.9 %.0fus  (%llu reads, %llu errors, %llu "
+              "batches ingested, ingest %s)\n",
+              b.qps, b.p50_us, b.p95_us, b.p99_us, b.p999_us,
               static_cast<unsigned long long>(b.reads),
               static_cast<unsigned long long>(b.errors),
               static_cast<unsigned long long>(batches_written.load()),
@@ -287,26 +299,97 @@ int Main() {
       a.p95_us > 0 ? (b.p95_us / a.p95_us - 1.0) * 100.0 : 0.0;
   std::printf("read p95 regression under ingest: %+.1f%%\n", regression_pct);
 
+  // Injected slow query: drop the recorder's slow threshold to 1us, force a
+  // trace, and run one wide multipoint — its full span tree must land in the
+  // slow-query log with the pinned epoch/event_count (server_test pins the
+  // same contract; this demonstrates it under real traffic state).
+  uint64_t slow_captured = 0, slow_spans = 0;
+  double slow_total_us = 0;
+  {
+    obs::FlightRecorder::Global().Configure(0, 0, 1);
+    const bool was_tracing = obs::TraceEnabled();
+    obs::SetTraceEnabled(true);
+    std::vector<Timestamp> times;
+    for (int k = 0; k < 16; ++k) {
+      times.push_back(cfg.lo + (cfg.hi - cfg.lo) * k / 16);
+    }
+    auto r = server->Retrieve(times, kCompAll);
+    obs::SetTraceEnabled(was_tracing);
+    obs::FlightRecorder::Global().Configure(0, 0, options.slow_query_us);
+    if (r.ok()) {
+      const auto slow_log = obs::FlightRecorder::Global().Slow();
+      for (auto it = slow_log.rbegin(); it != slow_log.rend(); ++it) {
+        if (it->has_trace && !it->spans.empty() &&
+            it->epoch == r.value().epoch &&
+            it->event_count == r.value().event_count) {
+          slow_captured = 1;
+          slow_spans = it->spans.size();
+          slow_total_us = it->total_us;
+          break;
+        }
+      }
+    }
+    std::printf("injected slow query: %s (%llu spans, %.0fus)\n",
+                slow_captured ? "captured in slow-query log" : "NOT captured",
+                static_cast<unsigned long long>(slow_spans), slow_total_us);
+  }
+
+  // Injected ingest stall: delay the strand past the watchdog budget for one
+  // op; the watchdog must flag it (and must not have killed anything — the
+  // flush below still succeeds).
+  const uint64_t stalls_before = server->stats().watchdog_stalls;
+  server->SetIngestDelayForTesting(2 * options.watchdog_budget_us);
+  (void)server->Finalize();
+  const Status stall_flush = server->Flush();
+  server->SetIngestDelayForTesting(0);
+  const uint64_t stalls_after = server->stats().watchdog_stalls;
+  std::printf("injected ingest stall: %llu -> %llu watchdog stalls (flush %s)\n",
+              static_cast<unsigned long long>(stalls_before),
+              static_cast<unsigned long long>(stalls_after),
+              stall_flush.ToString().c_str());
+
   const auto st = server->stats();
-  std::printf("server: %llu admitted, %llu rejected, %llu deadline, epoch %llu\n",
+  std::printf("server: %llu admitted, %llu rejected, %llu deadline, %llu slow, "
+              "%llu stalls, epoch %llu\n",
               static_cast<unsigned long long>(st.queries_admitted),
               static_cast<unsigned long long>(st.queries_rejected),
               static_cast<unsigned long long>(st.deadlines_exceeded),
+              static_cast<unsigned long long>(st.slow_queries),
+              static_cast<unsigned long long>(st.watchdog_stalls),
               static_cast<unsigned long long>(st.frontier_epoch));
+
+  // Statz surface: dump the full StatusJSON for statz_view (the CI statz
+  // smoke renders it).
+  if (const char* statz_out = std::getenv("HISTGRAPH_STATZ_OUT")) {
+    std::ofstream f(statz_out);
+    f << server->StatusJSON() << "\n";
+    std::printf("statz written to %s\n", statz_out);
+  }
 
   // Machine-readable rows (values carried in the wall_ns column; *_us rows
   // are microseconds * 1000 = ns, qps and pct rows use the unit their name
-  // says). The CI smoke step asserts these rows exist.
+  // says, count rows carry the raw count). The CI smoke step asserts these
+  // rows exist.
   ReportResult("phase_a_qps", a.qps);
   ReportResult("phase_a_read_p50_us", a.p50_us * 1000);
   ReportResult("phase_a_read_p95_us", a.p95_us * 1000);
   ReportResult("phase_a_read_p99_us", a.p99_us * 1000);
+  ReportResult("phase_a_read_p999_us", a.p999_us * 1000);
   ReportResult("phase_b_qps", b.qps);
   ReportResult("phase_b_read_p50_us", b.p50_us * 1000);
   ReportResult("phase_b_read_p95_us", b.p95_us * 1000);
   ReportResult("phase_b_read_p99_us", b.p99_us * 1000);
+  ReportResult("phase_b_read_p999_us", b.p999_us * 1000);
   ReportResult("read_p95_regression_pct_milli", regression_pct * 1000);
-  return ingest_status.ok() && a.errors == 0 && b.errors == 0 ? 0 : 1;
+  ReportResult("slow_query_captured", static_cast<double>(slow_captured));
+  ReportResult("slow_query_spans", static_cast<double>(slow_spans));
+  ReportResult("watchdog_stall_injected",
+               stalls_after > stalls_before ? 1.0 : 0.0);
+  ReportResult("watchdog_stalls", static_cast<double>(stalls_after));
+  return ingest_status.ok() && stall_flush.ok() && a.errors == 0 &&
+                 b.errors == 0 && slow_captured == 1
+             ? 0
+             : 1;
 }
 
 }  // namespace bench

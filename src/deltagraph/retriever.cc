@@ -10,12 +10,16 @@
 #include "exec/prefetcher.h"
 #include "exec/task_pool.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/stages.h"
 
 namespace hgdb {
 
 namespace {
 
-/// Times one GetSnapshots call into the registry (when metrics are on).
+/// Times one GetSnapshots call into the registry (when metrics are on), and
+/// feeds the latency to the trace sampler so an over-threshold query arms
+/// tail tracing for its successors.
 class QueryMeter {
  public:
   QueryMeter() : on_(obs::MetricsEnabled()) {
@@ -27,11 +31,13 @@ class QueryMeter {
         obs::MetricsRegistry::Global().GetHistogram("deltagraph.query_us");
     static obs::Counter* queries =
         obs::MetricsRegistry::Global().GetCounter("deltagraph.queries");
-    us->Record(static_cast<uint64_t>(
+    const auto elapsed_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start_)
-            .count()));
+            .count());
+    us->Record(elapsed_us);
     queries->Add();
+    obs::TraceSampler::Global().Observe(elapsed_us);
   }
 
  private:
@@ -156,6 +162,7 @@ class SnapshotPlanVisitor final : public PlanVisitor {
       const SkeletonEdge& e = frontier_->skeleton->edge(edge);
       Result<std::shared_ptr<const Delta>> d = [&] {
         if (prefetched_ != nullptr) return prefetched_->GetDelta(*dg_, e, components_);
+        obs::StageTimer stage(obs::StageFetchHist());
         obs::ScopedSpan span(tc_, "fetch.demand");
         DeltaStore::ReadStats rs;
         auto r = dg_->store_.GetDeltaShared(e.delta_id, components_, e.sizes,
@@ -178,6 +185,7 @@ class SnapshotPlanVisitor final : public PlanVisitor {
         if (prefetched_ != nullptr) {
           return prefetched_->GetEventList(*dg_, e, components_);
         }
+        obs::StageTimer stage(obs::StageFetchHist());
         obs::ScopedSpan span(tc_, "fetch.demand");
         DeltaStore::ReadStats rs;
         auto r = dg_->store_.GetEventListShared(e.delta_id, components_, e.sizes,
@@ -196,11 +204,11 @@ class SnapshotPlanVisitor final : public PlanVisitor {
   void RecordDirectFetch(obs::ScopedSpan& span, int32_t edge, const char* kind,
                          const DeltaStore::ReadStats& rs) {
     if (!tc_) return;
-    span.SetAttr("edge", static_cast<int64_t>(edge));
-    span.SetAttr("kind", std::string(kind));
-    span.SetAttr("lru_hit", static_cast<int64_t>(rs.cache_hit ? 1 : 0));
-    span.SetAttr("kv_keys", static_cast<int64_t>(rs.kv_keys));
-    span.SetAttr("bytes", static_cast<int64_t>(rs.bytes));
+    span.SetAttrs({{"edge", static_cast<int64_t>(edge)},
+                   {"kind", std::string(kind)},
+                   {"lru_hit", static_cast<int64_t>(rs.cache_hit ? 1 : 0)},
+                   {"kv_keys", static_cast<int64_t>(rs.kv_keys)},
+                   {"bytes", static_cast<int64_t>(rs.bytes)}});
     tc_.trace->fetches_total.fetch_add(1, std::memory_order_relaxed);
     tc_.trace->fetches_demand.fetch_add(1, std::memory_order_relaxed);
     if (rs.cache_hit) {
@@ -282,6 +290,7 @@ Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecutePlanPinned(
     const Plan& plan, unsigned components, ExecFetchCache* pinned,
     obs::TraceCtx tc, FrontierPtr frontier) const {
   if (frontier == nullptr) frontier = PinFrontier();
+  obs::StageTimer stage(obs::StageExecuteHist());
   obs::ScopedSpan span(tc, "execute.serial");
   SnapshotPlanVisitor visitor(this, std::move(frontier), components, pinned,
                               span.ctx());
@@ -322,6 +331,7 @@ Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
     // direct path — e.g. singlepoint queries served from a materialized node.
     const std::vector<PlanFetch> fetches = CollectPlanFetches(plan);
     if (fetches.size() >= 2) {
+      obs::StageTimer stage(obs::StageExecuteHist());
       obs::ScopedSpan span(tc, "execute.serial_prefetch");
       ExecFetchCache cache;
       cache.SetTrace(span.ctx());
@@ -332,6 +342,7 @@ Result<DeltaGraph::SnapshotPlanResults> DeltaGraph::ExecuteSnapshotPlan(
       return visitor.TakeResults();
     }
   }
+  obs::StageTimer stage(obs::StageExecuteHist());
   obs::ScopedSpan span(tc, "execute.serial");
   SnapshotPlanVisitor visitor(this, frontier, components, /*prefetched=*/nullptr,
                               span.ctx());
@@ -401,12 +412,16 @@ Result<std::vector<Snapshot>> DeltaGraph::GetSnapshots(
     const std::vector<Timestamp>& times, unsigned components) {
   // Pin once so the trace-enabled check and the query see one epoch.
   FrontierPtr frontier = PinFrontier();
-  // When tracing is on, a standalone call owns its own trace and dumps it on
-  // completion; callers that want programmatic access go through a session
+  // When tracing is on — globally, or this query won the sampler's draw — a
+  // standalone call owns its own trace and dumps it on completion; callers
+  // that want programmatic access go through a session
   // (RetrievalSession::LastTrace) or the traced overload below.
-  if (obs::TraceEnabled() && !times.empty() && !frontier->skeleton->leaves().empty()) {
+  if ((obs::TraceEnabled() || obs::TraceSampler::Global().Sample()) &&
+      !times.empty() && !frontier->skeleton->leaves().empty()) {
     obs::QueryTrace trace;
     trace.set_query_label(times.size() == 1 ? "singlepoint" : "multipoint");
+    trace.set_epoch(frontier->epoch);
+    trace.set_event_count(frontier->event_count);
     auto out =
         GetSnapshotsAt(frontier, times, components, obs::TraceCtx{&trace, obs::kNoSpan});
     obs::FinishAndMaybeDump(&trace);
@@ -443,6 +458,7 @@ Result<std::vector<Snapshot>> DeltaGraph::GetSnapshotsAt(
 
   Planner planner(MakePlannerContext(*frontier));
   Result<Plan> plan = [&]() -> Result<Plan> {
+    obs::StageTimer stage(obs::StagePlanHist());
     obs::ScopedSpan span(tc, "plan");
     auto r = [&]() -> Result<Plan> {
       if (times.size() == 1 && options_.use_plan_cache) {
@@ -473,6 +489,7 @@ Result<std::vector<Snapshot>> DeltaGraph::GetSnapshotsAt(
   RecordPlanTouches(plan.value(), *frontier->skeleton);
   auto exec = ExecuteSnapshotPlan(plan.value(), components, frontier, tc);
   if (!exec.ok()) return exec.status();
+  obs::StageTimer merge_stage(obs::StageMergeHist());
   return exec.value().TakeInOrder(times);
 }
 

@@ -5,6 +5,7 @@
 #include "deltagraph/delta_graph.h"
 #include "exec/task_pool.h"
 #include "obs/metrics.h"
+#include "obs/stages.h"
 
 namespace hgdb {
 
@@ -137,16 +138,17 @@ Result<std::shared_ptr<const Delta>> ExecFetchCache::GetDelta(const DeltaGraph& 
   auto result = FetchSingleFlight(
       &deltas_, Key(edge, components), /*wait_if_claimed=*/true, [&] {
         claimed_here = true;
+        obs::StageTimer stage(obs::StageFetchHist());
         obs::ScopedSpan span(tc, "fetch.demand");
         DeltaStore::ReadStats rs;
         auto r = dg.delta_store().GetDeltaShared(e.delta_id, components, e.sizes,
                                                  tc ? &rs : nullptr);
         if (tc) {
-          span.SetAttr("edge", static_cast<int64_t>(edge));
-          span.SetAttr("kind", std::string("delta"));
-          span.SetAttr("lru_hit", static_cast<int64_t>(rs.cache_hit ? 1 : 0));
-          span.SetAttr("kv_keys", static_cast<int64_t>(rs.kv_keys));
-          span.SetAttr("bytes", static_cast<int64_t>(rs.bytes));
+          span.SetAttrs({{"edge", static_cast<int64_t>(edge)},
+                         {"kind", std::string("delta")},
+                         {"lru_hit", static_cast<int64_t>(rs.cache_hit ? 1 : 0)},
+                         {"kv_keys", static_cast<int64_t>(rs.kv_keys)},
+                         {"bytes", static_cast<int64_t>(rs.bytes)}});
           TallyDemandRead(tc, rs);
         }
         return r;
@@ -173,16 +175,17 @@ Result<std::shared_ptr<const EventList>> ExecFetchCache::GetEventList(
   auto result = FetchSingleFlight(
       &events_, Key(edge, components), /*wait_if_claimed=*/true, [&] {
         claimed_here = true;
+        obs::StageTimer stage(obs::StageFetchHist());
         obs::ScopedSpan span(tc, "fetch.demand");
         DeltaStore::ReadStats rs;
         auto r = dg.delta_store().GetEventListShared(
             e.delta_id, components, e.sizes, tc ? &rs : nullptr);
         if (tc) {
-          span.SetAttr("edge", static_cast<int64_t>(edge));
-          span.SetAttr("kind", std::string("eventlist"));
-          span.SetAttr("lru_hit", static_cast<int64_t>(rs.cache_hit ? 1 : 0));
-          span.SetAttr("kv_keys", static_cast<int64_t>(rs.kv_keys));
-          span.SetAttr("bytes", static_cast<int64_t>(rs.bytes));
+          span.SetAttrs({{"edge", static_cast<int64_t>(edge)},
+                         {"kind", std::string("eventlist")},
+                         {"lru_hit", static_cast<int64_t>(rs.cache_hit ? 1 : 0)},
+                         {"kv_keys", static_cast<int64_t>(rs.kv_keys)},
+                         {"bytes", static_cast<int64_t>(rs.bytes)}});
           TallyDemandRead(tc, rs);
         }
         return r;

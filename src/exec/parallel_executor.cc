@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exec/prefetcher.h"
+#include "obs/stages.h"
 
 namespace hgdb {
 
@@ -50,6 +51,12 @@ void ParallelPlanExecutor::Start(const Plan& plan, TaskGroup* group) {
     RecordError(Status::InvalidArgument("plan has no root"));
     return;
   }
+  if (obs::MetricsEnabled()) {
+    // Stage attribution: Start -> the first status collection brackets this
+    // execution (workers run in between); recorded by TakeStatus.
+    exec_started_ = std::chrono::steady_clock::now();
+    exec_timed_ = true;
+  }
   if (tc_) {
     exec_span_ = tc_.trace->BeginSpan("execute.parallel", tc_.span);
     // Nest this execution's fetches under its span — but only through a cache
@@ -69,6 +76,13 @@ void ParallelPlanExecutor::Start(const Plan& plan, TaskGroup* group) {
 }
 
 Status ParallelPlanExecutor::TakeStatus() {
+  if (exec_timed_) {
+    exec_timed_ = false;
+    obs::StageExecuteHist().Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - exec_started_)
+            .count()));
+  }
   if (tc_ && exec_span_ != obs::kNoSpan) {
     tc_.trace->SetAttr(exec_span_, "tasks",
                        static_cast<int64_t>(task_count_.load(std::memory_order_relaxed)));

@@ -2,6 +2,7 @@
 #define HISTGRAPH_EXEC_PARALLEL_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 
 #include "common/result.h"
@@ -112,6 +113,11 @@ class ParallelPlanExecutor {
   obs::SpanId exec_span_ = obs::kNoSpan;
   std::atomic<uint64_t> busy_ns_{0};
   std::atomic<uint32_t> task_count_{0};
+
+  // Stage-attribution window (server.stage_execute_us): set by Start, read by
+  // TakeStatus — both on the submitting thread, like the span above.
+  std::chrono::steady_clock::time_point exec_started_{};
+  bool exec_timed_ = false;
 };
 
 }  // namespace hgdb

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/sampler.h"
+#include "obs/stages.h"
+
 namespace hgdb {
 
 namespace {
@@ -19,7 +22,9 @@ TaskPool* ResolvePartitionedPool(PartitionedDeltaGraph* pdg, TaskPool* pool) {
 PartitionedRetrievalSession::PartitionedRetrievalSession(PartitionedDeltaGraph* pdg,
                                                          TaskPool* pool)
     : pdg_(pdg), pool_(ResolvePartitionedPool(pdg, pool)), group_(pool_) {
-  if (obs::TraceEnabled()) {
+  // Trace when globally enabled, or when this session wins the production
+  // sampler's draw (see src/obs/sampler.h).
+  if (obs::TraceEnabled() || obs::TraceSampler::Global().Sample()) {
     trace_ = std::make_unique<obs::QueryTrace>();
     trace_->set_query_label("partitioned_session");
   }
@@ -77,7 +82,10 @@ PartitionedRetrievalSession::Request* PartitionedRetrievalSession::Submit(
           shard->GetSnapshotsAt(frontier, req->times, req->components);
       continue;
     }
-    auto plan = shard->PlanForAt(frontier, req->times, req->components);
+    auto plan = [&] {
+      obs::StageTimer stage(obs::StagePlanHist());
+      return shard->PlanForAt(frontier, req->times, req->components);
+    }();
     if (!plan.ok()) {
       req->fallbacks[i] = plan.status();
       continue;
@@ -107,6 +115,7 @@ Status PartitionedRetrievalSession::Wait() {
     Status req_error = Status::OK();
     uint64_t busy_sum_ns = 0, busy_max_ns = 0;
     size_t busy_shards = 0;
+    obs::StageTimer merge_stage(obs::StageMergeHist());
     obs::ScopedSpan merge_span(obs::TraceCtx{trace_.get(), req->span}, "merge");
     for (size_t i = 0; i < req->executors.size(); ++i) {
       Result<std::vector<Snapshot>> piece = Status::Internal("shard never ran");
@@ -146,9 +155,10 @@ Status PartitionedRetrievalSession::Wait() {
       trace_->SetAttr(req->span, "busy_us_max",
                       static_cast<int64_t>(busy_max_ns / 1000));
       if (busy_shards > 0 && busy_sum_ns > 0) {
-        trace_->SetAttr(req->span, "shard_skew",
-                        static_cast<double>(busy_max_ns) * busy_shards /
-                            static_cast<double>(busy_sum_ns));
+        const double skew = static_cast<double>(busy_max_ns) * busy_shards /
+                            static_cast<double>(busy_sum_ns);
+        trace_->SetAttr(req->span, "shard_skew", skew);
+        if (skew > trace_->shard_skew()) trace_->set_shard_skew(skew);
       }
       trace_->EndSpan(req->span);
       req->span = obs::kNoSpan;
@@ -157,6 +167,26 @@ Status PartitionedRetrievalSession::Wait() {
   if (trace_ != nullptr && !trace_dumped_) {
     trace_dumped_ = true;
     for (obs::SpanId s : shard_spans_) trace_->EndSpan(s);
+    // Stamp the query's identity for the flight recorder: the newest pinned
+    // cross-shard frontier set — max shard epoch, events summed over shards.
+    uint64_t epoch = 0;
+    size_t event_count = 0;
+    for (const auto& req : requests_) {
+      if (req->frontiers.empty()) continue;
+      uint64_t req_epoch = 0;
+      size_t req_events = 0;
+      for (const FrontierPtr& f : req->frontiers) {
+        if (f == nullptr) continue;
+        req_epoch = std::max(req_epoch, f->epoch);
+        req_events += f->event_count;
+      }
+      if (req_epoch >= epoch) {
+        epoch = req_epoch;
+        event_count = req_events;
+      }
+    }
+    trace_->set_epoch(epoch);
+    trace_->set_event_count(event_count);
     obs::FinishAndMaybeDump(trace_.get());
   }
   return first_error;

@@ -1,5 +1,8 @@
 #include "exec/retrieval_session.h"
 
+#include "obs/sampler.h"
+#include "obs/stages.h"
+
 namespace hgdb {
 
 namespace {
@@ -19,7 +22,10 @@ TaskPool* ResolveSessionPool(DeltaGraph* dg, TaskPool* pool) {
 RetrievalSession::RetrievalSession(DeltaGraph* dg, TaskPool* pool)
     : dg_(dg), pool_(ResolveSessionPool(dg, pool)), group_(pool_) {
   if (pool_->parallelism() >= 2) fetches_.SetDecodePool(pool_);
-  if (obs::TraceEnabled()) {
+  // Trace when globally enabled, or when this session wins the production
+  // sampler's draw (1-in-N / tail-armed; see src/obs/sampler.h) — sampled
+  // traces land in the flight recorder when the session finishes.
+  if (obs::TraceEnabled() || obs::TraceSampler::Global().Sample()) {
     trace_ = std::make_unique<obs::QueryTrace>();
     trace_->set_query_label("session");
     fetches_.SetTrace(obs::TraceCtx{trace_.get(), obs::kNoSpan});
@@ -52,7 +58,10 @@ RetrievalSession::Request* RetrievalSession::Submit(std::vector<Timestamp> times
     return req;
   }
 
-  auto plan = dg_->PlanForAt(req->frontier, req->times, req->components);
+  auto plan = [&] {
+    obs::StageTimer stage(obs::StagePlanHist());
+    return dg_->PlanForAt(req->frontier, req->times, req->components);
+  }();
   if (!plan.ok()) {
     req->result = plan.status();
     return req;
@@ -82,6 +91,7 @@ Status RetrievalSession::Wait() {
     } else {
       const Status s = req->executor->TakeStatus();
       if (s.ok()) {
+        obs::StageTimer merge_stage(obs::StageMergeHist());
         req->result = req->executor->TakeResults().TakeInOrder(req->times);
       } else {
         req->result = s;
@@ -96,6 +106,18 @@ Status RetrievalSession::Wait() {
   }
   if (trace_ != nullptr && !trace_dumped_) {
     trace_dumped_ = true;
+    // Stamp the query's identity for the flight recorder: the newest frontier
+    // any request pinned (epoch + its visible-event count).
+    uint64_t epoch = 0;
+    size_t event_count = 0;
+    for (const auto& req : requests_) {
+      if (req->frontier != nullptr && req->frontier->epoch >= epoch) {
+        epoch = req->frontier->epoch;
+        event_count = req->frontier->event_count;
+      }
+    }
+    trace_->set_epoch(epoch);
+    trace_->set_event_count(event_count);
     obs::FinishAndMaybeDump(trace_.get());
   }
   return first_error;

@@ -1,0 +1,174 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace hgdb {
+namespace obs {
+
+namespace {
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return def;
+  return std::strtoll(v, nullptr, 10);
+}
+
+void AppendQuoted(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string FlightEntry::ToJSON() const {
+  std::ostringstream out;
+  out << "{\"seq\":" << seq << ",\"query\":";
+  AppendQuoted(out, label);
+  out << ",\"total_us\":" << total_us << ",\"epoch\":" << epoch
+      << ",\"event_count\":" << event_count;
+  if (shard_skew > 0) out << ",\"shard_skew\":" << shard_skew;
+  out << ",\"prefetch_coverage\":" << prefetch_coverage
+      << ",\"fetches_total\":" << fetches_total << ",\"kv_reads\":" << kv_reads
+      << ",\"bytes_read\":" << bytes_read;
+  if (!event.empty()) {
+    out << ",\"event\":";
+    AppendQuoted(out, event);
+  }
+  out << ",\"slow\":" << (slow ? "true" : "false");
+  if (has_trace) {
+    out << ",\"spans\":[";
+    bool first = true;
+    for (const auto& s : spans) {
+      if (!first) out << ",";
+      first = false;
+      out << SpanToJSON(s);
+    }
+    out << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* r = [] {
+    auto* rec = new FlightRecorder();  // never destroyed
+    rec->Configure(
+        static_cast<size_t>(
+            EnvInt("HISTGRAPH_FLIGHT_RECENT", kDefaultRecentCapacity)),
+        static_cast<size_t>(
+            EnvInt("HISTGRAPH_FLIGHT_SLOW", kDefaultSlowCapacity)),
+        EnvInt("HISTGRAPH_SLOW_QUERY_US", 0));
+    return rec;
+  }();
+  return *r;
+}
+
+void FlightRecorder::Configure(size_t recent_capacity, size_t slow_capacity,
+                               int64_t slow_threshold_us) {
+  slow_threshold_us_.store(slow_threshold_us, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recent_capacity > 0) recent_capacity_ = recent_capacity;
+  if (slow_capacity > 0) slow_capacity_ = slow_capacity;
+  while (recent_.size() > recent_capacity_) recent_.pop_front();
+  while (slow_.size() > slow_capacity_) slow_.pop_front();
+}
+
+void FlightRecorder::Record(const QueryTrace& trace) {
+  FlightEntry e;
+  e.label = trace.query_label();
+  e.total_us = trace.TotalNs() / 1000.0;
+  e.epoch = trace.epoch();
+  e.event_count = trace.event_count();
+  e.shard_skew = trace.shard_skew();
+  e.prefetch_coverage = trace.PrefetchCoverage();
+  e.fetches_total = trace.fetches_total.load(std::memory_order_relaxed);
+  e.kv_reads = trace.kv_reads.load(std::memory_order_relaxed);
+  e.bytes_read = trace.bytes_read.load(std::memory_order_relaxed);
+  e.event = trace.event();
+  e.has_trace = true;
+  e.spans = trace.Spans();
+  const int64_t threshold = slow_threshold_us_.load(std::memory_order_relaxed);
+  e.slow = !e.event.empty() ||
+           (threshold > 0 && e.total_us >= static_cast<double>(threshold));
+  Push(std::move(e));
+}
+
+void FlightRecorder::RecordEvent(std::string label, std::string event,
+                                 double total_us, uint64_t epoch,
+                                 uint64_t event_count) {
+  FlightEntry e;
+  e.label = std::move(label);
+  e.event = std::move(event);
+  e.total_us = total_us;
+  e.epoch = epoch;
+  e.event_count = event_count;
+  e.prefetch_coverage = 0;
+  e.slow = true;
+  Push(std::move(e));
+}
+
+void FlightRecorder::Push(FlightEntry entry) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (entry.slow) slow_recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.seq = next_seq_++;
+  if (entry.slow) {
+    // The slow log keeps its own copy (spans shared up to the string data):
+    // the recent ring cycling past a tail query must not evict its record.
+    slow_.push_back(entry);
+    while (slow_.size() > slow_capacity_) slow_.pop_front();
+  }
+  recent_.push_back(std::move(entry));
+  while (recent_.size() > recent_capacity_) recent_.pop_front();
+}
+
+std::vector<FlightEntry> FlightRecorder::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FlightEntry>(recent_.begin(), recent_.end());
+}
+
+std::vector<FlightEntry> FlightRecorder::Slow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FlightEntry>(slow_.begin(), slow_.end());
+}
+
+std::string FlightRecorder::ToJSON() const {
+  const std::vector<FlightEntry> recent = Recent();
+  const std::vector<FlightEntry> slow = Slow();
+  std::ostringstream out;
+  out << "{\"recorded\":" << recorded()
+      << ",\"slow_recorded\":" << slow_recorded()
+      << ",\"slow_threshold_us\":" << slow_threshold_us() << ",\"recent\":[";
+  bool first = true;
+  for (const auto& e : recent) {
+    if (!first) out << ",";
+    first = false;
+    out << e.ToJSON();
+  }
+  out << "],\"slow\":[";
+  first = true;
+  for (const auto& e : slow) {
+    if (!first) out << ",";
+    first = false;
+    out << e.ToJSON();
+  }
+  out << "]}";
+  return out.str();
+}
+
+void FlightRecorder::Clear() {
+  recorded_.store(0, std::memory_order_relaxed);
+  slow_recorded_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.clear();
+  slow_.clear();
+  next_seq_ = 1;
+}
+
+}  // namespace obs
+}  // namespace hgdb

@@ -1,0 +1,77 @@
+#include "obs/sampler.h"
+
+#include <cstdlib>
+
+namespace hgdb {
+namespace obs {
+
+namespace {
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return def;
+  return std::strtoll(v, nullptr, 10);
+}
+
+}  // namespace
+
+TraceSampler& TraceSampler::Global() {
+  static TraceSampler* s = [] {
+    auto* sampler = new TraceSampler();  // never destroyed
+    sampler->Configure(
+        static_cast<uint32_t>(EnvInt("HISTGRAPH_TRACE_SAMPLE", 0)),
+        EnvInt("HISTGRAPH_SLOW_QUERY_US", 0));
+    return sampler;
+  }();
+  return *s;
+}
+
+void TraceSampler::Configure(uint32_t every_n, int64_t arm_threshold_us,
+                             uint32_t arm_budget) {
+  every_n_.store(every_n, std::memory_order_relaxed);
+  arm_threshold_us_.store(arm_threshold_us, std::memory_order_relaxed);
+  arm_budget_.store(arm_budget, std::memory_order_relaxed);
+}
+
+bool TraceSampler::Sample() {
+  // Armed tail tracing wins over the probabilistic schedule: consume a slot.
+  uint32_t armed = armed_remaining_.load(std::memory_order_relaxed);
+  while (armed > 0) {
+    if (armed_remaining_.compare_exchange_weak(armed, armed - 1,
+                                               std::memory_order_relaxed)) {
+      sampled_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  const uint32_t n = every_n_.load(std::memory_order_relaxed);
+  if (n == 0) return false;
+  // Deterministic 1-in-N off a shared counter (not per-thread random): over
+  // any window of N queries exactly one is sampled, which tests pin.
+  const uint64_t c = counter_.fetch_add(1, std::memory_order_relaxed);
+  if (c % n != 0) return false;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TraceSampler::Observe(uint64_t latency_us) {
+  const int64_t threshold = arm_threshold_us_.load(std::memory_order_relaxed);
+  if (threshold <= 0 || latency_us < static_cast<uint64_t>(threshold)) return;
+  slow_observed_.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t budget = arm_budget_.load(std::memory_order_relaxed);
+  // Top armed slots back up to the budget — never above it, so a burst of
+  // slow queries extends forced tracing instead of stacking it unboundedly.
+  uint32_t cur = armed_remaining_.load(std::memory_order_relaxed);
+  while (cur < budget && !armed_remaining_.compare_exchange_weak(
+                             cur, budget, std::memory_order_relaxed)) {
+  }
+}
+
+void TraceSampler::ResetCounters() {
+  counter_.store(0, std::memory_order_relaxed);
+  armed_remaining_.store(0, std::memory_order_relaxed);
+  sampled_.store(0, std::memory_order_relaxed);
+  slow_observed_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace hgdb

@@ -1,0 +1,92 @@
+#ifndef HISTGRAPH_OBS_SAMPLER_H_
+#define HISTGRAPH_OBS_SAMPLER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hgdb {
+namespace obs {
+
+/// \brief Decides which queries carry a QueryTrace when tracing is not
+/// globally forced: probabilistic 1-in-N sampling plus "tail arming".
+///
+/// Full tracing (`SetTraceEnabled(true)` / HISTGRAPH_TRACE=1) traces every
+/// query; that is fine for a debugging session but not for always-on
+/// production use. The sampler keeps tracing on under full traffic within
+/// the <2% observability-overhead gate by tracing only:
+///
+///  - **1-in-N** queries, deterministically off a shared counter (N = 0
+///    disables sampling entirely, N = 1 traces everything), and
+///  - the next `arm_budget` queries after any query whose *observed* latency
+///    crossed the arm threshold ("tail arming"): a slow query cannot be
+///    traced retroactively, but tail latency is bursty — a deadline miss or
+///    a cold shard usually hits several queries in a row, so arming catches
+///    the burst's successors with their full span trees.
+///
+/// All state is relaxed atomics; Sample()/Observe() take no lock and cost a
+/// handful of relaxed operations, so callers may consult the sampler
+/// unconditionally on the query path. Sampled traces land in the
+/// FlightRecorder (see flight_recorder.h) when they finish.
+///
+/// The process-wide instance is `TraceSampler::Global()`, initialized from
+/// the environment: HISTGRAPH_TRACE_SAMPLE (the N of 1-in-N; default 0 =
+/// off), HISTGRAPH_SLOW_QUERY_US (arm threshold in microseconds; default 0 =
+/// arming off). HistGraphServer reconfigures it from its options (see
+/// src/server/README.md).
+class TraceSampler {
+ public:
+  /// The process-wide sampler every session/server consults.
+  static TraceSampler& Global();
+
+  TraceSampler() = default;
+
+  /// `every_n`: trace 1 in N queries (0 = off, 1 = all). `arm_threshold_us`:
+  /// observed latencies at or above this arm tail tracing (0 = arming off).
+  /// `arm_budget`: how many subsequent queries an over-threshold observation
+  /// forces tracing for.
+  void Configure(uint32_t every_n, int64_t arm_threshold_us,
+                 uint32_t arm_budget = 4);
+
+  /// True when the query consulting the sampler should allocate a trace.
+  /// Consumes one armed slot first when tail tracing is armed.
+  bool Sample();
+
+  /// Feeds one completed query's latency back. At/above the arm threshold,
+  /// (re-)arms forced tracing of the next `arm_budget` queries. Cheap enough
+  /// to call unconditionally (two relaxed loads in the common case).
+  void Observe(uint64_t latency_us);
+
+  uint32_t every_n() const { return every_n_.load(std::memory_order_relaxed); }
+  int64_t arm_threshold_us() const {
+    return arm_threshold_us_.load(std::memory_order_relaxed);
+  }
+  /// Queries Sample() said yes to (probabilistic + armed).
+  uint64_t sampled() const { return sampled_.load(std::memory_order_relaxed); }
+  /// Observations that crossed the arm threshold.
+  uint64_t slow_observed() const {
+    return slow_observed_.load(std::memory_order_relaxed);
+  }
+  /// Armed slots left right now (0 = tail tracing not armed).
+  uint32_t armed_remaining() const {
+    return armed_remaining_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the counters and armed state, keeping the configuration. Tests
+  /// use this for deterministic sample-count assertions.
+  void ResetCounters();
+
+ private:
+  std::atomic<uint32_t> every_n_{0};
+  std::atomic<int64_t> arm_threshold_us_{0};
+  std::atomic<uint32_t> arm_budget_{4};
+
+  std::atomic<uint64_t> counter_{0};  ///< Queries seen by Sample().
+  std::atomic<uint32_t> armed_remaining_{0};
+  std::atomic<uint64_t> sampled_{0};
+  std::atomic<uint64_t> slow_observed_{0};
+};
+
+}  // namespace obs
+}  // namespace hgdb
+
+#endif  // HISTGRAPH_OBS_SAMPLER_H_

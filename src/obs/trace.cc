@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
+
 namespace hgdb {
 namespace obs {
 
@@ -100,6 +102,20 @@ void QueryTrace::SetAttr(SpanId id, const std::string& key, AttrValue v) {
   attrs.emplace_back(key, std::move(v));
 }
 
+void QueryTrace::SetAttrs(
+    SpanId id, std::initializer_list<std::pair<const char*, AttrValue>> kvs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  auto& attrs = spans_[id].attrs;
+  attrs.reserve(attrs.size() + kvs.size());
+  for (const auto& [k, v] : kvs) attrs.emplace_back(k, v);
+}
+
+int64_t QueryTrace::TotalNs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_ns_ >= 0 ? finished_ns_ : NowNs();
+}
+
 void QueryTrace::Finish() {
   const int64_t now = NowNs();
   std::lock_guard<std::mutex> lock(mu_);
@@ -122,20 +138,48 @@ std::vector<QueryTrace::Span> QueryTrace::Spans() const {
   return spans_;
 }
 
+std::string SpanToJSON(const QueryTrace::Span& s) {
+  std::ostringstream out;
+  out << "{\"id\":" << s.id << ",\"parent\":" << s.parent << ",\"name\":";
+  AppendJSONString(out, s.name);
+  out << ",\"start_us\":" << s.start_ns / 1000.0 << ",\"dur_us\":"
+      << (s.end_ns >= 0 ? (s.end_ns - s.start_ns) / 1000.0 : -1.0);
+  for (const auto& [k, v] : s.attrs) {
+    out << ",";
+    AppendJSONString(out, k);
+    out << ":";
+    AppendAttr(out, v);
+  }
+  out << "}";
+  return out.str();
+}
+
 std::string QueryTrace::ToJSON() const {
   std::ostringstream out;
   std::vector<Span> spans;
   int64_t finished;
-  std::string label;
+  std::string label, event;
+  uint64_t epoch, event_count;
+  double skew;
   {
     std::lock_guard<std::mutex> lock(mu_);
     spans = spans_;
     finished = finished_ns_;
     label = query_label_;
+    event = event_;
+    epoch = epoch_;
+    event_count = event_count_;
+    skew = shard_skew_;
   }
   out << "{\"query\":";
   AppendJSONString(out, label.empty() ? "query" : label);
   out << ",\"total_us\":" << (finished >= 0 ? finished : NowNs()) / 1000.0;
+  out << ",\"epoch\":" << epoch << ",\"event_count\":" << event_count;
+  if (skew > 0) out << ",\"shard_skew\":" << skew;
+  if (!event.empty()) {
+    out << ",\"event\":";
+    AppendJSONString(out, event);
+  }
   const uint64_t total = fetches_total.load(std::memory_order_relaxed);
   out << ",\"summary\":{"
       << "\"fetches_total\":" << total
@@ -154,17 +198,7 @@ std::string QueryTrace::ToJSON() const {
   for (const auto& s : spans) {
     if (!first) out << ",";
     first = false;
-    out << "{\"id\":" << s.id << ",\"parent\":" << s.parent << ",\"name\":";
-    AppendJSONString(out, s.name);
-    out << ",\"start_us\":" << s.start_ns / 1000.0 << ",\"dur_us\":"
-        << (s.end_ns >= 0 ? (s.end_ns - s.start_ns) / 1000.0 : -1.0);
-    for (const auto& [k, v] : s.attrs) {
-      out << ",";
-      AppendJSONString(out, k);
-      out << ":";
-      AppendAttr(out, v);
-    }
-    out << "}";
+    out << SpanToJSON(s);
   }
   out << "]}";
   return out.str();
@@ -173,8 +207,18 @@ std::string QueryTrace::ToJSON() const {
 void FinishAndMaybeDump(QueryTrace* trace) {
   if (trace == nullptr) return;
   trace->Finish();
+  // Every finished trace lands in the flight recorder (recent ring; the
+  // recorder routes it to the slow-query log too when it crossed the slow
+  // threshold or carries an event). Recording copies the span tree but never
+  // serializes it — JSON is rendered lazily when statz is read.
+  FlightRecorder::Global().Record(*trace);
   if (!EnvDumpRequested()) return;
   const std::string json = trace->ToJSON();
+  // One emission at a time: sessions finish traces on their own threads, and
+  // stdio append writes of a multi-KB line are not atomic — without this a
+  // busy HISTGRAPH_TRACE_OUT file accumulates interleaved half-lines.
+  static std::mutex* dump_mu = new std::mutex();  // never destroyed
+  std::lock_guard<std::mutex> lock(*dump_mu);
   if (const char* path = std::getenv("HISTGRAPH_TRACE_OUT");
       path != nullptr && path[0] != '\0') {
     if (std::FILE* f = std::fopen(path, "a")) {

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -68,6 +70,12 @@ class QueryTrace {
   void EndSpan(SpanId id);
   /// Attaches/overwrites a named attribute on an open or closed span.
   void SetAttr(SpanId id, const std::string& key, AttrValue v);
+  /// Attaches several attributes in one lock acquisition — the per-fetch
+  /// hot path books its whole read ledger this way. Keys are appended
+  /// without overwrite checks, so callers pass each key at most once and
+  /// only on spans they just created.
+  void SetAttrs(SpanId id,
+                std::initializer_list<std::pair<const char*, AttrValue>> kvs);
 
   /// Closes any still-open spans and freezes end_ns for the whole trace.
   void Finish();
@@ -77,6 +85,31 @@ class QueryTrace {
   std::string ToJSON() const;
 
   void set_query_label(std::string label) { query_label_ = std::move(label); }
+  const std::string& query_label() const { return query_label_; }
+
+  /// Total trace duration so far — frozen at Finish().
+  int64_t TotalNs() const;
+
+  // -- Query identity (plain fields; written by the owning thread before
+  // Finish, read by the flight recorder after). -----------------------------
+
+  /// The pinned frontier's epoch / visible-event count (sessions record the
+  /// newest pinned frontier; a partitioned query records the max shard epoch
+  /// and the summed per-shard event count).
+  void set_epoch(uint64_t e) { epoch_ = e; }
+  uint64_t epoch() const { return epoch_; }
+  void set_event_count(uint64_t n) { event_count_ = n; }
+  uint64_t event_count() const { return event_count_; }
+
+  /// Cross-shard execution skew (busy_max * shards / busy_sum; 0 = n/a).
+  void set_shard_skew(double s) { shard_skew_ = s; }
+  double shard_skew() const { return shard_skew_; }
+
+  /// A terminal event the query hit: "" (none), "deadline", "admission",
+  /// "slow". Any non-empty event routes the finished trace into the flight
+  /// recorder's slow-query log regardless of latency.
+  void set_event(std::string e) { event_ = std::move(e); }
+  const std::string& event() const { return event_; }
 
   // -- Query-wide tallies (relaxed atomics; summarized in ToJSON). ---------
   // A "fetch" is one payload (delta or event list) requested through the
@@ -109,10 +142,19 @@ class QueryTrace {
  private:
   std::chrono::steady_clock::time_point start_;
   std::string query_label_;
+  uint64_t epoch_ = 0;
+  uint64_t event_count_ = 0;
+  double shard_skew_ = 0;
+  std::string event_;
   mutable std::mutex mu_;
   std::vector<Span> spans_;
   int64_t finished_ns_ = -1;
 };
+
+/// One span as a JSON object ({"id":..,"parent":..,"name":..,"start_us":..,
+/// "dur_us":..,<attrs>}), exactly as QueryTrace::ToJSON renders it. Shared
+/// with the flight recorder, which serializes retained span trees lazily.
+std::string SpanToJSON(const QueryTrace::Span& span);
 
 /// RAII span: opens on construction (when ctx is tracing), closes on
 /// destruction. `ctx()` yields the context for child work.
@@ -131,16 +173,23 @@ class ScopedSpan {
   void SetAttr(const std::string& key, QueryTrace::AttrValue v) {
     if (trace_) trace_->SetAttr(id_, key, std::move(v));
   }
+  void SetAttrs(
+      std::initializer_list<std::pair<const char*, QueryTrace::AttrValue>> kvs) {
+    if (trace_) trace_->SetAttrs(id_, kvs);
+  }
 
  private:
   QueryTrace* trace_;
   SpanId id_ = kNoSpan;
 };
 
-/// Finishes `trace` and, when the HISTGRAPH_TRACE env var is set, dumps its
-/// JSON to stderr or to HISTGRAPH_TRACE_OUT (append mode, one JSON object
-/// per line). Callers holding the trace for LastTrace() still call this —
-/// the dump is what's conditional, not the finish.
+/// Finishes `trace`, hands it to the flight recorder (recent ring + slow
+/// log; see flight_recorder.h) and, when the HISTGRAPH_TRACE env var is set,
+/// dumps its JSON to stderr or to HISTGRAPH_TRACE_OUT (append mode, one JSON
+/// object per line — emission is serialized under a process-wide mutex so
+/// concurrent sessions never interleave half-lines). Callers holding the
+/// trace for LastTrace() still call this — the dump is what's conditional,
+/// not the finish or the recording.
 void FinishAndMaybeDump(QueryTrace* trace);
 
 }  // namespace obs

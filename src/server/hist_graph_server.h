@@ -48,6 +48,38 @@ struct HistGraphServerOptions {
   /// while idle. <= 0 disables periodic ticks — RunAdvisorOnce still works,
   /// which is how deterministic tests drive the policy.
   int64_t advisor_tick_us = 50000;
+
+  // -- Observability (see src/obs/README.md) ----------------------------------
+
+  /// Production trace sampling: 1 in every N queries allocates a full trace
+  /// that lands in the flight recorder (src/obs/sampler.h). 0 disables
+  /// sampling, -1 keeps whatever the process-wide sampler is already
+  /// configured with (environment or a previous server). The sampler and
+  /// flight recorder are process-wide singletons: the last constructed
+  /// server's options win.
+  int trace_sample_every_n = 64;
+
+  /// Slow-query threshold in wall microseconds: a query at/above it is
+  /// retained in the flight recorder's slow-query log, and its latency arms
+  /// the sampler to force-trace the next `trace_arm_budget` queries (a slow
+  /// query cannot be traced retroactively; its successors in a bursty tail
+  /// can). 0 disables latency-based slow capture and tail arming.
+  int64_t slow_query_us = 0;
+
+  /// Queries force-traced after an over-threshold latency observation.
+  int trace_arm_budget = 4;
+
+  /// Flight-recorder ring capacities; 0 keeps the recorder's current
+  /// (default or env-configured) capacity.
+  size_t flight_recent_capacity = 0;
+  size_t flight_slow_capacity = 0;
+
+  /// Ingest watchdog: an op that has been executing on the ingest strand for
+  /// longer than this budget (wall microseconds) is flagged — once per op —
+  /// via server.watchdog_stalls and the stats/StatusJSON surface. The
+  /// watchdog only ever observes and counts; it never interrupts or kills
+  /// the strand. <= 0 disables the watchdog thread entirely.
+  int64_t watchdog_budget_us = 1000000;
 };
 
 /// \brief Service-shaped front end over one GraphManager: a single ingest
@@ -74,6 +106,12 @@ struct HistGraphServerOptions {
 /// Results carry the pinned epoch and its event count, so a caller (or an
 /// oracle test) can state exactly which prefix of the ingest log the answer
 /// reflects.
+///
+/// The server is also the process's observability front end: it configures
+/// the production trace sampler and flight recorder (sampled always-on
+/// tracing with slow-query capture), runs a watchdog over the ingest strand
+/// (dwell time, epoch-publish latency, stall flagging — never killing), and
+/// exports everything through StatusJSON().
 class HistGraphServer {
  public:
   /// Creates a fresh database under the server. `store` must outlive it.
@@ -159,8 +197,19 @@ class HistGraphServer {
     uint64_t finalizes = 0;
     uint64_t appends_rejected = 0;   ///< Queue-full rejections.
     uint64_t frontier_epoch = 0;     ///< Published epoch at the stats read.
+    uint64_t slow_queries = 0;       ///< Queries at/over slow_query_us.
+    uint64_t watchdog_stalls = 0;    ///< Ingest ops flagged over budget.
+    uint64_t ingest_queue_depth = 0; ///< Ops queued at the stats read.
   };
   Stats stats() const;
+
+  /// One JSON object describing the whole server right now: lifetime
+  /// counters, ingest-strand state (queue depth/age, lag, watchdog), the
+  /// published frontier (epoch, event count, age since last publish), the
+  /// flight recorder's retained traces, and the full metrics registry
+  /// (including the server.stage_* latency-attribution histograms). This is
+  /// the statz surface rendered by tools/statz_view.
+  std::string StatusJSON() const;
 
   /// The epoch a query admitted right now would pin.
   uint64_t frontier_epoch() const;
@@ -183,9 +232,13 @@ class HistGraphServer {
     bool finalize = false;
     bool advise = false;  ///< RunAdvisorOnce marker: run one advisor tick.
     uint64_t seq = 0;
+    /// When the op entered the queue (steady clock, ns) — the watchdog and
+    /// the epoch-publish histogram measure from here.
+    int64_t enqueued_ns = 0;
   };
 
   void IngestLoop();
+  void WatchdogLoop();
   /// Enqueues `op`; Unavailable when the queue is full.
   Status EnqueueIngest(IngestOp op);
   /// Runs one advisor tick on the calling (ingest) thread and publishes the
@@ -229,8 +282,26 @@ class HistGraphServer {
   std::atomic<uint64_t> events_appended_{0};
   std::atomic<uint64_t> finalizes_{0};
   std::atomic<uint64_t> appends_rejected_{0};
+  std::atomic<uint64_t> slow_queries_{0};
 
-  std::thread ingest_thread_;  ///< Last member: joined by the destructor.
+  // Watchdog view of the ingest strand (all relaxed: the watchdog only ever
+  // observes; a torn read costs at most one late or spurious-free tick).
+  // The strand publishes which op it is executing and since when; 0 seq =
+  // idle. `watchdog_flagged_seq_` makes the stall flag once-per-op.
+  std::atomic<uint64_t> op_active_seq_{0};
+  std::atomic<int64_t> op_started_ns_{0};
+  std::atomic<int64_t> op_enqueued_ns_{0};
+  std::atomic<int64_t> last_publish_ns_{0};  ///< Last epoch-publishing op done.
+  std::atomic<uint64_t> watchdog_flagged_seq_{0};
+  std::atomic<uint64_t> watchdog_stalls_{0};
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;  ///< Shutdown wakeup only.
+  bool watchdog_stop_ = false;
+
+  // Threads last: joined by the destructor after members they touch.
+  std::thread watchdog_thread_;
+  std::thread ingest_thread_;
 };
 
 }  // namespace hgdb

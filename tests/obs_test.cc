@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <new>
 #include <string>
@@ -24,8 +26,10 @@
 #include "exec/prefetcher.h"
 #include "exec/retrieval_session.h"
 #include "kvstore/kv_store.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "tests/test_util.h"
 #include "workload/generators.h"
@@ -647,6 +651,360 @@ TEST(ObsIntegrationTest, PartitionedStatsAggregateAcrossShards) {
   EXPECT_EQ(agg.eventlist_bytes, manual.eventlist_bytes);
   EXPECT_EQ(agg.height, manual.height);
   EXPECT_GT(agg.leaf_count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram edge cases: the exact/log-linear seam and the overflow clamp
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, HistogramExactLogLinearSeamAndOverflow) {
+  // Values below 32 map to identity buckets with exact bounds.
+  for (uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(obs::Histogram::BucketIndex(v), static_cast<int>(v));
+    EXPECT_EQ(obs::Histogram::BucketLowerBound(static_cast<int>(v)), v);
+  }
+  // 32 is the first log-linear bucket; its lower bound is exactly 32, so the
+  // seam has no gap and no overlap with exact bucket 31.
+  EXPECT_EQ(obs::Histogram::BucketIndex(32), 32);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(32), 32u);
+
+  // Every octave starts a fresh run of 16 sub-buckets whose first lower
+  // bound is exactly the octave's power of two.
+  for (int octave = obs::Histogram::kMinOctave;
+       octave <= obs::Histogram::kMaxOctave; ++octave) {
+    const uint64_t base = uint64_t(1) << octave;
+    const int idx = obs::Histogram::BucketIndex(base);
+    EXPECT_EQ(idx, 32 + (octave - obs::Histogram::kMinOctave) *
+                            obs::Histogram::kSubBuckets)
+        << "octave " << octave;
+    EXPECT_EQ(obs::Histogram::BucketLowerBound(idx), base);
+    // The last value of the previous octave stays in the previous octave.
+    EXPECT_EQ(obs::Histogram::BucketIndex(base - 1), idx - 1);
+  }
+
+  // Values at/above 2^40 clamp into the top bucket instead of indexing out
+  // of range, and a histogram of such values reports a top-bucket quantile.
+  const int top = obs::Histogram::kNumBuckets - 1;
+  EXPECT_EQ(obs::Histogram::BucketIndex(uint64_t(1) << 40), top);
+  EXPECT_EQ(obs::Histogram::BucketIndex(~uint64_t(0)), top);
+
+  ObsGateGuard guard;
+  obs::SetMetricsEnabled(true);
+  obs::Histogram hist;
+  hist.Record(~uint64_t(0));
+  hist.Record(uint64_t(1) << 45);
+  EXPECT_EQ(hist.Count(), 2u);
+  EXPECT_GE(hist.Quantile(0.99), double(uint64_t(1) << 39));
+}
+
+TEST(MetricsTest, DeltaJSONGaugeReportsAfterLevel) {
+  // Gauges are levels, not rates: a snapshot delta pins the *after* level
+  // verbatim rather than reporting after - before (a lag gauge that went
+  // from 500us down to 20us must show 20, not -480).
+  ObsGateGuard guard;
+  obs::SetMetricsEnabled(true);
+  auto& reg = obs::MetricsRegistry::Global();
+  auto* gauge = reg.GetGauge("obs_test.delta_gauge");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(500);
+  const obs::MetricsSnapshot before = reg.Snapshot();
+  gauge->Set(20);
+  const obs::MetricsSnapshot after = reg.Snapshot();
+  std::string err;
+  const obs::JsonValue delta =
+      obs::JsonValue::Parse(obs::MetricsRegistry::DeltaJSON(before, after), &err);
+  ASSERT_TRUE(delta.is_object()) << err;
+  EXPECT_EQ(delta["gauges"]["obs_test.delta_gauge"].AsInt(), 20);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sampler: deterministic 1-in-N plus tail arming
+// ---------------------------------------------------------------------------
+
+TEST(SamplerTest, OneInNIsDeterministicOffSharedCounter) {
+  obs::TraceSampler sampler;
+  sampler.Configure(/*every_n=*/4, /*arm_threshold_us=*/0);
+  int yes = 0;
+  std::vector<bool> decisions;
+  for (int i = 0; i < 16; ++i) {
+    decisions.push_back(sampler.Sample());
+    if (decisions.back()) ++yes;
+  }
+  EXPECT_EQ(yes, 4);  // Exactly 1 in 4, not probabilistically.
+  EXPECT_TRUE(decisions[0]);  // Counter starts at 0 → first query sampled.
+  EXPECT_EQ(sampler.sampled(), 4u);
+
+  sampler.Configure(/*every_n=*/1, /*arm_threshold_us=*/0);
+  EXPECT_TRUE(sampler.Sample());  // N = 1 traces everything.
+}
+
+TEST(SamplerTest, DisabledSamplerNeitherSamplesNorAdvances) {
+  obs::TraceSampler sampler;
+  sampler.Configure(/*every_n=*/2, /*arm_threshold_us=*/0);
+  EXPECT_TRUE(sampler.Sample());  // Counter 0 → sampled.
+  sampler.Configure(/*every_n=*/0, /*arm_threshold_us=*/0);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(sampler.Sample());
+  // N = 0 short-circuits before touching the counter, so re-enabling
+  // continues the old cadence: counter is at 1, so the next yes is one
+  // query away.
+  sampler.Configure(/*every_n=*/2, /*arm_threshold_us=*/0);
+  EXPECT_FALSE(sampler.Sample());
+  EXPECT_TRUE(sampler.Sample());
+  EXPECT_EQ(sampler.sampled(), 2u);
+}
+
+TEST(SamplerTest, TailArmingForcesNextBudgetQueries) {
+  obs::TraceSampler sampler;
+  sampler.Configure(/*every_n=*/0, /*arm_threshold_us=*/100, /*arm_budget=*/3);
+  EXPECT_FALSE(sampler.Sample());  // Sampling off, nothing armed.
+
+  sampler.Observe(99);  // Below threshold: no arming.
+  EXPECT_EQ(sampler.slow_observed(), 0u);
+  EXPECT_FALSE(sampler.Sample());
+
+  sampler.Observe(100);  // At threshold: arms the next 3 queries.
+  EXPECT_EQ(sampler.slow_observed(), 1u);
+  EXPECT_EQ(sampler.armed_remaining(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(sampler.Sample()) << "armed query " << i;
+  }
+  EXPECT_FALSE(sampler.Sample());  // Budget spent.
+  EXPECT_EQ(sampler.armed_remaining(), 0u);
+  EXPECT_EQ(sampler.sampled(), 3u);
+
+  // A fresh slow observation re-arms the full budget.
+  sampler.Observe(5000);
+  EXPECT_EQ(sampler.armed_remaining(), 3u);
+
+  sampler.ResetCounters();
+  EXPECT_EQ(sampler.sampled(), 0u);
+  EXPECT_EQ(sampler.slow_observed(), 0u);
+  EXPECT_EQ(sampler.armed_remaining(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: retention, slow routing, and the batched span-attr write
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SetAttrsAppendsWholeBatchUnderOneLock) {
+  obs::QueryTrace trace;
+  const obs::SpanId span = trace.BeginSpan("fetch.demand", obs::kNoSpan);
+  trace.SetAttrs(span, {{"edge", int64_t{7}},
+                        {"kind", std::string("delta")},
+                        {"bytes", int64_t{512}},
+                        {"ratio", 0.25}});
+  trace.SetAttrs(obs::SpanId{99}, {{"ignored", int64_t{1}}});  // Bad id: no-op.
+  trace.EndSpan(span);
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attrs.size(), 4u);
+  EXPECT_EQ(spans[0].attrs[0].first, "edge");
+  EXPECT_EQ(std::get<int64_t>(spans[0].attrs[0].second), 7);
+  EXPECT_EQ(std::get<std::string>(spans[0].attrs[1].second), "delta");
+  EXPECT_EQ(std::get<double>(spans[0].attrs[3].second), 0.25);
+
+  obs::ScopedSpan no_trace(obs::TraceCtx{}, "nothing");
+  no_trace.SetAttrs({{"k", int64_t{1}}});  // Must not crash.
+}
+
+TEST(FlightRecorderTest, RecentRingTrimsAndSlowLogRetains) {
+  obs::FlightRecorder recorder;
+  recorder.Configure(/*recent_capacity=*/4, /*slow_capacity=*/2,
+                     /*slow_threshold_us=*/0);
+  // Six fast traces cycle the recent ring; only the last four survive.
+  for (int i = 0; i < 6; ++i) {
+    obs::QueryTrace trace;
+    trace.set_query_label("q" + std::to_string(i));
+    trace.Finish();
+    recorder.Record(trace);
+  }
+  auto recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front().label, "q2");
+  EXPECT_EQ(recent.back().label, "q5");
+  EXPECT_EQ(recorder.recorded(), 6u);
+  EXPECT_EQ(recorder.slow_recorded(), 0u);
+  EXPECT_TRUE(recorder.Slow().empty());
+
+  // Event-carrying traces route to the slow log regardless of latency; the
+  // slow log keeps its own capacity and survives recent-ring churn.
+  for (int i = 0; i < 3; ++i) {
+    obs::QueryTrace trace;
+    trace.set_query_label("slow" + std::to_string(i));
+    trace.set_event("deadline");
+    trace.Finish();
+    recorder.Record(trace);
+  }
+  for (int i = 0; i < 8; ++i) {  // Churn the recent ring past the slow ones.
+    obs::QueryTrace trace;
+    trace.set_query_label("churn");
+    trace.Finish();
+    recorder.Record(trace);
+  }
+  auto slow = recorder.Slow();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].label, "slow1");
+  EXPECT_EQ(slow[1].label, "slow2");
+  EXPECT_EQ(slow[0].event, "deadline");
+  EXPECT_EQ(recorder.slow_recorded(), 3u);
+
+  // Sequence numbers are process-order monotone across both logs.
+  recent = recorder.Recent();
+  for (size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_GT(recent[i].seq, recent[i - 1].seq);
+  }
+
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Recent().empty());
+  EXPECT_TRUE(recorder.Slow().empty());
+  EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+TEST(FlightRecorderTest, RecordPreservesIdentityAndSpanTree) {
+  obs::FlightRecorder recorder;
+  recorder.Configure(8, 8, /*slow_threshold_us=*/0);
+
+  obs::QueryTrace trace;
+  trace.set_query_label("tail_query");
+  trace.set_epoch(42);
+  trace.set_event_count(31337);
+  trace.set_shard_skew(1.75);
+  trace.set_event("slow");
+  const obs::SpanId root = trace.BeginSpan("query", obs::kNoSpan);
+  const obs::SpanId child = trace.BeginSpan("fetch.demand", root);
+  trace.SetAttrs(child, {{"kv_keys", int64_t{3}}});
+  trace.fetches_total.fetch_add(4);
+  trace.fetches_prefetched.fetch_add(2);
+  trace.kv_reads.fetch_add(3);
+  trace.bytes_read.fetch_add(2048);
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+  trace.Finish();
+  recorder.Record(trace);
+
+  auto slow = recorder.Slow();
+  ASSERT_EQ(slow.size(), 1u);  // The "slow" event routed it.
+  const obs::FlightEntry& e = slow[0];
+  EXPECT_EQ(e.label, "tail_query");
+  EXPECT_EQ(e.epoch, 42u);
+  EXPECT_EQ(e.event_count, 31337u);
+  EXPECT_DOUBLE_EQ(e.shard_skew, 1.75);
+  EXPECT_DOUBLE_EQ(e.prefetch_coverage, 0.5);
+  EXPECT_EQ(e.fetches_total, 4u);
+  EXPECT_EQ(e.kv_reads, 3u);
+  EXPECT_EQ(e.bytes_read, 2048u);
+  EXPECT_TRUE(e.has_trace);
+  ASSERT_EQ(e.spans.size(), 2u);
+  EXPECT_EQ(e.spans[1].name, "fetch.demand");
+
+  // The lazily rendered JSON carries the span tree and identity fields.
+  std::string err;
+  const obs::JsonValue parsed = obs::JsonValue::Parse(e.ToJSON(), &err);
+  ASSERT_TRUE(parsed.is_object()) << err;
+  EXPECT_EQ(parsed["epoch"].AsInt(), 42);
+  EXPECT_EQ(parsed["event_count"].AsInt(), 31337);
+  EXPECT_EQ(parsed["event"].AsString(), "slow");
+  EXPECT_EQ(parsed["spans"].Items().size(), 2u);
+  const obs::JsonValue whole = obs::JsonValue::Parse(recorder.ToJSON(), &err);
+  ASSERT_TRUE(whole.is_object()) << err;
+  EXPECT_EQ(whole["slow"].Items().size(), 1u);
+  EXPECT_EQ(whole["recent"].Items().size(), 1u);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordsAllCounted) {
+  // Run under TSan in CI: 8 threads push traced and event entries through
+  // the one push mutex; counters stay exact and capacities hold.
+  obs::FlightRecorder recorder;
+  recorder.Configure(/*recent_capacity=*/64, /*slow_capacity=*/16,
+                     /*slow_threshold_us=*/0);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (i % 4 == 0) {
+          recorder.RecordEvent("evt", "deadline", 1000.0, /*epoch=*/t,
+                               /*event_count=*/i);
+        } else {
+          obs::QueryTrace trace;
+          const obs::SpanId s = trace.BeginSpan("query", obs::kNoSpan);
+          trace.EndSpan(s);
+          trace.Finish();
+          recorder.Record(trace);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(recorder.recorded(), uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.slow_recorded(), uint64_t(kThreads) * kPerThread / 4);
+  EXPECT_EQ(recorder.Recent().size(), 64u);
+  EXPECT_EQ(recorder.Slow().size(), 16u);
+  // Within each log every retained seq is unique (a slow entry carries the
+  // same seq in both logs — it is one record, retained twice).
+  for (const auto& entries : {recorder.Recent(), recorder.Slow()}) {
+    std::vector<uint64_t> seqs;
+    for (const auto& e : entries) seqs.push_back(e.seq);
+    std::sort(seqs.begin(), seqs.end());
+    EXPECT_EQ(std::adjacent_find(seqs.begin(), seqs.end()), seqs.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent trace dumping: whole lines, never interleaved
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, ConcurrentDumpsEmitWholeJSONLines) {
+  // HISTGRAPH_TRACE_OUT emission is serialized under a process-wide mutex;
+  // with 8 sessions finishing at once every line in the file must still
+  // parse as one complete JSON object.
+  ObsGateGuard guard;
+  const std::string path = ::testing::TempDir() + "/hgdb_trace_dump_test.jsonl";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("HISTGRAPH_TRACE", "1", 1), 0);
+  ASSERT_EQ(setenv("HISTGRAPH_TRACE_OUT", path.c_str(), 1), 0);
+
+  constexpr int kThreads = 8;
+  constexpr int kTracesPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kTracesPerThread; ++i) {
+        obs::QueryTrace trace;
+        trace.set_query_label("dump_t" + std::to_string(t));
+        // A multi-KB line: enough spans that an unserialized write would
+        // visibly interleave.
+        obs::SpanId parent = obs::kNoSpan;
+        for (int s = 0; s < 40; ++s) {
+          const obs::SpanId id = trace.BeginSpan("span" + std::to_string(s),
+                                                 parent);
+          trace.SetAttrs(id, {{"i", int64_t{i}}, {"s", int64_t{s}}});
+          parent = id;
+        }
+        obs::FinishAndMaybeDump(&trace);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  unsetenv("HISTGRAPH_TRACE");
+  unsetenv("HISTGRAPH_TRACE_OUT");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string err;
+    const obs::JsonValue parsed = obs::JsonValue::Parse(line, &err);
+    ASSERT_TRUE(parsed.is_object())
+        << "line " << lines << " is not whole JSON: " << err;
+    EXPECT_EQ(parsed["spans"].Items().size(), 40u);
+    ++lines;
+  }
+  EXPECT_EQ(lines, kThreads * kTracesPerThread);
+  std::remove(path.c_str());
 }
 
 }  // namespace

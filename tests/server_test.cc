@@ -16,6 +16,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "server/hist_graph_server.h"
 #include "tests/test_oracle.h"
 #include "tests/test_util.h"
@@ -341,6 +345,144 @@ TEST(ServerTest, FlushDrainsAndEpochAdvancesPerBatch) {
   ASSERT_TRUE((*server)->Append({}).ok());
   ASSERT_TRUE((*server)->Flush().ok());
   EXPECT_EQ((*server)->stats().batches_appended, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability surface: slow-query capture, ingest watchdog, statz
+// ---------------------------------------------------------------------------
+
+TEST(ServerObsTest, SlowQueryLogCarriesMatchingEpochAndSpanTree) {
+  // The tail-latency attribution contract end to end: a query that crosses
+  // the slow threshold must land in the flight recorder's slow-query log
+  // with the epoch/event_count it actually pinned and its full span tree.
+  obs::FlightRecorder::Global().Clear();
+  obs::TraceSampler::Global().ResetCounters();
+
+  RandomTraceOptions topts;
+  topts.num_events = 2000;
+  topts.seed = 4242;
+  const GeneratedTrace trace = GenerateRandomTrace(topts);
+
+  auto store = NewMemKVStore();
+  HistGraphServerOptions opts;
+  opts.manager.index.leaf_size = 100;
+  opts.trace_sample_every_n = 1;  // Trace every query.
+  opts.slow_query_us = 1;         // Every real query crosses the threshold.
+  // At a 1us threshold the churn queries below are "slow" too; a roomy slow
+  // log keeps them from evicting the entry under test, while the small
+  // recent ring is guaranteed to cycle past it.
+  opts.flight_recent_capacity = 64;
+  opts.flight_slow_capacity = 1024;
+  auto server = HistGraphServer::Create(store.get(), opts);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Append(trace.events).ok());
+  ASSERT_TRUE((*server)->Finalize().ok());
+  ASSERT_TRUE((*server)->Flush().ok());
+
+  const Timestamp hi = trace.events.back().time;
+  auto res = (*server)->Retrieve({hi / 3, hi / 2});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GE((*server)->stats().slow_queries, 1u);
+
+  const auto slow = obs::FlightRecorder::Global().Slow();
+  ASSERT_FALSE(slow.empty());
+  const obs::FlightEntry* entry = nullptr;
+  for (const auto& e : slow) {
+    if (e.label == "server.multipoint") entry = &e;
+  }
+  ASSERT_NE(entry, nullptr) << "query missing from the slow-query log";
+  EXPECT_EQ(entry->epoch, res->epoch);
+  EXPECT_EQ(entry->event_count, res->event_count);
+  EXPECT_TRUE(entry->slow);
+  EXPECT_TRUE(entry->has_trace);
+  EXPECT_FALSE(entry->spans.empty()) << "slow entry lost its span tree";
+  EXPECT_GT(entry->total_us, 0.0);
+
+  // It survives recent-ring churn: push enough fast queries to cycle the
+  // recent ring, then find the slow entry again by sequence number.
+  const uint64_t seq = entry->seq;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*server)->GetSnapshot(hi).ok());
+  }
+  bool still_there = false;
+  for (const auto& e : obs::FlightRecorder::Global().Slow()) {
+    if (e.seq == seq) still_there = true;
+  }
+  EXPECT_TRUE(still_there);
+}
+
+TEST(ServerObsTest, WatchdogFlagsStalledIngestOp) {
+  auto store = NewMemKVStore();
+  HistGraphServerOptions opts;
+  opts.watchdog_budget_us = 20000;  // 20ms budget, polled every ~10ms.
+  auto server = HistGraphServer::Create(store.get(), opts);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ((*server)->stats().watchdog_stalls, 0u);
+
+  // Each op dwells 100ms on the strand — 5x over budget; the watchdog must
+  // flag it (once per op, so two ops bound the count at two).
+  (*server)->SetIngestDelayForTesting(100000);
+  ASSERT_TRUE((*server)->Append({Event::AddNode(5, 1)}).ok());
+  ASSERT_TRUE((*server)->Append({Event::AddNode(6, 2)}).ok());
+  ASSERT_TRUE((*server)->Flush().ok());
+  (*server)->SetIngestDelayForTesting(0);
+
+  const auto stats = (*server)->stats();
+  EXPECT_GE(stats.watchdog_stalls, 1u);
+  EXPECT_LE(stats.watchdog_stalls, 2u);
+  EXPECT_EQ(stats.events_appended, 2u);  // Flagged, never killed.
+}
+
+TEST(ServerObsTest, StatusJSONCarriesEveryStatzSection) {
+  const bool metrics_before = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+
+  RandomTraceOptions topts;
+  topts.num_events = 1500;
+  topts.seed = 99;
+  const GeneratedTrace trace = GenerateRandomTrace(topts);
+
+  auto store = NewMemKVStore();
+  HistGraphServerOptions opts;
+  opts.manager.index.leaf_size = 100;
+  opts.trace_sample_every_n = 2;
+  opts.slow_query_us = 1;
+  auto server = HistGraphServer::Create(store.get(), opts);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Append(trace.events).ok());
+  ASSERT_TRUE((*server)->Finalize().ok());
+  ASSERT_TRUE((*server)->Flush().ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*server)->GetSnapshot(trace.events.back().time / (i + 1)).ok());
+  }
+
+  std::string err;
+  const obs::JsonValue status =
+      obs::JsonValue::Parse((*server)->StatusJSON(), &err);
+  ASSERT_TRUE(status.is_object()) << err;
+  for (const char* section : {"server", "ingest", "watchdog", "frontier",
+                              "sampler", "flight_recorder", "metrics"}) {
+    EXPECT_TRUE(status.Has(section)) << "StatusJSON missing " << section;
+  }
+  EXPECT_GE(status["server"]["queries_admitted"].AsInt(), 4);
+  EXPECT_EQ(status["server"]["trace_sample_every_n"].AsInt(), 2);
+  EXPECT_EQ(status["frontier"]["epoch"].AsInt(),
+            static_cast<int64_t>((*server)->frontier_epoch()));
+  EXPECT_EQ(status["frontier"]["event_count"].AsInt(),
+            static_cast<int64_t>(trace.events.size()));
+  EXPECT_GE(status["ingest"]["applied_seq"].AsInt(), 2);
+  EXPECT_TRUE(status["watchdog"]["enabled"].AsBool());
+  EXPECT_EQ(status["sampler"]["every_n"].AsInt(), 2);
+  EXPECT_GE(status["flight_recorder"]["recorded"].AsInt(), 1);
+  // The per-stage attribution histograms ran with metrics on.
+  const obs::JsonValue& hists = status["metrics"]["histograms"];
+  for (const char* h : {"server.query_us", "server.stage_plan_us",
+                        "server.stage_execute_us", "server.stage_merge_us"}) {
+    ASSERT_TRUE(hists.Has(h)) << "missing histogram " << h;
+    EXPECT_GE(hists[h]["count"].AsInt(), 1) << h;
+  }
+
+  obs::SetMetricsEnabled(metrics_before);
 }
 
 }  // namespace

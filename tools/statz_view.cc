@@ -1,0 +1,267 @@
+// statz_view: renders a HistGraphServer::StatusJSON() dump — the server's
+// statz surface — as a human-readable status page: lifetime counters,
+// per-stage latency attribution, ingest-strand health (queue depth/age, lag,
+// watchdog stalls), the published frontier, and the flight recorder's
+// retained traces (recent ring + slow-query log).
+//
+// Usage:
+//   statz_view <statz.json>    render a saved StatusJSON dump (bench_traffic
+//                              writes one when HISTGRAPH_STATZ_OUT is set)
+//   statz_view -               same, reading stdin
+//   statz_view --demo          spin up an in-memory HistGraphServer, push
+//                              traffic through it (including one injected
+//                              slow query), and render its live StatusJSON
+//                              (the CI smoke for the whole statz pipeline)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kvstore/kv_store.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "server/hist_graph_server.h"
+#include "workload/generators.h"
+
+namespace hgdb {
+namespace {
+
+std::string FormatDurUs(double us) {
+  char buf[32];
+  if (us >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", us / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f us", us);
+  }
+  return buf;
+}
+
+void PrintCounterRow(const char* name, double value) {
+  std::printf("  %-28s %12.0f\n", name, value);
+}
+
+/// One histogram line: count plus the latency quantiles the metrics JSON
+/// carries.
+void PrintHistRow(const std::string& name, const obs::JsonValue& h) {
+  std::printf("  %-28s count %-8.0f p50 %-10s p95 %-10s p99 %s\n",
+              name.c_str(), h["count"].AsDouble(),
+              FormatDurUs(h["p50"].AsDouble()).c_str(),
+              FormatDurUs(h["p95"].AsDouble()).c_str(),
+              FormatDurUs(h["p99"].AsDouble()).c_str());
+}
+
+void PrintFlightEntry(const obs::JsonValue& e) {
+  std::string tag = e["query"].AsString();
+  if (e.Has("event")) tag += " [" + e["event"].AsString() + "]";
+  std::printf("  #%-5lld %-32s %10s  epoch %-6lld events %-8lld",
+              static_cast<long long>(e["seq"].AsInt()), tag.c_str(),
+              FormatDurUs(e["total_us"].AsDouble()).c_str(),
+              static_cast<long long>(e["epoch"].AsInt()),
+              static_cast<long long>(e["event_count"].AsInt()));
+  if (e.Has("shard_skew")) {
+    std::printf("  skew %.2f", e["shard_skew"].AsDouble());
+  }
+  if (e.Has("spans")) {
+    std::printf("  spans %zu", e["spans"].Items().size());
+  }
+  std::printf("\n");
+}
+
+int RenderStatus(const obs::JsonValue& status) {
+  if (!status.is_object() || !status.Has("server")) {
+    std::fprintf(stderr, "statz_view: input is not a StatusJSON object\n");
+    return 1;
+  }
+  const obs::JsonValue& server = status["server"];
+  const obs::JsonValue& ingest = status["ingest"];
+  const obs::JsonValue& watchdog = status["watchdog"];
+  const obs::JsonValue& frontier = status["frontier"];
+  const obs::JsonValue& sampler = status["sampler"];
+  const obs::JsonValue& flight = status["flight_recorder"];
+  const obs::JsonValue& metrics = status["metrics"];
+
+  std::printf("== server ==\n");
+  PrintCounterRow("queries_admitted", server["queries_admitted"].AsDouble());
+  PrintCounterRow("queries_rejected", server["queries_rejected"].AsDouble());
+  PrintCounterRow("deadlines_exceeded", server["deadlines_exceeded"].AsDouble());
+  PrintCounterRow("slow_queries", server["slow_queries"].AsDouble());
+  PrintCounterRow("batches_appended", server["batches_appended"].AsDouble());
+  PrintCounterRow("events_appended", server["events_appended"].AsDouble());
+  PrintCounterRow("finalizes", server["finalizes"].AsDouble());
+  PrintCounterRow("appends_rejected", server["appends_rejected"].AsDouble());
+  std::printf("  active %lld/%lld, sampling 1-in-%lld, slow threshold %s\n",
+              static_cast<long long>(server["active_queries"].AsInt()),
+              static_cast<long long>(server["max_concurrent_queries"].AsInt()),
+              static_cast<long long>(server["trace_sample_every_n"].AsInt()),
+              FormatDurUs(server["slow_query_us"].AsDouble()).c_str());
+
+  std::printf("\n== stage latency attribution ==\n");
+  const obs::JsonValue& hists = metrics["histograms"];
+  for (const char* stage :
+       {"server.stage_plan_us", "server.stage_fetch_us",
+        "server.stage_execute_us", "server.stage_merge_us",
+        "server.query_us"}) {
+    if (hists.Has(stage)) PrintHistRow(stage, hists[stage]);
+  }
+
+  std::printf("\n== ingest strand ==\n");
+  std::printf("  queue depth %lld, oldest queued %s, lag %s, %s\n",
+              static_cast<long long>(ingest["queue_depth"].AsInt()),
+              FormatDurUs(ingest["queue_age_us"].AsDouble()).c_str(),
+              FormatDurUs(ingest["lag_us"].AsDouble()).c_str(),
+              ingest["busy"].AsBool() ? "busy" : "idle");
+  std::printf("  applied seq %lld / next %lld\n",
+              static_cast<long long>(ingest["applied_seq"].AsInt()),
+              static_cast<long long>(ingest["next_seq"].AsInt()));
+  for (const char* h : {"server.ingest_dwell_us", "server.epoch_publish_us"}) {
+    if (hists.Has(h)) PrintHistRow(h, hists[h]);
+  }
+  if (!ingest["error"].AsString().empty()) {
+    std::printf("  INGEST ERROR: %s\n", ingest["error"].AsString().c_str());
+  }
+  std::printf("  watchdog: %s, budget %s, stalls %lld",
+              watchdog["enabled"].AsBool() ? "enabled" : "disabled",
+              FormatDurUs(watchdog["budget_us"].AsDouble()).c_str(),
+              static_cast<long long>(watchdog["stalls"].AsInt()));
+  if (ingest["busy"].AsBool()) {
+    std::printf(", current op running %s",
+                FormatDurUs(ingest["current_op_us"].AsDouble()).c_str());
+  }
+  std::printf("\n");
+
+  std::printf("\n== frontier ==\n");
+  std::printf("  epoch %lld, %lld events visible, published %s ago\n",
+              static_cast<long long>(frontier["epoch"].AsInt()),
+              static_cast<long long>(frontier["event_count"].AsInt()),
+              FormatDurUs(frontier["age_us"].AsDouble()).c_str());
+
+  std::printf("\n== trace sampling ==\n");
+  std::printf("  1-in-%lld, arm threshold %s, sampled %lld, slow observed "
+              "%lld, armed %lld\n",
+              static_cast<long long>(sampler["every_n"].AsInt()),
+              FormatDurUs(sampler["arm_threshold_us"].AsDouble()).c_str(),
+              static_cast<long long>(sampler["sampled"].AsInt()),
+              static_cast<long long>(sampler["slow_observed"].AsInt()),
+              static_cast<long long>(sampler["armed_remaining"].AsInt()));
+
+  std::printf("\n== flight recorder ==\n");
+  std::printf("  recorded %lld (slow %lld), slow threshold %s\n",
+              static_cast<long long>(flight["recorded"].AsInt()),
+              static_cast<long long>(flight["slow_recorded"].AsInt()),
+              FormatDurUs(flight["slow_threshold_us"].AsDouble()).c_str());
+  const auto& slow = flight["slow"].Items();
+  if (!slow.empty()) {
+    std::printf("  slow-query log (%zu):\n", slow.size());
+    for (const auto& e : slow) PrintFlightEntry(e);
+  }
+  const auto& recent = flight["recent"].Items();
+  std::printf("  recent ring (%zu):\n", recent.size());
+  // The recent ring can hold a lot of traces; show the newest few.
+  const size_t show = recent.size() > 8 ? 8 : recent.size();
+  for (size_t i = recent.size() - show; i < recent.size(); ++i) {
+    PrintFlightEntry(recent[i]);
+  }
+  return 0;
+}
+
+int RenderText(const std::string& text) {
+  std::string err;
+  const obs::JsonValue status = obs::JsonValue::Parse(text, &err);
+  if (!status.is_object()) {
+    std::fprintf(stderr, "statz_view: malformed input: %s\n", err.c_str());
+    return 1;
+  }
+  return RenderStatus(status);
+}
+
+/// A live server exercised end to end: ingest through the strand, sampled
+/// queries, one deliberately slow query captured by the flight recorder, and
+/// the resulting StatusJSON rendered. CI runs this as the statz smoke test.
+int RunDemo() {
+  RandomTraceOptions topts;
+  topts.num_events = 6000;
+  topts.seed = 20260808;
+  GeneratedTrace gen = GenerateRandomTrace(topts);
+
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::FlightRecorder::Global().Clear();
+  obs::TraceSampler::Global().ResetCounters();
+
+  auto store = NewMemKVStore();
+  HistGraphServerOptions sopts;
+  sopts.manager.index.leaf_size = 80;
+  sopts.manager.index.arity = 3;
+  sopts.trace_sample_every_n = 4;
+  sopts.slow_query_us = 1;  // Everything is "slow": fills the slow log.
+  sopts.watchdog_budget_us = 50000;
+  auto server = HistGraphServer::Create(store.get(), sopts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "demo: create failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  HistGraphServer& s = *server.value();
+  for (size_t i = 0; i < gen.events.size(); i += 512) {
+    const size_t end = i + 512 < gen.events.size() ? i + 512 : gen.events.size();
+    if (!s.Append(std::vector<Event>(gen.events.begin() + i,
+                                     gen.events.begin() + end))
+             .ok()) {
+      std::fprintf(stderr, "demo: append failed\n");
+      return 1;
+    }
+  }
+  if (!s.Finalize().ok() || !s.Flush().ok()) {
+    std::fprintf(stderr, "demo: finalize failed\n");
+    return 1;
+  }
+  const Timestamp lo = gen.events.front().time;
+  const Timestamp hi = gen.events.back().time;
+  for (int i = 0; i < 16; ++i) {
+    auto r = s.Retrieve({lo + (hi - lo) * (i % 7) / 7, hi});
+    if (!r.ok()) {
+      std::fprintf(stderr, "demo: retrieve failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  return RenderText(s.StatusJSON());
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fprintf(stderr,
+                 "usage: statz_view <statz.json | - | --demo>\n"
+                 "  renders HistGraphServer::StatusJSON() as a status page\n");
+    return argc < 2 ? 1 : 0;
+  }
+  if (std::strcmp(argv[1], "--demo") == 0) return RunDemo();
+
+  std::string text;
+  if (std::strcmp(argv[1], "-") == 0) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "statz_view: cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  return RenderText(text);
+}
+
+}  // namespace
+}  // namespace hgdb
+
+int main(int argc, char** argv) { return hgdb::Run(argc, argv); }
